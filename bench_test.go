@@ -1,0 +1,321 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment
+// end-to-end per iteration and reports the headline quantity as a custom
+// metric, so `go test -bench=. -benchmem` doubles as the reproduction
+// harness (the cmd/capgpu-bench tool prints the full tables).
+package capgpu_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// metricName turns a display label into a whitespace-free benchmark
+// metric unit.
+func metricName(label, suffix string) string {
+	return strings.ReplaceAll(label, " ", "_") + suffix
+}
+
+func BenchmarkTable1Motivation(b *testing.B) {
+	var last *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1Motivation(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.ThroughputIPS, metricName(row.Config, "_img/s"))
+	}
+}
+
+func BenchmarkFig2aSystemID(b *testing.B) {
+	var r2 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2aSystemID(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2 = r.Model.R2
+	}
+	b.ReportMetric(r2, "R2")
+}
+
+func BenchmarkFig2bLatencyModel(b *testing.B) {
+	var r2 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2bLatencyModel("swin_t", 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2 = r.Model.R2
+	}
+	b.ReportMetric(r2, "R2_gamma0.91")
+}
+
+func BenchmarkFig3PowerControl(b *testing.B) {
+	var res *experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3PowerControl(4, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Runs["capgpu"].Summary.RMSE, "capgpu_rmseW")
+	b.ReportMetric(res.Runs["gpu-only"].Summary.RMSE, "gpuonly_rmseW")
+	b.ReportMetric(res.Runs["cpu-only"].Summary.Mean-900, "cpuonly_errW")
+}
+
+func BenchmarkFig4FixedStep(b *testing.B) {
+	var res *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4FixedStep(4, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Runs["fixed-step-1"].Summary.Std, "step1_stdW")
+	b.ReportMetric(res.Runs["fixed-step-5"].Summary.Std, "step5_stdW")
+}
+
+func BenchmarkFig5SafeFixedStep(b *testing.B) {
+	var res *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5SafeFixedStep(4, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	for _, n := range res.Order {
+		b.ReportMetric(float64(res.Runs[n].Summary.Violations), n+"_violations")
+	}
+}
+
+func BenchmarkFig6SetpointSweep(b *testing.B) {
+	var res *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6SetpointSweep(5, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	// Mean |error| per controller across set points.
+	sums := map[string]float64{}
+	counts := map[string]float64{}
+	for _, p := range res.Points {
+		sums[p.Controller] += p.AbsErrW
+		counts[p.Controller]++
+	}
+	for _, n := range res.Order {
+		b.ReportMetric(sums[n]/counts[n], n+"_meanErrW")
+	}
+}
+
+func BenchmarkFig7Performance(b *testing.B) {
+	var res *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7Performance(6, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	for _, row := range res.Rows {
+		sum := 0.0
+		for _, tp := range row.GPUThroughput {
+			sum += tp
+		}
+		b.ReportMetric(sum, metricName(row.Controller, "_img/s"))
+	}
+}
+
+func BenchmarkFig8BaselineSLO(b *testing.B) {
+	var res *experiments.SLOResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8Fig9SLOAdaptation(7, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	for _, n := range []string{"safe-fixed-step-1", "gpu-only"} {
+		r := res.Runs[n]
+		worst := 0.0
+		for _, m := range r.PostChangeMissRate {
+			worst = math.Max(worst, m)
+		}
+		b.ReportMetric(worst, n+"_worstMissRate")
+	}
+}
+
+func BenchmarkFig9CapGPUSLO(b *testing.B) {
+	var res *experiments.SLOResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8Fig9SLOAdaptation(7, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	worst := 0.0
+	for _, m := range res.Runs["capgpu"].PostChangeMissRate {
+		worst = math.Max(worst, m)
+	}
+	b.ReportMetric(worst, "capgpu_worstMissRate")
+}
+
+func BenchmarkFig10Adaptation(b *testing.B) {
+	var res *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10Adaptation(8, 120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	for _, n := range res.Order {
+		b.ReportMetric(float64(res.SettlingAfterRaise[n]), n+"_settleRaise")
+	}
+}
+
+func BenchmarkAblationWeights(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationWeights(21, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(rows[0].GPUTput, "weighted_img/s")
+	b.ReportMetric(rows[1].GPUTput, "uniform_img/s")
+}
+
+func BenchmarkAblationDeltaSigma(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationDeltaSigma(22, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(math.Abs(rows[0].Summary.Mean-905), "deltasigma_biasW")
+	b.ReportMetric(math.Abs(rows[1].Summary.Mean-905), "rounding_biasW")
+}
+
+func BenchmarkAblationHorizons(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationHorizons(23, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, row := range rows {
+		b.ReportMetric(row.Summary.RMSE, metricName(row.Config, "_rmseW"))
+	}
+}
+
+func BenchmarkAblationSolver(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationSolver(24, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, row := range rows {
+		b.ReportMetric(row.Summary.RMSE, metricName(row.Config, "_rmseW"))
+	}
+}
+
+func BenchmarkStabilityAnalysis(b *testing.B) {
+	var res *experiments.StabilityResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.StabilityAnalysis(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.NominalPole, "nominal_pole")
+	b.ReportMetric(res.UniformHi, "gain_margin")
+}
+
+func BenchmarkExtensionAdaptive(b *testing.B) {
+	var rows []experiments.AdaptiveRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionAdaptive(31, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(rows[0].PredRMSEPost, "static_predRMSE_W")
+	b.ReportMetric(rows[1].PredRMSEPost, "adaptive_predRMSE_W")
+}
+
+func BenchmarkExtensionInfeasibleCap(b *testing.B) {
+	var rows []experiments.InfeasibleRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionInfeasibleCap(32, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(rows[0].SteadyErrW, "freqonly_errW")
+	b.ReportMetric(rows[1].SteadyErrW, "multilayer_errW")
+}
+
+func BenchmarkExtensionCluster(b *testing.B) {
+	var rows []experiments.ClusterRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionCluster(33, 60, 2850)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, row := range rows {
+		b.ReportMetric(row.AggThroughput, row.Policy+"_img/s")
+	}
+}
+
+func BenchmarkEnergyEfficiency(b *testing.B) {
+	var rows []experiments.EfficiencyRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.EnergyEfficiency(6, 100, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, row := range rows {
+		b.ReportMetric(row.ImgPerKJ, metricName(row.Controller, "_img/kJ"))
+	}
+}
+
+func BenchmarkExtensionBatchSLO(b *testing.B) {
+	var rows []experiments.BatchRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionBatchSLO(34, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(rows[0].MissRate, "fixedbatch_missRate")
+	b.ReportMetric(rows[1].MissRate, "batching_missRate")
+}

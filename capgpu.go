@@ -1,0 +1,262 @@
+// Package capgpu is a from-scratch Go reproduction of "Power Capping of
+// GPU Servers for Machine Learning Inference Optimization" (CapGPU,
+// ICPP 2025): a server-level power-capping framework for machines that
+// run ML inference on multiple GPUs plus a host CPU.
+//
+// CapGPU couples three ideas:
+//
+//   - a MIMO model-predictive power controller that jointly actuates CPU
+//     DVFS and every GPU's core clock against a server-level power cap
+//     (the paper's Eq. 9/10 formulation, solved as a strictly convex QP);
+//   - a throughput-driven weight-assignment algorithm: each device's
+//     control penalty is its normalized throughput, inverted, so busy
+//     devices are granted frequency headroom and idle ones are parked;
+//   - per-task inference-latency SLOs folded into the optimization as
+//     GPU frequency floors via the latency law e = e_min·(f_max/f_g)^γ.
+//
+// Because the paper's physical testbed (Xeon Gold 5215 + 3× Tesla V100,
+// ACPI power meter, nvidia-smi/cpupower actuators, PyTorch workloads) is
+// not portable, this library ships a behaviorally calibrated simulated
+// testbed; every hardware-facing component has a simulator stand-in with
+// matching interfaces. See DESIGN.md for the substitution table and
+// EXPERIMENTS.md for paper-vs-measured results on every table and
+// figure.
+//
+// # Quick start
+//
+//	srv, _ := capgpu.NewServer(capgpu.DefaultTestbed(1))
+//	capgpu.AttachStandardWorkloads(srv, 1)
+//	model, _ := capgpu.Identify(srv)         // system identification
+//	ctrl, _ := capgpu.New(model, srv, nil, capgpu.Options{})
+//	h, _ := capgpu.NewHarness(srv, ctrl, capgpu.FixedSetpoint(900))
+//	records, _ := h.Run(100)                  // 100 control periods
+//
+// The package is a facade over the internal implementation packages; all
+// exported names below are stable API.
+package capgpu
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/mpc"
+	"repro/internal/sim"
+	"repro/internal/sysid"
+	"repro/internal/workload"
+)
+
+// Simulated-testbed types (see internal/sim).
+type (
+	// Server is the simulated GPU server: CPU + GPUs + power model.
+	Server = sim.Server
+	// ServerConfig assembles a Server.
+	ServerConfig = sim.Config
+	// CPUSpec describes a host CPU's DVFS range and power behavior.
+	CPUSpec = sim.CPUSpec
+	// GPUSpec describes one GPU's clock range and power behavior.
+	GPUSpec = sim.GPUSpec
+	// Sample is one power-meter tick's observable state.
+	Sample = sim.Sample
+)
+
+// Workload types (see internal/workload).
+type (
+	// Pipeline is one GPU's inference pipeline (CPU preprocessing →
+	// shared queue → batched GPU inference).
+	Pipeline = workload.Pipeline
+	// PipelineConfig parameterizes a Pipeline.
+	PipelineConfig = workload.PipelineConfig
+	// ModelProfile describes a DNN's latency/batching behavior.
+	ModelProfile = workload.ModelProfile
+	// CPUWorkload is the host-CPU batch job (exhaustive feature
+	// selection in the paper).
+	CPUWorkload = workload.CPUWorkload
+	// CPUWorkloadConfig parameterizes a CPUWorkload.
+	CPUWorkloadConfig = workload.CPUWorkloadConfig
+	// PipelineStats is a Pipeline step's observable behavior.
+	PipelineStats = workload.Stats
+)
+
+// Modeling types (see internal/sysid).
+type (
+	// PowerModel is the identified linear power model p = A·F + C.
+	PowerModel = sysid.Model
+	// LatencyModel is the frequency-latency law e = e_min(f_max/f)^γ.
+	LatencyModel = sysid.LatencyModel
+	// IdentifyConfig tunes the excitation schedule.
+	IdentifyConfig = sysid.ExciteConfig
+)
+
+// Controller types (see internal/core, internal/mpc).
+type (
+	// Controller is the CapGPU power controller.
+	Controller = core.CapGPU
+	// Options tunes the controller.
+	Options = core.Options
+	// MPCConfig tunes the underlying MPC (horizons, weights, solver).
+	MPCConfig = mpc.Config
+	// Harness runs any PowerController in the measure→decide→actuate
+	// loop.
+	Harness = core.Harness
+	// PeriodRecord is one control period's log entry.
+	PeriodRecord = core.PeriodRecord
+	// Observation is the controller's per-period input.
+	Observation = core.Observation
+	// Decision is a controller's frequency targets.
+	Decision = core.Decision
+	// PowerController is the interface all capping schemes implement.
+	PowerController = core.PowerController
+	// Summary bundles steady-state power statistics.
+	Summary = metrics.Summary
+)
+
+// Baseline controller types (see internal/baselines).
+type (
+	// FixedStep is the heuristic one-level-per-period baseline.
+	FixedStep = baselines.FixedStep
+	// GPUOnly is the proportional shared-GPU-clock baseline.
+	GPUOnly = baselines.GPUOnly
+	// CPUOnly is the traditional CPU-DVFS-only baseline.
+	CPUOnly = baselines.CPUOnly
+	// CPUPlusGPU is the fixed-budget-split two-loop baseline.
+	CPUPlusGPU = baselines.CPUPlusGPU
+)
+
+// DefaultTestbed returns the paper's evaluation server configuration:
+// one Intel Xeon Gold 5215 and three NVIDIA Tesla V100s (§5).
+func DefaultTestbed(seed int64) ServerConfig { return sim.DefaultTestbed(seed) }
+
+// MotivationTestbed returns the §3.2 rig: a desktop CPU and one RTX 3090
+// clamped to its 495–810 MHz window.
+func MotivationTestbed(seed int64) ServerConfig { return sim.MotivationTestbed(seed) }
+
+// NewServer builds a simulated server.
+func NewServer(cfg ServerConfig) (*Server, error) { return sim.NewServer(cfg) }
+
+// ModelZoo returns the DNN profiles used across the paper's experiments
+// (ResNet50, Swin-T, VGG16, GoogLeNet).
+func ModelZoo() map[string]ModelProfile { return workload.Zoo() }
+
+// NewPipeline builds an inference pipeline.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) { return workload.NewPipeline(cfg) }
+
+// NewCPUWorkload builds the host-CPU batch workload.
+func NewCPUWorkload(cfg CPUWorkloadConfig) (*CPUWorkload, error) {
+	return workload.NewCPUWorkload(cfg)
+}
+
+// AttachStandardWorkloads wires the paper's §6.1 workload assignment
+// onto a 3-GPU server: ResNet50 on GPU 0, Swin-T on GPU 1, VGG16 on
+// GPU 2, and exhaustive feature selection on the CPU.
+func AttachStandardWorkloads(s *Server, seed int64) error {
+	if s.NumGPUs() < 3 {
+		return fmt.Errorf("capgpu: standard workloads need 3 GPUs, server has %d", s.NumGPUs())
+	}
+	zoo := workload.Zoo()
+	cfgs := []workload.PipelineConfig{
+		{Model: zoo["resnet50"], Workers: 2, PreLatencyBase: 0.004, PreLatencyExp: 0.4,
+			ArrivalRateMax: 250, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: seed + 1},
+		{Model: zoo["swin_t"], Workers: 2, PreLatencyBase: 0.010, PreLatencyExp: 0.4,
+			ArrivalRateMax: 100, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: seed + 2},
+		{Model: zoo["vgg16"], Workers: 2, PreLatencyBase: 0.008, PreLatencyExp: 0.4,
+			ArrivalRateMax: 130, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: seed + 3},
+	}
+	for i, cfg := range cfgs {
+		p, err := workload.NewPipeline(cfg)
+		if err != nil {
+			return err
+		}
+		if err := s.AttachPipeline(i, p); err != nil {
+			return err
+		}
+	}
+	w, err := workload.NewCPUWorkload(workload.CPUWorkloadConfig{
+		RateAtMax: 40, RateExp: 1, FcMax: 2.4, NoiseStd: 0.02, Seed: seed + 4})
+	if err != nil {
+		return err
+	}
+	s.AttachCPUWorkload(w)
+	return nil
+}
+
+// Identify runs the §4.2 system-identification procedure against a
+// server with its workloads attached and returns the linear power model.
+// It perturbs the server's frequencies; run it before starting control,
+// or on a twin server.
+func Identify(s *Server) (*PowerModel, error) {
+	m, _, err := sysid.Identify(s, sysid.ExciteConfig{})
+	return m, err
+}
+
+// IdentifyWithConfig is Identify with a custom excitation schedule; it
+// also returns the raw excitation records.
+func IdentifyWithConfig(s *Server, cfg IdentifyConfig) (*PowerModel, []sysid.Record, error) {
+	return sysid.Identify(s, cfg)
+}
+
+// FitLatencyModel fits the frequency-latency law to (frequency, latency)
+// samples, as in the paper's Fig. 2b.
+func FitLatencyModel(freqs, latencies []float64, fMax float64) (*LatencyModel, error) {
+	return sysid.FitLatency(freqs, latencies, fMax)
+}
+
+// New builds the CapGPU controller from an identified power model.
+// latencyModels (one per GPU, nil entries allowed, or nil entirely)
+// enable SLO enforcement.
+func New(model *PowerModel, s *Server, latencyModels []*LatencyModel, opts Options) (*Controller, error) {
+	return core.NewCapGPU(model, s, latencyModels, opts)
+}
+
+// NewHarness wires the control loop: ACPI-style power meter, delta-sigma
+// frequency modulators, and the given controller against the server.
+func NewHarness(s *Server, ctrl PowerController, setpoint func(period int) float64) (*Harness, error) {
+	return core.NewHarness(s, ctrl, setpoint)
+}
+
+// FixedSetpoint is a constant set-point schedule for NewHarness.
+func FixedSetpoint(watts float64) func(int) float64 {
+	return func(int) float64 { return watts }
+}
+
+// Baseline constructors (§6.1). pole is the desired closed-loop pole of
+// the proportional designs, in (0, 1); 0.45 matches the evaluation.
+
+// NewFixedStep builds the Fixed-Step heuristic baseline (marginW > 0
+// yields Safe Fixed-Step).
+func NewFixedStep(s *Server, stepMult int, marginW float64) (*FixedStep, error) {
+	return baselines.NewFixedStep(s, stepMult, marginW)
+}
+
+// NewGPUOnly builds the GPU-Only proportional baseline.
+func NewGPUOnly(model *PowerModel, s *Server, pole float64) (*GPUOnly, error) {
+	return baselines.NewGPUOnly(model, s, pole)
+}
+
+// NewCPUOnly builds the CPU-Only proportional baseline.
+func NewCPUOnly(model *PowerModel, s *Server, pole float64) (*CPUOnly, error) {
+	return baselines.NewCPUOnly(model, s, pole)
+}
+
+// NewCPUPlusGPU builds the fixed-split two-loop baseline; gpuShare is
+// the budget fraction assigned to the GPU group.
+func NewCPUPlusGPU(model *PowerModel, s *Server, gpuShare, baseW, pole float64) (*CPUPlusGPU, error) {
+	return baselines.NewCPUPlusGPU(model, s, gpuShare, baseW, pole)
+}
+
+// Summarize computes steady-state statistics of a per-period power trace
+// against a set point, using the paper's last-80-of-100 convention when
+// steady is 80.
+func Summarize(powerW []float64, setpointW float64, steady int) Summary {
+	return metrics.Summarize(powerW, setpointW, steady, 0.02*setpointW, 0.01*setpointW)
+}
+
+// PowerSeries extracts per-period average power from harness records.
+func PowerSeries(records []PeriodRecord) []float64 {
+	out := make([]float64, len(records))
+	for i, r := range records {
+		out[i] = r.AvgPowerW
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+package capgpu_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	capgpu "repro"
+)
+
+// TestEndToEndQuickstart exercises the documented public-API flow.
+func TestEndToEndQuickstart(t *testing.T) {
+	// Identification twin.
+	twin, err := capgpu.NewServer(capgpu.DefaultTestbed(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capgpu.AttachStandardWorkloads(twin, 101); err != nil {
+		t.Fatal(err)
+	}
+	model, err := capgpu.Identify(twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.R2 < 0.9 {
+		t.Fatalf("identification R² = %g", model.R2)
+	}
+
+	srv, err := capgpu.NewServer(capgpu.DefaultTestbed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capgpu.AttachStandardWorkloads(srv, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := capgpu.New(model, srv, nil, capgpu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := capgpu.NewHarness(srv, ctrl, capgpu.FixedSetpoint(900))
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := h.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := capgpu.Summarize(capgpu.PowerSeries(records), 900, 40)
+	if math.Abs(sum.Mean-900) > 12 {
+		t.Fatalf("steady-state mean %g, want ~900", sum.Mean)
+	}
+	if sum.Settling < 0 {
+		t.Fatal("controller never settled")
+	}
+}
+
+func TestBaselineConstructorsViaFacade(t *testing.T) {
+	twin, err := capgpu.NewServer(capgpu.DefaultTestbed(102))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capgpu.AttachStandardWorkloads(twin, 102); err != nil {
+		t.Fatal(err)
+	}
+	model, err := capgpu.Identify(twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := capgpu.NewServer(capgpu.DefaultTestbed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capgpu.AttachStandardWorkloads(srv, 2); err != nil {
+		t.Fatal(err)
+	}
+	var ctrls []capgpu.PowerController
+	if c, err := capgpu.NewFixedStep(srv, 1, 20); err == nil {
+		ctrls = append(ctrls, c)
+	} else {
+		t.Fatal(err)
+	}
+	if c, err := capgpu.NewGPUOnly(model, srv, 0.45); err == nil {
+		ctrls = append(ctrls, c)
+	} else {
+		t.Fatal(err)
+	}
+	if c, err := capgpu.NewCPUOnly(model, srv, 0.45); err == nil {
+		ctrls = append(ctrls, c)
+	} else {
+		t.Fatal(err)
+	}
+	if c, err := capgpu.NewCPUPlusGPU(model, srv, 0.6, 250, 0.45); err == nil {
+		ctrls = append(ctrls, c)
+	} else {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, c := range ctrls {
+		names[c.Name()] = true
+	}
+	for _, want := range []string{"Safe Fixed-Step", "GPU-Only", "CPU-Only", "CPU+GPU (60% GPU)"} {
+		if !names[want] {
+			t.Fatalf("missing controller %q in %v", want, names)
+		}
+	}
+}
+
+func TestModelZooAndLatencyFacade(t *testing.T) {
+	zoo := capgpu.ModelZoo()
+	prof, ok := zoo["resnet50"]
+	if !ok {
+		t.Fatal("resnet50 missing from zoo")
+	}
+	var freqs, lats []float64
+	for f := 435.0; f <= 1350; f += 45 {
+		freqs = append(freqs, f)
+		lats = append(lats, prof.TrueBatchLatency(f, 1350))
+	}
+	lm, err := capgpu.FitLatencyModel(freqs, lats, 1350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Gamma < 0.8 || lm.Gamma > 1.3 {
+		t.Fatalf("fitted gamma %g implausible", lm.Gamma)
+	}
+}
+
+func TestAttachStandardWorkloadsValidation(t *testing.T) {
+	cfg := capgpu.MotivationTestbed(3) // single GPU
+	srv, err := capgpu.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capgpu.AttachStandardWorkloads(srv, 3); err == nil {
+		t.Fatal("expected error for single-GPU server")
+	}
+}
+
+func TestSLOEnforcementViaFacade(t *testing.T) {
+	twin, err := capgpu.NewServer(capgpu.DefaultTestbed(103))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capgpu.AttachStandardWorkloads(twin, 103); err != nil {
+		t.Fatal(err)
+	}
+	model, err := capgpu.Identify(twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := capgpu.NewServer(capgpu.DefaultTestbed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capgpu.AttachStandardWorkloads(srv, 3); err != nil {
+		t.Fatal(err)
+	}
+	zoo := capgpu.ModelZoo()
+	lms := []*capgpu.LatencyModel{
+		{EMin: zoo["resnet50"].EMinBatch, Gamma: 0.91, FMax: 1350},
+		{EMin: zoo["swin_t"].EMinBatch, Gamma: 0.91, FMax: 1350},
+		{EMin: zoo["vgg16"].EMinBatch, Gamma: 0.91, FMax: 1350},
+	}
+	ctrl, err := capgpu.New(model, srv, lms, capgpu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := capgpu.NewHarness(srv, ctrl, capgpu.FixedSetpoint(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slos := []float64{lms[0].EMin * 1.4, lms[1].EMin * 3, lms[2].EMin * 3}
+	h.SLOs = func(int) []float64 { return slos }
+	records, err := h.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := 0
+	for _, r := range records[15:] {
+		for _, m := range r.SLOMiss {
+			if m {
+				misses++
+			}
+		}
+	}
+	if misses > 5 {
+		t.Fatalf("too many SLO misses in steady state: %d", misses)
+	}
+}
+
+func TestClusterFacade(t *testing.T) {
+	build := func(seed int64) (*capgpu.Server, *capgpu.PowerModel) {
+		srv, err := capgpu.NewServer(capgpu.DefaultTestbed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := capgpu.AttachStandardWorkloads(srv, seed); err != nil {
+			t.Fatal(err)
+		}
+		twin, err := capgpu.NewServer(capgpu.DefaultTestbed(seed + 500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := capgpu.AttachStandardWorkloads(twin, seed+500); err != nil {
+			t.Fatal(err)
+		}
+		model, err := capgpu.Identify(twin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, model
+	}
+	var nodes []*capgpu.ClusterNode
+	for i := int64(0); i < 2; i++ {
+		srv, model := build(40 + i)
+		ctrl, err := capgpu.New(model, srv, nil, capgpu.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := capgpu.NewClusterNode(fmt.Sprintf("n%d", i), srv, ctrl, int(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	coord, err := capgpu.NewCoordinator(nodes, capgpu.DemandProportionalPolicy{}, func(int) float64 { return 1900 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if len(coord.TotalPowerSeries()) != 20 {
+		t.Fatal("coordinator did not run")
+	}
+}
+
+func TestMultiLayerFacade(t *testing.T) {
+	srv, err := capgpu.NewServer(capgpu.DefaultTestbed(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capgpu.AttachStandardWorkloads(srv, 60); err != nil {
+		t.Fatal(err)
+	}
+	twin, err := capgpu.NewServer(capgpu.DefaultTestbed(560))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capgpu.AttachStandardWorkloads(twin, 560); err != nil {
+		t.Fatal(err)
+	}
+	model, err := capgpu.Identify(twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := capgpu.New(model, srv, nil, capgpu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := capgpu.NewMultiLayer(inner, srv, model.Gains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Name() != "CapGPU + mem-throttle" {
+		t.Fatalf("name = %q", ml.Name())
+	}
+}
+
+func TestOnlineEstimatorFacade(t *testing.T) {
+	est, err := capgpu.NewOnlineEstimator(2, nil, 0.99, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Update([]float64{1.5, 800}, 700); err != nil {
+		t.Fatal(err)
+	}
+	if est.Count() != 1 {
+		t.Fatalf("count = %d", est.Count())
+	}
+}
+
+func TestHierarchyFacade(t *testing.T) {
+	build := func(seed int64) *capgpu.ClusterNode {
+		srv, err := capgpu.NewServer(capgpu.DefaultTestbed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := capgpu.AttachStandardWorkloads(srv, seed); err != nil {
+			t.Fatal(err)
+		}
+		twin, err := capgpu.NewServer(capgpu.DefaultTestbed(seed + 700))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := capgpu.AttachStandardWorkloads(twin, seed+700); err != nil {
+			t.Fatal(err)
+		}
+		model, err := capgpu.Identify(twin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl, err := capgpu.New(model, srv, nil, capgpu.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := capgpu.NewClusterNode(fmt.Sprintf("n%d", seed), srv, ctrl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	coord, err := capgpu.NewCoordinator(
+		[]*capgpu.ClusterNode{build(70), build(71)},
+		capgpu.UniformPolicy{}, func(int) float64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rack, err := capgpu.NewRack("r0", coord, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := capgpu.NewHierarchy([]*capgpu.Rack{rack}, capgpu.DemandProportionalPolicy{},
+		func(int) float64 { return 1900 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Run(12); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.TotalPowerSeries()) != 12 {
+		t.Fatal("hierarchy did not run")
+	}
+	if rack.Assigned() <= 0 {
+		t.Fatal("rack received no budget")
+	}
+}

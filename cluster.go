@@ -1,0 +1,82 @@
+package capgpu
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sysid"
+)
+
+// Extension types: rack-level coordination (the paper's oversubscription
+// context) and the §4.4 multi-layer future-work controller.
+type (
+	// ClusterNode is one coordinator-managed server.
+	ClusterNode = cluster.Node
+	// ClusterPolicy decides the per-server budget split.
+	ClusterPolicy = cluster.Policy
+	// ClusterObservation is the per-node state policies allocate on.
+	ClusterObservation = cluster.Observation
+	// Coordinator divides a rack budget across servers and drives their
+	// control loops.
+	Coordinator = cluster.Coordinator
+	// UniformPolicy splits the rack budget equally.
+	UniformPolicy = cluster.Uniform
+	// DemandProportionalPolicy splits by measured demand above floors.
+	DemandProportionalPolicy = cluster.DemandProportional
+	// PriorityPolicy fills servers in strict priority order.
+	PriorityPolicy = cluster.Priority
+	// MultiLayerController adds memory throttling for caps unreachable
+	// by frequency scaling alone (§4.4 future work).
+	MultiLayerController = core.MultiLayer
+	// OnlineEstimator is the recursive least-squares model adapter.
+	OnlineEstimator = sysid.RLS
+	// BatchAdapter adds the dynamic-batching knob (coordinated batching
+	// + DVFS) for SLOs unreachable by clock scaling at the configured
+	// batch size.
+	BatchAdapter = core.BatchAdapter
+	// Rack groups coordinator-managed servers inside a facility
+	// hierarchy; Hierarchy is the SHIP-style two-level controller.
+	Rack = cluster.Rack
+	// Hierarchy divides a facility budget across racks, each rack across
+	// its servers.
+	Hierarchy = cluster.Hierarchy
+)
+
+// NewClusterNode wires a server and its local controller into a
+// coordinator-managed node.
+func NewClusterNode(name string, s *Server, ctrl PowerController, priority int) (*ClusterNode, error) {
+	return cluster.NewNode(name, s, ctrl, priority)
+}
+
+// NewCoordinator assembles a rack-level power coordinator.
+func NewCoordinator(nodes []*ClusterNode, policy ClusterPolicy, budget func(period int) float64) (*Coordinator, error) {
+	return cluster.NewCoordinator(nodes, policy, budget)
+}
+
+// NewMultiLayer wraps a controller with the memory-throttle layer.
+func NewMultiLayer(inner PowerController, s *Server, gains []float64) (*MultiLayerController, error) {
+	return core.NewMultiLayer(inner, s, gains)
+}
+
+// NewRack wraps a coordinator as one rack of a facility hierarchy.
+func NewRack(name string, coord *Coordinator, priority int) (*Rack, error) {
+	return cluster.NewRack(name, coord, priority)
+}
+
+// NewHierarchy assembles the two-level facility controller.
+func NewHierarchy(racks []*Rack, policy ClusterPolicy, budget func(period int) float64) (*Hierarchy, error) {
+	return cluster.NewHierarchy(racks, policy, budget)
+}
+
+// NewBatchAdapter wraps a controller with dynamic batch-size adaptation;
+// models must be the same latency-model slice handed to the inner
+// controller.
+func NewBatchAdapter(inner PowerController, s *Server, models []*LatencyModel, profiles []ModelProfile) (*BatchAdapter, error) {
+	return core.NewBatchAdapter(inner, s, models, profiles)
+}
+
+// NewOnlineEstimator builds a recursive least-squares power-model
+// estimator (see OnlineEstimator); CapGPU uses one internally when
+// Options.Adaptive is set.
+func NewOnlineEstimator(nKnobs int, initial *PowerModel, lambda, initCov float64) (*OnlineEstimator, error) {
+	return sysid.NewRLS(nKnobs, initial, lambda, initCov)
+}

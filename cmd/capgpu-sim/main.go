@@ -1,0 +1,154 @@
+// Command capgpu-sim runs one power-capping session on the simulated
+// GPU-server testbed with a selectable controller and renders the power
+// trace as an ASCII chart plus a summary table.
+//
+// Usage:
+//
+//	capgpu-sim [flags]
+//
+//	-controller string   one of: capgpu, capgpu-slsqp, capgpu-uniform,
+//	                     gpu-only, cpu-only, cpu+gpu-50, cpu+gpu-60,
+//	                     fixed-step-1, fixed-step-5, safe-fixed-step-1,
+//	                     safe-fixed-step-3, safe-fixed-step-5 (default capgpu)
+//	-setpoint float      power cap in Watts (default 900)
+//	-periods int         control periods to run (default 100)
+//	-seed int            simulation seed (default 1)
+//	-csv string          optional path to write the per-period CSV trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	controller := flag.String("controller", "capgpu", "controller name ("+strings.Join(experiments.ControllerNames(), ", ")+")")
+	setpoint := flag.Float64("setpoint", 900, "power cap in Watts")
+	periods := flag.Int("periods", 100, "control periods (T = 4 s each)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	csvPath := flag.String("csv", "", "write per-period CSV trace to this path")
+	sloMode := flag.Bool("slo", false, "run the §6.4 SLO-adaptation scenario and chart per-GPU latency vs SLO")
+	flag.Parse()
+
+	if *sloMode {
+		runSLO(*controller, *seed, *periods)
+		return
+	}
+
+	res, err := experiments.RunSession(*controller, *seed, *periods,
+		experiments.FixedSetpoint(*setpoint), nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
+		os.Exit(1)
+	}
+
+	power := res.PowerSeries()
+	fmt.Print(trace.Chart(
+		[]trace.Series{{Name: res.Controller, Values: power}},
+		72, 16, *setpoint,
+		fmt.Sprintf("Server power under %s (set point %.0f W, %d periods)", res.Controller, *setpoint, *periods)))
+	fmt.Println()
+
+	s := res.Summary
+	settling := "never"
+	if s.Settling >= 0 {
+		settling = fmt.Sprintf("%d periods (%d s)", s.Settling, 4*s.Settling)
+	}
+	fmt.Print(trace.Table(
+		[]string{"metric", "value"},
+		[][]string{
+			{"steady-state mean", fmt.Sprintf("%.1f W (error %+.1f W)", s.Mean, s.Mean-*setpoint)},
+			{"steady-state std", fmt.Sprintf("%.2f W", s.Std)},
+			{"RMSE vs cap", fmt.Sprintf("%.2f W", s.RMSE)},
+			{"max period power", fmt.Sprintf("%.1f W", s.MaxW)},
+			{"cap violations (>1%)", fmt.Sprintf("%d / %d periods", s.Violations, *periods)},
+			{"settling time", settling},
+		}))
+
+	// Application performance over the steady window.
+	from := len(res.Records) * 2 / 10
+	var gpuT [3]float64
+	var cpuT float64
+	n := 0.0
+	for _, r := range res.Records[from:] {
+		for i := 0; i < len(r.GPUThroughput) && i < 3; i++ {
+			gpuT[i] += r.GPUThroughput[i]
+		}
+		cpuT += r.CPUThroughput
+		n++
+	}
+	fmt.Println()
+	fmt.Printf("steady-state throughput: GPU0 %.1f img/s, GPU1 %.1f img/s, GPU2 %.1f img/s, CPU %.1f subsets/s\n",
+		gpuT[0]/n, gpuT[1]/n, gpuT[2]/n, cpuT/n)
+
+	if *csvPath != "" {
+		var set trace.Set
+		set.Add("power_w", power)
+		sp := make([]float64, len(power))
+		cpu := make([]float64, len(power))
+		for i, r := range res.Records {
+			sp[i] = r.SetpointW
+			cpu[i] = r.CPUFreqGHz
+		}
+		set.Add("setpoint_w", sp)
+		set.Add("cpu_ghz", cpu)
+		for g := 0; g < len(res.Records[0].GPUFreqMHz); g++ {
+			col := make([]float64, len(power))
+			for i, r := range res.Records {
+				col[i] = r.GPUFreqMHz[g]
+			}
+			set.Add(fmt.Sprintf("gpu%d_mhz", g), col)
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := set.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("trace written to", *csvPath)
+	}
+}
+
+// runSLO reproduces the Fig. 8/9 view for one controller: per-GPU batch
+// latency against the (changing) SLO, plus deadline miss rates.
+func runSLO(controller string, seed int64, periods int) {
+	if periods > 60 || periods <= 0 {
+		periods = 60
+	}
+	res, err := experiments.Fig8Fig9SLOAdaptation(seed, periods)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
+		os.Exit(1)
+	}
+	run, ok := res.Runs[controller]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "capgpu-sim: -slo supports %v\n", res.Order)
+		os.Exit(1)
+	}
+	ng := len(run.Records[0].GPULatency)
+	for g := 0; g < ng; g++ {
+		lat := make([]float64, len(run.Records))
+		slo := make([]float64, len(run.Records))
+		for i, r := range run.Records {
+			lat[i] = r.GPULatency[g] * 1000 // ms
+			slo[i] = r.SLOs[g] * 1000
+		}
+		fmt.Print(trace.Chart([]trace.Series{
+			{Name: "latency (ms)", Values: lat},
+			{Name: "SLO (ms)", Values: slo},
+		}, 72, 10, math.NaN(),
+			fmt.Sprintf("GPU %d — %s (SLOs change at period %d)", g, run.Controller, res.ChangePeriod)))
+		fmt.Printf("miss rate: %.0f%% overall, %.0f%% after the change\n\n",
+			100*run.MissRate[g], 100*run.PostChangeMissRate[g])
+	}
+}

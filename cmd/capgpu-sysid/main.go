@@ -1,0 +1,110 @@
+// Command capgpu-sysid runs the paper's §4.2 system-identification
+// procedure on the simulated testbed and prints the fitted linear power
+// model (Fig. 2a) and the frequency-latency law fit (Fig. 2b).
+//
+// Usage:
+//
+//	capgpu-sysid [-seed N] [-workload name] [-levels N] [-dwell N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/sysid"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	wl := flag.String("workload", "swin_t", "workload for the latency fit (resnet50, swin_t, vgg16, googlenet)")
+	levels := flag.Int("levels", 8, "excitation levels per knob")
+	dwell := flag.Int("dwell", 4, "seconds to dwell per level")
+	flag.Parse()
+
+	// Full 4-knob identification on the evaluation testbed.
+	s, err := sim.NewServer(sim.DefaultTestbed(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	zoo := workload.Zoo()
+	names := []string{"resnet50", "swin_t", "vgg16"}
+	rates := []float64{250, 100, 130}
+	for i := 0; i < 3; i++ {
+		p, err := workload.NewPipeline(workload.PipelineConfig{
+			Model: zoo[names[i]], Workers: 2, PreLatencyBase: 0.005,
+			PreLatencyExp: 0.4, ArrivalRateMax: rates[i], ArrivalExp: 0.5,
+			QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: *seed + int64(i),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.AttachPipeline(i, p); err != nil {
+			fatal(err)
+		}
+	}
+	w, err := workload.NewCPUWorkload(workload.CPUWorkloadConfig{RateAtMax: 40, FcMax: 2.4, Seed: *seed + 9})
+	if err != nil {
+		fatal(err)
+	}
+	s.AttachCPUWorkload(w)
+
+	model, records, err := sysid.Identify(s, sysid.ExciteConfig{
+		LevelsPerKnob: *levels, DwellSeconds: *dwell,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("System identification (%d knobs, %d observations)\n\n", len(model.Gains), model.N)
+	rows := [][]string{
+		{"CPU", fmt.Sprintf("%.2f W/GHz", model.Gains[0])},
+	}
+	for i := 1; i < len(model.Gains); i++ {
+		rows = append(rows, []string{fmt.Sprintf("GPU %d", i-1), fmt.Sprintf("%.4f W/MHz", model.Gains[i])})
+	}
+	rows = append(rows,
+		[]string{"offset C", fmt.Sprintf("%.1f W", model.Offset)},
+		[]string{"R^2", fmt.Sprintf("%.4f (paper: 0.96)", model.R2)},
+	)
+	fmt.Print(trace.Table([]string{"coefficient", "value"}, rows))
+
+	// Measured-vs-predicted chart across the excitation schedule.
+	meas := make([]float64, len(records))
+	pred := make([]float64, len(records))
+	for i, r := range records {
+		meas[i] = r.PowerW
+		pred[i], _ = model.Predict(r.Freqs)
+	}
+	fmt.Println()
+	fmt.Print(trace.Chart([]trace.Series{
+		{Name: "measured", Values: meas},
+		{Name: "predicted", Values: pred},
+	}, 72, 14, nanNaN(), "Fig. 2a — measured vs predicted power across the excitation schedule"))
+
+	// Fig. 2b latency law.
+	f2b, err := experiments.Fig2bLatencyModel(*wl, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nLatency law for %s: e = %.4f * (1350/f)^0.91, R^2 = %.4f (paper: ~0.91)\n",
+		f2b.Workload, f2b.Model.EMin, f2b.Model.R2)
+	fmt.Printf("Free fit: gamma = %.3f, R^2 = %.4f\n", f2b.FreeFit.Gamma, f2b.FreeFit.R2)
+	fmt.Print(trace.Chart([]trace.Series{
+		{Name: "measured", Values: f2b.Measured},
+		{Name: "gamma-law", Values: f2b.Predicted},
+	}, 72, 12, nanNaN(), "Fig. 2b — measured vs predicted batch latency (435 -> 1350 MHz)"))
+}
+
+func nanNaN() float64 {
+	var z float64
+	return z / z // NaN without importing math
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "capgpu-sysid:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+package capgpu_test
+
+import (
+	"fmt"
+
+	capgpu "repro"
+)
+
+// Example demonstrates the full CapGPU flow: build the simulated
+// testbed, identify the power model, and cap the server at 900 W.
+func Example() {
+	// Identification twin (identification perturbs frequencies).
+	twin, err := capgpu.NewServer(capgpu.DefaultTestbed(100))
+	if err != nil {
+		panic(err)
+	}
+	if err := capgpu.AttachStandardWorkloads(twin, 100); err != nil {
+		panic(err)
+	}
+	model, err := capgpu.Identify(twin)
+	if err != nil {
+		panic(err)
+	}
+
+	srv, err := capgpu.NewServer(capgpu.DefaultTestbed(1))
+	if err != nil {
+		panic(err)
+	}
+	if err := capgpu.AttachStandardWorkloads(srv, 1); err != nil {
+		panic(err)
+	}
+	ctrl, err := capgpu.New(model, srv, nil, capgpu.Options{})
+	if err != nil {
+		panic(err)
+	}
+	h, err := capgpu.NewHarness(srv, ctrl, capgpu.FixedSetpoint(900))
+	if err != nil {
+		panic(err)
+	}
+	records, err := h.Run(60)
+	if err != nil {
+		panic(err)
+	}
+	sum := capgpu.Summarize(capgpu.PowerSeries(records), 900, 48)
+	fmt.Printf("tracked the cap within 10 W: %v\n", sum.RMSE < 10)
+	// Output: tracked the cap within 10 W: true
+}
+
+// ExampleNewFixedStep shows running a baseline controller through the
+// identical harness.
+func ExampleNewFixedStep() {
+	srv, err := capgpu.NewServer(capgpu.DefaultTestbed(2))
+	if err != nil {
+		panic(err)
+	}
+	if err := capgpu.AttachStandardWorkloads(srv, 2); err != nil {
+		panic(err)
+	}
+	ctrl, err := capgpu.NewFixedStep(srv, 1, 25) // Safe Fixed-Step
+	if err != nil {
+		panic(err)
+	}
+	h, err := capgpu.NewHarness(srv, ctrl, capgpu.FixedSetpoint(900))
+	if err != nil {
+		panic(err)
+	}
+	records, err := h.Run(100)
+	if err != nil {
+		panic(err)
+	}
+	sum := capgpu.Summarize(capgpu.PowerSeries(records), 900, 80)
+	fmt.Printf("Safe Fixed-Step sits below the cap: %v\n", sum.Mean < 900)
+	// Output: Safe Fixed-Step sits below the cap: true
+}
+
+// ExampleModelZoo shows the latency law behind the SLO constraints.
+func ExampleModelZoo() {
+	prof := capgpu.ModelZoo()["resnet50"]
+	at := func(mhz float64) float64 { return prof.ModelBatchLatency(mhz, 1350) }
+	fmt.Printf("batch latency grows as the clock drops: %v\n", at(675) > at(1350))
+	// Output: batch latency grows as the clock drops: true
+}

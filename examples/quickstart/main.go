@@ -1,0 +1,76 @@
+// Quickstart: cap a simulated 3-GPU inference server at 900 W with the
+// CapGPU controller, end to end — build the testbed, attach the paper's
+// workloads, run system identification, then close the control loop.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	capgpu "repro"
+)
+
+func main() {
+	// 1. Two identical servers: one to identify on (identification
+	//    perturbs frequencies), one to control.
+	twin, err := capgpu.NewServer(capgpu.DefaultTestbed(100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := capgpu.AttachStandardWorkloads(twin, 100); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := capgpu.NewServer(capgpu.DefaultTestbed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := capgpu.AttachStandardWorkloads(srv, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. System identification (§4.2): fit p = A·F + C by exciting one
+	//    knob at a time.
+	model, err := capgpu.Identify(twin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("identified power model (R² = %.3f):\n", model.R2)
+	fmt.Printf("  CPU   %6.1f W/GHz\n", model.Gains[0])
+	for i := 1; i < len(model.Gains); i++ {
+		fmt.Printf("  GPU %d %6.3f W/MHz\n", i-1, model.Gains[i])
+	}
+	fmt.Printf("  C     %6.1f W\n\n", model.Offset)
+
+	// 3. Build the CapGPU controller and the control loop (ACPI-style
+	//    meter, delta-sigma frequency modulators, T = 4 s periods).
+	ctrl, err := capgpu.New(model, srv, nil, capgpu.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness, err := capgpu.NewHarness(srv, ctrl, capgpu.FixedSetpoint(900))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Run 100 control periods and report.
+	records, err := harness.Run(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	summary := capgpu.Summarize(capgpu.PowerSeries(records), 900, 80)
+	fmt.Printf("after %d periods at a 900 W cap:\n", len(records))
+	fmt.Printf("  steady-state power  %.1f W (±%.1f W)\n", summary.Mean, summary.Std)
+	fmt.Printf("  settling time       %d periods (%d s)\n", summary.Settling, 4*summary.Settling)
+	fmt.Printf("  cap violations      %d\n\n", summary.Violations)
+
+	last := records[len(records)-1]
+	fmt.Println("final operating point:")
+	fmt.Printf("  CPU  %.1f GHz\n", last.CPUFreqGHz)
+	for i, f := range last.GPUFreqMHz {
+		fmt.Printf("  GPU%d %.0f MHz  (%.0f img/s, %.0f ms/batch)\n",
+			i, f, last.GPUThroughput[i], 1000*last.GPULatency[i])
+	}
+	fmt.Printf("  CPU workload: %.1f feature subsets/s\n", last.CPUThroughput)
+}

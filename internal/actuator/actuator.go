@@ -1,0 +1,164 @@
+// Package actuator implements the frequency modulators of §5: the
+// controller emits fractional (floating-point) frequency commands, but
+// cpupower and nvidia-smi accept only discrete levels, so each device's
+// modulator resolves the command into a sequence of discrete steps whose
+// time average converges to the target — a first-order delta-sigma
+// modulator, exactly as the paper describes ("by toggling between the
+// values 2, 2, 2, and 3, the time-averaged frequency converges to the
+// desired value").
+package actuator
+
+import (
+	"fmt"
+	"math"
+)
+
+// DeltaSigma is a first-order delta-sigma modulator over a discrete
+// frequency grid {min, min+step, ..., max}.
+type DeltaSigma struct {
+	min, max, step float64
+	residual       float64 // accumulated quantization error
+	enabled        bool
+}
+
+// NewDeltaSigma builds a modulator for the given grid. If step is 0 the
+// grid is continuous and the modulator passes values through.
+func NewDeltaSigma(min, max, step float64) (*DeltaSigma, error) {
+	if min >= max {
+		return nil, fmt.Errorf("actuator: invalid range [%g, %g]", min, max)
+	}
+	if step < 0 {
+		return nil, fmt.Errorf("actuator: negative step %g", step)
+	}
+	if step > max-min {
+		return nil, fmt.Errorf("actuator: step %g exceeds range width %g", step, max-min)
+	}
+	return &DeltaSigma{min: min, max: max, step: step, enabled: true}, nil
+}
+
+// SetEnabled toggles delta-sigma modulation. When disabled the modulator
+// degenerates to plain rounding onto the grid (the A2 ablation).
+func (d *DeltaSigma) SetEnabled(on bool) {
+	d.enabled = on
+	if !on {
+		d.residual = 0
+	}
+}
+
+// Enabled reports whether modulation is active.
+func (d *DeltaSigma) Enabled() bool { return d.enabled }
+
+// Reset clears the accumulated quantization error.
+func (d *DeltaSigma) Reset() { d.residual = 0 }
+
+// Next resolves one period's command: given a fractional target, it
+// returns the discrete level to apply this period. Over successive
+// periods with a constant target, the mean of the returned levels
+// converges to the target (clamped to the grid's range).
+func (d *DeltaSigma) Next(target float64) float64 {
+	t := math.Min(math.Max(target, d.min), d.max)
+	if d.step == 0 {
+		return t
+	}
+	if !d.enabled {
+		return d.quantize(t)
+	}
+	// First-order delta-sigma: quantize (target + error), carry the
+	// new error forward.
+	want := t + d.residual
+	level := d.quantize(want)
+	d.residual = want - level
+	// Keep the residual bounded (clamping at the rails stops error
+	// accumulation from winding up).
+	if d.residual > d.step {
+		d.residual = d.step
+	} else if d.residual < -d.step {
+		d.residual = -d.step
+	}
+	return level
+}
+
+// quantize rounds onto the grid and clamps.
+func (d *DeltaSigma) quantize(v float64) float64 {
+	n := math.Round((v - d.min) / d.step)
+	level := d.min + n*d.step
+	if level < d.min {
+		level = d.min
+	}
+	if level > d.max {
+		level = d.max
+	}
+	return level
+}
+
+// Levels returns the discrete grid (useful for the Fixed-Step baseline,
+// which moves exactly one level at a time).
+func (d *DeltaSigma) Levels() []float64 {
+	if d.step == 0 {
+		return nil
+	}
+	n := int(math.Floor((d.max-d.min)/d.step + 1e-9))
+	out := make([]float64, 0, n+1)
+	for i := 0; i <= n; i++ {
+		out = append(out, d.min+float64(i)*d.step)
+	}
+	return out
+}
+
+// Bank is the set of modulators for one server: index 0 is the CPU, the
+// rest are the GPUs, matching the frequency-vector layout used by the
+// controllers (F = [f_c, f_g1, ..., f_gNg], §4.2).
+type Bank struct {
+	mods []*DeltaSigma
+}
+
+// NewBank builds modulators from parallel min/max/step slices.
+func NewBank(min, max, step []float64) (*Bank, error) {
+	if len(min) != len(max) || len(min) != len(step) {
+		return nil, fmt.Errorf("actuator: bank slice lengths %d/%d/%d differ", len(min), len(max), len(step))
+	}
+	if len(min) == 0 {
+		return nil, fmt.Errorf("actuator: empty bank")
+	}
+	b := &Bank{mods: make([]*DeltaSigma, len(min))}
+	for i := range min {
+		m, err := NewDeltaSigma(min[i], max[i], step[i])
+		if err != nil {
+			return nil, fmt.Errorf("actuator: modulator %d: %w", i, err)
+		}
+		b.mods[i] = m
+	}
+	return b, nil
+}
+
+// Size returns the number of modulators.
+func (b *Bank) Size() int { return len(b.mods) }
+
+// Mod returns the i-th modulator.
+func (b *Bank) Mod(i int) *DeltaSigma { return b.mods[i] }
+
+// Next resolves a full command vector for one period.
+func (b *Bank) Next(targets []float64) ([]float64, error) {
+	if len(targets) != len(b.mods) {
+		return nil, fmt.Errorf("actuator: %d targets for %d modulators", len(targets), len(b.mods))
+	}
+	out := make([]float64, len(targets))
+	for i, t := range targets {
+		out[i] = b.mods[i].Next(t)
+	}
+	return out, nil
+}
+
+// SetEnabled toggles modulation for the whole bank.
+func (b *Bank) SetEnabled(on bool) {
+	for _, m := range b.mods {
+		m.SetEnabled(on)
+	}
+}
+
+// Reset clears every modulator's residual.
+func (b *Bank) Reset() {
+	for _, m := range b.mods {
+		m.Reset()
+	}
+}

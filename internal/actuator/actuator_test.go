@@ -1,0 +1,224 @@
+package actuator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeltaSigmaValidation(t *testing.T) {
+	if _, err := NewDeltaSigma(2, 2, 1); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := NewDeltaSigma(0, 1, -1); err == nil {
+		t.Fatal("expected negative-step error")
+	}
+	if _, err := NewDeltaSigma(0, 1, 5); err == nil {
+		t.Fatal("expected step-too-large error")
+	}
+}
+
+func TestPaperExampleTwoToThree(t *testing.T) {
+	// §5: approximating 2.25 on a {2, 3} grid by toggling 2,2,2,3.
+	d, err := NewDeltaSigma(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[float64]int{}
+	sum := 0.0
+	n := 400
+	for i := 0; i < n; i++ {
+		v := d.Next(2.25)
+		counts[v]++
+		sum += v
+	}
+	if len(counts) != 2 {
+		t.Fatalf("expected toggling between exactly 2 levels, got %v", counts)
+	}
+	if avg := sum / float64(n); math.Abs(avg-2.25) > 0.01 {
+		t.Fatalf("time-average %g, want 2.25", avg)
+	}
+	// Roughly 3:1 ratio of 2s to 3s.
+	if r := float64(counts[2]) / float64(counts[3]); r < 2.6 || r > 3.4 {
+		t.Fatalf("level ratio %g, want ~3", r)
+	}
+}
+
+func TestOnGridTargetIsExact(t *testing.T) {
+	d, _ := NewDeltaSigma(435, 1350, 15)
+	for i := 0; i < 50; i++ {
+		if v := d.Next(600); v != 600 {
+			t.Fatalf("on-grid target produced %g", v)
+		}
+	}
+}
+
+func TestClampingAtRails(t *testing.T) {
+	d, _ := NewDeltaSigma(1.0, 2.4, 0.1)
+	for i := 0; i < 20; i++ {
+		if v := d.Next(99); v != 2.4 {
+			t.Fatalf("above-max target produced %g", v)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if v := d.Next(-5); v != 1.0 {
+			t.Fatalf("below-min target produced %g", v)
+		}
+	}
+	// After sitting at a rail, tracking must resume promptly (no windup).
+	sum := 0.0
+	for i := 0; i < 200; i++ {
+		sum += d.Next(1.75)
+	}
+	if avg := sum / 200; math.Abs(avg-1.75) > 0.02 {
+		t.Fatalf("post-rail average %g, want 1.75", avg)
+	}
+}
+
+func TestDisabledFallsBackToRounding(t *testing.T) {
+	d, _ := NewDeltaSigma(0, 10, 1)
+	d.SetEnabled(false)
+	if d.Enabled() {
+		t.Fatal("SetEnabled(false) ignored")
+	}
+	for i := 0; i < 10; i++ {
+		if v := d.Next(4.4); v != 4 {
+			t.Fatalf("disabled modulator returned %g, want plain rounding to 4", v)
+		}
+	}
+	d.SetEnabled(true)
+	sum := 0.0
+	for i := 0; i < 300; i++ {
+		sum += d.Next(4.4)
+	}
+	if avg := sum / 300; math.Abs(avg-4.4) > 0.02 {
+		t.Fatalf("re-enabled average %g, want 4.4", avg)
+	}
+}
+
+func TestContinuousGridPassThrough(t *testing.T) {
+	d, err := NewDeltaSigma(0, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.Next(3.14159); v != 3.14159 {
+		t.Fatalf("continuous grid altered value: %g", v)
+	}
+	if d.Levels() != nil {
+		t.Fatal("continuous grid should have no levels")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	d, _ := NewDeltaSigma(1.0, 2.4, 0.1)
+	levels := d.Levels()
+	if len(levels) != 15 {
+		t.Fatalf("got %d levels, want 15", len(levels))
+	}
+	if levels[0] != 1.0 || math.Abs(levels[14]-2.4) > 1e-9 {
+		t.Fatalf("level endpoints: %g .. %g", levels[0], levels[14])
+	}
+}
+
+// Property: the running mean of the modulator output converges to any
+// in-range target within half a step after enough periods.
+func TestQuickTimeAverageConvergence(t *testing.T) {
+	f := func(numer uint8) bool {
+		target := 435 + (1350-435)*float64(numer)/255
+		d, err := NewDeltaSigma(435, 1350, 15)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		n := 600
+		for i := 0; i < n; i++ {
+			v := d.Next(target)
+			if v < 435 || v > 1350 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum/float64(n)-target) < 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: output is always a valid grid level.
+func TestQuickOutputOnGrid(t *testing.T) {
+	d, _ := NewDeltaSigma(435, 1350, 15)
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		v := d.Next(raw)
+		steps := (v - 435) / 15
+		return v >= 435 && v <= 1350 && math.Abs(steps-math.Round(steps)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBank(t *testing.T) {
+	b, err := NewBank(
+		[]float64{1.0, 435, 435},
+		[]float64{2.4, 1350, 1350},
+		[]float64{0.1, 15, 15},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != 3 {
+		t.Fatalf("size %d", b.Size())
+	}
+	out, err := b.Next([]float64{1.77, 700, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("output length %d", len(out))
+	}
+	if _, err := b.Next([]float64{1}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	b.SetEnabled(false)
+	if b.Mod(0).Enabled() {
+		t.Fatal("bank disable did not propagate")
+	}
+	b.SetEnabled(true)
+	b.Reset()
+}
+
+func TestBankValidation(t *testing.T) {
+	if _, err := NewBank([]float64{0}, []float64{1, 2}, []float64{0.1}); err == nil {
+		t.Fatal("expected slice-length error")
+	}
+	if _, err := NewBank(nil, nil, nil); err == nil {
+		t.Fatal("expected empty-bank error")
+	}
+	if _, err := NewBank([]float64{5}, []float64{1}, []float64{0.1}); err == nil {
+		t.Fatal("expected inverted-range error")
+	}
+}
+
+func TestResetClearsResidual(t *testing.T) {
+	d, _ := NewDeltaSigma(0, 10, 1)
+	seq1 := []float64{d.Next(0.5), d.Next(0.5), d.Next(0.5)}
+	d.Reset()
+	seq2 := []float64{d.Next(0.5), d.Next(0.5), d.Next(0.5)}
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("sequence differs after reset: %v vs %v", seq1, seq2)
+		}
+	}
+}
+
+func BenchmarkDeltaSigmaNext(b *testing.B) {
+	d, _ := NewDeltaSigma(435, 1350, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Next(987.6)
+	}
+}

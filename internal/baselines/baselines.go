@@ -1,0 +1,338 @@
+// Package baselines implements the four state-of-the-art power-capping
+// schemes CapGPU is evaluated against (§6.1):
+//
+//   - Fixed-Step: a model-free heuristic that nudges the busiest (or
+//     idlest) device one frequency level per period, after the power
+//     control scheme of Nabavinejad et al.; Safe Fixed-Step adds a
+//     safety margin below the cap.
+//   - GPU-Only: a proportional controller with pole placement that
+//     drives all GPUs with one shared clock, after OptimML; the CPU is
+//     pinned at its maximum frequency.
+//   - CPU-Only: the traditional server power capper (Lefurgy et al.)
+//     actuating only CPU DVFS; the GPUs are pinned at maximum.
+//   - CPU+GPU: two independent loops with a fixed split of the power
+//     budget, after PowerCoord; each loop regulates its own device
+//     group's power to its share.
+//
+// All implement core.PowerController, so the harness treats them exactly
+// like CapGPU.
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sysid"
+)
+
+// FixedStep is the §6.1 heuristic controller. StepMult scales the base
+// step sizes (the paper's "stepsize 1" is 100 MHz CPU / 90 MHz GPU,
+// "stepsize 5" is 500/450). MarginW > 0 yields Safe Fixed-Step.
+type FixedStep struct {
+	CPUStepGHz float64
+	GPUStepMHz float64
+	MarginW    float64
+
+	fminC, fmaxC float64
+	fminG, fmaxG []float64
+	rr           int // round-robin cursor for utilization ties
+}
+
+// NewFixedStep builds the controller for a server. stepMult ≥ 1 scales
+// the base 0.1 GHz / 90 MHz steps. marginW subtracts a safety margin
+// from the set point (0 for plain Fixed-Step).
+func NewFixedStep(server *sim.Server, stepMult int, marginW float64) (*FixedStep, error) {
+	if stepMult < 1 {
+		return nil, fmt.Errorf("baselines: step multiplier %d must be >= 1", stepMult)
+	}
+	if marginW < 0 {
+		return nil, fmt.Errorf("baselines: negative margin %g", marginW)
+	}
+	cfg := server.Config()
+	fs := &FixedStep{
+		CPUStepGHz: 0.1 * float64(stepMult),
+		GPUStepMHz: 90 * float64(stepMult),
+		MarginW:    marginW,
+		fminC:      cfg.CPU.FreqMinGHz,
+		fmaxC:      cfg.CPU.FreqMaxGHz,
+		fminG:      make([]float64, server.NumGPUs()),
+		fmaxG:      make([]float64, server.NumGPUs()),
+	}
+	for i, g := range cfg.GPUs {
+		fs.fminG[i] = g.FreqMinMHz
+		fs.fmaxG[i] = g.FreqMaxMHz
+	}
+	return fs, nil
+}
+
+// Name implements core.PowerController.
+func (f *FixedStep) Name() string {
+	if f.MarginW > 0 {
+		return "Safe Fixed-Step"
+	}
+	return "Fixed-Step"
+}
+
+// Decide implements the heuristic: below the (margin-adjusted) target,
+// raise the highest-utilization device one step; above it, lower the
+// lowest-utilization device one step. Devices pinned at a rail in the
+// needed direction are skipped (the paper "alternates adjustments" when
+// a device saturates); exact utilization ties rotate round-robin.
+func (f *FixedStep) Decide(obs core.Observation) core.Decision {
+	ng := len(obs.GPUFreqMHz)
+	dec := core.Decision{
+		CPUFreqGHz: obs.CPUFreqGHz,
+		GPUFreqMHz: append([]float64(nil), obs.GPUFreqMHz...),
+	}
+	target := obs.SetpointW - f.MarginW
+	raise := obs.AvgPowerW < target
+
+	// Candidate devices: 0 = CPU, 1.. = GPUs. Skip devices already at
+	// the rail in the direction of travel.
+	type cand struct {
+		idx  int
+		util float64
+	}
+	var cands []cand
+	if raise {
+		if obs.CPUFreqGHz < f.fmaxC-1e-9 {
+			cands = append(cands, cand{0, obs.CPUUtil})
+		}
+		for i := 0; i < ng; i++ {
+			if obs.GPUFreqMHz[i] < f.fmaxG[i]-1e-9 {
+				cands = append(cands, cand{1 + i, obs.GPUUtil[i]})
+			}
+		}
+	} else {
+		if obs.CPUFreqGHz > f.fminC+1e-9 {
+			cands = append(cands, cand{0, obs.CPUUtil})
+		}
+		for i := 0; i < ng; i++ {
+			if obs.GPUFreqMHz[i] > f.fminG[i]+1e-9 {
+				cands = append(cands, cand{1 + i, obs.GPUUtil[i]})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return dec
+	}
+	// Pick extreme utilization; break exact ties round-robin.
+	best := cands[0]
+	tied := 1
+	for _, c := range cands[1:] {
+		better := false
+		if raise {
+			better = c.util > best.util
+		} else {
+			better = c.util < best.util
+		}
+		if better {
+			best = c
+			tied = 1
+		} else if c.util == best.util {
+			tied++
+		}
+	}
+	if tied == len(cands) && tied > 1 {
+		best = cands[f.rr%len(cands)]
+		f.rr++
+	}
+
+	dir := -1.0
+	if raise {
+		dir = 1.0
+	}
+	if best.idx == 0 {
+		dec.CPUFreqGHz = clamp(obs.CPUFreqGHz+dir*f.CPUStepGHz, f.fminC, f.fmaxC)
+	} else {
+		g := best.idx - 1
+		dec.GPUFreqMHz[g] = clamp(obs.GPUFreqMHz[g]+dir*f.GPUStepMHz, f.fminG[g], f.fmaxG[g])
+	}
+	return dec
+}
+
+// GPUOnly is the OptimML-style proportional controller: one shared GPU
+// clock actuates total power; the CPU stays at maximum.
+type GPUOnly struct {
+	prop         *control.Proportional
+	fcMax        float64
+	fminG, fmaxG []float64
+}
+
+// NewGPUOnly derives the controller gain by pole placement on the summed
+// GPU gains of the identified model (all GPUs share one frequency, so
+// the effective plant gain is ΣB_i).
+func NewGPUOnly(model *sysid.Model, server *sim.Server, pole float64) (*GPUOnly, error) {
+	ng := server.NumGPUs()
+	if len(model.Gains) != 1+ng {
+		return nil, fmt.Errorf("baselines: model has %d gains for %d knobs", len(model.Gains), 1+ng)
+	}
+	sum := 0.0
+	for _, g := range model.Gains[1:] {
+		sum += g
+	}
+	prop, err := control.NewProportional(sum, pole)
+	if err != nil {
+		return nil, err
+	}
+	cfg := server.Config()
+	g := &GPUOnly{prop: prop, fcMax: cfg.CPU.FreqMaxGHz,
+		fminG: make([]float64, ng), fmaxG: make([]float64, ng)}
+	for i, spec := range cfg.GPUs {
+		g.fminG[i] = spec.FreqMinMHz
+		g.fmaxG[i] = spec.FreqMaxMHz
+	}
+	return g, nil
+}
+
+// Name implements core.PowerController.
+func (g *GPUOnly) Name() string { return "GPU-Only" }
+
+// Decide implements core.PowerController.
+func (g *GPUOnly) Decide(obs core.Observation) core.Decision {
+	delta := g.prop.Delta(obs.SetpointW, obs.AvgPowerW)
+	dec := core.Decision{CPUFreqGHz: g.fcMax, GPUFreqMHz: make([]float64, len(obs.GPUFreqMHz))}
+	// Single frequency applied to all GPUs (§6.1): track from GPU 0.
+	shared := obs.GPUFreqMHz[0] + delta
+	for i := range dec.GPUFreqMHz {
+		dec.GPUFreqMHz[i] = clamp(shared, g.fminG[i], g.fmaxG[i])
+	}
+	return dec
+}
+
+// CPUOnly is the traditional server power capper: CPU DVFS only, GPUs
+// pinned at maximum.
+type CPUOnly struct {
+	prop         *control.Proportional
+	fminC, fmaxC float64
+	fmaxG        []float64
+}
+
+// NewCPUOnly derives the gain from the model's CPU coefficient.
+func NewCPUOnly(model *sysid.Model, server *sim.Server, pole float64) (*CPUOnly, error) {
+	if len(model.Gains) != 1+server.NumGPUs() {
+		return nil, fmt.Errorf("baselines: model has %d gains for %d knobs", len(model.Gains), 1+server.NumGPUs())
+	}
+	prop, err := control.NewProportional(model.Gains[0], pole)
+	if err != nil {
+		return nil, err
+	}
+	cfg := server.Config()
+	c := &CPUOnly{prop: prop, fminC: cfg.CPU.FreqMinGHz, fmaxC: cfg.CPU.FreqMaxGHz,
+		fmaxG: make([]float64, server.NumGPUs())}
+	for i, spec := range cfg.GPUs {
+		c.fmaxG[i] = spec.FreqMaxMHz
+	}
+	return c, nil
+}
+
+// Name implements core.PowerController.
+func (c *CPUOnly) Name() string { return "CPU-Only" }
+
+// Decide implements core.PowerController.
+func (c *CPUOnly) Decide(obs core.Observation) core.Decision {
+	delta := c.prop.Delta(obs.SetpointW, obs.AvgPowerW)
+	dec := core.Decision{
+		CPUFreqGHz: clamp(obs.CPUFreqGHz+delta, c.fminC, c.fmaxC),
+		GPUFreqMHz: append([]float64(nil), c.fmaxG...),
+	}
+	return dec
+}
+
+// CPUPlusGPU is the PowerCoord-style split controller: the server budget
+// is divided by a fixed ratio between the GPU group and the CPU, and two
+// independent proportional loops regulate each group's own measured
+// power to its share. The structural weakness the paper demonstrates —
+// no coordination, no accounting for the non-actuated base power, and a
+// CPU share that may be physically unreachable — is reproduced
+// deliberately.
+type CPUPlusGPU struct {
+	GPUShare float64 // fraction of the budget assigned to the GPUs
+	BaseW    float64 // assumed non-actuated power subtracted from the cap
+
+	cpuProp      *control.Proportional
+	gpuProp      *control.Proportional
+	fminC, fmaxC float64
+	fminG, fmaxG []float64
+}
+
+// NewCPUPlusGPU builds the split controller. gpuShare is the fraction of
+// the (base-adjusted) cap assigned to the GPU group, e.g. 0.5 or 0.6
+// (§6.2); baseW is the operator's estimate of non-actuated power.
+func NewCPUPlusGPU(model *sysid.Model, server *sim.Server, gpuShare, baseW, pole float64) (*CPUPlusGPU, error) {
+	if gpuShare <= 0 || gpuShare >= 1 {
+		return nil, fmt.Errorf("baselines: GPU share %g outside (0, 1)", gpuShare)
+	}
+	ng := server.NumGPUs()
+	if len(model.Gains) != 1+ng {
+		return nil, fmt.Errorf("baselines: model has %d gains for %d knobs", len(model.Gains), 1+ng)
+	}
+	gpuGain := 0.0
+	for _, g := range model.Gains[1:] {
+		gpuGain += g
+	}
+	cpuProp, err := control.NewProportional(model.Gains[0], pole)
+	if err != nil {
+		return nil, err
+	}
+	gpuProp, err := control.NewProportional(gpuGain, pole)
+	if err != nil {
+		return nil, err
+	}
+	cfg := server.Config()
+	c := &CPUPlusGPU{
+		GPUShare: gpuShare, BaseW: baseW,
+		cpuProp: cpuProp, gpuProp: gpuProp,
+		fminC: cfg.CPU.FreqMinGHz, fmaxC: cfg.CPU.FreqMaxGHz,
+		fminG: make([]float64, ng), fmaxG: make([]float64, ng),
+	}
+	for i, spec := range cfg.GPUs {
+		c.fminG[i] = spec.FreqMinMHz
+		c.fmaxG[i] = spec.FreqMaxMHz
+	}
+	return c, nil
+}
+
+// Name implements core.PowerController.
+func (c *CPUPlusGPU) Name() string {
+	return fmt.Sprintf("CPU+GPU (%.0f%% GPU)", c.GPUShare*100)
+}
+
+// Decide implements core.PowerController: two uncoordinated loops.
+func (c *CPUPlusGPU) Decide(obs core.Observation) core.Decision {
+	budget := obs.SetpointW - c.BaseW
+	if budget < 0 {
+		budget = 0
+	}
+	gpuTarget := c.GPUShare * budget
+	cpuTarget := (1 - c.GPUShare) * budget
+
+	gpuPower := 0.0
+	for _, p := range obs.GPUPowerW {
+		gpuPower += p
+	}
+	dGPU := c.gpuProp.Delta(gpuTarget, gpuPower)
+	dCPU := c.cpuProp.Delta(cpuTarget, obs.CPUPowerW)
+
+	dec := core.Decision{
+		CPUFreqGHz: clamp(obs.CPUFreqGHz+dCPU, c.fminC, c.fmaxC),
+		GPUFreqMHz: make([]float64, len(obs.GPUFreqMHz)),
+	}
+	shared := obs.GPUFreqMHz[0] + dGPU
+	for i := range dec.GPUFreqMHz {
+		dec.GPUFreqMHz[i] = clamp(shared, c.fminG[i], c.fmaxG[i])
+	}
+	return dec
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

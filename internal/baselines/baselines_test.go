@@ -1,0 +1,381 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sysid"
+	"repro/internal/workload"
+)
+
+func testServer(t *testing.T, seed int64) *sim.Server {
+	t.Helper()
+	s, err := sim.NewServer(sim.DefaultTestbed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoo := workload.Zoo()
+	names := []string{"resnet50", "swin_t", "vgg16"}
+	rates := []float64{250, 100, 130}
+	for i := 0; i < 3; i++ {
+		p, err := workload.NewPipeline(workload.PipelineConfig{
+			Model: zoo[names[i]], Workers: 2, PreLatencyBase: 0.005,
+			PreLatencyExp: 0.4, ArrivalRateMax: rates[i], ArrivalExp: 0.5,
+			QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: seed + int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AttachPipeline(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := workload.NewCPUWorkload(workload.CPUWorkloadConfig{RateAtMax: 40, FcMax: 2.4, Seed: seed + 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachCPUWorkload(w)
+	return s
+}
+
+func testModel(t *testing.T) (*sim.Server, *sysid.Model) {
+	t.Helper()
+	twin := testServer(t, 900)
+	model, _, err := sysid.Identify(twin, sysid.ExciteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return testServer(t, 7), model
+}
+
+func obsAt(s *sim.Server, avgPower, setpoint float64) core.Observation {
+	last := s.Last()
+	obs := core.Observation{
+		AvgPowerW:  avgPower,
+		SetpointW:  setpoint,
+		CPUFreqGHz: s.CPUFreq(),
+		GPUFreqMHz: make([]float64, s.NumGPUs()),
+		GPUUtil:    make([]float64, s.NumGPUs()),
+		CPUUtil:    last.CPUUtil,
+		CPUPowerW:  last.CPUPowerW,
+		GPUPowerW:  append([]float64(nil), last.GPUPowerW...),
+	}
+	for i := range obs.GPUFreqMHz {
+		obs.GPUFreqMHz[i] = s.GPUFreq(i)
+		if len(last.GPUUtil) == s.NumGPUs() {
+			obs.GPUUtil[i] = last.GPUUtil[i]
+		}
+	}
+	return obs
+}
+
+func TestFixedStepValidation(t *testing.T) {
+	s, _ := testModel(t)
+	if _, err := NewFixedStep(s, 0, 0); err == nil {
+		t.Fatal("expected step-mult error")
+	}
+	if _, err := NewFixedStep(s, 1, -1); err == nil {
+		t.Fatal("expected margin error")
+	}
+	fs, err := NewFixedStep(s, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Name() != "Fixed-Step" {
+		t.Fatalf("name = %q", fs.Name())
+	}
+	safe, err := NewFixedStep(s, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe.Name() != "Safe Fixed-Step" {
+		t.Fatalf("safe name = %q", safe.Name())
+	}
+}
+
+func TestFixedStepMovesOneDeviceOneStep(t *testing.T) {
+	s, _ := testModel(t)
+	fs, err := NewFixedStep(s, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tick(1)
+	obs := obsAt(s, 700, 900) // below target: raise one device
+	dec := fs.Decide(obs)
+	changed := 0
+	if dec.CPUFreqGHz != obs.CPUFreqGHz {
+		changed++
+		if math.Abs(dec.CPUFreqGHz-obs.CPUFreqGHz) > 0.1+1e-9 {
+			t.Fatalf("CPU moved more than one step: %g -> %g", obs.CPUFreqGHz, dec.CPUFreqGHz)
+		}
+	}
+	for i := range dec.GPUFreqMHz {
+		if dec.GPUFreqMHz[i] != obs.GPUFreqMHz[i] {
+			changed++
+			if math.Abs(dec.GPUFreqMHz[i]-obs.GPUFreqMHz[i]) > 90+1e-9 {
+				t.Fatalf("GPU %d moved more than one step", i)
+			}
+			if dec.GPUFreqMHz[i] < obs.GPUFreqMHz[i] {
+				t.Fatal("below target should raise, not lower")
+			}
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("exactly one device should move, got %d", changed)
+	}
+}
+
+func TestFixedStepDirectionFollowsError(t *testing.T) {
+	s, _ := testModel(t)
+	fs, err := NewFixedStep(s, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCPUFreq(1.7)
+	for i := 0; i < 3; i++ {
+		if _, err := s.SetGPUFreq(i, 900); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Tick(1)
+	// Above target: one device must go down.
+	dec := fs.Decide(obsAt(s, 1100, 900))
+	sumBefore := s.CPUFreq()*100 + s.GPUFreq(0) + s.GPUFreq(1) + s.GPUFreq(2)
+	sumAfter := dec.CPUFreqGHz*100 + dec.GPUFreqMHz[0] + dec.GPUFreqMHz[1] + dec.GPUFreqMHz[2]
+	if sumAfter >= sumBefore {
+		t.Fatal("over target: expected a downward move")
+	}
+}
+
+func TestFixedStepRespectsRails(t *testing.T) {
+	s, _ := testModel(t)
+	fs, err := NewFixedStep(s, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything at min and still over target: no move possible down.
+	s.Tick(1)
+	dec := fs.Decide(obsAt(s, 1200, 700))
+	if dec.CPUFreqGHz != s.CPUFreq() {
+		t.Fatal("CPU at min must not go lower")
+	}
+	for i := range dec.GPUFreqMHz {
+		if dec.GPUFreqMHz[i] != s.GPUFreq(i) {
+			t.Fatal("GPU at min must not go lower")
+		}
+	}
+}
+
+func TestFixedStepMarginShiftsTarget(t *testing.T) {
+	s, _ := testModel(t)
+	safe, err := NewFixedStep(s, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCPUFreq(1.7)
+	s.Tick(1)
+	// Measured 880 with set point 900: plain Fixed-Step would raise, but
+	// with a 50 W margin the effective target is 850, so it lowers.
+	dec := safe.Decide(obsAt(s, 880, 900))
+	sumBefore := s.CPUFreq()*1000 + s.GPUFreq(0) + s.GPUFreq(1) + s.GPUFreq(2)
+	sumAfter := dec.CPUFreqGHz*1000 + dec.GPUFreqMHz[0] + dec.GPUFreqMHz[1] + dec.GPUFreqMHz[2]
+	if sumAfter >= sumBefore {
+		t.Fatal("within margin: expected a downward move")
+	}
+}
+
+func TestGPUOnlyPinsCPUAndSharesClock(t *testing.T) {
+	s, model := testModel(t)
+	g, err := NewGPUOnly(model, s, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "GPU-Only" {
+		t.Fatalf("name = %q", g.Name())
+	}
+	s.Tick(1)
+	dec := g.Decide(obsAt(s, 800, 900))
+	if dec.CPUFreqGHz != s.Config().CPU.FreqMaxGHz {
+		t.Fatalf("CPU should be pinned at max, got %g", dec.CPUFreqGHz)
+	}
+	for i := 1; i < len(dec.GPUFreqMHz); i++ {
+		if dec.GPUFreqMHz[i] != dec.GPUFreqMHz[0] {
+			t.Fatalf("GPUs must share one clock: %v", dec.GPUFreqMHz)
+		}
+	}
+	// Under cap: clock must rise.
+	if dec.GPUFreqMHz[0] <= s.GPUFreq(0) {
+		t.Fatal("under cap: GPU clock should rise")
+	}
+	// Over cap (from a mid clock, so there is room to fall).
+	for i := 0; i < 3; i++ {
+		if _, err := s.SetGPUFreq(i, 900); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Tick(1)
+	dec2 := g.Decide(obsAt(s, 1000, 900))
+	if dec2.GPUFreqMHz[0] >= s.GPUFreq(0) {
+		t.Fatal("over cap: GPU clock should fall")
+	}
+}
+
+func TestGPUOnlyValidation(t *testing.T) {
+	s, _ := testModel(t)
+	bad := &sysid.Model{Gains: []float64{1}}
+	if _, err := NewGPUOnly(bad, s, 0.45); err == nil {
+		t.Fatal("expected gain-count error")
+	}
+	good := &sysid.Model{Gains: []float64{50, 0.15, 0.15, 0.15}}
+	if _, err := NewGPUOnly(good, s, 1.5); err == nil {
+		t.Fatal("expected pole error")
+	}
+}
+
+func TestCPUOnlyPinsGPUs(t *testing.T) {
+	s, model := testModel(t)
+	c, err := NewCPUOnly(model, s, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "CPU-Only" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	s.Tick(1)
+	dec := c.Decide(obsAt(s, 800, 900))
+	for i, f := range dec.GPUFreqMHz {
+		if f != s.Config().GPUs[i].FreqMaxMHz {
+			t.Fatalf("GPU %d should be pinned at max, got %g", i, f)
+		}
+	}
+	if dec.CPUFreqGHz <= s.CPUFreq() {
+		t.Fatal("under cap: CPU clock should rise")
+	}
+	bad := &sysid.Model{Gains: []float64{1}}
+	if _, err := NewCPUOnly(bad, s, 0.45); err == nil {
+		t.Fatal("expected gain-count error")
+	}
+}
+
+func TestCPUPlusGPUSplitsIndependently(t *testing.T) {
+	s, model := testModel(t)
+	c, err := NewCPUPlusGPU(model, s, 0.6, s.Config().OtherW, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "CPU+GPU (60% GPU)" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	s.SetCPUFreq(1.7)
+	for i := 0; i < 3; i++ {
+		if _, err := s.SetGPUFreq(i, 900); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Tick(1)
+	obs := obsAt(s, 900, 900)
+	// Force the GPU group far over ITS budget while the CPU is under its
+	// own: the loops must move in opposite directions (no coordination).
+	obs.GPUPowerW = []float64{300, 300, 300} // 900 W >> 0.6*(900-250)
+	obs.CPUPowerW = 50                       // << 0.4*(900-250)
+	dec := c.Decide(obs)
+	if dec.GPUFreqMHz[0] >= s.GPUFreq(0) {
+		t.Fatal("GPU group over budget: shared clock should fall")
+	}
+	if dec.CPUFreqGHz <= s.CPUFreq() {
+		t.Fatal("CPU under budget: CPU clock should rise")
+	}
+}
+
+func TestCPUPlusGPUValidation(t *testing.T) {
+	s, model := testModel(t)
+	if _, err := NewCPUPlusGPU(model, s, 0, 250, 0.45); err == nil {
+		t.Fatal("expected share error")
+	}
+	if _, err := NewCPUPlusGPU(model, s, 1, 250, 0.45); err == nil {
+		t.Fatal("expected share error")
+	}
+	bad := &sysid.Model{Gains: []float64{1}}
+	if _, err := NewCPUPlusGPU(bad, s, 0.5, 250, 0.45); err == nil {
+		t.Fatal("expected gain-count error")
+	}
+}
+
+// Closed-loop integration: each baseline behaves per its §6 description.
+func TestClosedLoopBehaviors(t *testing.T) {
+	runCtl := func(build func(s *sim.Server, m *sysid.Model) core.PowerController, periods int) []core.PeriodRecord {
+		twin := testServer(t, 900)
+		model, _, err := sysid.Identify(twin, sysid.ExciteConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := testServer(t, 7)
+		h, err := core.NewHarness(s, build(s, model), func(int) float64 { return 900 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := h.Run(periods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	mean := func(recs []core.PeriodRecord, from int) float64 {
+		sum := 0.0
+		for _, r := range recs[from:] {
+			sum += r.AvgPowerW
+		}
+		return sum / float64(len(recs)-from)
+	}
+
+	// GPU-Only converges to the cap.
+	recs := runCtl(func(s *sim.Server, m *sysid.Model) core.PowerController {
+		g, err := NewGPUOnly(m, s, 0.45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}, 60)
+	if m := mean(recs, 30); math.Abs(m-900) > 15 {
+		t.Fatalf("GPU-Only steady mean %g, want ~900", m)
+	}
+
+	// CPU-Only cannot reach 900 W with the GPUs pinned at max: its
+	// actuation range is far too small (the paper's Fig. 3 finding).
+	recs = runCtl(func(s *sim.Server, m *sysid.Model) core.PowerController {
+		c, err := NewCPUOnly(m, s, 0.45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}, 60)
+	if m := mean(recs, 30); m < 1000 {
+		t.Fatalf("CPU-Only should be stuck far above the cap, got %g", m)
+	}
+
+	// CPU+GPU with a fixed split settles away from the cap.
+	recs = runCtl(func(s *sim.Server, m *sysid.Model) core.PowerController {
+		c, err := NewCPUPlusGPU(m, s, 0.5, s.Config().OtherW, 0.45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}, 60)
+	if m := mean(recs, 30); math.Abs(m-900) < 30 {
+		t.Fatalf("CPU+GPU 50/50 should miss the cap by a margin, got %g", m)
+	}
+
+	// Safe Fixed-Step stays below the cap.
+	recs = runCtl(func(s *sim.Server, m *sysid.Model) core.PowerController {
+		f, err := NewFixedStep(s, 1, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}, 100)
+	if m := mean(recs, 50); m >= 900 {
+		t.Fatalf("Safe Fixed-Step mean %g should sit below the cap", m)
+	}
+}

@@ -1,0 +1,340 @@
+// Package cluster scales CapGPU from one server to a rack: a slow
+// coordinator divides a rack-level power budget among servers, each of
+// which runs its own CapGPU loop against its assigned share. This is the
+// deployment context the paper's introduction describes — power
+// oversubscription behind a shared breaker, in the style of Facebook's
+// Dynamo and Google's medium-voltage priority capping [Wu et al. 2016;
+// Sakalkar et al. 2020], with CapGPU as the per-server enforcement layer.
+//
+// The coordinator runs every RackPeriods server control periods (the
+// hierarchy's standard fast-inner/slow-outer split [Wang & Chen 2008]).
+// Allocation policies:
+//
+//   - Uniform: equal shares — the strawman.
+//   - DemandProportional: each server gets its feasible floor, and the
+//     remaining budget is split in proportion to measured demand (GPU
+//     utilization), so starved servers bid power away from idle ones.
+//   - Priority: strict priority classes; higher classes are filled to
+//     their ceilings before lower ones see any discretionary budget.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Node is one managed server with its local control loop.
+type Node struct {
+	Name     string
+	Priority int // larger = more important (Priority policy only)
+
+	Server     *sim.Server
+	Controller core.PowerController
+
+	harness  *core.Harness
+	assigned float64
+	records  []core.PeriodRecord
+	minW     float64
+	maxW     float64
+}
+
+// NewNode wires a server and its local controller into a managed node.
+func NewNode(name string, s *sim.Server, ctrl core.PowerController, priority int) (*Node, error) {
+	if s == nil || ctrl == nil {
+		return nil, fmt.Errorf("cluster: node %q needs a server and a controller", name)
+	}
+	n := &Node{Name: name, Priority: priority, Server: s, Controller: ctrl}
+	h, err := core.NewHarness(s, ctrl, func(int) float64 { return n.assigned })
+	if err != nil {
+		return nil, err
+	}
+	n.harness = h
+	n.minW, n.maxW = s.PowerRange()
+	// Achievable floors/ceilings include headroom for noise and the
+	// non-unit utilization the range estimate assumes.
+	n.minW *= 0.97
+	n.assigned = n.minW
+	return n, nil
+}
+
+// Records returns the node's per-period log.
+func (n *Node) Records() []core.PeriodRecord { return n.records }
+
+// Assigned returns the node's current power share.
+func (n *Node) Assigned() float64 { return n.assigned }
+
+// Observation is the per-node state the coordinator allocates on.
+type Observation struct {
+	Name       string
+	Priority   int
+	PowerW     float64 // last period average
+	AssignedW  float64
+	MinW, MaxW float64 // feasible power range
+	Demand     float64 // 0..1: how much the node would use extra power
+}
+
+// Policy decides the per-node budget split.
+type Policy interface {
+	Name() string
+	// Allocate returns one cap per observation; implementations must
+	// keep the sum at or below totalW and each cap within [MinW, MaxW]
+	// when totalW permits.
+	Allocate(totalW float64, obs []Observation) []float64
+}
+
+// Uniform splits the budget equally, clamped to each node's range.
+type Uniform struct{}
+
+// Name implements Policy.
+func (Uniform) Name() string { return "uniform" }
+
+// Allocate implements Policy.
+func (Uniform) Allocate(totalW float64, obs []Observation) []float64 {
+	out := make([]float64, len(obs))
+	if len(obs) == 0 {
+		return out
+	}
+	share := totalW / float64(len(obs))
+	spare := 0.0
+	for i, o := range obs {
+		c := clamp(share, o.MinW, o.MaxW)
+		out[i] = c
+		spare += share - c
+	}
+	// Redistribute clamping spillover greedily.
+	distributeSpare(out, obs, spare)
+	return out
+}
+
+// DemandProportional gives every node its floor and splits the remainder
+// in proportion to demand.
+type DemandProportional struct{}
+
+// Name implements Policy.
+func (DemandProportional) Name() string { return "demand-proportional" }
+
+// Allocate implements Policy.
+func (DemandProportional) Allocate(totalW float64, obs []Observation) []float64 {
+	out := make([]float64, len(obs))
+	remaining := totalW
+	demandSum := 0.0
+	for i, o := range obs {
+		out[i] = o.MinW
+		remaining -= o.MinW
+		demandSum += o.Demand
+	}
+	if remaining <= 0 {
+		return out // budget below the floors: best effort
+	}
+	if demandSum <= 0 {
+		distributeSpare(out, obs, remaining)
+		return out
+	}
+	spare := 0.0
+	for i, o := range obs {
+		want := remaining * o.Demand / demandSum
+		c := clamp(out[i]+want, o.MinW, o.MaxW)
+		spare += out[i] + want - c
+		out[i] = c
+	}
+	distributeSpare(out, obs, spare)
+	return out
+}
+
+// Priority fills nodes in strictly descending priority order, each to
+// its ceiling, after granting every node its floor.
+type Priority struct{}
+
+// Name implements Policy.
+func (Priority) Name() string { return "priority" }
+
+// Allocate implements Policy.
+func (Priority) Allocate(totalW float64, obs []Observation) []float64 {
+	out := make([]float64, len(obs))
+	remaining := totalW
+	for i, o := range obs {
+		out[i] = o.MinW
+		remaining -= o.MinW
+	}
+	if remaining <= 0 {
+		return out
+	}
+	idx := make([]int, len(obs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return obs[idx[a]].Priority > obs[idx[b]].Priority })
+	for _, i := range idx {
+		grant := clamp(remaining, 0, obs[i].MaxW-out[i])
+		out[i] += grant
+		remaining -= grant
+		if remaining <= 0 {
+			break
+		}
+	}
+	return out
+}
+
+// distributeSpare hands leftover budget to nodes with ceiling headroom.
+func distributeSpare(out []float64, obs []Observation, spare float64) {
+	for i := range out {
+		if spare <= 0 {
+			return
+		}
+		room := obs[i].MaxW - out[i]
+		if room <= 0 {
+			continue
+		}
+		g := spare
+		if g > room {
+			g = room
+		}
+		out[i] += g
+		spare -= g
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Coordinator runs the rack.
+type Coordinator struct {
+	Nodes  []*Node
+	Policy Policy
+	// BudgetW returns the rack budget at server period k (time-varying
+	// budgets model oversubscription events).
+	BudgetW func(k int) float64
+	// RackPeriods is how many server control periods pass between
+	// reallocations (default 2: the outer loop must be slower than the
+	// inner ones it commands).
+	RackPeriods int
+}
+
+// NewCoordinator assembles a rack controller.
+func NewCoordinator(nodes []*Node, policy Policy, budget func(int) float64) (*Coordinator, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	if policy == nil || budget == nil {
+		return nil, fmt.Errorf("cluster: nil policy or budget schedule")
+	}
+	return &Coordinator{Nodes: nodes, Policy: policy, BudgetW: budget, RackPeriods: 2}, nil
+}
+
+// observe builds the per-node allocation inputs from the latest records.
+func (c *Coordinator) observe() []Observation {
+	obs := make([]Observation, len(c.Nodes))
+	for i, n := range c.Nodes {
+		o := Observation{
+			Name:      n.Name,
+			Priority:  n.Priority,
+			AssignedW: n.assigned,
+			MinW:      n.minW,
+			MaxW:      n.maxW,
+		}
+		if len(n.records) > 0 {
+			last := n.records[len(n.records)-1]
+			o.PowerW = last.AvgPowerW
+			// Demand: mean GPU utilization — saturated pipelines (util 1)
+			// would convert extra power into throughput.
+			s := n.Server.Last()
+			sum := 0.0
+			for _, u := range s.GPUUtil {
+				sum += u
+			}
+			if len(s.GPUUtil) > 0 {
+				o.Demand = sum / float64(len(s.GPUUtil))
+			}
+		} else {
+			o.Demand = 1 // unknown: assume hungry
+		}
+		obs[i] = o
+	}
+	return obs
+}
+
+// Step advances every node through one server control period with the
+// given index, reallocating the rack budget on the RackPeriods schedule.
+// Hierarchical coordinators drive racks through this entry point.
+func (c *Coordinator) Step(k int) error {
+	if c.RackPeriods < 1 {
+		c.RackPeriods = 1
+	}
+	if k%c.RackPeriods == 0 {
+		caps := c.Policy.Allocate(c.BudgetW(k), c.observe())
+		if len(caps) != len(c.Nodes) {
+			return fmt.Errorf("cluster: policy %s returned %d caps for %d nodes",
+				c.Policy.Name(), len(caps), len(c.Nodes))
+		}
+		for i, n := range c.Nodes {
+			n.assigned = caps[i]
+		}
+	}
+	for _, n := range c.Nodes {
+		rec, err := n.harness.StepPeriod(k)
+		if err != nil {
+			return fmt.Errorf("cluster: node %s: %w", n.Name, err)
+		}
+		n.records = append(n.records, rec)
+	}
+	return nil
+}
+
+// Run advances every node through the given number of server control
+// periods, reallocating the rack budget every RackPeriods periods.
+func (c *Coordinator) Run(periods int) error {
+	for k := 0; k < periods; k++ {
+		if err := c.Step(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalPowerSeries returns the rack's per-period total power.
+func (c *Coordinator) TotalPowerSeries() []float64 {
+	if len(c.Nodes) == 0 {
+		return nil
+	}
+	n := len(c.Nodes[0].records)
+	out := make([]float64, n)
+	for _, node := range c.Nodes {
+		for i := 0; i < n && i < len(node.records); i++ {
+			out[i] += node.records[i].AvgPowerW
+		}
+	}
+	return out
+}
+
+// AggregateThroughput returns the rack's steady-state GPU throughput
+// (img/s summed over all nodes and GPUs, averaged over the last
+// len-steadyFrom periods).
+func (c *Coordinator) AggregateThroughput(steadyFrom int) float64 {
+	total, n := 0.0, 0.0
+	for _, node := range c.Nodes {
+		if steadyFrom >= len(node.records) {
+			continue
+		}
+		for _, r := range node.records[steadyFrom:] {
+			for _, tp := range r.GPUThroughput {
+				total += tp
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	// Per-period rack throughput: sum over nodes, mean over periods.
+	return total / n * float64(len(c.Nodes))
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sysid"
+	"repro/internal/workload"
+)
+
+// buildNode assembles a server with nPipelines inference pipelines (0-3)
+// and a CapGPU controller identified on a twin.
+func buildNode(t *testing.T, name string, seed int64, nPipelines, priority int) *Node {
+	t.Helper()
+	build := func(sd int64) *sim.Server {
+		s, err := sim.NewServer(sim.DefaultTestbed(sd))
+		if err != nil {
+			t.Fatal(err)
+		}
+		zoo := workload.Zoo()
+		cfgs := []workload.PipelineConfig{
+			{Model: zoo["resnet50"], Workers: 2, PreLatencyBase: 0.004, PreLatencyExp: 0.4,
+				ArrivalRateMax: 250, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: sd + 1},
+			{Model: zoo["swin_t"], Workers: 2, PreLatencyBase: 0.010, PreLatencyExp: 0.4,
+				ArrivalRateMax: 100, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: sd + 2},
+			{Model: zoo["vgg16"], Workers: 2, PreLatencyBase: 0.008, PreLatencyExp: 0.4,
+				ArrivalRateMax: 130, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: sd + 3},
+		}
+		for i := 0; i < nPipelines && i < 3; i++ {
+			p, err := workload.NewPipeline(cfgs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AttachPipeline(i, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w, err := workload.NewCPUWorkload(workload.CPUWorkloadConfig{RateAtMax: 40, FcMax: 2.4, Seed: sd + 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AttachCPUWorkload(w)
+		return s
+	}
+	twin := build(seed + 5000)
+	model, _, err := sysid.Identify(twin, sysid.ExciteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := build(seed)
+	ctrl, err := core.NewCapGPU(model, s, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(name, s, ctrl, priority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	if _, err := NewNode("x", nil, nil, 0); err == nil {
+		t.Fatal("expected nil-server error")
+	}
+}
+
+func TestNewCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(nil, Uniform{}, func(int) float64 { return 100 }); err == nil {
+		t.Fatal("expected no-nodes error")
+	}
+	n := buildNode(t, "a", 1, 3, 0)
+	if _, err := NewCoordinator([]*Node{n}, nil, func(int) float64 { return 100 }); err == nil {
+		t.Fatal("expected nil-policy error")
+	}
+	if _, err := NewCoordinator([]*Node{n}, Uniform{}, nil); err == nil {
+		t.Fatal("expected nil-budget error")
+	}
+}
+
+func TestPoliciesRespectBudgetAndRanges(t *testing.T) {
+	obs := []Observation{
+		{Name: "a", MinW: 700, MaxW: 1250, Demand: 1.0, Priority: 2},
+		{Name: "b", MinW: 700, MaxW: 1250, Demand: 0.5, Priority: 1},
+		{Name: "c", MinW: 700, MaxW: 1250, Demand: 0.1, Priority: 0},
+	}
+	for _, pol := range []Policy{Uniform{}, DemandProportional{}, Priority{}} {
+		for _, budget := range []float64{2100, 2700, 3300, 4000} {
+			caps := pol.Allocate(budget, obs)
+			if len(caps) != 3 {
+				t.Fatalf("%s: %d caps", pol.Name(), len(caps))
+			}
+			sum := 0.0
+			for i, c := range caps {
+				sum += c
+				if c < obs[i].MinW-1e-9 || c > obs[i].MaxW+1e-9 {
+					t.Fatalf("%s@%g: node %d cap %g outside [%g, %g]",
+						pol.Name(), budget, i, c, obs[i].MinW, obs[i].MaxW)
+				}
+			}
+			// Allocations never exceed the budget (when the budget covers
+			// the floors).
+			if budget >= 2100 && sum > budget+1e-6 {
+				t.Fatalf("%s@%g: allocated %g over budget", pol.Name(), budget, sum)
+			}
+		}
+	}
+}
+
+func TestDemandProportionalFavorsHungryNodes(t *testing.T) {
+	obs := []Observation{
+		{Name: "hungry", MinW: 700, MaxW: 1600, Demand: 1.0},
+		{Name: "idle", MinW: 700, MaxW: 1600, Demand: 0.1},
+	}
+	caps := DemandProportional{}.Allocate(2200, obs)
+	if caps[0] <= caps[1] {
+		t.Fatalf("hungry node got %g, idle got %g", caps[0], caps[1])
+	}
+	// Extra above the floors: 800 split 10:1 (no ceiling in the way).
+	if math.Abs((caps[0]-700)-10*(caps[1]-700)) > 1e-6 {
+		t.Fatalf("split not demand-proportional: %v", caps)
+	}
+}
+
+func TestPriorityFillsHighClassFirst(t *testing.T) {
+	obs := []Observation{
+		{Name: "low", MinW: 700, MaxW: 1250, Priority: 0},
+		{Name: "high", MinW: 700, MaxW: 1250, Priority: 5},
+	}
+	caps := Priority{}.Allocate(2100, obs)
+	// 700 W discretionary: the high class fills to its 1250 ceiling
+	// (+550) before the low class sees the remaining 150.
+	if math.Abs(caps[1]-1250) > 1e-9 {
+		t.Fatalf("high-priority node got %g, want its 1250 ceiling", caps[1])
+	}
+	if math.Abs(caps[0]-850) > 1e-9 {
+		t.Fatalf("low-priority node got %g, want floor+leftover 850", caps[0])
+	}
+}
+
+func TestUniformRedistributesClampSpill(t *testing.T) {
+	obs := []Observation{
+		{Name: "small", MinW: 400, MaxW: 600},
+		{Name: "big", MinW: 700, MaxW: 1400},
+	}
+	caps := Uniform{}.Allocate(2000, obs)
+	// Equal share would be 1000 each; the small node clamps at 600 and
+	// the spill flows to the big one.
+	if caps[0] != 600 {
+		t.Fatalf("small node cap %g, want 600", caps[0])
+	}
+	if math.Abs(caps[0]+caps[1]-2000) > 1e-9 {
+		t.Fatalf("spill lost: total %g", caps[0]+caps[1])
+	}
+}
+
+func TestCoordinatorRackBudgetHeld(t *testing.T) {
+	nodes := []*Node{
+		buildNode(t, "heavy", 11, 3, 2),
+		buildNode(t, "medium", 22, 2, 1),
+		buildNode(t, "light", 33, 1, 0),
+	}
+	coord, err := NewCoordinator(nodes, DemandProportional{}, func(int) float64 { return 2850 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	total := coord.TotalPowerSeries()
+	if len(total) != 50 {
+		t.Fatalf("series length %d", len(total))
+	}
+	// Steady state: rack total at or under budget (small noise grace).
+	over := 0
+	for _, p := range total[20:] {
+		if p > 2850*1.015 {
+			over++
+		}
+	}
+	if over > 2 {
+		t.Fatalf("rack budget exceeded in %d/30 steady periods", over)
+	}
+	for _, n := range nodes {
+		if len(n.Records()) != 50 {
+			t.Fatalf("node %s has %d records", n.Name, len(n.Records()))
+		}
+		if n.Assigned() <= 0 {
+			t.Fatalf("node %s has no assignment", n.Name)
+		}
+	}
+}
+
+func TestDemandProportionalBeatsUniformThroughput(t *testing.T) {
+	run := func(pol Policy) float64 {
+		nodes := []*Node{
+			buildNode(t, "heavy", 11, 3, 2),
+			buildNode(t, "medium", 22, 2, 1),
+			buildNode(t, "light", 33, 1, 0),
+		}
+		coord, err := NewCoordinator(nodes, pol, func(int) float64 { return 2850 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Run(60); err != nil {
+			t.Fatal(err)
+		}
+		return coord.AggregateThroughput(30)
+	}
+	uniform := run(Uniform{})
+	demand := run(DemandProportional{})
+	if demand <= uniform {
+		t.Fatalf("demand-proportional throughput %g should beat uniform %g", demand, uniform)
+	}
+}

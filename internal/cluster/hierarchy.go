@@ -1,0 +1,135 @@
+package cluster
+
+import "fmt"
+
+// Rack is one coordinator-managed group of servers inside a facility
+// hierarchy.
+type Rack struct {
+	Name     string
+	Priority int
+
+	Coordinator *Coordinator
+	assigned    float64
+}
+
+// NewRack wraps a coordinator as one rack of a facility. The
+// coordinator's own BudgetW schedule is replaced: its budget is whatever
+// the facility assigns.
+func NewRack(name string, coord *Coordinator, priority int) (*Rack, error) {
+	if coord == nil {
+		return nil, fmt.Errorf("cluster: rack %q needs a coordinator", name)
+	}
+	r := &Rack{Name: name, Priority: priority, Coordinator: coord}
+	// Start at the rack's feasible floor.
+	for _, n := range coord.Nodes {
+		r.assigned += n.minW
+	}
+	coord.BudgetW = func(int) float64 { return r.assigned }
+	return r, nil
+}
+
+// Assigned returns the rack's current facility share.
+func (r *Rack) Assigned() float64 { return r.assigned }
+
+// observation aggregates the rack's nodes into one facility-level
+// allocation input (SHIP-style: each level sees only its children's
+// aggregates).
+func (r *Rack) observation() Observation {
+	o := Observation{Name: r.Name, Priority: r.Priority, AssignedW: r.assigned}
+	demand, n := 0.0, 0.0
+	for _, node := range r.Coordinator.Nodes {
+		o.MinW += node.minW
+		o.MaxW += node.maxW
+		if len(node.records) > 0 {
+			o.PowerW += node.records[len(node.records)-1].AvgPowerW
+		}
+		s := node.Server.Last()
+		sum := 0.0
+		for _, u := range s.GPUUtil {
+			sum += u
+		}
+		if len(s.GPUUtil) > 0 {
+			demand += sum / float64(len(s.GPUUtil))
+			n++
+		}
+	}
+	if n > 0 {
+		o.Demand = demand / n
+	} else {
+		o.Demand = 1
+	}
+	return o
+}
+
+// Hierarchy is the two-level facility controller of the SHIP lineage
+// (Wang et al., TPDS 2011, cited by the paper): a facility budget is
+// divided across racks on a slow schedule; each rack's coordinator
+// divides its share across servers on a faster one; each server's
+// CapGPU loop enforces its cap every control period. The same Policy
+// interface serves both levels.
+type Hierarchy struct {
+	Racks  []*Rack
+	Policy Policy
+	// BudgetW is the facility budget at server period k.
+	BudgetW func(k int) float64
+	// FacilityPeriods is how many server control periods pass between
+	// facility-level reallocations; it must exceed the racks'
+	// RackPeriods for the loops to separate in time scale (default 6).
+	FacilityPeriods int
+}
+
+// NewHierarchy assembles the facility controller.
+func NewHierarchy(racks []*Rack, policy Policy, budget func(int) float64) (*Hierarchy, error) {
+	if len(racks) == 0 {
+		return nil, fmt.Errorf("cluster: no racks")
+	}
+	if policy == nil || budget == nil {
+		return nil, fmt.Errorf("cluster: nil policy or budget schedule")
+	}
+	return &Hierarchy{Racks: racks, Policy: policy, BudgetW: budget, FacilityPeriods: 6}, nil
+}
+
+// Run advances the whole facility through the given number of server
+// control periods.
+func (h *Hierarchy) Run(periods int) error {
+	if h.FacilityPeriods < 1 {
+		h.FacilityPeriods = 1
+	}
+	for k := 0; k < periods; k++ {
+		if k%h.FacilityPeriods == 0 {
+			obs := make([]Observation, len(h.Racks))
+			for i, r := range h.Racks {
+				obs[i] = r.observation()
+			}
+			caps := h.Policy.Allocate(h.BudgetW(k), obs)
+			if len(caps) != len(h.Racks) {
+				return fmt.Errorf("cluster: facility policy %s returned %d caps for %d racks",
+					h.Policy.Name(), len(caps), len(h.Racks))
+			}
+			for i, r := range h.Racks {
+				r.assigned = caps[i]
+			}
+		}
+		for _, r := range h.Racks {
+			if err := r.Coordinator.Step(k); err != nil {
+				return fmt.Errorf("cluster: rack %s: %w", r.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalPowerSeries returns the facility's per-period total power.
+func (h *Hierarchy) TotalPowerSeries() []float64 {
+	var out []float64
+	for _, r := range h.Racks {
+		series := r.Coordinator.TotalPowerSeries()
+		if out == nil {
+			out = make([]float64, len(series))
+		}
+		for i := 0; i < len(out) && i < len(series); i++ {
+			out[i] += series[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// buildRack assembles a 2-node rack for hierarchy tests.
+func buildRack(t *testing.T, name string, seed int64, loads [2]int, priority int) *Rack {
+	t.Helper()
+	nodes := []*Node{
+		buildNode(t, name+"-a", seed, loads[0], 0),
+		buildNode(t, name+"-b", seed+100, loads[1], 0),
+	}
+	coord, err := NewCoordinator(nodes, DemandProportional{}, func(int) float64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRack(name, coord, priority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	if _, err := NewHierarchy(nil, Uniform{}, func(int) float64 { return 1 }); err == nil {
+		t.Fatal("expected no-racks error")
+	}
+	if _, err := NewRack("r", nil, 0); err == nil {
+		t.Fatal("expected nil-coordinator error")
+	}
+	r := buildRack(t, "r0", 201, [2]int{3, 1}, 1)
+	if _, err := NewHierarchy([]*Rack{r}, nil, func(int) float64 { return 1 }); err == nil {
+		t.Fatal("expected nil-policy error")
+	}
+	if _, err := NewHierarchy([]*Rack{r}, Uniform{}, nil); err == nil {
+		t.Fatal("expected nil-budget error")
+	}
+}
+
+func TestHierarchyHoldsFacilityBudget(t *testing.T) {
+	busy := buildRack(t, "busy", 211, [2]int{3, 3}, 1)
+	quiet := buildRack(t, "quiet", 231, [2]int{1, 1}, 0)
+	const facility = 3700.0
+	h, err := NewHierarchy([]*Rack{busy, quiet}, DemandProportional{}, func(int) float64 { return facility })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Run(48); err != nil {
+		t.Fatal(err)
+	}
+	total := h.TotalPowerSeries()
+	if len(total) != 48 {
+		t.Fatalf("series length %d", len(total))
+	}
+	over := 0
+	for _, p := range total[20:] {
+		if p > facility*1.015 {
+			over++
+		}
+	}
+	if over > 2 {
+		t.Fatalf("facility budget exceeded in %d steady periods", over)
+	}
+	// The busy rack should hold the larger share.
+	if busy.Assigned() <= quiet.Assigned() {
+		t.Fatalf("busy rack got %g W, quiet rack %g W", busy.Assigned(), quiet.Assigned())
+	}
+	// Per-node assignments inside each rack stay within the rack share.
+	for _, r := range []*Rack{busy, quiet} {
+		sum := 0.0
+		for _, n := range r.Coordinator.Nodes {
+			sum += n.Assigned()
+		}
+		if sum > r.Assigned()+1e-6 {
+			t.Fatalf("rack %s over-allocated its share: %g > %g", r.Name, sum, r.Assigned())
+		}
+	}
+}
+
+func TestHierarchyTimeScaleSeparation(t *testing.T) {
+	r := buildRack(t, "solo", 251, [2]int{2, 2}, 0)
+	h, err := NewHierarchy([]*Rack{r}, Uniform{}, func(int) float64 { return 2400 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.FacilityPeriods = 0 // must be repaired to >= 1
+	if err := h.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	if h.FacilityPeriods < 1 {
+		t.Fatalf("facility period not repaired: %d", h.FacilityPeriods)
+	}
+}

@@ -1,0 +1,258 @@
+// Package control provides the classic control-theoretic substrate the
+// baselines and the stability analysis build on: proportional control
+// with pole placement (the GPU-Only and CPU-Only baselines of §6.1
+// follow Lefurgy et al.'s server power controller), and the §4.4
+// closed-loop pole analysis that bounds how far the true plant gains may
+// drift from the identified model before stability is lost.
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// PolePlacementGain returns the proportional gain K for the first-order
+// power plant Δp = g·Δf under the control law d = K·(P_s − p), placing
+// the closed-loop pole at the requested location:
+//
+//	p(k+1) = p(k) + g·K·(P_s − p(k))  ⇒  pole = 1 − g·K.
+//
+// The paper's baselines choose the pole "that minimizes oscillations";
+// pole ∈ (0, 1) gives monotone convergence, with smaller poles settling
+// faster but amplifying noise.
+func PolePlacementGain(plantGain, pole float64) (float64, error) {
+	if plantGain == 0 {
+		return 0, fmt.Errorf("control: zero plant gain")
+	}
+	if pole < 0 || pole >= 1 {
+		return 0, fmt.Errorf("control: pole %g outside [0, 1)", pole)
+	}
+	return (1 - pole) / plantGain, nil
+}
+
+// ScalarPole returns the closed-loop pole 1 − Σ A_i·K_i of the
+// multi-knob power loop when every knob moves according to
+// d_i = K_i·(P_s − p).
+func ScalarPole(plantGains, controllerGains []float64) (float64, error) {
+	if len(plantGains) != len(controllerGains) {
+		return 0, fmt.Errorf("control: %d plant gains vs %d controller gains", len(plantGains), len(controllerGains))
+	}
+	return 1 - mat.Dot(plantGains, controllerGains), nil
+}
+
+// Proportional is a single-knob proportional power controller.
+type Proportional struct {
+	Gain float64 // frequency units per Watt of error
+}
+
+// NewProportional builds a proportional controller by pole placement.
+func NewProportional(plantGain, pole float64) (*Proportional, error) {
+	k, err := PolePlacementGain(plantGain, pole)
+	if err != nil {
+		return nil, err
+	}
+	return &Proportional{Gain: k}, nil
+}
+
+// Delta returns the frequency increment for the measured error.
+func (p *Proportional) Delta(setpointW, measuredW float64) float64 {
+	return p.Gain * (setpointW - measuredW)
+}
+
+// StabilityReport summarizes the §4.4 analysis for one uniform or
+// per-device gain perturbation.
+type StabilityReport struct {
+	Pole   float64
+	Stable bool
+}
+
+// UniformGainRange returns the interval (lo, hi) of uniform plant-gain
+// scaling s (true gains A′ = s·A) for which the closed loop
+// p(k+1) = p(k) − s·(A·K)·(p(k) − P_s) remains stable. Following §4.4:
+// the pole is 1 − s·(A·K), stable iff it lies strictly inside the unit
+// circle, i.e. s·(A·K) ∈ (0, 2).
+func UniformGainRange(plantGains, controllerGains []float64) (lo, hi float64, err error) {
+	if len(plantGains) != len(controllerGains) {
+		return 0, 0, fmt.Errorf("control: %d plant gains vs %d controller gains", len(plantGains), len(controllerGains))
+	}
+	ak := mat.Dot(plantGains, controllerGains)
+	if ak <= 0 {
+		return 0, 0, fmt.Errorf("control: nominal loop gain %g not positive; controller unstable at nominal gains", ak)
+	}
+	return 0, 2 / ak, nil
+}
+
+// PerDeviceGainBound returns the admissible range (lo, hi) for device
+// i's gain factor g_i (true gain g_i·A_i) with every other device at its
+// nominal gain. The pole is affine in g_i:
+//
+//	pole(g_i) = 1 − (Σ_{j≠i} A_j·K_j + g_i·A_i·K_i).
+func PerDeviceGainBound(plantGains, controllerGains []float64, i int) (lo, hi float64, err error) {
+	if len(plantGains) != len(controllerGains) {
+		return 0, 0, fmt.Errorf("control: gain vector lengths differ")
+	}
+	if i < 0 || i >= len(plantGains) {
+		return 0, 0, fmt.Errorf("control: device index %d out of range %d", i, len(plantGains))
+	}
+	rest := 0.0
+	for j := range plantGains {
+		if j != i {
+			rest += plantGains[j] * controllerGains[j]
+		}
+	}
+	self := plantGains[i] * controllerGains[i]
+	if self == 0 {
+		// Device i has no influence; stability depends only on the rest.
+		if rest > 0 && rest < 2 {
+			return math.Inf(-1), math.Inf(1), nil
+		}
+		return 0, 0, fmt.Errorf("control: loop unstable regardless of device %d", i)
+	}
+	// Need 0 < rest + g_i·self < 2.
+	a := -rest / self
+	b := (2 - rest) / self
+	if self < 0 {
+		a, b = b, a
+	}
+	return a, b, nil
+}
+
+// PoleLocus evaluates the closed-loop pole across a sweep of uniform
+// gain scales, mirroring §4.4's "tracking how the poles shift as g_i
+// changes".
+func PoleLocus(plantGains, controllerGains, scales []float64) ([]StabilityReport, error) {
+	ak := mat.Dot(plantGains, controllerGains)
+	if len(plantGains) != len(controllerGains) {
+		return nil, fmt.Errorf("control: gain vector lengths differ")
+	}
+	out := make([]StabilityReport, len(scales))
+	for i, s := range scales {
+		pole := 1 - s*ak
+		out[i] = StabilityReport{Pole: pole, Stable: math.Abs(pole) < 1}
+	}
+	return out, nil
+}
+
+// ClosedLoopMatrix builds the state matrix of the full closed loop for a
+// linear state-feedback controller with input memory: state
+// x = [p − P_s, d(k−1), ..., d(k−M+1)] evolving under true plant gains
+// A′ and feedback d(k) = −K_p·(p − P_s) − Σ_m K_m·d(k−m). The matrix's
+// eigenvalues are the poles §4.4 inspects; compute them with
+// StateSpacePoles.
+func ClosedLoopMatrix(truePlant []float64, kp []float64, kmem [][][]float64) (*mat.Mat, error) {
+	n := len(truePlant)
+	if len(kp) != n {
+		return nil, fmt.Errorf("control: kp has %d entries, want %d", len(kp), n)
+	}
+	m := len(kmem) // memory depth
+	dim := 1 + n*m
+	cl := mat.New(dim, dim)
+	// d(k) = -kp·e - Σ_m Kmem[m]·d(k-1-m), e' = e + A'·d(k).
+	// Row 0: e' = e + A'·d(k) = (1 - A'·kp)·e - Σ A'·Kmem[m]·d_mem.
+	cl.Set(0, 0, 1-mat.Dot(truePlant, kp))
+	for mm := 0; mm < m; mm++ {
+		for j := 0; j < n; j++ {
+			// coefficient of d(k-1-mm)[j] in e': -Σ_i A'_i·Kmem[mm][i][j]
+			c := 0.0
+			for i := 0; i < n; i++ {
+				c -= truePlant[i] * kmem[mm][i][j]
+			}
+			cl.Set(0, 1+mm*n+j, c)
+		}
+	}
+	// Rows for the newest memory block: d(k) itself.
+	if m > 0 {
+		for i := 0; i < n; i++ {
+			cl.Set(1+i, 0, -kp[i])
+			for mm := 0; mm < m; mm++ {
+				for j := 0; j < n; j++ {
+					cl.Set(1+i, 1+mm*n+j, -kmem[mm][i][j])
+				}
+			}
+		}
+		// Shift older memory blocks.
+		for mm := 1; mm < m; mm++ {
+			for i := 0; i < n; i++ {
+				cl.Set(1+mm*n+i, 1+(mm-1)*n+i, 1)
+			}
+		}
+	}
+	return cl, nil
+}
+
+// StateSpacePoles returns the eigenvalues of a closed-loop matrix and
+// whether all lie strictly inside the unit circle.
+func StateSpacePoles(cl *mat.Mat) ([]complex128, bool, error) {
+	eig, err := mat.Eigenvalues(cl)
+	if err != nil {
+		return nil, false, err
+	}
+	stable := true
+	for _, e := range eig {
+		if math.Hypot(real(e), imag(e)) >= 1-1e-12 {
+			stable = false
+			break
+		}
+	}
+	return eig, stable, nil
+}
+
+// PI is a proportional-integral power controller with conditional
+// anti-windup. The proportional baselines of §6.1 carry a steady-state
+// bias whenever the identified gain is off; the integral term removes it
+// at the cost of slightly slower transients. PI is provided as library
+// substrate (Lefurgy et al.'s production controller is PI); the paper's
+// baselines remain pure-P as described.
+type PI struct {
+	Kp, Ki float64
+	// IntegralLimit bounds |integral·Ki| in output units (anti-windup);
+	// 0 disables the bound.
+	IntegralLimit float64
+
+	integral float64
+}
+
+// NewPI places the closed-loop poles of the first-order power plant
+// Δp = g·Δf: with control d = Kp·e + Ki·Σe, choosing Kp = (1−p1·p2)/g...
+// in practice the standard discrete design Kp = (2−p1−p2)/g − Ki/g is
+// over-parameterized; this constructor takes the simpler route of a
+// P gain by pole placement plus an integral gain as a fraction of it.
+func NewPI(plantGain, pole, integralRatio float64) (*PI, error) {
+	if integralRatio < 0 || integralRatio > 1 {
+		return nil, fmt.Errorf("control: integral ratio %g outside [0, 1]", integralRatio)
+	}
+	kp, err := PolePlacementGain(plantGain, pole)
+	if err != nil {
+		return nil, err
+	}
+	return &PI{Kp: kp, Ki: kp * integralRatio, IntegralLimit: 2 / plantGain * 100}, nil
+}
+
+// Delta returns the frequency increment for the measured error and
+// accumulates the integral state with conditional anti-windup: the
+// integral freezes while the raw output exceeds the limit.
+func (p *PI) Delta(setpointW, measuredW float64) float64 {
+	e := setpointW - measuredW
+	out := p.Kp*e + p.Ki*(p.integral+e)
+	if p.IntegralLimit > 0 && math.Abs(p.Ki*(p.integral+e)) > p.IntegralLimit {
+		// Anti-windup: do not accumulate further in this direction.
+		return p.Kp*e + clampF(p.Ki*(p.integral+e), -p.IntegralLimit, p.IntegralLimit)
+	}
+	p.integral += e
+	return out
+}
+
+// Reset clears the integral state.
+func (p *PI) Reset() { p.integral = 0 }
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

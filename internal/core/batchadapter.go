@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/sysid"
+	"repro/internal/workload"
+)
+
+// BatchAdapter adds the dynamic-batching knob of the coordinated
+// batching + DVFS literature (Nabavinejad et al., TPDS 2022; Khan et
+// al., ICOIN 2024 — both cited by the paper) on top of any inner
+// controller: when a GPU's latency SLO is unreachable even at the
+// maximum clock (SLO < e_min at the configured batch), the adapter
+// shrinks that GPU's batch, cutting the per-batch floor at a throughput
+// efficiency cost; when slack returns, the batch grows back.
+//
+// The adapter keeps the inner controller's latency models coherent: the
+// SLO→frequency floors of Eq. (10b,c) use e_min, which moves with the
+// batch, so each batch change rewrites the shared LatencyModel's EMin.
+type BatchAdapter struct {
+	Inner  PowerController
+	server *sim.Server
+	// models are the latency models shared with the inner controller
+	// (same pointers), one per GPU; profiles the corresponding workload
+	// profiles; configured the workloads' nominal batch sizes.
+	models     []*sysid.LatencyModel
+	profiles   []workload.ModelProfile
+	configured []int
+
+	// MinBatch floors the shrink (default 4).
+	MinBatch int
+	// Hysteresis periods between batch moves per GPU (default 3).
+	Hold int
+
+	cooldown []int
+}
+
+// NewBatchAdapter wraps inner with batch adaptation. models must be the
+// same slice handed to the inner controller (the adapter mutates the
+// entries' EMin in place); profiles supply each GPU workload's latency
+// decomposition.
+func NewBatchAdapter(inner PowerController, server *sim.Server, models []*sysid.LatencyModel, profiles []workload.ModelProfile) (*BatchAdapter, error) {
+	if inner == nil || server == nil {
+		return nil, fmt.Errorf("core: batch adapter needs an inner controller and a server")
+	}
+	ng := server.NumGPUs()
+	if len(models) != ng || len(profiles) != ng {
+		return nil, fmt.Errorf("core: %d models / %d profiles for %d GPUs", len(models), len(profiles), ng)
+	}
+	b := &BatchAdapter{
+		Inner:      inner,
+		server:     server,
+		models:     models,
+		profiles:   profiles,
+		configured: make([]int, ng),
+		MinBatch:   4,
+		Hold:       3,
+		cooldown:   make([]int, ng),
+	}
+	for i := 0; i < ng; i++ {
+		b.configured[i] = profiles[i].BatchSize
+	}
+	return b, nil
+}
+
+// Name implements PowerController.
+func (b *BatchAdapter) Name() string { return b.Inner.Name() + " + batching" }
+
+// BatchSizes returns the live per-GPU batch sizes.
+func (b *BatchAdapter) BatchSizes() []int {
+	out := make([]int, b.server.NumGPUs())
+	for i := range out {
+		if p := b.server.Pipeline(i); p != nil {
+			out[i] = p.BatchSize()
+		}
+	}
+	return out
+}
+
+// Decide implements PowerController: adapt batches, then delegate.
+func (b *BatchAdapter) Decide(obs Observation) Decision {
+	ng := b.server.NumGPUs()
+	for i := 0; i < ng; i++ {
+		if b.cooldown[i] > 0 {
+			b.cooldown[i]--
+			continue
+		}
+		p := b.server.Pipeline(i)
+		if p == nil || b.models[i] == nil || len(obs.SLOs) != ng || obs.SLOs[i] <= 0 {
+			continue
+		}
+		slo := obs.SLOs[i]
+		cur := p.BatchSize()
+		prof := b.profiles[i]
+
+		// Shrink while the SLO is below the reachable floor (with a 10%
+		// margin for the model residual) and room remains.
+		floorNow := prof.EMinForBatch(cur)
+		if 0.9*slo < floorNow && cur > b.MinBatch {
+			next := cur * 3 / 4
+			if next < b.MinBatch {
+				next = b.MinBatch
+			}
+			b.apply(i, p, next)
+			continue
+		}
+		// Grow back toward the configured batch when the next step up
+		// would still clear the SLO comfortably.
+		if cur < b.configured[i] {
+			next := cur * 4 / 3
+			if next <= cur {
+				next = cur + 1
+			}
+			if next > b.configured[i] {
+				next = b.configured[i]
+			}
+			if prof.EMinForBatch(next) < 0.7*slo {
+				b.apply(i, p, next)
+			}
+		}
+	}
+	return b.Inner.Decide(obs)
+}
+
+// apply sets the batch and rewrites the shared latency model's floor so
+// the inner controller's SLO inversion stays consistent.
+func (b *BatchAdapter) apply(i int, p *workload.Pipeline, batch int) {
+	if err := p.SetBatchSize(batch); err != nil {
+		return
+	}
+	b.models[i].EMin = b.profiles[i].EMinForBatch(batch)
+	b.cooldown[i] = b.Hold
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func TestNewBatchAdapterValidation(t *testing.T) {
+	s, model, lms := testRig(t, 30)
+	inner, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoo := workload.Zoo()
+	profs := []workload.ModelProfile{zoo["resnet50"], zoo["swin_t"], zoo["vgg16"]}
+	if _, err := NewBatchAdapter(nil, s, lms, profs); err == nil {
+		t.Fatal("expected nil-inner error")
+	}
+	if _, err := NewBatchAdapter(inner, s, lms[:2], profs); err == nil {
+		t.Fatal("expected model-count error")
+	}
+	ba, err := NewBatchAdapter(inner, s, lms, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ba.Name() != "CapGPU + batching" {
+		t.Fatalf("name = %q", ba.Name())
+	}
+	if got := ba.BatchSizes(); len(got) != 3 || got[0] != 20 {
+		t.Fatalf("initial batches = %v", got)
+	}
+}
+
+func TestBatchAdapterMeetsUnreachableSLO(t *testing.T) {
+	zoo := workload.Zoo()
+	profs := []workload.ModelProfile{zoo["resnet50"], zoo["swin_t"], zoo["vgg16"]}
+	// SLO for GPU 0: 60% of its full-batch e_min — unreachable at batch
+	// 20 even at 1350 MHz; generous for the others.
+	slos := []float64{0.6 * profs[0].EMinBatch, 4 * profs[1].EMinBatch, 4 * profs[2].EMinBatch}
+
+	run := func(withBatching bool) (missRate float64, finalBatch int) {
+		s, model, lms := testRig(t, 31)
+		inner, err := NewCapGPU(model, s, lms, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ctrl PowerController = inner
+		var ba *BatchAdapter
+		if withBatching {
+			ba, err = NewBatchAdapter(inner, s, lms, profs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctrl = ba
+		}
+		h, err := NewHarness(s, ctrl, func(int) float64 { return 1000 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.SLOs = func(int) []float64 { return slos }
+		recs, err := h.Run(60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var misses []bool
+		for _, r := range recs[20:] {
+			misses = append(misses, r.SLOMiss[0])
+		}
+		fb := 20
+		if ba != nil {
+			fb = ba.BatchSizes()[0]
+		}
+		return metrics.MissRate(misses), fb
+	}
+
+	plainMiss, _ := run(false)
+	adaptedMiss, adaptedBatch := run(true)
+	if plainMiss < 0.9 {
+		t.Fatalf("without batching the unreachable SLO should miss ~always, got %g", plainMiss)
+	}
+	if adaptedMiss > 0.1 {
+		t.Fatalf("with batching the SLO should hold, miss rate %g", adaptedMiss)
+	}
+	if adaptedBatch >= 20 {
+		t.Fatalf("batch did not shrink: %d", adaptedBatch)
+	}
+}
+
+func TestBatchAdapterRestoresBatchWhenSLORelaxes(t *testing.T) {
+	zoo := workload.Zoo()
+	profs := []workload.ModelProfile{zoo["resnet50"], zoo["swin_t"], zoo["vgg16"]}
+	tight := []float64{0.6 * profs[0].EMinBatch, 4 * profs[1].EMinBatch, 4 * profs[2].EMinBatch}
+	loose := []float64{4 * profs[0].EMinBatch, 4 * profs[1].EMinBatch, 4 * profs[2].EMinBatch}
+
+	s, model, lms := testRig(t, 32)
+	inner, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := NewBatchAdapter(inner, s, lms, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(s, ba, func(int) float64 { return 1000 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SLOs = func(k int) []float64 {
+		if k < 30 {
+			return tight
+		}
+		return loose
+	}
+	shrunk := false
+	if _, err := h.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	if ba.BatchSizes()[0] < 20 {
+		shrunk = true
+	}
+	if !shrunk {
+		t.Fatal("batch did not shrink under the tight SLO")
+	}
+	// Continue under the loose SLO (period indices restart, both map to
+	// the loose schedule beyond 30... use a fresh harness phase).
+	h.SLOs = func(int) []float64 { return loose }
+	if _, err := h.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	if got := ba.BatchSizes()[0]; got != 20 {
+		t.Fatalf("batch did not restore after the SLO relaxed: %d", got)
+	}
+}

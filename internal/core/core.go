@@ -1,0 +1,631 @@
+// Package core is the CapGPU framework (§3–§4): the control-loop harness
+// that wires the power monitor, per-device throughput monitors,
+// frequency modulators and a pluggable power controller around a GPU
+// server, plus the CapGPU controller itself — the MIMO MPC with
+// throughput-driven weight assignment and SLO constraints.
+//
+// Every baseline of §6.1 implements the same PowerController interface
+// (see internal/baselines), so the experiment harness runs them
+// identically: at the end of each control period T the harness feeds the
+// controller the period-averaged power and normalized throughputs, and
+// applies the controller's frequency decision through the delta-sigma
+// modulators for the next period.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/actuator"
+	"repro/internal/mpc"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/sysid"
+)
+
+// Observation is what a power controller sees at the end of a control
+// period.
+type Observation struct {
+	Period    int     // control period index (0-based)
+	AvgPowerW float64 // meter average over the period (the feedback)
+	SetpointW float64 // the cap P_s for the next period
+
+	CPUFreqGHz float64 // applied during the period
+	GPUFreqMHz []float64
+
+	CPUThroughputNorm float64   // CPU workload throughput / its max
+	GPUThroughputNorm []float64 // per-GPU inference throughput / its max
+	CPUUtil           float64
+	GPUUtil           []float64
+
+	// DevicePowerW carries per-device readings (RAPL/NVML style) for
+	// controllers that split the budget, like the CPU+GPU baseline.
+	CPUPowerW float64
+	GPUPowerW []float64
+
+	// GPULatencyS is the period-average measured batch latency per GPU,
+	// used by CapGPU's adaptive SLO floor correction.
+	GPULatencyS []float64
+
+	// SLOs holds the current per-GPU inference latency SLO in seconds
+	// per batch (0 = no SLO).
+	SLOs []float64
+}
+
+// Decision is a controller's target frequencies for the next period.
+// Values may be fractional; the harness resolves them onto the hardware
+// grids with delta-sigma modulation (§5).
+type Decision struct {
+	CPUFreqGHz float64
+	GPUFreqMHz []float64
+}
+
+// PowerController is implemented by CapGPU and every baseline.
+type PowerController interface {
+	Name() string
+	Decide(obs Observation) Decision
+}
+
+// Options tunes the CapGPU controller.
+type Options struct {
+	MPC mpc.Config
+	// FilterAlpha is the EWMA coefficient applied to the period-average
+	// power before it enters the MPC (p̂ = α·p + (1−α)·p̂). The meter
+	// already averages the period's 1 s samples (§6.1). Default 1
+	// (disabled): filtering lags step responses; MoveGain is the
+	// preferred damping.
+	FilterAlpha float64
+	// MoveGain scales the applied fraction of the MPC's first move
+	// (0 < β ≤ 1). β < 1 turns the near-deadbeat receding-horizon law
+	// into a damped one (closed-loop pole ≈ 1−β), trading a slightly
+	// longer settling time for much lower sensitivity to meter noise —
+	// the same bandwidth trade the baselines make through pole
+	// placement. Default 0.7.
+	MoveGain float64
+	// SLOMargin is the fractional safety margin applied when inverting
+	// an SLO into a GPU frequency floor: the floor targets
+	// (1−margin)·SLO, covering the latency model's residual (its fit is
+	// R² ≈ 0.91, not perfect). Default 0.1; set negative to disable.
+	SLOMargin float64
+	// Adaptive enables online model adaptation: a recursive
+	// least-squares estimator (warm-started from the identified model)
+	// refines the plant gains every period, so the controller tracks
+	// workload-induced gain changes — the §4.4 scenario — instead of
+	// relying on its stability margin alone.
+	Adaptive bool
+	// Forgetting is the RLS forgetting factor when Adaptive is set
+	// (default 0.98).
+	Forgetting float64
+}
+
+// CapGPU is the paper's controller: MIMO MPC over [CPU, GPU...] with
+// weight assignment and SLO-derived GPU frequency floors.
+type CapGPU struct {
+	ctrl           *mpc.Controller
+	initial        *sysid.Model
+	alpha          float64
+	beta           float64 // applied fraction of the first MPC move
+	sloMargin      float64
+	filt           float64 // EWMA state
+	seen           bool
+	rls            *sysid.RLS // nil unless Options.Adaptive
+	lastInnovation float64
+	lastReg        []float64 // regressor at the last absorbed RLS update
+	// floorBoost is the per-GPU multiplicative correction on the
+	// SLO-derived frequency floor, adapted from measured latency: when a
+	// GPU misses its SLO despite sitting at the model floor, the floor
+	// rises until it holds (integral action against model bias).
+	floorBoost []float64
+	// latency models per GPU for inverting SLOs into frequency bounds
+	// (Eq. 10b,c); nil entries mean no SLO handling for that GPU.
+	latency []*sysid.LatencyModel
+	fminC   float64
+	fmaxC   float64
+	fminG   []float64
+	fmaxG   []float64
+}
+
+// NewCapGPU builds the controller from an identified power model (knob 0
+// = CPU) and the server's frequency ranges. latencyModels has one entry
+// per GPU and may contain nils.
+func NewCapGPU(model *sysid.Model, server *sim.Server, latencyModels []*sysid.LatencyModel, opts Options) (*CapGPU, error) {
+	ng := server.NumGPUs()
+	if len(model.Gains) != 1+ng {
+		return nil, fmt.Errorf("core: model has %d gains for a server with %d knobs", len(model.Gains), 1+ng)
+	}
+	if latencyModels != nil && len(latencyModels) != ng {
+		return nil, fmt.Errorf("core: %d latency models for %d GPUs", len(latencyModels), ng)
+	}
+	cfg := server.Config()
+	fmin := make([]float64, 1+ng)
+	fmax := make([]float64, 1+ng)
+	fmin[0], fmax[0] = cfg.CPU.FreqMinGHz, cfg.CPU.FreqMaxGHz
+	for i := 0; i < ng; i++ {
+		fmin[1+i], fmax[1+i] = cfg.GPUs[i].FreqMinMHz, cfg.GPUs[i].FreqMaxMHz
+	}
+	ctrl, err := mpc.New(model.Gains, fmin, fmax, opts.MPC)
+	if err != nil {
+		return nil, err
+	}
+	alpha := opts.FilterAlpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: filter alpha %g outside (0, 1]", alpha)
+	}
+	beta := opts.MoveGain
+	if beta == 0 {
+		beta = 0.7
+	}
+	if beta <= 0 || beta > 1 {
+		return nil, fmt.Errorf("core: move gain %g outside (0, 1]", beta)
+	}
+	sloMargin := opts.SLOMargin
+	if sloMargin == 0 {
+		sloMargin = 0.1
+	}
+	if sloMargin < 0 {
+		sloMargin = 0
+	}
+	if sloMargin >= 1 {
+		return nil, fmt.Errorf("core: SLO margin %g must be below 1", sloMargin)
+	}
+	boost := make([]float64, ng)
+	for i := range boost {
+		boost[i] = 1
+	}
+	var rls *sysid.RLS
+	if opts.Adaptive {
+		forget := opts.Forgetting
+		if forget == 0 {
+			forget = 0.98
+		}
+		// The estimator works in normalized frequency coordinates
+		// (each knob mapped to [0,1]) so the GHz/MHz scale disparity
+		// does not destroy its conditioning; warm-start from the
+		// offline model expressed in those coordinates.
+		norm := &sysid.Model{Gains: make([]float64, 1+ng)}
+		norm.Gains[0] = model.Gains[0] * (fmax[0] - fmin[0])
+		norm.Offset = model.Offset + model.Gains[0]*fmin[0]
+		for i := 0; i < ng; i++ {
+			norm.Gains[1+i] = model.Gains[1+i] * (fmax[1+i] - fmin[1+i])
+			norm.Offset += model.Gains[1+i] * fmin[1+i]
+		}
+		rls, err = sysid.NewRLS(1+ng, norm, forget, 10)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c := &CapGPU{
+		ctrl:       ctrl,
+		initial:    model,
+		alpha:      alpha,
+		beta:       beta,
+		sloMargin:  sloMargin,
+		floorBoost: boost,
+		rls:        rls,
+		latency:    latencyModels,
+		fminC:      fmin[0],
+		fmaxC:      fmax[0],
+		fminG:      fmin[1:],
+		fmaxG:      fmax[1:],
+	}
+	return c, nil
+}
+
+// Name implements PowerController.
+func (c *CapGPU) Name() string { return "CapGPU" }
+
+// MPC exposes the underlying controller (for stability analysis).
+func (c *CapGPU) MPC() *mpc.Controller { return c.ctrl }
+
+// ModelInnovation returns the adaptive estimator's last one-step power
+// prediction error (0 when not adaptive or before the first update).
+func (c *CapGPU) ModelInnovation() float64 { return c.lastInnovation }
+
+// CurrentGains returns the gains the MPC is currently using.
+func (c *CapGPU) CurrentGains() []float64 { return c.ctrl.Gains() }
+
+// CurrentModel returns the controller's present power model in natural
+// units: the RLS estimate when adaptive, otherwise the model it was
+// built with.
+func (c *CapGPU) CurrentModel() *sysid.Model {
+	if c.rls != nil && c.rls.Count() > 3 {
+		return c.denormModel()
+	}
+	return c.initial
+}
+
+// Decide implements PowerController: one MPC step.
+func (c *CapGPU) Decide(obs Observation) Decision {
+	// Online adaptation: the observation pairs the frequencies applied
+	// during the period with the period's average power — exactly the
+	// static-map sample p = A·F + C the estimator consumes. Two
+	// safeguards keep closed-loop RLS honest: updates are gated on
+	// genuine frequency excitation (steady-state dither carries no
+	// identification value and lets thermal drift pollute the gains),
+	// and the adapted gains are projected into the §4.4 trust region
+	// around the offline model before they steer the MPC.
+	if c.rls != nil && len(obs.GPUFreqMHz) == len(c.fminG) {
+		f := c.normReg(obs.CPUFreqGHz, obs.GPUFreqMHz)
+		if c.excited(f) {
+			if innov, err := c.rls.Update(f, obs.AvgPowerW); err == nil {
+				c.lastInnovation = innov
+				c.lastReg = f
+				// Let the estimate settle before steering the MPC.
+				if c.rls.Count() > 3 {
+					_ = c.ctrl.SetGains(c.projectGains(c.denormModel().Gains))
+				}
+			}
+		}
+	}
+	if !c.seen {
+		c.filt = obs.AvgPowerW
+		c.seen = true
+	} else {
+		c.filt = c.alpha*obs.AvgPowerW + (1-c.alpha)*c.filt
+	}
+	ng := len(obs.GPUFreqMHz)
+	freqs := make([]float64, 1+ng)
+	freqs[0] = obs.CPUFreqGHz
+	copy(freqs[1:], obs.GPUFreqMHz)
+
+	tp := make([]float64, 1+ng)
+	tp[0] = obs.CPUThroughputNorm
+	copy(tp[1:], obs.GPUThroughputNorm)
+
+	// SLO floors (Eq. 10b,c): invert each GPU's latency law with the
+	// safety margin, then apply the adaptive correction learned from
+	// measured latencies.
+	lower := make([]float64, 1+ng)
+	lower[0] = c.fminC
+	for i := 0; i < ng; i++ {
+		lower[1+i] = c.fminG[i]
+		if c.latency == nil || c.latency[i] == nil || len(obs.SLOs) != ng || obs.SLOs[i] <= 0 {
+			continue
+		}
+		lm := c.latency[i]
+		slo := obs.SLOs[i]
+		// Adapt the floor correction: a measured miss at (or above) the
+		// current floor means the model under-predicts; raise the boost.
+		// Comfortable headroom lets it decay back toward 1.
+		atFloor := true
+		if prev, err := mpc.SLOFrequencyBound(lm.EMin, lm.Gamma, lm.FMax, (1-c.sloMargin)*slo); err == nil {
+			atFloor = obs.GPUFreqMHz[i] >= 0.98*math.Min(prev*c.floorBoost[i], c.fmaxG[i])
+		}
+		if len(obs.GPULatencyS) == ng && obs.GPULatencyS[i] > 0 {
+			if obs.GPULatencyS[i] > slo && atFloor {
+				// Missing while already at the model floor: the law
+				// under-predicts; raise the correction.
+				c.floorBoost[i] *= 1.05
+			} else if obs.GPULatencyS[i] < 0.85*slo {
+				c.floorBoost[i] = math.Max(1, c.floorBoost[i]*0.995)
+			}
+			if c.floorBoost[i] > 2 {
+				c.floorBoost[i] = 2
+			}
+		}
+		bound, err := mpc.SLOFrequencyBound(lm.EMin, lm.Gamma, lm.FMax, (1-c.sloMargin)*slo)
+		if err != nil {
+			continue
+		}
+		bound *= c.floorBoost[i]
+		if bound > c.fmaxG[i] {
+			bound = c.fmaxG[i]
+		}
+		if bound > lower[1+i] {
+			lower[1+i] = bound
+		}
+	}
+
+	d, _, err := c.ctrl.Compute(c.filt, obs.SetpointW, freqs, tp, lower)
+	if err != nil {
+		// Constraint conflicts (e.g. every GPU pinned by SLO floors with
+		// the cap unreachable) degrade to holding the current point; the
+		// paper notes such set points need mechanisms beyond DVFS (§4.4).
+		return Decision{CPUFreqGHz: obs.CPUFreqGHz, GPUFreqMHz: append([]float64(nil), obs.GPUFreqMHz...)}
+	}
+	out := Decision{CPUFreqGHz: freqs[0] + c.beta*d[0], GPUFreqMHz: make([]float64, ng)}
+	for i := 0; i < ng; i++ {
+		out.GPUFreqMHz[i] = freqs[1+i] + c.beta*d[1+i]
+	}
+	return out
+}
+
+// normReg maps the applied frequencies into [0,1] per knob — the
+// estimator's coordinates.
+func (c *CapGPU) normReg(fc float64, fg []float64) []float64 {
+	f := make([]float64, 1+len(fg))
+	f[0] = (fc - c.fminC) / (c.fmaxC - c.fminC)
+	for i := range fg {
+		f[1+i] = (fg[i] - c.fminG[i]) / (c.fmaxG[i] - c.fminG[i])
+	}
+	return f
+}
+
+// denormModel converts the estimator's normalized-coordinate model back
+// to natural units (W/GHz, W/MHz).
+func (c *CapGPU) denormModel() *sysid.Model {
+	nm := c.rls.Model()
+	out := &sysid.Model{Gains: make([]float64, len(nm.Gains)), Offset: nm.Offset, N: nm.N}
+	out.Gains[0] = nm.Gains[0] / (c.fmaxC - c.fminC)
+	out.Offset -= out.Gains[0] * c.fminC
+	for i := range c.fminG {
+		out.Gains[1+i] = nm.Gains[1+i] / (c.fmaxG[i] - c.fminG[i])
+		out.Offset -= out.Gains[1+i] * c.fminG[i]
+	}
+	return out
+}
+
+// excited reports whether the (normalized) regressor has moved enough
+// since the last absorbed update to carry identification value (≥2% of
+// range on average across the knobs).
+func (c *CapGPU) excited(f []float64) bool {
+	if c.lastReg == nil {
+		return true
+	}
+	d := 0.0
+	for i := range f {
+		d += math.Abs(f[i] - c.lastReg[i])
+	}
+	return d/float64(len(f)) >= 0.02
+}
+
+// projectGains clamps adapted gains into [1/3x, 3x] of the offline
+// model's — the gain-error region §4.4 certifies stable — so a bad
+// stretch of data can degrade, but never destabilize, the controller.
+func (c *CapGPU) projectGains(g []float64) []float64 {
+	out := make([]float64, len(g))
+	for i := range g {
+		lo := c.initial.Gains[i] / 3
+		hi := c.initial.Gains[i] * 3
+		out[i] = math.Min(math.Max(g[i], lo), hi)
+	}
+	return out
+}
+
+// Harness runs a PowerController against a simulated server: the §3.1
+// feedback loop (measure → decide → modulate → actuate).
+type Harness struct {
+	Server     *sim.Server
+	Meter      *power.Meter
+	Bank       *actuator.Bank
+	Controller PowerController
+	// PeriodSeconds is the control period T (paper: 4, with 1 s meter
+	// sampling).
+	PeriodSeconds int
+	// Setpoint returns P_s for period k (enables Fig. 10's set-point
+	// steps). Required.
+	Setpoint func(period int) float64
+	// SLOs returns the per-GPU latency SLOs for period k; nil for none
+	// (enables Fig. 9's SLO changes).
+	SLOs func(period int) []float64
+	// OnPeriodStart, if set, runs before each control period — the hook
+	// experiments use to inject workload changes or faults mid-run.
+	OnPeriodStart func(period int, s *sim.Server)
+	// MeterDropout, if set, reports whether the power meter loses period
+	// k's samples entirely (fault injection). The loop then falls back
+	// to the last good period average instead of feeding the controller
+	// a zero.
+	MeterDropout func(period int) bool
+
+	lastGoodAvgW float64
+	haveGoodAvg  bool
+}
+
+// PeriodRecord is the harness's log entry for one control period.
+type PeriodRecord struct {
+	Period     int
+	AvgPowerW  float64
+	MaxPowerW  float64 // worst 1 s sample in the period (violation check)
+	SetpointW  float64
+	CPUFreqGHz float64
+	GPUFreqMHz []float64
+
+	GPUThroughput []float64 // img/s, period average
+	GPULatency    []float64 // s/batch, period average
+	GPUQueueDelay []float64 // s/img, period average
+	CPUThroughput float64   // subsets/s
+	CPULatency    float64   // s/subset
+
+	CPUPowerW float64
+	GPUPowerW []float64
+
+	SLOs     []float64
+	SLOMiss  []bool // latency exceeded the SLO this period
+	Decision Decision
+	// EnergyJ is the true energy drawn during this period (Joules);
+	// divide period throughput by it for inferences per Joule.
+	EnergyJ float64
+}
+
+// NewHarness wires the standard loop: ACPI-style meter at 1 s sampling
+// and a delta-sigma bank matching the server's grids.
+func NewHarness(s *sim.Server, ctrl PowerController, setpoint func(int) float64) (*Harness, error) {
+	if setpoint == nil {
+		return nil, fmt.Errorf("core: nil setpoint schedule")
+	}
+	meter, err := power.NewMeter(1)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.Config()
+	n := 1 + s.NumGPUs()
+	mins := make([]float64, n)
+	maxs := make([]float64, n)
+	steps := make([]float64, n)
+	mins[0], maxs[0], steps[0] = cfg.CPU.FreqMinGHz, cfg.CPU.FreqMaxGHz, cfg.CPU.FreqStepGHz
+	for i, g := range cfg.GPUs {
+		mins[1+i], maxs[1+i], steps[1+i] = g.FreqMinMHz, g.FreqMaxMHz, g.FreqStepMHz
+	}
+	bank, err := actuator.NewBank(mins, maxs, steps)
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{
+		Server:        s,
+		Meter:         meter,
+		Bank:          bank,
+		Controller:    ctrl,
+		PeriodSeconds: 4,
+		Setpoint:      setpoint,
+	}, nil
+}
+
+// Run executes the loop for the given number of control periods and
+// returns one record per period.
+func (h *Harness) Run(periods int) ([]PeriodRecord, error) {
+	records := make([]PeriodRecord, 0, periods)
+	for k := 0; k < periods; k++ {
+		rec, err := h.StepPeriod(k)
+		if err != nil {
+			return records, err
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// StepPeriod executes a single control period with the given index
+// (the index drives the set-point and SLO schedules). Cluster-level
+// coordinators use this to interleave many servers' loops.
+func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
+	if h.PeriodSeconds <= 0 {
+		return PeriodRecord{}, fmt.Errorf("core: control period %d must be positive", h.PeriodSeconds)
+	}
+	s := h.Server
+	ng := s.NumGPUs()
+	{
+		if h.OnPeriodStart != nil {
+			h.OnPeriodStart(k, s)
+		}
+		dropout := h.MeterDropout != nil && h.MeterDropout(k)
+		start := s.Now()
+		setpoint := h.Setpoint(k)
+		var slos []float64
+		if h.SLOs != nil {
+			slos = h.SLOs(k)
+		}
+
+		// Advance one control period, sampling the meter each second and
+		// accumulating workload statistics.
+		rec := PeriodRecord{
+			Period:        k,
+			SetpointW:     setpoint,
+			CPUFreqGHz:    s.CPUFreq(),
+			GPUFreqMHz:    make([]float64, ng),
+			GPUThroughput: make([]float64, ng),
+			GPULatency:    make([]float64, ng),
+			GPUQueueDelay: make([]float64, ng),
+			GPUPowerW:     make([]float64, ng),
+			SLOs:          slos,
+			SLOMiss:       make([]bool, ng),
+		}
+		for i := 0; i < ng; i++ {
+			rec.GPUFreqMHz[i] = s.GPUFreq(i)
+		}
+		cpuTP, cpuLat, cpuP := 0.0, 0.0, 0.0
+		energyStart := s.EnergyJ()
+		for t := 0; t < h.PeriodSeconds; t++ {
+			smp := s.Tick(1)
+			if !dropout {
+				h.Meter.Sample(s)
+			}
+			if smp.MeasuredW > rec.MaxPowerW {
+				rec.MaxPowerW = smp.MeasuredW
+			}
+			for i := 0; i < ng; i++ {
+				rec.GPUThroughput[i] += smp.GPUStats[i].Throughput
+				rec.GPULatency[i] += smp.GPUStats[i].GPUBatchLatency
+				rec.GPUQueueDelay[i] += smp.GPUStats[i].QueueDelay
+				rec.GPUPowerW[i] += smp.GPUPowerW[i]
+			}
+			cpuTP += smp.CPUStats.Throughput
+			cpuLat += smp.CPUStats.Latency
+			cpuP += smp.CPUPowerW
+		}
+		inv := 1 / float64(h.PeriodSeconds)
+		for i := 0; i < ng; i++ {
+			rec.GPUThroughput[i] *= inv
+			rec.GPULatency[i] *= inv
+			rec.GPUQueueDelay[i] *= inv
+			rec.GPUPowerW[i] *= inv
+			if len(slos) == ng && slos[i] > 0 && rec.GPULatency[i] > slos[i] {
+				rec.SLOMiss[i] = true
+			}
+		}
+		rec.CPUThroughput = cpuTP * inv
+		rec.CPULatency = cpuLat * inv
+		rec.CPUPowerW = cpuP * inv
+		rec.EnergyJ = s.EnergyJ() - energyStart
+		avg, nSamples := h.Meter.AverageSince(start)
+		if nSamples == 0 {
+			// Meter fault: hold the last good reading rather than hand
+			// the controller a zero (which would slam every clock up).
+			if h.haveGoodAvg {
+				avg = h.lastGoodAvgW
+			} else {
+				avg = setpoint // best available prior before any sample
+			}
+		} else {
+			h.lastGoodAvgW = avg
+			h.haveGoodAvg = true
+		}
+		rec.AvgPowerW = avg
+
+		// Build the observation and let the controller decide.
+		obs := Observation{
+			Period:            k,
+			AvgPowerW:         avg,
+			SetpointW:         setpoint,
+			CPUFreqGHz:        s.CPUFreq(),
+			GPUFreqMHz:        rec.GPUFreqMHz,
+			GPUThroughputNorm: make([]float64, ng),
+			GPUUtil:           make([]float64, ng),
+			GPULatencyS:       rec.GPULatency,
+			CPUPowerW:         rec.CPUPowerW,
+			GPUPowerW:         rec.GPUPowerW,
+			SLOs:              slos,
+		}
+		last := s.Last()
+		obs.CPUUtil = last.CPUUtil
+		for i := 0; i < ng; i++ {
+			obs.GPUUtil[i] = last.GPUUtil[i]
+			if p := s.Pipeline(i); p != nil && p.MaxThroughput() > 0 {
+				obs.GPUThroughputNorm[i] = clamp01(rec.GPUThroughput[i] / p.MaxThroughput())
+			}
+		}
+		if w := s.CPUWorkload(); w != nil && w.MaxThroughput() > 0 {
+			obs.CPUThroughputNorm = clamp01(rec.CPUThroughput / w.MaxThroughput())
+		}
+		dec := h.Controller.Decide(obs)
+		rec.Decision = dec
+
+		// Resolve fractional targets through the modulators and apply.
+		targets := make([]float64, 1+ng)
+		targets[0] = dec.CPUFreqGHz
+		copy(targets[1:], dec.GPUFreqMHz)
+		applied, err := h.Bank.Next(targets)
+		if err != nil {
+			return rec, fmt.Errorf("core: period %d: %w", k, err)
+		}
+		s.SetCPUFreq(applied[0])
+		for i := 0; i < ng; i++ {
+			if _, err := s.SetGPUFreq(i, applied[1+i]); err != nil {
+				return rec, fmt.Errorf("core: period %d: %w", k, err)
+			}
+		}
+		return rec, nil
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

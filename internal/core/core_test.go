@@ -1,0 +1,408 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/sysid"
+	"repro/internal/workload"
+)
+
+// testRig builds a 3-GPU server with standard workloads and an
+// identified model.
+func testRig(t *testing.T, seed int64) (*sim.Server, *sysid.Model, []*sysid.LatencyModel) {
+	t.Helper()
+	build := func(sd int64) *sim.Server {
+		s, err := sim.NewServer(sim.DefaultTestbed(sd))
+		if err != nil {
+			t.Fatal(err)
+		}
+		zoo := workload.Zoo()
+		names := []string{"resnet50", "swin_t", "vgg16"}
+		rates := []float64{250, 100, 130}
+		for i := 0; i < 3; i++ {
+			p, err := workload.NewPipeline(workload.PipelineConfig{
+				Model: zoo[names[i]], Workers: 2, PreLatencyBase: 0.005,
+				PreLatencyExp: 0.4, ArrivalRateMax: rates[i], ArrivalExp: 0.5,
+				QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: sd + int64(i),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AttachPipeline(i, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w, err := workload.NewCPUWorkload(workload.CPUWorkloadConfig{
+			RateAtMax: 40, FcMax: 2.4, NoiseStd: 0.02, Seed: sd + 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AttachCPUWorkload(w)
+		return s
+	}
+	twin := build(seed + 1000)
+	model, _, err := sysid.Identify(twin, sysid.ExciteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoo := workload.Zoo()
+	lms := []*sysid.LatencyModel{
+		{EMin: zoo["resnet50"].EMinBatch, Gamma: 0.91, FMax: 1350},
+		{EMin: zoo["swin_t"].EMinBatch, Gamma: 0.91, FMax: 1350},
+		{EMin: zoo["vgg16"].EMinBatch, Gamma: 0.91, FMax: 1350},
+	}
+	return build(seed), model, lms
+}
+
+func TestNewCapGPUValidation(t *testing.T) {
+	s, model, lms := testRig(t, 1)
+	bad := &sysid.Model{Gains: []float64{1, 2}}
+	if _, err := NewCapGPU(bad, s, nil, Options{}); err == nil {
+		t.Fatal("expected gain-count error")
+	}
+	if _, err := NewCapGPU(model, s, lms[:2], Options{}); err == nil {
+		t.Fatal("expected latency-model-count error")
+	}
+	if _, err := NewCapGPU(model, s, lms, Options{FilterAlpha: 2}); err == nil {
+		t.Fatal("expected filter-alpha error")
+	}
+	if _, err := NewCapGPU(model, s, lms, Options{MoveGain: 1.5}); err == nil {
+		t.Fatal("expected move-gain error")
+	}
+	if _, err := NewCapGPU(model, s, lms, Options{SLOMargin: 1.5}); err == nil {
+		t.Fatal("expected slo-margin error")
+	}
+	c, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "CapGPU" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if c.MPC() == nil {
+		t.Fatal("MPC accessor nil")
+	}
+}
+
+func TestNewHarnessValidation(t *testing.T) {
+	s, model, lms := testRig(t, 2)
+	ctrl, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHarness(s, ctrl, nil); err == nil {
+		t.Fatal("expected nil-setpoint error")
+	}
+	h, err := NewHarness(s, ctrl, func(int) float64 { return 900 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.PeriodSeconds != 4 {
+		t.Fatalf("default period = %d, want 4 (paper T)", h.PeriodSeconds)
+	}
+	h.PeriodSeconds = 0
+	if _, err := h.Run(1); err == nil {
+		t.Fatal("expected invalid-period error")
+	}
+}
+
+func TestHarnessConvergesToSetpoint(t *testing.T) {
+	s, model, lms := testRig(t, 3)
+	ctrl, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(s, ctrl, func(int) float64 { return 900 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := h.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 60 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	var tail []float64
+	for _, r := range recs[20:] {
+		tail = append(tail, r.AvgPowerW)
+	}
+	mean := metrics.Mean(tail)
+	if math.Abs(mean-900) > 15 {
+		t.Fatalf("steady-state mean %g, want ~900", mean)
+	}
+	// Records must be internally consistent.
+	for _, r := range recs {
+		if r.AvgPowerW <= 0 || r.MaxPowerW < r.AvgPowerW-50 {
+			t.Fatalf("period %d: implausible power (avg %g, max %g)", r.Period, r.AvgPowerW, r.MaxPowerW)
+		}
+		if len(r.GPUFreqMHz) != 3 || len(r.GPUThroughput) != 3 {
+			t.Fatalf("period %d: wrong GPU vector sizes", r.Period)
+		}
+		if r.CPUThroughput <= 0 {
+			t.Fatalf("period %d: no CPU throughput", r.Period)
+		}
+	}
+}
+
+func TestHarnessDeterministic(t *testing.T) {
+	run := func() []float64 {
+		s, model, lms := testRig(t, 4)
+		ctrl, err := NewCapGPU(model, s, lms, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := NewHarness(s, ctrl, func(int) float64 { return 950 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := h.Run(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(recs))
+		for i, r := range recs {
+			out[i] = r.AvgPowerW
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("period %d differs: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHarnessSetpointSchedule(t *testing.T) {
+	s, model, lms := testRig(t, 5)
+	ctrl, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := func(k int) float64 {
+		if k < 20 {
+			return 850
+		}
+		return 950
+	}
+	h, err := NewHarness(s, ctrl, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := h.Run(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after []float64
+	for _, r := range recs {
+		if r.Period >= 10 && r.Period < 20 {
+			before = append(before, r.AvgPowerW)
+		}
+		if r.Period >= 35 {
+			after = append(after, r.AvgPowerW)
+		}
+	}
+	if math.Abs(metrics.Mean(before)-850) > 15 {
+		t.Fatalf("pre-step mean %g, want ~850", metrics.Mean(before))
+	}
+	if math.Abs(metrics.Mean(after)-950) > 15 {
+		t.Fatalf("post-step mean %g, want ~950", metrics.Mean(after))
+	}
+}
+
+func TestCapGPUSLOFloorsHold(t *testing.T) {
+	s, model, lms := testRig(t, 6)
+	ctrl, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(s, ctrl, func(int) float64 { return 1000 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tight SLO on GPU 0 (1.3x its best latency), loose on the others.
+	slos := []float64{lms[0].EMin * 1.3, lms[1].EMin * 4, lms[2].EMin * 4}
+	h.SLOs = func(int) []float64 { return slos }
+	recs, err := h.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := 0
+	for _, r := range recs[15:] {
+		if r.SLOMiss[0] {
+			misses++
+		}
+	}
+	if misses > 2 {
+		t.Fatalf("GPU 0 missed its SLO in %d/35 steady periods", misses)
+	}
+}
+
+// asymmetricRig builds a server where GPU 2 has no workload, the
+// scenario where throughput-driven weight assignment pays off.
+func asymmetricRig(t *testing.T, seed int64) *sim.Server {
+	t.Helper()
+	s, err := sim.NewServer(sim.DefaultTestbed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoo := workload.Zoo()
+	cfgs := []workload.PipelineConfig{
+		{Model: zoo["resnet50"], Workers: 2, PreLatencyBase: 0.005, PreLatencyExp: 0.4,
+			ArrivalRateMax: 250, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: seed + 1},
+		{Model: zoo["swin_t"], Workers: 2, PreLatencyBase: 0.01, PreLatencyExp: 0.4,
+			ArrivalRateMax: 100, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: seed + 2},
+	}
+	for i, cfg := range cfgs {
+		p, err := workload.NewPipeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AttachPipeline(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := workload.NewCPUWorkload(workload.CPUWorkloadConfig{RateAtMax: 40, FcMax: 2.4, Seed: seed + 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachCPUWorkload(w)
+	return s
+}
+
+func TestCapGPUWeightsParkIdleGPU(t *testing.T) {
+	// The weight-assignment algorithm should throttle a workload-less
+	// GPU (its normalized throughput is 0, so its control penalty is
+	// maximal) and redirect the freed power to the busy devices — the
+	// core claim of the paper's §4.3 weight design.
+	twin := asymmetricRig(t, 1100)
+	model, _, err := sysid.Identify(twin, sysid.ExciteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(uniform bool) (idleFreq, busyTput float64) {
+		s := asymmetricRig(t, 42)
+		opts := Options{}
+		opts.MPC.UniformWeights = uniform
+		ctrl, err := NewCapGPU(model, s, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := NewHarness(s, ctrl, func(int) float64 { return 850 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := h.Run(80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs[40:] {
+			idleFreq += r.GPUFreqMHz[2]
+			busyTput += r.GPUThroughput[0] + r.GPUThroughput[1]
+		}
+		n := float64(len(recs) - 40)
+		return idleFreq / n, busyTput / n
+	}
+	wIdle, wTput := run(false)
+	uIdle, uTput := run(true)
+	if wIdle >= uIdle-50 {
+		t.Fatalf("weighted idle-GPU clock %g should sit well below uniform %g", wIdle, uIdle)
+	}
+	if wTput <= uTput {
+		t.Fatalf("weighted busy throughput %g should beat uniform %g", wTput, uTput)
+	}
+}
+
+func TestDecisionFallbackOnDegenerateObservation(t *testing.T) {
+	s, model, lms := testRig(t, 8)
+	ctrl, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An observation with mismatched GPU count must not panic; the MPC
+	// rejects it and the controller holds the current operating point.
+	obs := Observation{
+		AvgPowerW:  900,
+		SetpointW:  900,
+		CPUFreqGHz: 1.5,
+		GPUFreqMHz: []float64{800, 800}, // wrong count (server has 3)
+	}
+	dec := ctrl.Decide(obs)
+	if dec.CPUFreqGHz != 1.5 || len(dec.GPUFreqMHz) != 2 {
+		t.Fatalf("fallback decision should hold the point: %+v", dec)
+	}
+}
+
+func TestCapGPUOnHeterogeneousServer(t *testing.T) {
+	// End to end on a mixed V100 + A100 box: identification, control,
+	// convergence — exercising per-device gains and ranges.
+	build := func(seed int64) *sim.Server {
+		cfg := sim.Config{
+			CPU:        sim.XeonGold5215(),
+			GPUs:       []sim.GPUSpec{sim.TeslaV100(), sim.A100()},
+			OtherW:     220,
+			MeasNoiseW: 2,
+			DriftStdW:  8,
+			Seed:       seed,
+		}
+		s, err := sim.NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zoo := workload.Zoo()
+		for i, name := range []string{"resnet50", "swin_t"} {
+			p, err := workload.NewPipeline(workload.PipelineConfig{
+				Model: zoo[name], Workers: 1, PreLatencyBase: 0.005, PreLatencyExp: 0.4,
+				ArrivalRateMax: 150, ArrivalExp: 0.5, QueueCap: 60,
+				FcMax: 2.4, FgMax: cfg.GPUs[i].FreqMaxMHz, Seed: seed + int64(i),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AttachPipeline(i, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w, err := workload.NewCPUWorkload(workload.CPUWorkloadConfig{RateAtMax: 40, FcMax: 2.4, Seed: seed + 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AttachCPUWorkload(w)
+		return s
+	}
+	twin := build(900)
+	model, _, err := sysid.Identify(twin, sysid.ExciteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Gains) != 3 {
+		t.Fatalf("gains: %v", model.Gains)
+	}
+	s := build(7)
+	ctrl, err := NewCapGPU(model, s, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(s, ctrl, func(int) float64 { return 750 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := h.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail []float64
+	for _, r := range recs[30:] {
+		tail = append(tail, r.AvgPowerW)
+		if r.GPUFreqMHz[0] < 435-1e-9 || r.GPUFreqMHz[1] < 210-1e-9 {
+			t.Fatalf("period %d: device floors violated: %v", r.Period, r.GPUFreqMHz)
+		}
+	}
+	if m := metrics.Mean(tail); math.Abs(m-750) > 12 {
+		t.Fatalf("heterogeneous steady mean %g, want ~750", m)
+	}
+}

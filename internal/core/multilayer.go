@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MultiLayer implements the paper's §4.4 future-work direction: when no
+// combination of CPU/GPU frequencies can reach the power set point
+// ("if no such combination exists, then no single control algorithm can
+// strictly enforce the set point through frequency adaptation alone...
+// additional system mechanisms (e.g., memory throttling) must be
+// integrated"), a second actuation layer engages per-GPU memory-clock
+// throttling.
+//
+// The layer is a slow supervisory loop around any inner PowerController:
+// it watches for the signature of frequency-infeasibility — sustained
+// over-cap power with every clock pinned at its minimum — and then
+// throttles one GPU's memory clock at a time (lowest normalized
+// throughput first, so the least productive device pays). When sustained
+// headroom appears, throttles release one at a time, newest first, with
+// hysteresis to prevent limit cycling between the layers.
+type MultiLayer struct {
+	Inner  PowerController
+	server *sim.Server
+	gains  []float64 // identified model gains (CPU first), for slack estimates
+
+	// EngageAfter is how many consecutive infeasible periods trigger a
+	// throttle (default 3); ReleaseAfter how many comfortable periods
+	// release one (default 6). HeadroomW is the margin required before a
+	// release (default: 1.5x the largest per-GPU throttle saving).
+	EngageAfter  int
+	ReleaseAfter int
+	HeadroomW    float64
+
+	overCount  int
+	underCount int
+	order      []int // engaged GPUs, in engagement order
+}
+
+// NewMultiLayer wraps an inner controller with the memory-throttle
+// supervisory layer for the given server. gains is the identified power
+// model's gain vector (CPU first), used to estimate how much downward
+// frequency slack — in Watts — the inner layer holds.
+func NewMultiLayer(inner PowerController, server *sim.Server, gains []float64) (*MultiLayer, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("core: nil inner controller")
+	}
+	if server == nil {
+		return nil, fmt.Errorf("core: nil server")
+	}
+	if len(gains) != 1+server.NumGPUs() {
+		return nil, fmt.Errorf("core: %d gains for %d knobs", len(gains), 1+server.NumGPUs())
+	}
+	maxSave := 0.0
+	for _, g := range server.Config().GPUs {
+		if g.MemThrottleSaveW > maxSave {
+			maxSave = g.MemThrottleSaveW
+		}
+	}
+	if maxSave <= 0 {
+		return nil, fmt.Errorf("core: server's GPUs expose no memory-throttle savings")
+	}
+	m := &MultiLayer{
+		Inner:        inner,
+		server:       server,
+		gains:        append([]float64(nil), gains...),
+		EngageAfter:  3,
+		ReleaseAfter: 6,
+		HeadroomW:    1.5 * maxSave,
+	}
+	return m, nil
+}
+
+// Name implements PowerController.
+func (m *MultiLayer) Name() string { return m.Inner.Name() + " + mem-throttle" }
+
+// ThrottledGPUs returns the indices of currently throttled GPUs.
+func (m *MultiLayer) ThrottledGPUs() []int {
+	return append([]int(nil), m.order...)
+}
+
+// Decide implements PowerController.
+func (m *MultiLayer) Decide(obs Observation) Decision {
+	dec := m.Inner.Decide(obs)
+
+	// Infeasibility signature: over the cap while the inner controller
+	// has nowhere lower to go.
+	cfg := m.server.Config()
+	atFloor := dec.CPUFreqGHz <= cfg.CPU.FreqMinGHz+cfg.CPU.FreqStepGHz/2
+	for i, f := range dec.GPUFreqMHz {
+		if i >= len(cfg.GPUs) {
+			break
+		}
+		if f > cfg.GPUs[i].FreqMinMHz+cfg.GPUs[i].FreqStepMHz/2 {
+			atFloor = false
+		}
+	}
+	over := obs.AvgPowerW > obs.SetpointW+2
+
+	// Downward frequency slack, in Watts: how much power the inner layer
+	// could still shed by lowering clocks. A release hands the inner
+	// layer back +save Watts, so it is only safe when the slack
+	// comfortably exceeds the saving (otherwise the layers limit-cycle).
+	slackW := m.gains[0] * (dec.CPUFreqGHz - cfg.CPU.FreqMinGHz)
+	for i, f := range dec.GPUFreqMHz {
+		if i < len(cfg.GPUs) {
+			slackW += m.gains[1+i] * (f - cfg.GPUs[i].FreqMinMHz)
+		}
+	}
+	// Release gating tolerates ordinary tracking noise (the ±few-Watt
+	// wander around the cap); only a substantial over-cap condition
+	// blocks it.
+	nearCap := obs.AvgPowerW < obs.SetpointW+m.HeadroomW/2
+	canRelease := len(m.order) > 0 && nearCap && slackW > m.HeadroomW
+
+	if over && atFloor && len(m.order) < m.server.NumGPUs() {
+		m.overCount++
+		m.underCount = 0
+		if m.overCount >= m.EngageAfter {
+			m.engageOne(obs)
+			m.overCount = 0
+		}
+	} else if canRelease {
+		m.underCount++
+		m.overCount = 0
+		if m.underCount >= m.ReleaseAfter {
+			m.releaseOne()
+			m.underCount = 0
+		}
+	} else {
+		m.overCount = 0
+		m.underCount = 0
+	}
+	return dec
+}
+
+// engageOne throttles the not-yet-throttled GPU with the lowest
+// normalized throughput (the least productive device pays first).
+func (m *MultiLayer) engageOne(obs Observation) {
+	engaged := map[int]bool{}
+	for _, i := range m.order {
+		engaged[i] = true
+	}
+	best, bestTput := -1, 0.0
+	for i := 0; i < m.server.NumGPUs(); i++ {
+		if engaged[i] {
+			continue
+		}
+		tput := 0.0
+		if i < len(obs.GPUThroughputNorm) {
+			tput = obs.GPUThroughputNorm[i]
+		}
+		if best < 0 || tput < bestTput {
+			best, bestTput = i, tput
+		}
+	}
+	if best >= 0 {
+		if err := m.server.SetMemThrottle(best, true); err == nil {
+			m.order = append(m.order, best)
+		}
+	}
+}
+
+// releaseOne releases the most recently engaged throttle (LIFO keeps the
+// engage/release ordering consistent under hysteresis).
+func (m *MultiLayer) releaseOne() {
+	if len(m.order) == 0 {
+		return
+	}
+	last := m.order[len(m.order)-1]
+	if err := m.server.SetMemThrottle(last, false); err == nil {
+		m.order = m.order[:len(m.order)-1]
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func TestNewMultiLayerValidation(t *testing.T) {
+	s, model, lms := testRig(t, 20)
+	inner, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMultiLayer(nil, s, model.Gains); err == nil {
+		t.Fatal("expected nil-inner error")
+	}
+	if _, err := NewMultiLayer(inner, nil, model.Gains); err == nil {
+		t.Fatal("expected nil-server error")
+	}
+	// A server whose GPUs expose no throttle savings is rejected.
+	cfg := sim.DefaultTestbed(1)
+	for i := range cfg.GPUs {
+		cfg.GPUs[i].MemThrottleSaveW = 0
+	}
+	bare, err := sim.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMultiLayer(inner, bare, model.Gains); err == nil {
+		t.Fatal("expected no-savings error")
+	}
+	ml, err := NewMultiLayer(inner, s, model.Gains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Name() != "CapGPU + mem-throttle" {
+		t.Fatalf("name = %q", ml.Name())
+	}
+}
+
+// infeasibleCap is a set point below the server's frequency-only power
+// floor; only the memory-throttle layer can reach it.
+func infeasibleCap(t *testing.T, s *sim.Server) float64 {
+	t.Helper()
+	lo, _ := s.PowerRange()
+	return lo - 30
+}
+
+func TestMultiLayerReachesInfeasibleCap(t *testing.T) {
+	s, model, lms := testRig(t, 21)
+	cap := infeasibleCap(t, s)
+
+	inner, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := NewMultiLayer(inner, s, model.Gains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(s, ml, func(int) float64 { return cap })
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := h.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail []float64
+	for _, r := range recs[30:] {
+		tail = append(tail, r.AvgPowerW)
+	}
+	mean := metrics.Mean(tail)
+	if mean > cap+8 {
+		t.Fatalf("multi-layer steady mean %g did not reach infeasible cap %g", mean, cap)
+	}
+	if len(ml.ThrottledGPUs()) == 0 {
+		t.Fatal("no memory throttle engaged")
+	}
+}
+
+func TestFrequencyOnlyControllerCannotReachInfeasibleCap(t *testing.T) {
+	s, model, lms := testRig(t, 21)
+	cap := infeasibleCap(t, s)
+	inner, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(s, inner, func(int) float64 { return cap })
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := h.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail []float64
+	for _, r := range recs[30:] {
+		tail = append(tail, r.AvgPowerW)
+	}
+	if mean := metrics.Mean(tail); mean <= cap+8 {
+		t.Fatalf("frequency-only controller implausibly reached the infeasible cap: %g vs %g", mean, cap)
+	}
+}
+
+func TestMultiLayerReleasesOnHeadroom(t *testing.T) {
+	s, model, lms := testRig(t, 22)
+	lowCap := infeasibleCap(t, s)
+	inner, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := NewMultiLayer(inner, s, model.Gains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Infeasible cap for 40 periods, then a generous one.
+	sched := func(k int) float64 {
+		if k < 40 {
+			return lowCap
+		}
+		return 1000
+	}
+	h, err := NewHarness(s, ml, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engagedMid := false
+	h.OnPeriodStart = func(k int, _ *sim.Server) {
+		if k == 39 && len(ml.ThrottledGPUs()) > 0 {
+			engagedMid = true
+		}
+	}
+	if _, err := h.Run(90); err != nil {
+		t.Fatal(err)
+	}
+	if !engagedMid {
+		t.Fatal("no throttle engaged during the infeasible phase")
+	}
+	if n := len(ml.ThrottledGPUs()); n != 0 {
+		t.Fatalf("%d throttles still engaged after headroom returned", n)
+	}
+}
+
+func TestHarnessMeterDropoutFallback(t *testing.T) {
+	s, model, lms := testRig(t, 23)
+	ctrl, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(s, ctrl, func(int) float64 { return 900 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The meter goes dark for periods 30-34.
+	h.MeterDropout = func(k int) bool { return k >= 30 && k < 35 }
+	recs, err := h.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[29:35] {
+		if r.AvgPowerW <= 0 {
+			t.Fatalf("period %d: dropout fed the controller %g W", r.Period, r.AvgPowerW)
+		}
+	}
+	// Control must survive the outage: back near the cap by the end.
+	var tail []float64
+	for _, r := range recs[50:] {
+		tail = append(tail, r.AvgPowerW)
+	}
+	if m := metrics.Mean(tail); m < 870 || m > 930 {
+		t.Fatalf("post-outage mean %g strayed from the 900 W cap", m)
+	}
+}
+
+func TestHarnessOnPeriodStartHook(t *testing.T) {
+	s, model, lms := testRig(t, 24)
+	ctrl, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(s, ctrl, func(int) float64 { return 900 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	h.OnPeriodStart = func(k int, srv *sim.Server) {
+		fired = append(fired, k)
+		if k == 5 {
+			// Detach GPU 2's workload mid-run.
+			if err := srv.AttachPipeline(2, nil); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	recs, err := h.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 10 || fired[0] != 0 || fired[9] != 9 {
+		t.Fatalf("hook firing pattern wrong: %v", fired)
+	}
+	if recs[7].GPUThroughput[2] != 0 {
+		t.Fatalf("GPU 2 still reporting throughput after detach: %g", recs[7].GPUThroughput[2])
+	}
+}
+
+func TestAdaptiveCapGPUTracksGainChange(t *testing.T) {
+	s, model, lms := testRig(t, 25)
+	ctrl, err := NewCapGPU(model, s, lms, Options{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(s, ctrl, func(int) float64 { return 900 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detach two pipelines mid-run: GPU utilization collapses, so the
+	// true power-vs-frequency slope of those GPUs drops by ~40%.
+	h.OnPeriodStart = func(k int, srv *sim.Server) {
+		if k == 40 {
+			_ = srv.AttachPipeline(1, nil)
+			_ = srv.AttachPipeline(2, nil)
+		}
+	}
+	if _, err := h.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	adapted := ctrl.CurrentGains()
+	// The adaptive gains must have moved off the initial estimate for
+	// the idled GPUs.
+	moved := 0
+	for i := 2; i <= 3; i++ {
+		if adapted[i] < model.Gains[i]*0.95 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("adaptive gains did not track the workload change: %v vs %v",
+			adapted, model.Gains)
+	}
+	if ctrl.ModelInnovation() == 0 {
+		t.Fatal("no innovation recorded")
+	}
+}

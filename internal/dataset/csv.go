@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes a trace as CSV: a header of feature names plus a
+// final "target" column, one row per record. The format round-trips
+// through ReadCSV and matches how published resource traces (including
+// the Alibaba PAI release) ship, so users can substitute real data for
+// the synthetic generator.
+func (t *PAITrace) WriteCSV(w io.Writer) error {
+	if len(t.X) != len(t.Y) {
+		return fmt.Errorf("dataset: %d rows but %d targets", len(t.X), len(t.Y))
+	}
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, t.FeatureNames...), "target")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(t.FeatureNames)+1)
+	for i, xs := range t.X {
+		if len(xs) != len(t.FeatureNames) {
+			return fmt.Errorf("dataset: row %d has %d features, want %d", i, len(xs), len(t.FeatureNames))
+		}
+		for j, v := range xs {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		row[len(row)-1] = strconv.FormatFloat(t.Y[i], 'g', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or any CSV whose last
+// column is the regression target and whose first row is a header).
+func ReadCSV(r io.Reader) (*PAITrace, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("dataset: need at least one feature column plus the target, got %d columns", len(header))
+	}
+	d := len(header) - 1
+	tr := &PAITrace{FeatureNames: append([]string{}, header[:d]...)}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		if len(rec) != d+1 {
+			return nil, fmt.Errorf("dataset: line %d has %d columns, want %d", line, len(rec), d+1)
+		}
+		xs := make([]float64, d)
+		for j := 0; j < d; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %q: %w", line, header[j], err)
+			}
+			xs[j] = v
+		}
+		y, err := strconv.ParseFloat(rec[d], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d target: %w", line, err)
+		}
+		tr.X = append(tr.X, xs)
+		tr.Y = append(tr.Y, y)
+	}
+	if len(tr.X) == 0 {
+		return nil, fmt.Errorf("dataset: no data rows")
+	}
+	return tr, nil
+}

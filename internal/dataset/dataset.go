@@ -1,0 +1,179 @@
+// Package dataset generates the synthetic datasets that stand in for the
+// paper's proprietary inputs: a resource-usage trace shaped like the
+// Alibaba PAI trace (used by the exhaustive-feature-selection CPU
+// workload) and a wildlife-image workload descriptor stream (used by the
+// motivation experiment's preprocessing pipeline).
+//
+// Real traces are not redistributable; what the experiments need from
+// them is only (a) a regression task with correlated features of varying
+// usefulness, so that exhaustive feature selection has a non-trivial
+// optimum, and (b) a stream of image sizes for preprocessing-cost
+// modeling. Both generators are deterministic given a seed.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PAITrace is a synthetic stand-in for the Alibaba PAI machine-learning
+// trace: per-task resource requests/usages with a target column
+// (e.g. actual GPU utilization) to be predicted from the features.
+type PAITrace struct {
+	FeatureNames []string
+	X            [][]float64 // rows of feature values
+	Y            []float64   // regression target
+}
+
+// PAIConfig controls trace generation.
+type PAIConfig struct {
+	Rows     int   // number of task records (default 512)
+	Features int   // number of candidate features (default 8)
+	Seed     int64 // RNG seed
+	// NoiseStd is the observation noise on the target (default 0.05).
+	NoiseStd float64
+}
+
+func (c *PAIConfig) defaults() PAIConfig {
+	out := *c
+	if out.Rows == 0 {
+		out.Rows = 512
+	}
+	if out.Features == 0 {
+		out.Features = 8
+	}
+	if out.NoiseStd == 0 {
+		out.NoiseStd = 0.05
+	}
+	return out
+}
+
+// paiFeatureNames mirror the columns a PAI-style task trace exposes.
+var paiFeatureNames = []string{
+	"plan_cpu", "plan_mem", "plan_gpu", "cap_cpu",
+	"cap_mem", "inst_num", "duration_est", "gpu_type_score",
+	"queue_len", "wait_time", "group_load", "user_prio",
+}
+
+// GeneratePAI builds a synthetic PAI-like trace. The target (actual GPU
+// utilization) depends strongly on a small subset of the features
+// (plan_gpu, inst_num, duration_est), weakly on one more (plan_cpu), and
+// not at all on the rest; several useless features are correlated with
+// useful ones so that naive single-feature ranking is misleading and the
+// exhaustive subset search in internal/fsel has real work to do.
+func GeneratePAI(cfg PAIConfig) (*PAITrace, error) {
+	c := cfg.defaults()
+	if c.Features < 4 {
+		return nil, fmt.Errorf("dataset: need at least 4 features, got %d", c.Features)
+	}
+	if c.Features > len(paiFeatureNames) {
+		return nil, fmt.Errorf("dataset: at most %d features supported, got %d", len(paiFeatureNames), c.Features)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	tr := &PAITrace{
+		FeatureNames: append([]string(nil), paiFeatureNames[:c.Features]...),
+		X:            make([][]float64, c.Rows),
+		Y:            make([]float64, c.Rows),
+	}
+	for i := 0; i < c.Rows; i++ {
+		row := make([]float64, c.Features)
+		planGPU := 0.1 + 0.9*rng.Float64()            // fraction of a GPU requested
+		instNum := float64(1 + rng.Intn(8))           // task instances
+		durEst := math.Exp(rng.NormFloat64()*0.5 + 2) // minutes, log-normal
+		planCPU := 2 + 14*rng.Float64()               // vCPUs
+
+		for j := 0; j < c.Features; j++ {
+			switch paiFeatureNames[j] {
+			case "plan_cpu":
+				row[j] = planCPU
+			case "plan_mem":
+				// Correlated with plan_cpu but useless for the target.
+				row[j] = planCPU*4 + 8*rng.NormFloat64()
+			case "plan_gpu":
+				row[j] = planGPU
+			case "cap_cpu":
+				row[j] = planCPU * (1 + 0.25*rng.NormFloat64())
+			case "cap_mem":
+				row[j] = 32 + 96*rng.Float64()
+			case "inst_num":
+				row[j] = instNum
+			case "duration_est":
+				row[j] = durEst
+			case "gpu_type_score":
+				// Correlated with plan_gpu, adds no signal of its own.
+				row[j] = planGPU*2 + 0.3*rng.NormFloat64()
+			default:
+				row[j] = rng.Float64()
+			}
+		}
+		// Ground-truth response (actual GPU utilization proxy).
+		y := 0.55*planGPU + 0.06*instNum + 0.015*durEst
+		if c.Features > 0 {
+			y += 0.004 * planCPU
+		}
+		y += c.NoiseStd * rng.NormFloat64()
+		tr.X[i] = row
+		tr.Y[i] = y
+	}
+	return tr, nil
+}
+
+// TrueSubset returns the indices of features that genuinely drive the
+// target in a trace produced by GeneratePAI (used by tests to verify
+// that feature selection recovers them).
+func TrueSubset(featureNames []string) []int {
+	want := map[string]bool{"plan_gpu": true, "inst_num": true, "duration_est": true, "plan_cpu": true}
+	var idx []int
+	for i, n := range featureNames {
+		if want[n] {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Image describes one input of the wildlife-image classification
+// workload: enough metadata to model preprocessing cost (decode + resize
+// + normalize scale with pixel count).
+type Image struct {
+	ID            int
+	Width, Height int
+	Channels      int
+}
+
+// Pixels returns the pixel count of the image.
+func (im Image) Pixels() int { return im.Width * im.Height }
+
+// GenerateImages produces n image descriptors with sizes distributed
+// like a consumer photo dataset (mixture of common camera resolutions
+// with jitter). Deterministic for a given seed.
+func GenerateImages(n int, seed int64) []Image {
+	rng := rand.New(rand.NewSource(seed))
+	base := [][2]int{{640, 480}, {1024, 768}, {1920, 1080}, {2048, 1536}, {3264, 2448}}
+	out := make([]Image, n)
+	for i := range out {
+		b := base[rng.Intn(len(base))]
+		jitter := func(v int) int {
+			j := v + int(float64(v)*0.05*rng.NormFloat64())
+			if j < 64 {
+				j = 64
+			}
+			return j
+		}
+		out[i] = Image{ID: i, Width: jitter(b[0]), Height: jitter(b[1]), Channels: 3}
+	}
+	return out
+}
+
+// MeanPixels returns the average pixel count of a batch of images.
+func MeanPixels(imgs []Image) float64 {
+	if len(imgs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, im := range imgs {
+		s += float64(im.Pixels())
+	}
+	return s / float64(len(imgs))
+}

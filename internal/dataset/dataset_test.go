@@ -1,0 +1,240 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratePAIShape(t *testing.T) {
+	tr, err := GeneratePAI(PAIConfig{Rows: 100, Features: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.X) != 100 || len(tr.Y) != 100 {
+		t.Fatalf("rows: %d/%d", len(tr.X), len(tr.Y))
+	}
+	if len(tr.FeatureNames) != 8 {
+		t.Fatalf("feature names: %d", len(tr.FeatureNames))
+	}
+	for i, row := range tr.X {
+		if len(row) != 8 {
+			t.Fatalf("row %d has %d features", i, len(row))
+		}
+	}
+}
+
+func TestGeneratePAIDeterministic(t *testing.T) {
+	a, err := GeneratePAI(PAIConfig{Rows: 50, Features: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePAI(PAIConfig{Rows: 50, Features: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatalf("row %d target differs: %g vs %g", i, a.Y[i], b.Y[i])
+		}
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatalf("row %d feature %d differs", i, j)
+			}
+		}
+	}
+	c, err := GeneratePAI(PAIConfig{Rows: 50, Features: 6, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Y {
+		if a.Y[i] != c.Y[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratePAIValidation(t *testing.T) {
+	if _, err := GeneratePAI(PAIConfig{Features: 2}); err == nil {
+		t.Fatal("expected error for too few features")
+	}
+	if _, err := GeneratePAI(PAIConfig{Features: 99}); err == nil {
+		t.Fatal("expected error for too many features")
+	}
+}
+
+func TestTrueSubsetIndices(t *testing.T) {
+	tr, err := GeneratePAI(PAIConfig{Rows: 20, Features: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := TrueSubset(tr.FeatureNames)
+	if len(idx) == 0 {
+		t.Fatal("no true features found")
+	}
+	for _, i := range idx {
+		name := tr.FeatureNames[i]
+		switch name {
+		case "plan_gpu", "inst_num", "duration_est", "plan_cpu":
+		default:
+			t.Fatalf("unexpected true feature %q", name)
+		}
+	}
+}
+
+func TestTargetDependsOnPlanGPU(t *testing.T) {
+	// Correlation between plan_gpu and the target should be strongly
+	// positive; between a pure-noise column and the target, near zero.
+	tr, err := GeneratePAI(PAIConfig{Rows: 2000, Features: 9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gpuIdx, noiseIdx int = -1, -1
+	for i, n := range tr.FeatureNames {
+		if n == "plan_gpu" {
+			gpuIdx = i
+		}
+		if n == "queue_len" {
+			noiseIdx = i
+		}
+	}
+	if gpuIdx < 0 || noiseIdx < 0 {
+		t.Fatalf("columns not found: %v", tr.FeatureNames)
+	}
+	if c := corr(col(tr.X, gpuIdx), tr.Y); c < 0.6 {
+		t.Fatalf("corr(plan_gpu, y) = %g, want > 0.6", c)
+	}
+	if c := math.Abs(corr(col(tr.X, noiseIdx), tr.Y)); c > 0.1 {
+		t.Fatalf("corr(queue_len, y) = %g, want ~0", c)
+	}
+}
+
+func col(x [][]float64, j int) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i][j]
+	}
+	return out
+}
+
+func corr(a, b []float64) float64 {
+	n := float64(len(a))
+	ma, mb := 0.0, 0.0
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var sab, sa, sb float64
+	for i := range a {
+		sab += (a[i] - ma) * (b[i] - mb)
+		sa += (a[i] - ma) * (a[i] - ma)
+		sb += (b[i] - mb) * (b[i] - mb)
+	}
+	return sab / math.Sqrt(sa*sb)
+}
+
+func TestGenerateImages(t *testing.T) {
+	imgs := GenerateImages(200, 5)
+	if len(imgs) != 200 {
+		t.Fatalf("got %d images", len(imgs))
+	}
+	for _, im := range imgs {
+		if im.Width < 64 || im.Height < 64 || im.Channels != 3 {
+			t.Fatalf("degenerate image %+v", im)
+		}
+	}
+	if MeanPixels(imgs) < 640*480 {
+		t.Fatalf("mean pixels suspiciously low: %g", MeanPixels(imgs))
+	}
+	if MeanPixels(nil) != 0 {
+		t.Fatal("MeanPixels(nil) != 0")
+	}
+}
+
+func TestGenerateImagesDeterministic(t *testing.T) {
+	a := GenerateImages(50, 9)
+	b := GenerateImages(50, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("image %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: targets are finite and features non-degenerate for any seed.
+func TestQuickPAIWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, err := GeneratePAI(PAIConfig{Rows: 64, Features: 8, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for i := range tr.Y {
+			if math.IsNaN(tr.Y[i]) || math.IsInf(tr.Y[i], 0) {
+				return false
+			}
+			for _, v := range tr.X[i] {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr, err := GeneratePAI(PAIConfig{Rows: 40, Features: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.X) != len(tr.X) || len(got.FeatureNames) != len(tr.FeatureNames) {
+		t.Fatalf("shape mismatch: %dx%d vs %dx%d",
+			len(got.X), len(got.FeatureNames), len(tr.X), len(tr.FeatureNames))
+	}
+	for i := range tr.X {
+		if got.Y[i] != tr.Y[i] {
+			t.Fatalf("row %d target %g != %g", i, got.Y[i], tr.Y[i])
+		}
+		for j := range tr.X[i] {
+			if got.X[i][j] != tr.X[i][j] {
+				t.Fatalf("row %d col %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                  // no header
+		"only_target\n1\n",  // too few columns
+		"a,target\nx,1\n",   // bad feature value
+		"a,target\n1,x\n",   // bad target
+		"a,target\n",        // no data rows
+		"a,b,target\n1,2\n", // short row (csv pkg catches)
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("expected error for %q", c)
+		}
+	}
+}

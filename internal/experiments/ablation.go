@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/mpc"
+	"repro/internal/sim"
+)
+
+// AblationRow is one configuration's outcome in an ablation study.
+type AblationRow struct {
+	Config    string
+	Summary   metrics.Summary
+	GPUTput   float64 // aggregate steady-state GPU throughput (img/s)
+	CPUTput   float64 // steady-state CPU throughput (subsets/s)
+	SolverIts float64 // reserved for solver studies (0 otherwise)
+}
+
+// summarizePerf extracts the steady-state application aggregates.
+func summarizePerf(recs []core.PeriodRecord, steadyFrom int) (gpuTput, cpuTput float64) {
+	if steadyFrom >= len(recs) {
+		steadyFrom = 0
+	}
+	n := 0.0
+	for _, r := range recs[steadyFrom:] {
+		for _, tp := range r.GPUThroughput {
+			gpuTput += tp
+		}
+		cpuTput += r.CPUThroughput
+		n++
+	}
+	if n > 0 {
+		gpuTput /= n
+		cpuTput /= n
+	}
+	return gpuTput, cpuTput
+}
+
+// AblationWeights compares CapGPU with the throughput-inverted weight
+// assignment against uniform weights (A1). It uses an asymmetric load —
+// GPU 2 idle — where the weight design's effect is visible: the idle GPU
+// should be parked and the busy devices granted its power.
+func AblationWeights(seed int64, periods int) ([]AblationRow, error) {
+	if periods <= 0 {
+		periods = 80
+	}
+	run := func(uniform bool) (*AblationRow, error) {
+		rig, err := NewEvaluationRig(seed)
+		if err != nil {
+			return nil, err
+		}
+		// Remove GPU 2's workload to create the asymmetry.
+		if err := rig.Server.AttachPipeline(2, nil); err != nil {
+			return nil, err
+		}
+		opts := core.Options{}
+		opts.MPC.UniformWeights = uniform
+		ctrl, err := core.NewCapGPU(rig.Model, rig.Server, nil, opts)
+		if err != nil {
+			return nil, err
+		}
+		h, err := core.NewHarness(rig.Server, ctrl, FixedSetpoint(850))
+		if err != nil {
+			return nil, err
+		}
+		recs, err := h.Run(periods)
+		if err != nil {
+			return nil, err
+		}
+		gpu, cpu := summarizePerf(recs, periods/2)
+		name := "weighted (paper)"
+		if uniform {
+			name = "uniform (ablated)"
+		}
+		row := &AblationRow{
+			Config:  name,
+			Summary: metrics.Summarize(powerOf(recs), 850, periods/2, 0.02*850, 0.01*850),
+			GPUTput: gpu,
+			CPUTput: cpu,
+		}
+		return row, nil
+	}
+	weighted, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	uniform, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{*weighted, *uniform}, nil
+}
+
+// AblationDeltaSigma compares fractional-command resolution via
+// first-order delta-sigma modulation against plain rounding (A2). The
+// delta-sigma dithers between adjacent levels so the *average* applied
+// frequency matches the controller's fractional output; rounding leaves
+// a persistent quantization bias. The effect only matters on coarse
+// grids, so this study runs on a server whose clocks move in the
+// paper's §5 example granularity — 135 MHz GPU multiples and 1 GHz CPU
+// steps ("toggling between the values 2, 2, 2, and 3").
+func AblationDeltaSigma(seed int64, periods int) ([]AblationRow, error) {
+	if periods <= 0 {
+		periods = 100
+	}
+	run := func(enabled bool) (*AblationRow, error) {
+		rig, err := NewEvaluationRig(seed)
+		if err != nil {
+			return nil, err
+		}
+		// Rebuild the server on a coarse actuation grid.
+		cfg := rig.Server.Config()
+		cfg.CPU.FreqStepGHz = 0.7
+		for i := range cfg.GPUs {
+			cfg.GPUs[i].FreqStepMHz = 135
+		}
+		coarse, err := buildServerLike(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		rig.Server = coarse
+		ctrl, err := core.NewCapGPU(rig.Model, rig.Server, rig.LatencyModels, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		h, err := core.NewHarness(rig.Server, ctrl, FixedSetpoint(905))
+		if err != nil {
+			return nil, err
+		}
+		h.Bank.SetEnabled(enabled)
+		recs, err := h.Run(periods)
+		if err != nil {
+			return nil, err
+		}
+		name := "delta-sigma (paper)"
+		if !enabled {
+			name = "plain rounding (ablated)"
+		}
+		gpu, cpu := summarizePerf(recs, periods*2/10)
+		return &AblationRow{
+			Config:  name,
+			Summary: metrics.Summarize(powerOf(recs), 905, periods*8/10, 0.02*905, 0.01*905),
+			GPUTput: gpu,
+			CPUTput: cpu,
+		}, nil
+	}
+	on, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	off, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{*on, *off}, nil
+}
+
+// AblationHorizons sweeps the MPC's prediction and control horizons
+// around the paper's (P=8, M=2) (A3).
+func AblationHorizons(seed int64, periods int) ([]AblationRow, error) {
+	if periods <= 0 {
+		periods = 100
+	}
+	configs := []struct{ p, m int }{
+		{2, 1}, {4, 1}, {4, 2}, {8, 2}, {16, 2}, {8, 4}, {16, 4},
+	}
+	var rows []AblationRow
+	for _, c := range configs {
+		rig, err := NewEvaluationRig(seed)
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{MPC: mpc.Config{P: c.p, M: c.m}}
+		ctrl, err := core.NewCapGPU(rig.Model, rig.Server, rig.LatencyModels, opts)
+		if err != nil {
+			return nil, err
+		}
+		h, err := core.NewHarness(rig.Server, ctrl, FixedSetpoint(950))
+		if err != nil {
+			return nil, err
+		}
+		recs, err := h.Run(periods)
+		if err != nil {
+			return nil, err
+		}
+		gpu, cpu := summarizePerf(recs, periods*2/10)
+		rows = append(rows, AblationRow{
+			Config:  fmt.Sprintf("P=%d M=%d", c.p, c.m),
+			Summary: metrics.Summarize(powerOf(recs), 950, periods*8/10, 0.02*950, 0.01*950),
+			GPUTput: gpu,
+			CPUTput: cpu,
+		})
+	}
+	return rows, nil
+}
+
+// AblationSolver compares the exact active-set QP against the
+// SLSQP-style SQP on identical control sessions (A4). The two should
+// produce near-identical control quality; the QP is the faster solver.
+func AblationSolver(seed int64, periods int) ([]AblationRow, error) {
+	if periods <= 0 {
+		periods = 100
+	}
+	var rows []AblationRow
+	for _, name := range []string{"capgpu", "capgpu-slsqp"} {
+		r, err := RunSession(name, seed, periods, FixedSetpoint(950), nil)
+		if err != nil {
+			return nil, err
+		}
+		gpu, cpu := summarizePerf(r.Records, periods*2/10)
+		label := "active-set QP"
+		if name == "capgpu-slsqp" {
+			label = "SLSQP"
+		}
+		rows = append(rows, AblationRow{
+			Config:  label,
+			Summary: r.Summary,
+			GPUTput: gpu,
+			CPUTput: cpu,
+		})
+	}
+	return rows, nil
+}
+
+// buildServerLike builds a fresh server from a modified config with the
+// standard evaluation workloads attached.
+func buildServerLike(cfg sim.Config, seed int64) (*sim.Server, error) {
+	s, err := sim.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := attachEvalWorkloads(s, seed); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func powerOf(recs []core.PeriodRecord) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		out[i] = r.AvgPowerW
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationWeightsShape(t *testing.T) {
+	rows, err := AblationWeights(21, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	weighted, uniform := rows[0], rows[1]
+	if weighted.Config == uniform.Config {
+		t.Fatal("configs not distinguished")
+	}
+	// The weight assignment should buy busy-device throughput at the
+	// same power cap.
+	if weighted.GPUTput <= uniform.GPUTput {
+		t.Fatalf("weighted GPU throughput %g should beat uniform %g",
+			weighted.GPUTput, uniform.GPUTput)
+	}
+	// Both still track the cap.
+	for _, r := range rows {
+		if math.Abs(r.Summary.Mean-850) > 15 {
+			t.Fatalf("%s mean %g off the cap", r.Config, r.Summary.Mean)
+		}
+	}
+}
+
+func TestAblationDeltaSigmaShape(t *testing.T) {
+	rows, err := AblationDeltaSigma(22, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, off := rows[0], rows[1]
+	// On a coarse actuation grid, delta-sigma's time-averaged frequency
+	// hits the fractional command, so its steady-state *bias* is far
+	// smaller than plain rounding's persistent quantization offset; the
+	// price is period-level variance (the dithering), which is the
+	// documented trade-off.
+	biasOn := math.Abs(on.Summary.Mean - 905)
+	biasOff := math.Abs(off.Summary.Mean - 905)
+	if biasOn > biasOff/2 {
+		t.Fatalf("delta-sigma bias %g W should be well below rounding bias %g W", biasOn, biasOff)
+	}
+}
+
+func TestAblationHorizonsShape(t *testing.T) {
+	rows, err := AblationHorizons(23, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Every horizon configuration must remain stable and track the cap;
+	// the differences are in transient quality, not correctness.
+	for _, r := range rows {
+		if math.Abs(r.Summary.Mean-950) > 20 {
+			t.Fatalf("%s mean %g off the cap", r.Config, r.Summary.Mean)
+		}
+	}
+}
+
+func TestAblationSolverAgreement(t *testing.T) {
+	rows, err := AblationSolver(24, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, sq := rows[0], rows[1]
+	// The two solvers optimize the same program: control quality must
+	// agree closely.
+	if math.Abs(qp.Summary.Mean-sq.Summary.Mean) > 10 {
+		t.Fatalf("solver means diverge: %g vs %g", qp.Summary.Mean, sq.Summary.Mean)
+	}
+	if math.Abs(qp.GPUTput-sq.GPUTput) > 0.1*qp.GPUTput {
+		t.Fatalf("solver throughputs diverge: %g vs %g", qp.GPUTput, sq.GPUTput)
+	}
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/mpc"
+	"repro/internal/workload"
+)
+
+// TailLatency returns the "q% tail" latency of a sample set: the latency
+// exceeded by q% of requests, i.e. the (100−q)th percentile. The paper's
+// §6.4 wording mixes percentile and tail phrasing ("the 30th percentile
+// (80% tail) latency"); this definition keeps "80% tail" tighter than
+// "50% tail" tighter than "30% tail", which matches the experiment's
+// intent of tightening two workloads' SLOs while relaxing the third.
+func TailLatency(samples []float64, q float64) (float64, error) {
+	return metrics.Percentile(samples, 100-q)
+}
+
+// SLOLevels computes, for each GPU workload, the 30%/50%/80% tail
+// latencies over the GPU's frequency window using the latency law — the
+// paper's procedure of deriving SLO levels and their frequencies from
+// Eq. (8).
+func SLOLevels(rig *Rig) (map[string]map[float64]float64, error) {
+	zoo := workload.Zoo()
+	out := map[string]map[float64]float64{}
+	for i, name := range rig.ModelNames {
+		prof, ok := zoo[name]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown workload %q", name)
+		}
+		spec := rig.Server.Config().GPUs[i]
+		var lats []float64
+		for f := spec.FreqMinMHz; f <= spec.FreqMaxMHz; f += spec.FreqStepMHz {
+			lats = append(lats, prof.TrueBatchLatency(f, spec.FreqMaxMHz))
+		}
+		levels := map[float64]float64{}
+		for _, q := range []float64{30, 50, 80} {
+			l, err := TailLatency(lats, q)
+			if err != nil {
+				return nil, err
+			}
+			levels[q] = l
+		}
+		out[name] = levels
+	}
+	return out, nil
+}
+
+// SLOSchedule builds the §6.4 schedule: every workload starts at its 50%
+// tail SLO; at changePeriod, GPU 0 relaxes to its 30% tail while GPUs 1
+// and 2 tighten to their 80% tails.
+func SLOSchedule(rig *Rig, changePeriod int) (func(int) []float64, error) {
+	levels, err := SLOLevels(rig)
+	if err != nil {
+		return nil, err
+	}
+	ng := rig.Server.NumGPUs()
+	initial := make([]float64, ng)
+	changed := make([]float64, ng)
+	for i, name := range rig.ModelNames {
+		initial[i] = levels[name][50]
+		if i == 0 {
+			changed[i] = levels[name][30]
+		} else {
+			changed[i] = levels[name][80]
+		}
+	}
+	return func(k int) []float64 {
+		if k < changePeriod {
+			return initial
+		}
+		return changed
+	}, nil
+}
+
+// SLORunResult is one controller's SLO-adaptation session.
+type SLORunResult struct {
+	Controller string
+	Records    []core.PeriodRecord
+	// MissRate is the per-GPU fraction of periods whose average latency
+	// exceeded the then-active SLO (the paper's deadline miss rate).
+	MissRate []float64
+	// PostChangeMissRate restricts the miss rate to periods after the
+	// SLO change.
+	PostChangeMissRate []float64
+}
+
+// SLOResult bundles Fig. 8 (baselines) and Fig. 9 (CapGPU).
+type SLOResult struct {
+	SetpointW    float64
+	ChangePeriod int
+	Runs         map[string]*SLORunResult
+	Order        []string
+}
+
+// Fig8Fig9SLOAdaptation runs the §6.4 SLO experiment: set point 1000 W,
+// SLOs change at period 14; Safe Fixed-Step and GPU-Only (Fig. 8) vs
+// CapGPU (Fig. 9).
+func Fig8Fig9SLOAdaptation(seed int64, periods int) (*SLOResult, error) {
+	if periods <= 0 {
+		periods = 60
+	}
+	const changeAt = 14
+	names := []string{"safe-fixed-step-1", "gpu-only", "capgpu"}
+	res := &SLOResult{SetpointW: 1000, ChangePeriod: changeAt, Runs: map[string]*SLORunResult{}, Order: names}
+	for _, n := range names {
+		rig, err := NewEvaluationRig(seed)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := SLOSchedule(rig, changeAt)
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err := BuildController(n, rig)
+		if err != nil {
+			return nil, err
+		}
+		h, err := core.NewHarness(rig.Server, ctrl, FixedSetpoint(1000))
+		if err != nil {
+			return nil, err
+		}
+		h.SLOs = sched
+		recs, err := h.Run(periods)
+		if err != nil {
+			return nil, err
+		}
+		ng := rig.Server.NumGPUs()
+		run := &SLORunResult{
+			Controller:         ctrl.Name(),
+			Records:            recs,
+			MissRate:           make([]float64, ng),
+			PostChangeMissRate: make([]float64, ng),
+		}
+		for g := 0; g < ng; g++ {
+			var all, post []bool
+			for _, rec := range recs {
+				all = append(all, rec.SLOMiss[g])
+				if rec.Period >= changeAt+2 { // grace for the transition
+					post = append(post, rec.SLOMiss[g])
+				}
+			}
+			run.MissRate[g] = metrics.MissRate(all)
+			run.PostChangeMissRate[g] = metrics.MissRate(post)
+		}
+		res.Runs[n] = run
+	}
+	return res, nil
+}
+
+// Fig10Result is the set-point adaptation study.
+type Fig10Result struct {
+	Schedule func(int) float64
+	Runs     map[string]*RunResult
+	Order    []string
+	// Settling times (periods after each step change until the power
+	// stays within ±2% of the new set point), per controller, for the
+	// steps at periods 40 and 80.
+	SettlingAfterRaise map[string]int
+	SettlingAfterDrop  map[string]int
+}
+
+// Fig10Adaptation reproduces §6.4's set-point steps: 800 W, raised to
+// 900 W at period 40, dropped back to 800 W at period 80, for 120
+// periods.
+func Fig10Adaptation(seed int64, periods int) (*Fig10Result, error) {
+	if periods <= 0 {
+		periods = 120
+	}
+	sched := func(k int) float64 {
+		switch {
+		case k < 40:
+			return 800
+		case k < 80:
+			return 900
+		default:
+			return 800
+		}
+	}
+	names := []string{"safe-fixed-step-1", "gpu-only", "capgpu"}
+	res := &Fig10Result{
+		Schedule:           sched,
+		Runs:               map[string]*RunResult{},
+		Order:              names,
+		SettlingAfterRaise: map[string]int{},
+		SettlingAfterDrop:  map[string]int{},
+	}
+	for _, n := range names {
+		r, err := RunSession(n, seed, periods, sched, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig10 %s: %w", n, err)
+		}
+		res.Runs[n] = r
+		p := r.PowerSeries()
+		if len(p) >= 80 {
+			res.SettlingAfterRaise[n] = metrics.SettlingTimeWindow(p[40:80], 900, 0.025*900, 5)
+		}
+		if len(p) > 80 {
+			res.SettlingAfterDrop[n] = metrics.SettlingTimeWindow(p[80:], 800, 0.025*800, 5)
+		}
+	}
+	return res, nil
+}
+
+// StabilityResult is the §4.4 analysis applied to the identified model.
+type StabilityResult struct {
+	FeedbackGains []float64 // K of the unconstrained MPC law
+	NominalPole   float64
+	// UniformRange is the interval of uniform plant-gain scaling with a
+	// stable closed loop.
+	UniformLo, UniformHi float64
+	// PerDevice bounds g_i with other devices nominal.
+	PerDeviceLo, PerDeviceHi []float64
+	// Locus samples pole vs uniform gain scale.
+	LocusScales []float64
+	LocusPoles  []float64
+	LocusStable []bool
+}
+
+// StabilityAnalysis performs the §4.4 procedure on the evaluation rig's
+// identified model and the CapGPU controller's unconstrained feedback
+// law.
+func StabilityAnalysis(seed int64) (*StabilityResult, error) {
+	rig, err := NewEvaluationRig(seed)
+	if err != nil {
+		return nil, err
+	}
+	cap, err := core.NewCapGPU(rig.Model, rig.Server, rig.LatencyModels, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var ctrl *mpc.Controller = cap.MPC()
+	k, err := ctrl.FeedbackGains(nil)
+	if err != nil {
+		return nil, err
+	}
+	// The harness applies MoveGain·d(k) (core.Options.MoveGain, default
+	// 0.7), so the effective feedback law is βK.
+	const beta = 0.7
+	for i := range k {
+		k[i] *= beta
+	}
+	res := &StabilityResult{FeedbackGains: k}
+	res.NominalPole, err = control.ScalarPole(rig.Model.Gains, k)
+	if err != nil {
+		return nil, err
+	}
+	res.UniformLo, res.UniformHi, err = control.UniformGainRange(rig.Model.Gains, k)
+	if err != nil {
+		return nil, err
+	}
+	n := len(rig.Model.Gains)
+	res.PerDeviceLo = make([]float64, n)
+	res.PerDeviceHi = make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo, hi, err := control.PerDeviceGainBound(rig.Model.Gains, k, i)
+		if err != nil {
+			return nil, err
+		}
+		res.PerDeviceLo[i], res.PerDeviceHi[i] = lo, hi
+	}
+	for s := 0.25; s <= 3.0+1e-9; s += 0.25 {
+		res.LocusScales = append(res.LocusScales, s)
+	}
+	reports, err := control.PoleLocus(rig.Model.Gains, k, res.LocusScales)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range reports {
+		res.LocusPoles = append(res.LocusPoles, r.Pole)
+		res.LocusStable = append(res.LocusStable, r.Stable)
+	}
+	return res, nil
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Fig3Result holds the 900 W baseline-comparison sessions (Fig. 3).
+type Fig3Result struct {
+	SetpointW float64
+	Runs      map[string]*RunResult // keyed by controller build name
+	Order     []string
+}
+
+// Fig3PowerControl runs the §6.2 comparison: CPU-Only, GPU-Only, the two
+// CPU+GPU splits, Fixed-Step and CapGPU, each for `periods` control
+// periods at a 900 W set point.
+func Fig3PowerControl(seed int64, periods int) (*Fig3Result, error) {
+	if periods <= 0 {
+		periods = 100
+	}
+	names := []string{"cpu-only", "gpu-only", "cpu+gpu-50", "cpu+gpu-60", "fixed-step-1", "capgpu"}
+	res := &Fig3Result{SetpointW: 900, Runs: map[string]*RunResult{}, Order: names}
+	for _, n := range names {
+		r, err := RunSession(n, seed, periods, FixedSetpoint(900), nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig3 %s: %w", n, err)
+		}
+		res.Runs[n] = r
+	}
+	return res, nil
+}
+
+// Fig4Result holds the Fixed-Step step-size study (Fig. 4).
+type Fig4Result struct {
+	SetpointW float64
+	Runs      map[string]*RunResult
+	Order     []string
+}
+
+// Fig4FixedStep runs Fixed-Step with step sizes 1 and 5 at 900 W.
+func Fig4FixedStep(seed int64, periods int) (*Fig4Result, error) {
+	if periods <= 0 {
+		periods = 100
+	}
+	names := []string{"fixed-step-1", "fixed-step-5"}
+	res := &Fig4Result{SetpointW: 900, Runs: map[string]*RunResult{}, Order: names}
+	for _, n := range names {
+		r, err := RunSession(n, seed, periods, FixedSetpoint(900), nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig4 %s: %w", n, err)
+		}
+		res.Runs[n] = r
+	}
+	return res, nil
+}
+
+// Fig5SafeFixedStep runs Safe Fixed-Step with step sizes 1, 3 and 5 at
+// 900 W (Fig. 5).
+func Fig5SafeFixedStep(seed int64, periods int) (*Fig4Result, error) {
+	if periods <= 0 {
+		periods = 100
+	}
+	names := []string{"safe-fixed-step-1", "safe-fixed-step-3", "safe-fixed-step-5"}
+	res := &Fig4Result{SetpointW: 900, Runs: map[string]*RunResult{}, Order: names}
+	for _, n := range names {
+		r, err := RunSession(n, seed, periods, FixedSetpoint(900), nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig5 %s: %w", n, err)
+		}
+		res.Runs[n] = r
+	}
+	return res, nil
+}
+
+// Fig6Point is one (controller, set point) cell of the sweep.
+type Fig6Point struct {
+	Controller string
+	SetpointW  float64
+	MeanW      float64
+	StdW       float64
+	AbsErrW    float64 // |mean − set point|
+}
+
+// Fig6Result is the control-accuracy sweep across set points (Fig. 6).
+type Fig6Result struct {
+	Setpoints []float64
+	Order     []string
+	Points    []Fig6Point
+}
+
+// Fig6SetpointSweep evaluates control accuracy at set points 900–1200 W
+// in 50 W steps, averaging the last 80 of 100 periods (§6.3). Following
+// the paper, Fixed-Step is replaced by Safe Fixed-Step; the CPU+GPU
+// splits are included to document their non-convergence.
+func Fig6SetpointSweep(seed int64, periods int) (*Fig6Result, error) {
+	if periods <= 0 {
+		periods = 100
+	}
+	steady := 80 * periods / 100
+	names := []string{"safe-fixed-step-1", "gpu-only", "cpu+gpu-50", "cpu+gpu-60", "capgpu"}
+	res := &Fig6Result{Order: names}
+	for sp := 900.0; sp <= 1200; sp += 50 {
+		res.Setpoints = append(res.Setpoints, sp)
+		for _, n := range names {
+			r, err := RunSession(n, seed, periods, FixedSetpoint(sp), nil)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig6 %s@%g: %w", n, sp, err)
+			}
+			ss := metrics.SteadyState(r.PowerSeries(), steady)
+			mean := metrics.Mean(ss)
+			res.Points = append(res.Points, Fig6Point{
+				Controller: n,
+				SetpointW:  sp,
+				MeanW:      mean,
+				StdW:       metrics.Std(ss),
+				AbsErrW:    abs(mean - sp),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Fig7Row is one controller's steady-state application performance.
+type Fig7Row struct {
+	Controller    string
+	GPUThroughput []float64 // img/s per GPU (t1..t3), steady-state mean
+	GPULatency    []float64 // s/batch per GPU
+	CPUThroughput float64   // subsets/s
+	CPULatency    float64   // s/subset
+}
+
+// Fig7Result compares application performance across methods (Fig. 7).
+type Fig7Result struct {
+	SetpointW float64
+	Rows      []Fig7Row
+}
+
+// Fig7Performance runs Safe Fixed-Step, GPU-Only and CapGPU at 1000 W
+// and reports steady-state GPU inference throughput/latency and CPU
+// throughput/latency (Fig. 7a–d).
+func Fig7Performance(seed int64, periods int) (*Fig7Result, error) {
+	if periods <= 0 {
+		periods = 100
+	}
+	steady := 80 * periods / 100
+	names := []string{"safe-fixed-step-1", "gpu-only", "capgpu"}
+	res := &Fig7Result{SetpointW: 1000}
+	for _, n := range names {
+		r, err := RunSession(n, seed, periods, FixedSetpoint(1000), nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7 %s: %w", n, err)
+		}
+		recs := r.Records[len(r.Records)-min(steady, len(r.Records)):]
+		ng := len(recs[0].GPUThroughput)
+		row := Fig7Row{
+			Controller:    r.Controller,
+			GPUThroughput: make([]float64, ng),
+			GPULatency:    make([]float64, ng),
+		}
+		for _, rec := range recs {
+			for i := 0; i < ng; i++ {
+				row.GPUThroughput[i] += rec.GPUThroughput[i]
+				row.GPULatency[i] += rec.GPULatency[i]
+			}
+			row.CPUThroughput += rec.CPUThroughput
+			row.CPULatency += rec.CPULatency
+		}
+		inv := 1 / float64(len(recs))
+		for i := 0; i < ng; i++ {
+			row.GPUThroughput[i] *= inv
+			row.GPULatency[i] *= inv
+		}
+		row.CPUThroughput *= inv
+		row.CPULatency *= inv
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

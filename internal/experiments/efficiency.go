@@ -1,0 +1,55 @@
+package experiments
+
+import "fmt"
+
+// EfficiencyRow reports a controller's steady-state energy efficiency —
+// the metric a capped data center ultimately buys: inferences per Joule
+// under the same power budget.
+type EfficiencyRow struct {
+	Controller string
+	ImgPerSec  float64 // aggregate steady-state GPU throughput
+	PowerW     float64 // steady-state mean power
+	ImgPerKJ   float64 // inferences per kilojoule
+	SubsetsKJ  float64 // CPU workload: feature subsets per kilojoule
+}
+
+// EnergyEfficiency compares inferences-per-Joule across controllers at a
+// fixed cap. Since every convergent controller draws (nearly) the same
+// power at the same cap, efficiency differences are throughput
+// differences — this view makes the stakes of allocation quality
+// explicit in the unit operators pay for.
+func EnergyEfficiency(seed int64, periods int, capW float64) ([]EfficiencyRow, error) {
+	if periods <= 0 {
+		periods = 100
+	}
+	if capW <= 0 {
+		capW = 1000
+	}
+	names := []string{"safe-fixed-step-1", "gpu-only", "capgpu"}
+	var rows []EfficiencyRow
+	for _, n := range names {
+		r, err := RunSession(n, seed, periods, FixedSetpoint(capW), nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: efficiency %s: %w", n, err)
+		}
+		from := len(r.Records) * 2 / 10
+		var img, subs, energy, power, cnt float64
+		for _, rec := range r.Records[from:] {
+			for _, tp := range rec.GPUThroughput {
+				img += tp * 4 // images this period (T = 4 s)
+			}
+			subs += rec.CPUThroughput * 4
+			energy += rec.EnergyJ
+			power += rec.AvgPowerW
+			cnt++
+		}
+		rows = append(rows, EfficiencyRow{
+			Controller: r.Controller,
+			ImgPerSec:  img / (cnt * 4),
+			PowerW:     power / cnt,
+			ImgPerKJ:   img / energy * 1000,
+			SubsetsKJ:  subs / energy * 1000,
+		})
+	}
+	return rows, nil
+}

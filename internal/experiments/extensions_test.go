@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtensionAdaptiveShape(t *testing.T) {
+	rows, err := ExtensionAdaptive(31, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, adaptive := rows[0], rows[1]
+	// The adaptive model must predict post-change power much better than
+	// the stale static model.
+	if adaptive.PredRMSEPost >= static.PredRMSEPost*0.7 {
+		t.Fatalf("adaptive prediction RMSE %g should be well below static %g",
+			adaptive.PredRMSEPost, static.PredRMSEPost)
+	}
+	// Control itself stays fine either way (the §4.4 stability margin
+	// covers the gain error), so the tracking RMSEs are comparable.
+	if adaptive.PowerRMSEPost > static.PowerRMSEPost*1.5 {
+		t.Fatalf("adaptive tracking %g degraded vs static %g",
+			adaptive.PowerRMSEPost, static.PowerRMSEPost)
+	}
+	if len(adaptive.GainsEnd) != 4 {
+		t.Fatalf("gains: %v", adaptive.GainsEnd)
+	}
+}
+
+func TestExtensionInfeasibleCapShape(t *testing.T) {
+	rows, err := ExtensionInfeasibleCap(32, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, multi := rows[0], rows[1]
+	// Frequency-only control is stuck above the cap; the multi-layer
+	// reaches it by engaging memory throttles.
+	if freq.SteadyErrW < 15 {
+		t.Fatalf("frequency-only error %g W suspiciously small for an infeasible cap", freq.SteadyErrW)
+	}
+	if math.Abs(multi.SteadyErrW) > 8 {
+		t.Fatalf("multi-layer error %g W should be near zero", multi.SteadyErrW)
+	}
+	if multi.ThrottlesEnd == 0 {
+		t.Fatal("multi-layer engaged no throttles")
+	}
+}
+
+func TestExtensionClusterShape(t *testing.T) {
+	rows, err := ExtensionCluster(33, 60, 2850)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	byName := map[string]ClusterRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	for name, r := range byName {
+		// Every policy must keep the rack essentially within budget.
+		if r.OverBudget > 2 {
+			t.Fatalf("%s exceeded the rack budget in %d steady periods", name, r.OverBudget)
+		}
+		if r.SteadyTotalW > r.BudgetW*1.01 {
+			t.Fatalf("%s steady total %g above budget %g", name, r.SteadyTotalW, r.BudgetW)
+		}
+	}
+	// Demand-aware allocation buys rack throughput over the uniform split.
+	if byName["demand-proportional"].AggThroughput <= byName["uniform"].AggThroughput {
+		t.Fatalf("demand-proportional %g img/s should beat uniform %g img/s",
+			byName["demand-proportional"].AggThroughput, byName["uniform"].AggThroughput)
+	}
+	// The priority policy gives the heavy (highest-priority) node the
+	// largest cap.
+	pr := byName["priority"].PerNodeCapW
+	if !(pr[0] > pr[1] && pr[1] >= pr[2]) {
+		t.Fatalf("priority caps not ordered: %v", pr)
+	}
+}
+
+func TestEnergyEfficiencyShape(t *testing.T) {
+	rows, err := EnergyEfficiency(6, 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]EfficiencyRow{}
+	for _, r := range rows {
+		byName[r.Controller] = r
+	}
+	// Same cap, so efficiency ordering follows throughput: CapGPU turns
+	// the budget into the most inferences per Joule.
+	if byName["CapGPU"].ImgPerKJ <= byName["GPU-Only"].ImgPerKJ {
+		t.Fatalf("CapGPU %g img/kJ should beat GPU-Only %g",
+			byName["CapGPU"].ImgPerKJ, byName["GPU-Only"].ImgPerKJ)
+	}
+	for _, r := range rows {
+		if r.ImgPerKJ <= 0 || r.PowerW <= 0 {
+			t.Fatalf("degenerate efficiency row: %+v", r)
+		}
+	}
+}
+
+func TestExtensionBatchSLOShape(t *testing.T) {
+	rows, err := ExtensionBatchSLO(34, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, adaptive := rows[0], rows[1]
+	if fixed.MissRate < 0.9 {
+		t.Fatalf("fixed batch should miss the unreachable SLO ~always: %g", fixed.MissRate)
+	}
+	if adaptive.MissRate > 0.1 {
+		t.Fatalf("adaptive batching should hold the SLO: miss %g", adaptive.MissRate)
+	}
+	if adaptive.FinalBatch >= fixed.FinalBatch {
+		t.Fatalf("batch did not shrink: %d vs %d", adaptive.FinalBatch, fixed.FinalBatch)
+	}
+	// The feasibility comes at a throughput-efficiency price.
+	if adaptive.Throughput >= fixed.Throughput {
+		t.Fatalf("expected a throughput cost: %g vs %g", adaptive.Throughput, fixed.Throughput)
+	}
+}

@@ -1,0 +1,221 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§3.2, §4.2, §6) as a callable function, shared by the
+// benchmark harness (bench_test.go), the cmd tools, and EXPERIMENTS.md.
+// Each function builds its own seeded rig so results are deterministic
+// and controller runs are compared against identical workload noise.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/mpc"
+	"repro/internal/sim"
+	"repro/internal/sysid"
+	"repro/internal/workload"
+)
+
+// Rig is the assembled evaluation testbed: server, workloads, identified
+// power model, and per-GPU latency models.
+type Rig struct {
+	Server        *sim.Server
+	Model         *sysid.Model
+	LatencyModels []*sysid.LatencyModel
+	ModelNames    []string // per-GPU workload names (t1..t3)
+}
+
+// evalPipelineConfigs returns the §6.1 workload assignment: t1 ResNet50
+// on GPU 0, t2 Swin-T on GPU 1, t3 VGG16 on GPU 2, parameters scaled to
+// the V100 window.
+func evalPipelineConfigs(seed int64) []workload.PipelineConfig {
+	zoo := workload.Zoo()
+	return []workload.PipelineConfig{
+		{Model: zoo["resnet50"], Workers: 2, PreLatencyBase: 0.004, PreLatencyExp: 0.4,
+			ArrivalRateMax: 250, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: seed + 1},
+		{Model: zoo["swin_t"], Workers: 2, PreLatencyBase: 0.010, PreLatencyExp: 0.4,
+			ArrivalRateMax: 100, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: seed + 2},
+		{Model: zoo["vgg16"], Workers: 2, PreLatencyBase: 0.008, PreLatencyExp: 0.4,
+			ArrivalRateMax: 130, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: seed + 3},
+	}
+}
+
+// attachEvalWorkloads wires the standard workloads onto a server.
+func attachEvalWorkloads(s *sim.Server, seed int64) error {
+	for i, cfg := range evalPipelineConfigs(seed) {
+		p, err := workload.NewPipeline(cfg)
+		if err != nil {
+			return err
+		}
+		if err := s.AttachPipeline(i, p); err != nil {
+			return err
+		}
+	}
+	w, err := workload.NewCPUWorkload(workload.CPUWorkloadConfig{
+		RateAtMax: 40, RateExp: 1, FcMax: 2.4, NoiseStd: 0.02, Seed: seed + 4})
+	if err != nil {
+		return err
+	}
+	s.AttachCPUWorkload(w)
+	return nil
+}
+
+// NewEvaluationRig builds the paper's evaluation testbed (Xeon + 3×V100,
+// §5) with the §6.1 workloads, runs system identification on a twin
+// server (so the evaluation run starts from pristine state), and fits
+// the per-GPU latency models used for SLO inversion.
+func NewEvaluationRig(seed int64) (*Rig, error) {
+	// Identification twin.
+	twin, err := sim.NewServer(sim.DefaultTestbed(seed + 100))
+	if err != nil {
+		return nil, err
+	}
+	if err := attachEvalWorkloads(twin, seed+100); err != nil {
+		return nil, err
+	}
+	model, _, err := sysid.Identify(twin, sysid.ExciteConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: identification: %w", err)
+	}
+
+	// Evaluation server.
+	s, err := sim.NewServer(sim.DefaultTestbed(seed))
+	if err != nil {
+		return nil, err
+	}
+	if err := attachEvalWorkloads(s, seed); err != nil {
+		return nil, err
+	}
+
+	// Latency models: the controller knows each workload's e_min and the
+	// paper's γ = 0.91 from profiling (Fig. 2b's fit is reproduced
+	// separately in Fig2bLatencyModel; here the law parameters are used
+	// directly, as the paper does in Eq. 10b).
+	names := []string{"resnet50", "swin_t", "vgg16"}
+	zoo := workload.Zoo()
+	lms := make([]*sysid.LatencyModel, 3)
+	for i, n := range names {
+		lms[i] = &sysid.LatencyModel{
+			EMin:  zoo[n].EMinBatch,
+			Gamma: zoo[n].Gamma,
+			FMax:  1350,
+		}
+	}
+	return &Rig{Server: s, Model: model, LatencyModels: lms, ModelNames: names}, nil
+}
+
+// ControllerNames lists the controllers BuildController accepts, in the
+// order the comparison figures present them.
+func ControllerNames() []string {
+	return []string{
+		"cpu-only", "gpu-only", "cpu+gpu-50", "cpu+gpu-60",
+		"fixed-step-1", "fixed-step-5", "safe-fixed-step-1", "safe-fixed-step-3", "safe-fixed-step-5",
+		"capgpu", "capgpu-slsqp", "capgpu-uniform",
+	}
+}
+
+// baselinePole is the closed-loop pole used for the proportional
+// baselines ("chosen to minimize oscillations", §6.1).
+const baselinePole = 0.45
+
+// SafeMarginW estimates Safe Fixed-Step's safety margin from the
+// identified model: the steady-state oscillation amplitude is one step's
+// power impact, so the margin keeps peaks under the cap (§6.2 notes the
+// margin comes from measured steady-state errors).
+func SafeMarginW(model *sysid.Model, stepMult int) float64 {
+	cpuSwing := model.Gains[0] * 0.1 * float64(stepMult)
+	maxGPU := 0.0
+	for _, g := range model.Gains[1:] {
+		if sw := g * 90 * float64(stepMult); sw > maxGPU {
+			maxGPU = sw
+		}
+	}
+	m := cpuSwing
+	if maxGPU > m {
+		m = maxGPU
+	}
+	return m + 8 // measurement-noise headroom
+}
+
+// BuildController instantiates a controller by name for a rig.
+func BuildController(name string, rig *Rig) (core.PowerController, error) {
+	switch name {
+	case "cpu-only":
+		return baselines.NewCPUOnly(rig.Model, rig.Server, baselinePole)
+	case "gpu-only":
+		return baselines.NewGPUOnly(rig.Model, rig.Server, baselinePole)
+	case "cpu+gpu-50":
+		return baselines.NewCPUPlusGPU(rig.Model, rig.Server, 0.5, rig.Server.Config().OtherW, baselinePole)
+	case "cpu+gpu-60":
+		return baselines.NewCPUPlusGPU(rig.Model, rig.Server, 0.6, rig.Server.Config().OtherW, baselinePole)
+	case "fixed-step-1":
+		return baselines.NewFixedStep(rig.Server, 1, 0)
+	case "fixed-step-5":
+		return baselines.NewFixedStep(rig.Server, 5, 0)
+	case "safe-fixed-step-1":
+		return baselines.NewFixedStep(rig.Server, 1, SafeMarginW(rig.Model, 1))
+	case "safe-fixed-step-3":
+		return baselines.NewFixedStep(rig.Server, 3, SafeMarginW(rig.Model, 3))
+	case "safe-fixed-step-5":
+		return baselines.NewFixedStep(rig.Server, 5, SafeMarginW(rig.Model, 5))
+	case "capgpu":
+		return core.NewCapGPU(rig.Model, rig.Server, rig.LatencyModels, core.Options{})
+	case "capgpu-slsqp":
+		return core.NewCapGPU(rig.Model, rig.Server, rig.LatencyModels, core.Options{MPC: mpc.Config{UseSLSQP: true}})
+	case "capgpu-uniform":
+		return core.NewCapGPU(rig.Model, rig.Server, rig.LatencyModels, core.Options{MPC: mpc.Config{UniformWeights: true}})
+	default:
+		return nil, fmt.Errorf("experiments: unknown controller %q (want one of %v)", name, ControllerNames())
+	}
+}
+
+// RunResult is one controller's capping session.
+type RunResult struct {
+	Controller string
+	Records    []core.PeriodRecord
+	Summary    metrics.Summary
+}
+
+// PowerSeries extracts the per-period average power.
+func (r *RunResult) PowerSeries() []float64 {
+	out := make([]float64, len(r.Records))
+	for i, rec := range r.Records {
+		out[i] = rec.AvgPowerW
+	}
+	return out
+}
+
+// RunSession runs one controller (by name) on a fresh rig for the given
+// schedule. Using a fresh rig per controller gives every controller the
+// identical workload noise stream.
+func RunSession(name string, seed int64, periods int, setpoint func(int) float64, slos func(int) []float64) (*RunResult, error) {
+	rig, err := NewEvaluationRig(seed)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := BuildController(name, rig)
+	if err != nil {
+		return nil, err
+	}
+	h, err := core.NewHarness(rig.Server, ctrl, setpoint)
+	if err != nil {
+		return nil, err
+	}
+	h.SLOs = slos
+	recs, err := h.Run(periods)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{Controller: ctrl.Name(), Records: recs}
+	// Fixed set-point summaries use the paper's final-80%-of-run
+	// convention (last 80 of 100 periods in §6.3).
+	sp := setpoint(periods - 1)
+	res.Summary = metrics.Summarize(res.PowerSeries(), sp, periods*8/10, 0.02*sp, 0.01*sp)
+	return res, nil
+}
+
+// FixedSetpoint is a constant set-point schedule.
+func FixedSetpoint(watts float64) func(int) float64 {
+	return func(int) float64 { return watts }
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickLoopInvariants is the whole-stack soak property: for any
+// controller and any feasible set point, a full control session keeps
+// its invariants — finite, positive power; frequencies on their grids
+// and within range; consistent record shapes; non-negative throughput
+// and latency.
+func TestQuickLoopInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak property skipped in -short mode")
+	}
+	names := []string{"capgpu", "gpu-only", "fixed-step-1", "safe-fixed-step-1", "cpu+gpu-50"}
+	f := func(ctlIdx uint8, spRaw uint8, seed int64) bool {
+		name := names[int(ctlIdx)%len(names)]
+		sp := 820 + 380*float64(spRaw)/255 // [820, 1200]
+		res, err := RunSession(name, seed%100, 40, FixedSetpoint(sp), nil)
+		if err != nil {
+			return false
+		}
+		if len(res.Records) != 40 {
+			return false
+		}
+		for _, r := range res.Records {
+			if !(r.AvgPowerW > 0) || math.IsNaN(r.AvgPowerW) || math.IsInf(r.AvgPowerW, 0) {
+				return false
+			}
+			if r.CPUFreqGHz < 1.0-1e-9 || r.CPUFreqGHz > 2.4+1e-9 {
+				return false
+			}
+			// On the 0.1 GHz grid.
+			steps := (r.CPUFreqGHz - 1.0) / 0.1
+			if math.Abs(steps-math.Round(steps)) > 1e-6 {
+				return false
+			}
+			if len(r.GPUFreqMHz) != 3 || len(r.GPUThroughput) != 3 || len(r.GPULatency) != 3 {
+				return false
+			}
+			for i, fg := range r.GPUFreqMHz {
+				if fg < 435-1e-9 || fg > 1350+1e-9 {
+					return false
+				}
+				gsteps := (fg - 435) / 15
+				if math.Abs(gsteps-math.Round(gsteps)) > 1e-6 {
+					return false
+				}
+				if r.GPUThroughput[i] < 0 || r.GPULatency[i] < 0 {
+					return false
+				}
+			}
+			if r.CPUThroughput < 0 || r.CPULatency < 0 || r.EnergyJ <= 0 {
+				return false
+			}
+			if r.MaxPowerW < r.AvgPowerW-60 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSetpointMonotonicity: for the convergent controllers, a
+// higher cap never yields lower steady-state power (within noise).
+func TestQuickSetpointMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak property skipped in -short mode")
+	}
+	f := func(aRaw, bRaw uint8) bool {
+		a := 850 + 300*float64(aRaw)/255
+		b := 850 + 300*float64(bRaw)/255
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		if hi-lo < 40 {
+			return true // too close to resolve over noise
+		}
+		run := func(sp float64) float64 {
+			r, err := RunSession("capgpu", 3, 50, FixedSetpoint(sp), nil)
+			if err != nil {
+				return math.NaN()
+			}
+			return r.Summary.Mean
+		}
+		mLo, mHi := run(lo), run(hi)
+		if math.IsNaN(mLo) || math.IsNaN(mHi) {
+			return false
+		}
+		return mHi > mLo-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

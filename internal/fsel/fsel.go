@@ -1,0 +1,229 @@
+// Package fsel implements the paper's CPU workload: exhaustive feature
+// selection with k-fold cross-validated linear regression (§6.1,
+// following Hastie et al., "The Elements of Statistical Learning").
+// Every non-empty subset of candidate features is fitted and scored by
+// cross-validation mean squared error; the subset with the lowest CV-MSE
+// wins.
+//
+// In the paper this workload runs on the host CPU's spare cores and its
+// throughput — feature subsets evaluated per second — is the CPU-side
+// signal fed to the CapGPU weight-assignment algorithm. Here the search
+// is real, runnable code (see examples/featureselect); the simulator
+// uses a calibrated rate-vs-frequency profile of it.
+package fsel
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mat"
+)
+
+// Result describes the outcome of an exhaustive search.
+type Result struct {
+	BestSubset   []int              // feature indices of the best subset
+	BestCVMSE    float64            // cross-validation MSE of the best subset
+	Evaluated    int                // number of subsets evaluated
+	SubsetScores map[uint64]float64 // bitmask -> CV-MSE (populated when Keep is set)
+}
+
+// Options controls the search.
+type Options struct {
+	Folds    int  // cross-validation folds (default 5)
+	Parallel int  // worker goroutines (default GOMAXPROCS)
+	Keep     bool // retain per-subset scores in Result.SubsetScores
+	// MaxSubsetBits caps subset enumeration; 0 means all 2^d - 1 subsets.
+	MaxSubsetBits int
+}
+
+func (o *Options) defaults() Options {
+	out := *o
+	if out.Folds == 0 {
+		out.Folds = 5
+	}
+	if out.Parallel == 0 {
+		out.Parallel = runtime.GOMAXPROCS(0)
+	}
+	return out
+}
+
+// Exhaustive evaluates every non-empty subset of the columns of x and
+// returns the subset minimizing k-fold cross-validated MSE of a linear
+// model (with intercept) predicting y.
+func Exhaustive(x [][]float64, y []float64, opts Options) (*Result, error) {
+	o := opts.defaults()
+	if len(x) == 0 {
+		return nil, fmt.Errorf("fsel: empty design matrix")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("fsel: %d rows but %d targets", len(x), len(y))
+	}
+	d := len(x[0])
+	if d == 0 || d > 20 {
+		return nil, fmt.Errorf("fsel: feature count %d out of supported range [1,20]", d)
+	}
+	if len(x) < 2*o.Folds {
+		return nil, fmt.Errorf("fsel: %d rows too few for %d folds", len(x), o.Folds)
+	}
+	total := (uint64(1) << d) - 1
+
+	type scored struct {
+		mask uint64
+		mse  float64
+	}
+	results := make([]scored, 0, total)
+	var mu sync.Mutex
+	var next uint64 // next mask to claim, atomically
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+
+	worker := func() {
+		defer wg.Done()
+		local := make([]scored, 0, 64)
+		for {
+			m := atomic.AddUint64(&next, 1)
+			if m > total {
+				break
+			}
+			if o.MaxSubsetBits > 0 && bits.OnesCount64(m) > o.MaxSubsetBits {
+				continue
+			}
+			mse, err := CVMSE(x, y, maskToIdx(m, d), o.Folds)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			local = append(local, scored{mask: m, mse: mse})
+		}
+		mu.Lock()
+		results = append(results, local...)
+		mu.Unlock()
+	}
+	for w := 0; w < o.Parallel; w++ {
+		wg.Add(1)
+		go worker()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &Result{BestCVMSE: math.Inf(1), Evaluated: len(results)}
+	if o.Keep {
+		res.SubsetScores = make(map[uint64]float64, len(results))
+	}
+	for _, s := range results {
+		if o.Keep {
+			res.SubsetScores[s.mask] = s.mse
+		}
+		if s.mse < res.BestCVMSE || (s.mse == res.BestCVMSE && betterTie(s.mask, res.BestSubset, d)) {
+			res.BestCVMSE = s.mse
+			res.BestSubset = maskToIdx(s.mask, d)
+		}
+	}
+	if res.BestSubset == nil {
+		return nil, fmt.Errorf("fsel: no subset evaluated")
+	}
+	return res, nil
+}
+
+// betterTie prefers the smaller subset on exact MSE ties (parsimonious
+// model), then the lexicographically smaller mask for determinism.
+func betterTie(mask uint64, cur []int, d int) bool {
+	if cur == nil {
+		return true
+	}
+	curMask := idxToMask(cur)
+	nb, cb := bits.OnesCount64(mask), bits.OnesCount64(curMask)
+	if nb != cb {
+		return nb < cb
+	}
+	return mask < curMask
+}
+
+func maskToIdx(mask uint64, d int) []int {
+	idx := make([]int, 0, bits.OnesCount64(mask))
+	for j := 0; j < d; j++ {
+		if mask&(1<<uint(j)) != 0 {
+			idx = append(idx, j)
+		}
+	}
+	return idx
+}
+
+func idxToMask(idx []int) uint64 {
+	var m uint64
+	for _, j := range idx {
+		m |= 1 << uint(j)
+	}
+	return m
+}
+
+// CVMSE returns the k-fold cross-validation mean squared error of an
+// ordinary-least-squares fit (with intercept) of y on the given columns
+// of x. Folds are contiguous blocks, which is deterministic and
+// sufficient for generated data whose rows are exchangeable.
+func CVMSE(x [][]float64, y []float64, cols []int, folds int) (float64, error) {
+	n := len(x)
+	if folds < 2 || folds > n {
+		return 0, fmt.Errorf("fsel: invalid fold count %d for %d rows", folds, n)
+	}
+	p := len(cols) + 1 // + intercept
+	sse := 0.0
+	count := 0
+	for f := 0; f < folds; f++ {
+		lo := f * n / folds
+		hi := (f + 1) * n / folds
+		trainRows := n - (hi - lo)
+		if trainRows < p {
+			return 0, fmt.Errorf("fsel: fold %d leaves %d train rows for %d parameters", f, trainRows, p)
+		}
+		a := mat.New(trainRows, p)
+		b := make([]float64, trainRows)
+		r := 0
+		for i := 0; i < n; i++ {
+			if i >= lo && i < hi {
+				continue
+			}
+			a.Set(r, 0, 1)
+			for j, c := range cols {
+				a.Set(r, j+1, x[i][c])
+			}
+			b[r] = y[i]
+			r++
+		}
+		// Ridge with a whisper of regularization keeps collinear
+		// synthetic features (deliberately present in the PAI trace
+		// generator) from blowing up the fold fit.
+		beta, err := mat.RidgeLeastSquares(a, b, 1e-8)
+		if err != nil {
+			return 0, fmt.Errorf("fsel: fold %d fit: %w", f, err)
+		}
+		for i := lo; i < hi; i++ {
+			pred := beta[0]
+			for j, c := range cols {
+				pred += beta[j+1] * x[i][c]
+			}
+			resid := y[i] - pred
+			sse += resid * resid
+			count++
+		}
+	}
+	return sse / float64(count), nil
+}
+
+// Throughput measures subsets evaluated per second by running the
+// exhaustive search once and dividing by elapsed seconds; the caller
+// provides the timing. It is used to calibrate the simulator's CPU
+// workload profile. See examples/featureselect for usage.
+func Throughput(evaluated int, elapsedSeconds float64) float64 {
+	if elapsedSeconds <= 0 {
+		return 0
+	}
+	return float64(evaluated) / elapsedSeconds
+}

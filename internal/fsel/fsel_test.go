@@ -1,0 +1,266 @@
+package fsel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func genTrace(t *testing.T, rows, features int, seed int64) *dataset.PAITrace {
+	t.Helper()
+	tr, err := dataset.GeneratePAI(dataset.PAIConfig{Rows: rows, Features: features, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestExhaustiveRecoversSignalFeatures(t *testing.T) {
+	tr := genTrace(t, 600, 6, 42)
+	res, err := Exhaustive(tr.X, tr.Y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != (1<<6)-1 {
+		t.Fatalf("evaluated %d subsets, want %d", res.Evaluated, (1<<6)-1)
+	}
+	// The strong drivers (plan_gpu, inst_num) must be in the best subset.
+	need := map[string]bool{"plan_gpu": true, "inst_num": true}
+	got := map[string]bool{}
+	for _, i := range res.BestSubset {
+		got[tr.FeatureNames[i]] = true
+	}
+	for n := range need {
+		if !got[n] {
+			t.Fatalf("best subset %v (names %v) missing %q", res.BestSubset, got, n)
+		}
+	}
+}
+
+func TestExhaustiveBestIsGlobalMin(t *testing.T) {
+	tr := genTrace(t, 200, 5, 7)
+	res, err := Exhaustive(tr.X, tr.Y, Options{Keep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask, mse := range res.SubsetScores {
+		if mse < res.BestCVMSE-1e-12 {
+			t.Fatalf("subset %b has MSE %g < best %g", mask, mse, res.BestCVMSE)
+		}
+	}
+	if len(res.SubsetScores) != res.Evaluated {
+		t.Fatalf("kept %d scores, evaluated %d", len(res.SubsetScores), res.Evaluated)
+	}
+}
+
+func TestExhaustiveParallelMatchesSerial(t *testing.T) {
+	tr := genTrace(t, 150, 6, 11)
+	serial, err := Exhaustive(tr.X, tr.Y, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Exhaustive(tr.X, tr.Y, Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.BestCVMSE != parallel.BestCVMSE {
+		t.Fatalf("serial best %g != parallel best %g", serial.BestCVMSE, parallel.BestCVMSE)
+	}
+	if len(serial.BestSubset) != len(parallel.BestSubset) {
+		t.Fatalf("subset size differs: %v vs %v", serial.BestSubset, parallel.BestSubset)
+	}
+	for i := range serial.BestSubset {
+		if serial.BestSubset[i] != parallel.BestSubset[i] {
+			t.Fatalf("subsets differ: %v vs %v", serial.BestSubset, parallel.BestSubset)
+		}
+	}
+}
+
+func TestMaxSubsetBitsLimitsSearch(t *testing.T) {
+	tr := genTrace(t, 150, 6, 13)
+	res, err := Exhaustive(tr.X, tr.Y, Options{MaxSubsetBits: 2, Keep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 singletons + 15 pairs = 21 subsets.
+	if res.Evaluated != 21 {
+		t.Fatalf("evaluated %d, want 21", res.Evaluated)
+	}
+	if len(res.BestSubset) > 2 {
+		t.Fatalf("best subset %v exceeds bit cap", res.BestSubset)
+	}
+}
+
+func TestCVMSEPerfectLinearData(t *testing.T) {
+	// Noise-free y = 1 + 2x: CV-MSE should be ~0 with the right feature.
+	n := 60
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := float64(i) / 10
+		x[i] = []float64{v, float64(i % 3)} // second feature is junk
+		y[i] = 1 + 2*v
+	}
+	mse, err := CVMSE(x, y, []int{0}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 1e-18 {
+		t.Fatalf("noise-free CV-MSE = %g, want ~0", mse)
+	}
+	mseJunk, err := CVMSE(x, y, []int{1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mseJunk < 1 {
+		t.Fatalf("junk-feature CV-MSE = %g, expected large", mseJunk)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	x := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	if _, err := Exhaustive(nil, nil, Options{}); err == nil {
+		t.Fatal("expected error for empty matrix")
+	}
+	if _, err := Exhaustive(x, []float64{1}, Options{}); err == nil {
+		t.Fatal("expected row/target mismatch error")
+	}
+	if _, err := Exhaustive(x, y, Options{}); err == nil {
+		t.Fatal("expected too-few-rows error for 5 folds")
+	}
+	if _, err := CVMSE(x, y, []int{0}, 1); err == nil {
+		t.Fatal("expected invalid-folds error")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(100, 2); got != 50 {
+		t.Fatalf("Throughput = %g, want 50", got)
+	}
+	if got := Throughput(100, 0); got != 0 {
+		t.Fatalf("Throughput with zero time = %g, want 0", got)
+	}
+}
+
+// Property: adding pure-noise features never helps the true subset's
+// CV-MSE by a large margin (the selected model's CV-MSE is always within
+// noise of the oracle subset's CV-MSE, and never dramatically better).
+func TestQuickSelectedNeverBeatsOracleByMuch(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, err := dataset.GeneratePAI(dataset.PAIConfig{Rows: 250, Features: 6, Seed: seed})
+		if err != nil {
+			return false
+		}
+		res, err := Exhaustive(tr.X, tr.Y, Options{})
+		if err != nil {
+			return false
+		}
+		oracle := dataset.TrueSubset(tr.FeatureNames)
+		oracleMSE, err := CVMSE(tr.X, tr.Y, oracle, 5)
+		if err != nil {
+			return false
+		}
+		// Best subset can't be worse than the oracle subset (it was in
+		// the search space), and must be finite.
+		if math.IsNaN(res.BestCVMSE) || res.BestCVMSE > oracleMSE+1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExhaustive8Features(b *testing.B) {
+	tr, err := dataset.GeneratePAI(dataset.PAIConfig{Rows: 256, Features: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exhaustive(tr.X, tr.Y, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCVMSESingleSubset(b *testing.B) {
+	tr, err := dataset.GeneratePAI(dataset.PAIConfig{Rows: 512, Features: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CVMSE(tr.X, tr.Y, []int{0, 2, 5}, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestForwardMatchesExhaustiveOnEasyData(t *testing.T) {
+	tr := genTrace(t, 400, 6, 77)
+	ex, err := Exhaustive(tr.X, tr.Y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := Forward(tr.X, tr.Y, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy is suboptimal in general but must land within a few percent
+	// of the exhaustive optimum on this well-separated signal.
+	if fw.BestCVMSE > ex.BestCVMSE*1.05 {
+		t.Fatalf("forward CV-MSE %g too far above exhaustive %g", fw.BestCVMSE, ex.BestCVMSE)
+	}
+	// And evaluate dramatically fewer subsets: O(d^2) vs 2^d - 1.
+	if fw.Evaluated >= ex.Evaluated/2 {
+		t.Fatalf("forward evaluated %d subsets, exhaustive %d", fw.Evaluated, ex.Evaluated)
+	}
+	// The strong drivers must still be found.
+	names := map[string]bool{}
+	for _, i := range fw.BestSubset {
+		names[tr.FeatureNames[i]] = true
+	}
+	if !names["plan_gpu"] || !names["inst_num"] {
+		t.Fatalf("forward missed a strong driver: %v", names)
+	}
+}
+
+func TestForwardMaxFeaturesCap(t *testing.T) {
+	tr := genTrace(t, 200, 6, 78)
+	fw, err := Forward(tr.X, tr.Y, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fw.BestSubset) > 2 {
+		t.Fatalf("cap violated: %v", fw.BestSubset)
+	}
+}
+
+func TestForwardValidation(t *testing.T) {
+	if _, err := Forward(nil, nil, 5, 0); err == nil {
+		t.Fatal("expected empty-matrix error")
+	}
+	if _, err := Forward([][]float64{{1}}, []float64{1, 2}, 5, 0); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestForwardSubsetSorted(t *testing.T) {
+	tr := genTrace(t, 200, 6, 79)
+	fw, err := Forward(tr.X, tr.Y, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(fw.BestSubset); i++ {
+		if fw.BestSubset[i-1] >= fw.BestSubset[i] {
+			t.Fatalf("subset not sorted: %v", fw.BestSubset)
+		}
+	}
+}

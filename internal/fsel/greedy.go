@@ -1,0 +1,77 @@
+package fsel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Forward runs greedy forward stepwise selection: starting from the
+// empty model, repeatedly add the feature whose inclusion most improves
+// cross-validated MSE, stopping when no addition improves it (or when
+// maxFeatures is reached). It evaluates O(d²) subsets instead of the
+// exhaustive search's O(2^d) — the standard fallback Hastie et al.
+// recommend when exhaustive enumeration is unaffordable, included here
+// both as a library feature and as the cheap point of comparison in the
+// examples.
+func Forward(x [][]float64, y []float64, folds, maxFeatures int) (*Result, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("fsel: empty design matrix")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("fsel: %d rows but %d targets", len(x), len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return nil, fmt.Errorf("fsel: no features")
+	}
+	if folds == 0 {
+		folds = 5
+	}
+	if maxFeatures <= 0 || maxFeatures > d {
+		maxFeatures = d
+	}
+
+	chosen := []int{}
+	inSet := make([]bool, d)
+	best := math.Inf(1)
+	evaluated := 0
+	for len(chosen) < maxFeatures {
+		bestIdx, bestMSE := -1, best
+		for j := 0; j < d; j++ {
+			if inSet[j] {
+				continue
+			}
+			cand := append(append([]int{}, chosen...), j)
+			mse, err := CVMSE(x, y, cand, folds)
+			if err != nil {
+				return nil, err
+			}
+			evaluated++
+			if mse < bestMSE {
+				bestMSE, bestIdx = mse, j
+			}
+		}
+		if bestIdx < 0 {
+			break // no addition improves the CV score
+		}
+		chosen = append(chosen, bestIdx)
+		inSet[bestIdx] = true
+		best = bestMSE
+	}
+	if len(chosen) == 0 {
+		// Even the best singleton was worse than +Inf never happens, but
+		// guard against a pathological CV failure.
+		return nil, fmt.Errorf("fsel: forward selection chose no features")
+	}
+	sortInts(chosen)
+	return &Result{BestSubset: chosen, BestCVMSE: best, Evaluated: evaluated}, nil
+}
+
+// sortInts is a tiny insertion sort (the subsets are short).
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

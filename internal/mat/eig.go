@@ -1,0 +1,316 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// ErrNoConvergence is returned when the QR eigenvalue iteration fails to
+// converge; with balanced input and the iteration limits used here this
+// indicates a pathological matrix.
+var ErrNoConvergence = errors.New("mat: eigenvalue iteration did not converge")
+
+// Eigenvalues returns all eigenvalues of the square matrix a, computed by
+// Householder reduction to upper Hessenberg form followed by the Francis
+// double-shift QR iteration. Complex conjugate pairs are returned as
+// complex values. The result is sorted by descending magnitude.
+//
+// This routine backs the paper's Section 4.4 stability analysis: the
+// closed-loop system matrix under perturbed plant gains is formed and its
+// poles (these eigenvalues) are checked against the unit circle.
+func Eigenvalues(a *Mat) ([]complex128, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: eigenvalues of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, nil
+	}
+	if n == 1 {
+		return []complex128{complex(a.At(0, 0), 0)}, nil
+	}
+	h := hessenberg(a)
+	eig, err := hqr(h)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(eig, func(i, j int) bool { return cmplx.Abs(eig[i]) > cmplx.Abs(eig[j]) })
+	return eig, nil
+}
+
+// SpectralRadius returns the largest eigenvalue magnitude of a.
+func SpectralRadius(a *Mat) (float64, error) {
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		return 0, err
+	}
+	if len(eig) == 0 {
+		return 0, nil
+	}
+	return cmplx.Abs(eig[0]), nil
+}
+
+// hessenberg reduces a to upper Hessenberg form by Householder
+// similarity transforms (eigenvalues preserved).
+func hessenberg(a *Mat) *Mat {
+	n := a.Rows
+	h := a.Clone()
+	for k := 0; k < n-2; k++ {
+		// Build the Householder vector that zeroes h[k+2:, k].
+		norm := 0.0
+		for i := k + 1; i < n; i++ {
+			norm = math.Hypot(norm, h.At(i, k))
+		}
+		if norm == 0 {
+			continue
+		}
+		alpha := -norm
+		if h.At(k+1, k) < 0 {
+			alpha = norm
+		}
+		v := make([]float64, n)
+		v[k+1] = h.At(k+1, k) - alpha
+		for i := k + 2; i < n; i++ {
+			v[i] = h.At(i, k)
+		}
+		vn := Norm2(v)
+		if vn == 0 {
+			continue
+		}
+		for i := range v {
+			v[i] /= vn
+		}
+		// H = (I - 2vv^T) H (I - 2vv^T), applied as two rank-1 updates.
+		// Left: H -= 2 v (v^T H).
+		vth := make([]float64, n)
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := k + 1; i < n; i++ {
+				s += v[i] * h.At(i, j)
+			}
+			vth[j] = s
+		}
+		for i := k + 1; i < n; i++ {
+			if v[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				h.Add(i, j, -2*v[i]*vth[j])
+			}
+		}
+		// Right: H -= 2 (H v) v^T.
+		hv := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := k + 1; j < n; j++ {
+				s += h.At(i, j) * v[j]
+			}
+			hv[i] = s
+		}
+		for i := 0; i < n; i++ {
+			if hv[i] == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				h.Add(i, j, -2*hv[i]*v[j])
+			}
+		}
+		// Enforce exact zeros below the first subdiagonal in column k.
+		for i := k + 2; i < n; i++ {
+			h.Set(i, k, 0)
+		}
+	}
+	return h
+}
+
+// hqr finds the eigenvalues of an upper Hessenberg matrix using the
+// Francis double-shift QR iteration (adapted from the classic EISPACK
+// HQR routine).
+func hqr(hm *Mat) ([]complex128, error) {
+	n := hm.Rows
+	h := hm.Clone()
+	at := func(i, j int) float64 { return h.Data[i*n+j] }
+	set := func(i, j int, v float64) { h.Data[i*n+j] = v }
+
+	eig := make([]complex128, 0, n)
+	anorm := 0.0
+	for i := 0; i < n; i++ {
+		for j := maxInt(i-1, 0); j < n; j++ {
+			anorm += math.Abs(at(i, j))
+		}
+	}
+	if anorm == 0 {
+		for i := 0; i < n; i++ {
+			eig = append(eig, 0)
+		}
+		return eig, nil
+	}
+
+	nn := n - 1
+	t := 0.0
+	var x, y, z, w, v, u, s, r, q, p float64
+	for nn >= 0 {
+		its := 0
+		var l int
+		for {
+			// Look for a single small subdiagonal element.
+			for l = nn; l >= 1; l-- {
+				s = math.Abs(at(l-1, l-1)) + math.Abs(at(l, l))
+				if s == 0 {
+					s = anorm
+				}
+				if math.Abs(at(l, l-1)) <= 1e-15*s {
+					set(l, l-1, 0)
+					break
+				}
+			}
+			x = at(nn, nn)
+			if l == nn { // one real root found
+				eig = append(eig, complex(x+t, 0))
+				nn--
+				break
+			}
+			y = at(nn-1, nn-1)
+			w = at(nn, nn-1) * at(nn-1, nn)
+			if l == nn-1 { // a 2x2 block: one real pair or a complex pair
+				p = 0.5 * (y - x)
+				q = p*p + w
+				z = math.Sqrt(math.Abs(q))
+				x += t
+				if q >= 0 { // real pair
+					if p >= 0 {
+						z = p + z
+					} else {
+						z = p - z
+					}
+					eig = append(eig, complex(x+z, 0))
+					if z != 0 {
+						eig = append(eig, complex(x-w/z, 0))
+					} else {
+						eig = append(eig, complex(x, 0))
+					}
+				} else { // complex conjugate pair
+					eig = append(eig, complex(x+p, z), complex(x+p, -z))
+				}
+				nn -= 2
+				break
+			}
+			// No root found yet; continue iterating.
+			if its == 60 {
+				return nil, ErrNoConvergence
+			}
+			if its == 10 || its == 20 {
+				// Exceptional shift.
+				t += x
+				for i := 0; i <= nn; i++ {
+					set(i, i, at(i, i)-x)
+				}
+				s = math.Abs(at(nn, nn-1)) + math.Abs(at(nn-1, nn-2))
+				y = 0.75 * s
+				x = y
+				w = -0.4375 * s * s
+			}
+			its++
+			// Form shift and look for two consecutive small subdiagonals.
+			var m int
+			for m = nn - 2; m >= l; m-- {
+				z = at(m, m)
+				r = x - z
+				s = y - z
+				p = (r*s-w)/at(m+1, m) + at(m, m+1)
+				q = at(m+1, m+1) - z - r - s
+				r = at(m+2, m+1)
+				s = math.Abs(p) + math.Abs(q) + math.Abs(r)
+				p /= s
+				q /= s
+				r /= s
+				if m == l {
+					break
+				}
+				u = math.Abs(at(m, m-1)) * (math.Abs(q) + math.Abs(r))
+				v = math.Abs(p) * (math.Abs(at(m-1, m-1)) + math.Abs(z) + math.Abs(at(m+1, m+1)))
+				if u <= 1e-15*v {
+					break
+				}
+			}
+			for i := m + 2; i <= nn; i++ {
+				set(i, i-2, 0)
+				if i != m+2 {
+					set(i, i-3, 0)
+				}
+			}
+			// Double QR step on rows l..nn, columns m..nn.
+			for k := m; k <= nn-1; k++ {
+				if k != m {
+					p = at(k, k-1)
+					q = at(k+1, k-1)
+					r = 0
+					if k != nn-1 {
+						r = at(k+2, k-1)
+					}
+					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
+					if x != 0 {
+						p /= x
+						q /= x
+						r /= x
+					}
+				}
+				s = math.Sqrt(p*p + q*q + r*r)
+				if p < 0 {
+					s = -s
+				}
+				if s == 0 {
+					continue
+				}
+				if k == m {
+					if l != m {
+						set(k, k-1, -at(k, k-1))
+					}
+				} else {
+					set(k, k-1, -s*x)
+				}
+				p += s
+				x = p / s
+				y = q / s
+				z = r / s
+				q /= p
+				r /= p
+				// Row modification.
+				for j := k; j <= nn; j++ {
+					p = at(k, j) + q*at(k+1, j)
+					if k != nn-1 {
+						p += r * at(k+2, j)
+						set(k+2, j, at(k+2, j)-p*z)
+					}
+					set(k+1, j, at(k+1, j)-p*y)
+					set(k, j, at(k, j)-p*x)
+				}
+				// Column modification.
+				mmin := nn
+				if k+3 < nn {
+					mmin = k + 3
+				}
+				for i := l; i <= mmin; i++ {
+					p = x*at(i, k) + y*at(i, k+1)
+					if k != nn-1 {
+						p += z * at(i, k+2)
+						set(i, k+2, at(i, k+2)-p*r)
+					}
+					set(i, k+1, at(i, k+1)-p*q)
+					set(i, k, at(i, k)-p)
+				}
+			}
+		}
+	}
+	return eig, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

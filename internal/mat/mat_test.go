@@ -1,0 +1,550 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func randomMat(rng *rand.Rand, rows, cols int) *Mat {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("dims: got %dx%d", m.Rows, m.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) not zero", i, j)
+			}
+		}
+	}
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("dims: got %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %g", m.At(2, 1))
+	}
+	m.Set(0, 0, 9)
+	m.Add(0, 0, 1)
+	if m.At(0, 0) != 10 {
+		t.Fatalf("Set/Add: got %g", m.At(0, 0))
+	}
+	r := m.Row(1)
+	if r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 4 || c[2] != 6 {
+		t.Fatalf("Col(1) = %v", c)
+	}
+	// Row/Col must be copies.
+	r[0] = -1
+	c[0] = -1
+	if m.At(1, 0) != 3 || m.At(0, 1) != 2 {
+		t.Fatal("Row/Col returned aliasing slices")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	for _, f := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(-1, 0, 1) },
+		func() { m.Row(5) },
+		func() { m.Col(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected out-of-range panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIdentityAndDiag(t *testing.T) {
+	id := Identity(3)
+	d := Diag([]float64{1, 1, 1})
+	if !id.Equal(d, 0) {
+		t.Fatal("Identity(3) != Diag(ones)")
+	}
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if !m.Mul(Identity(2)).Equal(m, 1e-15) {
+		t.Fatal("m*I != m")
+	}
+	if !Identity(2).Mul(m).Equal(m, 1e-15) {
+		t.Fatal("I*m != m")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("T dims: %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("T values wrong:\n%v", tr)
+	}
+	if !tr.T().Equal(m, 0) {
+		t.Fatal("(m^T)^T != m")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !a.Mul(b).Equal(want, 1e-12) {
+		t.Fatalf("mul:\n%v", a.Mul(b))
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestAddSubScaleTrace(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if !a.AddMat(b).Equal(FromRows([][]float64{{5, 5}, {5, 5}}), 0) {
+		t.Fatal("AddMat wrong")
+	}
+	if !a.SubMat(a).Equal(New(2, 2), 0) {
+		t.Fatal("SubMat wrong")
+	}
+	if !a.Scale(2).Equal(FromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Fatal("Scale wrong")
+	}
+	almostEq(t, a.Trace(), 5, 0, "trace")
+	almostEq(t, a.NormFrob(), math.Sqrt(30), 1e-12, "frobenius")
+	almostEq(t, a.MaxAbs(), 4, 0, "maxabs")
+}
+
+func TestVecOps(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	almostEq(t, Dot(a, b), 32, 0, "dot")
+	almostEq(t, Norm2([]float64{3, 4}), 5, 1e-15, "norm2")
+	s := AddVec(a, b)
+	if s[0] != 5 || s[2] != 9 {
+		t.Fatalf("AddVec = %v", s)
+	}
+	d := SubVec(b, a)
+	if d[0] != 3 || d[2] != 3 {
+		t.Fatalf("SubVec = %v", d)
+	}
+	sc := ScaleVec(2, a)
+	if sc[1] != 4 {
+		t.Fatalf("ScaleVec = %v", sc)
+	}
+	y := []float64{1, 1, 1}
+	Axpy(2, a, y)
+	if y[0] != 3 || y[2] != 7 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	op := OuterProduct([]float64{1, 2}, []float64{3, 4, 5})
+	if op.Rows != 2 || op.Cols != 3 || op.At(1, 2) != 10 {
+		t.Fatalf("OuterProduct:\n%v", op)
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}})
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		almostEq(t, x[i], want[i], 1e-10, "solve x")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := FromRows([][]float64{{4, 3}, {6, 3}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEq(t, f.Det(), -6, 1e-10, "det")
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected ErrSingular for rank-deficient matrix")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		a := randomMat(rng, n, n)
+		// Diagonal dominance keeps the matrix comfortably nonsingular.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+1)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Mul(inv).Equal(Identity(n), 1e-8) {
+			t.Fatalf("a*inv(a) != I for n=%d", n)
+		}
+	}
+}
+
+func TestLeastSquaresExactSystem(t *testing.T) {
+	// Square full-rank system: least squares must equal the exact solution.
+	a := FromRows([][]float64{{1, 1}, {1, 2}, {1, 3}})
+	b := []float64{6, 8, 10} // exactly y = 4 + 2x
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEq(t, x[0], 4, 1e-10, "intercept")
+	almostEq(t, x[1], 2, 1e-10, "slope")
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// The least-squares residual must be orthogonal to the column space.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		m := 5 + rng.Intn(10)
+		n := 1 + rng.Intn(4)
+		a := randomMat(rng, m, n)
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := SubVec(a.MulVec(x), b)
+		atr := a.T().MulVec(r)
+		for j, v := range atr {
+			if math.Abs(v) > 1e-8 {
+				t.Fatalf("trial %d: residual not orthogonal, A^T r[%d] = %g", trial, j, v)
+			}
+		}
+	}
+}
+
+func TestRidgeLeastSquaresShrinks(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	b := []float64{1, 1, 2}
+	x0, err := RidgeLeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := RidgeLeastSquares(a, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Norm2(x1) >= Norm2(x0) {
+		t.Fatalf("ridge did not shrink: ||x1||=%g ||x0||=%g", Norm2(x1), Norm2(x0))
+	}
+	if _, err := RidgeLeastSquares(a, b, -1); err == nil {
+		t.Fatal("expected error for negative lambda")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		g := randomMat(rng, n, n)
+		a := g.Mul(g.T())
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 1) // ensure positive definite
+		}
+		c, err := FactorCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.L().Mul(c.L().T()).Equal(a, 1e-8) {
+			t.Fatal("L*L^T != A")
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := c.Solve(b)
+		ax := a.MulVec(x)
+		for i := range b {
+			almostEq(t, ax[i], b[i], 1e-8, "cholesky solve")
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := FactorCholesky(a); err == nil {
+		t.Fatal("expected failure for indefinite matrix")
+	}
+}
+
+func TestEigenvaluesDiagonal(t *testing.T) {
+	e, err := Eigenvalues(Diag([]float64{3, -1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -1} // sorted by |.|
+	for i, w := range want {
+		almostEq(t, real(e[i]), w, 1e-9, "diag eig real")
+		almostEq(t, imag(e[i]), 0, 1e-9, "diag eig imag")
+	}
+}
+
+func TestEigenvaluesRotation(t *testing.T) {
+	// 2D rotation by theta has eigenvalues e^{±i theta}.
+	th := 0.7
+	a := FromRows([][]float64{{math.Cos(th), -math.Sin(th)}, {math.Sin(th), math.Cos(th)}})
+	e, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e) != 2 {
+		t.Fatalf("got %d eigenvalues", len(e))
+	}
+	for _, ev := range e {
+		almostEq(t, real(ev), math.Cos(th), 1e-9, "rotation eig real")
+		almostEq(t, math.Abs(imag(ev)), math.Sin(th), 1e-9, "rotation eig imag")
+	}
+}
+
+func TestEigenvaluesTraceDetInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		a := randomMat(rng, n, n)
+		e, err := Eigenvalues(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(e) != n {
+			t.Fatalf("trial %d: got %d eigenvalues, want %d", trial, len(e), n)
+		}
+		sumRe, sumIm := 0.0, 0.0
+		prod := complex(1, 0)
+		for _, ev := range e {
+			sumRe += real(ev)
+			sumIm += imag(ev)
+			prod *= ev
+		}
+		almostEq(t, sumRe, a.Trace(), 1e-6*math.Max(1, math.Abs(a.Trace())), "sum(eig) vs trace")
+		almostEq(t, sumIm, 0, 1e-6, "imag parts must cancel")
+		f, err := Factor(a)
+		if err == nil {
+			det := f.Det()
+			almostEq(t, real(prod), det, 1e-5*math.Max(1, math.Abs(det)), "prod(eig) vs det")
+		}
+	}
+}
+
+func TestSpectralRadiusStableMatrix(t *testing.T) {
+	a := FromRows([][]float64{{0.5, 0.1}, {0, 0.3}})
+	r, err := SpectralRadius(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEq(t, r, 0.5, 1e-9, "spectral radius")
+}
+
+func TestRSquared(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	almostEq(t, RSquared(y, y), 1, 0, "perfect fit")
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	almostEq(t, RSquared(y, mean), 0, 1e-15, "mean predictor")
+	if RSquared(y, []float64{4, 3, 2, 1}) >= 0 {
+		t.Fatal("reversed predictor should have negative R^2")
+	}
+	if !math.IsNaN(RSquared(nil, nil)) {
+		t.Fatal("empty input should be NaN")
+	}
+	almostEq(t, RSquared([]float64{5, 5}, []float64{5, 5}), 1, 0, "constant exact")
+}
+
+// Property: (A*B)^T == B^T * A^T for random matrices.
+func TestQuickTransposeOfProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a := randomMat(r, m, k)
+		b := randomMat(r, k, n)
+		return a.Mul(b).T().Equal(b.T().Mul(a.T()), 1e-10)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Solve returns x with A*x == b for well-conditioned A.
+func TestQuickSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		a := randomMat(r, n, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+2)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		ax := a.MulVec(x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dot product is symmetric and bilinear.
+func TestQuickDotSymmetricBilinear(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a, b, c := make([]float64, n), make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i], c[i] = r.NormFloat64(), r.NormFloat64(), r.NormFloat64()
+		}
+		s := 0.5 + r.Float64()
+		sym := math.Abs(Dot(a, b)-Dot(b, a)) < 1e-12
+		lin := math.Abs(Dot(AddVec(a, ScaleVec(s, c)), b)-(Dot(a, b)+s*Dot(c, b))) < 1e-9
+		return sym && lin
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: eigenvalues of A lie within the Gershgorin disks.
+func TestQuickGershgorin(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		a := randomMat(r, n, n)
+		eig, err := Eigenvalues(a)
+		if err != nil {
+			return false
+		}
+		for _, ev := range eig {
+			inside := false
+			for i := 0; i < n; i++ {
+				radius := 0.0
+				for j := 0; j < n; j++ {
+					if j != i {
+						radius += math.Abs(a.At(i, j))
+					}
+				}
+				d := math.Hypot(real(ev)-a.At(i, i), imag(ev))
+				if d <= radius+1e-6 {
+					inside = true
+					break
+				}
+			}
+			if !inside {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := FromRows([][]float64{{1, 2}}).String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func BenchmarkMul8x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMat(rng, 8, 8)
+	c := randomMat(rng, 8, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.Mul(c)
+	}
+}
+
+func BenchmarkEigenvalues8x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMat(rng, 8, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eigenvalues(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeastSquares40x5(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMat(rng, 40, 5)
+	y := make([]float64, 40)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(a, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// SVD holds a thin singular value decomposition A = U·diag(S)·Vᵀ of an
+// m×n matrix with m ≥ n, computed by one-sided Jacobi rotations — slow
+// asymptotically but simple, accurate, and more than fast enough for the
+// small matrices in this repository. Its consumers are the
+// pseudo-inverse and the excitation-conditioning diagnostics of system
+// identification (a nearly rank-deficient excitation matrix means some
+// gain combination was never exercised).
+type SVD struct {
+	U *Mat      // m×n, orthonormal columns
+	S []float64 // n singular values, descending
+	V *Mat      // n×n, orthogonal
+}
+
+// FactorSVD computes the thin SVD of a (m ≥ n required).
+func FactorSVD(a *Mat) (*SVD, error) {
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("mat: SVD needs rows >= cols, got %dx%d", a.Rows, a.Cols)
+	}
+	m, n := a.Rows, a.Cols
+	u := a.Clone()
+	v := Identity(n)
+
+	// One-sided Jacobi: orthogonalize column pairs of U, accumulating
+	// the rotations into V.
+	const maxSweeps = 60
+	tol := 1e-14
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Gram entries for columns p, q.
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					up, uq := u.At(i, p), u.At(i, q)
+					app += up * up
+					aqq += uq * uq
+					apq += up * uq
+				}
+				if math.Abs(apq) <= tol*math.Sqrt(app*aqq)+1e-300 {
+					continue
+				}
+				off += apq * apq
+				// Jacobi rotation zeroing the (p,q) Gram entry.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					up, uq := u.At(i, p), u.At(i, q)
+					u.Set(i, p, c*up-s*uq)
+					u.Set(i, q, s*up+c*uq)
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Column norms are the singular values; normalize U's columns.
+	sv := make([]float64, n)
+	for j := 0; j < n; j++ {
+		norm := 0.0
+		for i := 0; i < m; i++ {
+			norm = math.Hypot(norm, u.At(i, j))
+		}
+		sv[j] = norm
+		if norm > 0 {
+			for i := 0; i < m; i++ {
+				u.Set(i, j, u.At(i, j)/norm)
+			}
+		}
+	}
+	// Sort descending (simple selection: n is tiny).
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if sv[j] > sv[best] {
+				best = j
+			}
+		}
+		if best != i {
+			sv[i], sv[best] = sv[best], sv[i]
+			for r := 0; r < m; r++ {
+				ui, ub := u.At(r, i), u.At(r, best)
+				u.Set(r, i, ub)
+				u.Set(r, best, ui)
+			}
+			for r := 0; r < n; r++ {
+				vi, vb := v.At(r, i), v.At(r, best)
+				v.Set(r, i, vb)
+				v.Set(r, best, vi)
+			}
+		}
+	}
+	return &SVD{U: u, S: sv, V: v}, nil
+}
+
+// Cond returns the 2-norm condition number σ_max/σ_min (Inf for a
+// rank-deficient matrix).
+func (s *SVD) Cond() float64 {
+	if len(s.S) == 0 {
+		return math.NaN()
+	}
+	smin := s.S[len(s.S)-1]
+	if smin == 0 {
+		return math.Inf(1)
+	}
+	return s.S[0] / smin
+}
+
+// Rank returns the numerical rank at the given relative tolerance
+// (singular values below tol·σ_max count as zero).
+func (s *SVD) Rank(tol float64) int {
+	if len(s.S) == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	thresh := tol * s.S[0]
+	r := 0
+	for _, sv := range s.S {
+		if sv > thresh {
+			r++
+		}
+	}
+	return r
+}
+
+// PseudoInverse returns the Moore–Penrose pseudo-inverse V·diag(1/S)·Uᵀ,
+// truncating singular values below tol·σ_max (tol ≤ 0 selects 1e-12).
+func (s *SVD) PseudoInverse(tol float64) *Mat {
+	n := len(s.S)
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	thresh := 0.0
+	if n > 0 {
+		thresh = tol * s.S[0]
+	}
+	inv := make([]float64, n)
+	for i, sv := range s.S {
+		if sv > thresh {
+			inv[i] = 1 / sv
+		}
+	}
+	// pinv = V diag(inv) Uᵀ.
+	return s.V.Mul(Diag(inv)).Mul(s.U.T())
+}
+
+// PseudoInverse returns the Moore–Penrose pseudo-inverse of a (m ≥ n).
+func PseudoInverse(a *Mat) (*Mat, error) {
+	s, err := FactorSVD(a)
+	if err != nil {
+		return nil, err
+	}
+	return s.PseudoInverse(0), nil
+}

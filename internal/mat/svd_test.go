@@ -1,0 +1,175 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.Intn(8)
+		n := 1 + rng.Intn(m)
+		a := randomMat(rng, m, n)
+		s, err := FactorSVD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A == U diag(S) V^T.
+		recon := s.U.Mul(Diag(s.S)).Mul(s.V.T())
+		if !recon.Equal(a, 1e-9) {
+			t.Fatalf("trial %d: reconstruction failed", trial)
+		}
+		// Singular values descending and non-negative.
+		for i := 1; i < len(s.S); i++ {
+			if s.S[i] > s.S[i-1]+1e-12 || s.S[i] < 0 {
+				t.Fatalf("trial %d: singular values not sorted: %v", trial, s.S)
+			}
+		}
+		// U^T U == I, V^T V == I.
+		if !s.U.T().Mul(s.U).Equal(Identity(n), 1e-9) {
+			t.Fatalf("trial %d: U columns not orthonormal", trial)
+		}
+		if !s.V.T().Mul(s.V).Equal(Identity(n), 1e-9) {
+			t.Fatalf("trial %d: V not orthogonal", trial)
+		}
+	}
+}
+
+func TestSVDKnownValues(t *testing.T) {
+	// diag(3, 2) embedded in a tall matrix.
+	a := FromRows([][]float64{{3, 0}, {0, 2}, {0, 0}})
+	s, err := FactorSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.S[0]-3) > 1e-12 || math.Abs(s.S[1]-2) > 1e-12 {
+		t.Fatalf("singular values %v, want [3 2]", s.S)
+	}
+	if math.Abs(s.Cond()-1.5) > 1e-12 {
+		t.Fatalf("cond = %g, want 1.5", s.Cond())
+	}
+	if s.Rank(1e-12) != 2 {
+		t.Fatalf("rank = %d", s.Rank(1e-12))
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Second column is a multiple of the first.
+	a := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	s, err := FactorSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rank(1e-10) != 1 {
+		t.Fatalf("rank = %d, want 1 (S = %v)", s.Rank(1e-10), s.S)
+	}
+	if !math.IsInf(s.Cond(), 1) && s.Cond() < 1e10 {
+		t.Fatalf("cond = %g, want huge", s.Cond())
+	}
+}
+
+func TestSVDRejectsWide(t *testing.T) {
+	if _, err := FactorSVD(New(2, 3)); err == nil {
+		t.Fatal("expected rows >= cols error")
+	}
+}
+
+func TestPseudoInverseFullRank(t *testing.T) {
+	// For full-column-rank A, pinv(A)·A == I.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		m := 3 + rng.Intn(6)
+		n := 1 + rng.Intn(3)
+		a := randomMat(rng, m, n)
+		pinv, err := PseudoInverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pinv.Rows != n || pinv.Cols != m {
+			t.Fatalf("pinv dims %dx%d", pinv.Rows, pinv.Cols)
+		}
+		if !pinv.Mul(a).Equal(Identity(n), 1e-8) {
+			t.Fatalf("trial %d: pinv(A) A != I", trial)
+		}
+	}
+}
+
+func TestPseudoInverseLeastSquaresAgreement(t *testing.T) {
+	// pinv(A)·b equals the QR least-squares solution for full-rank A.
+	rng := rand.New(rand.NewSource(5))
+	a := randomMat(rng, 12, 4)
+	b := make([]float64, 12)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	pinv, err := PseudoInverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xPinv := pinv.MulVec(b)
+	xQR, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xQR {
+		if math.Abs(xPinv[i]-xQR[i]) > 1e-8 {
+			t.Fatalf("solutions disagree at %d: %g vs %g", i, xPinv[i], xQR[i])
+		}
+	}
+}
+
+func TestPseudoInverseRankDeficientMinNorm(t *testing.T) {
+	// For rank-deficient A, pinv picks the minimum-norm solution; it
+	// must still satisfy the normal equations A^T A x = A^T b.
+	a := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	b := []float64{1, 2, 3}
+	pinv, err := PseudoInverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := pinv.MulVec(b)
+	lhs := a.T().Mul(a).MulVec(x)
+	rhs := a.T().MulVec(b)
+	for i := range rhs {
+		if math.Abs(lhs[i]-rhs[i]) > 1e-8 {
+			t.Fatalf("normal equations violated at %d: %g vs %g", i, lhs[i], rhs[i])
+		}
+	}
+}
+
+// Property: the Frobenius norm equals the root-sum-square of the
+// singular values.
+func TestQuickSVDFrobeniusIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(m)
+		a := randomMat(rng, m, n)
+		s, err := FactorSVD(a)
+		if err != nil {
+			return false
+		}
+		ss := 0.0
+		for _, sv := range s.S {
+			ss += sv * sv
+		}
+		return math.Abs(math.Sqrt(ss)-a.NormFrob()) < 1e-9*(1+a.NormFrob())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSVD32x5(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomMat(rng, 32, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FactorSVD(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

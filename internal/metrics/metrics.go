@@ -1,0 +1,200 @@
+// Package metrics computes the summary statistics the paper's evaluation
+// reports: steady-state mean and standard deviation of power (Fig. 6),
+// settling time and overshoot (Fig. 3/10), cap violations (Fig. 5),
+// throughput/latency aggregates (Fig. 7), SLO deadline miss rates
+// (Fig. 8/9), and latency percentiles for the tail-latency SLO levels of
+// §6.4.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation (NaN for empty input).
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// RMSE returns the root mean squared error of xs against the target.
+func RMSE(xs []float64, target float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		d := x - target
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) by linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("metrics: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("metrics: percentile %g outside [0, 100]", p)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// SettlingTime returns the first period index after which the series
+// stays within ±band of target through the end, or -1 if it never
+// settles. This is the strict settling-time notion of §4's control
+// objective ("converges back to its set point within a finite settling
+// time"); with stochastic plants prefer SettlingTimeWindow.
+func SettlingTime(xs []float64, target, band float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	settled := -1
+	for i, x := range xs {
+		if math.Abs(x-target) <= band {
+			if settled < 0 {
+				settled = i
+			}
+		} else {
+			settled = -1
+		}
+	}
+	return settled
+}
+
+// SettlingTimeWindow returns the first index i such that xs[i..i+window)
+// all lie within ±band of target, or -1 if no such window exists. This
+// tolerates later noise/drift excursions that the strict notion counts
+// as "never settled".
+func SettlingTimeWindow(xs []float64, target, band float64, window int) int {
+	if window <= 0 {
+		window = 1
+	}
+	if len(xs) < window {
+		return -1
+	}
+	run := 0
+	for i, x := range xs {
+		if math.Abs(x-target) <= band {
+			run++
+			if run >= window {
+				return i - window + 1
+			}
+		} else {
+			run = 0
+		}
+	}
+	return -1
+}
+
+// Overshoot returns the largest excursion above the target (0 if the
+// series never exceeds it).
+func Overshoot(xs []float64, target float64) float64 {
+	over := 0.0
+	for _, x := range xs {
+		if d := x - target; d > over {
+			over = d
+		}
+	}
+	return over
+}
+
+// Violations counts samples strictly above target + slack.
+func Violations(xs []float64, target, slack float64) int {
+	n := 0
+	for _, x := range xs {
+		if x > target+slack {
+			n++
+		}
+	}
+	return n
+}
+
+// MissRate returns the fraction of true values (e.g. SLO misses).
+func MissRate(misses []bool) float64 {
+	if len(misses) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, m := range misses {
+		if m {
+			n++
+		}
+	}
+	return float64(n) / float64(len(misses))
+}
+
+// SteadyState extracts the last-N window of a series; the paper's Fig. 6
+// statistics use the final 80 of 100 control periods.
+func SteadyState(xs []float64, lastN int) []float64 {
+	if lastN <= 0 || lastN >= len(xs) {
+		return xs
+	}
+	return xs[len(xs)-lastN:]
+}
+
+// Summary bundles the steady-state statistics the comparison tables use.
+type Summary struct {
+	Mean       float64
+	Std        float64
+	RMSE       float64 // against the set point
+	MaxW       float64
+	Violations int
+	Settling   int // periods; -1 if never settled
+}
+
+// Summarize computes a Summary of a power trace against a set point,
+// using the last `steady` periods for the statistics, a ±band settling
+// criterion over the full trace, and `slack` Watts of violation grace.
+func Summarize(powerW []float64, setpointW float64, steady int, band, slack float64) Summary {
+	ss := SteadyState(powerW, steady)
+	max := math.Inf(-1)
+	for _, x := range powerW {
+		if x > max {
+			max = x
+		}
+	}
+	return Summary{
+		Mean:       Mean(ss),
+		Std:        Std(ss),
+		RMSE:       RMSE(ss, setpointW),
+		MaxW:       max,
+		Violations: Violations(powerW, setpointW, slack),
+		Settling:   SettlingTimeWindow(powerW, setpointW, band, 5),
+	}
+}

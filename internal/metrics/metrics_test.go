@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %g", m)
+	}
+	if s := Std(xs); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("std = %g, want 2", s)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Std(nil)) {
+		t.Fatal("empty input should be NaN")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if r := RMSE([]float64{3, 5}, 4); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("rmse = %g", r)
+	}
+	if r := RMSE([]float64{4, 4}, 4); r != 0 {
+		t.Fatalf("rmse = %g", r)
+	}
+	if !math.IsNaN(RMSE(nil, 0)) {
+		t.Fatal("empty RMSE should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5},
+	} {
+		got, err := Percentile(xs, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("p%g = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if got, _ := Percentile([]float64{1, 2}, 50); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("interpolated median = %g", got)
+	}
+	if got, _ := Percentile([]float64{7}, 99); got != 7 {
+		t.Fatalf("single-element percentile = %g", got)
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSettlingTime(t *testing.T) {
+	xs := []float64{0, 50, 90, 99, 100, 101, 100}
+	if s := SettlingTime(xs, 100, 2); s != 3 {
+		t.Fatalf("settling = %d, want 3", s)
+	}
+	// With a 0.5 band, 99 and 101 fall outside but the final 100 is in:
+	// the strict notion settles only at the last sample.
+	if s := SettlingTime(xs, 100, 0.5); s != 6 {
+		t.Fatalf("tight band settling = %d, want 6", s)
+	}
+	if s := SettlingTime([]float64{100, 100, 101}, 100, 0.5); s != -1 {
+		t.Fatalf("trailing excursion settling = %d, want -1", s)
+	}
+	if s := SettlingTime(nil, 100, 1); s != -1 {
+		t.Fatal("empty should be -1")
+	}
+	// Late excursion resets the strict notion.
+	bad := []float64{100, 100, 100, 50, 100}
+	if s := SettlingTime(bad, 100, 2); s != 4 {
+		t.Fatalf("strict settling = %d, want 4", s)
+	}
+}
+
+func TestSettlingTimeWindow(t *testing.T) {
+	xs := []float64{0, 100, 100, 100, 50, 100, 100}
+	if s := SettlingTimeWindow(xs, 100, 1, 3); s != 1 {
+		t.Fatalf("windowed settling = %d, want 1", s)
+	}
+	if s := SettlingTimeWindow(xs, 100, 1, 4); s != -1 {
+		t.Fatalf("window 4 settling = %d, want -1", s)
+	}
+	if s := SettlingTimeWindow(xs, 100, 1, 0); s != 1 {
+		t.Fatalf("window 0 should behave as 1, got %d", s)
+	}
+	if s := SettlingTimeWindow([]float64{100}, 100, 1, 5); s != -1 {
+		t.Fatal("short series should be -1")
+	}
+}
+
+func TestOvershootViolations(t *testing.T) {
+	xs := []float64{95, 105, 110, 98}
+	if o := Overshoot(xs, 100); o != 10 {
+		t.Fatalf("overshoot = %g", o)
+	}
+	if o := Overshoot([]float64{90}, 100); o != 0 {
+		t.Fatalf("no-overshoot = %g", o)
+	}
+	if v := Violations(xs, 100, 4); v != 2 {
+		t.Fatalf("violations = %d, want 2", v)
+	}
+	if v := Violations(xs, 100, 20); v != 0 {
+		t.Fatalf("violations = %d, want 0", v)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	if m := MissRate([]bool{true, false, true, false}); m != 0.5 {
+		t.Fatalf("miss rate = %g", m)
+	}
+	if !math.IsNaN(MissRate(nil)) {
+		t.Fatal("empty should be NaN")
+	}
+}
+
+func TestSteadyState(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ss := SteadyState(xs, 2)
+	if len(ss) != 2 || ss[0] != 4 {
+		t.Fatalf("steady state = %v", ss)
+	}
+	if got := SteadyState(xs, 10); len(got) != 5 {
+		t.Fatal("over-long window should return all")
+	}
+	if got := SteadyState(xs, 0); len(got) != 5 {
+		t.Fatal("zero window should return all")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 900
+	}
+	xs[0] = 700 // transient
+	xs[50] = 912
+	s := Summarize(xs, 900, 80, 18, 9)
+	if math.Abs(s.Mean-900.15) > 0.01 {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	if s.Violations != 1 {
+		t.Fatalf("violations = %d", s.Violations)
+	}
+	if s.MaxW != 912 {
+		t.Fatalf("max = %g", s.MaxW)
+	}
+	if s.Settling != 1 {
+		t.Fatalf("settling = %d", s.Settling)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v, err := Percentile(xs, p)
+			if err != nil {
+				return false
+			}
+			if v < prev-1e-9 || v < sorted[0]-1e-9 || v > sorted[n-1]+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Std is translation-invariant and scales with |a|.
+func TestQuickStdAffine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		a := 1 + rng.Float64()*3
+		b := rng.NormFloat64() * 10
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = a*xs[i] + b
+		}
+		return math.Abs(Std(ys)-a*Std(xs)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

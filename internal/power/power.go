@@ -1,0 +1,173 @@
+// Package power emulates the measurement plane of the paper's testbed
+// (§5): an ACPI-compliant server-level power meter exposed through the
+// lm-sensors `power_meter-acpi-0` interface (1-second sampling, readings
+// appended to a sysfs-style file the controller polls), plus the
+// per-device readings (RAPL-like for the CPU, NVML/nvidia-smi-like for
+// the GPUs) that the CPU+GPU baseline's split control loops rely on.
+package power
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Meter is the ACPI-style server power meter. It samples the simulated
+// server at a fixed interval, quantizes to the device's milliwatt
+// resolution, and keeps a bounded history so a control period's average
+// can be computed the way the paper's controller does (it averages the
+// power-meter file's readings over the 4-second control period, §6.1).
+type Meter struct {
+	mu       sync.Mutex
+	interval float64 // seconds between samples
+	readings []Reading
+	maxKeep  int
+}
+
+// Reading is one sampled power value.
+type Reading struct {
+	Time   float64 // simulated seconds
+	PowerW float64
+}
+
+// NewMeter returns a meter with the given sampling interval in seconds
+// (the paper's meter samples at 1 s minimum).
+func NewMeter(intervalSeconds float64) (*Meter, error) {
+	if intervalSeconds <= 0 {
+		return nil, fmt.Errorf("power: sampling interval %g must be positive", intervalSeconds)
+	}
+	return &Meter{interval: intervalSeconds, maxKeep: 4096}, nil
+}
+
+// Interval returns the sampling interval in seconds.
+func (m *Meter) Interval() float64 {
+	return m.interval
+}
+
+// Record appends a sample taken from the server. ACPI meters report in
+// milliwatts; the quantization is reproduced here.
+func (m *Meter) Record(t float64, powerW float64) {
+	q := math.Round(powerW*1000) / 1000
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.readings = append(m.readings, Reading{Time: t, PowerW: q})
+	if len(m.readings) > m.maxKeep {
+		m.readings = m.readings[len(m.readings)-m.maxKeep:]
+	}
+}
+
+// Sample records the server's current measured power.
+func (m *Meter) Sample(s *sim.Server) {
+	last := s.Last()
+	m.Record(last.Time, last.MeasuredW)
+}
+
+// Latest returns the most recent reading.
+func (m *Meter) Latest() (Reading, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.readings) == 0 {
+		return Reading{}, false
+	}
+	return m.readings[len(m.readings)-1], true
+}
+
+// AverageSince returns the mean power of all readings with Time > since,
+// which is how the controller condenses a control period's samples.
+func (m *Meter) AverageSince(since float64) (float64, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sum, n := 0.0, 0
+	for i := len(m.readings) - 1; i >= 0; i-- {
+		r := m.readings[i]
+		if r.Time <= since {
+			break
+		}
+		sum += r.PowerW
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// WriteTo renders the reading history in the sysfs-like line format the
+// paper's controller tails (`<time_s> <power_mW>` per line), so cmd
+// tools can expose an authentic file interface.
+func (m *Meter) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, r := range m.readings {
+		n, err := fmt.Fprintf(w, "%.3f %d\n", r.Time, int64(math.Round(r.PowerW*1000)))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ParseReadings parses the line format produced by WriteTo, as the
+// controller's file-polling path does.
+func ParseReadings(r io.Reader) ([]Reading, error) {
+	var out []Reading
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("power: line %d: want `time mW`, got %q", line, text)
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("power: line %d time: %w", line, err)
+		}
+		mw, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("power: line %d power: %w", line, err)
+		}
+		out = append(out, Reading{Time: t, PowerW: float64(mw) / 1000})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeviceReadings exposes per-device power the way `nvidia-smi -q -d
+// POWER` and RAPL do; the CPU+GPU baseline controls against these
+// instead of the server meter.
+type DeviceReadings struct {
+	CPUPowerW  float64
+	GPUPowerW  []float64
+	OtherW     float64
+	TotalW     float64
+	NoiseModel string
+}
+
+// ReadDevices captures the server's per-device power at the last tick.
+func ReadDevices(s *sim.Server) DeviceReadings {
+	last := s.Last()
+	return DeviceReadings{
+		CPUPowerW: last.CPUPowerW,
+		GPUPowerW: append([]float64(nil), last.GPUPowerW...),
+		// RAPL/NVML do not observe chassis-level thermal drift; it lands
+		// in the unattributed remainder alongside the fixed floor.
+		OtherW:     s.Config().OtherW + last.DriftW,
+		TotalW:     last.TruePowerW,
+		NoiseModel: "per-device readings are noise-free as on RAPL/NVML",
+	}
+}

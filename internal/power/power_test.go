@@ -1,0 +1,141 @@
+package power
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNewMeterValidation(t *testing.T) {
+	if _, err := NewMeter(0); err == nil {
+		t.Fatal("expected interval error")
+	}
+	m, err := NewMeter(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Interval() != 1 {
+		t.Fatalf("interval = %g", m.Interval())
+	}
+}
+
+func TestRecordAndLatest(t *testing.T) {
+	m, _ := NewMeter(1)
+	if _, ok := m.Latest(); ok {
+		t.Fatal("empty meter should have no latest reading")
+	}
+	m.Record(1, 900.1234567)
+	r, ok := m.Latest()
+	if !ok {
+		t.Fatal("no reading after Record")
+	}
+	// Milliwatt quantization.
+	if math.Abs(r.PowerW-900.123) > 1e-9 {
+		t.Fatalf("quantized power = %v, want 900.123", r.PowerW)
+	}
+}
+
+func TestAverageSince(t *testing.T) {
+	m, _ := NewMeter(1)
+	for i := 1; i <= 8; i++ {
+		m.Record(float64(i), float64(100*i))
+	}
+	avg, n := m.AverageSince(4)
+	if n != 4 {
+		t.Fatalf("n = %d, want 4 readings after t=4", n)
+	}
+	// Readings at t=5..8: 500..800 -> mean 650.
+	if math.Abs(avg-650) > 1e-9 {
+		t.Fatalf("avg = %g, want 650", avg)
+	}
+	if _, n := m.AverageSince(100); n != 0 {
+		t.Fatal("future window should be empty")
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	m, _ := NewMeter(1)
+	for i := 0; i < 10000; i++ {
+		m.Record(float64(i), 1)
+	}
+	if _, n := m.AverageSince(-1); n > 4096 {
+		t.Fatalf("history grew unbounded: %d", n)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	m, _ := NewMeter(1)
+	m.Record(1, 901.5)
+	m.Record(2, 902.25)
+	m.Record(3, 899.75)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReadings(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d readings", len(got))
+	}
+	want := []Reading{{1, 901.5}, {2, 902.25}, {3, 899.75}}
+	for i := range want {
+		if math.Abs(got[i].PowerW-want[i].PowerW) > 1e-9 || got[i].Time != want[i].Time {
+			t.Fatalf("reading %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseReadingsErrors(t *testing.T) {
+	for _, bad := range []string{
+		"1.0",          // missing field
+		"x 900",        // bad time
+		"1.0 not-a-mw", // bad power
+		"1 2 3",        // too many fields
+	} {
+		if _, err := ParseReadings(strings.NewReader(bad)); err == nil {
+			t.Fatalf("expected parse error for %q", bad)
+		}
+	}
+	// Comments and blanks are fine.
+	got, err := ParseReadings(strings.NewReader("# header\n\n1.0 900000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].PowerW != 900 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSampleAndReadDevices(t *testing.T) {
+	s, err := sim.NewServer(sim.DefaultTestbed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCPUFreq(2.0)
+	s.Tick(1)
+	m, _ := NewMeter(1)
+	m.Sample(s)
+	r, ok := m.Latest()
+	if !ok {
+		t.Fatal("sample not recorded")
+	}
+	if math.Abs(r.PowerW-s.Last().MeasuredW) > 0.001 {
+		t.Fatalf("meter %g vs server %g", r.PowerW, s.Last().MeasuredW)
+	}
+	dev := ReadDevices(s)
+	if len(dev.GPUPowerW) != 3 {
+		t.Fatalf("want 3 GPU readings, got %d", len(dev.GPUPowerW))
+	}
+	sum := dev.CPUPowerW + dev.OtherW
+	for _, g := range dev.GPUPowerW {
+		sum += g
+	}
+	if math.Abs(sum-dev.TotalW) > 1e-9 {
+		t.Fatalf("device readings sum %g != total %g", sum, dev.TotalW)
+	}
+}

@@ -1,0 +1,126 @@
+package qp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// BoxProblem is the special case of a QP whose only constraints are
+// per-coordinate bounds lo ≤ x ≤ hi. The MPC subproblem reduces to this
+// form when the SLO constraints are folded into the bounds, and the
+// projected-gradient solver below is used as an independent cross-check
+// of the active-set method in tests and ablations.
+type BoxProblem struct {
+	H      *mat.Mat
+	G      []float64
+	Lo, Hi []float64
+}
+
+// ToGeneral converts the box problem to the general inequality form
+// (A x ≤ b) accepted by Solve.
+func (bp *BoxProblem) ToGeneral() *Problem {
+	n := len(bp.G)
+	a := mat.New(2*n, n)
+	b := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1) //  x_i ≤ hi_i
+		b[i] = bp.Hi[i]
+		a.Set(n+i, i, -1) // -x_i ≤ -lo_i
+		b[n+i] = -bp.Lo[i]
+	}
+	return &Problem{H: bp.H, G: bp.G, A: a, B: b}
+}
+
+func (bp *BoxProblem) validate() error {
+	n := len(bp.G)
+	if bp.H == nil || bp.H.Rows != n || bp.H.Cols != n {
+		return fmt.Errorf("qp: box H must be %dx%d", n, n)
+	}
+	if len(bp.Lo) != n || len(bp.Hi) != n {
+		return fmt.Errorf("qp: box bounds length mismatch (%d, %d) vs %d", len(bp.Lo), len(bp.Hi), n)
+	}
+	for i := range bp.Lo {
+		if bp.Lo[i] > bp.Hi[i] {
+			return fmt.Errorf("qp: box bound %d inverted: lo=%g > hi=%g", i, bp.Lo[i], bp.Hi[i])
+		}
+	}
+	return nil
+}
+
+// Clamp projects x onto the box in place.
+func (bp *BoxProblem) Clamp(x []float64) {
+	for i := range x {
+		x[i] = math.Min(math.Max(x[i], bp.Lo[i]), bp.Hi[i])
+	}
+}
+
+// SolveBox minimizes ½ xᵀHx + gᵀx over the box via projected gradient
+// descent with a spectral (Barzilai–Borwein) step and a monotone
+// safeguard. Convergence for strictly convex H over a convex set is
+// standard; the iteration caps below are generous for the tiny systems
+// at hand.
+func SolveBox(bp *BoxProblem, x0 []float64) (*Result, error) {
+	if err := bp.validate(); err != nil {
+		return nil, err
+	}
+	n := len(bp.G)
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	bp.Clamp(x)
+
+	p := &Problem{H: bp.H, G: bp.G}
+	grad := p.gradient(x)
+	// Initial step from the diagonal of H.
+	step := 0.0
+	for i := 0; i < n; i++ {
+		step = math.Max(step, bp.H.At(i, i))
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("qp: box Hessian has non-positive diagonal")
+	}
+	step = 1 / step
+
+	prevX := append([]float64(nil), x...)
+	prevGrad := append([]float64(nil), grad...)
+	const tol = 1e-11
+	for iter := 1; iter <= 5000; iter++ {
+		trial := append([]float64(nil), x...)
+		mat.Axpy(-step, grad, trial)
+		bp.Clamp(trial)
+
+		diff := mat.SubVec(trial, x)
+		if mat.Norm2(diff) <= tol*(1+mat.Norm2(x)) {
+			return &Result{X: x, Obj: p.Objective(x), Iterations: iter}, nil
+		}
+		// Monotone safeguard: halve until the objective decreases.
+		fx := p.Objective(x)
+		for mat.Norm2(diff) > 0 && p.Objective(trial) > fx+1e-14 {
+			step *= 0.5
+			if step < 1e-18 {
+				return &Result{X: x, Obj: fx, Iterations: iter}, nil
+			}
+			trial = append([]float64(nil), x...)
+			mat.Axpy(-step, grad, trial)
+			bp.Clamp(trial)
+			diff = mat.SubVec(trial, x)
+		}
+		copy(prevX, x)
+		copy(prevGrad, grad)
+		x = trial
+		grad = p.gradient(x)
+
+		// Barzilai–Borwein step for the next iteration.
+		s := mat.SubVec(x, prevX)
+		yv := mat.SubVec(grad, prevGrad)
+		sy := mat.Dot(s, yv)
+		if sy > 1e-16 {
+			step = mat.Dot(s, s) / sy
+		}
+		step = math.Min(math.Max(step, 1e-12), 1e6)
+	}
+	return &Result{X: x, Obj: p.Objective(x), Iterations: 5000}, nil
+}

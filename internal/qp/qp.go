@@ -1,0 +1,335 @@
+// Package qp solves the strictly convex quadratic programs that arise
+// from the CapGPU model-predictive controller:
+//
+//	minimize   ½ xᵀHx + gᵀx
+//	subject to A x ≤ b
+//
+// with H symmetric positive definite. The primary solver is a primal
+// active-set method (Nocedal & Wright, Algorithm 16.3), which solves the
+// small MPC subproblems (≤ ~20 variables for an 8-GPU server with a
+// control horizon of 2) exactly in a handful of iterations. A projected
+// gradient solver for pure box constraints is provided as a fallback and
+// as a cross-check in tests.
+package qp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Problem describes a convex QP. H must be symmetric positive definite.
+// The constraint set is {x : A x ≤ b}; A may be nil for an unconstrained
+// problem.
+type Problem struct {
+	H *mat.Mat  // n x n, symmetric positive definite
+	G []float64 // n, linear term
+	A *mat.Mat  // m x n inequality matrix (may be nil)
+	B []float64 // m inequality bounds
+}
+
+// Result reports the solution of a QP.
+type Result struct {
+	X          []float64 // minimizer
+	Obj        float64   // objective value at X
+	Iterations int       // active-set iterations used
+	Active     []int     // indices of constraints active at the solution
+	Lambda     []float64 // Lagrange multipliers (per constraint; 0 if inactive)
+}
+
+// ErrInfeasible is returned when no point satisfies the constraints.
+var ErrInfeasible = errors.New("qp: constraints are infeasible")
+
+// ErrMaxIterations is returned when the active-set loop fails to
+// terminate; for strictly convex problems this indicates degenerate
+// constraint geometry beyond the solver's cycling guard.
+var ErrMaxIterations = errors.New("qp: active-set iteration limit exceeded")
+
+const (
+	featol  = 1e-9 // constraint feasibility tolerance
+	opttol  = 1e-10
+	maxIter = 500
+)
+
+// Objective evaluates ½ xᵀHx + gᵀx.
+func (p *Problem) Objective(x []float64) float64 {
+	hx := p.H.MulVec(x)
+	return 0.5*mat.Dot(x, hx) + mat.Dot(p.G, x)
+}
+
+// gradient returns Hx + g.
+func (p *Problem) gradient(x []float64) []float64 {
+	grad := p.H.MulVec(x)
+	mat.Axpy(1, p.G, grad)
+	return grad
+}
+
+// numConstraints returns the number of inequality rows.
+func (p *Problem) numConstraints() int {
+	if p.A == nil {
+		return 0
+	}
+	return p.A.Rows
+}
+
+func (p *Problem) validate() error {
+	n := len(p.G)
+	if p.H == nil || p.H.Rows != n || p.H.Cols != n {
+		return fmt.Errorf("qp: H must be %dx%d", n, n)
+	}
+	if p.A != nil {
+		if p.A.Cols != n {
+			return fmt.Errorf("qp: A has %d cols, want %d", p.A.Cols, n)
+		}
+		if len(p.B) != p.A.Rows {
+			return fmt.Errorf("qp: b has %d entries, want %d", len(p.B), p.A.Rows)
+		}
+	}
+	return nil
+}
+
+// Solve minimizes the QP starting from x0, which must be feasible. If x0
+// is nil, Solve first computes a feasible point with FindFeasible.
+func Solve(p *Problem, x0 []float64) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.G)
+	m := p.numConstraints()
+
+	var x []float64
+	if x0 != nil {
+		if len(x0) != n {
+			return nil, fmt.Errorf("qp: x0 has %d entries, want %d", len(x0), n)
+		}
+		x = append([]float64(nil), x0...)
+		if viol := maxViolation(p, x); viol > 1e-6 {
+			// Repair rather than reject: callers hand in the previous
+			// period's operating point, which can drift infeasible when
+			// SLO bounds tighten between periods.
+			fp, err := FindFeasible(p.A, p.B, x)
+			if err != nil {
+				return nil, err
+			}
+			x = fp
+		}
+	} else {
+		fp, err := FindFeasible(p.A, p.B, make([]float64, n))
+		if err != nil {
+			return nil, err
+		}
+		x = fp
+	}
+
+	// Working set: indices of constraints treated as equalities.
+	working := make([]int, 0, m)
+	inWorking := make([]bool, m)
+	for i := 0; i < m; i++ {
+		if math.Abs(residual(p, x, i)) <= featol {
+			working = append(working, i)
+			inWorking[i] = true
+		}
+	}
+	// Guard against an over-determined initial working set.
+	if len(working) > n {
+		working = working[:n]
+		for i := range inWorking {
+			inWorking[i] = false
+		}
+		for _, idx := range working {
+			inWorking[idx] = true
+		}
+	}
+
+	lambda := make([]float64, m)
+	for iter := 1; iter <= maxIter; iter++ {
+		step, lam, err := eqpStep(p, x, working)
+		if err != nil {
+			return nil, err
+		}
+		// Treat the step as null when it is tiny OR when it cannot
+		// reduce the objective beyond rounding noise; the latter guards
+		// against stagnation loops on ill-conditioned Hessians (the MPC
+		// tracking term has condition numbers ~1e7).
+		predDecrease := -(mat.Dot(p.gradient(x), step) + 0.5*mat.Dot(step, p.H.MulVec(step)))
+		if mat.Norm2(step) <= opttol*(1+mat.Norm2(x)) ||
+			predDecrease <= 1e-12*(1+math.Abs(p.Objective(x))) {
+			// No progress possible on the working set: check multipliers.
+			minLam, minIdx := 0.0, -1
+			for k, wi := range working {
+				if lam[k] < minLam {
+					minLam, minIdx = lam[k], wi
+				}
+			}
+			if minIdx < 0 {
+				// KKT conditions hold; done.
+				for i := range lambda {
+					lambda[i] = 0
+				}
+				for k, wi := range working {
+					lambda[wi] = lam[k]
+				}
+				return &Result{
+					X:          x,
+					Obj:        p.Objective(x),
+					Iterations: iter,
+					Active:     append([]int(nil), working...),
+					Lambda:     lambda,
+				}, nil
+			}
+			// Drop the most negative multiplier's constraint.
+			working = removeIndex(working, minIdx)
+			inWorking[minIdx] = false
+			continue
+		}
+		// Line search to the nearest blocking constraint.
+		alpha, blocking := 1.0, -1
+		for i := 0; i < m; i++ {
+			if inWorking[i] {
+				continue
+			}
+			as := mat.Dot(p.A.Row(i), step)
+			if as <= featol {
+				continue // moving away from or parallel to this face
+			}
+			room := p.B[i] - mat.Dot(p.A.Row(i), x)
+			if room < 0 {
+				room = 0
+			}
+			if a := room / as; a < alpha {
+				alpha, blocking = a, i
+			}
+		}
+		mat.Axpy(alpha, step, x)
+		if blocking >= 0 {
+			working = append(working, blocking)
+			inWorking[blocking] = true
+		}
+	}
+	return nil, ErrMaxIterations
+}
+
+// eqpStep solves the equality-constrained subproblem
+//
+//	min ½(x+s)ᵀH(x+s) + gᵀ(x+s)  s.t.  A_w s = 0
+//
+// returning the step s and the Lagrange multipliers of the working-set
+// rows, via the KKT system.
+func eqpStep(p *Problem, x []float64, working []int) (step, lam []float64, err error) {
+	n := len(p.G)
+	w := len(working)
+	grad := p.gradient(x)
+	kkt := mat.New(n+w, n+w)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			kkt.Set(i, j, p.H.At(i, j))
+		}
+	}
+	for k, ci := range working {
+		row := p.A.Row(ci)
+		for j := 0; j < n; j++ {
+			kkt.Set(n+k, j, row[j])
+			kkt.Set(j, n+k, row[j])
+		}
+	}
+	rhs := make([]float64, n+w)
+	for i := 0; i < n; i++ {
+		rhs[i] = -grad[i]
+	}
+	sol, err := mat.Solve(kkt, rhs)
+	if err != nil {
+		// A degenerate working set (linearly dependent rows) can make the
+		// KKT matrix singular; perturb with tiny regularization.
+		for k := 0; k < w; k++ {
+			kkt.Add(n+k, n+k, -1e-10)
+		}
+		sol, err = mat.Solve(kkt, rhs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("qp: KKT system singular: %w", err)
+		}
+	}
+	step = sol[:n]
+	lam = make([]float64, w)
+	for k := 0; k < w; k++ {
+		lam[k] = sol[n+k]
+	}
+	return step, lam, nil
+}
+
+func residual(p *Problem, x []float64, i int) float64 {
+	return mat.Dot(p.A.Row(i), x) - p.B[i]
+}
+
+func maxViolation(p *Problem, x []float64) float64 {
+	v := 0.0
+	for i := 0; i < p.numConstraints(); i++ {
+		if r := residual(p, x, i); r > v {
+			v = r
+		}
+	}
+	return v
+}
+
+func removeIndex(s []int, val int) []int {
+	out := s[:0]
+	for _, v := range s {
+		if v != val {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FindFeasible returns a point satisfying A x ≤ b, starting the search
+// at hint, using the Agmon–Motzkin relaxation method: repeated cyclic
+// projection onto the half-spaces of violated rows. For feasible systems
+// with nonempty interior (the MPC's frequency polytopes) convergence is
+// geometric.
+func FindFeasible(a *mat.Mat, b []float64, hint []float64) ([]float64, error) {
+	x := append([]float64(nil), hint...)
+	if a == nil || a.Rows == 0 {
+		return x, nil
+	}
+	norms := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		norms[i] = mat.Dot(a.Row(i), a.Row(i))
+	}
+	const relax = 1.5 // over-relaxation accelerates convergence
+	for pass := 0; pass < 1000; pass++ {
+		worst := 0.0
+		for i := 0; i < a.Rows; i++ {
+			if norms[i] == 0 {
+				if b[i] < -featol {
+					return nil, ErrInfeasible // 0·x ≤ negative
+				}
+				continue
+			}
+			r := mat.Dot(a.Row(i), x) - b[i]
+			if r > featol {
+				mat.Axpy(-relax*r/norms[i], a.Row(i), x)
+				if r > worst {
+					worst = r
+				}
+			}
+		}
+		if worst <= featol {
+			return x, nil
+		}
+	}
+	if maxViol(a, b, x) <= 1e-6 {
+		return x, nil
+	}
+	return nil, ErrInfeasible
+}
+
+func maxViol(a *mat.Mat, b, x []float64) float64 {
+	v := 0.0
+	for i := 0; i < a.Rows; i++ {
+		if r := mat.Dot(a.Row(i), x) - b[i]; r > v {
+			v = r
+		}
+	}
+	return v
+}

@@ -1,0 +1,365 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+// randSPD returns a random symmetric positive definite n x n matrix.
+func randSPD(rng *rand.Rand, n int) *mat.Mat {
+	g := mat.New(n, n)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	h := g.Mul(g.T())
+	for i := 0; i < n; i++ {
+		h.Add(i, i, 0.5+rng.Float64())
+	}
+	return h
+}
+
+func TestUnconstrainedMatchesLinearSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		h := randSPD(rng, n)
+		g := make([]float64, n)
+		for i := range g {
+			g[i] = rng.NormFloat64()
+		}
+		res, err := Solve(&Problem{H: h, G: g}, make([]float64, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Unconstrained minimizer solves H x = -g.
+		want, err := mat.Solve(h, mat.ScaleVec(-1, g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(res.X[i]-want[i]) > 1e-7 {
+				t.Fatalf("trial %d: x[%d]=%g want %g", trial, i, res.X[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSimpleBoxActive(t *testing.T) {
+	// min (x-3)^2 s.t. x <= 1  => x = 1, lambda = 4.
+	h := mat.FromRows([][]float64{{2}})
+	g := []float64{-6}
+	a := mat.FromRows([][]float64{{1}})
+	res, err := Solve(&Problem{H: h, G: g, A: a, B: []float64{1}}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-8 {
+		t.Fatalf("x = %g, want 1", res.X[0])
+	}
+	if math.Abs(res.Lambda[0]-4) > 1e-6 {
+		t.Fatalf("lambda = %g, want 4", res.Lambda[0])
+	}
+	if len(res.Active) != 1 || res.Active[0] != 0 {
+		t.Fatalf("active set = %v", res.Active)
+	}
+}
+
+func TestInactiveConstraintIgnored(t *testing.T) {
+	// min (x-3)^2 s.t. x <= 10 => unconstrained optimum x = 3.
+	h := mat.FromRows([][]float64{{2}})
+	res, err := Solve(&Problem{
+		H: h, G: []float64{-6},
+		A: mat.FromRows([][]float64{{1}}), B: []float64{10},
+	}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-3) > 1e-8 {
+		t.Fatalf("x = %g, want 3", res.X[0])
+	}
+	if res.Lambda[0] != 0 {
+		t.Fatalf("lambda = %g, want 0", res.Lambda[0])
+	}
+}
+
+func TestTwoDimensionalCorner(t *testing.T) {
+	// min x1^2 + x2^2 - 4x1 - 4x2 s.t. x1 <= 1, x2 <= 1 => corner (1,1).
+	h := mat.Diag([]float64{2, 2})
+	g := []float64{-4, -4}
+	a := mat.FromRows([][]float64{{1, 0}, {0, 1}})
+	res, err := Solve(&Problem{H: h, G: g, A: a, B: []float64{1, 1}}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-1) > 1e-8 {
+			t.Fatalf("x = %v, want (1,1)", res.X)
+		}
+	}
+}
+
+func TestHalfspaceDiagonal(t *testing.T) {
+	// min ||x||^2 s.t. x1 + x2 >= 2 (i.e. -x1 - x2 <= -2) => x = (1,1).
+	h := mat.Diag([]float64{2, 2})
+	a := mat.FromRows([][]float64{{-1, -1}})
+	res, err := Solve(&Problem{H: h, G: []float64{0, 0}, A: a, B: []float64{-2}}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-7 || math.Abs(res.X[1]-1) > 1e-7 {
+		t.Fatalf("x = %v, want (1,1)", res.X)
+	}
+}
+
+func TestInfeasibleDetected(t *testing.T) {
+	// x <= 0 and -x <= -1 (x >= 1) cannot both hold.
+	a := mat.FromRows([][]float64{{1}, {-1}})
+	_, err := Solve(&Problem{
+		H: mat.Diag([]float64{2}), G: []float64{0},
+		A: a, B: []float64{0, -1},
+	}, nil)
+	if err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	h := mat.Diag([]float64{1, 1})
+	if _, err := Solve(&Problem{H: h, G: []float64{1}}, nil); err == nil {
+		t.Fatal("expected dimension error H vs g")
+	}
+	if _, err := Solve(&Problem{
+		H: mat.Diag([]float64{1}), G: []float64{0},
+		A: mat.FromRows([][]float64{{1, 2}}), B: []float64{0},
+	}, nil); err == nil {
+		t.Fatal("expected dimension error A cols")
+	}
+	if _, err := Solve(&Problem{
+		H: mat.Diag([]float64{1}), G: []float64{0},
+		A: mat.FromRows([][]float64{{1}}), B: []float64{0, 1},
+	}, nil); err == nil {
+		t.Fatal("expected dimension error b")
+	}
+	if _, err := Solve(&Problem{H: mat.Diag([]float64{1}), G: []float64{0}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected dimension error x0")
+	}
+}
+
+func TestInfeasibleStartRepaired(t *testing.T) {
+	// Start outside the box; solver must repair and still find the optimum.
+	h := mat.Diag([]float64{2})
+	a := mat.FromRows([][]float64{{1}, {-1}})
+	res, err := Solve(&Problem{H: h, G: []float64{-10}, A: a, B: []float64{2, 0}}, []float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-7 {
+		t.Fatalf("x = %g, want 2", res.X[0])
+	}
+}
+
+// kktSatisfied checks stationarity, feasibility, complementary slackness
+// and dual feasibility of a candidate solution.
+func kktSatisfied(p *Problem, r *Result, tol float64) bool {
+	// Stationarity: Hx + g + A^T lambda = 0.
+	grad := p.gradient(r.X)
+	if p.A != nil {
+		for i := 0; i < p.A.Rows; i++ {
+			mat.Axpy(r.Lambda[i], p.A.Row(i), grad)
+		}
+	}
+	if mat.Norm2(grad) > tol*(1+mat.Norm2(r.X)) {
+		return false
+	}
+	for i := 0; i < p.numConstraints(); i++ {
+		res := mat.Dot(p.A.Row(i), r.X) - p.B[i]
+		if res > tol { // primal feasibility
+			return false
+		}
+		if r.Lambda[i] < -tol { // dual feasibility
+			return false
+		}
+		if r.Lambda[i]*res < -tol && math.Abs(r.Lambda[i]*res) > tol { // complementary slackness
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickKKTOnRandomBoxQPs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		h := randSPD(rng, n)
+		g := make([]float64, n)
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		for i := range g {
+			g[i] = 3 * rng.NormFloat64()
+			lo[i] = -1 - rng.Float64()
+			hi[i] = 1 + rng.Float64()
+		}
+		bp := &BoxProblem{H: h, G: g, Lo: lo, Hi: hi}
+		p := bp.ToGeneral()
+		res, err := Solve(p, make([]float64, n))
+		if err != nil {
+			return false
+		}
+		return kktSatisfied(p, res, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActiveSetAgreesWithProjectedGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(5)
+		h := randSPD(rng, n)
+		g := make([]float64, n)
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		for i := range g {
+			g[i] = 3 * rng.NormFloat64()
+			lo[i] = -1 - rng.Float64()
+			hi[i] = lo[i] + 0.5 + 2*rng.Float64()
+		}
+		bp := &BoxProblem{H: h, G: g, Lo: lo, Hi: hi}
+		asRes, err := Solve(bp.ToGeneral(), make([]float64, n))
+		if err != nil {
+			t.Fatalf("trial %d active-set: %v", trial, err)
+		}
+		pgRes, err := SolveBox(bp, make([]float64, n))
+		if err != nil {
+			t.Fatalf("trial %d projected-gradient: %v", trial, err)
+		}
+		if math.Abs(asRes.Obj-pgRes.Obj) > 1e-5*(1+math.Abs(asRes.Obj)) {
+			t.Fatalf("trial %d objective mismatch: active-set %g vs pg %g",
+				trial, asRes.Obj, pgRes.Obj)
+		}
+	}
+}
+
+func TestSolveBoxRespectsBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		bp := &BoxProblem{
+			H:  randSPD(rng, n),
+			G:  make([]float64, n),
+			Lo: make([]float64, n),
+			Hi: make([]float64, n),
+		}
+		for i := 0; i < n; i++ {
+			bp.G[i] = 5 * rng.NormFloat64()
+			bp.Lo[i] = -rng.Float64()
+			bp.Hi[i] = rng.Float64()
+		}
+		res, err := SolveBox(bp, nil)
+		if err != nil {
+			return false
+		}
+		for i, x := range res.X {
+			if x < bp.Lo[i]-1e-9 || x > bp.Hi[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveBoxValidation(t *testing.T) {
+	bp := &BoxProblem{
+		H:  mat.Diag([]float64{1}),
+		G:  []float64{0},
+		Lo: []float64{1},
+		Hi: []float64{0}, // inverted
+	}
+	if _, err := SolveBox(bp, nil); err == nil {
+		t.Fatal("expected inverted-bounds error")
+	}
+}
+
+func TestFindFeasibleBox(t *testing.T) {
+	bp := &BoxProblem{
+		H:  mat.Diag([]float64{1, 1}),
+		G:  []float64{0, 0},
+		Lo: []float64{0, 0},
+		Hi: []float64{1, 1},
+	}
+	p := bp.ToGeneral()
+	x, err := FindFeasible(p.A, p.B, []float64{10, -10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if v < -1e-6 || v > 1+1e-6 {
+			t.Fatalf("x[%d]=%g outside box", i, v)
+		}
+	}
+}
+
+func TestObjectiveValue(t *testing.T) {
+	p := &Problem{H: mat.Diag([]float64{2, 2}), G: []float64{1, -1}}
+	got := p.Objective([]float64{1, 2})
+	// ½(2·1 + 2·4) + (1 - 2) = 5 - 1 = 4.
+	if math.Abs(got-4) > 1e-12 {
+		t.Fatalf("objective = %g, want 4", got)
+	}
+}
+
+func BenchmarkActiveSetMPCSized(b *testing.B) {
+	// Same shape as the paper's controller subproblem: 1 CPU + 3 GPUs,
+	// control horizon 2 -> 8 variables, 16 bound rows + 3 SLO rows.
+	rng := rand.New(rand.NewSource(5))
+	n := 8
+	h := randSPD(rng, n)
+	g := make([]float64, n)
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+		lo[i] = -0.5
+		hi[i] = 0.5
+	}
+	bp := &BoxProblem{H: h, G: g, Lo: lo, Hi: hi}
+	p := bp.ToGeneral()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, make([]float64, n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProjectedGradientMPCSized(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	n := 8
+	bp := &BoxProblem{
+		H:  randSPD(rng, n),
+		G:  make([]float64, n),
+		Lo: make([]float64, n),
+		Hi: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		bp.G[i] = rng.NormFloat64()
+		bp.Lo[i] = -0.5
+		bp.Hi[i] = 0.5
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveBox(bp, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

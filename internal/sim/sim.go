@@ -1,0 +1,524 @@
+// Package sim is the simulated GPU-server testbed that stands in for the
+// paper's physical rig (Intel Xeon Gold 5215 + 3× NVIDIA Tesla V100,
+// §5). It models per-device power as a near-linear function of clock
+// frequency and utilization plus a small nonlinearity and measurement
+// noise, so that system identification recovers a linear model with
+// R² ≈ 0.96 (Fig. 2a) rather than a perfect fit.
+//
+// The simulator advances in discrete ticks (the power meter's 1-second
+// sampling grain). Inference pipelines (internal/workload) attached to
+// each GPU and a batch workload attached to the CPU produce utilization
+// and throughput, which feed back into power and into the controllers'
+// weight assignment.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/workload"
+)
+
+// CPUSpec describes the host CPU's DVFS range and power behavior.
+// Frequencies are in GHz.
+type CPUSpec struct {
+	Name        string
+	FreqMinGHz  float64
+	FreqMaxGHz  float64
+	FreqStepGHz float64 // discrete DVFS step
+	Cores       int
+	IdleW       float64 // power at minimum activity
+	DynWPerGHz  float64 // dynamic power slope at full utilization
+	UtilFloor   float64 // fraction of dynamic power drawn even when idle
+	NonLinW     float64 // quadratic term amplitude (unmodeled by sysid)
+}
+
+// GPUSpec describes one GPU's clock range and power behavior.
+// Frequencies are in MHz.
+type GPUSpec struct {
+	Name        string
+	FreqMinMHz  float64
+	FreqMaxMHz  float64
+	FreqStepMHz float64
+	MemClockMHz float64 // fixed, as with `nvidia-smi -ac 877,...` (§5)
+	IdleW       float64
+	DynWPerMHz  float64
+	UtilFloor   float64
+	NonLinW     float64
+	// MemThrottleSaveW is the power saved by dropping the memory clock
+	// to its low state (the §4.4 "additional system mechanisms" knob);
+	// MemThrottleLatencyFactor is the batch-latency penalty while
+	// throttled.
+	MemThrottleSaveW         float64
+	MemThrottleLatencyFactor float64
+}
+
+// XeonGold5215 returns the host-CPU spec of the paper's testbed. The
+// paper quotes a 1.1–2.4 GHz cpupower range in §5 and sweeps 1.0–2.1 GHz
+// during system identification in §4.2; the spec below covers the union.
+func XeonGold5215() CPUSpec {
+	return CPUSpec{
+		Name:        "Intel Xeon Gold 5215",
+		FreqMinGHz:  1.0,
+		FreqMaxGHz:  2.4,
+		FreqStepGHz: 0.1,
+		Cores:       40,
+		IdleW:       70,
+		DynWPerGHz:  55,
+		UtilFloor:   0.35,
+		NonLinW:     14,
+	}
+}
+
+// TeslaV100 returns the GPU spec of the paper's testbed (435–1350 MHz
+// core window with the memory clock pinned at 877 MHz, §5).
+func TeslaV100() GPUSpec {
+	return GPUSpec{
+		Name:                     "NVIDIA Tesla V100-16GB",
+		FreqMinMHz:               435,
+		FreqMaxMHz:               1350,
+		FreqStepMHz:              15,
+		MemClockMHz:              877,
+		IdleW:                    40,
+		DynWPerMHz:               0.14,
+		UtilFloor:                0.30,
+		NonLinW:                  30,
+		MemThrottleSaveW:         25,
+		MemThrottleLatencyFactor: 1.12,
+	}
+}
+
+// A100 returns an NVIDIA A100-40GB (PCIe) class spec, for building
+// heterogeneous servers: the MIMO controller handles per-device gains
+// natively, so nothing else changes when GPU models are mixed.
+func A100() GPUSpec {
+	return GPUSpec{
+		Name:                     "NVIDIA A100-40GB",
+		FreqMinMHz:               210,
+		FreqMaxMHz:               1410,
+		FreqStepMHz:              15,
+		MemClockMHz:              1215,
+		IdleW:                    50,
+		DynWPerMHz:               0.13,
+		UtilFloor:                0.30,
+		NonLinW:                  28,
+		MemThrottleSaveW:         30,
+		MemThrottleLatencyFactor: 1.10,
+	}
+}
+
+// RTX3090Window returns the motivation experiment's GPU (§3.2), clamped
+// to the 495–810 MHz window the paper actually exercises.
+func RTX3090Window() GPUSpec {
+	return GPUSpec{
+		Name:                     "NVIDIA RTX 3090 (495-810 MHz window)",
+		FreqMinMHz:               495,
+		FreqMaxMHz:               810,
+		FreqStepMHz:              15,
+		MemClockMHz:              9751,
+		IdleW:                    90,
+		DynWPerMHz:               0.17,
+		UtilFloor:                0.30,
+		NonLinW:                  20,
+		MemThrottleSaveW:         20,
+		MemThrottleLatencyFactor: 1.10,
+	}
+}
+
+// DesktopCPU returns a desktop-class host CPU for the motivation rig
+// (1.1–2.1 GHz window per §3.2).
+func DesktopCPU() CPUSpec {
+	return CPUSpec{
+		Name:        "Desktop host CPU (motivation rig)",
+		FreqMinGHz:  1.1,
+		FreqMaxGHz:  2.1,
+		FreqStepGHz: 0.1,
+		Cores:       12,
+		IdleW:       25,
+		DynWPerGHz:  45,
+		UtilFloor:   0.35,
+		NonLinW:     9,
+	}
+}
+
+// Config assembles a server.
+type Config struct {
+	CPU  CPUSpec
+	GPUs []GPUSpec
+	// OtherW is the constant floor: fixed-speed fans (the paper pins fan
+	// speed to isolate workload-driven variation, §5), DRAM, board.
+	OtherW float64
+	// MeasNoiseW is the std dev of per-sample power measurement noise.
+	MeasNoiseW float64
+	// DriftStdW is the stationary standard deviation of a slow AR(1)
+	// power drift (thermal/leakage wander under the pinned fan): real
+	// servers exhibit it, and it is the main reason the paper's linear
+	// identification tops out at R² ≈ 0.96 instead of ~1.
+	DriftStdW float64
+	// DriftRho is the AR(1) coefficient of the drift (defaults to 0.97
+	// when DriftStdW > 0 and DriftRho is unset).
+	DriftRho float64
+	// SplitCPUDomains reproduces the paper's §6.2 core allocation: the
+	// DVFS knob regulates only the cores running the CPU batch workload,
+	// while the cores feeding the GPU pipelines (data copying and
+	// preprocessing) stay at the maximum frequency. FeederCoreFrac is
+	// the fraction of CPU dynamic power drawn by those pinned cores
+	// (default 0.3 when split is enabled).
+	SplitCPUDomains bool
+	FeederCoreFrac  float64
+	Seed            int64
+}
+
+// DefaultTestbed returns the paper's evaluation server: one Xeon Gold
+// 5215 and three Tesla V100s.
+func DefaultTestbed(seed int64) Config {
+	return Config{
+		CPU:        XeonGold5215(),
+		GPUs:       []GPUSpec{TeslaV100(), TeslaV100(), TeslaV100()},
+		OtherW:     250,
+		MeasNoiseW: 3,
+		DriftStdW:  14,
+		Seed:       seed,
+	}
+}
+
+// MotivationTestbed returns the §3.2 rig: desktop CPU + one RTX 3090.
+func MotivationTestbed(seed int64) Config {
+	return Config{
+		CPU:        DesktopCPU(),
+		GPUs:       []GPUSpec{RTX3090Window()},
+		OtherW:     130,
+		MeasNoiseW: 2,
+		DriftStdW:  5,
+		Seed:       seed,
+	}
+}
+
+// Server is the simulated machine.
+type Server struct {
+	cfg Config
+	rng *rand.Rand
+
+	fc   float64   // applied CPU frequency (GHz)
+	fgs  []float64 // applied GPU frequencies (MHz)
+	memT []bool    // per-GPU memory-throttle state
+
+	pipelines []*workload.Pipeline // indexed by GPU; nil if none
+	cpuWork   *workload.CPUWorkload
+
+	now    float64 // simulated seconds
+	drift  float64 // AR(1) thermal drift state (Watts)
+	energy float64 // cumulative true energy (Joules)
+	last   Sample
+}
+
+// Sample is one tick's full observable state.
+type Sample struct {
+	Time       float64
+	TruePowerW float64
+	MeasuredW  float64 // TruePowerW + measurement noise
+	CPUPowerW  float64 // RAPL-like per-device reading
+	GPUPowerW  []float64
+	DriftW     float64 // unattributed thermal drift component of the total
+	CPUFreqGHz float64
+	GPUFreqMHz []float64
+	GPUStats   []workload.Stats // zero value where no pipeline attached
+	CPUStats   workload.CPUStats
+	CPUUtil    float64
+	GPUUtil    []float64
+	// EnergyJ is the cumulative true energy drawn since construction (or
+	// the last ResetWorkloads), in Joules.
+	EnergyJ float64
+}
+
+// NewServer validates the config and builds the server with every
+// device at its minimum frequency (the Fixed-Step baseline's assumed
+// initial state, §6.1).
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.CPU.FreqMinGHz <= 0 || cfg.CPU.FreqMaxGHz <= cfg.CPU.FreqMinGHz {
+		return nil, fmt.Errorf("sim: invalid CPU frequency range [%g, %g]", cfg.CPU.FreqMinGHz, cfg.CPU.FreqMaxGHz)
+	}
+	if len(cfg.GPUs) == 0 {
+		return nil, fmt.Errorf("sim: server needs at least one GPU")
+	}
+	for i, g := range cfg.GPUs {
+		if g.FreqMinMHz <= 0 || g.FreqMaxMHz <= g.FreqMinMHz {
+			return nil, fmt.Errorf("sim: GPU %d invalid frequency range [%g, %g]", i, g.FreqMinMHz, g.FreqMaxMHz)
+		}
+	}
+	if cfg.DriftStdW > 0 && cfg.DriftRho == 0 {
+		cfg.DriftRho = 0.97
+	}
+	if cfg.SplitCPUDomains && cfg.FeederCoreFrac == 0 {
+		cfg.FeederCoreFrac = 0.3
+	}
+	if cfg.FeederCoreFrac < 0 || cfg.FeederCoreFrac >= 1 {
+		return nil, fmt.Errorf("sim: feeder core fraction %g outside [0, 1)", cfg.FeederCoreFrac)
+	}
+	if cfg.DriftRho < 0 || cfg.DriftRho >= 1 {
+		return nil, fmt.Errorf("sim: drift rho %g outside [0, 1)", cfg.DriftRho)
+	}
+	s := &Server{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		fc:        cfg.CPU.FreqMinGHz,
+		fgs:       make([]float64, len(cfg.GPUs)),
+		memT:      make([]bool, len(cfg.GPUs)),
+		pipelines: make([]*workload.Pipeline, len(cfg.GPUs)),
+	}
+	for i := range s.fgs {
+		s.fgs[i] = cfg.GPUs[i].FreqMinMHz
+	}
+	return s, nil
+}
+
+// Config returns the server configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// NumGPUs returns the GPU count.
+func (s *Server) NumGPUs() int { return len(s.cfg.GPUs) }
+
+// AttachPipeline binds an inference pipeline to GPU i.
+func (s *Server) AttachPipeline(i int, p *workload.Pipeline) error {
+	if i < 0 || i >= len(s.pipelines) {
+		return fmt.Errorf("sim: GPU index %d out of range %d", i, len(s.pipelines))
+	}
+	s.pipelines[i] = p
+	return nil
+}
+
+// Pipeline returns the pipeline attached to GPU i (nil if none).
+func (s *Server) Pipeline(i int) *workload.Pipeline {
+	if i < 0 || i >= len(s.pipelines) {
+		return nil
+	}
+	return s.pipelines[i]
+}
+
+// AttachCPUWorkload binds the host-CPU batch workload.
+func (s *Server) AttachCPUWorkload(w *workload.CPUWorkload) { s.cpuWork = w }
+
+// CPUWorkload returns the attached CPU workload (nil if none).
+func (s *Server) CPUWorkload() *workload.CPUWorkload { return s.cpuWork }
+
+// snap quantizes v onto {min, min+step, ...} clamped to [min, max],
+// mirroring hardware: both cpupower and nvidia-smi accept only discrete
+// levels (§5).
+func snap(v, min, max, step float64) float64 {
+	if v < min {
+		return min
+	}
+	if v > max {
+		return max
+	}
+	if step <= 0 {
+		return v
+	}
+	n := math.Round((v - min) / step)
+	out := min + n*step
+	if out > max {
+		out = max
+	}
+	return out
+}
+
+// SetCPUFreq applies a CPU frequency command (GHz), snapping to the
+// hardware's discrete levels. It returns the applied value.
+func (s *Server) SetCPUFreq(ghz float64) float64 {
+	s.fc = snap(ghz, s.cfg.CPU.FreqMinGHz, s.cfg.CPU.FreqMaxGHz, s.cfg.CPU.FreqStepGHz)
+	return s.fc
+}
+
+// SetGPUFreq applies a GPU core-clock command (MHz) to GPU i, snapping
+// to discrete levels. It returns the applied value.
+func (s *Server) SetGPUFreq(i int, mhz float64) (float64, error) {
+	if i < 0 || i >= len(s.fgs) {
+		return 0, fmt.Errorf("sim: GPU index %d out of range %d", i, len(s.fgs))
+	}
+	g := s.cfg.GPUs[i]
+	s.fgs[i] = snap(mhz, g.FreqMinMHz, g.FreqMaxMHz, g.FreqStepMHz)
+	return s.fgs[i], nil
+}
+
+// SetMemThrottle engages or releases GPU i's low memory-clock state —
+// the second-layer actuator for caps unreachable by core-clock scaling
+// alone (§4.4).
+func (s *Server) SetMemThrottle(i int, on bool) error {
+	if i < 0 || i >= len(s.memT) {
+		return fmt.Errorf("sim: GPU index %d out of range %d", i, len(s.memT))
+	}
+	s.memT[i] = on
+	return nil
+}
+
+// MemThrottled reports GPU i's memory-throttle state.
+func (s *Server) MemThrottled(i int) bool {
+	if i < 0 || i >= len(s.memT) {
+		return false
+	}
+	return s.memT[i]
+}
+
+// CPUFreq returns the applied CPU frequency (GHz).
+func (s *Server) CPUFreq() float64 { return s.fc }
+
+// GPUFreq returns the applied core clock of GPU i (MHz).
+func (s *Server) GPUFreq(i int) float64 { return s.fgs[i] }
+
+// Now returns the simulated time in seconds.
+func (s *Server) Now() float64 { return s.now }
+
+// Last returns the most recent tick sample.
+func (s *Server) Last() Sample { return s.last }
+
+// Tick advances the simulation by dt seconds: steps every workload,
+// recomputes device power, and returns the sample (one power-meter
+// reading).
+func (s *Server) Tick(dt float64) Sample {
+	if dt <= 0 {
+		return s.last
+	}
+	n := len(s.cfg.GPUs)
+	gpuStats := make([]workload.Stats, n)
+	gpuUtil := make([]float64, n)
+	pipelineCPU := 0.0
+	attached := 0
+	// With split domains the feeder cores are pinned at f_max (§6.2), so
+	// preprocessing throughput is insulated from the DVFS knob.
+	fcFeeder := s.fc
+	if s.cfg.SplitCPUDomains {
+		fcFeeder = s.cfg.CPU.FreqMaxGHz
+	}
+	for i, p := range s.pipelines {
+		if p == nil {
+			gpuUtil[i] = 0.05 // housekeeping
+			continue
+		}
+		if s.memT[i] && s.cfg.GPUs[i].MemThrottleLatencyFactor > 1 {
+			p.SetExternalLatencyFactor(s.cfg.GPUs[i].MemThrottleLatencyFactor)
+		} else {
+			p.SetExternalLatencyFactor(1)
+		}
+		st := p.Step(dt, fcFeeder, s.fgs[i])
+		gpuStats[i] = st
+		gpuUtil[i] = math.Max(st.GPUUtil, 0.05)
+		pipelineCPU += st.CPUUtil
+		attached++
+	}
+
+	var cpuStats workload.CPUStats
+	cpuUtil := 0.10 // OS + controller core
+	if attached > 0 {
+		// Feeder cores for the pipelines.
+		cpuUtil += 0.45 * pipelineCPU / float64(attached)
+	}
+	if s.cpuWork != nil {
+		cpuStats = s.cpuWork.Step(dt, s.fc)
+		cpuUtil += 0.45 * cpuStats.Util
+	}
+	cpuUtil = math.Min(cpuUtil, 1)
+
+	var cpuP float64
+	if s.cfg.SplitCPUDomains {
+		// Two frequency domains share the package: the pinned feeder
+		// cores and the DVFS-regulated workload cores split the dynamic
+		// power by FeederCoreFrac.
+		ff := s.cfg.FeederCoreFrac
+		pinned := devicePower(s.cfg.CPU.FreqMaxGHz, s.cfg.CPU.FreqMaxGHz, cpuUtil,
+			0, s.cfg.CPU.DynWPerGHz*ff, s.cfg.CPU.UtilFloor, 0)
+		scaled := devicePower(s.fc, s.cfg.CPU.FreqMaxGHz, cpuUtil,
+			s.cfg.CPU.IdleW, s.cfg.CPU.DynWPerGHz*(1-ff), s.cfg.CPU.UtilFloor, s.cfg.CPU.NonLinW)
+		cpuP = pinned + scaled
+	} else {
+		cpuP = devicePower(s.fc, s.cfg.CPU.FreqMaxGHz, cpuUtil,
+			s.cfg.CPU.IdleW, s.cfg.CPU.DynWPerGHz, s.cfg.CPU.UtilFloor, s.cfg.CPU.NonLinW)
+	}
+	gpuP := make([]float64, n)
+	total := cpuP + s.cfg.OtherW
+	for i, g := range s.cfg.GPUs {
+		gpuP[i] = devicePower(s.fgs[i], g.FreqMaxMHz, gpuUtil[i],
+			g.IdleW, g.DynWPerMHz, g.UtilFloor, g.NonLinW)
+		if s.memT[i] {
+			// Memory-clock drop saves a mostly-constant slice, slightly
+			// larger when the memory system is busy.
+			save := g.MemThrottleSaveW * (0.6 + 0.4*gpuUtil[i])
+			gpuP[i] -= save
+			if gpuP[i] < g.IdleW/2 {
+				gpuP[i] = g.IdleW / 2
+			}
+		}
+		total += gpuP[i]
+	}
+
+	if s.cfg.DriftStdW > 0 {
+		rho := s.cfg.DriftRho
+		inn := s.cfg.DriftStdW * math.Sqrt(1-rho*rho)
+		s.drift = rho*s.drift + inn*s.rng.NormFloat64()
+		total += s.drift
+	}
+
+	s.now += dt
+	s.energy += total * dt
+	s.last = Sample{
+		Time:       s.now,
+		TruePowerW: total,
+		DriftW:     s.drift,
+		MeasuredW:  total + s.cfg.MeasNoiseW*s.rng.NormFloat64(),
+		CPUPowerW:  cpuP,
+		GPUPowerW:  gpuP,
+		CPUFreqGHz: s.fc,
+		GPUFreqMHz: append([]float64(nil), s.fgs...),
+		GPUStats:   gpuStats,
+		CPUStats:   cpuStats,
+		CPUUtil:    cpuUtil,
+		GPUUtil:    gpuUtil,
+		EnergyJ:    s.energy,
+	}
+	return s.last
+}
+
+// EnergyJ returns the cumulative true energy drawn, in Joules.
+func (s *Server) EnergyJ() float64 { return s.energy }
+
+// devicePower implements the per-device power law:
+//
+//	P = idle + dyn·f·(floor + (1−floor)·util) + nonlin·(f/fmax)²
+//
+// Linear in f to first order (the basis of the paper's Eq. 3 model) with
+// a small quadratic residual so identification is imperfect.
+func devicePower(f, fmax, util, idle, dyn, floor, nonlin float64) float64 {
+	return idle + dyn*f*(floor+(1-floor)*util) + nonlin*(f/fmax)*(f/fmax)
+}
+
+// PowerRange returns the achievable [min, max] total power at full
+// utilization, used by experiments to pick feasible set points.
+func (s *Server) PowerRange() (min, max float64) {
+	min = s.cfg.OtherW + devicePower(s.cfg.CPU.FreqMinGHz, s.cfg.CPU.FreqMaxGHz, 1,
+		s.cfg.CPU.IdleW, s.cfg.CPU.DynWPerGHz, s.cfg.CPU.UtilFloor, s.cfg.CPU.NonLinW)
+	max = s.cfg.OtherW + devicePower(s.cfg.CPU.FreqMaxGHz, s.cfg.CPU.FreqMaxGHz, 1,
+		s.cfg.CPU.IdleW, s.cfg.CPU.DynWPerGHz, s.cfg.CPU.UtilFloor, s.cfg.CPU.NonLinW)
+	for _, g := range s.cfg.GPUs {
+		min += devicePower(g.FreqMinMHz, g.FreqMaxMHz, 1, g.IdleW, g.DynWPerMHz, g.UtilFloor, g.NonLinW)
+		max += devicePower(g.FreqMaxMHz, g.FreqMaxMHz, 1, g.IdleW, g.DynWPerMHz, g.UtilFloor, g.NonLinW)
+	}
+	return min, max
+}
+
+// ResetWorkloads resets attached workloads and the clock; device
+// frequencies are preserved.
+func (s *Server) ResetWorkloads() {
+	for _, p := range s.pipelines {
+		if p != nil {
+			p.Reset()
+		}
+	}
+	if s.cpuWork != nil {
+		s.cpuWork.Reset()
+	}
+	s.now = 0
+	s.drift = 0
+	s.energy = 0
+	s.rng = rand.New(rand.NewSource(s.cfg.Seed))
+	s.last = Sample{}
+}

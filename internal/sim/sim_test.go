@@ -1,0 +1,496 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func testbed(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer(DefaultTestbed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// attachStandardWorkloads wires the §6.1 workloads: ResNet50, Swin-T and
+// VGG16 pipelines on GPUs 0..2 plus feature selection on the CPU.
+func attachStandardWorkloads(t *testing.T, s *Server) {
+	t.Helper()
+	zoo := workload.Zoo()
+	cfgs := []workload.PipelineConfig{
+		{Model: zoo["resnet50"], Workers: 1, PreLatencyBase: 0.004, PreLatencyExp: 0.4,
+			ArrivalRateMax: 250, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: 11},
+		{Model: zoo["swin_t"], Workers: 1, PreLatencyBase: 0.010, PreLatencyExp: 0.4,
+			ArrivalRateMax: 100, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: 12},
+		{Model: zoo["vgg16"], Workers: 1, PreLatencyBase: 0.008, PreLatencyExp: 0.4,
+			ArrivalRateMax: 130, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: 13},
+	}
+	for i, cfg := range cfgs {
+		p, err := workload.NewPipeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AttachPipeline(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := workload.NewCPUWorkload(workload.CPUWorkloadConfig{
+		RateAtMax: 40, FcMax: 2.4, NoiseStd: 0.02, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachCPUWorkload(w)
+}
+
+func TestNewServerValidation(t *testing.T) {
+	bad := DefaultTestbed(1)
+	bad.CPU.FreqMaxGHz = bad.CPU.FreqMinGHz
+	if _, err := NewServer(bad); err == nil {
+		t.Fatal("expected CPU range error")
+	}
+	bad = DefaultTestbed(1)
+	bad.GPUs = nil
+	if _, err := NewServer(bad); err == nil {
+		t.Fatal("expected no-GPU error")
+	}
+	bad = DefaultTestbed(1)
+	bad.GPUs[1].FreqMinMHz = 0
+	if _, err := NewServer(bad); err == nil {
+		t.Fatal("expected GPU range error")
+	}
+}
+
+func TestInitialStateMinFrequencies(t *testing.T) {
+	s := testbed(t)
+	if s.CPUFreq() != s.Config().CPU.FreqMinGHz {
+		t.Fatalf("initial CPU freq %g, want min %g", s.CPUFreq(), s.Config().CPU.FreqMinGHz)
+	}
+	for i := 0; i < s.NumGPUs(); i++ {
+		if s.GPUFreq(i) != s.Config().GPUs[i].FreqMinMHz {
+			t.Fatalf("GPU %d initial freq %g, want min", i, s.GPUFreq(i))
+		}
+	}
+}
+
+func TestFrequencySnapping(t *testing.T) {
+	s := testbed(t)
+	// 1.234 GHz snaps onto the 0.1 GHz grid from 1.0.
+	if got := s.SetCPUFreq(1.234); math.Abs(got-1.2) > 1e-12 {
+		t.Fatalf("snap 1.234 -> %g, want 1.2", got)
+	}
+	if got := s.SetCPUFreq(99); got != 2.4 {
+		t.Fatalf("over-max snap -> %g, want 2.4", got)
+	}
+	if got := s.SetCPUFreq(0.1); got != 1.0 {
+		t.Fatalf("under-min snap -> %g, want 1.0", got)
+	}
+	got, err := s.SetGPUFreq(0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid is 435 + k*15: 495 is on-grid.
+	if got != 495 {
+		t.Fatalf("snap 500 -> %g, want 495", got)
+	}
+	if _, err := s.SetGPUFreq(9, 500); err == nil {
+		t.Fatal("expected index error")
+	}
+}
+
+func TestPowerMonotoneInFrequency(t *testing.T) {
+	s := testbed(t)
+	attachStandardWorkloads(t, s)
+	run := func(fc, fg float64) float64 {
+		s.SetCPUFreq(fc)
+		for i := 0; i < s.NumGPUs(); i++ {
+			if _, err := s.SetGPUFreq(i, fg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum := 0.0
+		for k := 0; k < 30; k++ {
+			sum += s.Tick(1).TruePowerW
+		}
+		return sum / 30
+	}
+	low := run(1.0, 435)
+	mid := run(1.7, 900)
+	high := run(2.4, 1350)
+	if !(low < mid && mid < high) {
+		t.Fatalf("power not monotone: %g, %g, %g", low, mid, high)
+	}
+}
+
+func TestPowerRangeCoversPaperSetpoints(t *testing.T) {
+	s := testbed(t)
+	lo, hi := s.PowerRange()
+	if lo >= 800 {
+		t.Fatalf("min power %g too high for the 800 W set point", lo)
+	}
+	if hi <= 1200 {
+		t.Fatalf("max power %g too low for the 1200 W set point", hi)
+	}
+}
+
+func TestMeasurementNoisePresentButBounded(t *testing.T) {
+	s := testbed(t)
+	attachStandardWorkloads(t, s)
+	s.SetCPUFreq(2.0)
+	var devSum, devMax float64
+	n := 300
+	for i := 0; i < n; i++ {
+		smp := s.Tick(1)
+		d := math.Abs(smp.MeasuredW - smp.TruePowerW)
+		devSum += d
+		if d > devMax {
+			devMax = d
+		}
+	}
+	if devSum == 0 {
+		t.Fatal("no measurement noise present")
+	}
+	if devMax > 6*s.Config().MeasNoiseW {
+		t.Fatalf("noise excursion %g implausibly large", devMax)
+	}
+}
+
+func TestPerDevicePowerSumsToTotal(t *testing.T) {
+	s := testbed(t)
+	attachStandardWorkloads(t, s)
+	s.SetCPUFreq(1.8)
+	smp := s.Tick(1)
+	sum := smp.CPUPowerW + s.Config().OtherW + smp.DriftW
+	for _, g := range smp.GPUPowerW {
+		sum += g
+	}
+	if math.Abs(sum-smp.TruePowerW) > 1e-9 {
+		t.Fatalf("device sum %g != total %g", sum, smp.TruePowerW)
+	}
+}
+
+func TestTickAdvancesClockAndStats(t *testing.T) {
+	s := testbed(t)
+	attachStandardWorkloads(t, s)
+	if s.Now() != 0 {
+		t.Fatalf("initial time %g", s.Now())
+	}
+	smp := s.Tick(1)
+	if s.Now() != 1 || smp.Time != 1 {
+		t.Fatalf("time after tick: %g / %g", s.Now(), smp.Time)
+	}
+	if smp.GPUStats[0].Throughput <= 0 {
+		t.Fatal("pipeline produced no throughput")
+	}
+	if smp.CPUStats.Throughput <= 0 {
+		t.Fatal("CPU workload produced no throughput")
+	}
+	again := s.Tick(0)
+	if again.Time != smp.Time || again.TruePowerW != smp.TruePowerW {
+		t.Fatal("zero-dt tick should return last sample")
+	}
+}
+
+func TestHigherUtilizationRaisesPower(t *testing.T) {
+	// Same frequencies, with vs without workloads: power must be higher
+	// with busy devices.
+	idle := testbed(t)
+	busy := testbed(t)
+	attachStandardWorkloads(t, busy)
+	for _, s := range []*Server{idle, busy} {
+		s.SetCPUFreq(2.0)
+		for i := 0; i < s.NumGPUs(); i++ {
+			if _, err := s.SetGPUFreq(i, 1200); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var pi, pb float64
+	for k := 0; k < 20; k++ {
+		pi = idle.Tick(1).TruePowerW
+		pb = busy.Tick(1).TruePowerW
+	}
+	if pb <= pi {
+		t.Fatalf("busy power %g should exceed idle power %g", pb, pi)
+	}
+}
+
+func TestResetWorkloadsReproducible(t *testing.T) {
+	s := testbed(t)
+	attachStandardWorkloads(t, s)
+	s.SetCPUFreq(1.9)
+	seq := make([]float64, 10)
+	for i := range seq {
+		seq[i] = s.Tick(1).MeasuredW
+	}
+	s.ResetWorkloads()
+	for i := range seq {
+		if got := s.Tick(1).MeasuredW; got != seq[i] {
+			t.Fatalf("tick %d after reset: %g, want %g", i, got, seq[i])
+		}
+	}
+}
+
+func TestAttachPipelineErrors(t *testing.T) {
+	s := testbed(t)
+	if err := s.AttachPipeline(-1, nil); err == nil {
+		t.Fatal("expected index error")
+	}
+	if err := s.AttachPipeline(3, nil); err == nil {
+		t.Fatal("expected index error")
+	}
+	if s.Pipeline(7) != nil {
+		t.Fatal("out-of-range Pipeline() should be nil")
+	}
+}
+
+func TestMotivationTestbedRanges(t *testing.T) {
+	s, err := NewServer(MotivationTestbed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumGPUs() != 1 {
+		t.Fatalf("motivation rig has %d GPUs", s.NumGPUs())
+	}
+	if got := s.SetCPUFreq(1.6); math.Abs(got-1.6) > 1e-9 {
+		t.Fatalf("1.6 GHz should be a valid level, got %g", got)
+	}
+	got, err := s.SetGPUFreq(0, 660)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 660 {
+		t.Fatalf("660 MHz should be a valid level, got %g", got)
+	}
+}
+
+// Property: snapped frequencies always respect the device limits and lie
+// on the discrete grid.
+func TestQuickSnapInvariants(t *testing.T) {
+	s := testbed(t)
+	cpu := s.Config().CPU
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		got := s.SetCPUFreq(raw)
+		if got < cpu.FreqMinGHz-1e-12 || got > cpu.FreqMaxGHz+1e-12 {
+			return false
+		}
+		steps := (got - cpu.FreqMinGHz) / cpu.FreqStepGHz
+		return math.Abs(steps-math.Round(steps)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: power is always positive and finite across the whole
+// actuation envelope.
+func TestQuickPowerFinite(t *testing.T) {
+	s := testbed(t)
+	attachStandardWorkloads(t, s)
+	f := func(a, b, c, d uint8) bool {
+		s.SetCPUFreq(1.0 + 1.4*float64(a)/255)
+		gs := []float64{float64(b), float64(c), float64(d)}
+		for i := range gs {
+			if _, err := s.SetGPUFreq(i, 435+915*gs[i]/255); err != nil {
+				return false
+			}
+		}
+		smp := s.Tick(1)
+		return smp.TruePowerW > 0 && !math.IsNaN(smp.MeasuredW) && !math.IsInf(smp.TruePowerW, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkServerTick(b *testing.B) {
+	s, err := NewServer(DefaultTestbed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	zoo := workload.Zoo()
+	for i := 0; i < 3; i++ {
+		p, err := workload.NewPipeline(workload.PipelineConfig{
+			Model: zoo["resnet50"], Workers: 1, PreLatencyBase: 0.004,
+			PreLatencyExp: 0.4, ArrivalRateMax: 250, ArrivalExp: 0.5,
+			QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AttachPipeline(i, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Tick(1)
+	}
+}
+
+func TestSplitCPUDomainsInsulatesPipelines(t *testing.T) {
+	// §6.2: with split domains, throttling the DVFS knob must not slow
+	// the GPU pipelines' preprocessing (feeder cores stay at f_max).
+	run := func(split bool, fc float64) float64 {
+		cfg := DefaultTestbed(5)
+		cfg.SplitCPUDomains = split
+		cfg.DriftStdW = 0
+		s, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attachStandardWorkloads(t, s)
+		s.SetCPUFreq(fc)
+		for i := 0; i < s.NumGPUs(); i++ {
+			if _, err := s.SetGPUFreq(i, 900); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum := 0.0
+		for k := 0; k < 30; k++ {
+			sum += s.Tick(1).GPUStats[1].ArrivalRate // swin pipeline, CPU-fed
+		}
+		return sum / 30
+	}
+	// Split: arrival identical at min and max knob settings.
+	if lo, hi := run(true, 1.0), run(true, 2.4); math.Abs(lo-hi) > 1e-9 {
+		t.Fatalf("split domains: arrival should not depend on the knob (%g vs %g)", lo, hi)
+	}
+	// Unified: throttling slows the feeders.
+	if lo, hi := run(false, 1.0), run(false, 2.4); lo >= hi {
+		t.Fatalf("unified domain: arrival should drop with the knob (%g vs %g)", lo, hi)
+	}
+}
+
+func TestSplitCPUDomainsReducesKnobGain(t *testing.T) {
+	// The pinned feeder cores shrink the power swing the DVFS knob
+	// commands; total power at max frequency is unchanged.
+	power := func(split bool, fc float64) float64 {
+		cfg := DefaultTestbed(6)
+		cfg.SplitCPUDomains = split
+		cfg.DriftStdW = 0
+		cfg.MeasNoiseW = 0
+		s, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attachStandardWorkloads(t, s)
+		s.SetCPUFreq(fc)
+		var last float64
+		for k := 0; k < 20; k++ {
+			last = s.Tick(1).TruePowerW
+		}
+		return last
+	}
+	swingSplit := power(true, 2.4) - power(true, 1.0)
+	swingUnified := power(false, 2.4) - power(false, 1.0)
+	if swingSplit >= swingUnified {
+		t.Fatalf("split-domain knob swing %g should be below unified %g", swingSplit, swingUnified)
+	}
+	if swingSplit <= 0 {
+		t.Fatalf("split-domain knob swing %g must stay positive", swingSplit)
+	}
+}
+
+func TestSplitCPUDomainsValidation(t *testing.T) {
+	cfg := DefaultTestbed(7)
+	cfg.SplitCPUDomains = true
+	cfg.FeederCoreFrac = 1.5
+	if _, err := NewServer(cfg); err == nil {
+		t.Fatal("expected feeder-fraction error")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	cfg := DefaultTestbed(8)
+	cfg.DriftStdW = 0
+	cfg.MeasNoiseW = 0
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attachStandardWorkloads(t, s)
+	if s.EnergyJ() != 0 {
+		t.Fatalf("initial energy %g", s.EnergyJ())
+	}
+	total := 0.0
+	for k := 0; k < 25; k++ {
+		smp := s.Tick(1)
+		total += smp.TruePowerW * 1
+		if math.Abs(smp.EnergyJ-total) > 1e-6 {
+			t.Fatalf("tick %d: energy %g, want %g", k, smp.EnergyJ, total)
+		}
+	}
+	if s.EnergyJ() <= 0 {
+		t.Fatal("no energy accumulated")
+	}
+	s.ResetWorkloads()
+	if s.EnergyJ() != 0 {
+		t.Fatalf("energy not reset: %g", s.EnergyJ())
+	}
+}
+
+func TestHeterogeneousServer(t *testing.T) {
+	// Mixed V100 + A100 server: per-device ranges and snapping must be
+	// honored independently.
+	cfg := Config{
+		CPU:        XeonGold5215(),
+		GPUs:       []GPUSpec{TeslaV100(), A100()},
+		OtherW:     220,
+		MeasNoiseW: 2,
+		Seed:       9,
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoo := workload.Zoo()
+	for i, name := range []string{"resnet50", "swin_t"} {
+		fgMax := cfg.GPUs[i].FreqMaxMHz
+		p, err := workload.NewPipeline(workload.PipelineConfig{
+			Model: zoo[name], Workers: 1, PreLatencyBase: 0.005, PreLatencyExp: 0.4,
+			ArrivalRateMax: 150, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: fgMax, Seed: int64(40 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AttachPipeline(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// V100 clamps at 1350; A100 reaches 1410.
+	got, err := s.SetGPUFreq(0, 1410)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1350 {
+		t.Fatalf("V100 snapped to %g, want 1350", got)
+	}
+	got, err = s.SetGPUFreq(1, 1410)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1410 {
+		t.Fatalf("A100 snapped to %g, want 1410", got)
+	}
+	// A100 floor is 210, below the V100's 435.
+	got, err = s.SetGPUFreq(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 210 {
+		t.Fatalf("A100 floor snap %g, want 210", got)
+	}
+	smp := s.Tick(1)
+	if smp.TruePowerW <= 0 {
+		t.Fatal("no power")
+	}
+}

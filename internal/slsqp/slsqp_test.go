@@ -1,0 +1,188 @@
+package slsqp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnconstrainedQuadratic(t *testing.T) {
+	// min (x-2)^2 + (y+1)^2 -> (2, -1).
+	obj := Objective{Func: func(x []float64) float64 {
+		return (x[0]-2)*(x[0]-2) + (x[1]+1)*(x[1]+1)
+	}}
+	res, err := Minimize(obj, nil, nil, nil, []float64{0, 0}, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(res.X[0]-2) > 1e-5 || math.Abs(res.X[1]+1) > 1e-5 {
+		t.Fatalf("x = %v, want (2,-1)", res.X)
+	}
+}
+
+func TestAnalyticGradientMatchesNumeric(t *testing.T) {
+	objNum := Objective{Func: func(x []float64) float64 { return x[0]*x[0]*x[0] - 3*x[0] }}
+	objAna := Objective{
+		Func: objNum.Func,
+		Grad: func(x []float64) []float64 { return []float64{3*x[0]*x[0] - 3} },
+	}
+	rn, err := Minimize(objNum, nil, []float64{0}, []float64{5}, []float64{2}, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Minimize(objAna, nil, []float64{0}, []float64{5}, []float64{2}, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rn.X[0]-1) > 1e-4 || math.Abs(ra.X[0]-1) > 1e-4 {
+		t.Fatalf("minima %g / %g, want 1", rn.X[0], ra.X[0])
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	// min (x-10)^2 with x <= 3 via bounds.
+	obj := Objective{Func: func(x []float64) float64 { return (x[0] - 10) * (x[0] - 10) }}
+	res, err := Minimize(obj, nil, []float64{-3}, []float64{3}, []float64{0}, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-3) > 1e-6 {
+		t.Fatalf("x = %g, want 3", res.X[0])
+	}
+}
+
+func TestInequalityConstraint(t *testing.T) {
+	// min x^2 + y^2 s.t. x + y >= 1  (c = 1 - x - y <= 0) -> (0.5, 0.5).
+	obj := Objective{Func: func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] }}
+	con := Constraint{Func: func(x []float64) float64 { return 1 - x[0] - x[1] }}
+	res, err := Minimize(obj, []Constraint{con}, nil, nil, []float64{2, 2}, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.5) > 1e-4 || math.Abs(res.X[1]-0.5) > 1e-4 {
+		t.Fatalf("x = %v, want (0.5,0.5)", res.X)
+	}
+}
+
+func TestNonlinearConstraintRosenbrockDisk(t *testing.T) {
+	// Classic test: Rosenbrock restricted to the unit disk; the
+	// constrained minimum sits on the boundary near (0.786, 0.618).
+	obj := Objective{Func: func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}}
+	con := Constraint{Func: func(x []float64) float64 {
+		return x[0]*x[0] + x[1]*x[1] - 1
+	}}
+	res, err := Minimize(obj, []Constraint{con},
+		[]float64{-2, -2}, []float64{2, 2}, []float64{0, 0},
+		Params{MaxIter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := math.Hypot(res.X[0], res.X[1])
+	if r > 1+1e-5 {
+		t.Fatalf("solution outside disk: |x| = %g", r)
+	}
+	if res.Obj > 0.05 {
+		t.Fatalf("objective %g too high (want near 0.0457)", res.Obj)
+	}
+}
+
+func TestStartClampedIntoBounds(t *testing.T) {
+	obj := Objective{Func: func(x []float64) float64 { return x[0] * x[0] }}
+	res, err := Minimize(obj, nil, []float64{1}, []float64{2}, []float64{100}, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-6 {
+		t.Fatalf("x = %g, want 1 (lower bound)", res.X[0])
+	}
+}
+
+func TestNilObjectiveRejected(t *testing.T) {
+	if _, err := Minimize(Objective{}, nil, nil, nil, []float64{0}, Params{}); err == nil {
+		t.Fatal("expected error for nil objective")
+	}
+}
+
+func TestBoundLengthValidation(t *testing.T) {
+	obj := Objective{Func: func(x []float64) float64 { return x[0] }}
+	if _, err := Minimize(obj, nil, []float64{0, 0}, nil, []float64{0}, Params{}); err == nil {
+		t.Fatal("expected lo length error")
+	}
+	if _, err := Minimize(obj, nil, nil, []float64{0, 0}, []float64{0}, Params{}); err == nil {
+		t.Fatal("expected hi length error")
+	}
+}
+
+// Property: on random convex quadratics with box bounds, SLSQP reaches a
+// point where the projected gradient vanishes.
+func TestQuickProjectedStationarity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		// Diagonal convex quadratic: f = sum w_i (x_i - c_i)^2.
+		w := make([]float64, n)
+		c := make([]float64, n)
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		for i := 0; i < n; i++ {
+			w[i] = 0.5 + rng.Float64()
+			c[i] = 3 * rng.NormFloat64()
+			lo[i] = -1
+			hi[i] = 1
+		}
+		obj := Objective{Func: func(x []float64) float64 {
+			s := 0.0
+			for i := range x {
+				d := x[i] - c[i]
+				s += w[i] * d * d
+			}
+			return s
+		}}
+		res, err := Minimize(obj, nil, lo, hi, make([]float64, n), Params{MaxIter: 200})
+		if err != nil {
+			return false
+		}
+		// The solution of a separable box QP is clamp(c, lo, hi).
+		for i := range res.X {
+			want := math.Min(math.Max(c[i], lo[i]), hi[i])
+			if math.Abs(res.X[i]-want) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSLSQPQuadraticBox8(b *testing.B) {
+	obj := Objective{Func: func(x []float64) float64 {
+		s := 0.0
+		for i := range x {
+			d := x[i] - float64(i)
+			s += d * d
+		}
+		return s
+	}}
+	lo := make([]float64, 8)
+	hi := make([]float64, 8)
+	for i := range hi {
+		lo[i] = -2
+		hi[i] = 2
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Minimize(obj, nil, lo, hi, make([]float64, 8), Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package sysid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// RLS performs recursive least-squares identification of the linear
+// power model p = Gains·F + C with exponential forgetting, so the model
+// tracks workload-induced gain changes online — the situation §4.4
+// analyzes ("the estimated model parameters (i.e., entries of A) change
+// due to different workloads"). Each control period the controller feeds
+// the applied frequency vector and the measured power; the estimate is
+// available at any time as a Model.
+type RLS struct {
+	theta  []float64 // [gains..., offset]
+	p      *mat.Mat  // covariance of the estimate
+	lambda float64   // forgetting factor in (0, 1]
+	n      int       // number of knobs
+	count  int       // updates absorbed
+	// maxTrace caps the covariance trace: with exponential forgetting
+	// and the weak, collinear excitation of closed-loop operation, P
+	// otherwise grows without bound along unexcited directions until a
+	// noisy sample throws the estimate into garbage (covariance windup).
+	maxTrace float64
+}
+
+// NewRLS builds an estimator for nKnobs frequency knobs. initial may be
+// nil (zero start) or a previously identified Model to warm-start from.
+// lambda is the forgetting factor: 1 = infinite memory, 0.98 ≈ a ~50
+// period horizon. initCov scales the initial covariance (uncertainty);
+// use a large value (1e4) for a cold start, a small one (1e1) when
+// warm-starting from a trusted model.
+func NewRLS(nKnobs int, initial *Model, lambda, initCov float64) (*RLS, error) {
+	if nKnobs <= 0 {
+		return nil, fmt.Errorf("sysid: rls needs at least one knob")
+	}
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("sysid: forgetting factor %g outside (0, 1]", lambda)
+	}
+	if initCov <= 0 {
+		return nil, fmt.Errorf("sysid: initial covariance %g must be positive", initCov)
+	}
+	r := &RLS{
+		theta:    make([]float64, nKnobs+1),
+		p:        mat.Identity(nKnobs + 1).Scale(initCov),
+		lambda:   lambda,
+		n:        nKnobs,
+		maxTrace: initCov * float64(nKnobs+1),
+	}
+	if initial != nil {
+		if len(initial.Gains) != nKnobs {
+			return nil, fmt.Errorf("sysid: warm start has %d gains, want %d", len(initial.Gains), nKnobs)
+		}
+		copy(r.theta, initial.Gains)
+		r.theta[nKnobs] = initial.Offset
+	}
+	return r, nil
+}
+
+// Update absorbs one observation: the frequency vector applied during a
+// period and the period's average measured power. It returns the
+// prediction error before the update (the innovation), useful for
+// monitoring model quality.
+func (r *RLS) Update(freqs []float64, powerW float64) (innovation float64, err error) {
+	if len(freqs) != r.n {
+		return 0, fmt.Errorf("sysid: rls update with %d freqs, want %d", len(freqs), r.n)
+	}
+	// Regressor x = [F; 1].
+	x := make([]float64, r.n+1)
+	copy(x, freqs)
+	x[r.n] = 1
+
+	pred := mat.Dot(r.theta, x)
+	innovation = powerW - pred
+
+	// Standard RLS with forgetting:
+	//   k = P x / (λ + xᵀ P x)
+	//   θ ← θ + k·innovation
+	//   P ← (P − k xᵀ P) / λ
+	px := r.p.MulVec(x)
+	denom := r.lambda + mat.Dot(x, px)
+	if denom <= 0 {
+		return innovation, fmt.Errorf("sysid: rls covariance collapsed (denominator %g)", denom)
+	}
+	k := mat.ScaleVec(1/denom, px)
+	mat.Axpy(innovation, k, r.theta)
+	// P update: P = (P - k (xᵀP)) / λ; xᵀP = pxᵀ because P is symmetric.
+	kxp := mat.OuterProduct(k, px)
+	r.p = r.p.SubMat(kxp).Scale(1 / r.lambda)
+	// Re-symmetrize against numerical drift.
+	r.p = r.p.AddMat(r.p.T()).Scale(0.5)
+	// Anti-windup: never let the uncertainty exceed its initial level.
+	if tr := r.p.Trace(); tr > r.maxTrace {
+		r.p = r.p.Scale(r.maxTrace / tr)
+	}
+	r.count++
+	return innovation, nil
+}
+
+// Count returns the number of observations absorbed.
+func (r *RLS) Count() int { return r.count }
+
+// Model snapshots the current estimate. Gains that have drifted
+// non-positive are floored at a small positive value so downstream
+// controllers (which require positive gains) remain usable; a persistent
+// floor signals a broken excitation regime.
+func (r *RLS) Model() *Model {
+	g := make([]float64, r.n)
+	for i := 0; i < r.n; i++ {
+		g[i] = math.Max(r.theta[i], 1e-6)
+	}
+	return &Model{Gains: g, Offset: r.theta[r.n], N: r.count}
+}
+
+// Uncertainty returns the trace of the covariance, a scalar summary of
+// how settled the estimate is.
+func (r *RLS) Uncertainty() float64 {
+	return r.p.Trace()
+}

@@ -1,0 +1,267 @@
+// Package sysid implements the paper's system identification (§4.2):
+// the server's power is modeled as a linear function of the CPU and GPU
+// frequencies,
+//
+//	p = Σ_j A_j·f_cj + Σ_i B_i·f_gi + C            (Eq. 3)
+//
+// and the coefficients are recovered by exciting one knob at a time
+// (sweep the GPU clock with the CPU held fixed, then vice versa, exactly
+// as in the paper's example) and solving the stacked observations by
+// least squares. The fit quality is reported as R² (the paper obtains
+// 0.96 on its testbed; the simulator's deliberate nonlinearity yields a
+// comparable value).
+//
+// The package also fits the inference-latency law of Eq. (8)/(10b),
+// e = e_min·(f_max/f_g)^γ, by log-log regression (Fig. 2b).
+package sysid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/sim"
+)
+
+// Record is one identification observation: the applied frequency vector
+// (CPU first, in GHz; then GPUs, in MHz) and the average measured power.
+type Record struct {
+	Freqs  []float64
+	PowerW float64
+}
+
+// Model is the identified linear power model p = Gains·F + Offset.
+type Model struct {
+	Gains  []float64 // one per knob, CPU first
+	Offset float64   // the constant C
+	R2     float64   // coefficient of determination on the fit data
+	N      int       // observations used
+	// Cond is the condition number of the column-scaled excitation
+	// matrix: how independently the schedule exercised the knobs. Values
+	// near 1 mean every gain direction was excited; large values mean
+	// some gain combination is poorly determined (e.g. two GPUs swept in
+	// lockstep) and the corresponding coefficients should not be
+	// trusted individually.
+	Cond float64
+}
+
+// Predict evaluates the model at a frequency vector.
+func (m *Model) Predict(freqs []float64) (float64, error) {
+	if len(freqs) != len(m.Gains) {
+		return 0, fmt.Errorf("sysid: %d frequencies for %d gains", len(freqs), len(m.Gains))
+	}
+	return mat.Dot(m.Gains, freqs) + m.Offset, nil
+}
+
+// Fit solves for the model coefficients by least squares over the
+// records. All records must have the same knob count.
+func Fit(records []Record) (*Model, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("sysid: no records")
+	}
+	n := len(records[0].Freqs)
+	if n == 0 {
+		return nil, fmt.Errorf("sysid: records have no knobs")
+	}
+	if len(records) < n+1 {
+		return nil, fmt.Errorf("sysid: %d records cannot identify %d gains + offset", len(records), n)
+	}
+	a := mat.New(len(records), n+1)
+	b := make([]float64, len(records))
+	for i, r := range records {
+		if len(r.Freqs) != n {
+			return nil, fmt.Errorf("sysid: record %d has %d knobs, want %d", i, len(r.Freqs), n)
+		}
+		for j, f := range r.Freqs {
+			a.Set(i, j, f)
+		}
+		a.Set(i, n, 1)
+		b[i] = r.PowerW
+	}
+	// A touch of ridge keeps the solve robust when an excitation
+	// schedule leaves two knobs perfectly collinear.
+	x, err := mat.RidgeLeastSquares(a, b, 1e-9)
+	if err != nil {
+		return nil, fmt.Errorf("sysid: fit: %w", err)
+	}
+	m := &Model{Gains: x[:n], Offset: x[n], N: len(records)}
+	m.Cond = excitationCond(a)
+	pred := make([]float64, len(records))
+	for i, r := range records {
+		p, _ := m.Predict(r.Freqs)
+		pred[i] = p
+	}
+	m.R2 = mat.RSquared(b, pred)
+	return m, nil
+}
+
+// excitationCond returns the condition number of the design matrix with
+// each column scaled to unit max-abs (so GHz and MHz knobs compare
+// fairly); NaN if the SVD fails.
+func excitationCond(a *mat.Mat) float64 {
+	scaled := a.Clone()
+	for j := 0; j < scaled.Cols; j++ {
+		maxAbs := 0.0
+		for i := 0; i < scaled.Rows; i++ {
+			if v := math.Abs(scaled.At(i, j)); v > maxAbs {
+				maxAbs = v
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		for i := 0; i < scaled.Rows; i++ {
+			scaled.Set(i, j, scaled.At(i, j)/maxAbs)
+		}
+	}
+	svd, err := mat.FactorSVD(scaled)
+	if err != nil {
+		return math.NaN()
+	}
+	return svd.Cond()
+}
+
+// ExciteConfig tunes the on-server excitation schedule.
+type ExciteConfig struct {
+	// LevelsPerKnob is how many evenly spaced levels to visit per knob
+	// (default 8; the paper visits the discrete levels of each device).
+	LevelsPerKnob int
+	// DwellSeconds is how long to hold each level, averaging the power
+	// samples over the dwell (default 4, one control period).
+	DwellSeconds int
+	// SettleSeconds discards this many seconds after each change before
+	// sampling (default 1).
+	SettleSeconds int
+}
+
+func (c *ExciteConfig) defaults() ExciteConfig {
+	out := *c
+	if out.LevelsPerKnob == 0 {
+		out.LevelsPerKnob = 8
+	}
+	if out.DwellSeconds == 0 {
+		out.DwellSeconds = 4
+	}
+	if out.SettleSeconds == 0 {
+		out.SettleSeconds = 1
+	}
+	return out
+}
+
+// Identify runs the paper's excitation schedule against a simulated
+// server: for each knob in turn, sweep it across its range while the
+// other knobs sit at mid-range, recording average power per level. The
+// CPU is knob 0; GPUs follow. Workloads should already be attached so
+// utilization is representative.
+func Identify(s *sim.Server, cfg ExciteConfig) (*Model, []Record, error) {
+	c := cfg.defaults()
+	nKnobs := 1 + s.NumGPUs()
+
+	mins := make([]float64, nKnobs)
+	maxs := make([]float64, nKnobs)
+	mins[0] = s.Config().CPU.FreqMinGHz
+	maxs[0] = s.Config().CPU.FreqMaxGHz
+	for i := 0; i < s.NumGPUs(); i++ {
+		mins[1+i] = s.Config().GPUs[i].FreqMinMHz
+		maxs[1+i] = s.Config().GPUs[i].FreqMaxMHz
+	}
+
+	apply := func(f []float64) error {
+		s.SetCPUFreq(f[0])
+		for i := 0; i < s.NumGPUs(); i++ {
+			if _, err := s.SetGPUFreq(i, f[1+i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var records []Record
+	point := make([]float64, nKnobs)
+	for sweep := 0; sweep < nKnobs; sweep++ {
+		// Others at mid-range.
+		for j := range point {
+			point[j] = (mins[j] + maxs[j]) / 2
+		}
+		for lvl := 0; lvl < c.LevelsPerKnob; lvl++ {
+			frac := float64(lvl) / float64(c.LevelsPerKnob-1)
+			point[sweep] = mins[sweep] + frac*(maxs[sweep]-mins[sweep])
+			if err := apply(point); err != nil {
+				return nil, nil, err
+			}
+			for k := 0; k < c.SettleSeconds; k++ {
+				s.Tick(1)
+			}
+			sum := 0.0
+			for k := 0; k < c.DwellSeconds; k++ {
+				sum += s.Tick(1).MeasuredW
+			}
+			// Record the *applied* (snapped) frequencies, not the
+			// commanded ones, as the controller would.
+			applied := make([]float64, nKnobs)
+			applied[0] = s.CPUFreq()
+			for i := 0; i < s.NumGPUs(); i++ {
+				applied[1+i] = s.GPUFreq(i)
+			}
+			records = append(records, Record{Freqs: applied, PowerW: sum / float64(c.DwellSeconds)})
+		}
+	}
+	m, err := Fit(records)
+	if err != nil {
+		return nil, records, err
+	}
+	return m, records, nil
+}
+
+// LatencyModel is the fitted frequency-latency law of Eq. (10b).
+type LatencyModel struct {
+	EMin  float64 // latency at f = FMax
+	Gamma float64 // fitted exponent
+	FMax  float64 // reference frequency
+	R2    float64
+}
+
+// Predict evaluates the law at frequency f.
+func (lm *LatencyModel) Predict(f float64) float64 {
+	if f <= 0 {
+		return math.Inf(1)
+	}
+	return lm.EMin * math.Pow(lm.FMax/f, lm.Gamma)
+}
+
+// FitLatency fits e = eMin·(fMax/f)^γ to (frequency, latency) samples by
+// linear regression of log(e) on log(fMax/f). Frequencies and latencies
+// must be positive.
+func FitLatency(freqs, lats []float64, fMax float64) (*LatencyModel, error) {
+	if len(freqs) != len(lats) {
+		return nil, fmt.Errorf("sysid: %d freqs but %d latencies", len(freqs), len(lats))
+	}
+	if len(freqs) < 3 {
+		return nil, fmt.Errorf("sysid: need at least 3 samples, got %d", len(freqs))
+	}
+	if fMax <= 0 {
+		return nil, fmt.Errorf("sysid: reference frequency %g must be positive", fMax)
+	}
+	a := mat.New(len(freqs), 2)
+	b := make([]float64, len(freqs))
+	for i := range freqs {
+		if freqs[i] <= 0 || lats[i] <= 0 {
+			return nil, fmt.Errorf("sysid: sample %d non-positive (f=%g, e=%g)", i, freqs[i], lats[i])
+		}
+		a.Set(i, 0, 1)
+		a.Set(i, 1, math.Log(fMax/freqs[i]))
+		b[i] = math.Log(lats[i])
+	}
+	x, err := mat.LeastSquares(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("sysid: latency fit: %w", err)
+	}
+	lm := &LatencyModel{EMin: math.Exp(x[0]), Gamma: x[1], FMax: fMax}
+	pred := make([]float64, len(freqs))
+	for i := range freqs {
+		pred[i] = lm.Predict(freqs[i])
+	}
+	// R² in the paper is reported on latency (not log-latency).
+	lm.R2 = mat.RSquared(lats, pred)
+	return lm, nil
+}

@@ -1,0 +1,234 @@
+// Package trace records experiment time series and renders them as CSV
+// (for plotting elsewhere) and as ASCII charts (so the cmd tools can
+// show the paper's figures directly in a terminal).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named time series sampled at control-period granularity.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Set is a collection of aligned series (same period axis).
+type Set struct {
+	series []Series
+}
+
+// Add appends a series; all series should have the same length.
+func (s *Set) Add(name string, values []float64) {
+	s.series = append(s.series, Series{Name: name, Values: append([]float64(nil), values...)})
+}
+
+// Names returns the series names in insertion order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.series))
+	for i, sr := range s.series {
+		out[i] = sr.Name
+	}
+	return out
+}
+
+// Get returns the named series' values (nil if absent).
+func (s *Set) Get(name string) []float64 {
+	for _, sr := range s.series {
+		if sr.Name == name {
+			return sr.Values
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits `period,<name1>,<name2>,...` rows. Shorter series pad
+// with empty cells.
+func (s *Set) WriteCSV(w io.Writer) error {
+	if len(s.series) == 0 {
+		return fmt.Errorf("trace: empty set")
+	}
+	header := append([]string{"period"}, s.Names()...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	maxLen := 0
+	for _, sr := range s.series {
+		if len(sr.Values) > maxLen {
+			maxLen = len(sr.Values)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, len(s.series)+1)
+		row = append(row, fmt.Sprintf("%d", i))
+		for _, sr := range s.series {
+			if i < len(sr.Values) {
+				row = append(row, fmt.Sprintf("%.4f", sr.Values[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chart renders series as an ASCII line chart of the given size. A
+// horizontal reference line (e.g. the power set point) is drawn when
+// refLine is non-NaN.
+func Chart(series []Series, width, height int, refLine float64, title string) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, sr := range series {
+		for _, v := range sr.Values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if len(sr.Values) > maxLen {
+			maxLen = len(sr.Values)
+		}
+	}
+	if !math.IsNaN(refLine) {
+		lo = math.Min(lo, refLine)
+		hi = math.Max(hi, refLine)
+	}
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		return title + "\n(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := 0.05 * (hi - lo)
+	lo -= pad
+	hi += pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		r := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	if !math.IsNaN(refLine) {
+		r := rowOf(refLine)
+		for c := 0; c < width; c++ {
+			grid[r][c] = '-'
+		}
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	for si, sr := range series {
+		g := glyphs[si%len(glyphs)]
+		for c := 0; c < width; c++ {
+			idx := c * (maxLen - 1) / maxInt(width-1, 1)
+			if idx >= len(sr.Values) {
+				continue
+			}
+			grid[rowOf(sr.Values[idx])][c] = g
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for r, row := range grid {
+		v := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%9.1f |%s\n", v, string(row))
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", width) + "\n")
+	// Legend.
+	for si, sr := range series {
+		fmt.Fprintf(&b, "%10s %c = %s\n", "", glyphs[si%len(glyphs)], sr.Name)
+	}
+	if !math.IsNaN(refLine) {
+		fmt.Fprintf(&b, "%10s - = reference (%.0f)\n", "", refLine)
+	}
+	return b.String()
+}
+
+// Table renders rows as an aligned text table with a header.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// MarkdownTable renders rows as a GitHub-flavored markdown table.
+func MarkdownTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(header, " | ") + " |\n")
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// SortedKeys returns map keys in sorted order (deterministic output for
+// tables built from maps).
+func SortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

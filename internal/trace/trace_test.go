@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSetAddGetNames(t *testing.T) {
+	var s Set
+	s.Add("power", []float64{1, 2, 3})
+	s.Add("setpoint", []float64{9, 9, 9})
+	if names := s.Names(); len(names) != 2 || names[0] != "power" {
+		t.Fatalf("names = %v", names)
+	}
+	got := s.Get("power")
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("get = %v", got)
+	}
+	if s.Get("missing") != nil {
+		t.Fatal("missing series should be nil")
+	}
+	// Add must copy.
+	src := []float64{5}
+	s.Add("copy", src)
+	src[0] = -1
+	if s.Get("copy")[0] != 5 {
+		t.Fatal("Add aliased the input slice")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var s Set
+	s.Add("a", []float64{1, 2})
+	s.Add("b", []float64{3})
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "period,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "0,1.0000,3.0000") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], ",") {
+		t.Fatalf("short series should pad: %q", lines[2])
+	}
+	var empty Set
+	if err := empty.WriteCSV(&buf); err == nil {
+		t.Fatal("empty set should error")
+	}
+}
+
+func TestChartRendersAllSeriesAndReference(t *testing.T) {
+	out := Chart([]Series{
+		{Name: "capgpu", Values: []float64{700, 800, 900, 900}},
+		{Name: "fixed", Values: []float64{700, 950, 850, 920}},
+	}, 40, 10, 900, "Fig 3")
+	if !strings.Contains(out, "Fig 3") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* = capgpu") || !strings.Contains(out, "o = fixed") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "reference (900)") {
+		t.Fatal("missing reference legend")
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing reference line")
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	if out := Chart(nil, 40, 10, math.NaN(), "empty"); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart = %q", out)
+	}
+	// Constant series must not divide by zero.
+	out := Chart([]Series{{Name: "flat", Values: []float64{5, 5, 5}}}, 0, 0, math.NaN(), "")
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("flat chart broken:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{{"alpha", "1"}, {"b", "22"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	out := MarkdownTable([]string{"a", "b"}, [][]string{{"1", "2"}})
+	want := "| a | b |\n| --- | --- |\n| 1 | 2 |\n"
+	if out != want {
+		t.Fatalf("markdown = %q", out)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"z": 1, "a": 2, "m": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "z" {
+		t.Fatalf("keys = %v", keys)
+	}
+}

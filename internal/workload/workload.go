@@ -1,0 +1,370 @@
+// Package workload models the ML inference pipelines that run on the
+// simulated GPU server: CPU preprocessing workers feeding a shared queue
+// consumed by a GPU running batched inference, plus the CPU-side
+// exhaustive-feature-selection workload.
+//
+// The GPU batch latency follows the paper's frequency-scaling law
+// (Eq. 8/10b):
+//
+//	e(f_g) = e_min · (f_{g,max}/f_g)^γ,  γ ≈ 0.91
+//
+// with a deliberate unmodeled residual and noise so that fitting the
+// pure law against "measured" latencies yields R² ≈ 0.91 as in Fig. 2b.
+// The queue model reproduces the motivation experiment's structure
+// (Table 1): the delay an image sees is batch-fill waiting (dominant
+// when the CPU is the bottleneck and the GPU starves) plus queueing
+// (dominant when the GPU is the bottleneck and the queue saturates).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ModelProfile describes one deep-learning inference model's behavior on
+// a given GPU class. EMinBatch is the batch latency at the GPU's maximum
+// core clock; Gamma is the latency-scaling exponent; ResidualKappa bends
+// the *true* latency away from the pure power law (the controller's
+// model never sees this term, mirroring real model error).
+type ModelProfile struct {
+	Name          string
+	EMinBatch     float64 // seconds per batch at f_g = f_{g,max}
+	Gamma         float64 // frequency-scaling exponent (paper: 0.91)
+	ResidualKappa float64 // curvature of the unmodeled residual
+	BatchSize     int     // images per inference batch
+	NoiseStd      float64 // multiplicative latency noise std
+}
+
+// Zoo returns the model profiles used across the experiments. e_min
+// values are scaled to a V100-16GB class device at 1350 MHz with batch
+// size 20 (t1–t3 of §6.1); GoogLeNet is scaled to the RTX-3090 rig of
+// the motivation experiment (§3.2), whose usable clock window in the
+// paper is 495–810 MHz.
+func Zoo() map[string]ModelProfile {
+	return map[string]ModelProfile{
+		"resnet50": {Name: "resnet50", EMinBatch: 0.090, Gamma: 0.91, ResidualKappa: 0.06, BatchSize: 20, NoiseStd: 0.02},
+		"swin_t":   {Name: "swin_t", EMinBatch: 0.240, Gamma: 0.91, ResidualKappa: 0.08, BatchSize: 20, NoiseStd: 0.02},
+		"vgg16":    {Name: "vgg16", EMinBatch: 0.180, Gamma: 0.91, ResidualKappa: 0.05, BatchSize: 20, NoiseStd: 0.02},
+		// GoogLeNet profile referenced to f_max = 810 MHz (Table 1 rig).
+		"googlenet": {Name: "googlenet", EMinBatch: 1.30, Gamma: 0.91, ResidualKappa: 0.04, BatchSize: 20, NoiseStd: 0.015},
+	}
+}
+
+// EMinForBatch returns the best-case (f = f_max) batch latency at an
+// arbitrary batch size: a fixed launch/assembly overhead plus a
+// per-image term, calibrated so EMinForBatch(BatchSize) == EMinBatch.
+// This is the latency-vs-batch trade the dynamic-batching literature
+// (Nabavinejad et al., Khan et al.) exploits: smaller batches cut
+// latency but waste overhead.
+func (m ModelProfile) EMinForBatch(batch int) float64 {
+	if batch <= 0 {
+		return math.Inf(1)
+	}
+	overhead := 0.2 * m.EMinBatch
+	perImage := 0.8 * m.EMinBatch / float64(m.BatchSize)
+	return overhead + perImage*float64(batch)
+}
+
+// TrueBatchLatency returns the simulator's ground-truth batch latency at
+// GPU frequency fg (MHz) given the profile's reference clock fgMax. The
+// residual term is what system identification cannot capture.
+func (m ModelProfile) TrueBatchLatency(fg, fgMax float64) float64 {
+	return m.TrueBatchLatencyAt(fg, fgMax, m.BatchSize)
+}
+
+// TrueBatchLatencyAt is TrueBatchLatency at an arbitrary batch size.
+func (m ModelProfile) TrueBatchLatencyAt(fg, fgMax float64, batch int) float64 {
+	if fg <= 0 || fgMax <= 0 || batch <= 0 {
+		return math.Inf(1)
+	}
+	ratio := fgMax / fg
+	base := m.EMinForBatch(batch) * math.Pow(ratio, m.Gamma)
+	resid := 1 + m.ResidualKappa*(ratio-1)*(ratio-1)
+	return base * resid
+}
+
+// ModelBatchLatency returns the latency the *controller's* model
+// predicts — the pure power law of Eq. (10b), no residual.
+func (m ModelProfile) ModelBatchLatency(fg, fgMax float64) float64 {
+	if fg <= 0 || fgMax <= 0 {
+		return math.Inf(1)
+	}
+	return m.EMinBatch * math.Pow(fgMax/fg, m.Gamma)
+}
+
+// ModelBatchLatencyAt is the controller-model latency at an arbitrary
+// batch size.
+func (m ModelProfile) ModelBatchLatencyAt(fg, fgMax float64, batch int) float64 {
+	if fg <= 0 || fgMax <= 0 || batch <= 0 {
+		return math.Inf(1)
+	}
+	return m.EMinForBatch(batch) * math.Pow(fgMax/fg, m.Gamma)
+}
+
+// FreqForLatency inverts the model law: the minimum GPU frequency at
+// which predicted latency meets the target (Eq. 10b,c solved for f_g).
+func (m ModelProfile) FreqForLatency(target, fgMax float64) float64 {
+	if target <= 0 || m.Gamma <= 0 {
+		return fgMax
+	}
+	if target <= m.EMinBatch {
+		return fgMax
+	}
+	return fgMax * math.Pow(m.EMinBatch/target, 1/m.Gamma)
+}
+
+// PipelineConfig describes one GPU's inference pipeline.
+type PipelineConfig struct {
+	Model ModelProfile
+	// Workers is the number of dedicated CPU preprocessing processes.
+	Workers int
+	// PreLatencyBase is the per-image preprocessing time of one worker
+	// at the CPU's maximum frequency (seconds per image).
+	PreLatencyBase float64
+	// PreLatencyExp is the frequency sensitivity of preprocessing
+	// (t = base·(f_max/f)^exp). Torchvision-style transforms are partly
+	// memory-bound, so this is below 1.
+	PreLatencyExp float64
+	// ArrivalRateMax is the pipeline's image arrival capacity (img/s)
+	// with the CPU at maximum frequency; it folds in queue handoff and
+	// consumer-thread contention, which is why it is not simply
+	// Workers/PreLatencyBase.
+	ArrivalRateMax float64
+	// ArrivalExp is the frequency sensitivity of the arrival capacity.
+	ArrivalExp float64
+	// QueueCap is the shared queue capacity in images (backpressure
+	// stalls the workers when full).
+	QueueCap float64
+	// ServiceBatchEff is the effective images completed per batch
+	// latency; it is below BatchSize when batches run partially filled
+	// or per-batch launch overhead bites (Table 1's rig). Defaults to
+	// BatchSize.
+	ServiceBatchEff float64
+	// FcMax and FgMax are the reference maximum frequencies (GHz, MHz).
+	FcMax, FgMax float64
+	Seed         int64
+}
+
+// Pipeline is the discrete-time state of one inference pipeline.
+type Pipeline struct {
+	cfg   PipelineConfig
+	rng   *rand.Rand
+	queue float64 // images waiting
+	// extLat multiplies the true batch latency; the simulator uses it to
+	// impose memory-throttle penalties. Always >= 1 in practice.
+	extLat float64
+	// batch is the live batch size (defaults to the model's BatchSize;
+	// adjustable at run time by batching controllers).
+	batch int
+
+	last Stats
+}
+
+// Stats reports one step's observable pipeline behavior.
+type Stats struct {
+	Throughput      float64 // completed inferences, images/second
+	GPUBatchLatency float64 // observed seconds per batch (with noise)
+	QueueDelay      float64 // seconds an image spends queued (incl. batch fill)
+	PreLatency      float64 // per-worker preprocessing seconds per image
+	GPUUtil         float64 // 0..1
+	CPUUtil         float64 // 0..1, utilization of the feeder cores
+	QueueLen        float64 // images in queue at end of step
+	ArrivalRate     float64 // images/second offered by preprocessing
+	ServiceRate     float64 // images/second the GPU could complete
+}
+
+// NewPipeline validates the config and returns a pipeline.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if cfg.Model.BatchSize <= 0 {
+		return nil, fmt.Errorf("workload: batch size %d must be positive", cfg.Model.BatchSize)
+	}
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("workload: worker count %d must be positive", cfg.Workers)
+	}
+	if cfg.ArrivalRateMax <= 0 || cfg.PreLatencyBase <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate and preprocess latency must be positive")
+	}
+	if cfg.FcMax <= 0 || cfg.FgMax <= 0 {
+		return nil, fmt.Errorf("workload: reference frequencies must be positive")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4 * float64(cfg.Model.BatchSize)
+	}
+	if cfg.ServiceBatchEff <= 0 {
+		cfg.ServiceBatchEff = float64(cfg.Model.BatchSize)
+	}
+	return &Pipeline{cfg: cfg, extLat: 1, batch: cfg.Model.BatchSize, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Config returns the pipeline configuration.
+func (p *Pipeline) Config() PipelineConfig { return p.cfg }
+
+// Last returns the stats of the most recent step.
+func (p *Pipeline) Last() Stats { return p.last }
+
+// MaxThroughput returns the pipeline's best achievable throughput, used
+// to normalize per-device throughput for the weight assignment
+// algorithm (§3.1, step 2).
+func (p *Pipeline) MaxThroughput() float64 {
+	service := p.cfg.ServiceBatchEff / p.cfg.Model.TrueBatchLatency(p.cfg.FgMax, p.cfg.FgMax)
+	return math.Min(p.cfg.ArrivalRateMax, service)
+}
+
+// Step advances the pipeline by dt seconds with the CPU at fc GHz and
+// the GPU at fg MHz, returning the step's stats.
+func (p *Pipeline) Step(dt, fc, fg float64) Stats {
+	c := p.cfg
+	if dt <= 0 {
+		return p.last
+	}
+	fc = math.Max(fc, 1e-6)
+	fg = math.Max(fg, 1e-6)
+
+	// Offered arrival rate from the preprocessing stage.
+	lambda := c.ArrivalRateMax * math.Pow(fc/c.FcMax, c.ArrivalExp)
+	// GPU service capability at the live batch size.
+	eTrue := c.Model.TrueBatchLatencyAt(fg, c.FgMax, p.batch)
+	if p.extLat > 1 {
+		eTrue *= p.extLat
+	}
+	noise := 1 + c.Model.NoiseStd*p.rng.NormFloat64()
+	if noise < 0.5 {
+		noise = 0.5
+	}
+	eObs := eTrue * noise
+	// Effective images per batch time scales with the live batch size.
+	beff := c.ServiceBatchEff * float64(p.batch) / float64(c.Model.BatchSize)
+	mu := beff / eTrue
+
+	// Queue update with backpressure: arrivals beyond capacity are
+	// shed by stalling workers (reduces effective CPU utilization).
+	room := c.QueueCap - p.queue + mu*dt
+	arr := math.Min(lambda*dt, math.Max(room, 0))
+	served := math.Min(p.queue+arr, mu*dt)
+	p.queue = math.Min(math.Max(p.queue+arr-served, 0), c.QueueCap)
+
+	throughput := served / dt
+	rho := math.Min(lambda/mu, 1)
+	// Steady-state queueing estimate (M/M/1-like, capped) keeps the
+	// reported delay smooth at the control period granularity.
+	qSteady := math.Min(rho*rho/math.Max(1-rho, 0.02), c.QueueCap)
+	fillDelay := float64(p.batch) / (2 * math.Max(lambda, 1e-9))
+	queueDelay := qSteady/math.Max(mu, 1e-9) + fillDelay
+
+	preLat := c.PreLatencyBase * math.Pow(c.FcMax/fc, c.PreLatencyExp)
+
+	p.last = Stats{
+		Throughput:      throughput,
+		GPUBatchLatency: eObs,
+		QueueDelay:      queueDelay,
+		PreLatency:      preLat,
+		GPUUtil:         math.Min(throughput/mu, 1),
+		CPUUtil:         math.Min(throughput/math.Max(lambda, 1e-9), 1),
+		QueueLen:        p.queue,
+		ArrivalRate:     lambda,
+		ServiceRate:     mu,
+	}
+	return p.last
+}
+
+// SetBatchSize adjusts the live batch size (≥ 1); batching controllers
+// use it to trade throughput efficiency for per-batch latency.
+func (p *Pipeline) SetBatchSize(b int) error {
+	if b < 1 {
+		return fmt.Errorf("workload: batch size %d must be >= 1", b)
+	}
+	p.batch = b
+	return nil
+}
+
+// BatchSize returns the live batch size.
+func (p *Pipeline) BatchSize() int { return p.batch }
+
+// SetExternalLatencyFactor imposes an external multiplicative latency
+// penalty (>= 1), e.g. a memory-clock throttle. Values below 1 are
+// clamped to 1.
+func (p *Pipeline) SetExternalLatencyFactor(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	p.extLat = f
+}
+
+// Reset clears queue state and reseeds the noise stream so repeated
+// experiment runs are independent of each other but reproducible.
+func (p *Pipeline) Reset() {
+	p.queue = 0
+	p.extLat = 1
+	p.batch = p.cfg.Model.BatchSize
+	p.rng = rand.New(rand.NewSource(p.cfg.Seed))
+	p.last = Stats{}
+}
+
+// CPUWorkloadConfig describes the host-CPU batch workload (exhaustive
+// feature selection in the paper).
+type CPUWorkloadConfig struct {
+	// RateAtMax is subsets evaluated per second at the CPU's maximum
+	// frequency (calibrate against internal/fsel; see
+	// examples/featureselect).
+	RateAtMax float64
+	// RateExp is the frequency sensitivity (CPU-bound => ~1).
+	RateExp float64
+	FcMax   float64
+	// NoiseStd is multiplicative throughput noise.
+	NoiseStd float64
+	Seed     int64
+}
+
+// CPUWorkload models the feature-selection job's observable behavior.
+type CPUWorkload struct {
+	cfg  CPUWorkloadConfig
+	rng  *rand.Rand
+	last CPUStats
+}
+
+// CPUStats reports the CPU workload's per-step observables.
+type CPUStats struct {
+	Throughput float64 // feature subsets per second
+	Latency    float64 // seconds per subset (cross-validation wall time)
+	Util       float64 // utilization of the workload's cores
+}
+
+// NewCPUWorkload validates the config and returns a workload.
+func NewCPUWorkload(cfg CPUWorkloadConfig) (*CPUWorkload, error) {
+	if cfg.RateAtMax <= 0 || cfg.FcMax <= 0 {
+		return nil, fmt.Errorf("workload: cpu workload rate and fcmax must be positive")
+	}
+	if cfg.RateExp == 0 {
+		cfg.RateExp = 1
+	}
+	return &CPUWorkload{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Step advances the CPU workload by dt seconds at frequency fc (GHz).
+func (w *CPUWorkload) Step(dt, fc float64) CPUStats {
+	fc = math.Max(fc, 1e-6)
+	rate := w.cfg.RateAtMax * math.Pow(fc/w.cfg.FcMax, w.cfg.RateExp)
+	rate *= 1 + w.cfg.NoiseStd*w.rng.NormFloat64()
+	if rate < 1e-9 {
+		rate = 1e-9
+	}
+	w.last = CPUStats{
+		Throughput: rate,
+		Latency:    1 / rate,
+		Util:       1, // batch job: always runnable
+	}
+	return w.last
+}
+
+// Last returns the stats of the most recent step.
+func (w *CPUWorkload) Last() CPUStats { return w.last }
+
+// MaxThroughput returns the workload's best achievable rate.
+func (w *CPUWorkload) MaxThroughput() float64 { return w.cfg.RateAtMax }
+
+// Reset reseeds the workload's noise stream.
+func (w *CPUWorkload) Reset() {
+	w.rng = rand.New(rand.NewSource(w.cfg.Seed))
+	w.last = CPUStats{}
+}

@@ -1,0 +1,331 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func googlenetPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline(PipelineConfig{
+		Model:           Zoo()["googlenet"],
+		Workers:         10,
+		PreLatencyBase:  0.13,
+		PreLatencyExp:   0.3,
+		ArrivalRateMax:  7.3,
+		ArrivalExp:      0.5,
+		QueueCap:        8,
+		ServiceBatchEff: 11.8,
+		FcMax:           2.1,
+		FgMax:           810,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestZooProfiles(t *testing.T) {
+	z := Zoo()
+	for _, name := range []string{"resnet50", "swin_t", "vgg16", "googlenet"} {
+		m, ok := z[name]
+		if !ok {
+			t.Fatalf("missing profile %q", name)
+		}
+		if m.EMinBatch <= 0 || m.Gamma <= 0 || m.BatchSize <= 0 {
+			t.Fatalf("degenerate profile %+v", m)
+		}
+	}
+}
+
+func TestLatencyLawMonotoneDecreasing(t *testing.T) {
+	m := Zoo()["resnet50"]
+	prev := math.Inf(1)
+	for f := 435.0; f <= 1350; f += 15 {
+		e := m.ModelBatchLatency(f, 1350)
+		if e >= prev {
+			t.Fatalf("latency not decreasing at f=%g: %g >= %g", f, e, prev)
+		}
+		prev = e
+	}
+	if got := m.ModelBatchLatency(1350, 1350); math.Abs(got-m.EMinBatch) > 1e-12 {
+		t.Fatalf("latency at fmax = %g, want EMin %g", got, m.EMinBatch)
+	}
+}
+
+func TestTrueLatencyAboveModelAwayFromMax(t *testing.T) {
+	// The residual term only adds latency (kappa > 0), and vanishes at fmax.
+	m := Zoo()["swin_t"]
+	if got, want := m.TrueBatchLatency(1350, 1350), m.EMinBatch; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("true latency at fmax = %g, want %g", got, want)
+	}
+	for f := 435.0; f < 1350; f += 45 {
+		if m.TrueBatchLatency(f, 1350) <= m.ModelBatchLatency(f, 1350) {
+			t.Fatalf("residual should increase latency at f=%g", f)
+		}
+	}
+}
+
+func TestFreqForLatencyInvertsModel(t *testing.T) {
+	m := Zoo()["vgg16"]
+	for _, target := range []float64{0.2, 0.3, 0.5, 1.0} {
+		f := m.FreqForLatency(target, 1350)
+		if f > 1350+1e-9 {
+			t.Fatalf("inverted frequency %g above fmax", f)
+		}
+		e := m.ModelBatchLatency(f, 1350)
+		if math.Abs(e-target) > 1e-9*target && f < 1350 {
+			t.Fatalf("target %g: freq %g gives latency %g", target, f, e)
+		}
+	}
+	// Unreachable target (below EMin) clamps at fmax.
+	if f := m.FreqForLatency(m.EMinBatch/2, 1350); f != 1350 {
+		t.Fatalf("unreachable target should clamp to fmax, got %g", f)
+	}
+	if f := m.FreqForLatency(-1, 1350); f != 1350 {
+		t.Fatalf("nonpositive target should clamp to fmax, got %g", f)
+	}
+}
+
+func TestLatencyDegenerateInputs(t *testing.T) {
+	m := Zoo()["resnet50"]
+	if !math.IsInf(m.TrueBatchLatency(0, 1350), 1) {
+		t.Fatal("zero frequency should give infinite latency")
+	}
+	if !math.IsInf(m.ModelBatchLatency(-5, 1350), 1) {
+		t.Fatal("negative frequency should give infinite latency")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	base := PipelineConfig{
+		Model: Zoo()["resnet50"], Workers: 1, PreLatencyBase: 0.1,
+		ArrivalRateMax: 10, FcMax: 2.4, FgMax: 1350,
+	}
+	bad := base
+	bad.Model.BatchSize = 0
+	if _, err := NewPipeline(bad); err == nil {
+		t.Fatal("expected batch-size error")
+	}
+	bad = base
+	bad.Workers = 0
+	if _, err := NewPipeline(bad); err == nil {
+		t.Fatal("expected worker error")
+	}
+	bad = base
+	bad.ArrivalRateMax = 0
+	if _, err := NewPipeline(bad); err == nil {
+		t.Fatal("expected arrival-rate error")
+	}
+	bad = base
+	bad.FgMax = 0
+	if _, err := NewPipeline(bad); err == nil {
+		t.Fatal("expected fgmax error")
+	}
+}
+
+func TestPipelineThroughputCPUvsGPUBound(t *testing.T) {
+	p := googlenetPipeline(t)
+	// Warm up to steady state at (low CPU, high GPU): CPU-bound.
+	var cpuBound Stats
+	for i := 0; i < 60; i++ {
+		cpuBound = p.Step(1, 1.1, 810)
+	}
+	p.Reset()
+	var gpuBound Stats
+	for i := 0; i < 60; i++ {
+		gpuBound = p.Step(1, 2.1, 495)
+	}
+	if cpuBound.ArrivalRate >= cpuBound.ServiceRate {
+		t.Fatalf("CPU-only config should starve the GPU: arrival %g vs service %g",
+			cpuBound.ArrivalRate, cpuBound.ServiceRate)
+	}
+	if gpuBound.ArrivalRate <= gpuBound.ServiceRate {
+		t.Fatalf("GPU-only config should saturate the GPU: arrival %g vs service %g",
+			gpuBound.ArrivalRate, gpuBound.ServiceRate)
+	}
+	// Throughput equals the bottleneck rate (within a few percent).
+	if math.Abs(cpuBound.Throughput-cpuBound.ArrivalRate) > 0.15*cpuBound.ArrivalRate {
+		t.Fatalf("CPU-bound throughput %g should track arrival %g", cpuBound.Throughput, cpuBound.ArrivalRate)
+	}
+	if math.Abs(gpuBound.Throughput-gpuBound.ServiceRate) > 0.15*gpuBound.ServiceRate {
+		t.Fatalf("GPU-bound throughput %g should track service %g", gpuBound.Throughput, gpuBound.ServiceRate)
+	}
+}
+
+func TestPipelineMidpointBeatsExtremes(t *testing.T) {
+	// The Table-1 shape: balanced mid frequencies outperform both
+	// one-sided configurations.
+	run := func(fc, fg float64) float64 {
+		p := googlenetPipeline(t)
+		sum := 0.0
+		for i := 0; i < 100; i++ {
+			st := p.Step(1, fc, fg)
+			if i >= 20 {
+				sum += st.Throughput
+			}
+		}
+		return sum / 80
+	}
+	cpuOnly := run(1.1, 810)
+	gpuOnly := run(2.1, 495)
+	mid := run(1.6, 660)
+	if mid <= cpuOnly || mid <= gpuOnly {
+		t.Fatalf("midpoint throughput %g should beat CPU-only %g and GPU-only %g",
+			mid, cpuOnly, gpuOnly)
+	}
+}
+
+func TestPipelineQueueConservation(t *testing.T) {
+	// Images are conserved: queue length never negative, never above cap.
+	p := googlenetPipeline(t)
+	for i := 0; i < 500; i++ {
+		fc := 1.1 + 1.0*math.Abs(math.Sin(float64(i)/13))
+		fg := 495 + 315*math.Abs(math.Cos(float64(i)/7))
+		st := p.Step(1, fc, fg)
+		if st.QueueLen < -1e-9 || st.QueueLen > p.Config().QueueCap+1e-9 {
+			t.Fatalf("queue length %g outside [0, %g]", st.QueueLen, p.Config().QueueCap)
+		}
+		if st.Throughput < 0 {
+			t.Fatalf("negative throughput %g", st.Throughput)
+		}
+	}
+}
+
+func TestPipelineUtilizationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		p, err := NewPipeline(PipelineConfig{
+			Model: Zoo()["resnet50"], Workers: 3, PreLatencyBase: 0.01,
+			PreLatencyExp: 0.5, ArrivalRateMax: 150, ArrivalExp: 0.6,
+			QueueCap: 40, FcMax: 2.4, FgMax: 1350, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			st := p.Step(1, 1.0+1.4*float64(i%7)/6, 435+915*float64(i%5)/4)
+			if st.GPUUtil < 0 || st.GPUUtil > 1 || st.CPUUtil < 0 || st.CPUUtil > 1 {
+				return false
+			}
+			if st.QueueDelay < 0 || math.IsNaN(st.QueueDelay) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineResetReproducible(t *testing.T) {
+	p := googlenetPipeline(t)
+	first := make([]float64, 20)
+	for i := range first {
+		first[i] = p.Step(1, 1.6, 660).GPUBatchLatency
+	}
+	p.Reset()
+	for i := range first {
+		if got := p.Step(1, 1.6, 660).GPUBatchLatency; got != first[i] {
+			t.Fatalf("step %d after reset: %g, want %g", i, got, first[i])
+		}
+	}
+}
+
+func TestPipelineZeroDtReturnsLast(t *testing.T) {
+	p := googlenetPipeline(t)
+	want := p.Step(1, 1.6, 660)
+	got := p.Step(0, 2.1, 810)
+	if got != want {
+		t.Fatal("zero-dt step should return previous stats unchanged")
+	}
+}
+
+func TestMaxThroughputIsBottleneckAtMax(t *testing.T) {
+	p := googlenetPipeline(t)
+	mt := p.MaxThroughput()
+	service := 11.8 / Zoo()["googlenet"].TrueBatchLatency(810, 810)
+	want := math.Min(7.3, service)
+	if math.Abs(mt-want) > 1e-9 {
+		t.Fatalf("MaxThroughput = %g, want %g", mt, want)
+	}
+	// Observed steady-state throughput never exceeds it (beyond noise).
+	for i := 0; i < 50; i++ {
+		st := p.Step(1, 2.1, 810)
+		if st.Throughput > mt*1.1 {
+			t.Fatalf("throughput %g exceeds max %g", st.Throughput, mt)
+		}
+	}
+}
+
+func TestCPUWorkload(t *testing.T) {
+	w, err := NewCPUWorkload(CPUWorkloadConfig{RateAtMax: 40, FcMax: 2.4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := w.Step(1, 2.4)
+	half := w.Step(1, 1.2)
+	if full.Throughput <= half.Throughput {
+		t.Fatalf("throughput should rise with frequency: %g vs %g", full.Throughput, half.Throughput)
+	}
+	if math.Abs(full.Latency*full.Throughput-1) > 1e-9 {
+		t.Fatalf("latency should be 1/throughput: %g * %g", full.Latency, full.Throughput)
+	}
+	if w.MaxThroughput() != 40 {
+		t.Fatalf("MaxThroughput = %g", w.MaxThroughput())
+	}
+	if w.Last() != half {
+		t.Fatal("Last() should return most recent stats")
+	}
+}
+
+func TestCPUWorkloadLinearScaling(t *testing.T) {
+	w, err := NewCPUWorkload(CPUWorkloadConfig{RateAtMax: 100, RateExp: 1, FcMax: 2.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With zero noise configured std, scaling is exactly linear.
+	got := w.Step(1, 1.0).Throughput
+	if math.Abs(got-50) > 1e-9 {
+		t.Fatalf("half frequency should halve rate: %g", got)
+	}
+}
+
+func TestCPUWorkloadValidation(t *testing.T) {
+	if _, err := NewCPUWorkload(CPUWorkloadConfig{RateAtMax: 0, FcMax: 2}); err == nil {
+		t.Fatal("expected rate error")
+	}
+	if _, err := NewCPUWorkload(CPUWorkloadConfig{RateAtMax: 10, FcMax: 0}); err == nil {
+		t.Fatal("expected fcmax error")
+	}
+}
+
+func TestCPUWorkloadResetReproducible(t *testing.T) {
+	w, err := NewCPUWorkload(CPUWorkloadConfig{RateAtMax: 40, FcMax: 2.4, NoiseStd: 0.05, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := w.Step(1, 2.0).Throughput
+	w.Reset()
+	b := w.Step(1, 2.0).Throughput
+	if a != b {
+		t.Fatalf("reset not reproducible: %g vs %g", a, b)
+	}
+}
+
+func BenchmarkPipelineStep(b *testing.B) {
+	p, err := NewPipeline(PipelineConfig{
+		Model: Zoo()["resnet50"], Workers: 4, PreLatencyBase: 0.02,
+		PreLatencyExp: 0.5, ArrivalRateMax: 200, ArrivalExp: 0.5,
+		QueueCap: 40, FcMax: 2.4, FgMax: 1350, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Step(1, 2.0, 1000)
+	}
+}
