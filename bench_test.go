@@ -319,3 +319,20 @@ func BenchmarkExtensionBatchSLO(b *testing.B) {
 	b.ReportMetric(rows[0].MissRate, "fixedbatch_missRate")
 	b.ReportMetric(rows[1].MissRate, "batching_missRate")
 }
+
+func BenchmarkRobustnessFaults(b *testing.B) {
+	var res *experiments.RobustnessResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionRobustness(5, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(float64(row.CapViolations), metricName(row.Config, "_viol"))
+		b.ReportMetric(row.WorstExcessW, metricName(row.Config, "_worstW"))
+		b.ReportMetric(row.SLOMissRate, metricName(row.Config, "_sloMiss"))
+		b.ReportMetric(float64(row.RecoveryPeriods), metricName(row.Config, "_recovery"))
+	}
+}

@@ -14,6 +14,9 @@
 //	-periods int         control periods to run (default 100)
 //	-seed int            simulation seed (default 1)
 //	-csv string          optional path to write the per-period CSV trace
+//	-faults string       fault-injection DSL, e.g. "meter-dropout@30+10"
+//	                     (kind@start+duration[:target][*magnitude]; ';'-joined)
+//	-no-degrade          disable graceful degradation (the R1 strawman)
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/trace"
 )
 
@@ -34,6 +38,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvPath := flag.String("csv", "", "write per-period CSV trace to this path")
 	sloMode := flag.Bool("slo", false, "run the §6.4 SLO-adaptation scenario and chart per-GPU latency vs SLO")
+	faultsDSL := flag.String("faults", "", "fault schedule DSL ("+faults.KindNames()+"); try "+experiments.RobustnessScenario)
+	noDegrade := flag.Bool("no-degrade", false, "disable graceful degradation under -faults (the unsafe strawman)")
 	flag.Parse()
 
 	if *sloMode {
@@ -41,16 +47,35 @@ func main() {
 		return
 	}
 
-	res, err := experiments.RunSession(*controller, *seed, *periods,
-		experiments.FixedSetpoint(*setpoint), nil)
+	var sched *faults.Schedule
+	if *faultsDSL != "" {
+		var err error
+		sched, err = faults.Parse(*faultsDSL, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
+			os.Exit(1)
+		}
+	}
+
+	res, err := experiments.RunFaultSession(*controller, *seed, *periods,
+		experiments.FixedSetpoint(*setpoint), nil, sched, *noDegrade)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
 		os.Exit(1)
 	}
 
 	power := res.PowerSeries()
+	series := []trace.Series{{Name: res.Controller, Values: power}}
+	if sched != nil {
+		// Under faults the meter lies; chart the breaker-side truth too.
+		truth := make([]float64, len(res.Records))
+		for i, r := range res.Records {
+			truth[i] = r.TrueAvgPowerW
+		}
+		series = append(series, trace.Series{Name: "true power", Values: truth})
+	}
 	fmt.Print(trace.Chart(
-		[]trace.Series{{Name: res.Controller, Values: power}},
+		series,
 		72, 16, *setpoint,
 		fmt.Sprintf("Server power under %s (set point %.0f W, %d periods)", res.Controller, *setpoint, *periods)))
 	fmt.Println()
@@ -87,6 +112,35 @@ func main() {
 	fmt.Printf("steady-state throughput: GPU0 %.1f img/s, GPU1 %.1f img/s, GPU2 %.1f img/s, CPU %.1f subsets/s\n",
 		gpuT[0]/n, gpuT[1]/n, gpuT[2]/n, cpuT/n)
 
+	if sched != nil {
+		degraded, failSafe, trueViol := 0, 0, 0
+		worst := 0.0
+		for _, r := range res.Records {
+			if r.Degraded {
+				degraded++
+			}
+			if r.FailSafe {
+				failSafe++
+			}
+			if r.TrueAvgPowerW > *setpoint*1.02 {
+				trueViol++
+			}
+			if d := r.TrueAvgPowerW - *setpoint; d > worst {
+				worst = d
+			}
+		}
+		fmt.Println()
+		fmt.Print(trace.Table(
+			[]string{"robustness", "value"},
+			[][]string{
+				{"fault schedule", sched.String()},
+				{"degraded periods (last-good fallback)", fmt.Sprintf("%d", degraded)},
+				{"fail-safe periods (descent to f_min)", fmt.Sprintf("%d", failSafe)},
+				{"true-power cap violations (>2%)", fmt.Sprintf("%d / %d periods", trueViol, *periods)},
+				{"worst true-power excess", fmt.Sprintf("%.1f W", worst)},
+			}))
+	}
+
 	if *csvPath != "" {
 		var set trace.Set
 		set.Add("power_w", power)
@@ -98,6 +152,19 @@ func main() {
 		}
 		set.Add("setpoint_w", sp)
 		set.Add("cpu_ghz", cpu)
+		if sched != nil {
+			truth := make([]float64, len(power))
+			degraded := make([]bool, len(power))
+			failSafe := make([]bool, len(power))
+			for i, r := range res.Records {
+				truth[i] = r.TrueAvgPowerW
+				degraded[i] = r.Degraded
+				failSafe[i] = r.FailSafe
+			}
+			set.Add("true_power_w", truth)
+			set.AddFlags("degraded", degraded)
+			set.AddFlags("failsafe", failSafe)
+		}
 		for g := 0; g < len(res.Records[0].GPUFreqMHz); g++ {
 			col := make([]float64, len(power))
 			for i, r := range res.Records {

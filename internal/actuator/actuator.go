@@ -91,6 +91,12 @@ func (d *DeltaSigma) quantize(v float64) float64 {
 	return level
 }
 
+// Range returns the modulator's [min, max] frequency window.
+func (d *DeltaSigma) Range() (min, max float64) { return d.min, d.max }
+
+// Step returns the grid step (0 = continuous).
+func (d *DeltaSigma) Step() float64 { return d.step }
+
 // Levels returns the discrete grid (useful for the Fixed-Step baseline,
 // which moves exactly one level at a time).
 func (d *DeltaSigma) Levels() []float64 {
@@ -147,6 +153,73 @@ func (b *Bank) Next(targets []float64) ([]float64, error) {
 		out[i] = b.mods[i].Next(t)
 	}
 	return out, nil
+}
+
+// ApplyFunc delivers one discrete level to device dev (0 = CPU, 1.. =
+// GPUs) and returns the frequency the hardware reports afterwards —
+// the sysfs/nvidia-smi read-back a production agent performs after
+// every write. attempt numbers the delivery try (0 = first), so fault
+// injectors can decide each retry independently and deterministically.
+type ApplyFunc func(dev, attempt int, level float64) float64
+
+// ApplyReport is the outcome of one verified command cycle.
+type ApplyReport struct {
+	Commanded []float64 // modulator outputs, one per device
+	Applied   []float64 // hardware read-back after the final attempt
+	Diverged  []bool    // applied differs from commanded beyond tolerance
+	Retries   int       // total re-deliveries across all devices
+}
+
+// AnyDiverged reports whether any device ended the cycle off its
+// commanded level.
+func (r *ApplyReport) AnyDiverged() bool {
+	for _, d := range r.Diverged {
+		if d {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyVerified resolves the fractional targets through the modulators
+// and delivers each resulting level with applied-vs-commanded
+// verification: after every delivery the read-back is compared against
+// the command (tolerance: half a grid step, or 1e-9 on continuous
+// grids), and a mismatched device is retried up to maxRetries times.
+// Devices still diverged after the retry budget are flagged in the
+// report rather than failing the cycle — a capping loop must keep
+// running on the devices it can still steer.
+func (b *Bank) ApplyVerified(targets []float64, apply ApplyFunc, maxRetries int) (*ApplyReport, error) {
+	if len(targets) != len(b.mods) {
+		return nil, fmt.Errorf("actuator: %d targets for %d modulators", len(targets), len(b.mods))
+	}
+	if apply == nil {
+		return nil, fmt.Errorf("actuator: nil apply function")
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	rep := &ApplyReport{
+		Commanded: make([]float64, len(targets)),
+		Applied:   make([]float64, len(targets)),
+		Diverged:  make([]bool, len(targets)),
+	}
+	for i, t := range targets {
+		cmd := b.mods[i].Next(t)
+		rep.Commanded[i] = cmd
+		tol := b.mods[i].Step() / 2
+		if tol <= 0 {
+			tol = 1e-9
+		}
+		got := apply(i, 0, cmd)
+		for attempt := 1; math.Abs(got-cmd) > tol && attempt <= maxRetries; attempt++ {
+			rep.Retries++
+			got = apply(i, attempt, cmd)
+		}
+		rep.Applied[i] = got
+		rep.Diverged[i] = math.Abs(got-cmd) > tol
+	}
+	return rep, nil
 }
 
 // SetEnabled toggles modulation for the whole bank.

@@ -222,3 +222,73 @@ func BenchmarkDeltaSigmaNext(b *testing.B) {
 		d.Next(987.6)
 	}
 }
+
+func TestApplyVerifiedHappyPath(t *testing.T) {
+	b, _ := NewBank([]float64{1.0, 435}, []float64{2.4, 1350}, []float64{0.1, 15})
+	rep, err := b.ApplyVerified([]float64{1.73, 900}, func(dev, attempt int, level float64) float64 {
+		return level // hardware honors every command
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries != 0 || rep.AnyDiverged() {
+		t.Fatalf("clean apply reported retries=%d diverged=%v", rep.Retries, rep.Diverged)
+	}
+	for i := range rep.Commanded {
+		if rep.Applied[i] != rep.Commanded[i] {
+			t.Fatalf("device %d applied %g != commanded %g", i, rep.Applied[i], rep.Commanded[i])
+		}
+	}
+}
+
+func TestApplyVerifiedRetryRecovers(t *testing.T) {
+	b, _ := NewBank([]float64{435}, []float64{1350}, []float64{15})
+	calls := 0
+	rep, err := b.ApplyVerified([]float64{900}, func(dev, attempt int, level float64) float64 {
+		calls++
+		if attempt == 0 {
+			return 435 // first delivery lost: clock still at the old level
+		}
+		return level
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 || rep.Retries != 1 {
+		t.Fatalf("calls=%d retries=%d, want one retry that succeeds", calls, rep.Retries)
+	}
+	if rep.AnyDiverged() {
+		t.Fatalf("recovered apply still flagged diverged: %v", rep.Diverged)
+	}
+}
+
+func TestApplyVerifiedBoundedAndFlagged(t *testing.T) {
+	b, _ := NewBank([]float64{435}, []float64{1350}, []float64{15})
+	calls := 0
+	rep, err := b.ApplyVerified([]float64{900}, func(dev, attempt int, level float64) float64 {
+		calls++
+		return 435 // every delivery lost
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Fatalf("made %d attempts, want 1 + 3 retries", calls)
+	}
+	if !rep.AnyDiverged() || !rep.Diverged[0] {
+		t.Fatal("persistent loss not flagged as divergence")
+	}
+	if rep.Applied[0] != 435 {
+		t.Fatalf("applied = %g, want the stale 435", rep.Applied[0])
+	}
+}
+
+func TestApplyVerifiedValidation(t *testing.T) {
+	b, _ := NewBank([]float64{435}, []float64{1350}, []float64{15})
+	if _, err := b.ApplyVerified([]float64{900, 900}, func(int, int, float64) float64 { return 0 }, 1); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := b.ApplyVerified([]float64{900}, nil, 1); err == nil {
+		t.Fatal("expected nil-applier error")
+	}
+}

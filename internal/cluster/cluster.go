@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -65,6 +66,15 @@ func (n *Node) Records() []core.PeriodRecord { return n.records }
 
 // Assigned returns the node's current power share.
 func (n *Node) Assigned() float64 { return n.assigned }
+
+// SetFaults attaches a node-local fault schedule (meter, actuator and
+// GPU faults) to the node's control loop. Rack-plane server-dropout
+// faults live on the Coordinator instead, which owns the heartbeats.
+func (n *Node) SetFaults(s *faults.Schedule) { n.harness.Faults = s }
+
+// Harness exposes the node's control loop for configuration
+// (degradation policy, retry budget).
+func (n *Node) Harness() *core.Harness { return n.harness }
 
 // Observation is the per-node state the coordinator allocates on.
 type Observation struct {
@@ -218,6 +228,23 @@ type Coordinator struct {
 	// reallocations (default 2: the outer loop must be slower than the
 	// inner ones it commands).
 	RackPeriods int
+
+	// Faults carries the rack-plane fault schedule; ServerDropout
+	// entries (target = node index) make that node miss heartbeats.
+	Faults *faults.Schedule
+	// HeartbeatMisses is how many consecutive missed heartbeats declare
+	// a node dead and release its budget for redistribution (default 2:
+	// one miss is a transient, not a failure).
+	HeartbeatMisses int
+	// GuardBandFrac inflates a dead node's last reported power when
+	// reserving breaker budget for it (default 0.05), since a node
+	// running open-loop can drift above its last report.
+	GuardBandFrac float64
+
+	missed     []int     // consecutive missed heartbeats per node
+	lastReport []float64 // last power heard from each node
+	haveReport []bool
+	reservedW  float64 // breaker budget held back at the last realloc
 }
 
 // NewCoordinator assembles a rack controller.
@@ -228,13 +255,44 @@ func NewCoordinator(nodes []*Node, policy Policy, budget func(int) float64) (*Co
 	if policy == nil || budget == nil {
 		return nil, fmt.Errorf("cluster: nil policy or budget schedule")
 	}
-	return &Coordinator{Nodes: nodes, Policy: policy, BudgetW: budget, RackPeriods: 2}, nil
+	return &Coordinator{
+		Nodes: nodes, Policy: policy, BudgetW: budget, RackPeriods: 2,
+		HeartbeatMisses: 2, GuardBandFrac: 0.05,
+		missed:     make([]int, len(nodes)),
+		lastReport: make([]float64, len(nodes)),
+		haveReport: make([]bool, len(nodes)),
+	}, nil
 }
 
-// observe builds the per-node allocation inputs from the latest records.
-func (c *Coordinator) observe() []Observation {
-	obs := make([]Observation, len(c.Nodes))
-	for i, n := range c.Nodes {
+// NodeDead reports whether node i has exceeded the heartbeat-miss
+// threshold and had its budget redistributed.
+func (c *Coordinator) NodeDead(i int) bool {
+	return i >= 0 && i < len(c.missed) && c.missed[i] >= c.heartbeatMisses()
+}
+
+// Liveness returns a copy of the per-node consecutive-miss counters
+// (0 = heartbeating).
+func (c *Coordinator) Liveness() []int {
+	return append([]int(nil), c.missed...)
+}
+
+// ReservedW returns the breaker budget held back for silent nodes at
+// the most recent reallocation.
+func (c *Coordinator) ReservedW() float64 { return c.reservedW }
+
+func (c *Coordinator) heartbeatMisses() int {
+	if c.HeartbeatMisses <= 0 {
+		return 2
+	}
+	return c.HeartbeatMisses
+}
+
+// observe builds the per-node allocation inputs from the latest records
+// for the given node indices.
+func (c *Coordinator) observe(idx []int) []Observation {
+	obs := make([]Observation, len(idx))
+	for j, i := range idx {
+		n := c.Nodes[i]
 		o := Observation{
 			Name:      n.Name,
 			Priority:  n.Priority,
@@ -258,34 +316,123 @@ func (c *Coordinator) observe() []Observation {
 		} else {
 			o.Demand = 1 // unknown: assume hungry
 		}
-		obs[i] = o
+		obs[j] = o
 	}
 	return obs
 }
 
 // Step advances every node through one server control period with the
 // given index, reallocating the rack budget on the RackPeriods schedule.
-// Hierarchical coordinators drive racks through this entry point.
+// Nodes whose heartbeat is missing run open-loop (frequencies frozen,
+// power still drawn); nodes missing HeartbeatMisses consecutive beats
+// are declared dead, a guard-banded reservation of their last reported
+// power is held back from the breaker budget, and the remainder is
+// redistributed among the heartbeating nodes. Hierarchical
+// coordinators drive racks through this entry point.
 func (c *Coordinator) Step(k int) error {
 	if c.RackPeriods < 1 {
 		c.RackPeriods = 1
 	}
-	if k%c.RackPeriods == 0 {
-		caps := c.Policy.Allocate(c.BudgetW(k), c.observe())
-		if len(caps) != len(c.Nodes) {
-			return fmt.Errorf("cluster: policy %s returned %d caps for %d nodes",
-				c.Policy.Name(), len(caps), len(c.Nodes))
-		}
-		for i, n := range c.Nodes {
-			n.assigned = caps[i]
+	c.ensureState()
+	// Heartbeat roll call for this period.
+	for i := range c.Nodes {
+		if c.Faults.ServerDownAt(k, i) {
+			c.missed[i]++
+		} else {
+			c.missed[i] = 0
 		}
 	}
-	for _, n := range c.Nodes {
+	if k%c.RackPeriods == 0 {
+		if err := c.reallocate(k); err != nil {
+			return err
+		}
+	}
+	for i, n := range c.Nodes {
+		if c.missed[i] > 0 {
+			// Out of contact: the node's loop is not reachable, but its
+			// hardware keeps drawing power at the last applied clocks.
+			rec, err := n.harness.StepUncontrolled(k)
+			if err != nil {
+				return fmt.Errorf("cluster: node %s: %w", n.Name, err)
+			}
+			n.records = append(n.records, rec)
+			continue
+		}
 		rec, err := n.harness.StepPeriod(k)
 		if err != nil {
 			return fmt.Errorf("cluster: node %s: %w", n.Name, err)
 		}
 		n.records = append(n.records, rec)
+		c.lastReport[i] = rec.AvgPowerW
+		c.haveReport[i] = true
+	}
+	return nil
+}
+
+// ensureState sizes the liveness bookkeeping (for coordinators built
+// with a struct literal rather than NewCoordinator).
+func (c *Coordinator) ensureState() {
+	if len(c.missed) != len(c.Nodes) {
+		c.missed = make([]int, len(c.Nodes))
+		c.lastReport = make([]float64, len(c.Nodes))
+		c.haveReport = make([]bool, len(c.Nodes))
+	}
+}
+
+// reallocate splits the breaker budget at period k among the
+// heartbeating nodes, reserving guard-banded budget for silent ones.
+func (c *Coordinator) reallocate(k int) error {
+	live := make([]int, 0, len(c.Nodes))
+	reserved := 0.0
+	guard := c.GuardBandFrac
+	if guard < 0 {
+		guard = 0
+	}
+	for i, n := range c.Nodes {
+		switch {
+		case c.missed[i] == 0:
+			live = append(live, i)
+		case c.missed[i] < c.heartbeatMisses():
+			// Possibly a transient: assume the node still enforces the
+			// cap it was last assigned, and hold that budget for it.
+			reserved += n.assigned
+		default:
+			// Dead: it runs open-loop at its last reported draw; reserve
+			// that plus the guard band and redistribute the rest.
+			last := n.maxW // never heard from: assume the worst
+			if c.haveReport[i] {
+				last = c.lastReport[i]
+			}
+			reserved += last * (1 + guard)
+		}
+	}
+	c.reservedW = reserved
+	if len(live) == 0 {
+		return nil
+	}
+	budget := c.BudgetW(k) - reserved
+	if budget < 0 {
+		budget = 0
+	}
+	caps := c.Policy.Allocate(budget, c.observe(live))
+	if len(caps) != len(live) {
+		return fmt.Errorf("cluster: policy %s returned %d caps for %d nodes",
+			c.Policy.Name(), len(caps), len(live))
+	}
+	// The breaker trumps policy floors: if clamping to feasible ranges
+	// pushed the sum above the live budget, scale everything back.
+	sum := 0.0
+	for _, v := range caps {
+		sum += v
+	}
+	if sum > budget && sum > 0 {
+		scale := budget / sum
+		for i := range caps {
+			caps[i] *= scale
+		}
+	}
+	for j, i := range live {
+		c.Nodes[i].assigned = caps[j]
 	}
 	return nil
 }

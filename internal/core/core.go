@@ -17,10 +17,12 @@ import (
 	"math"
 
 	"repro/internal/actuator"
+	"repro/internal/faults"
 	"repro/internal/mpc"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/sysid"
+	"repro/internal/workload"
 )
 
 // Observation is what a power controller sees at the end of a control
@@ -50,6 +52,17 @@ type Observation struct {
 	// SLOs holds the current per-GPU inference latency SLO in seconds
 	// per batch (0 = no SLO).
 	SLOs []float64
+
+	// MeterStale counts consecutive control periods (including this one)
+	// for which the power meter produced no trustworthy reading; 0 means
+	// AvgPowerW is a fresh measurement. Adaptive controllers must freeze
+	// model updates while it is nonzero — the harness is feeding them a
+	// held value, not data.
+	MeterStale int
+	// Degraded mirrors MeterStale > 0 for harnesses running with
+	// graceful degradation enabled: AvgPowerW is the last good reading,
+	// not this period's measurement.
+	Degraded bool
 }
 
 // Decision is a controller's target frequencies for the next period.
@@ -247,7 +260,13 @@ func (c *CapGPU) Decide(obs Observation) Decision {
 	// identification value and lets thermal drift pollute the gains),
 	// and the adapted gains are projected into the §4.4 trust region
 	// around the offline model before they steer the MPC.
-	if c.rls != nil && len(obs.GPUFreqMHz) == len(c.fminG) {
+	// A stale observation carries a held (or garbage) power value, not a
+	// measurement: absorbing it would corrupt the identified gains, so
+	// updates freeze until the meter is fresh again. The excitation gate
+	// then naturally re-enables learning on recovery — the fail-safe
+	// descent moved every knob, so the first fresh regressor is far from
+	// lastReg and carries real identification value.
+	if c.rls != nil && obs.MeterStale == 0 && len(obs.GPUFreqMHz) == len(c.fminG) {
 		f := c.normReg(obs.CPUFreqGHz, obs.GPUFreqMHz)
 		if c.excited(f) {
 			if innov, err := c.rls.Update(f, obs.AvgPowerW); err == nil {
@@ -385,8 +404,35 @@ func (c *CapGPU) projectGains(g []float64) []float64 {
 	return out
 }
 
+// DegradeConfig tunes the harness's graceful degradation under meter
+// faults. The zero value enables it with defaults; set Disable for the
+// unsafe strawman the R1 robustness experiment contrasts against.
+type DegradeConfig struct {
+	// Disable turns degradation off entirely: a blind period feeds the
+	// controller a raw 0 W average, no fail-safe engages, and no robust
+	// filtering or stuck-value detection runs.
+	Disable bool
+	// FailSafeAfter is how many consecutive blind periods are tolerated
+	// (riding on the last good reading) before the harness enters
+	// fail-safe; default 3.
+	FailSafeAfter int
+	// FailSafeStep is the fraction of each knob's frequency range
+	// stepped toward f_min per fail-safe period; default 0.25, so a
+	// blind server is at its power floor within four periods and the cap
+	// cannot be violated no matter what the workload does.
+	FailSafeStep float64
+	// StaleGuardW inflates the last-good fallback value by this many
+	// Watts per consecutive blind period (default 8, negative to
+	// disable). While the loop is blind, unobserved thermal drift can
+	// carry true power above the last reading; the guard makes the
+	// controller trim a little each blind period instead of holding,
+	// covering the drift until fail-safe takes over.
+	StaleGuardW float64
+}
+
 // Harness runs a PowerController against a simulated server: the §3.1
-// feedback loop (measure → decide → modulate → actuate).
+// feedback loop (measure → decide → modulate → actuate), with the
+// fault-injection and graceful-degradation plumbing of internal/faults.
 type Harness struct {
 	Server     *sim.Server
 	Meter      *power.Meter
@@ -402,16 +448,33 @@ type Harness struct {
 	// (enables Fig. 9's SLO changes).
 	SLOs func(period int) []float64
 	// OnPeriodStart, if set, runs before each control period — the hook
-	// experiments use to inject workload changes or faults mid-run.
+	// experiments use to inject workload changes mid-run.
 	OnPeriodStart func(period int, s *sim.Server)
 	// MeterDropout, if set, reports whether the power meter loses period
-	// k's samples entirely (fault injection). The loop then falls back
-	// to the last good period average instead of feeding the controller
-	// a zero.
+	// k's samples entirely — the legacy single-fault hook, kept for
+	// callers predating Faults. The loop then falls back to the last
+	// good period average instead of feeding the controller a zero.
 	MeterDropout func(period int) bool
+	// Faults optionally injects the internal/faults schedule: meter
+	// dropout/stuck/spike, actuator command loss, GPU derating and
+	// failure. When set (and Degrade.Disable is not), the harness also
+	// switches to robust period averaging (trimmed mean + stuck-value
+	// detection).
+	Faults *faults.Schedule
+	// Degrade tunes the degradation policy (zero value = enabled
+	// defaults).
+	Degrade DegradeConfig
+	// ActuatorRetries bounds re-deliveries of a frequency command whose
+	// read-back diverges from the command (default 2; negative = none).
+	ActuatorRetries int
 
 	lastGoodAvgW float64
 	haveGoodAvg  bool
+	stale        int     // consecutive blind periods so far
+	lastRawW     float64 // last recorded meter value (stuck detection)
+	haveRaw      bool
+	gpuFailed    []bool
+	stashedPipes []*workload.Pipeline
 }
 
 // PeriodRecord is the harness's log entry for one control period.
@@ -438,6 +501,31 @@ type PeriodRecord struct {
 	// EnergyJ is the true energy drawn during this period (Joules);
 	// divide period throughput by it for inferences per Joule.
 	EnergyJ float64
+
+	// TrueAvgPowerW is the period mean of the server's true power draw —
+	// what the breaker sees. It equals AvgPowerW up to meter noise in
+	// healthy periods but diverges under meter faults, when AvgPowerW
+	// records whatever value the controller was actually fed.
+	TrueAvgPowerW float64
+	// MeterStale counts consecutive blind periods including this one
+	// (0 = fresh reading).
+	MeterStale int
+	// Degraded marks a blind period handled by the last-good-value
+	// fallback.
+	Degraded bool
+	// FailSafe marks a period in which the harness overrode the
+	// controller and stepped every knob toward f_min.
+	FailSafe bool
+	// Uncontrolled marks a period produced by StepUncontrolled: the
+	// node ran open-loop (rack dropout), no controller decision exists.
+	Uncontrolled bool
+	// ActuatorDiverged flags knobs (0 = CPU, 1.. = GPUs) whose applied
+	// frequency still differed from the command after bounded retry.
+	ActuatorDiverged []bool
+	// ActuatorRetries is the number of command re-deliveries this period.
+	ActuatorRetries int
+	// Faults lists the injected faults active this period (DSL form).
+	Faults []string
 }
 
 // NewHarness wires the standard loop: ACPI-style meter at 1 s sampling
@@ -488,92 +576,155 @@ func (h *Harness) Run(periods int) ([]PeriodRecord, error) {
 }
 
 // StepPeriod executes a single control period with the given index
-// (the index drives the set-point and SLO schedules). Cluster-level
-// coordinators use this to interleave many servers' loops.
+// (the index drives the set-point, SLO and fault schedules).
+// Cluster-level coordinators use this to interleave many servers'
+// loops.
 func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 	if h.PeriodSeconds <= 0 {
 		return PeriodRecord{}, fmt.Errorf("core: control period %d must be positive", h.PeriodSeconds)
 	}
 	s := h.Server
 	ng := s.NumGPUs()
-	{
-		if h.OnPeriodStart != nil {
-			h.OnPeriodStart(k, s)
+	if h.OnPeriodStart != nil {
+		h.OnPeriodStart(k, s)
+	}
+	h.applyGPUFailTransitions(k)
+	dropout := h.MeterDropout != nil && h.MeterDropout(k)
+	var meterFault faults.Fault
+	haveMeterFault := false
+	spikeIdx, spikeW := -1, 0.0
+	if h.Faults != nil {
+		meterFault, haveMeterFault = h.Faults.MeterFaultAt(k)
+		if i, d, ok := h.Faults.SpikeSample(k, h.PeriodSeconds); ok {
+			spikeIdx, spikeW = i, d
 		}
-		dropout := h.MeterDropout != nil && h.MeterDropout(k)
-		start := s.Now()
-		setpoint := h.Setpoint(k)
-		var slos []float64
-		if h.SLOs != nil {
-			slos = h.SLOs(k)
-		}
+	}
+	start := s.Now()
+	setpoint := h.Setpoint(k)
+	var slos []float64
+	if h.SLOs != nil {
+		slos = h.SLOs(k)
+	}
 
-		// Advance one control period, sampling the meter each second and
-		// accumulating workload statistics.
-		rec := PeriodRecord{
-			Period:        k,
-			SetpointW:     setpoint,
-			CPUFreqGHz:    s.CPUFreq(),
-			GPUFreqMHz:    make([]float64, ng),
-			GPUThroughput: make([]float64, ng),
-			GPULatency:    make([]float64, ng),
-			GPUQueueDelay: make([]float64, ng),
-			GPUPowerW:     make([]float64, ng),
-			SLOs:          slos,
-			SLOMiss:       make([]bool, ng),
+	// Advance one control period, sampling the meter each second (or
+	// letting the injected fault corrupt/suppress the sample) and
+	// accumulating workload statistics.
+	rec := PeriodRecord{
+		Period:        k,
+		SetpointW:     setpoint,
+		CPUFreqGHz:    s.CPUFreq(),
+		GPUFreqMHz:    make([]float64, ng),
+		GPUThroughput: make([]float64, ng),
+		GPULatency:    make([]float64, ng),
+		GPUQueueDelay: make([]float64, ng),
+		GPUPowerW:     make([]float64, ng),
+		SLOs:          slos,
+		SLOMiss:       make([]bool, ng),
+	}
+	if h.Faults != nil {
+		for _, f := range h.Faults.ActiveAt(k) {
+			rec.Faults = append(rec.Faults, f.String())
 		}
+	}
+	for i := 0; i < ng; i++ {
+		rec.GPUFreqMHz[i] = s.GPUFreq(i)
+	}
+	cpuTP, cpuLat, cpuP, trueP := 0.0, 0.0, 0.0, 0.0
+	energyStart := s.EnergyJ()
+	for t := 0; t < h.PeriodSeconds; t++ {
+		smp := s.Tick(1)
+		switch {
+		case dropout || (haveMeterFault && meterFault.Kind == faults.MeterDropout):
+			// sample lost
+		case haveMeterFault && meterFault.Kind == faults.MeterStuck:
+			// The meter's ADC wedged: it reports its last value forever.
+			if last, ok := h.Meter.Latest(); ok {
+				h.Meter.Record(smp.Time, last.PowerW)
+			}
+		case t == spikeIdx:
+			h.Meter.Record(smp.Time, smp.MeasuredW+spikeW)
+		default:
+			h.Meter.Sample(s)
+		}
+		if smp.MeasuredW > rec.MaxPowerW {
+			rec.MaxPowerW = smp.MeasuredW
+		}
+		trueP += smp.TruePowerW
 		for i := 0; i < ng; i++ {
-			rec.GPUFreqMHz[i] = s.GPUFreq(i)
+			rec.GPUThroughput[i] += smp.GPUStats[i].Throughput
+			rec.GPULatency[i] += smp.GPUStats[i].GPUBatchLatency
+			rec.GPUQueueDelay[i] += smp.GPUStats[i].QueueDelay
+			rec.GPUPowerW[i] += smp.GPUPowerW[i]
 		}
-		cpuTP, cpuLat, cpuP := 0.0, 0.0, 0.0
-		energyStart := s.EnergyJ()
-		for t := 0; t < h.PeriodSeconds; t++ {
-			smp := s.Tick(1)
-			if !dropout {
-				h.Meter.Sample(s)
-			}
-			if smp.MeasuredW > rec.MaxPowerW {
-				rec.MaxPowerW = smp.MeasuredW
-			}
-			for i := 0; i < ng; i++ {
-				rec.GPUThroughput[i] += smp.GPUStats[i].Throughput
-				rec.GPULatency[i] += smp.GPUStats[i].GPUBatchLatency
-				rec.GPUQueueDelay[i] += smp.GPUStats[i].QueueDelay
-				rec.GPUPowerW[i] += smp.GPUPowerW[i]
-			}
-			cpuTP += smp.CPUStats.Throughput
-			cpuLat += smp.CPUStats.Latency
-			cpuP += smp.CPUPowerW
+		cpuTP += smp.CPUStats.Throughput
+		cpuLat += smp.CPUStats.Latency
+		cpuP += smp.CPUPowerW
+	}
+	inv := 1 / float64(h.PeriodSeconds)
+	for i := 0; i < ng; i++ {
+		rec.GPUThroughput[i] *= inv
+		rec.GPULatency[i] *= inv
+		rec.GPUQueueDelay[i] *= inv
+		rec.GPUPowerW[i] *= inv
+		if len(slos) == ng && slos[i] > 0 && rec.GPULatency[i] > slos[i] {
+			rec.SLOMiss[i] = true
 		}
-		inv := 1 / float64(h.PeriodSeconds)
-		for i := 0; i < ng; i++ {
-			rec.GPUThroughput[i] *= inv
-			rec.GPULatency[i] *= inv
-			rec.GPUQueueDelay[i] *= inv
-			rec.GPUPowerW[i] *= inv
-			if len(slos) == ng && slos[i] > 0 && rec.GPULatency[i] > slos[i] {
-				rec.SLOMiss[i] = true
+	}
+	rec.CPUThroughput = cpuTP * inv
+	rec.CPULatency = cpuLat * inv
+	rec.CPUPowerW = cpuP * inv
+	rec.TrueAvgPowerW = trueP * inv
+	rec.EnergyJ = s.EnergyJ() - energyStart
+
+	// Condense the meter window and run the degradation state machine:
+	// fresh reading → use it; blind (no samples, or stuck-value
+	// detection fired) → ride the last good value, and after
+	// FailSafeAfter consecutive blind periods step toward f_min so the
+	// cap cannot be violated while the loop cannot see.
+	avg, fresh := h.condenseMeter(start)
+	failSafe := false
+	if fresh {
+		h.stale = 0
+		h.lastGoodAvgW = avg
+		h.haveGoodAvg = true
+	} else {
+		h.stale++
+		if h.Degrade.Disable {
+			// Raw mode (the R1 strawman): an empty window reads as 0 W,
+			// which slams every clock up — the failure the fallback
+			// exists to prevent.
+			if math.IsNaN(avg) {
+				avg = 0
 			}
-		}
-		rec.CPUThroughput = cpuTP * inv
-		rec.CPULatency = cpuLat * inv
-		rec.CPUPowerW = cpuP * inv
-		rec.EnergyJ = s.EnergyJ() - energyStart
-		avg, nSamples := h.Meter.AverageSince(start)
-		if nSamples == 0 {
-			// Meter fault: hold the last good reading rather than hand
-			// the controller a zero (which would slam every clock up).
+		} else {
+			rec.Degraded = true
 			if h.haveGoodAvg {
 				avg = h.lastGoodAvgW
 			} else {
 				avg = setpoint // best available prior before any sample
 			}
-		} else {
-			h.lastGoodAvgW = avg
-			h.haveGoodAvg = true
+			guard := h.Degrade.StaleGuardW
+			if guard == 0 {
+				guard = 8
+			} else if guard < 0 {
+				guard = 0
+			}
+			avg += guard * float64(h.stale)
+			after := h.Degrade.FailSafeAfter
+			if after <= 0 {
+				after = 3
+			}
+			failSafe = h.stale >= after
 		}
-		rec.AvgPowerW = avg
+	}
+	rec.AvgPowerW = avg
+	rec.MeterStale = h.stale
+	rec.FailSafe = failSafe
 
+	var dec Decision
+	if failSafe {
+		dec = h.failSafeDecision(rec)
+	} else {
 		// Build the observation and let the controller decide.
 		obs := Observation{
 			Period:            k,
@@ -587,6 +738,8 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 			CPUPowerW:         rec.CPUPowerW,
 			GPUPowerW:         rec.GPUPowerW,
 			SLOs:              slos,
+			MeterStale:        h.stale,
+			Degraded:          rec.Degraded,
 		}
 		last := s.Last()
 		obs.CPUUtil = last.CPUUtil
@@ -599,25 +752,215 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 		if w := s.CPUWorkload(); w != nil && w.MaxThroughput() > 0 {
 			obs.CPUThroughputNorm = clamp01(rec.CPUThroughput / w.MaxThroughput())
 		}
-		dec := h.Controller.Decide(obs)
-		rec.Decision = dec
+		dec = h.Controller.Decide(obs)
+	}
+	rec.Decision = dec
 
-		// Resolve fractional targets through the modulators and apply.
-		targets := make([]float64, 1+ng)
-		targets[0] = dec.CPUFreqGHz
-		copy(targets[1:], dec.GPUFreqMHz)
-		applied, err := h.Bank.Next(targets)
-		if err != nil {
-			return rec, fmt.Errorf("core: period %d: %w", k, err)
+	// Resolve fractional targets through the modulators and apply with
+	// read-back verification (faults may drop or clamp any command).
+	targets := make([]float64, 1+ng)
+	targets[0] = dec.CPUFreqGHz
+	copy(targets[1:], dec.GPUFreqMHz)
+	retries := h.ActuatorRetries
+	if retries == 0 {
+		retries = 2
+	} else if retries < 0 {
+		retries = 0
+	}
+	report, err := h.Bank.ApplyVerified(targets, h.applier(k), retries)
+	if err != nil {
+		return rec, fmt.Errorf("core: period %d: %w", k, err)
+	}
+	rec.ActuatorDiverged = report.Diverged
+	rec.ActuatorRetries = report.Retries
+	return rec, nil
+}
+
+// condenseMeter turns the period's meter window into (average, fresh).
+// fresh is false when the window is empty or — in robust mode — when
+// the stuck-value detector fires: every sample identical to each other
+// AND to the previously recorded value, which genuine milliwatt-
+// quantized noisy readings essentially never produce. In non-robust
+// mode the average is the plain mean (bit-compatible with the
+// pre-fault-injection harness); an empty window returns NaN.
+func (h *Harness) condenseMeter(start float64) (float64, bool) {
+	rds := h.Meter.ReadingsSince(start)
+	robust := h.Faults != nil && !h.Degrade.Disable
+	defer func() {
+		if len(rds) > 0 {
+			h.lastRawW = rds[len(rds)-1].PowerW
+			h.haveRaw = true
 		}
-		s.SetCPUFreq(applied[0])
-		for i := 0; i < ng; i++ {
-			if _, err := s.SetGPUFreq(i, applied[1+i]); err != nil {
-				return rec, fmt.Errorf("core: period %d: %w", k, err)
+	}()
+	if len(rds) == 0 {
+		return math.NaN(), false
+	}
+	if !robust {
+		sum := 0.0
+		for _, r := range rds {
+			sum += r.PowerW
+		}
+		return sum / float64(len(rds)), true
+	}
+	if h.haveRaw {
+		stuck := true
+		for _, r := range rds {
+			if r.PowerW != h.lastRawW {
+				stuck = false
+				break
 			}
 		}
-		return rec, nil
+		if stuck {
+			avg, _ := power.RobustAverage(rds)
+			return avg, false
+		}
 	}
+	avg, _ := power.RobustAverage(rds)
+	return avg, true
+}
+
+// failSafeDecision steps every knob a fixed fraction of its range
+// toward f_min — the blind-mode descent that makes cap violation
+// impossible without any feedback.
+func (h *Harness) failSafeDecision(cur PeriodRecord) Decision {
+	frac := h.Degrade.FailSafeStep
+	if frac <= 0 {
+		frac = 0.25
+	}
+	lo, hi := h.Bank.Mod(0).Range()
+	d := Decision{
+		CPUFreqGHz: math.Max(cur.CPUFreqGHz-frac*(hi-lo), lo),
+		GPUFreqMHz: make([]float64, len(cur.GPUFreqMHz)),
+	}
+	for i := range cur.GPUFreqMHz {
+		lo, hi := h.Bank.Mod(1 + i).Range()
+		d.GPUFreqMHz[i] = math.Max(cur.GPUFreqMHz[i]-frac*(hi-lo), lo)
+	}
+	return d
+}
+
+// applier returns the ApplyFunc for period k: the write path to the
+// hardware, filtered through the fault schedule (lost commands leave
+// the old frequency in place; a derated or failed GPU clamps or
+// ignores what it is sent).
+func (h *Harness) applier(k int) actuator.ApplyFunc {
+	s := h.Server
+	return func(dev, attempt int, level float64) float64 {
+		if dev > 0 {
+			g := dev - 1
+			if h.Faults.GPUFailedAt(k, g) {
+				return s.GPUFreq(g) // offline: command ignored
+			}
+			if frac, ok := h.Faults.GPUDerateAt(k, g); ok {
+				gmin, gmax := h.Bank.Mod(dev).Range()
+				dmax := math.Max(frac*gmax, gmin)
+				if level > dmax {
+					level = dmax
+				}
+			}
+		}
+		if h.Faults.ActuatorLostAt(k, dev, attempt) {
+			if dev == 0 {
+				return s.CPUFreq()
+			}
+			return s.GPUFreq(dev - 1)
+		}
+		if dev == 0 {
+			return s.SetCPUFreq(level)
+		}
+		v, _ := s.SetGPUFreq(dev-1, level)
+		return v
+	}
+}
+
+// applyGPUFailTransitions detaches a failing GPU's pipeline (and pins
+// its clock to f_min) on fault entry, and re-attaches it on recovery.
+func (h *Harness) applyGPUFailTransitions(k int) {
+	if h.Faults == nil || h.Faults.Empty() {
+		return
+	}
+	s := h.Server
+	ng := s.NumGPUs()
+	if h.gpuFailed == nil {
+		h.gpuFailed = make([]bool, ng)
+		h.stashedPipes = make([]*workload.Pipeline, ng)
+	}
+	for i := 0; i < ng; i++ {
+		failed := h.Faults.GPUFailedAt(k, i)
+		switch {
+		case failed && !h.gpuFailed[i]:
+			h.stashedPipes[i] = s.Pipeline(i)
+			_ = s.AttachPipeline(i, nil)
+			gmin, _ := h.Bank.Mod(1 + i).Range()
+			_, _ = s.SetGPUFreq(i, gmin)
+			h.gpuFailed[i] = true
+		case !failed && h.gpuFailed[i]:
+			_ = s.AttachPipeline(i, h.stashedPipes[i])
+			h.stashedPipes[i] = nil
+			h.gpuFailed[i] = false
+		}
+	}
+}
+
+// StepUncontrolled advances one control period with no measurement and
+// no control action — the state a rack node is in when it has dropped
+// out of coordination: frequencies frozen at their last applied
+// levels, workloads still running, power still drawn. The record's
+// AvgPowerW is the true period average (what the rack PDU sees), since
+// no meter reading was taken.
+func (h *Harness) StepUncontrolled(k int) (PeriodRecord, error) {
+	if h.PeriodSeconds <= 0 {
+		return PeriodRecord{}, fmt.Errorf("core: control period %d must be positive", h.PeriodSeconds)
+	}
+	s := h.Server
+	ng := s.NumGPUs()
+	rec := PeriodRecord{
+		Period:        k,
+		SetpointW:     h.Setpoint(k),
+		CPUFreqGHz:    s.CPUFreq(),
+		GPUFreqMHz:    make([]float64, ng),
+		GPUThroughput: make([]float64, ng),
+		GPULatency:    make([]float64, ng),
+		GPUQueueDelay: make([]float64, ng),
+		GPUPowerW:     make([]float64, ng),
+		SLOMiss:       make([]bool, ng),
+		Uncontrolled:  true,
+	}
+	for i := 0; i < ng; i++ {
+		rec.GPUFreqMHz[i] = s.GPUFreq(i)
+	}
+	trueP, cpuTP, cpuLat, cpuP := 0.0, 0.0, 0.0, 0.0
+	energyStart := s.EnergyJ()
+	for t := 0; t < h.PeriodSeconds; t++ {
+		smp := s.Tick(1)
+		if smp.MeasuredW > rec.MaxPowerW {
+			rec.MaxPowerW = smp.MeasuredW
+		}
+		trueP += smp.TruePowerW
+		for i := 0; i < ng; i++ {
+			rec.GPUThroughput[i] += smp.GPUStats[i].Throughput
+			rec.GPULatency[i] += smp.GPUStats[i].GPUBatchLatency
+			rec.GPUQueueDelay[i] += smp.GPUStats[i].QueueDelay
+			rec.GPUPowerW[i] += smp.GPUPowerW[i]
+		}
+		cpuTP += smp.CPUStats.Throughput
+		cpuLat += smp.CPUStats.Latency
+		cpuP += smp.CPUPowerW
+	}
+	inv := 1 / float64(h.PeriodSeconds)
+	for i := 0; i < ng; i++ {
+		rec.GPUThroughput[i] *= inv
+		rec.GPULatency[i] *= inv
+		rec.GPUQueueDelay[i] *= inv
+		rec.GPUPowerW[i] *= inv
+	}
+	rec.CPUThroughput = cpuTP * inv
+	rec.CPULatency = cpuLat * inv
+	rec.CPUPowerW = cpuP * inv
+	rec.TrueAvgPowerW = trueP * inv
+	rec.AvgPowerW = rec.TrueAvgPowerW
+	rec.EnergyJ = s.EnergyJ() - energyStart
+	return rec, nil
 }
 
 func clamp01(v float64) float64 {

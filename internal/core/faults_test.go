@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+)
+
+// capHarness builds a CapGPU harness at a fixed 900 W set point with
+// the given fault schedule attached.
+func capHarness(t *testing.T, seed int64, sched *faults.Schedule) *Harness {
+	t.Helper()
+	s, model, lms := testRig(t, seed)
+	ctrl, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(s, ctrl, func(int) float64 { return 900 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Faults = sched
+	return h
+}
+
+// violations counts periods whose true (breaker-side) average exceeded
+// the cap by more than 2% — the violation definition the R1 robustness
+// experiment uses.
+func violations(recs []PeriodRecord, cap float64) int {
+	n := 0
+	for _, r := range recs {
+		if r.TrueAvgPowerW > cap*1.02 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestHarnessFaultDropoutFailSafeRecovery is the acceptance scenario: a
+// 10-period total meter dropout under a 900 W CapGPU loop. Graceful
+// degradation must ride the last good value, enter fail-safe descent
+// after 3 blind periods, never violate the cap while blind, and resume
+// tracking within 10 periods of the meter returning.
+func TestHarnessFaultDropoutFailSafeRecovery(t *testing.T) {
+	sched, err := faults.Parse("meter-dropout@30+10", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := capHarness(t, 31, sched)
+	recs, err := h.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degradation bookkeeping across the blind window.
+	for k := 30; k < 40; k++ {
+		r := recs[k]
+		if !r.Degraded {
+			t.Fatalf("period %d: not marked degraded", k)
+		}
+		if r.MeterStale != k-30+1 {
+			t.Fatalf("period %d: stale = %d, want %d", k, r.MeterStale, k-30+1)
+		}
+		if want := k-30+1 >= 3; r.FailSafe != want {
+			t.Fatalf("period %d: failsafe = %v, want %v", k, r.FailSafe, want)
+		}
+		if r.AvgPowerW <= 0 {
+			t.Fatalf("period %d: fed controller %g W while blind", k, r.AvgPowerW)
+		}
+		if len(r.Faults) == 0 {
+			t.Fatalf("period %d: active fault not recorded", k)
+		}
+	}
+	if recs[40].Degraded || recs[40].MeterStale != 0 {
+		t.Fatalf("period 40: degradation did not clear on recovery: %+v", recs[40])
+	}
+	// Zero cap violations across the dropout (and its descent tail).
+	if n := violations(recs[30:45], 900); n != 0 {
+		t.Fatalf("%d cap violations during/after blind window", n)
+	}
+	// Fail-safe descent actually cut power while blind.
+	if recs[39].TrueAvgPowerW >= recs[30].TrueAvgPowerW-50 {
+		t.Fatalf("fail-safe did not descend: period 30 %g W -> period 39 %g W",
+			recs[30].TrueAvgPowerW, recs[39].TrueAvgPowerW)
+	}
+	// Recovery: back to tracking within 10 periods of the meter's return.
+	var tail []float64
+	for _, r := range recs[50:] {
+		tail = append(tail, r.AvgPowerW)
+	}
+	if mean := metrics.Mean(tail); mean < 870 || mean > 930 {
+		t.Fatalf("post-recovery mean %g W did not resume tracking 900 W", mean)
+	}
+}
+
+// TestHarnessNoDegradeViolatesCap is the strawman half of the
+// acceptance criterion: with the fallback disabled the same dropout
+// feeds the controller 0 W, clocks slam up, and the cap is violated.
+func TestHarnessNoDegradeViolatesCap(t *testing.T) {
+	sched, err := faults.Parse("meter-dropout@30+10", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := capHarness(t, 31, sched)
+	h.Degrade.Disable = true
+	recs, err := h.Run(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := violations(recs[30:40], 900); n == 0 {
+		t.Fatal("disabled fallback should demonstrably violate the cap during dropout")
+	}
+	for k := 30; k < 40; k++ {
+		if recs[k].FailSafe {
+			t.Fatalf("period %d: fail-safe engaged despite Disable", k)
+		}
+	}
+}
+
+// TestHarnessFaultDeterminism: same schedule + seed (including the
+// stochastic spike placement and probabilistic command loss) must yield
+// bit-identical record streams.
+func TestHarnessFaultDeterminism(t *testing.T) {
+	dsl := "meter-spike@5+8*300;actuator-loss@10+6:gpu1*0.5;meter-dropout@20+4"
+	mk := func() []PeriodRecord {
+		sched, err := faults.Parse(dsl, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := capHarness(t, 17, sched)
+		recs, err := h.Run(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical schedule+seed produced different PeriodRecord streams")
+	}
+}
+
+// TestHarnessSpikeTrimmed: the robust (trimmed-mean) average keeps a
+// single ±300 W corrupted sample from steering the feedback.
+func TestHarnessSpikeTrimmed(t *testing.T) {
+	sched, err := faults.Parse("meter-spike@10+5*300", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := capHarness(t, 13, sched)
+	recs, err := h.Run(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 10; k < 15; k++ {
+		r := recs[k]
+		// A 4-sample window with one ±300 W outlier would pull a plain
+		// mean by 75 W; the trimmed mean must stay near the truth.
+		if d := math.Abs(r.AvgPowerW - r.TrueAvgPowerW); d > 30 {
+			t.Fatalf("period %d: spike leaked into feedback: avg %g vs true %g",
+				k, r.AvgPowerW, r.TrueAvgPowerW)
+		}
+	}
+}
+
+// TestHarnessStuckMeterDetected: a wedged meter repeating its last
+// value must be recognized as blind, not believed.
+func TestHarnessStuckMeterDetected(t *testing.T) {
+	sched, err := faults.Parse("meter-stuck@12+6", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := capHarness(t, 19, sched)
+	recs, err := h.Run(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 12; k < 18; k++ {
+		if !recs[k].Degraded {
+			t.Fatalf("period %d: stuck meter not detected", k)
+		}
+	}
+	if recs[18].Degraded {
+		t.Fatal("degradation did not clear after the meter unstuck")
+	}
+}
+
+// TestHarnessActuatorLossFlagged: a knob whose commands are always lost
+// must be retried, then flagged diverged — without failing the loop.
+func TestHarnessActuatorLossFlagged(t *testing.T) {
+	sched, err := faults.Parse("actuator-loss@8+4:gpu0", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := capHarness(t, 23, sched)
+	// Step the cap down when the fault begins: the controller must move
+	// the clocks, so the lost commands cannot hide in a converged
+	// steady state where command == held frequency.
+	h.Setpoint = func(k int) float64 {
+		if k >= 8 {
+			return 780
+		}
+		return 900
+	}
+	recs, err := h.Run(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDiverged, sawRetry := false, false
+	for k := 8; k < 12; k++ {
+		r := recs[k]
+		if len(r.ActuatorDiverged) == 4 && r.ActuatorDiverged[1] {
+			sawDiverged = true
+		}
+		if r.ActuatorRetries > 0 {
+			sawRetry = true
+		}
+		if r.ActuatorDiverged[0] || r.ActuatorDiverged[2] || r.ActuatorDiverged[3] {
+			t.Fatalf("period %d: untargeted knob flagged diverged", k)
+		}
+	}
+	// Divergence only shows when the delta-sigma command differs from
+	// the held frequency; across 4 periods of a closed loop that must
+	// happen at least once.
+	if !sawDiverged || !sawRetry {
+		t.Fatalf("command loss not surfaced: diverged=%v retries=%v", sawDiverged, sawRetry)
+	}
+	if recs[13].ActuatorDiverged[1] {
+		t.Fatal("divergence flag did not clear after the fault window")
+	}
+}
+
+// TestHarnessGPUFailDetachRestore: a failed GPU serves nothing and pins
+// to f_min; recovery re-attaches its pipeline and work resumes.
+func TestHarnessGPUFailDetachRestore(t *testing.T) {
+	sched, err := faults.Parse("gpu-fail@10+5:gpu1", 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := capHarness(t, 37, sched)
+	recs, err := h.Run(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmin, _ := h.Bank.Mod(2).Range()
+	for k := 11; k < 15; k++ {
+		r := recs[k]
+		if r.GPUThroughput[1] != 0 {
+			t.Fatalf("period %d: failed GPU still served %g img/s", k, r.GPUThroughput[1])
+		}
+		if r.GPUFreqMHz[1] != gmin {
+			t.Fatalf("period %d: failed GPU at %g MHz, want f_min %g", k, r.GPUFreqMHz[1], gmin)
+		}
+	}
+	served := 0.0
+	for _, r := range recs[16:] {
+		served += r.GPUThroughput[1]
+	}
+	if served == 0 {
+		t.Fatal("pipeline did not resume after GPU recovery")
+	}
+}
+
+// TestHarnessGPUDerateClamped: a derated GPU never runs above the
+// derated ceiling while the fault is active.
+func TestHarnessGPUDerateClamped(t *testing.T) {
+	sched, err := faults.Parse("gpu-derate@5+8:gpu0*0.5", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := capHarness(t, 43, sched)
+	recs, err := h.Run(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gmax := h.Bank.Mod(1).Range()
+	for k := 6; k < 13; k++ {
+		if f := recs[k].GPUFreqMHz[0]; f > 0.5*gmax+1e-9 {
+			t.Fatalf("period %d: derated GPU ran at %g MHz > ceiling %g", k, f, 0.5*gmax)
+		}
+	}
+}
+
+// TestStepUncontrolled: an uncontrolled period keeps the workload
+// running at frozen clocks and reports the true power it drew.
+func TestStepUncontrolled(t *testing.T) {
+	h := capHarness(t, 47, nil)
+	if _, err := h.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	before := h.Server.CPUFreq()
+	rec, err := h.StepUncontrolled(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Uncontrolled {
+		t.Fatal("record not marked uncontrolled")
+	}
+	if rec.AvgPowerW != rec.TrueAvgPowerW || rec.TrueAvgPowerW <= 0 {
+		t.Fatalf("uncontrolled power accounting wrong: %+v", rec)
+	}
+	if h.Server.CPUFreq() != before {
+		t.Fatal("uncontrolled period moved a frequency")
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/mpc"
 	"repro/internal/sim"
@@ -190,6 +191,13 @@ func (r *RunResult) PowerSeries() []float64 {
 // schedule. Using a fresh rig per controller gives every controller the
 // identical workload noise stream.
 func RunSession(name string, seed int64, periods int, setpoint func(int) float64, slos func(int) []float64) (*RunResult, error) {
+	return RunFaultSession(name, seed, periods, setpoint, slos, nil, false)
+}
+
+// RunFaultSession is RunSession with a fault schedule attached to the
+// harness; noDegrade disables the graceful-degradation fallback (the
+// R1 strawman).
+func RunFaultSession(name string, seed int64, periods int, setpoint func(int) float64, slos func(int) []float64, sched *faults.Schedule, noDegrade bool) (*RunResult, error) {
 	rig, err := NewEvaluationRig(seed)
 	if err != nil {
 		return nil, err
@@ -203,6 +211,8 @@ func RunSession(name string, seed int64, periods int, setpoint func(int) float64
 		return nil, err
 	}
 	h.SLOs = slos
+	h.Faults = sched
+	h.Degrade.Disable = noDegrade
 	recs, err := h.Run(periods)
 	if err != nil {
 		return nil, err

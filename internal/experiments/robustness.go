@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+)
+
+// This file is the R1 robustness experiment: the fault-injection study
+// the paper's evaluation does not run but a production deployment
+// lives or dies by. A seeded fault schedule blinds the power meter for
+// ten consecutive control periods (plus a later spike burst and a
+// lossy actuator window), and the study compares CapGPU with graceful
+// degradation, CapGPU with the fallback disabled (the strawman every
+// naive file-polling controller implements), and Safe Fixed-Step under
+// the identical fault stream.
+
+// RobustnessScenario is the R1 fault schedule in DSL form: a 10-period
+// total meter dropout starting at period 30 (the acceptance scenario),
+// a ±300 W spike burst at period 55, and a lossy GPU-1 actuator window
+// at period 70.
+const RobustnessScenario = "meter-dropout@30+10;meter-spike@55+6*300;actuator-loss@70+5:gpu1*0.7"
+
+// RobustnessDropoutEnd is the first period after the meter dropout
+// clears; recovery time is measured from here.
+const RobustnessDropoutEnd = 40
+
+// RobustnessRow is one controller configuration's outcome under the R1
+// fault schedule.
+type RobustnessRow struct {
+	Config string
+	// CapViolations counts periods whose true (breaker-side) average
+	// power exceeded the cap by more than 2%.
+	CapViolations int
+	// WorstExcessW is the largest true-power excess over the cap (0 if
+	// the cap was never exceeded).
+	WorstExcessW float64
+	// SLOMissRate is the fraction of (period, GPU) pairs that missed
+	// their latency SLO.
+	SLOMissRate float64
+	// DegradedPeriods and FailSafePeriods count the periods spent in
+	// last-good-value fallback and fail-safe descent respectively.
+	DegradedPeriods int
+	FailSafePeriods int
+	// RecoveryPeriods is how many periods after the dropout cleared the
+	// controller needed to re-enter ±2%-of-cap around its own
+	// steady-state operating point (-1 = never). Measuring against the
+	// controller's own equilibrium keeps the metric meaningful for
+	// margin-based controllers, whose steady state sits below the cap
+	// by design.
+	RecoveryPeriods int
+	// SteadyRMSE is the tracking RMSE over the final 20 periods, after
+	// all faults have cleared.
+	SteadyRMSE float64
+}
+
+// RobustnessResult bundles the R1 rows with the scenario they ran.
+type RobustnessResult struct {
+	SetpointW float64
+	Schedule  string
+	Periods   int
+	Rows      []RobustnessRow
+}
+
+// ExtensionRobustness runs the R1 study at a 900 W cap. Every
+// configuration sees the identical workload noise and fault stream.
+func ExtensionRobustness(seed int64, periods int) (*RobustnessResult, error) {
+	if periods <= 0 {
+		periods = 100
+	}
+	const cap = 900.0
+	res := &RobustnessResult{SetpointW: cap, Schedule: RobustnessScenario, Periods: periods}
+	configs := []struct {
+		label     string
+		ctrl      string
+		noDegrade bool
+	}{
+		{"CapGPU + graceful degradation", "capgpu", false},
+		{"CapGPU, fallback disabled", "capgpu", true},
+		{"Safe Fixed-Step 3 + graceful degradation", "safe-fixed-step-3", false},
+	}
+	for _, cfg := range configs {
+		rig, err := NewEvaluationRig(seed)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := faults.Parse(RobustnessScenario, seed)
+		if err != nil {
+			return nil, err
+		}
+		// Reference (lax, 30% tail) SLOs: used to SCORE latency misses,
+		// not to constrain the controllers — SLO-constrained CapGPU
+		// exceeds the cap by design when the constraint binds (§6.4),
+		// which would conflate deliberate excursions with fault-induced
+		// violations. The 30% tails are met with margin at the healthy
+		// 900 W operating point, so every miss in the table is
+		// attributable to the faults and the fail-safe descent.
+		levels, err := SLOLevels(rig)
+		if err != nil {
+			return nil, err
+		}
+		refSLOs := make([]float64, len(rig.ModelNames))
+		for i, name := range rig.ModelNames {
+			refSLOs[i] = levels[name][30]
+		}
+		ctrl, err := BuildController(cfg.ctrl, rig)
+		if err != nil {
+			return nil, err
+		}
+		h, err := core.NewHarness(rig.Server, ctrl, FixedSetpoint(cap))
+		if err != nil {
+			return nil, err
+		}
+		h.Faults = sched
+		h.Degrade.Disable = cfg.noDegrade
+		recs, err := h.Run(periods)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: robustness %s: %w", cfg.label, err)
+		}
+		res.Rows = append(res.Rows, summarizeRobustness(cfg.label, cap, refSLOs, recs))
+	}
+	return res, nil
+}
+
+// summarizeRobustness condenses one run's records into an R1 row,
+// scoring latency against the reference SLOs.
+func summarizeRobustness(label string, cap float64, refSLOs []float64, recs []core.PeriodRecord) RobustnessRow {
+	row := RobustnessRow{Config: label, RecoveryPeriods: -1}
+	trueW := make([]float64, len(recs))
+	avgW := make([]float64, len(recs))
+	misses, pairs := 0, 0
+	for i, r := range recs {
+		trueW[i] = r.TrueAvgPowerW
+		avgW[i] = r.AvgPowerW
+		if r.Degraded {
+			row.DegradedPeriods++
+		}
+		if r.FailSafe {
+			row.FailSafePeriods++
+		}
+		if d := r.TrueAvgPowerW - cap; d > row.WorstExcessW {
+			row.WorstExcessW = d
+		}
+		for g, slo := range refSLOs {
+			if g >= len(r.GPULatency) {
+				break
+			}
+			pairs++
+			if r.GPULatency[g] > slo {
+				misses++
+			}
+		}
+	}
+	row.CapViolations = metrics.Violations(trueW, cap, 0.02*cap)
+	if pairs > 0 {
+		row.SLOMissRate = float64(misses) / float64(pairs)
+	}
+	if n := len(recs); n > RobustnessDropoutEnd && n >= 20 {
+		steady := metrics.Mean(avgW[n-20:])
+		row.RecoveryPeriods = metrics.RecoveryTime(avgW, RobustnessDropoutEnd, steady, 0.02*cap)
+	}
+	if n := len(recs); n >= 20 {
+		row.SteadyRMSE = metrics.RMSE(trueW[n-20:], cap)
+	}
+	return row
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+// TestExtensionRobustness asserts the R1 acceptance contract: under the
+// 10-period meter dropout at a 900 W cap, CapGPU with graceful
+// degradation takes zero cap violations and resumes tracking within 10
+// periods of meter recovery, while the fallback-disabled run
+// demonstrably violates the cap.
+func TestExtensionRobustness(t *testing.T) {
+	res, err := ExtensionRobustness(5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(res.Rows))
+	}
+	graceful, strawman, fixed := res.Rows[0], res.Rows[1], res.Rows[2]
+
+	if graceful.CapViolations != 0 {
+		t.Fatalf("graceful CapGPU took %d cap violations (worst excess %.1f W)",
+			graceful.CapViolations, graceful.WorstExcessW)
+	}
+	if graceful.RecoveryPeriods < 0 || graceful.RecoveryPeriods > 10 {
+		t.Fatalf("graceful CapGPU recovery = %d periods, want within 10", graceful.RecoveryPeriods)
+	}
+	if graceful.DegradedPeriods < 10 {
+		t.Fatalf("graceful CapGPU degraded for %d periods, want >= 10 (the dropout)", graceful.DegradedPeriods)
+	}
+	if graceful.FailSafePeriods < 7 {
+		t.Fatalf("graceful CapGPU fail-safe for %d periods, want >= 7 of the 10 blind ones", graceful.FailSafePeriods)
+	}
+
+	if strawman.CapViolations == 0 {
+		t.Fatal("fallback-disabled CapGPU should demonstrably violate the cap")
+	}
+	if strawman.WorstExcessW <= graceful.WorstExcessW {
+		t.Fatalf("strawman worst excess %.1f W not above graceful %.1f W",
+			strawman.WorstExcessW, graceful.WorstExcessW)
+	}
+
+	if fixed.CapViolations != 0 {
+		t.Fatalf("Safe Fixed-Step with degradation took %d cap violations", fixed.CapViolations)
+	}
+}

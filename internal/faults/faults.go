@@ -1,0 +1,411 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// seeded per-period Schedule of failures spanning the three layers of
+// the capping stack — the measurement plane (power-meter dropout,
+// stuck-at-last-value, spike readings), the actuation plane (command
+// loss, GPU derating and outright GPU failure), and the rack plane
+// (coordinator losing a server's heartbeat). Consumers query the
+// schedule by control-period index; every stochastic choice (which 1 s
+// sample a spike lands on, whether a retried actuator command is lost
+// again) is derived from a stateless hash of (seed, period, target,
+// attempt), so two runs with the same Schedule produce bit-identical
+// fault streams regardless of query order.
+//
+// Scenarios are written in a compact DSL, one entry per fault:
+//
+//	kind@start+duration[:target][*magnitude]
+//
+// joined by ';'. Kinds: meter-dropout, meter-stuck, meter-spike,
+// actuator-loss, gpu-derate, gpu-fail, server-dropout. Targets name a
+// device ("cpu", "gpu0", "node2", or "all"); magnitude is kind-specific
+// (spike amplitude in Watts, actuator loss probability, derated
+// fraction of the GPU's maximum clock). Example:
+//
+//	meter-dropout@20+10;actuator-loss@40+6:gpu1;gpu-derate@50+20:gpu0*0.6
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the injectable failure modes.
+type Kind int
+
+const (
+	// MeterDropout loses every meter sample in the period.
+	MeterDropout Kind = iota
+	// MeterStuck makes the meter repeat its last recorded value.
+	MeterStuck
+	// MeterSpike corrupts one 1 s sample per period by ±Magnitude Watts.
+	MeterSpike
+	// ActuatorLoss drops frequency commands to the target knob
+	// (0 = CPU, 1.. = GPUs) with probability Magnitude (default 1).
+	ActuatorLoss
+	// GPUDerate clamps the target GPU's honored clock to Magnitude ×
+	// f_max (thermal/driver derating; default 0.6).
+	GPUDerate
+	// GPUFail takes the target GPU offline: its pipeline stops serving
+	// and its clock pins to f_min; commands to it are ignored.
+	GPUFail
+	// ServerDropout makes the target rack node miss coordinator
+	// heartbeats (its local loop stops; power draw continues).
+	ServerDropout
+)
+
+var kindNames = map[Kind]string{
+	MeterDropout:  "meter-dropout",
+	MeterStuck:    "meter-stuck",
+	MeterSpike:    "meter-spike",
+	ActuatorLoss:  "actuator-loss",
+	GPUDerate:     "gpu-derate",
+	GPUFail:       "gpu-fail",
+	ServerDropout: "server-dropout",
+}
+
+// String returns the DSL name of the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Default magnitudes per kind (used when a DSL entry omits '*mag').
+const (
+	DefaultSpikeW     = 250.0
+	DefaultLossProb   = 1.0
+	DefaultDerateFrac = 0.6
+	// TargetAll targets every eligible device.
+	TargetAll = -1
+)
+
+// Fault is one scheduled failure window, in control-period units.
+type Fault struct {
+	Kind      Kind
+	Start     int     // first affected period
+	Duration  int     // number of periods
+	Target    int     // device/GPU/node index; TargetAll = every one
+	Magnitude float64 // kind-specific; 0 = kind default
+}
+
+// ActiveAt reports whether the fault covers period k.
+func (f Fault) ActiveAt(k int) bool {
+	return k >= f.Start && k < f.Start+f.Duration
+}
+
+// End returns the first period after the fault window.
+func (f Fault) End() int { return f.Start + f.Duration }
+
+// magnitude resolves the kind default.
+func (f Fault) magnitude() float64 {
+	if f.Magnitude != 0 {
+		return f.Magnitude
+	}
+	switch f.Kind {
+	case MeterSpike:
+		return DefaultSpikeW
+	case ActuatorLoss:
+		return DefaultLossProb
+	case GPUDerate:
+		return DefaultDerateFrac
+	}
+	return 0
+}
+
+// String renders the fault in DSL form.
+func (f Fault) String() string {
+	s := fmt.Sprintf("%s@%d+%d", f.Kind, f.Start, f.Duration)
+	if f.Target != TargetAll {
+		switch f.Kind {
+		case ActuatorLoss:
+			if f.Target == 0 {
+				s += ":cpu"
+			} else {
+				s += fmt.Sprintf(":gpu%d", f.Target-1)
+			}
+		case GPUDerate, GPUFail:
+			s += fmt.Sprintf(":gpu%d", f.Target)
+		case ServerDropout:
+			s += fmt.Sprintf(":node%d", f.Target)
+		default:
+			s += fmt.Sprintf(":%d", f.Target)
+		}
+	}
+	if f.Magnitude != 0 {
+		s += "*" + strconv.FormatFloat(f.Magnitude, 'g', -1, 64)
+	}
+	return s
+}
+
+// Schedule is a seeded set of fault windows.
+type Schedule struct {
+	Seed   int64
+	Faults []Fault
+}
+
+// New builds a schedule from explicit faults.
+func New(seed int64, fs ...Fault) *Schedule {
+	return &Schedule{Seed: seed, Faults: fs}
+}
+
+// Parse builds a schedule from the DSL described in the package comment.
+func Parse(dsl string, seed int64) (*Schedule, error) {
+	s := &Schedule{Seed: seed}
+	for _, entry := range strings.Split(dsl, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		f, err := parseEntry(entry)
+		if err != nil {
+			return nil, err
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	if len(s.Faults) == 0 {
+		return nil, fmt.Errorf("faults: empty schedule %q", dsl)
+	}
+	return s, nil
+}
+
+func parseEntry(entry string) (Fault, error) {
+	f := Fault{Target: TargetAll}
+	rest := entry
+	// Split off '*magnitude' then ':target' then 'kind@start+duration'.
+	if i := strings.LastIndexByte(rest, '*'); i >= 0 {
+		mag, err := strconv.ParseFloat(rest[i+1:], 64)
+		if err != nil {
+			return f, fmt.Errorf("faults: %q: bad magnitude: %w", entry, err)
+		}
+		f.Magnitude = mag
+		rest = rest[:i]
+	}
+	if i := strings.IndexByte(rest, ':'); i >= 0 {
+		tgt := rest[i+1:]
+		rest = rest[:i]
+		kindName := rest[:strings.IndexByte(rest+"@", '@')]
+		t, err := parseTarget(kindName, tgt)
+		if err != nil {
+			return f, fmt.Errorf("faults: %q: %w", entry, err)
+		}
+		f.Target = t
+	}
+	at := strings.IndexByte(rest, '@')
+	plus := strings.LastIndexByte(rest, '+')
+	if at < 0 || plus < at {
+		return f, fmt.Errorf("faults: %q: want kind@start+duration", entry)
+	}
+	kind, ok := kindFromName(rest[:at])
+	if !ok {
+		return f, fmt.Errorf("faults: %q: unknown kind %q (want one of %s)", entry, rest[:at], KindNames())
+	}
+	f.Kind = kind
+	start, err := strconv.Atoi(rest[at+1 : plus])
+	if err != nil || start < 0 {
+		return f, fmt.Errorf("faults: %q: bad start period", entry)
+	}
+	dur, err := strconv.Atoi(rest[plus+1:])
+	if err != nil || dur <= 0 {
+		return f, fmt.Errorf("faults: %q: bad duration", entry)
+	}
+	f.Start, f.Duration = start, dur
+	return f, nil
+}
+
+func parseTarget(kind, tgt string) (int, error) {
+	tgt = strings.TrimSpace(strings.ToLower(tgt))
+	switch {
+	case tgt == "all":
+		return TargetAll, nil
+	case tgt == "cpu":
+		return 0, nil // knob index 0 (ActuatorLoss layout)
+	case strings.HasPrefix(tgt, "gpu"):
+		n, err := strconv.Atoi(tgt[3:])
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("bad GPU target %q", tgt)
+		}
+		if k, _ := kindFromName(kind); k == ActuatorLoss {
+			return n + 1, nil // knob layout: 0 = CPU, 1.. = GPUs
+		}
+		return n, nil
+	case strings.HasPrefix(tgt, "node"):
+		n, err := strconv.Atoi(tgt[4:])
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("bad node target %q", tgt)
+		}
+		return n, nil
+	default:
+		n, err := strconv.Atoi(tgt)
+		if err != nil {
+			return 0, fmt.Errorf("bad target %q", tgt)
+		}
+		return n, nil
+	}
+}
+
+func kindFromName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// KindNames lists the DSL kind names in schedule-layer order.
+func KindNames() string {
+	return "meter-dropout, meter-stuck, meter-spike, actuator-loss, gpu-derate, gpu-fail, server-dropout"
+}
+
+// String renders the whole schedule in DSL form (round-trips Parse).
+func (s *Schedule) String() string {
+	parts := make([]string, len(s.Faults))
+	for i, f := range s.Faults {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Faults) == 0 }
+
+// ActiveAt returns every fault covering period k (for record annotation).
+func (s *Schedule) ActiveAt(k int) []Fault {
+	if s == nil {
+		return nil
+	}
+	var out []Fault
+	for _, f := range s.Faults {
+		if f.ActiveAt(k) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// MeterFaultAt returns the first active measurement-plane fault at
+// period k, if any.
+func (s *Schedule) MeterFaultAt(k int) (Fault, bool) {
+	if s == nil {
+		return Fault{}, false
+	}
+	for _, f := range s.Faults {
+		if f.ActiveAt(k) && (f.Kind == MeterDropout || f.Kind == MeterStuck || f.Kind == MeterSpike) {
+			return f, true
+		}
+	}
+	return Fault{}, false
+}
+
+// SpikeSample returns, for an active MeterSpike at period k, the index
+// of the corrupted sample within the period's nSamples readings and the
+// signed spike amplitude in Watts.
+func (s *Schedule) SpikeSample(k, nSamples int) (idx int, deltaW float64, ok bool) {
+	f, have := s.MeterFaultAt(k)
+	if !have || f.Kind != MeterSpike || nSamples <= 0 {
+		return 0, 0, false
+	}
+	h := s.hash(int64(k), 0x5b1ce)
+	idx = int(h % uint64(nSamples))
+	deltaW = f.magnitude()
+	if (h>>32)&1 == 1 {
+		deltaW = -deltaW
+	}
+	return idx, deltaW, true
+}
+
+// ActuatorLostAt reports whether the attempt-th delivery of period k's
+// frequency command to knob dev (0 = CPU, 1.. = GPUs) is lost.
+func (s *Schedule) ActuatorLostAt(k, dev, attempt int) bool {
+	if s == nil {
+		return false
+	}
+	for _, f := range s.Faults {
+		if f.Kind != ActuatorLoss || !f.ActiveAt(k) {
+			continue
+		}
+		if f.Target != TargetAll && f.Target != dev {
+			continue
+		}
+		p := f.magnitude()
+		if p >= 1 {
+			return true
+		}
+		if s.rand01(int64(k), int64(dev), int64(attempt), 0xac7) < p {
+			return true
+		}
+	}
+	return false
+}
+
+// GPUDerateAt returns the derated fraction of f_max honored for GPU g
+// at period k (the tightest if several overlap).
+func (s *Schedule) GPUDerateAt(k, g int) (frac float64, ok bool) {
+	if s == nil {
+		return 0, false
+	}
+	for _, f := range s.Faults {
+		if f.Kind != GPUDerate || !f.ActiveAt(k) {
+			continue
+		}
+		if f.Target != TargetAll && f.Target != g {
+			continue
+		}
+		m := f.magnitude()
+		if !ok || m < frac {
+			frac, ok = m, true
+		}
+	}
+	return frac, ok
+}
+
+// GPUFailedAt reports whether GPU g is offline at period k.
+func (s *Schedule) GPUFailedAt(k, g int) bool {
+	if s == nil {
+		return false
+	}
+	for _, f := range s.Faults {
+		if f.Kind == GPUFail && f.ActiveAt(k) && (f.Target == TargetAll || f.Target == g) {
+			return true
+		}
+	}
+	return false
+}
+
+// ServerDownAt reports whether rack node n misses its heartbeat at
+// period k.
+func (s *Schedule) ServerDownAt(k, n int) bool {
+	if s == nil {
+		return false
+	}
+	for _, f := range s.Faults {
+		if f.Kind == ServerDropout && f.ActiveAt(k) && (f.Target == TargetAll || f.Target == n) {
+			return true
+		}
+	}
+	return false
+}
+
+// hash is a stateless splitmix64 over the seed and the given parts, so
+// schedule queries are order-independent and reproducible.
+func (s *Schedule) hash(parts ...int64) uint64 {
+	x := uint64(s.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for _, p := range parts {
+		x ^= uint64(p) + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		x = splitmix64(x)
+	}
+	return x
+}
+
+// rand01 maps a hash to [0, 1).
+func (s *Schedule) rand01(parts ...int64) float64 {
+	return float64(s.hash(parts...)>>11) / (1 << 53)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

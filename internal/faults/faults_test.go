@@ -1,0 +1,129 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	dsl := "meter-dropout@20+10;meter-spike@30+5*250;actuator-loss@40+6:gpu1;gpu-derate@50+20:gpu0*0.6;gpu-fail@60+8:gpu2;server-dropout@5+4:node1;meter-stuck@70+3"
+	s, err := Parse(dsl, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Faults) != 7 {
+		t.Fatalf("parsed %d faults, want 7", len(s.Faults))
+	}
+	back, err := Parse(s.String(), 7)
+	if err != nil {
+		t.Fatalf("round trip: %v (dsl %q)", err, s.String())
+	}
+	if back.String() != s.String() {
+		t.Fatalf("round trip mismatch: %q vs %q", back.String(), s.String())
+	}
+	// actuator-loss:gpu1 maps to knob index 2 (0 = CPU).
+	if s.Faults[2].Target != 2 {
+		t.Fatalf("actuator-loss gpu1 target = %d, want knob 2", s.Faults[2].Target)
+	}
+	if s.Faults[3].Target != 0 || s.Faults[3].Magnitude != 0.6 {
+		t.Fatalf("gpu-derate parsed as %+v", s.Faults[3])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "bogus@1+2", "meter-dropout@+2", "meter-dropout@1",
+		"meter-dropout@1+0", "meter-spike@1+2*x", "gpu-fail@1+2:gpux",
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWindows(t *testing.T) {
+	s := New(1, Fault{Kind: MeterDropout, Start: 10, Duration: 5})
+	for k, want := range map[int]bool{9: false, 10: true, 14: true, 15: false} {
+		if _, got := s.MeterFaultAt(k); got != want {
+			t.Errorf("MeterFaultAt(%d) = %v, want %v", k, got, want)
+		}
+	}
+	if len(s.ActiveAt(12)) != 1 || len(s.ActiveAt(20)) != 0 {
+		t.Fatal("ActiveAt window wrong")
+	}
+}
+
+func TestTargeting(t *testing.T) {
+	s := New(1,
+		Fault{Kind: GPUFail, Start: 0, Duration: 2, Target: 1},
+		Fault{Kind: ActuatorLoss, Start: 0, Duration: 2, Target: TargetAll},
+		Fault{Kind: ServerDropout, Start: 0, Duration: 2, Target: 0},
+	)
+	if s.GPUFailedAt(0, 0) || !s.GPUFailedAt(0, 1) {
+		t.Fatal("GPUFailedAt targeting wrong")
+	}
+	if !s.ActuatorLostAt(1, 0, 0) || !s.ActuatorLostAt(1, 2, 1) {
+		t.Fatal("ActuatorLoss all-targets with default prob=1 should always drop")
+	}
+	if !s.ServerDownAt(0, 0) || s.ServerDownAt(0, 1) {
+		t.Fatal("ServerDownAt targeting wrong")
+	}
+	if s.ServerDownAt(3, 0) {
+		t.Fatal("ServerDownAt outside window")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Schedule {
+		return New(42,
+			Fault{Kind: MeterSpike, Start: 0, Duration: 50},
+			Fault{Kind: ActuatorLoss, Start: 0, Duration: 50, Target: TargetAll, Magnitude: 0.5},
+		)
+	}
+	a, b := mk(), mk()
+	drops := 0
+	for k := 0; k < 50; k++ {
+		ia, da, _ := a.SpikeSample(k, 4)
+		ib, db, _ := b.SpikeSample(k, 4)
+		if ia != ib || da != db {
+			t.Fatalf("period %d: spike (%d, %g) vs (%d, %g)", k, ia, da, ib, db)
+		}
+		if ia < 0 || ia >= 4 {
+			t.Fatalf("spike index %d out of range", ia)
+		}
+		for dev := 0; dev < 4; dev++ {
+			for att := 0; att < 3; att++ {
+				la := a.ActuatorLostAt(k, dev, att)
+				if la != b.ActuatorLostAt(k, dev, att) {
+					t.Fatalf("loss divergence at k=%d dev=%d att=%d", k, dev, att)
+				}
+				if la {
+					drops++
+				}
+			}
+		}
+	}
+	// prob 0.5 over 600 draws: expect a healthy mix, not all-or-nothing.
+	if drops < 150 || drops > 450 {
+		t.Fatalf("prob-0.5 loss dropped %d of 600 attempts", drops)
+	}
+	// A different seed must decorrelate the stream.
+	c := New(43, Fault{Kind: ActuatorLoss, Start: 0, Duration: 50, Target: TargetAll, Magnitude: 0.5})
+	same := 0
+	for k := 0; k < 50; k++ {
+		if a.ActuatorLostAt(k, 0, 0) == c.ActuatorLostAt(k, 0, 0) {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("seed change did not alter the loss stream")
+	}
+}
+
+func TestKindNamesListed(t *testing.T) {
+	for _, k := range []Kind{MeterDropout, MeterStuck, MeterSpike, ActuatorLoss, GPUDerate, GPUFail, ServerDropout} {
+		if !strings.Contains(KindNames(), k.String()) {
+			t.Errorf("KindNames() missing %s", k)
+		}
+	}
+}

@@ -122,6 +122,25 @@ func SettlingTimeWindow(xs []float64, target, band float64, window int) int {
 	return -1
 }
 
+// RecoveryTime measures how many periods after index `from` (the first
+// period after a fault cleared) the series takes to re-enter ±band of
+// the target and stay there for 3 consecutive periods. It returns the
+// count of periods from `from` to the start of that window, 0 if the
+// series is already inside the band, and -1 if it never recovers.
+func RecoveryTime(xs []float64, from int, target, band float64) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(xs) {
+		return -1
+	}
+	const sustain = 3
+	if i := SettlingTimeWindow(xs[from:], target, band, sustain); i >= 0 {
+		return i
+	}
+	return -1
+}
+
 // Overshoot returns the largest excursion above the target (0 if the
 // series never exceeds it).
 func Overshoot(xs []float64, target float64) float64 {

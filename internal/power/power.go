@@ -79,11 +79,14 @@ func (m *Meter) Latest() (Reading, bool) {
 }
 
 // AverageSince returns the mean power of all readings with Time > since,
-// which is how the controller condenses a control period's samples.
-func (m *Meter) AverageSince(since float64) (float64, int) {
+// which is how the controller condenses a control period's samples. The
+// third return is false when the window holds no readings at all — a
+// meter outage — so callers cannot mistake an empty window for a 0 W
+// average (which would slam every clock to its maximum).
+func (m *Meter) AverageSince(since float64) (avg float64, n int, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	sum, n := 0.0, 0
+	sum := 0.0
 	for i := len(m.readings) - 1; i >= 0; i-- {
 		r := m.readings[i]
 		if r.Time <= since {
@@ -93,9 +96,22 @@ func (m *Meter) AverageSince(since float64) (float64, int) {
 		n++
 	}
 	if n == 0 {
-		return 0, 0
+		return 0, 0, false
 	}
-	return sum / float64(n), n
+	return sum / float64(n), n, true
+}
+
+// ReadingsSince returns a copy of every reading with Time > since, in
+// chronological order — the raw window robust estimators (trimmed mean,
+// stuck-value detection) work from.
+func (m *Meter) ReadingsSince(since float64) []Reading {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := len(m.readings)
+	for i > 0 && m.readings[i-1].Time > since {
+		i--
+	}
+	return append([]Reading(nil), m.readings[i:]...)
 }
 
 // WriteTo renders the reading history in the sysfs-like line format the
@@ -116,35 +132,92 @@ func (m *Meter) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ParseReadings parses the line format produced by WriteTo, as the
-// controller's file-polling path does.
+// controller's file-polling path does. The first malformed line aborts
+// the parse with an error naming the line number; a meter file that a
+// crashing firmware half-wrote should be handled with
+// ParseReadingsLenient instead.
 func ParseReadings(r io.Reader) ([]Reading, error) {
+	out, _, err := parseReadings(r, false)
+	return out, err
+}
+
+// ParseReadingsLenient parses like ParseReadings but skips malformed
+// lines (truncated writes, firmware garbage) instead of failing,
+// returning how many were dropped so callers can alarm on a corrupt
+// meter without going blind.
+func ParseReadingsLenient(r io.Reader) ([]Reading, int, error) {
+	return parseReadings(r, true)
+}
+
+func parseReadings(r io.Reader, lenient bool) ([]Reading, int, error) {
 	var out []Reading
 	sc := bufio.NewScanner(r)
-	line := 0
+	line, skipped := 0, 0
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		fields := strings.Fields(text)
-		if len(fields) != 2 {
-			return nil, fmt.Errorf("power: line %d: want `time mW`, got %q", line, text)
-		}
-		t, err := strconv.ParseFloat(fields[0], 64)
+		rd, err := parseLine(line, text)
 		if err != nil {
-			return nil, fmt.Errorf("power: line %d time: %w", line, err)
+			if lenient {
+				skipped++
+				continue
+			}
+			return nil, 0, err
 		}
-		mw, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("power: line %d power: %w", line, err)
-		}
-		out = append(out, Reading{Time: t, PowerW: float64(mw) / 1000})
+		out = append(out, rd)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, skipped, err
 	}
-	return out, nil
+	return out, skipped, nil
+}
+
+func parseLine(line int, text string) (Reading, error) {
+	fields := strings.Fields(text)
+	if len(fields) != 2 {
+		return Reading{}, fmt.Errorf("power: line %d: want `time mW`, got %q", line, text)
+	}
+	t, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil || math.IsNaN(t) || math.IsInf(t, 0) {
+		return Reading{}, fmt.Errorf("power: line %d: bad time %q", line, fields[0])
+	}
+	mw, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Reading{}, fmt.Errorf("power: line %d: bad power %q", line, fields[1])
+	}
+	return Reading{Time: t, PowerW: float64(mw) / 1000}, nil
+}
+
+// RobustAverage condenses a period's readings into an average that one
+// corrupted sample cannot steer: with four or more readings the single
+// highest and lowest are dropped (a 1-sample trimmed mean — an ACPI
+// glitch or injected spike lands in the trimmed tail), otherwise it
+// degrades to the plain mean. ok is false for an empty window.
+func RobustAverage(rs []Reading) (avg float64, ok bool) {
+	if len(rs) == 0 {
+		return 0, false
+	}
+	if len(rs) < 4 {
+		sum := 0.0
+		for _, r := range rs {
+			sum += r.PowerW
+		}
+		return sum / float64(len(rs)), true
+	}
+	sum, lo, hi := 0.0, rs[0].PowerW, rs[0].PowerW
+	for _, r := range rs {
+		sum += r.PowerW
+		if r.PowerW < lo {
+			lo = r.PowerW
+		}
+		if r.PowerW > hi {
+			hi = r.PowerW
+		}
+	}
+	return (sum - lo - hi) / float64(len(rs)-2), true
 }
 
 // DeviceReadings exposes per-device power the way `nvidia-smi -q -d

@@ -43,16 +43,38 @@ func TestAverageSince(t *testing.T) {
 	for i := 1; i <= 8; i++ {
 		m.Record(float64(i), float64(100*i))
 	}
-	avg, n := m.AverageSince(4)
-	if n != 4 {
-		t.Fatalf("n = %d, want 4 readings after t=4", n)
+	avg, n, ok := m.AverageSince(4)
+	if !ok || n != 4 {
+		t.Fatalf("n = %d ok = %v, want 4 readings after t=4", n, ok)
 	}
 	// Readings at t=5..8: 500..800 -> mean 650.
 	if math.Abs(avg-650) > 1e-9 {
 		t.Fatalf("avg = %g, want 650", avg)
 	}
-	if _, n := m.AverageSince(100); n != 0 {
-		t.Fatal("future window should be empty")
+	// An empty window must say so explicitly, not report 0 W.
+	if _, n, ok := m.AverageSince(100); ok || n != 0 {
+		t.Fatalf("future window: n = %d ok = %v, want empty/false", n, ok)
+	}
+	rs := m.ReadingsSince(6)
+	if len(rs) != 2 || rs[0].Time != 7 || rs[1].Time != 8 {
+		t.Fatalf("ReadingsSince(6) = %+v", rs)
+	}
+}
+
+func TestRobustAverage(t *testing.T) {
+	if _, ok := RobustAverage(nil); ok {
+		t.Fatal("empty window should not be ok")
+	}
+	// Below 4 samples: plain mean.
+	rs := []Reading{{1, 100}, {2, 200}}
+	if avg, ok := RobustAverage(rs); !ok || avg != 150 {
+		t.Fatalf("short-window avg = %g", avg)
+	}
+	// One spiked sample among 4 is trimmed out entirely.
+	rs = []Reading{{1, 900}, {2, 902}, {3, 1500}, {4, 898}}
+	avg, ok := RobustAverage(rs)
+	if !ok || math.Abs(avg-901) > 1e-9 {
+		t.Fatalf("trimmed avg = %g, want 901 (spike excised)", avg)
 	}
 }
 
@@ -61,7 +83,7 @@ func TestHistoryBounded(t *testing.T) {
 	for i := 0; i < 10000; i++ {
 		m.Record(float64(i), 1)
 	}
-	if _, n := m.AverageSince(-1); n > 4096 {
+	if _, n, _ := m.AverageSince(-1); n > 4096 {
 		t.Fatalf("history grew unbounded: %d", n)
 	}
 }
@@ -101,6 +123,15 @@ func TestParseReadingsErrors(t *testing.T) {
 			t.Fatalf("expected parse error for %q", bad)
 		}
 	}
+	// Errors name the offending line number.
+	_, err := ParseReadings(strings.NewReader("1.0 900000\n2.0 901000\ngarbage\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %v does not name line 3", err)
+	}
+	// NaN/Inf timestamps are rejected, not silently accepted.
+	if _, err := ParseReadings(strings.NewReader("NaN 900000\n")); err == nil {
+		t.Fatal("NaN time accepted")
+	}
 	// Comments and blanks are fine.
 	got, err := ParseReadings(strings.NewReader("# header\n\n1.0 900000\n"))
 	if err != nil {
@@ -108,6 +139,20 @@ func TestParseReadingsErrors(t *testing.T) {
 	}
 	if len(got) != 1 || got[0].PowerW != 900 {
 		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestParseReadingsLenient(t *testing.T) {
+	in := "1.0 900000\ngarbage\n2.0 901000\nx y\n3.0 1 2\n4.0 902000\n"
+	got, skipped, err := ParseReadingsLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 3 {
+		t.Fatalf("skipped = %d, want 3", skipped)
+	}
+	if len(got) != 3 || got[2].PowerW != 902 {
+		t.Fatalf("kept %+v", got)
 	}
 }
 

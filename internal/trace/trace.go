@@ -27,6 +27,19 @@ func (s *Set) Add(name string, values []float64) {
 	s.series = append(s.series, Series{Name: name, Values: append([]float64(nil), values...)})
 }
 
+// AddFlags appends a boolean series as 0/1 values, so per-period state
+// flags (degraded, fail-safe, uncontrolled) land in the same CSV as the
+// power traces they annotate.
+func (s *Set) AddFlags(name string, flags []bool) {
+	vals := make([]float64, len(flags))
+	for i, f := range flags {
+		if f {
+			vals[i] = 1
+		}
+	}
+	s.series = append(s.series, Series{Name: name, Values: vals})
+}
+
 // Names returns the series names in insertion order.
 func (s *Set) Names() []string {
 	out := make([]string, len(s.series))
