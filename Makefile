@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt lint check bench
 
 all: check
 
@@ -23,7 +23,12 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: build vet fmt test race
+# Domain-aware static analysis (units, determinism, floatsafety,
+# errcheck); exits nonzero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/capgpu-lint -dir .
+
+check: build vet fmt lint test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x .

@@ -198,8 +198,8 @@ func IdentifyWithConfig(s *Server, cfg IdentifyConfig) (*PowerModel, []sysid.Rec
 
 // FitLatencyModel fits the frequency-latency law to (frequency, latency)
 // samples, as in the paper's Fig. 2b.
-func FitLatencyModel(freqs, latencies []float64, fMax float64) (*LatencyModel, error) {
-	return sysid.FitLatency(freqs, latencies, fMax)
+func FitLatencyModel(freqsMHz, latenciesS []float64, fMax float64) (*LatencyModel, error) {
+	return sysid.FitLatency(freqsMHz, latenciesS, fMax)
 }
 
 // New builds the CapGPU controller from an identified power model.
@@ -216,8 +216,8 @@ func NewHarness(s *Server, ctrl PowerController, setpoint func(period int) float
 }
 
 // FixedSetpoint is a constant set-point schedule for NewHarness.
-func FixedSetpoint(watts float64) func(int) float64 {
-	return func(int) float64 { return watts }
+func FixedSetpoint(capW float64) func(int) float64 {
+	return func(int) float64 { return capW }
 }
 
 // Baseline constructors (§6.1). pole is the desired closed-loop pole of

@@ -56,7 +56,7 @@ func main() {
 		out = append(out, []string{
 			r.Policy,
 			fmt.Sprintf("%.0f / %.0f", r.SteadyTotalW, r.BudgetW),
-			fmt.Sprintf("%d", r.OverBudget),
+			fmt.Sprintf("%d", r.OverBudgetPeriods),
 			fmt.Sprintf("%.0f", r.AggThroughput),
 			fmt.Sprintf("%.0f / %.0f / %.0f", r.PerNodeCapW[0], r.PerNodeCapW[1], r.PerNodeCapW[2]),
 		})

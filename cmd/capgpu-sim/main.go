@@ -177,9 +177,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		if err := set.WriteCSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
+		werr := set.WriteCSV(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "capgpu-sim:", werr)
 			os.Exit(1)
 		}
 		fmt.Println("trace written to", *csvPath)
@@ -202,12 +205,12 @@ func runSLO(controller string, seed int64, periods int) {
 		fmt.Fprintf(os.Stderr, "capgpu-sim: -slo supports %v\n", res.Order)
 		os.Exit(1)
 	}
-	ng := len(run.Records[0].GPULatency)
+	ng := len(run.Records[0].GPULatencyS)
 	for g := 0; g < ng; g++ {
 		lat := make([]float64, len(run.Records))
 		slo := make([]float64, len(run.Records))
 		for i, r := range run.Records {
-			lat[i] = r.GPULatency[g] * 1000 // ms
+			lat[i] = r.GPULatencyS[g] * 1000 // ms
 			slo[i] = r.SLOs[g] * 1000
 		}
 		fmt.Print(trace.Chart([]trace.Series{

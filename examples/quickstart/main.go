@@ -70,7 +70,7 @@ func main() {
 	fmt.Printf("  CPU  %.1f GHz\n", last.CPUFreqGHz)
 	for i, f := range last.GPUFreqMHz {
 		fmt.Printf("  GPU%d %.0f MHz  (%.0f img/s, %.0f ms/batch)\n",
-			i, f, last.GPUThroughput[i], 1000*last.GPULatency[i])
+			i, f, last.GPUThroughput[i], 1000*last.GPULatencyS[i])
 	}
 	fmt.Printf("  CPU workload: %.1f feature subsets/s\n", last.CPUThroughput)
 }

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/control"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sysid"
 )
@@ -131,7 +132,7 @@ func (f *FixedStep) Decide(obs core.Observation) core.Decision {
 		if better {
 			best = c
 			tied = 1
-		} else if c.util == best.util {
+		} else if metrics.ApproxEqual(c.util, best.util, 1e-12) {
 			tied++
 		}
 	}

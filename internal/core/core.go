@@ -356,8 +356,10 @@ func (c *CapGPU) Decide(obs Observation) Decision {
 // estimator's coordinates.
 func (c *CapGPU) normReg(fc float64, fg []float64) []float64 {
 	f := make([]float64, 1+len(fg))
+	//lint:ignore floatsafety New validates fmaxC > fminC, so the range is nonzero
 	f[0] = (fc - c.fminC) / (c.fmaxC - c.fminC)
 	for i := range fg {
+		//lint:ignore floatsafety New validates fmaxG[i] > fminG[i] per GPU
 		f[1+i] = (fg[i] - c.fminG[i]) / (c.fmaxG[i] - c.fminG[i])
 	}
 	return f
@@ -368,9 +370,11 @@ func (c *CapGPU) normReg(fc float64, fg []float64) []float64 {
 func (c *CapGPU) denormModel() *sysid.Model {
 	nm := c.rls.Model()
 	out := &sysid.Model{Gains: make([]float64, len(nm.Gains)), Offset: nm.Offset, N: nm.N}
+	//lint:ignore floatsafety New validates fmaxC > fminC, so the range is nonzero
 	out.Gains[0] = nm.Gains[0] / (c.fmaxC - c.fminC)
 	out.Offset -= out.Gains[0] * c.fminC
 	for i := range c.fminG {
+		//lint:ignore floatsafety New validates fmaxG[i] > fminG[i] per GPU
 		out.Gains[1+i] = nm.Gains[1+i] / (c.fmaxG[i] - c.fminG[i])
 		out.Offset -= out.Gains[1+i] * c.fminG[i]
 	}
@@ -486,11 +490,11 @@ type PeriodRecord struct {
 	CPUFreqGHz float64
 	GPUFreqMHz []float64
 
-	GPUThroughput []float64 // img/s, period average
-	GPULatency    []float64 // s/batch, period average
-	GPUQueueDelay []float64 // s/img, period average
-	CPUThroughput float64   // subsets/s
-	CPULatency    float64   // s/subset
+	GPUThroughput  []float64 // img/s, period average
+	GPULatencyS    []float64 // s/batch, period average
+	GPUQueueDelayS []float64 // s/img, period average
+	CPUThroughput  float64   // subsets/s
+	CPULatencyS    float64   // s/subset
 
 	CPUPowerW float64
 	GPUPowerW []float64
@@ -610,16 +614,16 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 	// letting the injected fault corrupt/suppress the sample) and
 	// accumulating workload statistics.
 	rec := PeriodRecord{
-		Period:        k,
-		SetpointW:     setpoint,
-		CPUFreqGHz:    s.CPUFreq(),
-		GPUFreqMHz:    make([]float64, ng),
-		GPUThroughput: make([]float64, ng),
-		GPULatency:    make([]float64, ng),
-		GPUQueueDelay: make([]float64, ng),
-		GPUPowerW:     make([]float64, ng),
-		SLOs:          slos,
-		SLOMiss:       make([]bool, ng),
+		Period:         k,
+		SetpointW:      setpoint,
+		CPUFreqGHz:     s.CPUFreq(),
+		GPUFreqMHz:     make([]float64, ng),
+		GPUThroughput:  make([]float64, ng),
+		GPULatencyS:    make([]float64, ng),
+		GPUQueueDelayS: make([]float64, ng),
+		GPUPowerW:      make([]float64, ng),
+		SLOs:           slos,
+		SLOMiss:        make([]bool, ng),
 	}
 	if h.Faults != nil {
 		for _, f := range h.Faults.ActiveAt(k) {
@@ -639,10 +643,10 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 		case haveMeterFault && meterFault.Kind == faults.MeterStuck:
 			// The meter's ADC wedged: it reports its last value forever.
 			if last, ok := h.Meter.Latest(); ok {
-				h.Meter.Record(smp.Time, last.PowerW)
+				h.Meter.Record(smp.TimeS, last.PowerW)
 			}
 		case t == spikeIdx:
-			h.Meter.Record(smp.Time, smp.MeasuredW+spikeW)
+			h.Meter.Record(smp.TimeS, smp.MeasuredW+spikeW)
 		default:
 			h.Meter.Sample(s)
 		}
@@ -652,26 +656,26 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 		trueP += smp.TruePowerW
 		for i := 0; i < ng; i++ {
 			rec.GPUThroughput[i] += smp.GPUStats[i].Throughput
-			rec.GPULatency[i] += smp.GPUStats[i].GPUBatchLatency
-			rec.GPUQueueDelay[i] += smp.GPUStats[i].QueueDelay
+			rec.GPULatencyS[i] += smp.GPUStats[i].GPUBatchLatencyS
+			rec.GPUQueueDelayS[i] += smp.GPUStats[i].QueueDelayS
 			rec.GPUPowerW[i] += smp.GPUPowerW[i]
 		}
 		cpuTP += smp.CPUStats.Throughput
-		cpuLat += smp.CPUStats.Latency
+		cpuLat += smp.CPUStats.LatencyS
 		cpuP += smp.CPUPowerW
 	}
 	inv := 1 / float64(h.PeriodSeconds)
 	for i := 0; i < ng; i++ {
 		rec.GPUThroughput[i] *= inv
-		rec.GPULatency[i] *= inv
-		rec.GPUQueueDelay[i] *= inv
+		rec.GPULatencyS[i] *= inv
+		rec.GPUQueueDelayS[i] *= inv
 		rec.GPUPowerW[i] *= inv
-		if len(slos) == ng && slos[i] > 0 && rec.GPULatency[i] > slos[i] {
+		if len(slos) == ng && slos[i] > 0 && rec.GPULatencyS[i] > slos[i] {
 			rec.SLOMiss[i] = true
 		}
 	}
 	rec.CPUThroughput = cpuTP * inv
-	rec.CPULatency = cpuLat * inv
+	rec.CPULatencyS = cpuLat * inv
 	rec.CPUPowerW = cpuP * inv
 	rec.TrueAvgPowerW = trueP * inv
 	rec.EnergyJ = s.EnergyJ() - energyStart
@@ -734,7 +738,7 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 			GPUFreqMHz:        rec.GPUFreqMHz,
 			GPUThroughputNorm: make([]float64, ng),
 			GPUUtil:           make([]float64, ng),
-			GPULatencyS:       rec.GPULatency,
+			GPULatencyS:       rec.GPULatencyS,
 			CPUPowerW:         rec.CPUPowerW,
 			GPUPowerW:         rec.GPUPowerW,
 			SLOs:              slos,
@@ -805,6 +809,7 @@ func (h *Harness) condenseMeter(start float64) (float64, bool) {
 	if h.haveRaw {
 		stuck := true
 		for _, r := range rds {
+			//lint:ignore floatsafety stuck-meter detection wants bit-exact repeats, not near-equality
 			if r.PowerW != h.lastRawW {
 				stuck = false
 				break
@@ -915,16 +920,16 @@ func (h *Harness) StepUncontrolled(k int) (PeriodRecord, error) {
 	s := h.Server
 	ng := s.NumGPUs()
 	rec := PeriodRecord{
-		Period:        k,
-		SetpointW:     h.Setpoint(k),
-		CPUFreqGHz:    s.CPUFreq(),
-		GPUFreqMHz:    make([]float64, ng),
-		GPUThroughput: make([]float64, ng),
-		GPULatency:    make([]float64, ng),
-		GPUQueueDelay: make([]float64, ng),
-		GPUPowerW:     make([]float64, ng),
-		SLOMiss:       make([]bool, ng),
-		Uncontrolled:  true,
+		Period:         k,
+		SetpointW:      h.Setpoint(k),
+		CPUFreqGHz:     s.CPUFreq(),
+		GPUFreqMHz:     make([]float64, ng),
+		GPUThroughput:  make([]float64, ng),
+		GPULatencyS:    make([]float64, ng),
+		GPUQueueDelayS: make([]float64, ng),
+		GPUPowerW:      make([]float64, ng),
+		SLOMiss:        make([]bool, ng),
+		Uncontrolled:   true,
 	}
 	for i := 0; i < ng; i++ {
 		rec.GPUFreqMHz[i] = s.GPUFreq(i)
@@ -939,23 +944,23 @@ func (h *Harness) StepUncontrolled(k int) (PeriodRecord, error) {
 		trueP += smp.TruePowerW
 		for i := 0; i < ng; i++ {
 			rec.GPUThroughput[i] += smp.GPUStats[i].Throughput
-			rec.GPULatency[i] += smp.GPUStats[i].GPUBatchLatency
-			rec.GPUQueueDelay[i] += smp.GPUStats[i].QueueDelay
+			rec.GPULatencyS[i] += smp.GPUStats[i].GPUBatchLatencyS
+			rec.GPUQueueDelayS[i] += smp.GPUStats[i].QueueDelayS
 			rec.GPUPowerW[i] += smp.GPUPowerW[i]
 		}
 		cpuTP += smp.CPUStats.Throughput
-		cpuLat += smp.CPUStats.Latency
+		cpuLat += smp.CPUStats.LatencyS
 		cpuP += smp.CPUPowerW
 	}
 	inv := 1 / float64(h.PeriodSeconds)
 	for i := 0; i < ng; i++ {
 		rec.GPUThroughput[i] *= inv
-		rec.GPULatency[i] *= inv
-		rec.GPUQueueDelay[i] *= inv
+		rec.GPULatencyS[i] *= inv
+		rec.GPUQueueDelayS[i] *= inv
 		rec.GPUPowerW[i] *= inv
 	}
 	rec.CPUThroughput = cpuTP * inv
-	rec.CPULatency = cpuLat * inv
+	rec.CPULatencyS = cpuLat * inv
 	rec.CPUPowerW = cpuP * inv
 	rec.TrueAvgPowerW = trueP * inv
 	rec.AvgPowerW = rec.TrueAvgPowerW

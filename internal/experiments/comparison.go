@@ -85,9 +85,9 @@ type Fig6Point struct {
 
 // Fig6Result is the control-accuracy sweep across set points (Fig. 6).
 type Fig6Result struct {
-	Setpoints []float64
-	Order     []string
-	Points    []Fig6Point
+	SetpointsW []float64
+	Order      []string
+	Points     []Fig6Point
 }
 
 // Fig6SetpointSweep evaluates control accuracy at set points 900–1200 W
@@ -102,7 +102,7 @@ func Fig6SetpointSweep(seed int64, periods int) (*Fig6Result, error) {
 	names := []string{"safe-fixed-step-1", "gpu-only", "cpu+gpu-50", "cpu+gpu-60", "capgpu"}
 	res := &Fig6Result{Order: names}
 	for sp := 900.0; sp <= 1200; sp += 50 {
-		res.Setpoints = append(res.Setpoints, sp)
+		res.SetpointsW = append(res.SetpointsW, sp)
 		for _, n := range names {
 			r, err := RunSession(n, seed, periods, FixedSetpoint(sp), nil)
 			if err != nil {
@@ -126,9 +126,9 @@ func Fig6SetpointSweep(seed int64, periods int) (*Fig6Result, error) {
 type Fig7Row struct {
 	Controller    string
 	GPUThroughput []float64 // img/s per GPU (t1..t3), steady-state mean
-	GPULatency    []float64 // s/batch per GPU
+	GPULatencyS   []float64 // s/batch per GPU
 	CPUThroughput float64   // subsets/s
-	CPULatency    float64   // s/subset
+	CPULatencyS   float64   // s/subset
 }
 
 // Fig7Result compares application performance across methods (Fig. 7).
@@ -157,23 +157,23 @@ func Fig7Performance(seed int64, periods int) (*Fig7Result, error) {
 		row := Fig7Row{
 			Controller:    r.Controller,
 			GPUThroughput: make([]float64, ng),
-			GPULatency:    make([]float64, ng),
+			GPULatencyS:   make([]float64, ng),
 		}
 		for _, rec := range recs {
 			for i := 0; i < ng; i++ {
 				row.GPUThroughput[i] += rec.GPUThroughput[i]
-				row.GPULatency[i] += rec.GPULatency[i]
+				row.GPULatencyS[i] += rec.GPULatencyS[i]
 			}
 			row.CPUThroughput += rec.CPUThroughput
-			row.CPULatency += rec.CPULatency
+			row.CPULatencyS += rec.CPULatencyS
 		}
 		inv := 1 / float64(len(recs))
 		for i := 0; i < ng; i++ {
 			row.GPUThroughput[i] *= inv
-			row.GPULatency[i] *= inv
+			row.GPULatencyS[i] *= inv
 		}
 		row.CPUThroughput *= inv
-		row.CPULatency *= inv
+		row.CPULatencyS *= inv
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil

@@ -216,8 +216,8 @@ func TestFig6Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Setpoints) != 7 {
-		t.Fatalf("setpoints = %v", res.Setpoints)
+	if len(res.SetpointsW) != 7 {
+		t.Fatalf("setpoints = %v", res.SetpointsW)
 	}
 	byCtl := map[string][]Fig6Point{}
 	for _, p := range res.Points {
@@ -288,9 +288,9 @@ func TestFig7Shape(t *testing.T) {
 		t.Fatalf("CapGPU aggregate tput %g should at least match Safe Fixed-Step %g",
 			sum(capr.GPUThroughput), sum(sfs.GPUThroughput))
 	}
-	if sum(capr.GPULatency) >= sum(gpu.GPULatency) {
+	if sum(capr.GPULatencyS) >= sum(gpu.GPULatencyS) {
 		t.Fatalf("CapGPU aggregate latency %g should beat GPU-Only %g",
-			sum(capr.GPULatency), sum(gpu.GPULatency))
+			sum(capr.GPULatencyS), sum(gpu.GPULatencyS))
 	}
 	// Fig. 7b/7d: GPU-Only has the best CPU-side numbers (CPU pinned at
 	// max); CapGPU's CPU latency is slightly higher — acceptable, as the
@@ -299,9 +299,9 @@ func TestFig7Shape(t *testing.T) {
 		t.Fatalf("GPU-Only CPU tput %g should exceed CapGPU %g",
 			gpu.CPUThroughput, capr.CPUThroughput)
 	}
-	if capr.CPULatency <= gpu.CPULatency {
+	if capr.CPULatencyS <= gpu.CPULatencyS {
 		t.Fatalf("CapGPU CPU latency %g should exceed GPU-Only %g",
-			capr.CPULatency, gpu.CPULatency)
+			capr.CPULatencyS, gpu.CPULatencyS)
 	}
 }
 

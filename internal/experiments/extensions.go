@@ -206,12 +206,12 @@ func ExtensionInfeasibleCap(seed int64, periods int) ([]InfeasibleRow, error) {
 
 // ClusterRow is one allocation policy's rack-level outcome.
 type ClusterRow struct {
-	Policy        string
-	BudgetW       float64
-	SteadyTotalW  float64
-	OverBudget    int     // periods above budget (steady state)
-	AggThroughput float64 // rack img/s
-	PerNodeCapW   []float64
+	Policy            string
+	BudgetW           float64
+	SteadyTotalW      float64
+	OverBudgetPeriods int     // periods above budget (steady state)
+	AggThroughput     float64 // rack img/s
+	PerNodeCapW       []float64
 }
 
 // clusterNode builds one managed server with the given pipeline count.
@@ -304,12 +304,12 @@ func ExtensionCluster(seed int64, periods int, budgetW float64) ([]ClusterRow, e
 			caps[i] = n.Assigned()
 		}
 		rows = append(rows, ClusterRow{
-			Policy:        pol.Name(),
-			BudgetW:       budgetW,
-			SteadyTotalW:  metrics.Mean(steady),
-			OverBudget:    over,
-			AggThroughput: coord.AggregateThroughput(periods / 2),
-			PerNodeCapW:   caps,
+			Policy:            pol.Name(),
+			BudgetW:           budgetW,
+			SteadyTotalW:      metrics.Mean(steady),
+			OverBudgetPeriods: over,
+			AggThroughput:     coord.AggregateThroughput(periods / 2),
+			PerNodeCapW:       caps,
 		})
 	}
 	return rows, nil

@@ -61,8 +61,8 @@ func TestExtensionClusterShape(t *testing.T) {
 	}
 	for name, r := range byName {
 		// Every policy must keep the rack essentially within budget.
-		if r.OverBudget > 2 {
-			t.Fatalf("%s exceeded the rack budget in %d steady periods", name, r.OverBudget)
+		if r.OverBudgetPeriods > 2 {
+			t.Fatalf("%s exceeded the rack budget in %d steady periods", name, r.OverBudgetPeriods)
 		}
 		if r.SteadyTotalW > r.BudgetW*1.01 {
 			t.Fatalf("%s steady total %g above budget %g", name, r.SteadyTotalW, r.BudgetW)

@@ -89,9 +89,9 @@ func Table1Motivation(seed int64) (*Table1Result, error) {
 			}
 			st := smp.GPUStats[0]
 			tput = append(tput, st.Throughput)
-			gpuLat = append(gpuLat, st.GPUBatchLatency)
-			qDelay = append(qDelay, st.QueueDelay)
-			preLat = append(preLat, st.PreLatency)
+			gpuLat = append(gpuLat, st.GPUBatchLatencyS)
+			qDelay = append(qDelay, st.QueueDelayS)
+			preLat = append(preLat, st.PreLatencyS)
 			pw = append(pw, smp.MeasuredW)
 		}
 		out.Rows = append(out.Rows, Table1Row{
@@ -111,8 +111,9 @@ func Table1Motivation(seed int64) (*Table1Result, error) {
 // Fig2aResult reproduces the system-identification figure: measured vs
 // predicted power across the excitation schedule, with the fit's R².
 type Fig2aResult struct {
-	Model     *sysid.Model
-	Freqs     [][]float64 // excitation points (CPU GHz, GPU MHz)
+	Model *sysid.Model
+	//lint:ignore units mixed-unit excitation points by design: column 0 CPU GHz, the rest GPU MHz
+	Freqs     [][]float64
 	Measured  []float64
 	Predicted []float64
 }
@@ -198,7 +199,7 @@ type Fig2bResult struct {
 	Workload  string
 	Model     *sysid.LatencyModel
 	FreeFit   *sysid.LatencyModel
-	Freqs     []float64
+	FreqsMHz  []float64
 	Measured  []float64
 	Predicted []float64 // under the fixed-γ Model
 }
@@ -227,21 +228,21 @@ func Fig2bLatencyModel(workloadName string, seed int64) (*Fig2bResult, error) {
 		const reps = 8
 		for r := 0; r < reps; r++ {
 			st := p.Step(1, 2.4, fg)
-			sum += st.GPUBatchLatency
+			sum += st.GPUBatchLatencyS
 		}
-		res.Freqs = append(res.Freqs, fg)
+		res.FreqsMHz = append(res.FreqsMHz, fg)
 		res.Measured = append(res.Measured, sum/reps)
 	}
 	// The paper's law: γ fixed at 0.91, e_min measured at f_max.
 	eMin := res.Measured[len(res.Measured)-1] // last sweep point is f_max
 	fixed := &sysid.LatencyModel{EMin: eMin, Gamma: 0.91, FMax: 1350}
-	for _, f := range res.Freqs {
+	for _, f := range res.FreqsMHz {
 		res.Predicted = append(res.Predicted, fixed.Predict(f))
 	}
 	fixed.R2 = mat.RSquared(res.Measured, res.Predicted)
 	res.Model = fixed
 
-	free, err := sysid.FitLatency(res.Freqs, res.Measured, 1350)
+	free, err := sysid.FitLatency(res.FreqsMHz, res.Measured, 1350)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/trace"
+)
+
+// replayTrace renders a session's records as the CSV a user would
+// export, touching every channel that could smuggle nondeterminism in:
+// measured and true power, both knob groups, latency, energy, and the
+// degradation flags driven by the fault injector.
+func replayTrace(t *testing.T, recs []core.PeriodRecord) []byte {
+	t.Helper()
+	n := len(recs)
+	col := func(f func(core.PeriodRecord) float64) []float64 {
+		out := make([]float64, n)
+		for i, r := range recs {
+			out[i] = f(r)
+		}
+		return out
+	}
+	set := &trace.Set{}
+	set.Add("avg_w", col(func(r core.PeriodRecord) float64 { return r.AvgPowerW }))
+	set.Add("true_w", col(func(r core.PeriodRecord) float64 { return r.TrueAvgPowerW }))
+	set.Add("setpoint_w", col(func(r core.PeriodRecord) float64 { return r.SetpointW }))
+	set.Add("cpu_ghz", col(func(r core.PeriodRecord) float64 { return r.CPUFreqGHz }))
+	set.Add("energy_j", col(func(r core.PeriodRecord) float64 { return r.EnergyJ }))
+	for g := range recs[0].GPUFreqMHz {
+		g := g
+		set.Add(fmt.Sprintf("gpu%d_mhz", g), col(func(r core.PeriodRecord) float64 { return r.GPUFreqMHz[g] }))
+		set.Add(fmt.Sprintf("gpu%d_lat_s", g), col(func(r core.PeriodRecord) float64 { return r.GPULatencyS[g] }))
+	}
+	set.AddFlags("degraded", flags(recs, func(r core.PeriodRecord) bool { return r.Degraded }))
+	set.AddFlags("failsafe", flags(recs, func(r core.PeriodRecord) bool { return r.FailSafe }))
+	var buf bytes.Buffer
+	if err := set.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func flags(recs []core.PeriodRecord, f func(core.PeriodRecord) bool) []bool {
+	out := make([]bool, len(recs))
+	for i, r := range recs {
+		out[i] = f(r)
+	}
+	return out
+}
+
+// TestSeededReplayGolden pins the determinism contract the lint rule
+// polices: the full control loop — evaluation rig, CapGPU controller,
+// fault injection, graceful degradation — run twice from the same seed
+// and schedule must produce byte-identical CSV traces.
+func TestSeededReplayGolden(t *testing.T) {
+	run := func() []byte {
+		sched, err := faults.Parse(RobustnessScenario, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunFaultSession("capgpu", 7, 60, FixedSetpoint(900), nil, sched, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Records) != 60 {
+			t.Fatalf("got %d periods, want 60", len(res.Records))
+		}
+		return replayTrace(t, res.Records)
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				t.Fatalf("replay diverged at byte %d of %d/%d", i, len(a), len(b))
+			}
+		}
+		t.Fatalf("replay traces differ in length: %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+}

@@ -226,6 +226,6 @@ func RunFaultSession(name string, seed int64, periods int, setpoint func(int) fl
 }
 
 // FixedSetpoint is a constant set-point schedule.
-func FixedSetpoint(watts float64) func(int) float64 {
-	return func(int) float64 { return watts }
+func FixedSetpoint(capW float64) func(int) float64 {
+	return func(int) float64 { return capW }
 }

@@ -144,11 +144,11 @@ func summarizeRobustness(label string, cap float64, refSLOs []float64, recs []co
 			row.WorstExcessW = d
 		}
 		for g, slo := range refSLOs {
-			if g >= len(r.GPULatency) {
+			if g >= len(r.GPULatencyS) {
 				break
 			}
 			pairs++
-			if r.GPULatency[g] > slo {
+			if r.GPULatencyS[g] > slo {
 				misses++
 			}
 		}

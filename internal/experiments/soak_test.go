@@ -38,7 +38,7 @@ func TestQuickLoopInvariants(t *testing.T) {
 			if math.Abs(steps-math.Round(steps)) > 1e-6 {
 				return false
 			}
-			if len(r.GPUFreqMHz) != 3 || len(r.GPUThroughput) != 3 || len(r.GPULatency) != 3 {
+			if len(r.GPUFreqMHz) != 3 || len(r.GPUThroughput) != 3 || len(r.GPULatencyS) != 3 {
 				return false
 			}
 			for i, fg := range r.GPUFreqMHz {
@@ -49,11 +49,11 @@ func TestQuickLoopInvariants(t *testing.T) {
 				if math.Abs(gsteps-math.Round(gsteps)) > 1e-6 {
 					return false
 				}
-				if r.GPUThroughput[i] < 0 || r.GPULatency[i] < 0 {
+				if r.GPUThroughput[i] < 0 || r.GPULatencyS[i] < 0 {
 					return false
 				}
 			}
-			if r.CPUThroughput < 0 || r.CPULatency < 0 || r.EnergyJ <= 0 {
+			if r.CPUThroughput < 0 || r.CPULatencyS < 0 || r.EnergyJ <= 0 {
 				return false
 			}
 			if r.MaxPowerW < r.AvgPowerW-60 {

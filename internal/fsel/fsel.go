@@ -121,6 +121,7 @@ func Exhaustive(x [][]float64, y []float64, opts Options) (*Result, error) {
 		if o.Keep {
 			res.SubsetScores[s.mask] = s.mse
 		}
+		//lint:ignore floatsafety exact CV-MSE ties feed the deterministic betterTie ordering; an epsilon would make selection depend on traversal order
 		if s.mse < res.BestCVMSE || (s.mse == res.BestCVMSE && betterTie(s.mask, res.BestSubset, d)) {
 			res.BestCVMSE = s.mse
 			res.BestSubset = maskToIdx(s.mask, d)

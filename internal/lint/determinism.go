@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism forbids nondeterminism sources inside the seeded-replay
+// packages: the fault injector promises that two runs with the same
+// seed and schedule are bit-identical, and the golden replay test pins
+// it. Three things silently break that promise:
+//
+//   - time.Now (wall-clock state leaking into a simulated timeline);
+//   - package-level math/rand calls (rand.Intn, rand.Float64, …),
+//     which draw from the shared global source instead of a seeded
+//     *rand.Rand;
+//   - appends or prints inside a `for … range someMap` body, whose
+//     order changes run to run.
+type Determinism struct {
+	scope []string
+}
+
+// NewDeterminism returns the analyzer restricted to packages whose
+// import path contains one of the scope substrings.
+func NewDeterminism(scope []string) *Determinism {
+	return &Determinism{scope: scope}
+}
+
+// DefaultDeterminismScope lists the repo's seeded-replay surfaces.
+func DefaultDeterminismScope() []string {
+	return []string{
+		"internal/sim",
+		"internal/faults",
+		"internal/core",
+		"internal/mpc",
+		"internal/experiments",
+	}
+}
+
+// Name implements Analyzer.
+func (*Determinism) Name() string { return "determinism" }
+
+// inScope reports whether the package is a seeded-replay surface.
+func (d *Determinism) inScope(path string) bool {
+	for _, s := range d.scope {
+		if strings.Contains(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFunc resolves a call to (package path, function name) when the
+// callee is a selector on an imported package; ok is false otherwise.
+func pkgFunc(p *Package, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := p.Info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// Analyze implements Analyzer.
+func (d *Determinism) Analyze(p *Package) []Diagnostic {
+	if !d.inScope(p.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	diag := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(pos),
+			Rule:    "determinism",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				path, name, ok := pkgFunc(p, n)
+				if !ok {
+					return true
+				}
+				if path == "time" && name == "Now" {
+					diag(n.Pos(), "time.Now in a seeded-replay package: wall-clock state breaks bit-identical replay; thread simulated time instead")
+				}
+				if (path == "math/rand" || path == "math/rand/v2") &&
+					name != "New" && name != "NewSource" && name != "NewZipf" && name != "NewPCG" && name != "NewChaCha8" {
+					diag(n.Pos(), "rand.%s draws from the global source: use a seeded *rand.Rand so replays are bit-identical", name)
+				}
+			case *ast.RangeStmt:
+				t := p.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				d.checkMapRange(p, n, diag)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkMapRange flags appends and prints inside a map-range body: both
+// make the program's output depend on Go's randomized map iteration
+// order. Sorting the keys first (e.g. trace.SortedKeys) and ranging
+// over the sorted slice is the deterministic idiom.
+func (d *Determinism) checkMapRange(p *Package, rng *ast.RangeStmt, diag func(token.Pos, string, ...any)) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "append" {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				diag(call.Pos(), "append inside a map range: element order depends on map iteration; range over sorted keys instead")
+			}
+			return true
+		}
+		if path, name, okSel := pkgFunc(p, call); okSel && path == "fmt" &&
+			(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+			diag(call.Pos(), "fmt.%s inside a map range: output order depends on map iteration; range over sorted keys instead", name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Errcheck flags call statements (including deferred ones) that
+// silently discard an error result. An explicit `_ =` assignment is
+// allowed — it is a visible, reviewable discard. Exemptions, because
+// their errors are documented to be always nil or are best-effort
+// terminal output:
+//
+//   - fmt.Print / fmt.Printf / fmt.Println (stdout CLI output);
+//   - fmt.Fprint* writing to os.Stdout or os.Stderr;
+//   - writes to *strings.Builder or *bytes.Buffer (fmt.Fprint* with a
+//     builder/buffer destination, or their Write* methods).
+type Errcheck struct{}
+
+// NewErrcheck returns the errcheck analyzer.
+func NewErrcheck() *Errcheck { return &Errcheck{} }
+
+// Name implements Analyzer.
+func (*Errcheck) Name() string { return "errcheck" }
+
+// returnsError reports whether the call's last result is an error.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	t := p.Info.TypeOf(call.Fun)
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// exempt reports whether a discarded error from this call is accepted
+// without annotation.
+func exempt(p *Package, call *ast.CallExpr) bool {
+	// fmt.Print*/Fprint* cases.
+	if path, name, ok := pkgFunc(p, call); ok && path == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) == 0 {
+				return false
+			}
+			if isStdStream(call.Args[0]) || isBuilderLike(p, call.Args[0]) {
+				return true
+			}
+		}
+		return false
+	}
+	// Methods on strings.Builder / bytes.Buffer.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isBuilderLike(p, sel.X) {
+		return true
+	}
+	return false
+}
+
+// isStdStream matches the expressions os.Stdout and os.Stderr.
+func isStdStream(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != "os" {
+		return false
+	}
+	return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+}
+
+// isBuilderLike reports whether e's type is (a pointer to)
+// strings.Builder or bytes.Buffer, whose Write/Fprint errors are
+// documented always nil.
+func isBuilderLike(p *Package, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// Analyze implements Analyzer.
+func (ec *Errcheck) Analyze(p *Package) []Diagnostic {
+	var out []Diagnostic
+	diag := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(pos),
+			Rule:    "errcheck",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	check := func(call *ast.CallExpr) {
+		if returnsError(p, call) && !exempt(p, call) {
+			diag(call.Pos(), "call discards its error result: handle it, assign to _ explicitly, or //lint:ignore with a reason")
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call)
+				}
+				return false
+			case *ast.DeferStmt:
+				check(n.Call)
+				return false
+			case *ast.GoStmt:
+				check(n.Call)
+				return false
+			}
+			return true
+		})
+	}
+	return out
+}

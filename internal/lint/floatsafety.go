@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// FloatSafety flags two numeric hazards:
+//
+//   - ==/!= between float operands. Power and frequency values are
+//     products of arithmetic; exact equality on them is almost always a
+//     tolerance bug. Comparison against an exact constant zero is
+//     exempt — zero is the universal "unset/disabled" sentinel in this
+//     codebase's configs and compares exactly. Use metrics.ApproxEqual
+//     for value comparison, or //lint:ignore with a reason where exact
+//     comparison is the point (e.g. stuck-meter repeat detection).
+//   - divisions whose denominator is frequency- or power-flavored
+//     (name contains freq/power/watt, carries a W/Hz-family suffix, or
+//     is an fmin/fmax-style range bound) with no zero-guard in the
+//     enclosing function. A frequency range that collapses to zero
+//     turns the normalization x/(fmax-fmin) into ±Inf and the
+//     controller's QP into NaN soup.
+type FloatSafety struct{}
+
+// NewFloatSafety returns the floatsafety analyzer.
+func NewFloatSafety() *FloatSafety { return &FloatSafety{} }
+
+// Name implements Analyzer.
+func (*FloatSafety) Name() string { return "floatsafety" }
+
+// isFloat reports whether e's type is (untyped or typed) float.
+func isFloat(p *Package, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to 0.
+func isZeroConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+var rangeBoundName = regexp.MustCompile(`^f[a-z]?(min|max)|^(min|max)$`)
+
+// quantityFlavored reports whether an identifier name smells like a
+// frequency or power quantity.
+func quantityFlavored(name string) bool {
+	l := strings.ToLower(name)
+	if strings.Contains(l, "freq") || strings.Contains(l, "power") || strings.Contains(l, "watt") {
+		return true
+	}
+	switch unitSuffix(name) {
+	case "W", "GHz", "MHz", "KHz", "Hz":
+		return true
+	}
+	if strings.HasPrefix(l, "f") && (strings.Contains(l, "min") || strings.Contains(l, "max")) {
+		return true
+	}
+	return rangeBoundName.MatchString(l)
+}
+
+// identNames collects every identifier name mentioned in an expression
+// (selector fields included).
+func identNames(e ast.Expr, into map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			into[id.Name] = true
+		}
+		return true
+	})
+}
+
+// Analyze implements Analyzer.
+func (fs *FloatSafety) Analyze(p *Package) []Diagnostic {
+	var out []Diagnostic
+	diag := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(pos),
+			Rule:    "floatsafety",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			guarded := guardedNames(p, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				switch be.Op {
+				case token.EQL, token.NEQ:
+					if isFloat(p, be.X) && isFloat(p, be.Y) &&
+						!isZeroConst(p, be.X) && !isZeroConst(p, be.Y) {
+						diag(be.OpPos, "float %s comparison: use an epsilon (metrics.ApproxEqual) or document exactness with //lint:ignore", be.Op)
+					}
+				case token.QUO:
+					if !isFloat(p, be.Y) || isNonzeroConst(p, be.Y) {
+						return true
+					}
+					denom := make(map[string]bool)
+					identNames(be.Y, denom)
+					flavored := ""
+					for name := range denom {
+						if quantityFlavored(name) {
+							if flavored == "" || name < flavored {
+								flavored = name
+							}
+						}
+					}
+					if flavored == "" {
+						return true
+					}
+					for name := range denom {
+						if guarded[name] {
+							return true
+						}
+					}
+					diag(be.OpPos, "division by frequency/power expression (%s) with no zero-guard in this function; guard the denominator or //lint:ignore with the invariant that makes it nonzero", flavored)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isNonzeroConst reports whether e is a compile-time constant that is
+// provably nonzero (dividing by a nonzero literal needs no guard).
+func isNonzeroConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) != 0
+	}
+	return false
+}
+
+// guardedNames collects identifier names that appear in any comparison
+// or in a math.Max/math.Min call inside the function body — evidence
+// the author thought about the value's range before dividing by it.
+func guardedNames(p *Package, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				identNames(n.X, out)
+				identNames(n.Y, out)
+			}
+		case *ast.CallExpr:
+			if path, name, ok := pkgFunc(p, n); ok && path == "math" && (name == "Max" || name == "Min") {
+				for _, a := range n.Args {
+					identNames(a, out)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

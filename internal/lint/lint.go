@@ -1,0 +1,147 @@
+// Package lint is capgpu's domain-aware static-analysis pass. The
+// compiler cannot see the invariants this codebase leans on — watts,
+// megahertz and normalized-frequency fractions all travel through
+// float64, and the fault injector's bit-identical replay guarantee dies
+// the moment a wall-clock read or a global RNG call slips into a seeded
+// path — so this package checks them on every build instead.
+//
+// Four analyzers run over every non-test package in the module:
+//
+//   - units: exported numeric fields, consts and exported-function
+//     parameters that carry a physical quantity must end in one of the
+//     repo's unit suffixes (W, MHz, GHz, S, Seconds, J, Norm, Frac, …),
+//     and +/- arithmetic between identifiers of different unit
+//     dimensions is flagged;
+//   - determinism: time.Now, global math/rand source calls, and
+//     order-dependent map iteration (appends/prints inside a map range)
+//     are forbidden in the seeded-replay packages (internal/sim,
+//     internal/faults, internal/core, internal/mpc,
+//     internal/experiments);
+//   - floatsafety: ==/!= between non-constant float operands, and
+//     divisions by frequency/power-flavored denominators with no
+//     zero-guard in the enclosing function;
+//   - errcheck: call statements that silently discard an error result.
+//
+// Intentional exceptions are documented at the use site with
+//
+//	//lint:ignore <rule> <reason>
+//
+// on the finding's line or the line directly above it. The reason is
+// mandatory; a directive without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path within the module
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one lint pass.
+type Analyzer interface {
+	Name() string
+	Analyze(p *Package) []Diagnostic
+}
+
+// ignoreKey locates one //lint:ignore directive.
+type ignoreKey struct {
+	file string
+	line int
+	rule string
+}
+
+// collectIgnores scans a package's comments for //lint:ignore
+// directives. Malformed directives (missing rule or reason) are
+// returned as diagnostics in their own right.
+func collectIgnores(p *Package) (map[ignoreKey]bool, []Diagnostic) {
+	ignores := make(map[ignoreKey]bool)
+	var bad []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:     pos,
+						Rule:    "lint",
+						Message: "malformed //lint:ignore directive: need `//lint:ignore <rule> <reason>`",
+					})
+					continue
+				}
+				ignores[ignoreKey{file: pos.Filename, line: pos.Line, rule: fields[0]}] = true
+			}
+		}
+	}
+	return ignores, bad
+}
+
+// Run executes the analyzers over the packages and returns the
+// unsuppressed findings, sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		ignores, bad := collectIgnores(p)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			for _, d := range a.Analyze(p) {
+				suppressed := ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Rule}] ||
+					ignores[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}]
+				if !suppressed {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// DefaultAnalyzers returns the standard suite with the repo's
+// determinism scope.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		NewUnits(),
+		NewDeterminism(DefaultDeterminismScope()),
+		NewFloatSafety(),
+		NewErrcheck(),
+	}
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one fixture package under testdata/src.
+func loadFixture(t *testing.T, name, importPath string) *Package {
+	t.Helper()
+	p, err := LoadPackageDir(filepath.Join("testdata", "src", name), importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if p == nil {
+		t.Fatalf("fixture %s has no files", name)
+	}
+	return p
+}
+
+// wantKey is one expected diagnostic: a rule at a line.
+type wantKey struct {
+	line int
+	rule string
+}
+
+// expectations parses the fixture's `// want <rule> [<rule>...]`
+// comments into the exact diagnostic set the analyzers must produce.
+func expectations(p *Package) map[wantKey]int {
+	out := make(map[wantKey]int)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				for _, rule := range strings.Fields(rest) {
+					out[wantKey{line, rule}]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkFixture runs the full default suite over one fixture and demands
+// an exact match between findings and `// want` comments — so each
+// fixture simultaneously proves its analyzer fires at the right lines,
+// stays quiet on the clean idioms, honors //lint:ignore, and triggers
+// no cross-rule false positives.
+func checkFixture(t *testing.T, name, importPath, rule string) {
+	t.Helper()
+	p := loadFixture(t, name, importPath)
+	want := expectations(p)
+	if len(want) == 0 {
+		t.Fatalf("fixture %s declares no expected diagnostics", name)
+	}
+	sawRule := false
+	for _, d := range Run([]*Package{p}, DefaultAnalyzers()) {
+		if d.Rule == rule {
+			sawRule = true
+		}
+		k := wantKey{d.Pos.Line, d.Rule}
+		if want[k] == 0 {
+			t.Errorf("unexpected finding %s", d)
+			continue
+		}
+		want[k]--
+		if want[k] == 0 {
+			delete(want, k)
+		}
+	}
+	for k, n := range want {
+		t.Errorf("missing %d finding(s) of rule %s at %s:%d", n, k.rule, name, k.line)
+	}
+	if !sawRule {
+		t.Errorf("fixture %s produced no %s findings at all", name, rule)
+	}
+}
+
+func TestUnitsFixture(t *testing.T) {
+	checkFixture(t, "units", "fixture/units", "units")
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	// The import path places the fixture inside the default
+	// seeded-replay scope (it contains "internal/sim").
+	checkFixture(t, "determinism", "fixture/internal/sim/determfix", "determinism")
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	p := loadFixture(t, "determinism", "fixture/unscoped/determfix")
+	if got := NewDeterminism(DefaultDeterminismScope()).Analyze(p); len(got) != 0 {
+		t.Fatalf("determinism fired outside its scope: %v", got)
+	}
+}
+
+func TestFloatSafetyFixture(t *testing.T) {
+	checkFixture(t, "floatsafety", "fixture/floatsafety", "floatsafety")
+}
+
+func TestErrcheckFixture(t *testing.T) {
+	checkFixture(t, "errcheck", "fixture/errcheck", "errcheck")
+}
+
+// TestMalformedIgnore pins down the reason-is-mandatory rule: a bare
+// `//lint:ignore errcheck` is itself reported and suppresses nothing.
+func TestMalformedIgnore(t *testing.T) {
+	p := loadFixture(t, "malformed", "fixture/malformed")
+	got := Run([]*Package{p}, DefaultAnalyzers())
+	if len(got) != 2 {
+		t.Fatalf("want 2 findings (malformed directive + unsuppressed errcheck), got %d: %v", len(got), got)
+	}
+	if got[0].Rule != "lint" || !strings.Contains(got[0].Message, "malformed") {
+		t.Errorf("first finding should be the malformed directive, got %s", got[0])
+	}
+	if got[1].Rule != "errcheck" || got[1].Pos.Line != got[0].Pos.Line+1 {
+		t.Errorf("reasonless directive must not suppress the finding below it, got %s", got[1])
+	}
+}
+
+// TestRepoClean is the zero-findings gate in test form: the whole module
+// must lint clean, so `go test ./...` fails the moment a finding lands.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("only %d packages loaded; module walk is broken", len(pkgs))
+	}
+	for _, d := range Run(pkgs, DefaultAnalyzers()) {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+}

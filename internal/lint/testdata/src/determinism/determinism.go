@@ -1,0 +1,47 @@
+// Package determfix exercises the determinism analyzer. The test loads
+// it under an import path containing "internal/sim" so the default
+// seeded-replay scope applies.
+package determfix
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().Unix() // want determinism
+}
+
+// Draw uses the global rand source.
+func Draw() float64 {
+	return rand.Float64() // want determinism
+}
+
+// Seeded uses the approved seeded-source idiom and is clean.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Dump leaks map iteration order into a slice and into output.
+func Dump(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want determinism
+	}
+	for k, v := range m {
+		fmt.Println(k, v) // want determinism
+	}
+	return keys
+}
+
+// Suppressed documents an intentional order-dependent append.
+func Suppressed(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		//lint:ignore determinism fixture exercises the suppression path
+		out = append(out, v)
+	}
+	return out
+}

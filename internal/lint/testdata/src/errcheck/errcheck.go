@@ -1,0 +1,44 @@
+// Package errfix exercises the errcheck analyzer: discarded error
+// results and the documented exemptions.
+package errfix
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Drop discards an error result outright.
+func Drop(f *os.File) {
+	f.Sync() // want errcheck
+}
+
+// Deferred discards an error from a deferred call.
+func Deferred(f *os.File) {
+	defer f.Close() // want errcheck
+}
+
+// Explicit discards visibly and is clean.
+func Explicit(f *os.File) {
+	_ = f.Sync()
+}
+
+// Terminal uses the exempt stdout/stderr printers.
+func Terminal() {
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "world\n")
+}
+
+// Builder writes to a strings.Builder, whose errors are always nil.
+func Builder() string {
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 1)
+	return b.String()
+}
+
+// Suppressed documents an intentional discard.
+func Suppressed(f *os.File) {
+	//lint:ignore errcheck fixture exercises the suppression path
+	f.Sync()
+}

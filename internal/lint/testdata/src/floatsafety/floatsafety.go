@@ -1,0 +1,37 @@
+// Package floatfix exercises the floatsafety analyzer: float equality
+// and unguarded quantity-flavored divisions.
+package floatfix
+
+// Equal compares computed floats exactly.
+func Equal(a, b float64) bool {
+	return a == b // want floatsafety
+}
+
+// Unset uses the zero-sentinel idiom, which is exempt.
+func Unset(x float64) bool {
+	return x == 0
+}
+
+// Norm divides by a power-flavored denominator with no guard in sight.
+func Norm(powerW, maxPowerW float64) float64 {
+	return powerW / maxPowerW // want floatsafety
+}
+
+// Guarded checks the denominator's range first and is clean.
+func Guarded(powerW, maxPowerW float64) float64 {
+	if maxPowerW <= 0 {
+		return 0
+	}
+	return powerW / maxPowerW
+}
+
+// ConstDenom divides by a provably nonzero constant and is clean.
+func ConstDenom(powerW float64) float64 {
+	return powerW / 2.0
+}
+
+// Suppressed documents an intentional exact comparison.
+func Suppressed(a, b float64) bool {
+	//lint:ignore floatsafety fixture exercises the suppression path
+	return a == b
+}

@@ -1,0 +1,11 @@
+// Package malformed holds a //lint:ignore directive with no reason: the
+// directive itself must be reported, and it must not suppress anything.
+package malformed
+
+import "os"
+
+// Drop carries a reasonless ignore that should not work.
+func Drop(f *os.File) {
+	//lint:ignore errcheck
+	f.Sync()
+}

@@ -1,0 +1,32 @@
+// Package unitsfix exercises the units analyzer: unsuffixed quantity
+// names on exported surfaces and mixed-dimension arithmetic.
+package unitsfix
+
+// PowerBudget is a package-level exported quantity with no suffix.
+const PowerBudget = 250.0 // want units
+
+// CapDefaultW carries a suffix and is clean.
+const CapDefaultW = 300.0
+
+// Server mixes suffixed and unsuffixed quantity fields.
+type Server struct {
+	IdlePower float64 // want units
+	CapW      float64
+	//lint:ignore units legacy name kept for serialized-config compatibility
+	PeakPower float64
+}
+
+// SetBudget takes an unsuffixed quantity parameter.
+func SetBudget(budget float64) float64 { // want units
+	return budget
+}
+
+// Mix adds watts to megahertz.
+func Mix(aW, bMHz float64) float64 {
+	return aW + bMHz // want units
+}
+
+// SameDim subtracts compatible dimensions and is clean.
+func SameDim(aW, bW float64) float64 {
+	return aW - bW
+}

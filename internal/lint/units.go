@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// Units enforces the repo's physical-unit naming convention and flags
+// arithmetic that mixes identifiers of different unit dimensions.
+//
+// Convention: an exported numeric struct field, an exported numeric
+// package-level const/var, or a numeric parameter of an exported
+// function whose name denotes a physical quantity (its trailing word is
+// "power", "freq", "latency", "delay", "energy", "setpoint", "budget",
+// "time", …) must carry a unit suffix: W for watts, GHz/MHz/Hz for
+// frequencies, S/Sec/Seconds/Ms for times, J for joules, Norm/Frac/Pct
+// for dimensionless ratios, Periods for control-period counts.
+//
+// Mixing: `xW + yMHz` adds watts to megahertz; any +/- whose two
+// operands resolve to identifiers with different unit dimensions is
+// flagged (GHz vs MHz counts: a scale mismatch is still a bug).
+type Units struct{}
+
+// NewUnits returns the units analyzer.
+func NewUnits() *Units { return &Units{} }
+
+// Name implements Analyzer.
+func (*Units) Name() string { return "units" }
+
+// unitDims maps each recognized suffix to its dimension group. Suffixes
+// in the same group are compatible; distinct groups must not be mixed
+// by +/-. Scale variants of one dimension (GHz vs MHz) are distinct
+// groups on purpose.
+var unitDims = map[string]string{
+	"W":       "watts",
+	"GHz":     "gigahertz",
+	"MHz":     "megahertz",
+	"KHz":     "kilohertz",
+	"Hz":      "hertz",
+	"J":       "joules",
+	"S":       "seconds",
+	"Sec":     "seconds",
+	"Secs":    "seconds",
+	"Seconds": "seconds",
+	"Ms":      "millis",
+	"Norm":    "ratio",
+	"Frac":    "ratio",
+	"Pct":     "ratio",
+	"Ratio":   "ratio",
+	"Periods": "periods",
+}
+
+// unitSuffixes is checked longest-first so "GHz" wins over "Hz".
+var unitSuffixes = []string{
+	"Seconds", "Ratio", "Periods", "Secs", "Norm", "Frac", "GHz", "MHz", "KHz",
+	"Pct", "Sec", "Hz", "Ms", "J", "S", "W",
+}
+
+// quantityWords are the trailing name tokens that mark a quantity
+// needing a unit suffix. Matched case-insensitively and
+// plural-insensitively ("Setpoints" → "setpoint").
+var quantityWords = map[string]bool{
+	"power": true, "watt": true, "freq": true, "frequency": true,
+	"clock": true, "latency": true, "delay": true, "energy": true,
+	"setpoint": true, "budget": true, "time": true, "joule": true,
+}
+
+// unitSuffix returns the recognized unit suffix of a name ("" if none).
+// Single-letter suffixes require a lowercase letter or digit before
+// them so "SLOs" or "RMSE" are not read as carrying units.
+func unitSuffix(name string) string {
+	for _, suf := range unitSuffixes {
+		if !strings.HasSuffix(name, suf) {
+			continue
+		}
+		rest := name[:len(name)-len(suf)]
+		if rest == "" {
+			if len(suf) > 1 {
+				return suf
+			}
+			continue
+		}
+		prev := rune(rest[len(rest)-1])
+		if unicode.IsLower(prev) || unicode.IsDigit(prev) {
+			return suf
+		}
+	}
+	return ""
+}
+
+// lastWord returns the final camel-case token of a name, lowercased and
+// singularized.
+func lastWord(name string) string {
+	start := 0
+	for i, r := range name {
+		if unicode.IsUpper(r) {
+			start = i
+		}
+	}
+	w := strings.ToLower(name[start:])
+	if strings.HasSuffix(w, "ies") {
+		return w[:len(w)-3] + "y"
+	}
+	if strings.HasSuffix(w, "s") && len(w) > 3 {
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+// needsSuffix reports whether a numeric identifier's name denotes a
+// quantity but carries no unit suffix.
+func needsSuffix(name string) bool {
+	if unitSuffix(name) != "" {
+		return false
+	}
+	return quantityWords[lastWord(name)]
+}
+
+// numericType reports whether t is an integer/float or a slice/array of
+// one — the shapes physical quantities travel in.
+func numericType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsInteger|types.IsFloat) != 0
+	case *types.Slice:
+		return numericType(u.Elem())
+	case *types.Array:
+		return numericType(u.Elem())
+	}
+	return false
+}
+
+// Analyze implements Analyzer.
+func (u *Units) Analyze(p *Package) []Diagnostic {
+	var out []Diagnostic
+	diag := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(pos),
+			Rule:    "units",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				if !n.Name.IsExported() {
+					return true
+				}
+				st, ok := n.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, fld := range st.Fields.List {
+					t := p.Info.TypeOf(fld.Type)
+					if t == nil || !numericType(t) {
+						continue
+					}
+					for _, name := range fld.Names {
+						if name.IsExported() && needsSuffix(name.Name) {
+							diag(name.Pos(), "exported field %s.%s carries a physical quantity but no unit suffix (want W, MHz, GHz, S, Seconds, J, Norm, Frac, …)", n.Name.Name, name.Name)
+						}
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok != token.CONST && n.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := p.Info.Defs[name]
+						if obj == nil || obj.Parent() != p.Pkg.Scope() {
+							continue
+						}
+						if name.IsExported() && numericType(obj.Type()) && needsSuffix(name.Name) {
+							diag(name.Pos(), "exported %s %s carries a physical quantity but no unit suffix", n.Tok, name.Name)
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if !n.Name.IsExported() || n.Type.Params == nil {
+					return true
+				}
+				for _, fld := range n.Type.Params.List {
+					t := p.Info.TypeOf(fld.Type)
+					if t == nil || !numericType(t) {
+						continue
+					}
+					for _, name := range fld.Names {
+						if needsSuffix(name.Name) {
+							diag(name.Pos(), "parameter %s of exported %s carries a physical quantity but no unit suffix", name.Name, n.Name.Name)
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.ADD && n.Op != token.SUB {
+					return true
+				}
+				ld, ln := operandDim(n.X)
+				rd, rn := operandDim(n.Y)
+				if ld != "" && rd != "" && ld != rd {
+					diag(n.OpPos, "arithmetic mixes units: %s (%s) %s %s (%s)", ln, ld, n.Op, rn, rd)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// operandDim resolves an operand expression to (dimension, name) via
+// its identifier's unit suffix; ("", "") when the operand carries no
+// recognizable unit.
+func operandDim(e ast.Expr) (dim, name string) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	case *ast.IndexExpr:
+		return operandDim(e.X)
+	case *ast.ParenExpr:
+		return operandDim(e.X)
+	default:
+		return "", ""
+	}
+	suf := unitSuffix(name)
+	if suf == "" {
+		return "", ""
+	}
+	return unitDims[suf], name
+}

@@ -217,3 +217,12 @@ func Summarize(powerW []float64, setpointW float64, steady int, band, slack floa
 		Settling:   SettlingTimeWindow(powerW, setpointW, band, 5),
 	}
 }
+
+// ApproxEqual reports whether a and b are equal within eps, the
+// comparison the floatsafety lint rule points computed-value equality
+// at. eps is absolute: power and latency values in this codebase live
+// in well-scaled natural units (W, S, MHz), so a relative tolerance
+// buys nothing but corner cases near zero.
+func ApproxEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}

@@ -205,16 +205,16 @@ func (c *Controller) penaltyWeights(throughput []float64) []float64 {
 //
 //	measuredW: average power over the previous period (the feedback).
 //	setpointW: the power cap P_s.
-//	freqs:     currently applied frequencies.
+//	knobs:     currently applied frequencies.
 //	throughput: per-knob normalized throughput in [0,1] for the weight
 //	           assignment (nil => uniform weights).
 //	lower:     per-knob effective minimum frequencies; for GPUs these are
 //	           the SLO-derived bounds from Eq. (10b,c) (nil => hardware
 //	           minimums).
-func (c *Controller) Compute(measuredW, setpointW float64, freqs, throughput, lower []float64) ([]float64, *Diagnostics, error) {
+func (c *Controller) Compute(measuredW, setpointW float64, knobs, throughput, lower []float64) ([]float64, *Diagnostics, error) {
 	n := len(c.gains)
-	if len(freqs) != n {
-		return nil, nil, fmt.Errorf("mpc: %d freqs for %d knobs", len(freqs), n)
+	if len(knobs) != n {
+		return nil, nil, fmt.Errorf("mpc: %d knobs for %d knobs", len(knobs), n)
 	}
 	if throughput != nil && len(throughput) != n {
 		return nil, nil, fmt.Errorf("mpc: %d throughputs for %d knobs", len(throughput), n)
@@ -228,7 +228,7 @@ func (c *Controller) Compute(measuredW, setpointW float64, freqs, throughput, lo
 	lo := make([]float64, n)
 	clamped := false
 	for i := 0; i < n; i++ {
-		x[i] = (freqs[i] - c.fmin[i]) / c.scale[i]
+		x[i] = (knobs[i] - c.fmin[i]) / c.scale[i]
 		if x[i] < 0 {
 			x[i] = 0
 		}

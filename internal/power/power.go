@@ -32,7 +32,7 @@ type Meter struct {
 
 // Reading is one sampled power value.
 type Reading struct {
-	Time   float64 // simulated seconds
+	TimeS  float64 // simulated seconds
 	PowerW float64
 }
 
@@ -56,7 +56,7 @@ func (m *Meter) Record(t float64, powerW float64) {
 	q := math.Round(powerW*1000) / 1000
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.readings = append(m.readings, Reading{Time: t, PowerW: q})
+	m.readings = append(m.readings, Reading{TimeS: t, PowerW: q})
 	if len(m.readings) > m.maxKeep {
 		m.readings = m.readings[len(m.readings)-m.maxKeep:]
 	}
@@ -65,7 +65,7 @@ func (m *Meter) Record(t float64, powerW float64) {
 // Sample records the server's current measured power.
 func (m *Meter) Sample(s *sim.Server) {
 	last := s.Last()
-	m.Record(last.Time, last.MeasuredW)
+	m.Record(last.TimeS, last.MeasuredW)
 }
 
 // Latest returns the most recent reading.
@@ -78,7 +78,7 @@ func (m *Meter) Latest() (Reading, bool) {
 	return m.readings[len(m.readings)-1], true
 }
 
-// AverageSince returns the mean power of all readings with Time > since,
+// AverageSince returns the mean power of all readings with TimeS > since,
 // which is how the controller condenses a control period's samples. The
 // third return is false when the window holds no readings at all — a
 // meter outage — so callers cannot mistake an empty window for a 0 W
@@ -89,7 +89,7 @@ func (m *Meter) AverageSince(since float64) (avg float64, n int, ok bool) {
 	sum := 0.0
 	for i := len(m.readings) - 1; i >= 0; i-- {
 		r := m.readings[i]
-		if r.Time <= since {
+		if r.TimeS <= since {
 			break
 		}
 		sum += r.PowerW
@@ -101,14 +101,14 @@ func (m *Meter) AverageSince(since float64) (avg float64, n int, ok bool) {
 	return sum / float64(n), n, true
 }
 
-// ReadingsSince returns a copy of every reading with Time > since, in
+// ReadingsSince returns a copy of every reading with TimeS > since, in
 // chronological order — the raw window robust estimators (trimmed mean,
 // stuck-value detection) work from.
 func (m *Meter) ReadingsSince(since float64) []Reading {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	i := len(m.readings)
-	for i > 0 && m.readings[i-1].Time > since {
+	for i > 0 && m.readings[i-1].TimeS > since {
 		i--
 	}
 	return append([]Reading(nil), m.readings[i:]...)
@@ -122,7 +122,7 @@ func (m *Meter) WriteTo(w io.Writer) (int64, error) {
 	defer m.mu.Unlock()
 	var total int64
 	for _, r := range m.readings {
-		n, err := fmt.Fprintf(w, "%.3f %d\n", r.Time, int64(math.Round(r.PowerW*1000)))
+		n, err := fmt.Fprintf(w, "%.3f %d\n", r.TimeS, int64(math.Round(r.PowerW*1000)))
 		total += int64(n)
 		if err != nil {
 			return total, err
@@ -188,7 +188,7 @@ func parseLine(line int, text string) (Reading, error) {
 	if err != nil {
 		return Reading{}, fmt.Errorf("power: line %d: bad power %q", line, fields[1])
 	}
-	return Reading{Time: t, PowerW: float64(mw) / 1000}, nil
+	return Reading{TimeS: t, PowerW: float64(mw) / 1000}, nil
 }
 
 // RobustAverage condenses a period's readings into an average that one

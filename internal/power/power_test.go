@@ -56,7 +56,7 @@ func TestAverageSince(t *testing.T) {
 		t.Fatalf("future window: n = %d ok = %v, want empty/false", n, ok)
 	}
 	rs := m.ReadingsSince(6)
-	if len(rs) != 2 || rs[0].Time != 7 || rs[1].Time != 8 {
+	if len(rs) != 2 || rs[0].TimeS != 7 || rs[1].TimeS != 8 {
 		t.Fatalf("ReadingsSince(6) = %+v", rs)
 	}
 }
@@ -106,7 +106,7 @@ func TestWriteParseRoundTrip(t *testing.T) {
 	}
 	want := []Reading{{1, 901.5}, {2, 902.25}, {3, 899.75}}
 	for i := range want {
-		if math.Abs(got[i].PowerW-want[i].PowerW) > 1e-9 || got[i].Time != want[i].Time {
+		if math.Abs(got[i].PowerW-want[i].PowerW) > 1e-9 || got[i].TimeS != want[i].TimeS {
 			t.Fatalf("reading %d: %+v, want %+v", i, got[i], want[i])
 		}
 	}

@@ -215,7 +215,7 @@ type Server struct {
 
 // Sample is one tick's full observable state.
 type Sample struct {
-	Time       float64
+	TimeS      float64
 	TruePowerW float64
 	MeasuredW  float64 // TruePowerW + measurement noise
 	CPUPowerW  float64 // RAPL-like per-device reading
@@ -461,7 +461,7 @@ func (s *Server) Tick(dt float64) Sample {
 	s.now += dt
 	s.energy += total * dt
 	s.last = Sample{
-		Time:       s.now,
+		TimeS:      s.now,
 		TruePowerW: total,
 		DriftW:     s.drift,
 		MeasuredW:  total + s.cfg.MeasNoiseW*s.rng.NormFloat64(),
@@ -488,6 +488,7 @@ func (s *Server) EnergyJ() float64 { return s.energy }
 // Linear in f to first order (the basis of the paper's Eq. 3 model) with
 // a small quadratic residual so identification is imperfect.
 func devicePower(f, fmax, util, idle, dyn, floor, nonlin float64) float64 {
+	//lint:ignore floatsafety fmax comes from a DeviceSpec validated positive at server construction
 	return idle + dyn*f*(floor+(1-floor)*util) + nonlin*(f/fmax)*(f/fmax)
 }
 

@@ -180,8 +180,8 @@ func TestTickAdvancesClockAndStats(t *testing.T) {
 		t.Fatalf("initial time %g", s.Now())
 	}
 	smp := s.Tick(1)
-	if s.Now() != 1 || smp.Time != 1 {
-		t.Fatalf("time after tick: %g / %g", s.Now(), smp.Time)
+	if s.Now() != 1 || smp.TimeS != 1 {
+		t.Fatalf("time after tick: %g / %g", s.Now(), smp.TimeS)
 	}
 	if smp.GPUStats[0].Throughput <= 0 {
 		t.Fatal("pipeline produced no throughput")
@@ -190,7 +190,7 @@ func TestTickAdvancesClockAndStats(t *testing.T) {
 		t.Fatal("CPU workload produced no throughput")
 	}
 	again := s.Tick(0)
-	if again.Time != smp.Time || again.TruePowerW != smp.TruePowerW {
+	if again.TimeS != smp.TimeS || again.TruePowerW != smp.TruePowerW {
 		t.Fatal("zero-dt tick should return last sample")
 	}
 }

@@ -60,17 +60,17 @@ func NewRLS(nKnobs int, initial *Model, lambda, initCov float64) (*RLS, error) {
 	return r, nil
 }
 
-// Update absorbs one observation: the frequency vector applied during a
+// Update absorbs one observation: the knob vector applied during a
 // period and the period's average measured power. It returns the
 // prediction error before the update (the innovation), useful for
 // monitoring model quality.
-func (r *RLS) Update(freqs []float64, powerW float64) (innovation float64, err error) {
-	if len(freqs) != r.n {
-		return 0, fmt.Errorf("sysid: rls update with %d freqs, want %d", len(freqs), r.n)
+func (r *RLS) Update(knobs []float64, powerW float64) (innovation float64, err error) {
+	if len(knobs) != r.n {
+		return 0, fmt.Errorf("sysid: rls update with %d knobs, want %d", len(knobs), r.n)
 	}
 	// Regressor x = [F; 1].
 	x := make([]float64, r.n+1)
-	copy(x, freqs)
+	copy(x, knobs)
 	x[r.n] = 1
 
 	pred := mat.Dot(r.theta, x)

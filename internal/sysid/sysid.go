@@ -26,6 +26,7 @@ import (
 // Record is one identification observation: the applied frequency vector
 // (CPU first, in GHz; then GPUs, in MHz) and the average measured power.
 type Record struct {
+	//lint:ignore units mixed-unit knob vector by design: knob 0 is CPU GHz, the rest GPU MHz
 	Freqs  []float64
 	PowerW float64
 }
@@ -45,12 +46,12 @@ type Model struct {
 	Cond float64
 }
 
-// Predict evaluates the model at a frequency vector.
-func (m *Model) Predict(freqs []float64) (float64, error) {
-	if len(freqs) != len(m.Gains) {
-		return 0, fmt.Errorf("sysid: %d frequencies for %d gains", len(freqs), len(m.Gains))
+// Predict evaluates the model at a knob-frequency vector (knob 0 in GHz, GPU knobs in MHz).
+func (m *Model) Predict(knobs []float64) (float64, error) {
+	if len(knobs) != len(m.Gains) {
+		return 0, fmt.Errorf("sysid: %d frequencies for %d gains", len(knobs), len(m.Gains))
 	}
-	return mat.Dot(m.Gains, freqs) + m.Offset, nil
+	return mat.Dot(m.Gains, knobs) + m.Offset, nil
 }
 
 // Fit solves for the model coefficients by least squares over the
@@ -232,36 +233,36 @@ func (lm *LatencyModel) Predict(f float64) float64 {
 // FitLatency fits e = eMin·(fMax/f)^γ to (frequency, latency) samples by
 // linear regression of log(e) on log(fMax/f). Frequencies and latencies
 // must be positive.
-func FitLatency(freqs, lats []float64, fMax float64) (*LatencyModel, error) {
-	if len(freqs) != len(lats) {
-		return nil, fmt.Errorf("sysid: %d freqs but %d latencies", len(freqs), len(lats))
+func FitLatency(freqsMHz, latsS []float64, fMax float64) (*LatencyModel, error) {
+	if len(freqsMHz) != len(latsS) {
+		return nil, fmt.Errorf("sysid: %d freqsMHz but %d latencies", len(freqsMHz), len(latsS))
 	}
-	if len(freqs) < 3 {
-		return nil, fmt.Errorf("sysid: need at least 3 samples, got %d", len(freqs))
+	if len(freqsMHz) < 3 {
+		return nil, fmt.Errorf("sysid: need at least 3 samples, got %d", len(freqsMHz))
 	}
 	if fMax <= 0 {
 		return nil, fmt.Errorf("sysid: reference frequency %g must be positive", fMax)
 	}
-	a := mat.New(len(freqs), 2)
-	b := make([]float64, len(freqs))
-	for i := range freqs {
-		if freqs[i] <= 0 || lats[i] <= 0 {
-			return nil, fmt.Errorf("sysid: sample %d non-positive (f=%g, e=%g)", i, freqs[i], lats[i])
+	a := mat.New(len(freqsMHz), 2)
+	b := make([]float64, len(freqsMHz))
+	for i := range freqsMHz {
+		if freqsMHz[i] <= 0 || latsS[i] <= 0 {
+			return nil, fmt.Errorf("sysid: sample %d non-positive (f=%g, e=%g)", i, freqsMHz[i], latsS[i])
 		}
 		a.Set(i, 0, 1)
-		a.Set(i, 1, math.Log(fMax/freqs[i]))
-		b[i] = math.Log(lats[i])
+		a.Set(i, 1, math.Log(fMax/freqsMHz[i]))
+		b[i] = math.Log(latsS[i])
 	}
 	x, err := mat.LeastSquares(a, b)
 	if err != nil {
 		return nil, fmt.Errorf("sysid: latency fit: %w", err)
 	}
 	lm := &LatencyModel{EMin: math.Exp(x[0]), Gamma: x[1], FMax: fMax}
-	pred := make([]float64, len(freqs))
-	for i := range freqs {
-		pred[i] = lm.Predict(freqs[i])
+	pred := make([]float64, len(freqsMHz))
+	for i := range freqsMHz {
+		pred[i] = lm.Predict(freqsMHz[i])
 	}
 	// R² in the paper is reported on latency (not log-latency).
-	lm.R2 = mat.RSquared(lats, pred)
+	lm.R2 = mat.RSquared(latsS, pred)
 	return lm, nil
 }

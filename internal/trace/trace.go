@@ -120,7 +120,7 @@ func Chart(series []Series, width, height int, refLine float64, title string) st
 	if maxLen == 0 || math.IsInf(lo, 1) {
 		return title + "\n(no data)\n"
 	}
-	if hi == lo {
+	if hi-lo < 1e-12 {
 		hi = lo + 1
 	}
 	pad := 0.05 * (hi - lo)

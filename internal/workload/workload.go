@@ -163,15 +163,15 @@ type Pipeline struct {
 
 // Stats reports one step's observable pipeline behavior.
 type Stats struct {
-	Throughput      float64 // completed inferences, images/second
-	GPUBatchLatency float64 // observed seconds per batch (with noise)
-	QueueDelay      float64 // seconds an image spends queued (incl. batch fill)
-	PreLatency      float64 // per-worker preprocessing seconds per image
-	GPUUtil         float64 // 0..1
-	CPUUtil         float64 // 0..1, utilization of the feeder cores
-	QueueLen        float64 // images in queue at end of step
-	ArrivalRate     float64 // images/second offered by preprocessing
-	ServiceRate     float64 // images/second the GPU could complete
+	Throughput       float64 // completed inferences, images/second
+	GPUBatchLatencyS float64 // observed seconds per batch (with noise)
+	QueueDelayS      float64 // seconds an image spends queued (incl. batch fill)
+	PreLatencyS      float64 // per-worker preprocessing seconds per image
+	GPUUtil          float64 // 0..1
+	CPUUtil          float64 // 0..1, utilization of the feeder cores
+	QueueLen         float64 // images in queue at end of step
+	ArrivalRate      float64 // images/second offered by preprocessing
+	ServiceRate      float64 // images/second the GPU could complete
 }
 
 // NewPipeline validates the config and returns a pipeline.
@@ -255,15 +255,15 @@ func (p *Pipeline) Step(dt, fc, fg float64) Stats {
 	preLat := c.PreLatencyBase * math.Pow(c.FcMax/fc, c.PreLatencyExp)
 
 	p.last = Stats{
-		Throughput:      throughput,
-		GPUBatchLatency: eObs,
-		QueueDelay:      queueDelay,
-		PreLatency:      preLat,
-		GPUUtil:         math.Min(throughput/mu, 1),
-		CPUUtil:         math.Min(throughput/math.Max(lambda, 1e-9), 1),
-		QueueLen:        p.queue,
-		ArrivalRate:     lambda,
-		ServiceRate:     mu,
+		Throughput:       throughput,
+		GPUBatchLatencyS: eObs,
+		QueueDelayS:      queueDelay,
+		PreLatencyS:      preLat,
+		GPUUtil:          math.Min(throughput/mu, 1),
+		CPUUtil:          math.Min(throughput/math.Max(lambda, 1e-9), 1),
+		QueueLen:         p.queue,
+		ArrivalRate:      lambda,
+		ServiceRate:      mu,
 	}
 	return p.last
 }
@@ -326,7 +326,7 @@ type CPUWorkload struct {
 // CPUStats reports the CPU workload's per-step observables.
 type CPUStats struct {
 	Throughput float64 // feature subsets per second
-	Latency    float64 // seconds per subset (cross-validation wall time)
+	LatencyS   float64 // seconds per subset (cross-validation wall time)
 	Util       float64 // utilization of the workload's cores
 }
 
@@ -344,6 +344,7 @@ func NewCPUWorkload(cfg CPUWorkloadConfig) (*CPUWorkload, error) {
 // Step advances the CPU workload by dt seconds at frequency fc (GHz).
 func (w *CPUWorkload) Step(dt, fc float64) CPUStats {
 	fc = math.Max(fc, 1e-6)
+	//lint:ignore floatsafety NewCPUWorkload rejects configs with FcMax <= 0
 	rate := w.cfg.RateAtMax * math.Pow(fc/w.cfg.FcMax, w.cfg.RateExp)
 	rate *= 1 + w.cfg.NoiseStd*w.rng.NormFloat64()
 	if rate < 1e-9 {
@@ -351,7 +352,7 @@ func (w *CPUWorkload) Step(dt, fc float64) CPUStats {
 	}
 	w.last = CPUStats{
 		Throughput: rate,
-		Latency:    1 / rate,
+		LatencyS:   1 / rate,
 		Util:       1, // batch job: always runnable
 	}
 	return w.last

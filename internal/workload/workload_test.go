@@ -209,7 +209,7 @@ func TestPipelineUtilizationBounds(t *testing.T) {
 			if st.GPUUtil < 0 || st.GPUUtil > 1 || st.CPUUtil < 0 || st.CPUUtil > 1 {
 				return false
 			}
-			if st.QueueDelay < 0 || math.IsNaN(st.QueueDelay) {
+			if st.QueueDelayS < 0 || math.IsNaN(st.QueueDelayS) {
 				return false
 			}
 		}
@@ -224,11 +224,11 @@ func TestPipelineResetReproducible(t *testing.T) {
 	p := googlenetPipeline(t)
 	first := make([]float64, 20)
 	for i := range first {
-		first[i] = p.Step(1, 1.6, 660).GPUBatchLatency
+		first[i] = p.Step(1, 1.6, 660).GPUBatchLatencyS
 	}
 	p.Reset()
 	for i := range first {
-		if got := p.Step(1, 1.6, 660).GPUBatchLatency; got != first[i] {
+		if got := p.Step(1, 1.6, 660).GPUBatchLatencyS; got != first[i] {
 			t.Fatalf("step %d after reset: %g, want %g", i, got, first[i])
 		}
 	}
@@ -270,8 +270,8 @@ func TestCPUWorkload(t *testing.T) {
 	if full.Throughput <= half.Throughput {
 		t.Fatalf("throughput should rise with frequency: %g vs %g", full.Throughput, half.Throughput)
 	}
-	if math.Abs(full.Latency*full.Throughput-1) > 1e-9 {
-		t.Fatalf("latency should be 1/throughput: %g * %g", full.Latency, full.Throughput)
+	if math.Abs(full.LatencyS*full.Throughput-1) > 1e-9 {
+		t.Fatalf("latency should be 1/throughput: %g * %g", full.LatencyS, full.Throughput)
 	}
 	if w.MaxThroughput() != 40 {
 		t.Fatalf("MaxThroughput = %g", w.MaxThroughput())
