@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench
+.PHONY: all build test race vet fmt lint check bench telemetry-verify
 
 all: check
 
@@ -28,7 +28,19 @@ fmt:
 lint:
 	$(GO) run ./cmd/capgpu-lint -dir .
 
-check: build vet fmt lint test race
+# End-to-end telemetry acceptance: a short fault-injected session whose
+# degraded/fail-safe windows must produce a balanced JSONL event stream
+# (every enter paired with an exit) and whose cap-violation / SLO-miss
+# counters must match the end-of-run metrics summary exactly.
+telemetry-verify:
+	$(GO) run ./cmd/capgpu-sim -seed 7 -periods 60 \
+		-faults "meter-dropout@10+6;meter-stuck@25+4;meter-spike@40+4*250" \
+		-events /tmp/capgpu-telemetry-verify.jsonl \
+		-metrics-snapshot /tmp/capgpu-telemetry-verify.prom \
+		-events-selfcheck > /dev/null
+	@echo "telemetry-verify: ok"
+
+check: build vet fmt lint test race telemetry-verify
 
 bench:
 	$(GO) test -bench . -benchtime 1x .

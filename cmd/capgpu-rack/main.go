@@ -10,6 +10,17 @@
 //
 // The rack is three servers with heavy / medium / light load (3 / 2 / 1
 // busy GPUs); policies: uniform, demand, priority.
+//
+// Rack-plane faults and telemetry (see DESIGN.md):
+//
+//	-faults string           fault DSL; server-dropout targets are node
+//	                         indices (0 heavy, 1 medium, 2 light)
+//	-metrics-addr string     serve /metrics, /events, /healthz during and
+//	                         after the run (stays up until SIGINT or -hold)
+//	-events string           append the JSONL event stream to this file
+//	-metrics-snapshot string write the final Prometheus exposition here
+//	-hold duration           with -metrics-addr, serve this long after the
+//	                         run instead of waiting for SIGINT
 package main
 
 import (
@@ -17,8 +28,13 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -27,9 +43,51 @@ func main() {
 	policy := flag.String("policy", "all", "allocation policy: uniform, demand, priority, all")
 	periods := flag.Int("periods", 60, "server control periods (T = 4 s each)")
 	seed := flag.Int64("seed", 33, "simulation seed")
+	faultsDSL := flag.String("faults", "", "rack fault DSL ("+faults.KindNames()+"); server-dropout targets node indices")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /events, /healthz on this address (e.g. :9090)")
+	eventsPath := flag.String("events", "", "write the JSONL telemetry event stream to this path")
+	snapshotPath := flag.String("metrics-snapshot", "", "write the final Prometheus exposition to this path")
+	hold := flag.Duration("hold", 0, "with -metrics-addr, keep serving this long after the run (0 = until SIGINT)")
 	flag.Parse()
 
-	rows, err := experiments.ExtensionCluster(*seed, *periods, *budget)
+	var sched *faults.Schedule
+	if *faultsDSL != "" {
+		var err error
+		sched, err = faults.Parse(*faultsDSL, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capgpu-rack:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Telemetry is opt-in; the wall clock is injected here at the cmd
+	// layer, never inside the seeded packages.
+	var hub *telemetry.Hub
+	var eventsFile *os.File
+	if *metricsAddr != "" || *eventsPath != "" || *snapshotPath != "" {
+		cfg := telemetry.Config{Clock: func() float64 { return float64(time.Now().UnixNano()) / 1e9 }}
+		if *eventsPath != "" {
+			f, err := os.Create(*eventsPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "capgpu-rack:", err)
+				os.Exit(1)
+			}
+			eventsFile = f
+			cfg.JSONL = f
+		}
+		hub = telemetry.New(cfg)
+	}
+	if *metricsAddr != "" {
+		addr, err := telemetry.Serve(hub, *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capgpu-rack:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: serving http://%s/metrics (/events, /healthz)\n\n", addr)
+	}
+
+	rows, err := experiments.ExtensionClusterOpts(*seed, *periods, *budget,
+		experiments.ClusterOptions{Telemetry: hub, Faults: sched})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capgpu-rack:", err)
 		os.Exit(1)
@@ -47,12 +105,12 @@ func main() {
 	}
 
 	var out [][]string
-	found := false
+	var picked []experiments.ClusterRow
 	for _, r := range rows {
 		if !match(r.Policy) {
 			continue
 		}
-		found = true
+		picked = append(picked, r)
 		out = append(out, []string{
 			r.Policy,
 			fmt.Sprintf("%.0f / %.0f", r.SteadyTotalW, r.BudgetW),
@@ -61,14 +119,40 @@ func main() {
 			fmt.Sprintf("%.0f / %.0f / %.0f", r.PerNodeCapW[0], r.PerNodeCapW[1], r.PerNodeCapW[2]),
 		})
 	}
-	if !found {
+	if len(picked) == 0 {
 		fmt.Fprintf(os.Stderr, "capgpu-rack: unknown policy %q (uniform, demand, priority, all)\n", *policy)
 		os.Exit(1)
 	}
-	fmt.Printf("Rack: 3 servers (heavy/medium/light), budget %.0f W, %d periods\n\n", *budget, *periods)
+	fmt.Printf("Rack: 3 servers (heavy/medium/light), budget %.0f W, %d periods\n", *budget, *periods)
+	if sched != nil {
+		fmt.Printf("fault schedule: %s\n", sched.String())
+	}
+	fmt.Println()
 	fmt.Print(trace.Table(
 		[]string{"policy", "rack W (used/budget)", "over-budget", "rack img/s", "caps h/m/l (W)"},
 		out))
+
+	// Per-node control-loop health, the rack operator's end-of-run view:
+	// the same violation rule the telemetry hub and metrics summary use,
+	// so all three numbers agree.
+	for _, r := range picked {
+		var nodeRows [][]string
+		for _, n := range r.Nodes {
+			nodeRows = append(nodeRows, []string{
+				n.Name,
+				fmt.Sprintf("%d", n.Periods),
+				fmt.Sprintf("%d", n.CapViolations),
+				fmt.Sprintf("%d", n.SLOMisses),
+				fmt.Sprintf("%d", n.DegradedPeriods),
+				fmt.Sprintf("%d", n.FailSafeEntries),
+				fmt.Sprintf("%d", n.UncontrolledPeriods),
+			})
+		}
+		fmt.Printf("\nper-node telemetry summary — %s:\n", r.Policy)
+		fmt.Print(trace.Table(
+			[]string{"node", "periods", "cap-violations", "slo-misses", "degraded", "failsafe-entries", "uncontrolled"},
+			nodeRows))
+	}
 
 	if *policy == "all" && len(rows) == 3 {
 		best, bestT := "", math.Inf(-1)
@@ -78,5 +162,46 @@ func main() {
 			}
 		}
 		fmt.Printf("\nhighest rack throughput under this budget: %s (%.0f img/s)\n", best, bestT)
+	}
+
+	if hub != nil {
+		if err := hub.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "capgpu-rack: event stream:", err)
+			os.Exit(1)
+		}
+		if eventsFile != nil {
+			if err := eventsFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "capgpu-rack:", err)
+				os.Exit(1)
+			}
+			fmt.Println("\nevents written to", *eventsPath)
+		}
+		if *snapshotPath != "" {
+			f, err := os.Create(*snapshotPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "capgpu-rack:", err)
+				os.Exit(1)
+			}
+			werr := hub.Registry().WritePrometheus(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "capgpu-rack:", werr)
+				os.Exit(1)
+			}
+			fmt.Println("metrics snapshot written to", *snapshotPath)
+		}
+	}
+	if *metricsAddr != "" {
+		if *hold > 0 {
+			fmt.Printf("telemetry: holding the endpoint for %s\n", *hold)
+			time.Sleep(*hold)
+			return
+		}
+		fmt.Println("telemetry: endpoint stays up — SIGINT to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
 	}
 }

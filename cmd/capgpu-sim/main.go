@@ -17,6 +17,19 @@
 //	-faults string       fault-injection DSL, e.g. "meter-dropout@30+10"
 //	                     (kind@start+duration[:target][*magnitude]; ';'-joined)
 //	-no-degrade          disable graceful degradation (the R1 strawman)
+//
+// Telemetry (see DESIGN.md "Telemetry & observability"):
+//
+//	-metrics-addr string     serve /metrics, /events, /healthz on this
+//	                         address during and after the run; the process
+//	                         then stays up until SIGINT (or -hold elapses)
+//	-events string           append the JSONL event stream to this file
+//	-metrics-snapshot string write the final Prometheus exposition here
+//	-events-selfcheck        after the run, verify the event stream is
+//	                         balanced and the telemetry counters match the
+//	                         metrics summary (exit 1 on mismatch)
+//	-hold duration           with -metrics-addr, serve for this long after
+//	                         the run instead of waiting for SIGINT
 package main
 
 import (
@@ -24,10 +37,15 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -40,6 +58,11 @@ func main() {
 	sloMode := flag.Bool("slo", false, "run the §6.4 SLO-adaptation scenario and chart per-GPU latency vs SLO")
 	faultsDSL := flag.String("faults", "", "fault schedule DSL ("+faults.KindNames()+"); try "+experiments.RobustnessScenario)
 	noDegrade := flag.Bool("no-degrade", false, "disable graceful degradation under -faults (the unsafe strawman)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /events, /healthz on this address (e.g. :9090)")
+	eventsPath := flag.String("events", "", "write the JSONL telemetry event stream to this path")
+	snapshotPath := flag.String("metrics-snapshot", "", "write the final Prometheus exposition to this path")
+	selfCheck := flag.Bool("events-selfcheck", false, "verify event-stream balance and counter/summary parity after the run")
+	hold := flag.Duration("hold", 0, "with -metrics-addr, keep serving this long after the run (0 = until SIGINT)")
 	flag.Parse()
 
 	if *sloMode {
@@ -57,8 +80,41 @@ func main() {
 		}
 	}
 
-	res, err := experiments.RunFaultSession(*controller, *seed, *periods,
-		experiments.FixedSetpoint(*setpoint), nil, sched, *noDegrade)
+	// Telemetry is built only when a flag asks for it; the default run is
+	// the uninstrumented fast path. The wall clock lives here, at the cmd
+	// layer — seeded packages only ever see the injected Clock.
+	var hub *telemetry.Hub
+	var eventsFile *os.File
+	if *metricsAddr != "" || *eventsPath != "" || *snapshotPath != "" || *selfCheck {
+		cfg := telemetry.Config{Clock: func() float64 { return float64(time.Now().UnixNano()) / 1e9 }}
+		if *eventsPath != "" {
+			f, err := os.Create(*eventsPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
+				os.Exit(1)
+			}
+			eventsFile = f
+			cfg.JSONL = f
+		}
+		hub = telemetry.New(cfg)
+	}
+	if *metricsAddr != "" {
+		addr, err := telemetry.Serve(hub, *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: serving http://%s/metrics (/events, /healthz)\n\n", addr)
+	}
+
+	// A nil *Hub must stay a nil Sink interface, or the harness's
+	// nil-checks would see a typed non-nil value.
+	var sink telemetry.Sink
+	if hub != nil {
+		sink = hub
+	}
+	res, err := experiments.RunInstrumentedSession(*controller, *seed, *periods,
+		experiments.FixedSetpoint(*setpoint), nil, sched, *noDegrade, sink)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
 		os.Exit(1)
@@ -187,6 +243,104 @@ func main() {
 		}
 		fmt.Println("trace written to", *csvPath)
 	}
+
+	if hub != nil {
+		if err := finishTelemetry(hub, eventsFile, *eventsPath, *snapshotPath); err != nil {
+			fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
+			os.Exit(1)
+		}
+		if *selfCheck {
+			if err := selfCheckTelemetry(hub, res); err != nil {
+				fmt.Fprintln(os.Stderr, "capgpu-sim: telemetry self-check FAILED:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *metricsAddr != "" {
+		holdServing(*hold)
+	}
+}
+
+// finishTelemetry closes open lifecycle states, flushes the JSONL file,
+// and writes the Prometheus snapshot.
+func finishTelemetry(hub *telemetry.Hub, eventsFile *os.File, eventsPath, snapshotPath string) error {
+	if err := hub.Finish(); err != nil {
+		return fmt.Errorf("event stream: %w", err)
+	}
+	if eventsFile != nil {
+		if err := eventsFile.Close(); err != nil {
+			return err
+		}
+		fmt.Println("events written to", eventsPath)
+	}
+	if snapshotPath != "" {
+		f, err := os.Create(snapshotPath)
+		if err != nil {
+			return err
+		}
+		werr := hub.Registry().WritePrometheus(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Println("metrics snapshot written to", snapshotPath)
+	}
+	return nil
+}
+
+// selfCheckTelemetry is the acceptance gate behind -events-selfcheck:
+// the event stream must be balanced (every degraded/fail-safe/fault
+// enter has its exit) and the derived counters must agree exactly with
+// the period records and the metrics summary.
+func selfCheckTelemetry(hub *telemetry.Hub, res *experiments.RunResult) error {
+	if err := telemetry.CheckBalance(hub.Events()); err != nil {
+		return err
+	}
+	wantViol, wantMiss := 0, 0
+	for _, r := range res.Records {
+		if r.SetpointW > 0 && r.AvgPowerW > r.SetpointW*1.01 {
+			wantViol++
+		}
+		for _, m := range r.SLOMiss {
+			if m {
+				wantMiss++
+			}
+		}
+	}
+	node := telemetry.L("node", experiments.TelemetryNode)
+	gotViol := int(hub.CounterValue("capgpu_cap_violations_total", node))
+	if gotViol != wantViol {
+		return fmt.Errorf("cap-violation counter %d != %d from period records", gotViol, wantViol)
+	}
+	if s := res.Summary; gotViol != s.Violations {
+		return fmt.Errorf("cap-violation counter %d != metrics summary %d", gotViol, s.Violations)
+	}
+	gotMiss := 0
+	for g := 0; g < len(res.Records[0].SLOMiss); g++ {
+		gotMiss += int(hub.CounterValue("capgpu_slo_misses_total", node.With("gpu", strconv.Itoa(g))))
+	}
+	if gotMiss != wantMiss {
+		return fmt.Errorf("SLO-miss counter %d != %d from period records", gotMiss, wantMiss)
+	}
+	fmt.Printf("\ntelemetry self-check ok: %d events balanced, %d cap violations and %d SLO misses match the summary\n",
+		hub.EventsTotal(), gotViol, gotMiss)
+	return nil
+}
+
+// holdServing keeps the -metrics-addr endpoint alive after the run: for
+// a fixed duration when -hold is set, otherwise until SIGINT/SIGTERM.
+func holdServing(hold time.Duration) {
+	if hold > 0 {
+		fmt.Printf("telemetry: holding the endpoint for %s\n", hold)
+		time.Sleep(hold)
+		return
+	}
+	fmt.Println("telemetry: endpoint stays up — SIGINT to exit")
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
 }
 
 // runSLO reproduces the Fig. 8/9 view for one controller: per-GPU batch

@@ -11,6 +11,8 @@ package actuator
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/telemetry"
 )
 
 // DeltaSigma is a first-order delta-sigma modulator over a discrete
@@ -116,6 +118,26 @@ func (d *DeltaSigma) Levels() []float64 {
 // controllers (F = [f_c, f_g1, ..., f_gNg], §4.2).
 type Bank struct {
 	mods []*DeltaSigma
+
+	sink    telemetry.Sink // nil = telemetry disabled
+	node    string
+	period  int
+	periodS float64 // simulated seconds at the stamped period
+}
+
+// SetTelemetry attaches a telemetry sink; divergence events are labeled
+// with the given node name. A nil sink disables emission.
+func (b *Bank) SetTelemetry(sink telemetry.Sink, node string) {
+	b.sink = sink
+	b.node = node
+}
+
+// StampPeriod records the control-period index and simulated time the
+// next ApplyVerified cycle's events carry. The harness calls this each
+// period; standalone users of the bank may ignore it.
+func (b *Bank) StampPeriod(period int, nowS float64) {
+	b.period = period
+	b.periodS = nowS
 }
 
 // NewBank builds modulators from parallel min/max/step slices.
@@ -218,6 +240,13 @@ func (b *Bank) ApplyVerified(targets []float64, apply ApplyFunc, maxRetries int)
 		}
 		rep.Applied[i] = got
 		rep.Diverged[i] = math.Abs(got-cmd) > tol
+		if b.sink != nil && rep.Diverged[i] {
+			b.sink.Emit(telemetry.Event{
+				TimeS: b.periodS, Period: b.period, Type: telemetry.EventActuatorDiverge,
+				Node: b.node, Device: i, Value: got - cmd,
+				Detail: fmt.Sprintf("commanded %.4g applied %.4g after %d retries", cmd, got, maxRetries),
+			})
+		}
 	}
 	return rep, nil
 }

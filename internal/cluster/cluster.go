@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Node is one managed server with its local control loop.
@@ -240,10 +241,16 @@ type Coordinator struct {
 	// reserving breaker budget for it (default 0.05), since a node
 	// running open-loop can drift above its last report.
 	GuardBandFrac float64
+	// Telemetry, when non-nil, receives the rack-plane lifecycle events:
+	// node death/recovery transitions and each reallocation round (with
+	// the reserved breaker budget as the value). Per-node loop telemetry
+	// is attached on the node harnesses, not here.
+	Telemetry telemetry.Sink
 
 	missed     []int     // consecutive missed heartbeats per node
 	lastReport []float64 // last power heard from each node
 	haveReport []bool
+	deadPrev   []bool  // death state at the previous roll call
 	reservedW  float64 // breaker budget held back at the last realloc
 }
 
@@ -261,6 +268,7 @@ func NewCoordinator(nodes []*Node, policy Policy, budget func(int) float64) (*Co
 		missed:     make([]int, len(nodes)),
 		lastReport: make([]float64, len(nodes)),
 		haveReport: make([]bool, len(nodes)),
+		deadPrev:   make([]bool, len(nodes)),
 	}, nil
 }
 
@@ -342,6 +350,24 @@ func (c *Coordinator) Step(k int) error {
 			c.missed[i] = 0
 		}
 	}
+	if c.Telemetry != nil {
+		for i, n := range c.Nodes {
+			dead := c.missed[i] >= c.heartbeatMisses()
+			switch {
+			case dead && !c.deadPrev[i]:
+				c.Telemetry.Emit(telemetry.Event{
+					TimeS: n.Server.Now(), Period: k, Type: telemetry.EventNodeDead,
+					Node: n.Name, Device: -1, Value: float64(c.missed[i]),
+				})
+			case !dead && c.deadPrev[i]:
+				c.Telemetry.Emit(telemetry.Event{
+					TimeS: n.Server.Now(), Period: k, Type: telemetry.EventNodeRecovered,
+					Node: n.Name, Device: -1,
+				})
+			}
+			c.deadPrev[i] = dead
+		}
+	}
 	if k%c.RackPeriods == 0 {
 		if err := c.reallocate(k); err != nil {
 			return err
@@ -376,6 +402,7 @@ func (c *Coordinator) ensureState() {
 		c.missed = make([]int, len(c.Nodes))
 		c.lastReport = make([]float64, len(c.Nodes))
 		c.haveReport = make([]bool, len(c.Nodes))
+		c.deadPrev = make([]bool, len(c.Nodes))
 	}
 }
 
@@ -407,6 +434,13 @@ func (c *Coordinator) reallocate(k int) error {
 		}
 	}
 	c.reservedW = reserved
+	if c.Telemetry != nil {
+		c.Telemetry.Emit(telemetry.Event{
+			TimeS: c.Nodes[0].Server.Now(), Period: k, Type: telemetry.EventReallocation,
+			Device: -1, Value: reserved,
+			Detail: fmt.Sprintf("policy=%s live=%d/%d", c.Policy.Name(), len(live), len(c.Nodes)),
+		})
+	}
 	if len(live) == 0 {
 		return nil
 	}

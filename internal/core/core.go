@@ -22,6 +22,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/sysid"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -29,6 +30,7 @@ import (
 // period.
 type Observation struct {
 	Period    int     // control period index (0-based)
+	TimeS     float64 // simulated seconds at the observation (period end)
 	AvgPowerW float64 // meter average over the period (the feedback)
 	SetpointW float64 // the cap P_s for the next period
 
@@ -136,6 +138,22 @@ type CapGPU struct {
 	fmaxC   float64
 	fminG   []float64
 	fmaxG   []float64
+
+	sink telemetry.Sink // nil = telemetry disabled
+	node string
+}
+
+// TelemetryAware is implemented by controllers that emit their own
+// lifecycle events (CapGPU reports frozen adaptation and infeasible MPC
+// subproblems). Harness.SetTelemetry forwards the sink through it.
+type TelemetryAware interface {
+	SetTelemetry(sink telemetry.Sink, node string)
+}
+
+// SetTelemetry implements TelemetryAware.
+func (c *CapGPU) SetTelemetry(sink telemetry.Sink, node string) {
+	c.sink = sink
+	c.node = node
 }
 
 // NewCapGPU builds the controller from an identified power model (knob 0
@@ -266,6 +284,12 @@ func (c *CapGPU) Decide(obs Observation) Decision {
 	// then naturally re-enables learning on recovery — the fail-safe
 	// descent moved every knob, so the first fresh regressor is far from
 	// lastReg and carries real identification value.
+	if c.sink != nil && c.rls != nil && obs.MeterStale > 0 {
+		c.sink.Emit(telemetry.Event{
+			TimeS: obs.TimeS, Period: obs.Period, Type: telemetry.EventAdaptFrozen,
+			Node: c.node, Device: -1, Value: float64(obs.MeterStale),
+		})
+	}
 	if c.rls != nil && obs.MeterStale == 0 && len(obs.GPUFreqMHz) == len(c.fminG) {
 		f := c.normReg(obs.CPUFreqGHz, obs.GPUFreqMHz)
 		if c.excited(f) {
@@ -343,6 +367,12 @@ func (c *CapGPU) Decide(obs Observation) Decision {
 		// Constraint conflicts (e.g. every GPU pinned by SLO floors with
 		// the cap unreachable) degrade to holding the current point; the
 		// paper notes such set points need mechanisms beyond DVFS (§4.4).
+		if c.sink != nil {
+			c.sink.Emit(telemetry.Event{
+				TimeS: obs.TimeS, Period: obs.Period, Type: telemetry.EventMPCInfeasible,
+				Node: c.node, Device: -1, Detail: err.Error(),
+			})
+		}
 		return Decision{CPUFreqGHz: obs.CPUFreqGHz, GPUFreqMHz: append([]float64(nil), obs.GPUFreqMHz...)}
 	}
 	out := Decision{CPUFreqGHz: freqs[0] + c.beta*d[0], GPUFreqMHz: make([]float64, ng)}
@@ -471,6 +501,15 @@ type Harness struct {
 	// ActuatorRetries bounds re-deliveries of a frequency command whose
 	// read-back diverges from the command (default 2; negative = none).
 	ActuatorRetries int
+	// Telemetry, when non-nil, receives a period-start event, the five
+	// phase spans (sense → condense → decide → actuate → verify), and one
+	// end-of-period sample per control period. Nil (the default) disables
+	// instrumentation; use SetTelemetry to also wire the bank and the
+	// controller.
+	Telemetry telemetry.Sink
+	// TelemetryNode labels this harness's telemetry (the rack node name;
+	// empty for single-server runs).
+	TelemetryNode string
 
 	lastGoodAvgW float64
 	haveGoodAvg  bool
@@ -565,6 +604,50 @@ func NewHarness(s *sim.Server, ctrl PowerController, setpoint func(int) float64)
 	}, nil
 }
 
+// SetTelemetry attaches a telemetry sink to the harness, its actuator
+// bank, and — when the controller implements TelemetryAware — the
+// controller, labeling everything with the given node name.
+func (h *Harness) SetTelemetry(sink telemetry.Sink, node string) {
+	h.Telemetry = sink
+	h.TelemetryNode = node
+	if h.Bank != nil {
+		h.Bank.SetTelemetry(sink, node)
+	}
+	if ta, ok := h.Controller.(TelemetryAware); ok {
+		ta.SetTelemetry(sink, node)
+	}
+}
+
+// telemetrySample condenses a PeriodRecord into the once-per-period
+// telemetry snapshot.
+func (h *Harness) telemetrySample(rec PeriodRecord) telemetry.PeriodSample {
+	name := ""
+	if h.Controller != nil {
+		name = h.Controller.Name()
+	}
+	return telemetry.PeriodSample{
+		Node:             h.TelemetryNode,
+		Controller:       name,
+		Period:           rec.Period,
+		TimeS:            h.Server.Now(),
+		SetpointW:        rec.SetpointW,
+		AvgPowerW:        rec.AvgPowerW,
+		TruePowerW:       rec.TrueAvgPowerW,
+		EnergyJ:          rec.EnergyJ,
+		CPUFreqGHz:       rec.CPUFreqGHz,
+		GPUFreqMHz:       rec.GPUFreqMHz,
+		GPULatencyS:      rec.GPULatencyS,
+		SLOMiss:          rec.SLOMiss,
+		MeterStale:       rec.MeterStale,
+		Degraded:         rec.Degraded,
+		FailSafe:         rec.FailSafe,
+		Uncontrolled:     rec.Uncontrolled,
+		ActuatorRetries:  rec.ActuatorRetries,
+		ActuatorDiverged: rec.ActuatorDiverged,
+		Faults:           rec.Faults,
+	}
+}
+
 // Run executes the loop for the given number of control periods and
 // returns one record per period.
 func (h *Harness) Run(periods int) ([]PeriodRecord, error) {
@@ -608,6 +691,12 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 	var slos []float64
 	if h.SLOs != nil {
 		slos = h.SLOs(k)
+	}
+	h.Bank.StampPeriod(k, start)
+	if h.Telemetry != nil {
+		h.Telemetry.Emit(telemetry.Event{TimeS: start, Period: k, Type: telemetry.EventPeriodStart,
+			Node: h.TelemetryNode, Device: -1, Value: setpoint})
+		h.Telemetry.BeginPhase(k, telemetry.PhaseSense)
 	}
 
 	// Advance one control period, sampling the meter each second (or
@@ -679,6 +768,10 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 	rec.CPUPowerW = cpuP * inv
 	rec.TrueAvgPowerW = trueP * inv
 	rec.EnergyJ = s.EnergyJ() - energyStart
+	if h.Telemetry != nil {
+		h.Telemetry.EndPhase(k, telemetry.PhaseSense)
+		h.Telemetry.BeginPhase(k, telemetry.PhaseCondense)
+	}
 
 	// Condense the meter window and run the degradation state machine:
 	// fresh reading → use it; blind (no samples, or stuck-value
@@ -724,6 +817,10 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 	rec.AvgPowerW = avg
 	rec.MeterStale = h.stale
 	rec.FailSafe = failSafe
+	if h.Telemetry != nil {
+		h.Telemetry.EndPhase(k, telemetry.PhaseCondense)
+		h.Telemetry.BeginPhase(k, telemetry.PhaseDecide)
+	}
 
 	var dec Decision
 	if failSafe {
@@ -732,6 +829,7 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 		// Build the observation and let the controller decide.
 		obs := Observation{
 			Period:            k,
+			TimeS:             s.Now(),
 			AvgPowerW:         avg,
 			SetpointW:         setpoint,
 			CPUFreqGHz:        s.CPUFreq(),
@@ -759,6 +857,10 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 		dec = h.Controller.Decide(obs)
 	}
 	rec.Decision = dec
+	if h.Telemetry != nil {
+		h.Telemetry.EndPhase(k, telemetry.PhaseDecide)
+		h.Telemetry.BeginPhase(k, telemetry.PhaseActuate)
+	}
 
 	// Resolve fractional targets through the modulators and apply with
 	// read-back verification (faults may drop or clamp any command).
@@ -775,8 +877,16 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 	if err != nil {
 		return rec, fmt.Errorf("core: period %d: %w", k, err)
 	}
+	if h.Telemetry != nil {
+		h.Telemetry.EndPhase(k, telemetry.PhaseActuate)
+		h.Telemetry.BeginPhase(k, telemetry.PhaseVerify)
+	}
 	rec.ActuatorDiverged = report.Diverged
 	rec.ActuatorRetries = report.Retries
+	if h.Telemetry != nil {
+		h.Telemetry.EndPhase(k, telemetry.PhaseVerify)
+		h.Telemetry.Period(h.telemetrySample(rec))
+	}
 	return rec, nil
 }
 
@@ -965,6 +1075,9 @@ func (h *Harness) StepUncontrolled(k int) (PeriodRecord, error) {
 	rec.TrueAvgPowerW = trueP * inv
 	rec.AvgPowerW = rec.TrueAvgPowerW
 	rec.EnergyJ = s.EnergyJ() - energyStart
+	if h.Telemetry != nil {
+		h.Telemetry.Period(h.telemetrySample(rec))
+	}
 	return rec, nil
 }
 

@@ -6,9 +6,11 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sysid"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -212,6 +214,61 @@ type ClusterRow struct {
 	OverBudgetPeriods int     // periods above budget (steady state)
 	AggThroughput     float64 // rack img/s
 	PerNodeCapW       []float64
+	// Nodes holds the per-node end-of-run telemetry summary, in node
+	// order (capgpu-rack renders it as a table).
+	Nodes []NodeSummary
+}
+
+// NodeSummary condenses one node's control-loop health for the rack's
+// end-of-run telemetry table.
+type NodeSummary struct {
+	Name                string
+	Periods             int
+	CapViolations       int // periods with AvgPowerW above cap + 1% slack
+	SLOMisses           int // GPU-periods over the latency SLO
+	DegradedPeriods     int // periods on the last-good-value fallback
+	FailSafeEntries     int // transitions into the blind descent
+	UncontrolledPeriods int // open-loop periods (out of rack contact)
+}
+
+// SummarizeNode builds a NodeSummary from a node's period records,
+// using the same 1% violation slack as the telemetry hub and the
+// metrics summary so all three agree.
+func SummarizeNode(name string, recs []core.PeriodRecord) NodeSummary {
+	out := NodeSummary{Name: name, Periods: len(recs)}
+	prevFailSafe := false
+	for _, r := range recs {
+		if r.SetpointW > 0 && r.AvgPowerW > r.SetpointW*1.01 {
+			out.CapViolations++
+		}
+		for _, m := range r.SLOMiss {
+			if m {
+				out.SLOMisses++
+			}
+		}
+		if r.Degraded {
+			out.DegradedPeriods++
+		}
+		if r.FailSafe && !prevFailSafe {
+			out.FailSafeEntries++
+		}
+		prevFailSafe = r.FailSafe
+		if r.Uncontrolled {
+			out.UncontrolledPeriods++
+		}
+	}
+	return out
+}
+
+// ClusterOptions tunes ExtensionClusterOpts beyond the defaults.
+type ClusterOptions struct {
+	// Telemetry, when non-nil, instruments every node's loop and the
+	// coordinator. Node sinks are labeled "<policy>/<node>" so the three
+	// policy passes do not collide inside one hub.
+	Telemetry *telemetry.Hub
+	// Faults carries the rack-plane fault schedule (server-dropout
+	// entries, target = node index, drive heartbeat misses).
+	Faults *faults.Schedule
 }
 
 // clusterNode builds one managed server with the given pipeline count.
@@ -261,6 +318,12 @@ func clusterNode(name string, seed int64, nPipelines, priority int) (*cluster.No
 // ExtensionCluster runs a 3-server rack (heavy / medium / light load)
 // under a shared budget with each allocation policy.
 func ExtensionCluster(seed int64, periods int, budgetW float64) ([]ClusterRow, error) {
+	return ExtensionClusterOpts(seed, periods, budgetW, ClusterOptions{})
+}
+
+// ExtensionClusterOpts is ExtensionCluster with telemetry and a
+// rack-plane fault schedule attached.
+func ExtensionClusterOpts(seed int64, periods int, budgetW float64, opts ClusterOptions) ([]ClusterRow, error) {
 	if periods <= 0 {
 		periods = 60
 	}
@@ -282,11 +345,18 @@ func ExtensionCluster(seed int64, periods int, budgetW float64) ([]ClusterRow, e
 			if err != nil {
 				return nil, err
 			}
+			if opts.Telemetry != nil {
+				n.Harness().SetTelemetry(opts.Telemetry, pol.Name()+"/"+spec.name)
+			}
 			nodes = append(nodes, n)
 		}
 		coord, err := cluster.NewCoordinator(nodes, pol, func(int) float64 { return budgetW })
 		if err != nil {
 			return nil, err
+		}
+		coord.Faults = opts.Faults
+		if opts.Telemetry != nil {
+			coord.Telemetry = opts.Telemetry.NodeSink(pol.Name())
 		}
 		if err := coord.Run(periods); err != nil {
 			return nil, fmt.Errorf("experiments: cluster %s: %w", pol.Name(), err)
@@ -300,8 +370,10 @@ func ExtensionCluster(seed int64, periods int, budgetW float64) ([]ClusterRow, e
 			}
 		}
 		caps := make([]float64, len(nodes))
+		sums := make([]NodeSummary, len(nodes))
 		for i, n := range nodes {
 			caps[i] = n.Assigned()
+			sums[i] = SummarizeNode(n.Name, n.Records())
 		}
 		rows = append(rows, ClusterRow{
 			Policy:            pol.Name(),
@@ -310,6 +382,7 @@ func ExtensionCluster(seed int64, periods int, budgetW float64) ([]ClusterRow, e
 			OverBudgetPeriods: over,
 			AggThroughput:     coord.AggregateThroughput(periods / 2),
 			PerNodeCapW:       caps,
+			Nodes:             sums,
 		})
 	}
 	return rows, nil

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -54,33 +55,82 @@ func flags(recs []core.PeriodRecord, f func(core.PeriodRecord) bool) []bool {
 
 // TestSeededReplayGolden pins the determinism contract the lint rule
 // polices: the full control loop — evaluation rig, CapGPU controller,
-// fault injection, graceful degradation — run twice from the same seed
-// and schedule must produce byte-identical CSV traces.
+// fault injection, graceful degradation, and (since the telemetry
+// subsystem landed) the JSONL event stream and Prometheus exposition —
+// run twice from the same seed and schedule must produce byte-identical
+// output on every channel. Telemetry runs with the zero clock, exactly
+// as seeded contexts must use it.
 func TestSeededReplayGolden(t *testing.T) {
-	run := func() []byte {
+	run := func() (csv, jsonl, prom []byte) {
 		sched, err := faults.Parse(RobustnessScenario, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := RunFaultSession("capgpu", 7, 60, FixedSetpoint(900), nil, sched, false)
+		var events bytes.Buffer
+		hub := telemetry.New(telemetry.Config{JSONL: &events})
+		res, err := RunInstrumentedSession("capgpu", 7, 60, FixedSetpoint(900), nil, sched, false, hub)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(res.Records) != 60 {
 			t.Fatalf("got %d periods, want 60", len(res.Records))
 		}
-		return replayTrace(t, res.Records)
-	}
-	a, b := run(), run()
-	if !bytes.Equal(a, b) {
-		for i := range a {
-			if i >= len(b) || a[i] != b[i] {
-				t.Fatalf("replay diverged at byte %d of %d/%d", i, len(a), len(b))
-			}
+		if err := hub.Finish(); err != nil {
+			t.Fatal(err)
 		}
-		t.Fatalf("replay traces differ in length: %d vs %d", len(a), len(b))
+		var metricsOut bytes.Buffer
+		if err := hub.Registry().WritePrometheus(&metricsOut); err != nil {
+			t.Fatal(err)
+		}
+		return replayTrace(t, res.Records), events.Bytes(), metricsOut.Bytes()
 	}
-	if len(a) == 0 {
-		t.Fatal("empty trace")
+	csvA, jsonlA, promA := run()
+	csvB, jsonlB, promB := run()
+	for _, ch := range []struct {
+		name string
+		a, b []byte
+	}{
+		{"csv", csvA, csvB}, {"jsonl", jsonlA, jsonlB}, {"prometheus", promA, promB},
+	} {
+		if !bytes.Equal(ch.a, ch.b) {
+			for i := range ch.a {
+				if i >= len(ch.b) || ch.a[i] != ch.b[i] {
+					t.Fatalf("%s replay diverged at byte %d of %d/%d", ch.name, i, len(ch.a), len(ch.b))
+				}
+			}
+			t.Fatalf("%s replay traces differ in length: %d vs %d", ch.name, len(ch.a), len(ch.b))
+		}
+		if len(ch.a) == 0 {
+			t.Fatalf("empty %s trace", ch.name)
+		}
 	}
+
+	// Telemetry must not perturb the control loop: the uninstrumented
+	// session stays byte-identical to the instrumented one.
+	res, err := RunFaultSession("capgpu", 7, 60, FixedSetpoint(900), nil, mustParse(t), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(replayTrace(t, res.Records), csvA) {
+		t.Fatal("attaching telemetry changed the control trajectory")
+	}
+
+	// The fault-heavy scenario exercises degraded and fail-safe states;
+	// the recorded stream must close every one of them.
+	events, err := telemetry.ReadEvents(bytes.NewReader(jsonlA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.CheckBalance(events); err != nil {
+		t.Fatalf("golden event stream unbalanced: %v", err)
+	}
+}
+
+func mustParse(t *testing.T) *faults.Schedule {
+	t.Helper()
+	sched, err := faults.Parse(RobustnessScenario, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
 }

@@ -15,8 +15,13 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/sim"
 	"repro/internal/sysid"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// TelemetryNode is the node label single-server sessions stamp on their
+// telemetry (rack sessions use real node names instead).
+const TelemetryNode = "server0"
 
 // Rig is the assembled evaluation testbed: server, workloads, identified
 // power model, and per-GPU latency models.
@@ -198,6 +203,14 @@ func RunSession(name string, seed int64, periods int, setpoint func(int) float64
 // harness; noDegrade disables the graceful-degradation fallback (the
 // R1 strawman).
 func RunFaultSession(name string, seed int64, periods int, setpoint func(int) float64, slos func(int) []float64, sched *faults.Schedule, noDegrade bool) (*RunResult, error) {
+	return RunInstrumentedSession(name, seed, periods, setpoint, slos, sched, noDegrade, nil)
+}
+
+// RunInstrumentedSession is RunFaultSession with a telemetry sink
+// attached to the harness (and, through it, to the actuator bank and a
+// TelemetryAware controller), labeled TelemetryNode. A nil sink runs
+// uninstrumented and is byte-identical to RunFaultSession.
+func RunInstrumentedSession(name string, seed int64, periods int, setpoint func(int) float64, slos func(int) []float64, sched *faults.Schedule, noDegrade bool, sink telemetry.Sink) (*RunResult, error) {
 	rig, err := NewEvaluationRig(seed)
 	if err != nil {
 		return nil, err
@@ -213,6 +226,9 @@ func RunFaultSession(name string, seed int64, periods int, setpoint func(int) fl
 	h.SLOs = slos
 	h.Faults = sched
 	h.Degrade.Disable = noDegrade
+	if sink != nil {
+		h.SetTelemetry(sink, TelemetryNode)
+	}
 	recs, err := h.Run(periods)
 	if err != nil {
 		return nil, err

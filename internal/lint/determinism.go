@@ -37,6 +37,7 @@ func DefaultDeterminismScope() []string {
 		"internal/core",
 		"internal/mpc",
 		"internal/experiments",
+		"internal/telemetry",
 	}
 }
 

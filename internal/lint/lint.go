@@ -16,7 +16,7 @@
 //     order-dependent map iteration (appends/prints inside a map range)
 //     are forbidden in the seeded-replay packages (internal/sim,
 //     internal/faults, internal/core, internal/mpc,
-//     internal/experiments);
+//     internal/experiments, internal/telemetry);
 //   - floatsafety: ==/!= between non-constant float operands, and
 //     divisions by frequency/power-flavored denominators with no
 //     zero-guard in the enclosing function;

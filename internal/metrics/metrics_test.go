@@ -63,6 +63,37 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileEdgeCases pins the corner semantics the telemetry
+// histogram cross-check depends on: empty input errors at every p,
+// a single element is every percentile of itself, and p=0 / p=100 are
+// the min and max regardless of input order.
+func TestPercentileEdgeCases(t *testing.T) {
+	for _, p := range []float64{0, 50, 100} {
+		if _, err := Percentile(nil, p); err == nil {
+			t.Fatalf("empty input at p=%g should error", p)
+		}
+		if _, err := Percentile([]float64{}, p); err == nil {
+			t.Fatalf("zero-length input at p=%g should error", p)
+		}
+	}
+	for _, p := range []float64{0, 37.5, 100} {
+		got, err := Percentile([]float64{42}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 42 {
+			t.Fatalf("single element at p=%g = %g, want 42", p, got)
+		}
+	}
+	unsorted := []float64{930, 850, 1120, 901, 877}
+	if got, err := Percentile(unsorted, 0); err != nil || got != 850 {
+		t.Fatalf("p=0 = %g, %v; want the minimum 850", got, err)
+	}
+	if got, err := Percentile(unsorted, 100); err != nil || got != 1120 {
+		t.Fatalf("p=100 = %g, %v; want the maximum 1120", got, err)
+	}
+}
+
 func TestPercentileDoesNotMutate(t *testing.T) {
 	xs := []float64{5, 1, 3}
 	if _, err := Percentile(xs, 50); err != nil {

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// pairings maps every opening event type to its closing type. CheckBalance
+// enforces that each open state is closed by end of stream.
+var pairings = map[EventType]EventType{
+	EventDegradedEnter: EventDegradedExit,
+	EventFailSafeEnter: EventFailSafeExit,
+	EventNodeDead:      EventNodeRecovered,
+	EventFaultActive:   EventFaultCleared,
+}
+
+// stateKey identifies one open state: the node plus, for faults, the
+// fault detail string (a node can hold several faults at once).
+func stateKey(e Event) string {
+	if e.Type == EventFaultActive || e.Type == EventFaultCleared {
+		return e.Node + "\x00" + e.Detail
+	}
+	return e.Node
+}
+
+// CheckBalance verifies the enter/exit invariant over an event stream:
+// every degraded-enter has a degraded-exit, every failsafe-enter a
+// failsafe-exit, every fault-active a fault-cleared, every node-dead a
+// node-recovered — per node (and per fault), in order, with no exit
+// before its enter. It returns nil when the stream is balanced.
+//
+// node-dead is exempt from the must-close rule: a node that stays dead
+// through end of run is a legitimate terminal state, but a recovery
+// without a preceding death is still an error.
+func CheckBalance(events []Event) error {
+	open := map[EventType]map[string]int{}
+	for t := range pairings {
+		open[t] = map[string]int{}
+	}
+	for i, e := range events {
+		if _, isOpen := pairings[e.Type]; isOpen {
+			open[e.Type][stateKey(e)]++
+			continue
+		}
+		for opener, closer := range pairings {
+			if e.Type != closer {
+				continue
+			}
+			key := stateKey(e)
+			if open[opener][key] == 0 {
+				return fmt.Errorf("event %d: %s for %q without matching %s", i, e.Type, key, opener)
+			}
+			open[opener][key]--
+		}
+	}
+	var unclosed []string
+	for opener, byKey := range open {
+		if opener == EventNodeDead {
+			continue // terminal death is legal
+		}
+		for key, n := range byKey {
+			if n > 0 {
+				//lint:ignore determinism findings are sorted immediately below; output order does not depend on map order
+				unclosed = append(unclosed, fmt.Sprintf("%s for %q (%d unclosed)", opener, key, n))
+			}
+		}
+	}
+	if len(unclosed) > 0 {
+		sort.Strings(unclosed)
+		return fmt.Errorf("unbalanced event stream: %v", unclosed)
+	}
+	return nil
+}
+
+// ReadEvents parses a JSONL event stream back into events (blank lines
+// are skipped). It is the inverse of the Hub's JSONL writer and feeds
+// CheckBalance in the telemetry-verify target and the tests.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("events line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("events: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the hub over HTTP:
+//
+//	/metrics — Prometheus text exposition of the registry
+//	/events  — JSON array tail of the event ring (?n= limits, default 256)
+//	/healthz — 200 "ok" (503 with the error when the JSONL stream broke)
+//
+// The cmd layer mounts this on the -metrics-addr listener; nothing in
+// the seeded packages touches it.
+func Handler(h *Hub) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = h.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		events := h.Events()
+		if len(events) > n {
+			events = events[len(events)-n:]
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(events)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if err := h.Err(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "event stream error: %v\n", err)
+			return
+		}
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// Serve binds addr and serves Handler(h) in a background goroutine,
+// returning the bound address (useful with ":0") — the server lives for
+// the life of the process, which for the cmds is the life of the run.
+func Serve(h *Hub, addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(h)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,464 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Default histogram bucket layouts. Phase buckets span sub-microsecond
+// no-op spans up to a full second of controller overhead; power buckets
+// cover the evaluation testbed's 600–1400 W envelope; latency buckets
+// cover the 50 ms–1 s batch-latency window of the §6.1 workloads.
+var (
+	DefPhaseBuckets = []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1,
+	}
+	DefPowerBuckets = []float64{
+		600, 650, 700, 750, 800, 850, 900, 950, 1000,
+		1050, 1100, 1150, 1200, 1250, 1300, 1350, 1400,
+	}
+	DefLatencyBuckets = []float64{
+		0.05, 0.075, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.75, 1,
+	}
+)
+
+// Config tunes a Hub. The zero value is a fully deterministic,
+// in-memory hub: zero clock, default ring capacity, 1% violation slack.
+type Config struct {
+	// Clock measures phase spans. nil means the zero clock (all spans
+	// report zero duration) — the deterministic default for seeded runs.
+	// The cmd layer injects a wall clock here.
+	Clock Clock
+	// JSONL, when set, receives every event as one JSON line, in
+	// emission order. Write errors are sticky and reported by Err.
+	JSONL io.Writer
+	// EventCapacity bounds the in-memory event ring the /events endpoint
+	// and Events() serve from (default 16384; the JSONL stream is
+	// complete regardless).
+	EventCapacity int
+	// ViolationSlackFrac is the fractional slack above the set point
+	// before a period counts as a cap violation (default 0.01 — the same
+	// 1% the metrics package summary uses, so the counters agree).
+	ViolationSlackFrac float64
+	// TrueSlackFrac is the slack for breaker-side (true power)
+	// violations (default 0.02, matching the robustness tables).
+	TrueSlackFrac float64
+}
+
+// nodeState tracks one node's last-seen flags so the Hub can synthesize
+// enter/exit transition events by diffing successive period samples.
+type nodeState struct {
+	degraded  bool
+	failSafe  bool
+	faults    []string // sorted active fault names
+	lastSeen  PeriodSample
+	havePrior bool
+}
+
+// Hub is the standard Sink: it owns the metrics registry, the event
+// ring, the optional JSONL stream, and the per-node transition state.
+// All methods lock, so the interleaved loops of a rack can share one
+// hub through per-node views (NodeSink).
+type Hub struct {
+	mu    sync.Mutex
+	reg   *Registry
+	clock Clock
+	jsonl io.Writer
+	jerr  error
+
+	slackFrac     float64
+	trueSlackFrac float64
+
+	events []Event
+	cap    int
+	total  int // events ever emitted (ring may have dropped early ones)
+
+	nodes      map[string]*nodeState
+	phaseStart map[string]float64 // "node\x00phase" → clock() at begin
+}
+
+// New builds a Hub from the config.
+func New(cfg Config) *Hub {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	capacity := cfg.EventCapacity
+	if capacity <= 0 {
+		capacity = 16384
+	}
+	slack := cfg.ViolationSlackFrac
+	if slack == 0 {
+		slack = 0.01
+	}
+	trueSlack := cfg.TrueSlackFrac
+	if trueSlack == 0 {
+		trueSlack = 0.02
+	}
+	return &Hub{
+		reg:           NewRegistry(),
+		clock:         clock,
+		jsonl:         cfg.JSONL,
+		slackFrac:     slack,
+		trueSlackFrac: trueSlack,
+		cap:           capacity,
+		nodes:         make(map[string]*nodeState),
+		phaseStart:    make(map[string]float64),
+	}
+}
+
+// Registry exposes the hub's metrics registry (for exposition and for
+// reading counters back in tests and end-of-run summaries).
+func (h *Hub) Registry() *Registry { return h.reg }
+
+// Err returns the first JSONL write error, if any.
+func (h *Hub) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.jerr
+}
+
+// Events returns a copy of the in-memory event ring, oldest first.
+func (h *Hub) Events() []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Event(nil), h.events...)
+}
+
+// EventsTotal returns how many events were emitted over the hub's
+// lifetime (≥ len(Events()) once the ring wraps).
+func (h *Hub) EventsTotal() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// NodeSink returns a view of the hub that stamps the given node name
+// onto events and samples that do not already carry one.
+func (h *Hub) NodeSink(node string) Sink {
+	return &nodeSink{hub: h, node: node}
+}
+
+type nodeSink struct {
+	hub  *Hub
+	node string
+}
+
+func (n *nodeSink) Emit(e Event) {
+	if e.Node == "" {
+		e.Node = n.node
+	}
+	n.hub.Emit(e)
+}
+
+func (n *nodeSink) Period(s PeriodSample) {
+	if s.Node == "" {
+		s.Node = n.node
+	}
+	n.hub.Period(s)
+}
+
+func (n *nodeSink) BeginPhase(period int, phase string) {
+	n.hub.beginPhase(n.node, period, phase)
+}
+
+func (n *nodeSink) EndPhase(period int, phase string) {
+	n.hub.endPhase(n.node, period, phase)
+}
+
+// Emit implements Sink: the event is logged (ring + JSONL) and folded
+// into the derived counters/gauges.
+func (h *Hub) Emit(e Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.emitLocked(e)
+}
+
+// emitLocked appends to the ring, streams JSONL, and updates the
+// metrics derived from event types.
+func (h *Hub) emitLocked(e Event) {
+	h.total++
+	if len(h.events) >= h.cap {
+		copy(h.events, h.events[1:])
+		h.events[len(h.events)-1] = e
+	} else {
+		h.events = append(h.events, e)
+	}
+	if h.jsonl != nil && h.jerr == nil {
+		b, err := json.Marshal(e)
+		if err == nil {
+			b = append(b, '\n')
+			_, err = h.jsonl.Write(b)
+		}
+		if err != nil {
+			h.jerr = err
+		}
+	}
+
+	node := L("node", e.Node)
+	h.reg.lookup("capgpu_events_total", "Telemetry events emitted, by type.", "counter",
+		L("type", string(e.Type))).value++
+	switch e.Type {
+	case EventCapViolation:
+		h.count("capgpu_cap_violations_total", "Periods whose measured average power exceeded the set point by more than the slack.", node)
+	case EventSLOMiss:
+		h.count("capgpu_slo_misses_total", "Per-GPU periods whose measured batch latency exceeded the SLO.",
+			node.With("gpu", strconv.Itoa(e.Device)))
+	case EventDegradedEnter:
+		h.count("capgpu_degraded_entries_total", "Transitions into the last-good-value meter fallback.", node)
+	case EventFailSafeEnter:
+		h.count("capgpu_failsafe_entries_total", "Transitions into the blind fail-safe descent.", node)
+	case EventFaultActive:
+		h.count("capgpu_fault_activations_total", "Injected fault activations.",
+			node.With("fault", e.Detail))
+	case EventActuatorDiverge:
+		h.count("capgpu_actuator_divergence_total", "Devices still off their commanded frequency after bounded retry.",
+			node.With("device", strconv.Itoa(e.Device)))
+	case EventNodeDead:
+		h.count("capgpu_node_deaths_total", "Nodes declared dead after consecutive heartbeat misses.", node)
+	case EventNodeRecovered:
+		h.count("capgpu_node_recoveries_total", "Dead nodes that resumed heartbeating.", node)
+	case EventReallocation:
+		h.count("capgpu_reallocations_total", "Rack budget reallocation rounds.", node)
+		h.reg.lookup("capgpu_rack_reserved_watts", "Breaker budget held back for silent nodes at the last reallocation.", "gauge", node).value = e.Value
+	case EventMPCInfeasible:
+		h.count("capgpu_mpc_infeasible_total", "Periods the MPC subproblem was infeasible and the controller held its point.", node)
+	case EventAdaptFrozen:
+		h.count("capgpu_adapt_frozen_periods_total", "Periods RLS adaptation was frozen on a stale meter.", node)
+	}
+}
+
+// count bumps a derived counter by 1 under the already-held lock.
+func (h *Hub) count(name, help string, labels Labels) {
+	h.reg.lookup(name, help, "counter", labels).value++
+}
+
+// Period implements Sink: gauges and histograms are updated from the
+// snapshot, and transition events are synthesized by diffing against
+// the node's previous sample.
+func (h *Hub) Period(s PeriodSample) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	st, ok := h.nodes[s.Node]
+	if !ok {
+		st = &nodeState{}
+		h.nodes[s.Node] = st
+	}
+
+	// Derived lifecycle events, in a fixed order so the JSONL stream is
+	// deterministic: violations, SLO misses, fault diffs, degradation
+	// transitions, period end.
+	if s.SetpointW > 0 && s.AvgPowerW > s.SetpointW*(1+h.slackFrac) {
+		h.emitLocked(Event{TimeS: s.TimeS, Period: s.Period, Type: EventCapViolation,
+			Node: s.Node, Device: -1, Value: s.AvgPowerW - s.SetpointW})
+	}
+	for i, miss := range s.SLOMiss {
+		if miss {
+			lat := 0.0
+			if i < len(s.GPULatencyS) {
+				lat = s.GPULatencyS[i]
+			}
+			h.emitLocked(Event{TimeS: s.TimeS, Period: s.Period, Type: EventSLOMiss,
+				Node: s.Node, Device: i, Value: lat})
+		}
+	}
+	h.diffFaults(st, s)
+	h.transition(st.degraded, s.Degraded, EventDegradedEnter, EventDegradedExit, s, float64(s.MeterStale))
+	st.degraded = s.Degraded
+	h.transition(st.failSafe, s.FailSafe, EventFailSafeEnter, EventFailSafeExit, s, float64(s.MeterStale))
+	st.failSafe = s.FailSafe
+	h.emitLocked(Event{TimeS: s.TimeS, Period: s.Period, Type: EventPeriodEnd,
+		Node: s.Node, Device: -1, Value: s.AvgPowerW})
+
+	st.lastSeen = s
+	st.havePrior = true
+
+	// Registry updates.
+	base := L("controller", s.Controller, "node", s.Node)
+	node := L("node", s.Node)
+	h.reg.lookup("capgpu_periods_total", "Control periods completed.", "counter", base).value++
+	if s.Degraded {
+		h.count("capgpu_degraded_periods_total", "Periods handled by the last-good-value meter fallback.", node)
+	}
+	if s.FailSafe {
+		h.count("capgpu_failsafe_periods_total", "Periods the harness overrode the controller and descended toward f_min.", node)
+	}
+	if s.Uncontrolled {
+		h.count("capgpu_uncontrolled_periods_total", "Periods run open-loop (node out of rack contact).", node)
+	}
+	if s.TruePowerW > s.SetpointW*(1+h.trueSlackFrac) && s.SetpointW > 0 {
+		h.count("capgpu_true_cap_violations_total", "Periods whose breaker-side true power exceeded the set point by more than the true slack.", node)
+	}
+	h.reg.lookup("capgpu_energy_joules_total", "Energy drawn, accumulated per period.", "counter", node).value += s.EnergyJ
+	h.reg.lookup("capgpu_actuator_retries_total", "Frequency command re-deliveries.", "counter", node).value += float64(s.ActuatorRetries)
+
+	h.gauge("capgpu_setpoint_watts", "Power set point for the period.", base, s.SetpointW)
+	h.gauge("capgpu_measured_power_watts", "Meter-side period-average power (what the controller saw).", base, s.AvgPowerW)
+	h.gauge("capgpu_true_power_watts", "Breaker-side period-average power.", base, s.TruePowerW)
+	h.gauge("capgpu_meter_stale_periods", "Consecutive blind periods, 0 when the meter is fresh.", node, float64(s.MeterStale))
+	h.gauge("capgpu_cpu_frequency_ghz", "Applied CPU frequency.", node, s.CPUFreqGHz)
+	for i, f := range s.GPUFreqMHz {
+		h.gauge("capgpu_gpu_frequency_mhz", "Applied GPU core frequency.", node.With("gpu", strconv.Itoa(i)), f)
+	}
+
+	h.histObserve("capgpu_period_power_watts", "Distribution of measured period-average power.", DefPowerBuckets, node, s.AvgPowerW)
+	for i, lat := range s.GPULatencyS {
+		if lat > 0 {
+			h.histObserve("capgpu_gpu_batch_latency_seconds", "Distribution of per-GPU period-average batch latency.",
+				DefLatencyBuckets, node.With("gpu", strconv.Itoa(i)), lat)
+		}
+	}
+}
+
+// transition emits an enter or exit event when a boolean node flag
+// flips between successive samples.
+func (h *Hub) transition(prev, cur bool, enter, exit EventType, s PeriodSample, value float64) {
+	switch {
+	case cur && !prev:
+		h.emitLocked(Event{TimeS: s.TimeS, Period: s.Period, Type: enter, Node: s.Node, Device: -1, Value: value})
+	case !cur && prev:
+		h.emitLocked(Event{TimeS: s.TimeS, Period: s.Period, Type: exit, Node: s.Node, Device: -1})
+	}
+}
+
+// diffFaults emits fault-active / fault-cleared events for changes in
+// the node's active-fault set.
+func (h *Hub) diffFaults(st *nodeState, s PeriodSample) {
+	cur := append([]string(nil), s.Faults...)
+	sort.Strings(cur)
+	prev := st.faults
+	for _, f := range cur {
+		if !containsStr(prev, f) {
+			h.emitLocked(Event{TimeS: s.TimeS, Period: s.Period, Type: EventFaultActive,
+				Node: s.Node, Device: -1, Detail: f})
+		}
+	}
+	for _, f := range prev {
+		if !containsStr(cur, f) {
+			h.emitLocked(Event{TimeS: s.TimeS, Period: s.Period, Type: EventFaultCleared,
+				Node: s.Node, Device: -1, Detail: f})
+		}
+	}
+	st.faults = cur
+}
+
+func containsStr(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *Hub) gauge(name, help string, labels Labels, v float64) {
+	h.reg.lookup(name, help, "gauge", labels).value = v
+}
+
+func (h *Hub) histObserve(name, help string, buckets []float64, labels Labels, v float64) {
+	s := h.reg.lookup(name, help, "histogram", labels)
+	if s.hist == nil {
+		bs := append([]float64(nil), buckets...)
+		s.hist = &histState{bounds: bs, counts: make([]uint64, len(bs)+1)}
+	}
+	idx := len(s.hist.bounds)
+	for i, b := range s.hist.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	s.hist.counts[idx]++
+	s.hist.count++
+	s.hist.sum += v
+}
+
+// BeginPhase implements Sink (hub-level, unlabeled node).
+func (h *Hub) BeginPhase(period int, phase string) { h.beginPhase("", period, phase) }
+
+// EndPhase implements Sink.
+func (h *Hub) EndPhase(period int, phase string) { h.endPhase("", period, phase) }
+
+func (h *Hub) beginPhase(node string, _ int, phase string) {
+	now := h.clock()
+	h.mu.Lock()
+	h.phaseStart[node+"\x00"+phase] = now
+	h.mu.Unlock()
+}
+
+func (h *Hub) endPhase(node string, _ int, phase string) {
+	now := h.clock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := node + "\x00" + phase
+	start, ok := h.phaseStart[key]
+	if !ok {
+		return // EndPhase without BeginPhase: ignore
+	}
+	delete(h.phaseStart, key)
+	d := now - start
+	if d < 0 {
+		d = 0
+	}
+	h.histObserve("capgpu_phase_duration_seconds", "Control-period phase durations (sense, condense, decide, actuate, verify).",
+		DefPhaseBuckets, L("phase", phase), d)
+}
+
+// Finish closes the stream: any node still in a degraded or fail-safe
+// state (or with faults still active) gets its matching exit/cleared
+// event at its last-seen period, so enter/exit pairs balance even when
+// a run ends mid-fault; a final run-end event carries the lifetime
+// event count. Finish reports the first JSONL write error.
+func (h *Hub) Finish() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	names := make([]string, 0, len(h.nodes))
+	for name := range h.nodes {
+		//lint:ignore determinism keys are sorted immediately below; output order does not depend on map order
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := h.nodes[name]
+		last := st.lastSeen
+		if st.degraded {
+			h.emitLocked(Event{TimeS: last.TimeS, Period: last.Period, Type: EventDegradedExit,
+				Node: name, Device: -1, Detail: "run-end"})
+			st.degraded = false
+		}
+		if st.failSafe {
+			h.emitLocked(Event{TimeS: last.TimeS, Period: last.Period, Type: EventFailSafeExit,
+				Node: name, Device: -1, Detail: "run-end"})
+			st.failSafe = false
+		}
+		for _, f := range st.faults {
+			h.emitLocked(Event{TimeS: last.TimeS, Period: last.Period, Type: EventFaultCleared,
+				Node: name, Device: -1, Detail: f})
+		}
+		st.faults = nil
+	}
+	h.emitLocked(Event{Type: EventRunEnd, Period: -1, Device: -1, Value: float64(h.total)})
+	return h.jerr
+}
+
+// CounterValue reads a derived counter back (0 if the series was never
+// touched) — the hook end-of-run summaries and the acceptance tests use
+// to compare telemetry against the metrics package.
+func (h *Hub) CounterValue(name string, labels Labels) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f, ok := h.reg.families[name]
+	if !ok {
+		return 0
+	}
+	s, ok := f.series[labels.signature()]
+	if !ok {
+		return 0
+	}
+	return s.value
+}

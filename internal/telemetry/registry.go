@@ -1,0 +1,337 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one metric dimension.
+type Label struct {
+	Key, Value string
+}
+
+// Labels is an ordered label set. Registration sorts it by key, so two
+// sets with the same pairs in any order name the same series.
+type Labels []Label
+
+// L builds a Labels from alternating key, value strings. An odd
+// argument count drops the dangling key — callers pass literals, so the
+// mistake is caught by the tests that read the series back.
+func L(kv ...string) Labels {
+	out := make(Labels, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		out = append(out, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return out
+}
+
+// With returns a copy of ls extended by the given pairs.
+func (ls Labels) With(kv ...string) Labels {
+	out := make(Labels, 0, len(ls)+len(kv)/2)
+	out = append(out, ls...)
+	return append(out, L(kv...)...)
+}
+
+// signature renders the sorted, escaped `{k="v",...}` form — the series
+// identity and the exposition label block ("" for no labels).
+func (ls Labels) signature() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	s := append(Labels(nil), ls...)
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Key < s[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the Prometheus text-format label escapes.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way the exposition format
+// expects (shortest round-trip decimal; deterministic).
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// series is one labeled sample stream inside a family.
+type series struct {
+	labels Labels
+	value  float64 // counter / gauge state
+
+	// histogram state (nil for counters and gauges)
+	hist *histState
+}
+
+type histState struct {
+	bounds []float64 // ascending upper bounds (le), +Inf implicit
+	counts []uint64  // one per bound, plus [len(bounds)] for +Inf
+	sum    float64
+	count  uint64
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name, help, kind string
+	series           map[string]*series // signature → series
+}
+
+// Registry holds counters, gauges, and fixed-bucket histograms, and
+// renders them in Prometheus text exposition format. All methods are
+// safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns (creating if needed) the series for name+labels,
+// enforcing one metric kind per name.
+func (r *Registry) lookup(name, help, kind string, labels Labels) *series {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	sig := labels.signature()
+	s, ok := f.series[sig]
+	if !ok {
+		s = &series{labels: append(Labels(nil), labels...)}
+		f.series[sig] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing sample stream.
+type Counter struct {
+	r *Registry
+	s *series
+}
+
+// Counter returns the named counter series, registering it on first use.
+func (r *Registry) Counter(name, help string, labels Labels) Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Counter{r: r, s: r.lookup(name, help, "counter", labels)}
+}
+
+// Add increases the counter; negative deltas are ignored (counters are
+// monotone by definition).
+func (c Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	c.r.mu.Lock()
+	c.s.value += delta
+	c.r.mu.Unlock()
+}
+
+// Inc adds 1.
+func (c Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c Counter) Value() float64 {
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	return c.s.value
+}
+
+// Gauge is a sample stream that can go up and down.
+type Gauge struct {
+	r *Registry
+	s *series
+}
+
+// Gauge returns the named gauge series, registering it on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Gauge{r: r, s: r.lookup(name, help, "gauge", labels)}
+}
+
+// Set replaces the gauge value.
+func (g Gauge) Set(v float64) {
+	g.r.mu.Lock()
+	g.s.value = v
+	g.r.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g Gauge) Value() float64 {
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	return g.s.value
+}
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	r *Registry
+	s *series
+}
+
+// Histogram returns the named histogram series, registering it on first
+// use with the given ascending bucket upper bounds (+Inf is implicit; a
+// nil or unsorted slice is sorted and deduplicated).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, "histogram", labels)
+	if s.hist == nil {
+		bs := append([]float64(nil), buckets...)
+		sort.Float64s(bs)
+		dedup := bs[:0]
+		for i, b := range bs {
+			if i == 0 || b > dedup[len(dedup)-1] {
+				dedup = append(dedup, b)
+			}
+		}
+		s.hist = &histState{bounds: dedup, counts: make([]uint64, len(dedup)+1)}
+	}
+	return Histogram{r: r, s: s}
+}
+
+// Observe records one value.
+func (h Histogram) Observe(v float64) {
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	st := h.s.hist
+	idx := len(st.bounds) // +Inf bucket
+	for i, b := range st.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	st.counts[idx]++
+	st.count++
+	st.sum += v
+}
+
+// Count returns the number of observations.
+func (h Histogram) Count() uint64 {
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	return h.s.hist.count
+}
+
+// Sum returns the sum of observations.
+func (h Histogram) Sum() float64 {
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	return h.s.hist.sum
+}
+
+// Quantile estimates the p-th percentile (0..100) from the bucket
+// counts by linear interpolation inside the containing bucket — the
+// same estimate a Prometheus histogram_quantile() query produces. The
+// first finite bucket interpolates from 0 (the histograms in this
+// package hold non-negative quantities); a quantile landing in the +Inf
+// bucket returns the highest finite bound. The estimate's error is
+// bounded by the containing bucket's width; the cross-check test
+// against metrics.Percentile pins that bound.
+func (h Histogram) Quantile(p float64) (float64, error) {
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("telemetry: quantile %g outside [0, 100]", p)
+	}
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	st := h.s.hist
+	if st.count == 0 {
+		return 0, fmt.Errorf("telemetry: quantile of empty histogram")
+	}
+	if len(st.bounds) == 0 {
+		return 0, fmt.Errorf("telemetry: quantile of bucketless histogram")
+	}
+	rank := p / 100 * float64(st.count)
+	cum := 0.0
+	for i, b := range st.bounds {
+		prev := cum
+		cum += float64(st.counts[i])
+		if cum >= rank && st.counts[i] > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = st.bounds[i-1]
+			}
+			frac := (rank - prev) / float64(st.counts[i])
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (b-lo)*frac, nil
+		}
+	}
+	return st.bounds[len(st.bounds)-1], nil
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format, families sorted by name and series by label signature, so the
+// output is deterministic for a deterministic run.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		//lint:ignore determinism keys are sorted immediately below; output order does not depend on map order
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := r.families[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			//lint:ignore determinism keys are sorted immediately below; output order does not depend on map order
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			s := f.series[sig]
+			if f.kind == "histogram" {
+				writeHistogram(&b, f.name, s)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, sig, formatValue(s.value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series (_bucket/_sum/_count).
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	st := s.hist
+	cum := uint64(0)
+	for i, bound := range st.bounds {
+		cum += st.counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, s.labels.With("le", formatValue(bound)).signature(), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, s.labels.With("le", "+Inf").signature(), st.count)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labels.signature(), formatValue(st.sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels.signature(), st.count)
+}

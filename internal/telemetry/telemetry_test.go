@@ -1,0 +1,452 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("capgpu_test_total", "A test counter.", L("node", "gpu0"))
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotone
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter value = %g, want 3", got)
+	}
+	g := r.Gauge("capgpu_test_watts", "A test gauge.", nil)
+	g.Set(912.5)
+	h := r.Histogram("capgpu_test_seconds", "A test histogram.", []float64{0.1, 0.2, 0.1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.15)
+	h.Observe(5)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := strings.Join([]string{
+		"# HELP capgpu_test_seconds A test histogram.",
+		"# TYPE capgpu_test_seconds histogram",
+		`capgpu_test_seconds_bucket{le="0.1"} 1`,
+		`capgpu_test_seconds_bucket{le="0.2"} 2`,
+		`capgpu_test_seconds_bucket{le="+Inf"} 3`,
+		"capgpu_test_seconds_sum 5.2",
+		"capgpu_test_seconds_count 3",
+		"# HELP capgpu_test_total A test counter.",
+		"# TYPE capgpu_test_total counter",
+		`capgpu_test_total{node="gpu0"} 3`,
+		"# HELP capgpu_test_watts A test gauge.",
+		"# TYPE capgpu_test_watts gauge",
+		"capgpu_test_watts 912.5",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Same pairs, different order → same series.
+	r.Counter("capgpu_pairs_total", "h", L("a", "1", "b", "2")).Inc()
+	r.Counter("capgpu_pairs_total", "h", L("b", "2", "a", "1")).Inc()
+	if got := r.Counter("capgpu_pairs_total", "h", L("a", "1", "b", "2")).Value(); got != 2 {
+		t.Fatalf("label order should not split series: value = %g, want 2", got)
+	}
+}
+
+func TestRegistryExpositionDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		for _, node := range []string{"zeta", "alpha", "mid"} {
+			r.Counter("capgpu_b_total", "b", L("node", node)).Inc()
+			r.Gauge("capgpu_a_watts", "a", L("node", node)).Set(5)
+		}
+		var b bytes.Buffer
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := build()
+	for i := 0; i < 10; i++ {
+		if got := build(); got != first {
+			t.Fatalf("exposition not deterministic on rebuild %d:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	if !strings.Contains(first, "capgpu_a_watts") || strings.Index(first, "capgpu_a_watts") > strings.Index(first, "capgpu_b_total") {
+		t.Fatalf("families not sorted by name:\n%s", first)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("capgpu_esc_total", "h", L("detail", "a\"b\\c\nd")).Inc()
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `detail="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}
+
+// Satellite: telemetry histogram quantile estimates must agree with
+// metrics.Percentile within a bucket width on shared fixtures.
+func TestHistogramQuantileCrossCheck(t *testing.T) {
+	// Fixture 1: deterministic power-like values spread over 850–1150 W.
+	var powerW []float64
+	for i := 0; i < 500; i++ {
+		powerW = append(powerW, 850+300*float64(i)/499)
+	}
+	// Fixture 2: latency-like values with a heavy tail.
+	var latencyS []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i) / 199
+		latencyS = append(latencyS, 0.06+0.5*x*x*x)
+	}
+
+	cases := []struct {
+		name    string
+		xs      []float64
+		buckets []float64
+	}{
+		{"power", powerW, DefPowerBuckets},
+		{"latency", latencyS, DefLatencyBuckets},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		h := r.Histogram("capgpu_x_seconds", "x", tc.buckets, nil)
+		for _, v := range tc.xs {
+			h.Observe(v)
+		}
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 95, 99} {
+			exact, err := metrics.Percentile(tc.xs, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := h.Quantile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The estimate's error bound is the width of the bucket the
+			// quantile lands in.
+			width := maxBucketWidth(tc.buckets)
+			if math.Abs(est-exact) > width {
+				t.Errorf("%s p%g: histogram estimate %g vs exact %g (max bucket width %g)",
+					tc.name, p, est, exact, width)
+			}
+		}
+	}
+}
+
+func maxBucketWidth(bounds []float64) float64 {
+	w := bounds[0] // first bucket spans [0, bounds[0]]
+	for i := 1; i < len(bounds); i++ {
+		if d := bounds[i] - bounds[i-1]; d > w {
+			w = d
+		}
+	}
+	return w
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("capgpu_q_seconds", "q", []float64{1, 2}, nil)
+	if _, err := h.Quantile(50); err == nil {
+		t.Fatal("quantile of empty histogram should error")
+	}
+	h.Observe(1.5)
+	if _, err := h.Quantile(-1); err == nil {
+		t.Fatal("quantile(-1) should error")
+	}
+	if _, err := h.Quantile(101); err == nil {
+		t.Fatal("quantile(101) should error")
+	}
+	if v, err := h.Quantile(100); err != nil || v < 1 || v > 2 {
+		t.Fatalf("quantile(100) = %g, %v; want inside (1, 2]", v, err)
+	}
+	// An observation beyond the last bound lands in +Inf; the estimate
+	// degrades to the highest finite bound rather than fabricating one.
+	h.Observe(50)
+	if v, err := h.Quantile(100); err != nil || v != 2 {
+		t.Fatalf("quantile(100) with +Inf mass = %g, %v; want 2", v, err)
+	}
+}
+
+// sample builds a baseline PeriodSample for hub tests.
+func sample(node string, period int, avgW float64) PeriodSample {
+	return PeriodSample{
+		Node: node, Controller: "capgpu", Period: period,
+		TimeS: float64(period+1) * 4, SetpointW: 900, AvgPowerW: avgW,
+		TruePowerW: avgW, EnergyJ: avgW * 4, CPUFreqGHz: 2.4,
+		GPUFreqMHz: []float64{1300, 1350}, GPULatencyS: []float64{0.12, 0.14},
+		SLOMiss: []bool{false, false},
+	}
+}
+
+func TestHubTransitionSynthesis(t *testing.T) {
+	var jsonl bytes.Buffer
+	h := New(Config{JSONL: &jsonl})
+
+	s0 := sample("n0", 0, 899)
+	h.Period(s0)
+
+	s1 := sample("n0", 1, 930) // violation (>909)
+	s1.Degraded = true
+	s1.MeterStale = 1
+	s1.Faults = []string{"meter-dropout@4+3"}
+	s1.SLOMiss = []bool{false, true}
+	h.Period(s1)
+
+	s2 := sample("n0", 2, 905)
+	s2.Degraded = true
+	s2.FailSafe = true
+	s2.MeterStale = 2
+	s2.Faults = []string{"meter-dropout@4+3"}
+	h.Period(s2)
+
+	s3 := sample("n0", 3, 880)
+	h.Period(s3) // everything clears
+
+	if err := h.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := h.Events()
+	var types []EventType
+	for _, e := range events {
+		types = append(types, e.Type)
+	}
+	want := []EventType{
+		EventPeriodEnd,
+		EventCapViolation, EventSLOMiss, EventFaultActive, EventDegradedEnter, EventPeriodEnd,
+		EventFailSafeEnter, EventPeriodEnd,
+		EventFaultCleared, EventDegradedExit, EventFailSafeExit, EventPeriodEnd,
+		EventRunEnd,
+	}
+	if len(types) != len(want) {
+		t.Fatalf("event types = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("event %d = %s, want %s (full: %v)", i, types[i], want[i], types)
+		}
+	}
+
+	if err := CheckBalance(events); err != nil {
+		t.Fatalf("stream should balance: %v", err)
+	}
+
+	// Counters derived from the synthesized events.
+	if got := h.CounterValue("capgpu_cap_violations_total", L("node", "n0")); got != 1 {
+		t.Fatalf("cap violations = %g, want 1", got)
+	}
+	if got := h.CounterValue("capgpu_slo_misses_total", L("node", "n0", "gpu", "1")); got != 1 {
+		t.Fatalf("slo misses gpu1 = %g, want 1", got)
+	}
+	if got := h.CounterValue("capgpu_degraded_periods_total", L("node", "n0")); got != 2 {
+		t.Fatalf("degraded periods = %g, want 2", got)
+	}
+	if got := h.CounterValue("capgpu_degraded_entries_total", L("node", "n0")); got != 1 {
+		t.Fatalf("degraded entries = %g, want 1", got)
+	}
+	if got := h.CounterValue("capgpu_failsafe_entries_total", L("node", "n0")); got != 1 {
+		t.Fatalf("failsafe entries = %g, want 1", got)
+	}
+	if got := h.CounterValue("capgpu_periods_total", L("controller", "capgpu", "node", "n0")); got != 4 {
+		t.Fatalf("periods = %g, want 4", got)
+	}
+
+	// JSONL round-trips to the same stream.
+	parsed, err := ReadEvents(&jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(events) {
+		t.Fatalf("JSONL has %d events, ring has %d", len(parsed), len(events))
+	}
+	for i := range parsed {
+		if parsed[i] != eventComparable(events[i]) {
+			t.Fatalf("JSONL event %d = %+v, ring %+v", i, parsed[i], events[i])
+		}
+	}
+}
+
+// eventComparable is the identity map — Event has no slices/maps, so it
+// is directly comparable; the helper documents that assumption where a
+// future field addition would break it.
+func eventComparable(e Event) Event { return e }
+
+func TestHubFinishClosesOpenStates(t *testing.T) {
+	h := New(Config{})
+	s := sample("n0", 0, 905)
+	s.Degraded = true
+	s.FailSafe = true
+	s.Faults = []string{"meter-stuck@0+9"}
+	h.Period(s)
+	if err := h.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBalance(h.Events()); err != nil {
+		t.Fatalf("Finish should close open states: %v", err)
+	}
+}
+
+func TestCheckBalanceErrors(t *testing.T) {
+	if err := CheckBalance([]Event{
+		{Type: EventDegradedExit, Node: "n0"},
+	}); err == nil {
+		t.Fatal("exit without enter should fail")
+	}
+	if err := CheckBalance([]Event{
+		{Type: EventFailSafeEnter, Node: "n0"},
+	}); err == nil {
+		t.Fatal("unclosed enter should fail")
+	}
+	if err := CheckBalance([]Event{
+		{Type: EventFaultActive, Node: "n0", Detail: "gpu-derate"},
+		{Type: EventFaultCleared, Node: "n0", Detail: "other-fault"},
+	}); err == nil {
+		t.Fatal("fault cleared with mismatched detail should fail")
+	}
+	// A node that dies and never recovers is a legal terminal state.
+	if err := CheckBalance([]Event{
+		{Type: EventNodeDead, Node: "n0"},
+	}); err != nil {
+		t.Fatalf("terminal node death should balance: %v", err)
+	}
+	if err := CheckBalance([]Event{
+		{Type: EventNodeRecovered, Node: "n0"},
+	}); err == nil {
+		t.Fatal("recovery without death should fail")
+	}
+}
+
+func TestPhaseSpans(t *testing.T) {
+	now := 0.0
+	h := New(Config{Clock: func() float64 { return now }})
+	sink := h.NodeSink("n0")
+	sink.BeginPhase(0, PhaseDecide)
+	now = 0.25
+	sink.EndPhase(0, PhaseDecide)
+	sink.EndPhase(0, PhaseSense) // end without begin: ignored
+
+	hist := h.Registry().Histogram("capgpu_phase_duration_seconds", "", DefPhaseBuckets, L("phase", PhaseDecide))
+	if got := hist.Count(); got != 1 {
+		t.Fatalf("decide span count = %d, want 1", got)
+	}
+	if got := hist.Sum(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("decide span sum = %g, want 0.25", got)
+	}
+}
+
+func TestZeroClockDefault(t *testing.T) {
+	h := New(Config{})
+	h.BeginPhase(0, PhaseSense)
+	h.EndPhase(0, PhaseSense)
+	hist := h.Registry().Histogram("capgpu_phase_duration_seconds", "", DefPhaseBuckets, L("phase", PhaseSense))
+	if got := hist.Sum(); got != 0 {
+		t.Fatalf("zero clock should observe zero durations, sum = %g", got)
+	}
+	if got := hist.Count(); got != 1 {
+		t.Fatalf("span should still be counted, count = %d", got)
+	}
+}
+
+func TestEventRingCapacity(t *testing.T) {
+	h := New(Config{EventCapacity: 4})
+	for i := 0; i < 10; i++ {
+		h.Emit(Event{Type: EventPeriodStart, Period: i, Device: -1})
+	}
+	events := h.Events()
+	if len(events) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(events))
+	}
+	for i, e := range events {
+		if e.Period != 6+i {
+			t.Fatalf("ring[%d].Period = %d, want %d (oldest dropped first)", i, e.Period, 6+i)
+		}
+	}
+	if got := h.EventsTotal(); got != 10 {
+		t.Fatalf("EventsTotal = %d, want 10", got)
+	}
+}
+
+func TestJSONLWriteErrorSticky(t *testing.T) {
+	h := New(Config{JSONL: failWriter{}})
+	h.Emit(Event{Type: EventPeriodStart, Device: -1})
+	if h.Err() == nil {
+		t.Fatal("write error should surface through Err")
+	}
+	if err := h.Finish(); err == nil {
+		t.Fatal("Finish should report the sticky JSONL error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestHTTPHandler(t *testing.T) {
+	h := New(Config{EventCapacity: 8})
+	h.Emit(Event{Type: EventPeriodStart, Period: 0, Device: -1, Node: "n0"})
+	h.Period(sample("n0", 0, 930)) // violation → counter + events
+
+	srv := httptest.NewServer(Handler(h))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, `capgpu_cap_violations_total{node="n0"} 1`) {
+		t.Fatalf("/metrics missing violation counter:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE capgpu_period_power_watts histogram") {
+		t.Fatalf("/metrics missing power histogram:\n%s", body)
+	}
+
+	code, body = get("/events?n=2")
+	if code != http.StatusOK {
+		t.Fatalf("/events status = %d", code)
+	}
+	if !strings.Contains(body, string(EventPeriodEnd)) {
+		t.Fatalf("/events tail missing period-end:\n%s", body)
+	}
+	if strings.Contains(body, string(EventPeriodStart)) {
+		t.Fatalf("/events?n=2 should have dropped the oldest event:\n%s", body)
+	}
+
+	code, body = get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+}
+
+func TestNopSinkAndNilSafety(t *testing.T) {
+	var s Sink = NopSink{}
+	s.Emit(Event{})
+	s.Period(PeriodSample{})
+	s.BeginPhase(0, PhaseSense)
+	s.EndPhase(0, PhaseSense)
+}

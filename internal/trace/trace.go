@@ -19,25 +19,95 @@ type Series struct {
 
 // Set is a collection of aligned series (same period axis).
 type Set struct {
-	series []Series
+	series   []Series
+	warnings []string
 }
 
-// Add appends a series; all series should have the same length.
+// Add appends a series. A series whose length differs from the set's
+// existing period axis is padded (on whichever side is shorter) with
+// NaN — rendered as an empty CSV cell — and the mismatch is recorded in
+// Warnings, instead of silently producing a ragged CSV. Use AddStrict
+// to reject mismatches outright.
 func (s *Set) Add(name string, values []float64) {
+	s.checkLength(name, len(values))
 	s.series = append(s.series, Series{Name: name, Values: append([]float64(nil), values...)})
+	s.normalize()
+}
+
+// AddStrict is Add that returns an error instead of padding when the
+// series length does not match the set's period axis.
+func (s *Set) AddStrict(name string, values []float64) error {
+	if axis := s.axisLen(); axis >= 0 && len(values) != axis {
+		return fmt.Errorf("trace: series %q has %d values, period axis has %d", name, len(values), axis)
+	}
+	s.series = append(s.series, Series{Name: name, Values: append([]float64(nil), values...)})
+	return nil
 }
 
 // AddFlags appends a boolean series as 0/1 values, so per-period state
 // flags (degraded, fail-safe, uncontrolled) land in the same CSV as the
-// power traces they annotate.
+// power traces they annotate. Length mismatches pad and warn like Add.
 func (s *Set) AddFlags(name string, flags []bool) {
+	s.checkLength(name, len(flags))
+	s.series = append(s.series, Series{Name: name, Values: flagValues(flags)})
+	s.normalize()
+}
+
+// AddFlagsStrict is AddFlags that rejects a length mismatch.
+func (s *Set) AddFlagsStrict(name string, flags []bool) error {
+	if axis := s.axisLen(); axis >= 0 && len(flags) != axis {
+		return fmt.Errorf("trace: series %q has %d values, period axis has %d", name, len(flags), axis)
+	}
+	s.series = append(s.series, Series{Name: name, Values: flagValues(flags)})
+	return nil
+}
+
+func flagValues(flags []bool) []float64 {
 	vals := make([]float64, len(flags))
 	for i, f := range flags {
 		if f {
 			vals[i] = 1
 		}
 	}
-	s.series = append(s.series, Series{Name: name, Values: vals})
+	return vals
+}
+
+// Warnings returns the length-mismatch warnings accumulated by Add and
+// AddFlags, in occurrence order (nil when every series aligned).
+func (s *Set) Warnings() []string { return s.warnings }
+
+// axisLen returns the set's current period-axis length (-1 when empty).
+func (s *Set) axisLen() int {
+	if len(s.series) == 0 {
+		return -1
+	}
+	n := 0
+	for _, sr := range s.series {
+		if len(sr.Values) > n {
+			n = len(sr.Values)
+		}
+	}
+	return n
+}
+
+// checkLength records a warning when a new series disagrees with the
+// existing axis.
+func (s *Set) checkLength(name string, n int) {
+	if axis := s.axisLen(); axis >= 0 && n != axis {
+		s.warnings = append(s.warnings,
+			fmt.Sprintf("trace: series %q has %d values, period axis has %d; padding with empty cells", name, n, axis))
+	}
+}
+
+// normalize pads every series to the common axis length with NaN, which
+// WriteCSV renders as an empty cell.
+func (s *Set) normalize() {
+	axis := s.axisLen()
+	for i := range s.series {
+		for len(s.series[i].Values) < axis {
+			s.series[i].Values = append(s.series[i].Values, math.NaN())
+		}
+	}
 }
 
 // Names returns the series names in insertion order.
@@ -79,7 +149,7 @@ func (s *Set) WriteCSV(w io.Writer) error {
 		row := make([]string, 0, len(s.series)+1)
 		row = append(row, fmt.Sprintf("%d", i))
 		for _, sr := range s.series {
-			if i < len(sr.Values) {
+			if i < len(sr.Values) && !math.IsNaN(sr.Values[i]) {
 				row = append(row, fmt.Sprintf("%.4f", sr.Values[i]))
 			} else {
 				row = append(row, "")
@@ -106,6 +176,9 @@ func Chart(series []Series, width, height int, refLine float64, title string) st
 	maxLen := 0
 	for _, sr := range series {
 		for _, v := range sr.Values {
+			if math.IsNaN(v) {
+				continue // padding cells carry no data
+			}
 			lo = math.Min(lo, v)
 			hi = math.Max(hi, v)
 		}
@@ -152,7 +225,7 @@ func Chart(series []Series, width, height int, refLine float64, title string) st
 		g := glyphs[si%len(glyphs)]
 		for c := 0; c < width; c++ {
 			idx := c * (maxLen - 1) / maxInt(width-1, 1)
-			if idx >= len(sr.Values) {
+			if idx >= len(sr.Values) || math.IsNaN(sr.Values[idx]) {
 				continue
 			}
 			grid[rowOf(sr.Values[idx])][c] = g

@@ -57,6 +57,97 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+func TestAddPadsAndWarnsOnLengthMismatch(t *testing.T) {
+	var s Set
+	s.Add("power", []float64{900, 910, 905})
+	if w := s.Warnings(); w != nil {
+		t.Fatalf("first series should not warn: %v", w)
+	}
+	s.Add("short", []float64{1})
+	s.AddFlags("degraded", []bool{true, false})
+	warns := s.Warnings()
+	if len(warns) != 2 {
+		t.Fatalf("warnings = %v, want 2", warns)
+	}
+	if !strings.Contains(warns[0], `"short"`) || !strings.Contains(warns[0], "1 values") ||
+		!strings.Contains(warns[0], "period axis has 3") {
+		t.Fatalf("warning text = %q", warns[0])
+	}
+	if !strings.Contains(warns[1], `"degraded"`) {
+		t.Fatalf("warning text = %q", warns[1])
+	}
+	// Every series is padded to the common axis with NaN.
+	for _, name := range []string{"short", "degraded"} {
+		vals := s.Get(name)
+		if len(vals) != 3 {
+			t.Fatalf("%s padded to %d values, want 3", name, len(vals))
+		}
+		if !math.IsNaN(vals[2]) {
+			t.Fatalf("%s pad cell = %g, want NaN", name, vals[2])
+		}
+	}
+	// Padding renders as empty CSV cells, not "NaN".
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatalf("CSV leaked NaN:\n%s", buf.String())
+	}
+	if lines[3] != "2,905.0000,," {
+		t.Fatalf("padded row = %q", lines[3])
+	}
+	// A longer series stretches the axis and back-fills earlier ones.
+	s.Add("long", []float64{1, 2, 3, 4})
+	if vals := s.Get("power"); len(vals) != 4 || !math.IsNaN(vals[3]) {
+		t.Fatalf("axis growth did not back-fill: %v", vals)
+	}
+}
+
+func TestAddStrictRejectsLengthMismatch(t *testing.T) {
+	var s Set
+	if err := s.AddStrict("power", []float64{900, 910}); err != nil {
+		t.Fatalf("first series should be accepted: %v", err)
+	}
+	if err := s.AddStrict("setpoint", []float64{900, 900}); err != nil {
+		t.Fatalf("matching series should be accepted: %v", err)
+	}
+	err := s.AddStrict("short", []float64{1})
+	if err == nil || !strings.Contains(err.Error(), `"short"`) {
+		t.Fatalf("mismatch error = %v", err)
+	}
+	if err := s.AddFlagsStrict("degraded", []bool{true, false}); err != nil {
+		t.Fatalf("matching flags should be accepted: %v", err)
+	}
+	if err := s.AddFlagsStrict("failsafe", []bool{true}); err == nil {
+		t.Fatal("mismatched flags should be rejected")
+	}
+	// Rejected series are not appended and leave no warnings behind.
+	if names := s.Names(); len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	if w := s.Warnings(); w != nil {
+		t.Fatalf("strict rejection should not warn: %v", w)
+	}
+}
+
+func TestChartSkipsNaNPadding(t *testing.T) {
+	out := Chart([]Series{
+		{Name: "full", Values: []float64{700, 800, 900, 850}},
+		{Name: "padded", Values: []float64{750, 780, math.NaN(), math.NaN()}},
+	}, 40, 10, 900, "padded chart")
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("NaN leaked into chart:\n%s", out)
+	}
+	if !strings.Contains(out, "o = padded") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+}
+
 func TestChartRendersAllSeriesAndReference(t *testing.T) {
 	out := Chart([]Series{
 		{Name: "capgpu", Values: []float64{700, 800, 900, 900}},
