@@ -61,11 +61,14 @@ func main() {
 	}
 
 	// Telemetry is opt-in; the wall clock is injected here at the cmd
-	// layer, never inside the seeded packages.
+	// layer, never inside the seeded packages. Counting from a
+	// process-start origin keeps the clock monotonic (no NTP steps) with
+	// full float64 resolution for sub-microsecond phase spans.
 	var hub *telemetry.Hub
 	var eventsFile *os.File
 	if *metricsAddr != "" || *eventsPath != "" || *snapshotPath != "" {
-		cfg := telemetry.Config{Clock: func() float64 { return float64(time.Now().UnixNano()) / 1e9 }}
+		start := time.Now()
+		cfg := telemetry.Config{Clock: func() float64 { return time.Since(start).Seconds() }}
 		if *eventsPath != "" {
 			f, err := os.Create(*eventsPath)
 			if err != nil {

@@ -33,6 +33,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"math"
@@ -82,11 +83,16 @@ func main() {
 
 	// Telemetry is built only when a flag asks for it; the default run is
 	// the uninstrumented fast path. The wall clock lives here, at the cmd
-	// layer — seeded packages only ever see the injected Clock.
+	// layer — seeded packages only ever see the injected Clock. It counts
+	// from a process-start origin so phase spans ride Go's monotonic
+	// clock: no NTP steps, and full float64 resolution at small values
+	// instead of the ~240 ns quantization of a raw Unix epoch.
 	var hub *telemetry.Hub
 	var eventsFile *os.File
+	var eventsBuf *bytes.Buffer
 	if *metricsAddr != "" || *eventsPath != "" || *snapshotPath != "" || *selfCheck {
-		cfg := telemetry.Config{Clock: func() float64 { return float64(time.Now().UnixNano()) / 1e9 }}
+		start := time.Now()
+		cfg := telemetry.Config{Clock: func() float64 { return time.Since(start).Seconds() }}
 		if *eventsPath != "" {
 			f, err := os.Create(*eventsPath)
 			if err != nil {
@@ -95,6 +101,12 @@ func main() {
 			}
 			eventsFile = f
 			cfg.JSONL = f
+		} else if *selfCheck {
+			// The self-check needs the complete stream; the in-memory
+			// ring is bounded and drops the oldest events on long runs,
+			// which would turn surviving exits into spurious orphans.
+			eventsBuf = &bytes.Buffer{}
+			cfg.JSONL = eventsBuf
 		}
 		hub = telemetry.New(cfg)
 	}
@@ -250,7 +262,11 @@ func main() {
 			os.Exit(1)
 		}
 		if *selfCheck {
-			if err := selfCheckTelemetry(hub, res); err != nil {
+			events, err := completeEvents(*eventsPath, eventsBuf)
+			if err == nil {
+				err = selfCheckTelemetry(hub, res, events)
+			}
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "capgpu-sim: telemetry self-check FAILED:", err)
 				os.Exit(1)
 			}
@@ -290,12 +306,28 @@ func finishTelemetry(hub *telemetry.Hub, eventsFile *os.File, eventsPath, snapsh
 	return nil
 }
 
+// completeEvents returns the full event stream for the self-check: the
+// JSONL file (reopened after finishTelemetry flushed it) or the
+// in-memory JSONL buffer — never the bounded event ring, whose eviction
+// of old events would strand surviving exits without their enters.
+func completeEvents(eventsPath string, eventsBuf *bytes.Buffer) ([]telemetry.Event, error) {
+	if eventsPath != "" {
+		f, err := os.Open(eventsPath)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = f.Close() }()
+		return telemetry.ReadEvents(f)
+	}
+	return telemetry.ReadEvents(eventsBuf)
+}
+
 // selfCheckTelemetry is the acceptance gate behind -events-selfcheck:
 // the event stream must be balanced (every degraded/fail-safe/fault
 // enter has its exit) and the derived counters must agree exactly with
 // the period records and the metrics summary.
-func selfCheckTelemetry(hub *telemetry.Hub, res *experiments.RunResult) error {
-	if err := telemetry.CheckBalance(hub.Events()); err != nil {
+func selfCheckTelemetry(hub *telemetry.Hub, res *experiments.RunResult, events []telemetry.Event) error {
+	if err := telemetry.CheckBalance(events); err != nil {
 		return err
 	}
 	wantViol, wantMiss := 0, 0

@@ -241,11 +241,20 @@ type Coordinator struct {
 	// reserving breaker budget for it (default 0.05), since a node
 	// running open-loop can drift above its last report.
 	GuardBandFrac float64
-	// Telemetry, when non-nil, receives the rack-plane lifecycle events:
-	// node death/recovery transitions and each reallocation round (with
-	// the reserved breaker budget as the value). Per-node loop telemetry
-	// is attached on the node harnesses, not here.
+	// Telemetry, when non-nil, receives the rack-scope lifecycle events:
+	// each reallocation round (with the reserved breaker budget as the
+	// value) and — absent NodeTelemetry — node death/recovery stamped
+	// with the bare node name. Per-node loop telemetry is attached on
+	// the node harnesses, not here.
 	Telemetry telemetry.Sink
+	// NodeTelemetry optionally carries one sink per node (index-aligned
+	// with Nodes) for the node-scoped rack events: death and recovery.
+	// Events go through it with an empty Node field, so a labeled
+	// NodeSink stamps the same label the node's harness telemetry uses
+	// and the death/recovery counters join that node's loop metrics
+	// (without it, racks that run one hub across several coordinator
+	// passes would collide on bare node names).
+	NodeTelemetry []telemetry.Sink
 
 	missed     []int     // consecutive missed heartbeats per node
 	lastReport []float64 // last power heard from each node
@@ -350,23 +359,12 @@ func (c *Coordinator) Step(k int) error {
 			c.missed[i] = 0
 		}
 	}
-	if c.Telemetry != nil {
-		for i, n := range c.Nodes {
-			dead := c.missed[i] >= c.heartbeatMisses()
-			switch {
-			case dead && !c.deadPrev[i]:
-				c.Telemetry.Emit(telemetry.Event{
-					TimeS: n.Server.Now(), Period: k, Type: telemetry.EventNodeDead,
-					Node: n.Name, Device: -1, Value: float64(c.missed[i]),
-				})
-			case !dead && c.deadPrev[i]:
-				c.Telemetry.Emit(telemetry.Event{
-					TimeS: n.Server.Now(), Period: k, Type: telemetry.EventNodeRecovered,
-					Node: n.Name, Device: -1,
-				})
-			}
-			c.deadPrev[i] = dead
+	for i, n := range c.Nodes {
+		dead := c.missed[i] >= c.heartbeatMisses()
+		if dead != c.deadPrev[i] {
+			c.emitNodeEvent(i, n, k, dead)
 		}
+		c.deadPrev[i] = dead
 	}
 	if k%c.RackPeriods == 0 {
 		if err := c.reallocate(k); err != nil {
@@ -393,6 +391,28 @@ func (c *Coordinator) Step(k int) error {
 		c.haveReport[i] = true
 	}
 	return nil
+}
+
+// emitNodeEvent reports node i's death or recovery. The per-node sink
+// is preferred when wired: the event leaves Node empty so the sink
+// stamps its own label, matching the node's harness telemetry; without
+// one, the rack sink gets the event with the bare node name.
+func (c *Coordinator) emitNodeEvent(i int, n *Node, k int, dead bool) {
+	sink, name := c.Telemetry, n.Name
+	if i < len(c.NodeTelemetry) && c.NodeTelemetry[i] != nil {
+		sink, name = c.NodeTelemetry[i], ""
+	}
+	if sink == nil {
+		return
+	}
+	e := telemetry.Event{TimeS: n.Server.Now(), Period: k, Node: name, Device: -1}
+	if dead {
+		e.Type = telemetry.EventNodeDead
+		e.Value = float64(c.missed[i])
+	} else {
+		e.Type = telemetry.EventNodeRecovered
+	}
+	sink.Emit(e)
 }
 
 // ensureState sizes the liveness bookkeeping (for coordinators built

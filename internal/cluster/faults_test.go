@@ -7,6 +7,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/faults"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -127,6 +128,68 @@ func TestCoordinatorServerDropoutRedistributes(t *testing.T) {
 	// Recovery: the returned node rejoins allocation with a real share.
 	if nodes[0].Assigned() <= 0 {
 		t.Fatal("recovered node got no budget")
+	}
+}
+
+// TestCoordinatorNodeEventLabels: death/recovery events go through the
+// per-node sinks when wired, so they carry the same label the node's
+// harness telemetry uses ("<policy>/<node>" in the rack rig) and the
+// death/recovery counters join that node's loop metrics; without
+// per-node sinks, the rack sink gets the bare node name.
+func TestCoordinatorNodeEventLabels(t *testing.T) {
+	run := func(wire func(co *Coordinator, hub *telemetry.Hub)) (*telemetry.Hub, []telemetry.Event) {
+		nodes := []*Node{cheapNode(t, "a", 321), cheapNode(t, "b", 322)}
+		co, err := NewCoordinator(nodes, Uniform{}, func(int) float64 { return 1900 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := faults.Parse("server-dropout@2+4:node0", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		co.Faults = sched
+		hub := telemetry.New(telemetry.Config{})
+		wire(co, hub)
+		if err := co.Run(12); err != nil {
+			t.Fatal(err)
+		}
+		var out []telemetry.Event
+		for _, e := range hub.Events() {
+			if e.Type == telemetry.EventNodeDead || e.Type == telemetry.EventNodeRecovered {
+				out = append(out, e)
+			}
+		}
+		return hub, out
+	}
+
+	hub, labeled := run(func(co *Coordinator, hub *telemetry.Hub) {
+		co.Telemetry = hub.NodeSink("uniform")
+		co.NodeTelemetry = []telemetry.Sink{
+			hub.NodeSink("uniform/a"), hub.NodeSink("uniform/b"),
+		}
+	})
+	if len(labeled) != 2 {
+		t.Fatalf("got %d death/recovery events, want death + recovery", len(labeled))
+	}
+	for _, e := range labeled {
+		if e.Node != "uniform/a" {
+			t.Fatalf("event %s labeled %q, want harness label %q", e.Type, e.Node, "uniform/a")
+		}
+	}
+	if got := hub.CounterValue("capgpu_node_deaths_total", telemetry.L("node", "uniform/a")); got != 1 {
+		t.Fatalf("death counter under harness label = %g, want 1", got)
+	}
+
+	_, bare := run(func(co *Coordinator, hub *telemetry.Hub) {
+		co.Telemetry = hub
+	})
+	if len(bare) != 2 {
+		t.Fatalf("fallback: got %d death/recovery events, want 2", len(bare))
+	}
+	for _, e := range bare {
+		if e.Node != "a" {
+			t.Fatalf("fallback event %s labeled %q, want bare %q", e.Type, e.Node, "a")
+		}
 	}
 }
 

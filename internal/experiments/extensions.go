@@ -263,8 +263,10 @@ func SummarizeNode(name string, recs []core.PeriodRecord) NodeSummary {
 // ClusterOptions tunes ExtensionClusterOpts beyond the defaults.
 type ClusterOptions struct {
 	// Telemetry, when non-nil, instruments every node's loop and the
-	// coordinator. Node sinks are labeled "<policy>/<node>" so the three
-	// policy passes do not collide inside one hub.
+	// coordinator. Node-scoped telemetry — the harness loops and the
+	// coordinator's death/recovery events — is labeled "<policy>/<node>"
+	// so the three policy passes do not collide inside one hub and the
+	// rack events join the per-node loop metrics.
 	Telemetry *telemetry.Hub
 	// Faults carries the rack-plane fault schedule (server-dropout
 	// entries, target = node index, drive heartbeat misses).
@@ -357,6 +359,11 @@ func ExtensionClusterOpts(seed int64, periods int, budgetW float64, opts Cluster
 		coord.Faults = opts.Faults
 		if opts.Telemetry != nil {
 			coord.Telemetry = opts.Telemetry.NodeSink(pol.Name())
+			sinks := make([]telemetry.Sink, len(nodes))
+			for i, n := range nodes {
+				sinks[i] = opts.Telemetry.NodeSink(pol.Name() + "/" + n.Name)
+			}
+			coord.NodeTelemetry = sinks
 		}
 		if err := coord.Run(periods); err != nil {
 			return nil, fmt.Errorf("experiments: cluster %s: %w", pol.Name(), err)

@@ -62,7 +62,9 @@ type nodeState struct {
 // Hub is the standard Sink: it owns the metrics registry, the event
 // ring, the optional JSONL stream, and the per-node transition state.
 // All methods lock, so the interleaved loops of a rack can share one
-// hub through per-node views (NodeSink).
+// hub through per-node views (NodeSink). Registry mutations go through
+// the registry's own locked mutators (lock order Hub.mu → Registry.mu),
+// so a concurrent /metrics scrape never races the control loop.
 type Hub struct {
 	mu    sync.Mutex
 	reg   *Registry
@@ -73,7 +75,11 @@ type Hub struct {
 	slackFrac     float64
 	trueSlackFrac float64
 
+	// events is a circular buffer once len reaches cap: head indexes the
+	// oldest entry and new events overwrite in place, so sustained
+	// emission stays O(1) per event instead of shifting the whole slice.
 	events []Event
+	head   int
 	cap    int
 	total  int // events ever emitted (ring may have dropped early ones)
 
@@ -126,7 +132,9 @@ func (h *Hub) Err() error {
 func (h *Hub) Events() []Event {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return append([]Event(nil), h.events...)
+	out := make([]Event, 0, len(h.events))
+	out = append(out, h.events[h.head:]...)
+	return append(out, h.events[:h.head]...)
 }
 
 // EventsTotal returns how many events were emitted over the hub's
@@ -183,8 +191,8 @@ func (h *Hub) Emit(e Event) {
 func (h *Hub) emitLocked(e Event) {
 	h.total++
 	if len(h.events) >= h.cap {
-		copy(h.events, h.events[1:])
-		h.events[len(h.events)-1] = e
+		h.events[h.head] = e // overwrite the oldest entry in place
+		h.head = (h.head + 1) % len(h.events)
 	} else {
 		h.events = append(h.events, e)
 	}
@@ -200,8 +208,8 @@ func (h *Hub) emitLocked(e Event) {
 	}
 
 	node := L("node", e.Node)
-	h.reg.lookup("capgpu_events_total", "Telemetry events emitted, by type.", "counter",
-		L("type", string(e.Type))).value++
+	h.reg.counterAdd("capgpu_events_total", "Telemetry events emitted, by type.",
+		L("type", string(e.Type)), 1)
 	switch e.Type {
 	case EventCapViolation:
 		h.count("capgpu_cap_violations_total", "Periods whose measured average power exceeded the set point by more than the slack.", node)
@@ -224,7 +232,7 @@ func (h *Hub) emitLocked(e Event) {
 		h.count("capgpu_node_recoveries_total", "Dead nodes that resumed heartbeating.", node)
 	case EventReallocation:
 		h.count("capgpu_reallocations_total", "Rack budget reallocation rounds.", node)
-		h.reg.lookup("capgpu_rack_reserved_watts", "Breaker budget held back for silent nodes at the last reallocation.", "gauge", node).value = e.Value
+		h.reg.gaugeSet("capgpu_rack_reserved_watts", "Breaker budget held back for silent nodes at the last reallocation.", node, e.Value)
 	case EventMPCInfeasible:
 		h.count("capgpu_mpc_infeasible_total", "Periods the MPC subproblem was infeasible and the controller held its point.", node)
 	case EventAdaptFrozen:
@@ -232,9 +240,9 @@ func (h *Hub) emitLocked(e Event) {
 	}
 }
 
-// count bumps a derived counter by 1 under the already-held lock.
+// count bumps a derived counter by 1 (under the registry's own lock).
 func (h *Hub) count(name, help string, labels Labels) {
-	h.reg.lookup(name, help, "counter", labels).value++
+	h.reg.counterAdd(name, help, labels, 1)
 }
 
 // Period implements Sink: gauges and histograms are updated from the
@@ -281,7 +289,7 @@ func (h *Hub) Period(s PeriodSample) {
 	// Registry updates.
 	base := L("controller", s.Controller, "node", s.Node)
 	node := L("node", s.Node)
-	h.reg.lookup("capgpu_periods_total", "Control periods completed.", "counter", base).value++
+	h.reg.counterAdd("capgpu_periods_total", "Control periods completed.", base, 1)
 	if s.Degraded {
 		h.count("capgpu_degraded_periods_total", "Periods handled by the last-good-value meter fallback.", node)
 	}
@@ -294,8 +302,8 @@ func (h *Hub) Period(s PeriodSample) {
 	if s.TruePowerW > s.SetpointW*(1+h.trueSlackFrac) && s.SetpointW > 0 {
 		h.count("capgpu_true_cap_violations_total", "Periods whose breaker-side true power exceeded the set point by more than the true slack.", node)
 	}
-	h.reg.lookup("capgpu_energy_joules_total", "Energy drawn, accumulated per period.", "counter", node).value += s.EnergyJ
-	h.reg.lookup("capgpu_actuator_retries_total", "Frequency command re-deliveries.", "counter", node).value += float64(s.ActuatorRetries)
+	h.reg.counterAdd("capgpu_energy_joules_total", "Energy drawn, accumulated per period.", node, s.EnergyJ)
+	h.reg.counterAdd("capgpu_actuator_retries_total", "Frequency command re-deliveries.", node, float64(s.ActuatorRetries))
 
 	h.gauge("capgpu_setpoint_watts", "Power set point for the period.", base, s.SetpointW)
 	h.gauge("capgpu_measured_power_watts", "Meter-side period-average power (what the controller saw).", base, s.AvgPowerW)
@@ -357,25 +365,11 @@ func containsStr(xs []string, want string) bool {
 }
 
 func (h *Hub) gauge(name, help string, labels Labels, v float64) {
-	h.reg.lookup(name, help, "gauge", labels).value = v
+	h.reg.gaugeSet(name, help, labels, v)
 }
 
 func (h *Hub) histObserve(name, help string, buckets []float64, labels Labels, v float64) {
-	s := h.reg.lookup(name, help, "histogram", labels)
-	if s.hist == nil {
-		bs := append([]float64(nil), buckets...)
-		s.hist = &histState{bounds: bs, counts: make([]uint64, len(bs)+1)}
-	}
-	idx := len(s.hist.bounds)
-	for i, b := range s.hist.bounds {
-		if v <= b {
-			idx = i
-			break
-		}
-	}
-	s.hist.counts[idx]++
-	s.hist.count++
-	s.hist.sum += v
+	h.reg.observe(name, help, buckets, labels, v)
 }
 
 // BeginPhase implements Sink (hub-level, unlabeled node).
@@ -450,15 +444,5 @@ func (h *Hub) Finish() error {
 // touched) — the hook end-of-run summaries and the acceptance tests use
 // to compare telemetry against the metrics package.
 func (h *Hub) CounterValue(name string, labels Labels) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	f, ok := h.reg.families[name]
-	if !ok {
-		return 0
-	}
-	s, ok := f.series[labels.signature()]
-	if !ok {
-		return 0
-	}
-	return s.value
+	return h.reg.counterValue(name, labels)
 }

@@ -108,7 +108,7 @@ func NewRegistry() *Registry {
 }
 
 // lookup returns (creating if needed) the series for name+labels,
-// enforcing one metric kind per name.
+// enforcing one metric kind per name. Callers must hold r.mu.
 func (r *Registry) lookup(name, help, kind string, labels Labels) *series {
 	f, ok := r.families[name]
 	if !ok {
@@ -125,6 +125,69 @@ func (r *Registry) lookup(name, help, kind string, labels Labels) *series {
 		f.series[sig] = s
 	}
 	return s
+}
+
+// The Hub drives its derived metrics through the locked mutators below,
+// so every registry mutation happens under r.mu and a concurrent
+// /metrics scrape (WritePrometheus) or accessor read can never observe a
+// map or value mid-write. Lock order is always Hub.mu → Registry.mu; the
+// Registry never calls back into the Hub.
+
+// counterAdd bumps a counter series, registering it on first use.
+func (r *Registry) counterAdd(name, help string, labels Labels, delta float64) {
+	r.mu.Lock()
+	r.lookup(name, help, "counter", labels).value += delta
+	r.mu.Unlock()
+}
+
+// gaugeSet replaces a gauge series' value, registering it on first use.
+func (r *Registry) gaugeSet(name, help string, labels Labels, v float64) {
+	r.mu.Lock()
+	r.lookup(name, help, "gauge", labels).value = v
+	r.mu.Unlock()
+}
+
+// observe records one histogram observation, registering the series on
+// first use with the given (already ascending) bucket bounds.
+func (r *Registry) observe(name, help string, buckets []float64, labels Labels, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, "histogram", labels)
+	if s.hist == nil {
+		bs := append([]float64(nil), buckets...)
+		s.hist = &histState{bounds: bs, counts: make([]uint64, len(bs)+1)}
+	}
+	s.hist.observe(v)
+}
+
+// counterValue reads a counter/gauge series back, 0 if never touched.
+func (r *Registry) counterValue(name string, labels Labels) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		return 0
+	}
+	s, ok := f.series[labels.signature()]
+	if !ok {
+		return 0
+	}
+	return s.value
+}
+
+// observe folds one value into the bucket counts. Callers hold the
+// owning registry's mutex.
+func (st *histState) observe(v float64) {
+	idx := len(st.bounds) // +Inf bucket
+	for i, b := range st.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	st.counts[idx]++
+	st.count++
+	st.sum += v
 }
 
 // Counter is a monotonically increasing sample stream.
@@ -219,17 +282,7 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels
 func (h Histogram) Observe(v float64) {
 	h.r.mu.Lock()
 	defer h.r.mu.Unlock()
-	st := h.s.hist
-	idx := len(st.bounds) // +Inf bucket
-	for i, b := range st.bounds {
-		if v <= b {
-			idx = i
-			break
-		}
-	}
-	st.counts[idx]++
-	st.count++
-	st.sum += v
+	h.s.hist.observe(v)
 }
 
 // Count returns the number of observations.

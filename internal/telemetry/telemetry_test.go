@@ -360,6 +360,43 @@ func TestZeroClockDefault(t *testing.T) {
 	}
 }
 
+// TestConcurrentScrapeDuringEmission pins the locking contract between
+// the Hub and the Registry: a /metrics scrape (WritePrometheus) and the
+// accessor reads run concurrently with a control loop emitting through
+// the Hub. Under -race this fails if any Hub path mutates the registry
+// without holding Registry.mu.
+func TestConcurrentScrapeDuringEmission(t *testing.T) {
+	h := New(Config{EventCapacity: 64})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 300; i++ {
+			s := sample("n0", i, 890+float64(i%40))
+			s.SLOMiss = []bool{i%7 == 0, false}
+			s.Degraded = i%11 < 3
+			h.Period(s)
+			h.BeginPhase(i, PhaseDecide)
+			h.EndPhase(i, PhaseDecide)
+		}
+	}()
+	for scraping := true; scraping; {
+		select {
+		case <-done:
+			scraping = false
+		default:
+		}
+		var b bytes.Buffer
+		if err := h.Registry().WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		_ = h.Events()
+		_ = h.CounterValue("capgpu_cap_violations_total", L("node", "n0"))
+	}
+	if got := h.CounterValue("capgpu_periods_total", L("controller", "capgpu", "node", "n0")); got != 300 {
+		t.Fatalf("periods counter = %g, want 300", got)
+	}
+}
+
 func TestEventRingCapacity(t *testing.T) {
 	h := New(Config{EventCapacity: 4})
 	for i := 0; i < 10; i++ {
