@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench telemetry-verify
+.PHONY: all build test race vet fmt lint check bench telemetry-verify doctor-verify
 
 all: check
 
@@ -40,7 +40,24 @@ telemetry-verify:
 		-events-selfcheck > /dev/null
 	@echo "telemetry-verify: ok"
 
-check: build vet fmt lint test race telemetry-verify
+# End-to-end flight-recorder acceptance: capgpu-doctor must exit 0 on
+# both a clean run and the R1 fault scenario under graceful degradation
+# (every incident attributed: the blind window, the spike artifact, the
+# actuator loss), and its flight record must be non-empty.
+doctor-verify:
+	$(GO) run ./cmd/capgpu-sim -seed 7 -periods 100 \
+		-flight /tmp/capgpu-doctor-clean.jsonl > /dev/null
+	$(GO) run ./cmd/capgpu-doctor -flight /tmp/capgpu-doctor-clean.jsonl > /dev/null
+	$(GO) run ./cmd/capgpu-sim -seed 7 -periods 100 \
+		-faults "meter-dropout@30+10;meter-spike@55+6*300;actuator-loss@70+5:gpu1*0.7" \
+		-flight /tmp/capgpu-doctor-r1.jsonl \
+		-flight-dump /tmp/capgpu-doctor-r1-dumps.jsonl \
+		-events /tmp/capgpu-doctor-r1-events.jsonl > /dev/null
+	$(GO) run ./cmd/capgpu-doctor -flight /tmp/capgpu-doctor-r1.jsonl \
+		-events /tmp/capgpu-doctor-r1-events.jsonl > /dev/null
+	@echo "doctor-verify: ok"
+
+check: build vet fmt lint test race telemetry-verify doctor-verify
 
 bench:
 	$(GO) test -bench . -benchtime 1x .

@@ -1,0 +1,154 @@
+// Command capgpu-doctor replays a run's flight record (plus,
+// optionally, its telemetry event stream and CSV trace) and prints a
+// root-cause report: run-level health, a constraint-activity table, and
+// one diagnosed incident per anomaly window — each attributed (meter
+// blind window, stale-model overshoot, SLO/cap conflict, fault-
+// coincident violation, actuator loss) or flagged UNEXPLAINED.
+//
+// Usage:
+//
+//	capgpu-doctor -flight flight.jsonl [-events events.jsonl] [-csv run.csv] [-json]
+//
+// Exit codes are CI-gateable: 0 = clean run or every incident
+// explained; 2 = unexplained anomalies; 1 = usage or input errors.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/flight"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	flightPath := flag.String("flight", "", "flight-record JSONL (required; written by capgpu-sim -flight)")
+	eventsPath := flag.String("events", "", "telemetry events JSONL (optional cross-check + SLO fallback)")
+	csvPath := flag.String("csv", "", "run CSV trace (optional row-count cross-check)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
+	measSlack := flag.Float64("slack", 0.01, "measured-violation slack fraction above the set point")
+	trueSlack := flag.Float64("true-slack", 0.02, "breaker-side violation slack fraction")
+	flag.Parse()
+
+	if *flightPath == "" {
+		fmt.Fprintln(os.Stderr, "capgpu-doctor: -flight is required")
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	records, err := readFlight(*flightPath)
+	if err != nil {
+		fatalf("read flight record: %v", err)
+	}
+	var events []telemetry.Event
+	if *eventsPath != "" {
+		f, err := os.Open(*eventsPath)
+		if err != nil {
+			fatalf("open events: %v", err)
+		}
+		events, err = telemetry.ReadEvents(f)
+		closeErr := f.Close()
+		if err != nil {
+			fatalf("read events: %v", err)
+		}
+		if closeErr != nil {
+			fatalf("close events: %v", closeErr)
+		}
+	}
+
+	report, err := flight.Diagnose(flight.DoctorInput{
+		Records:           records,
+		Events:            events,
+		MeasuredSlackFrac: *measSlack,
+		TrueSlackFrac:     *trueSlack,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatalf("encode report: %v", err)
+		}
+	} else {
+		if err := report.WriteText(os.Stdout); err != nil {
+			fatalf("write report: %v", err)
+		}
+		crossCheck(records, events, *csvPath)
+	}
+	os.Exit(report.ExitCode())
+}
+
+func readFlight(path string) ([]flight.DecisionRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	records, err := flight.ReadRecords(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return records, err
+}
+
+// crossCheck prints consistency notes between the three inputs; purely
+// informational, never affects the exit code.
+func crossCheck(records []flight.DecisionRecord, events []telemetry.Event, csvPath string) {
+	if len(events) > 0 {
+		periodStarts := 0
+		for _, e := range events {
+			if e.Type == telemetry.EventPeriodStart {
+				periodStarts++
+			}
+		}
+		if periodStarts > 0 && periodStarts != len(records) {
+			fmt.Printf("\nnote: events stream covers %d periods but the flight record has %d — inputs may be from different runs\n",
+				periodStarts, len(records))
+		}
+	}
+	if csvPath != "" {
+		rows, err := countCSVRows(csvPath)
+		if err != nil {
+			fmt.Printf("\nnote: could not read CSV %s: %v\n", csvPath, err)
+		} else if rows != len(records) {
+			fmt.Printf("\nnote: CSV has %d data rows but the flight record has %d — inputs may be from different runs\n",
+				rows, len(records))
+		}
+	}
+}
+
+func countCSVRows(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	rows := 0
+	for {
+		_, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			_ = f.Close()
+			return 0, err
+		}
+		rows++
+	}
+	if rows > 0 {
+		rows-- // header
+	}
+	return rows, f.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "capgpu-doctor: "+format+"\n", args...)
+	os.Exit(1)
+}

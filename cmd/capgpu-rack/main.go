@@ -21,12 +21,16 @@
 //	-metrics-snapshot string write the final Prometheus exposition here
 //	-hold duration           with -metrics-addr, serve this long after the
 //	                         run instead of waiting for SIGINT
+//	-pprof                   with -metrics-addr, also serve net/http/pprof
+//	                         under /debug/pprof/
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,7 +52,13 @@ func main() {
 	eventsPath := flag.String("events", "", "write the JSONL telemetry event stream to this path")
 	snapshotPath := flag.String("metrics-snapshot", "", "write the final Prometheus exposition to this path")
 	hold := flag.Duration("hold", 0, "with -metrics-addr, keep serving this long after the run (0 = until SIGINT)")
+	pprofOn := flag.Bool("pprof", false, "with -metrics-addr, also serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	if *pprofOn && *metricsAddr == "" {
+		fmt.Fprintln(os.Stderr, "capgpu-rack: -pprof requires -metrics-addr")
+		os.Exit(1)
+	}
 
 	var sched *faults.Schedule
 	if *faultsDSL != "" {
@@ -81,12 +91,16 @@ func main() {
 		hub = telemetry.New(cfg)
 	}
 	if *metricsAddr != "" {
-		addr, err := telemetry.Serve(hub, *metricsAddr)
+		addr, err := telemetry.ServeHandler(withPprof(telemetry.Handler(hub), *pprofOn), *metricsAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "capgpu-rack:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("telemetry: serving http://%s/metrics (/events, /healthz)\n\n", addr)
+		extra := ""
+		if *pprofOn {
+			extra = ", /debug/pprof/"
+		}
+		fmt.Printf("telemetry: serving http://%s/metrics (/events, /healthz%s)\n\n", addr, extra)
 	}
 
 	rows, err := experiments.ExtensionClusterOpts(*seed, *periods, *budget,
@@ -207,4 +221,21 @@ func main() {
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		<-ch
 	}
+}
+
+// withPprof mounts the hub handler at / and, when enabled, the pprof
+// endpoints under /debug/pprof/ — kept at the cmd layer so the
+// deterministic telemetry package never imports net/http/pprof.
+func withPprof(h http.Handler, enable bool) http.Handler {
+	if !enable {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -30,6 +30,15 @@
 //	                         metrics summary (exit 1 on mismatch)
 //	-hold duration           with -metrics-addr, serve for this long after
 //	                         the run instead of waiting for SIGINT
+//
+// Flight recorder (see DESIGN.md "Flight recorder & diagnosis"):
+//
+//	-flight string       write the per-period DecisionRecord JSONL here
+//	                     (feed it to capgpu-doctor)
+//	-flight-dump string  write black-box dumps (last N decision records,
+//	                     triggered by violations/fail-safe/divergence) here
+//	-pprof               with -metrics-addr, also serve net/http/pprof
+//	                     under /debug/pprof/
 package main
 
 import (
@@ -37,6 +46,8 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -46,6 +57,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/flight"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -64,7 +76,15 @@ func main() {
 	snapshotPath := flag.String("metrics-snapshot", "", "write the final Prometheus exposition to this path")
 	selfCheck := flag.Bool("events-selfcheck", false, "verify event-stream balance and counter/summary parity after the run")
 	hold := flag.Duration("hold", 0, "with -metrics-addr, keep serving this long after the run (0 = until SIGINT)")
+	flightPath := flag.String("flight", "", "write the flight-recorder DecisionRecord JSONL to this path")
+	dumpPath := flag.String("flight-dump", "", "write incident-triggered black-box dumps (JSONL) to this path")
+	pprofOn := flag.Bool("pprof", false, "with -metrics-addr, also serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	if *pprofOn && *metricsAddr == "" {
+		fmt.Fprintln(os.Stderr, "capgpu-sim: -pprof requires -metrics-addr")
+		os.Exit(1)
+	}
 
 	if *sloMode {
 		runSLO(*controller, *seed, *periods)
@@ -111,12 +131,16 @@ func main() {
 		hub = telemetry.New(cfg)
 	}
 	if *metricsAddr != "" {
-		addr, err := telemetry.Serve(hub, *metricsAddr)
+		addr, err := telemetry.ServeHandler(withPprof(telemetry.Handler(hub), *pprofOn), *metricsAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("telemetry: serving http://%s/metrics (/events, /healthz)\n\n", addr)
+		extra := ""
+		if *pprofOn {
+			extra = ", /debug/pprof/"
+		}
+		fmt.Printf("telemetry: serving http://%s/metrics (/events, /healthz%s)\n\n", addr, extra)
 	}
 
 	// A nil *Hub must stay a nil Sink interface, or the harness's
@@ -125,8 +149,40 @@ func main() {
 	if hub != nil {
 		sink = hub
 	}
-	res, err := experiments.RunInstrumentedSession(*controller, *seed, *periods,
-		experiments.FixedSetpoint(*setpoint), nil, sched, *noDegrade, sink)
+
+	// The flight recorder rides next to telemetry: the ring always exists
+	// once either flight flag asks for it, the JSONL stream only with
+	// -flight, and -flight-dump interposes the black-box trigger between
+	// the harness and the hub.
+	var recorder *flight.Recorder
+	var flightFile, dumpFile *os.File
+	if *flightPath != "" || *dumpPath != "" {
+		var fcfg flight.Config
+		if *flightPath != "" {
+			f, err := os.Create(*flightPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
+				os.Exit(1)
+			}
+			flightFile = f
+			fcfg.JSONL = f
+		}
+		recorder = flight.NewRecorder(fcfg)
+	}
+	if *dumpPath != "" {
+		f, err := os.Create(*dumpPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
+			os.Exit(1)
+		}
+		dumpFile = f
+		sink = flight.NewDumpSink(sink, recorder, f, flight.DumpConfig{})
+	}
+
+	res, err := experiments.RunSessionWith(*controller, *seed, *periods,
+		experiments.FixedSetpoint(*setpoint), nil, experiments.SessionOptions{
+			Faults: sched, NoDegrade: *noDegrade, Telemetry: sink, Flight: recorder,
+		})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
 		os.Exit(1)
@@ -256,6 +312,33 @@ func main() {
 		fmt.Println("trace written to", *csvPath)
 	}
 
+	if recorder != nil {
+		if err := recorder.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "capgpu-sim: flight record:", err)
+			os.Exit(1)
+		}
+		if flightFile != nil {
+			if err := flightFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("flight record written to %s (%d periods; inspect with capgpu-doctor)\n", *flightPath, recorder.Total())
+		}
+	}
+	if dumpFile != nil {
+		if ds, ok := sink.(*flight.DumpSink); ok {
+			if err := ds.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "capgpu-sim: flight dump:", err)
+				os.Exit(1)
+			}
+		}
+		if err := dumpFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("black-box dumps written to", *dumpPath)
+	}
+
 	if hub != nil {
 		if err := finishTelemetry(hub, eventsFile, *eventsPath, *snapshotPath); err != nil {
 			fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
@@ -275,6 +358,23 @@ func main() {
 	if *metricsAddr != "" {
 		holdServing(*hold)
 	}
+}
+
+// withPprof mounts the hub handler at / and, when enabled, the pprof
+// endpoints under /debug/pprof/ — kept at the cmd layer so the
+// deterministic telemetry package never imports net/http/pprof.
+func withPprof(h http.Handler, enable bool) http.Handler {
+	if !enable {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // finishTelemetry closes open lifecycle states, flushes the JSONL file,

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/actuator"
 	"repro/internal/faults"
+	"repro/internal/flight"
 	"repro/internal/mpc"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -73,6 +74,12 @@ type Observation struct {
 type Decision struct {
 	CPUFreqGHz float64
 	GPUFreqMHz []float64
+
+	// Flight carries the controller's decision internals for the flight
+	// recorder. Nil unless flight recording was enabled on a controller
+	// that exposes a trace (FlightAware); the harness moves it into the
+	// period's DecisionRecord.
+	Flight *flight.ControllerTrace
 }
 
 // PowerController is implemented by CapGPU and every baseline.
@@ -141,6 +148,8 @@ type CapGPU struct {
 
 	sink telemetry.Sink // nil = telemetry disabled
 	node string
+
+	flightOn bool // build flight.ControllerTrace per decision
 }
 
 // TelemetryAware is implemented by controllers that emit their own
@@ -154,6 +163,21 @@ type TelemetryAware interface {
 func (c *CapGPU) SetTelemetry(sink telemetry.Sink, node string) {
 	c.sink = sink
 	c.node = node
+}
+
+// FlightAware is implemented by controllers that can attach a
+// flight.ControllerTrace to their decisions. Harness.SetFlight toggles
+// it; recording is off by default and costs nothing while off.
+type FlightAware interface {
+	SetFlightRecording(on bool)
+}
+
+// SetFlightRecording implements FlightAware: besides building traces,
+// it switches the MPC into detailed-diagnostics mode so constraint
+// activity and the horizon trajectory are available.
+func (c *CapGPU) SetFlightRecording(on bool) {
+	c.flightOn = on
+	c.ctrl.SetDetailedDiagnostics(on)
 }
 
 // NewCapGPU builds the controller from an identified power model (knob 0
@@ -362,7 +386,7 @@ func (c *CapGPU) Decide(obs Observation) Decision {
 		}
 	}
 
-	d, _, err := c.ctrl.Compute(c.filt, obs.SetpointW, freqs, tp, lower)
+	d, diag, err := c.ctrl.Compute(c.filt, obs.SetpointW, freqs, tp, lower)
 	if err != nil {
 		// Constraint conflicts (e.g. every GPU pinned by SLO floors with
 		// the cap unreachable) degrade to holding the current point; the
@@ -373,13 +397,92 @@ func (c *CapGPU) Decide(obs Observation) Decision {
 				Node: c.node, Device: -1, Detail: err.Error(),
 			})
 		}
-		return Decision{CPUFreqGHz: obs.CPUFreqGHz, GPUFreqMHz: append([]float64(nil), obs.GPUFreqMHz...)}
+		hold := Decision{CPUFreqGHz: obs.CPUFreqGHz, GPUFreqMHz: append([]float64(nil), obs.GPUFreqMHz...)}
+		if c.flightOn {
+			hold.Flight = c.baseTrace(obs)
+			hold.Flight.Infeasible = true
+			hold.Flight.InfeasibleDetail = err.Error()
+		}
+		return hold
 	}
 	out := Decision{CPUFreqGHz: freqs[0] + c.beta*d[0], GPUFreqMHz: make([]float64, ng)}
 	for i := 0; i < ng; i++ {
 		out.GPUFreqMHz[i] = freqs[1+i] + c.beta*d[1+i]
 	}
+	if c.flightOn {
+		out.Flight = c.buildTrace(obs, d, diag, tp, lower)
+	}
 	return out
+}
+
+// baseTrace fills the model/adaptation half of a ControllerTrace — the
+// part that exists even when the MPC subproblem had no solution.
+func (c *CapGPU) baseTrace(obs Observation) *flight.ControllerTrace {
+	model := c.CurrentModel()
+	t := &flight.ControllerTrace{
+		Gains:          append([]float64(nil), model.Gains...),
+		OffsetW:        model.Offset,
+		InnovationW:    c.lastInnovation,
+		Adaptive:       c.rls != nil,
+		AdaptFrozen:    c.rls != nil && obs.MeterStale > 0,
+		FilteredPowerW: c.filt,
+	}
+	if c.rls != nil {
+		t.RLSUpdates = c.rls.Count()
+	}
+	return t
+}
+
+// buildTrace assembles the flight-recorder view of a successful MPC
+// decision.
+func (c *CapGPU) buildTrace(obs Observation, d []float64, diag *mpc.Diagnostics, tp, lower []float64) *flight.ControllerTrace {
+	t := c.baseTrace(obs)
+	t.PredictedEndW = diag.PredictedEndPowerW
+	t.HorizonW = diag.PredictedStepW
+	t.BiasW = diag.BiasW
+	t.DeadbandHold = diag.DeadbandHold
+	t.Relaxed = diag.Clamped
+	t.Solver = diag.Solver
+	t.SolverIterations = diag.SolverIterations
+
+	// One-step prediction under the applied (move-gain-scaled) first
+	// move — what the flight recorder scores against the next sample.
+	g := c.ctrl.Gains()
+	pred := c.filt
+	for i := range d {
+		pred += g[i] * c.beta * d[i]
+	}
+	t.PredictedNextW = pred
+
+	t.Knobs = make([]flight.KnobConstraint, len(d))
+	for i := range t.Knobs {
+		kc := &t.Knobs[i]
+		if i < len(tp) {
+			kc.ThroughputNorm = tp[i]
+		}
+		if i < len(diag.Weights) {
+			kc.WeightR = diag.Weights[i]
+		}
+		if i < len(diag.ActiveLower) {
+			kc.AtLower = diag.ActiveLower[i]
+		}
+		if i < len(diag.ActiveUpper) {
+			kc.AtUpper = diag.ActiveUpper[i]
+		}
+		if i < len(diag.PinnedKnobs) {
+			kc.Pinned = diag.PinnedKnobs[i]
+		}
+		if i < len(diag.LowerBoundsNorm) {
+			kc.LowerBoundNorm = diag.LowerBoundsNorm[i]
+		}
+		if i > 0 && i-1 < len(c.floorBoost) {
+			// The floor is SLO-derived exactly when it was raised above
+			// the hardware minimum in Decide's bound inversion.
+			kc.SLOFloor = i < len(lower) && lower[i] > c.fminG[i-1]
+			kc.FloorBoost = c.floorBoost[i-1]
+		}
+	}
+	return t
 }
 
 // normReg maps the applied frequencies into [0,1] per knob — the
@@ -510,6 +613,11 @@ type Harness struct {
 	// TelemetryNode labels this harness's telemetry (the rack node name;
 	// empty for single-server runs).
 	TelemetryNode string
+	// Flight, when non-nil, receives one DecisionRecord per control
+	// period (the flight recorder). Nil (the default) disables recording
+	// at the cost of one nil check per period; use SetFlight to also
+	// switch a FlightAware controller into trace-building mode.
+	Flight *flight.Recorder
 
 	lastGoodAvgW float64
 	haveGoodAvg  bool
@@ -616,6 +724,48 @@ func (h *Harness) SetTelemetry(sink telemetry.Sink, node string) {
 	if ta, ok := h.Controller.(TelemetryAware); ok {
 		ta.SetTelemetry(sink, node)
 	}
+}
+
+// SetFlight attaches a flight recorder to the harness and — when the
+// controller implements FlightAware — switches it into trace-building
+// mode. Pass nil to detach and stop trace building.
+func (h *Harness) SetFlight(rec *flight.Recorder) {
+	h.Flight = rec
+	if fa, ok := h.Controller.(FlightAware); ok {
+		fa.SetFlightRecording(rec != nil)
+	}
+}
+
+// flightRecord condenses one period into the flight recorder's entry,
+// adopting the controller trace the decision carried.
+func (h *Harness) flightRecord(rec PeriodRecord, dec Decision) flight.DecisionRecord {
+	fr := flight.DecisionRecord{
+		Period:          rec.Period,
+		TimeS:           h.Server.Now(),
+		SetpointW:       rec.SetpointW,
+		MeasuredW:       rec.AvgPowerW,
+		TruePowerW:      rec.TrueAvgPowerW,
+		MeterStale:      rec.MeterStale,
+		Degraded:        rec.Degraded,
+		FailSafe:        rec.FailSafe,
+		Uncontrolled:    rec.Uncontrolled,
+		Faults:          rec.Faults,
+		CommandedCPUGHz: dec.CPUFreqGHz,
+		CommandedGPUMHz: append([]float64(nil), dec.GPUFreqMHz...),
+		ActuatorRetries: rec.ActuatorRetries,
+		Controller:      dec.Flight,
+	}
+	for i, miss := range rec.SLOMiss {
+		if miss {
+			fr.SLOMissGPUs = append(fr.SLOMissGPUs, i)
+		}
+	}
+	for i, div := range rec.ActuatorDiverged {
+		if div {
+			fr.ActuatorDiverged = append(fr.ActuatorDiverged, i)
+		}
+	}
+	return fr
 }
 
 // telemetrySample condenses a PeriodRecord into the once-per-period
@@ -883,6 +1033,11 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 	}
 	rec.ActuatorDiverged = report.Diverged
 	rec.ActuatorRetries = report.Retries
+	if h.Flight != nil {
+		// Record before the telemetry sample so a dump trigger fired by
+		// this period's sample already sees this period's decision.
+		h.Flight.Record(h.flightRecord(rec, dec))
+	}
 	if h.Telemetry != nil {
 		h.Telemetry.EndPhase(k, telemetry.PhaseVerify)
 		h.Telemetry.Period(h.telemetrySample(rec))
@@ -1075,6 +1230,14 @@ func (h *Harness) StepUncontrolled(k int) (PeriodRecord, error) {
 	rec.TrueAvgPowerW = trueP * inv
 	rec.AvgPowerW = rec.TrueAvgPowerW
 	rec.EnergyJ = s.EnergyJ() - energyStart
+	if h.Flight != nil {
+		// No decision exists on an open-loop period; the record freezes
+		// the frequencies the node is stuck at.
+		h.Flight.Record(h.flightRecord(rec, Decision{
+			CPUFreqGHz: rec.CPUFreqGHz,
+			GPUFreqMHz: rec.GPUFreqMHz,
+		}))
+	}
 	if h.Telemetry != nil {
 		h.Telemetry.Period(h.telemetrySample(rec))
 	}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/flight"
+)
+
+// TestHarnessFlightRecording pins the flight wiring: with a recorder
+// attached, every period yields a DecisionRecord whose controller trace
+// carries the model, prediction, and per-knob constraint state.
+func TestHarnessFlightRecording(t *testing.T) {
+	s, model, lms := testRig(t, 11)
+	ctrl, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(s, ctrl, func(int) float64 { return 900 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := flight.NewRecorder(flight.Config{})
+	h.SetFlight(rec)
+	recs, err := h.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Total() != 20 {
+		t.Fatalf("recorded %d periods, want 20", rec.Total())
+	}
+	frecs := rec.Records()
+	for i, fr := range frecs {
+		pr := recs[i]
+		if fr.Period != pr.Period || fr.SetpointW != pr.SetpointW {
+			t.Fatalf("record %d misaligned: flight %d/%.0f vs harness %d/%.0f",
+				i, fr.Period, fr.SetpointW, pr.Period, pr.SetpointW)
+		}
+		if fr.MeasuredW != pr.AvgPowerW || fr.TruePowerW != pr.TrueAvgPowerW {
+			t.Fatalf("record %d power mismatch: %.2f/%.2f vs %.2f/%.2f",
+				i, fr.MeasuredW, fr.TruePowerW, pr.AvgPowerW, pr.TrueAvgPowerW)
+		}
+		if fr.Controller == nil {
+			t.Fatalf("record %d has no controller trace on a healthy CapGPU period", i)
+		}
+		ct := fr.Controller
+		if len(ct.Gains) != 4 || len(ct.Knobs) != 4 {
+			t.Fatalf("record %d trace shape: %d gains, %d knobs, want 4 each", i, len(ct.Gains), len(ct.Knobs))
+		}
+		if ct.Solver == "" {
+			t.Fatalf("record %d missing solver attribution", i)
+		}
+		for k, kc := range ct.Knobs {
+			if kc.WeightR <= 0 {
+				t.Fatalf("record %d knob %d weight R = %.3f, want > 0", i, k, kc.WeightR)
+			}
+		}
+		if i > 0 && !fr.HaveOneStepErr {
+			t.Fatalf("record %d not scored against the previous prediction", i)
+		}
+	}
+}
+
+// TestSetFlightTogglesTrace verifies detaching the recorder also turns
+// trace building (and the MPC detail diagnostics) back off.
+func TestSetFlightTogglesTrace(t *testing.T) {
+	s, model, lms := testRig(t, 12)
+	ctrl, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(s, ctrl, func(int) float64 { return 900 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := Observation{AvgPowerW: 950, SetpointW: 900, CPUFreqGHz: 2.0,
+		GPUFreqMHz:        []float64{1200, 1100, 1000},
+		CPUThroughputNorm: 0.8, GPUThroughputNorm: []float64{0.9, 0.7, 0.5}}
+	if d := ctrl.Decide(obs); d.Flight != nil {
+		t.Fatal("trace built with flight recording off")
+	}
+	h.SetFlight(flight.NewRecorder(flight.Config{}))
+	if d := ctrl.Decide(obs); d.Flight == nil {
+		t.Fatal("no trace with flight recording on")
+	}
+	h.SetFlight(nil)
+	if d := ctrl.Decide(obs); d.Flight != nil {
+		t.Fatal("trace still built after detaching the recorder")
+	}
+}
+
+// TestDecideZeroAllocGrowthWhenFlightOff pins the acceptance criterion:
+// a disabled flight recorder adds zero allocations to the control loop.
+// The trace-building path necessarily allocates; the default path must
+// not change.
+func TestDecideZeroAllocGrowthWhenFlightOff(t *testing.T) {
+	s, model, lms := testRig(t, 13)
+	ctrl, err := NewCapGPU(model, s, lms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := Observation{AvgPowerW: 950, SetpointW: 900, CPUFreqGHz: 2.0,
+		GPUFreqMHz:        []float64{1200, 1100, 1000},
+		CPUThroughputNorm: 0.8, GPUThroughputNorm: []float64{0.9, 0.7, 0.5}}
+	decide := func() { ctrl.Decide(obs) }
+	decide() // warm the MPC warm-start buffer
+	base := testing.AllocsPerRun(200, decide)
+
+	// Enable and disable again: the off path must return to baseline —
+	// no lingering per-period cost from having been instrumented.
+	ctrl.SetFlightRecording(true)
+	withFlight := testing.AllocsPerRun(200, decide)
+	ctrl.SetFlightRecording(false)
+	after := testing.AllocsPerRun(200, decide)
+	if after > base {
+		t.Fatalf("flight-off Decide allocations grew: %.0f before, %.0f after instrumentation", base, after)
+	}
+	if withFlight <= base {
+		t.Logf("flight trace costs no extra allocations (%.0f vs %.0f)", withFlight, base)
+	}
+}

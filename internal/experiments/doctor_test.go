@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/flight"
+)
+
+// runWithFlight runs one R1-shaped session with a flight recorder
+// attached and returns the doctor's report over it.
+func runWithFlight(t *testing.T, faultsDSL string, noDegrade bool) (*flight.Report, []flight.DecisionRecord) {
+	t.Helper()
+	var sched *faults.Schedule
+	if faultsDSL != "" {
+		var err error
+		sched, err = faults.Parse(faultsDSL, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var jsonl bytes.Buffer
+	rec := flight.NewRecorder(flight.Config{JSONL: &jsonl})
+	if _, err := RunSessionWith("capgpu", 7, 100, FixedSetpoint(900), nil, SessionOptions{
+		Faults: sched, NoDegrade: noDegrade, Flight: rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Diagnose from the stream, exactly as capgpu-doctor does.
+	records, err := flight.ReadRecords(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 100 {
+		t.Fatalf("flight stream has %d records, want 100", len(records))
+	}
+	rep, err := flight.Diagnose(flight.DoctorInput{Records: records})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, records
+}
+
+// TestDoctorCleanRun pins the unfaulted acceptance criterion: a healthy
+// CapGPU session diagnoses clean (exit 0, nothing unexplained).
+func TestDoctorCleanRun(t *testing.T) {
+	rep, _ := runWithFlight(t, "", false)
+	if rep.ExitCode() != 0 {
+		t.Fatalf("clean run exit = %d, report: %+v", rep.ExitCode(), rep.Incidents)
+	}
+	if rep.Health.FailSafePeriods != 0 || rep.Health.DegradedPeriods != 0 {
+		t.Fatalf("clean run shows degradation: %+v", rep.Health)
+	}
+	if rep.Health.TrueViolations != 0 {
+		t.Fatalf("clean run has %d true violations", rep.Health.TrueViolations)
+	}
+}
+
+// TestDoctorR1Graceful pins the R1 meter-blackout criterion: the doctor
+// identifies the blind window, attributes it to the degradation ladder
+// (not an anomaly), and exits 0.
+func TestDoctorR1Graceful(t *testing.T) {
+	rep, _ := runWithFlight(t, RobustnessScenario, false)
+	var blind *flight.Incident
+	for i := range rep.Incidents {
+		if rep.Incidents[i].Kind == "meter-blind" && rep.Incidents[i].StartPeriod == 30 {
+			blind = &rep.Incidents[i]
+		}
+	}
+	if blind == nil {
+		t.Fatalf("no meter-blind incident at k=30 in %+v", rep.Incidents)
+	}
+	if !blind.Explained {
+		t.Fatalf("graceful blind window flagged unexplained: %+v", blind)
+	}
+	if blind.RootCause != "blind-window-failsafe" && blind.RootCause != "blind-window-hold" {
+		t.Fatalf("graceful blind window root cause = %s", blind.RootCause)
+	}
+	if rep.ExitCode() != 0 {
+		t.Fatalf("graceful R1 exit = %d, incidents: %+v", rep.ExitCode(), rep.Incidents)
+	}
+}
+
+// TestDoctorR1Strawman pins the root-cause criterion: with degradation
+// disabled, the doctor calls the blind window a stale-model overshoot
+// and reports the true-power escape.
+func TestDoctorR1Strawman(t *testing.T) {
+	rep, records := runWithFlight(t, RobustnessScenario, true)
+	var blind *flight.Incident
+	for i := range rep.Incidents {
+		if rep.Incidents[i].Kind == "meter-blind" && rep.Incidents[i].StartPeriod == 30 {
+			blind = &rep.Incidents[i]
+		}
+	}
+	if blind == nil {
+		t.Fatalf("no meter-blind incident at k=30 in %+v", rep.Incidents)
+	}
+	if blind.RootCause != "stale-model-overshoot" {
+		t.Fatalf("strawman blind window root cause = %s, want stale-model-overshoot", blind.RootCause)
+	}
+	if !strings.Contains(blind.Detail, "graceful degradation disabled") {
+		t.Fatalf("detail should call out the disabled degradation: %s", blind.Detail)
+	}
+	// Sanity: the records really show the controller fed a bogus reading
+	// while the breaker-side power escaped.
+	escaped := false
+	for _, r := range records[30:40] {
+		if r.MeterStale > 0 && r.TruePowerW > 900*1.02 {
+			escaped = true
+		}
+	}
+	if !escaped {
+		t.Fatal("strawman blind window shows no true-power escape in the flight record")
+	}
+}
+
+// TestFlightReplayByteIdentical extends the seeded-replay golden
+// contract to the flight record: two identical seeded runs produce
+// byte-identical JSONL, and attaching the recorder does not perturb the
+// control trajectory.
+func TestFlightReplayByteIdentical(t *testing.T) {
+	run := func(withFlight bool) (flightBytes, csv []byte) {
+		sched, err := faults.Parse(RobustnessScenario, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := SessionOptions{Faults: sched}
+		var jsonl bytes.Buffer
+		if withFlight {
+			opts.Flight = flight.NewRecorder(flight.Config{JSONL: &jsonl})
+		}
+		res, err := RunSessionWith("capgpu", 7, 60, FixedSetpoint(900), nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jsonl.Bytes(), replayTrace(t, res.Records)
+	}
+	flightA, csvA := run(true)
+	flightB, csvB := run(true)
+	if len(flightA) == 0 {
+		t.Fatal("empty flight record")
+	}
+	if !bytes.Equal(flightA, flightB) {
+		t.Fatal("flight record differs between identical seeded runs")
+	}
+	if !bytes.Equal(csvA, csvB) {
+		t.Fatal("control trajectory differs between identical seeded runs")
+	}
+	_, csvBare := run(false)
+	if !bytes.Equal(csvBare, csvA) {
+		t.Fatal("attaching the flight recorder changed the control trajectory")
+	}
+}

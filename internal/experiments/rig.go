@@ -11,6 +11,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/mpc"
 	"repro/internal/sim"
@@ -211,6 +212,29 @@ func RunFaultSession(name string, seed int64, periods int, setpoint func(int) fl
 // TelemetryAware controller), labeled TelemetryNode. A nil sink runs
 // uninstrumented and is byte-identical to RunFaultSession.
 func RunInstrumentedSession(name string, seed int64, periods int, setpoint func(int) float64, slos func(int) []float64, sched *faults.Schedule, noDegrade bool, sink telemetry.Sink) (*RunResult, error) {
+	return RunSessionWith(name, seed, periods, setpoint, slos, SessionOptions{
+		Faults: sched, NoDegrade: noDegrade, Telemetry: sink,
+	})
+}
+
+// SessionOptions bundles the optional attachments of a capping session.
+type SessionOptions struct {
+	// Faults injects a fault schedule; NoDegrade disables the
+	// graceful-degradation fallback (the R1 strawman).
+	Faults    *faults.Schedule
+	NoDegrade bool
+	// Telemetry, when non-nil, instruments the harness (labeled
+	// TelemetryNode).
+	Telemetry telemetry.Sink
+	// Flight, when non-nil, attaches the flight recorder (and switches a
+	// FlightAware controller into trace-building mode).
+	Flight *flight.Recorder
+}
+
+// RunSessionWith runs one controller (by name) on a fresh rig with the
+// given optional attachments. The zero options value is byte-identical
+// to RunSession.
+func RunSessionWith(name string, seed int64, periods int, setpoint func(int) float64, slos func(int) []float64, opts SessionOptions) (*RunResult, error) {
 	rig, err := NewEvaluationRig(seed)
 	if err != nil {
 		return nil, err
@@ -224,10 +248,13 @@ func RunInstrumentedSession(name string, seed int64, periods int, setpoint func(
 		return nil, err
 	}
 	h.SLOs = slos
-	h.Faults = sched
-	h.Degrade.Disable = noDegrade
-	if sink != nil {
-		h.SetTelemetry(sink, TelemetryNode)
+	h.Faults = opts.Faults
+	h.Degrade.Disable = opts.NoDegrade
+	if opts.Telemetry != nil {
+		h.SetTelemetry(opts.Telemetry, TelemetryNode)
+	}
+	if opts.Flight != nil {
+		h.SetFlight(opts.Flight)
 	}
 	recs, err := h.Run(periods)
 	if err != nil {

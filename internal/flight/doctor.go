@@ -1,0 +1,747 @@
+package flight
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// DoctorInput is everything the offline diagnosis works from. Records
+// is required; Events (the telemetry JSONL stream) is optional and only
+// used for cross-checks and SLO-miss fallback when records predate the
+// slo_miss_gpus field.
+type DoctorInput struct {
+	Records []DecisionRecord
+	Events  []telemetry.Event
+	// MeasuredSlackFrac / TrueSlackFrac are the violation slacks
+	// (defaults 0.01 and 0.02, the repo-wide conventions).
+	MeasuredSlackFrac float64
+	TrueSlackFrac     float64
+	// SigmaWindowPeriods is the trailing window for the prediction-error
+	// sigma used by the model-mismatch rule (default 20).
+	SigmaWindowPeriods int
+}
+
+// Incident is one diagnosed anomaly window with its root-cause
+// attribution. Explained incidents are understood (a fault window, a
+// configuration conflict, a designed degradation response); unexplained
+// ones are anomalies the doctor could not attribute and gate CI.
+type Incident struct {
+	Kind        string `json:"kind"`
+	StartPeriod int    `json:"start_period"`
+	EndPeriod   int    `json:"end_period"`
+	RootCause   string `json:"root_cause"`
+	Detail      string `json:"detail"`
+	Explained   bool   `json:"explained"`
+}
+
+// KnobActivity is one knob's constraint-activity row (knob 0 = CPU),
+// fractions over the controlled periods.
+type KnobActivity struct {
+	Knob         string  `json:"knob"`
+	AtLowerFrac  float64 `json:"at_lower_frac"`
+	AtUpperFrac  float64 `json:"at_upper_frac"`
+	SLOFloorFrac float64 `json:"slo_floor_frac"`
+	PinnedFrac   float64 `json:"pinned_frac"`
+	MeanWeightR  float64 `json:"mean_weight_r"`
+}
+
+// HealthReport is the run-level health summary.
+type HealthReport struct {
+	Periods             int `json:"periods"`
+	ControlledPeriods   int `json:"controlled_periods"`
+	DegradedPeriods     int `json:"degraded_periods"`
+	FailSafePeriods     int `json:"failsafe_periods"`
+	UncontrolledPeriods int `json:"uncontrolled_periods"`
+	InfeasiblePeriods   int `json:"infeasible_periods"`
+	DeadbandPeriods     int `json:"deadband_periods"`
+	MeasuredViolations  int `json:"measured_violations"`
+	TrueViolations      int `json:"true_violations"`
+	SLOMisses           int `json:"slo_misses"`
+
+	// One-step prediction error over scored fresh-meter periods, with a
+	// first-half / second-half split to surface drift.
+	OneStepSamples  int     `json:"one_step_samples"`
+	OneStepRMSEW    float64 `json:"one_step_rmse_w"`
+	FirstHalfRMSEW  float64 `json:"first_half_rmse_w"`
+	SecondHalfRMSEW float64 `json:"second_half_rmse_w"`
+
+	// WeightChurn is the mean |ΔR| per knob per controlled period — how
+	// restlessly the throughput-aware weight assignment reshuffles.
+	WeightChurn float64        `json:"weight_churn"`
+	Knobs       []KnobActivity `json:"knobs,omitempty"`
+}
+
+// Report is the doctor's full output.
+type Report struct {
+	Health      HealthReport `json:"health"`
+	Incidents   []Incident   `json:"incidents,omitempty"`
+	Unexplained int          `json:"unexplained"`
+}
+
+// ExitCode is the CI-gating verdict: 0 when the run is clean or every
+// incident is explained, 2 when unexplained anomalies remain. (CLI
+// usage/parse errors use 1, reserved here.)
+func (r *Report) ExitCode() int {
+	if r.Unexplained > 0 {
+		return 2
+	}
+	return 0
+}
+
+// Diagnose replays the flight record and attributes every anomaly
+// window to a root cause.
+func Diagnose(in DoctorInput) (*Report, error) {
+	recs := in.Records
+	if len(recs) == 0 {
+		return nil, errors.New("flight: no records to diagnose")
+	}
+	measSlack := in.MeasuredSlackFrac
+	if measSlack == 0 {
+		measSlack = 0.01
+	}
+	trueSlack := in.TrueSlackFrac
+	if trueSlack == 0 {
+		trueSlack = 0.02
+	}
+	window := in.SigmaWindowPeriods
+	if window <= 0 {
+		window = 20
+	}
+
+	n := len(recs)
+	violMeas := make([]bool, n)
+	violTrue := make([]bool, n)
+	stale := make([]bool, n)
+	covered := make([]bool, n) // attributed to a blind-window incident
+	for i, rec := range recs {
+		violMeas[i] = rec.SetpointW > 0 && rec.MeasuredW > rec.SetpointW*(1+measSlack)
+		violTrue[i] = rec.SetpointW > 0 && rec.TruePowerW > rec.SetpointW*(1+trueSlack)
+		stale[i] = rec.MeterStale > 0
+	}
+
+	rep := &Report{Health: buildHealth(recs, violMeas, violTrue, in.Events)}
+
+	// Scored one-step errors on fresh-meter periods, position-tagged,
+	// for the trailing-sigma model-mismatch rule.
+	type scored struct {
+		pos  int
+		errW float64
+	}
+	var errSeq []scored
+	for i, rec := range recs {
+		if rec.HaveOneStepErr && rec.MeterStale == 0 {
+			errSeq = append(errSeq, scored{i, rec.OneStepErrW})
+		}
+	}
+	sigmaBefore := func(pos int) float64 {
+		var vals []float64
+		for _, s := range errSeq {
+			if s.pos < pos {
+				vals = append(vals, s.errW)
+			}
+		}
+		if len(vals) > window {
+			vals = vals[len(vals)-window:]
+		}
+		if len(vals) < 5 {
+			return 0
+		}
+		var mean float64
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(len(vals))
+		var ss float64
+		for _, v := range vals {
+			ss += (v - mean) * (v - mean)
+		}
+		return math.Sqrt(ss / float64(len(vals)))
+	}
+
+	// --- Meter-blind windows: maximal runs of MeterStale > 0. The
+	// decisive question is whether true power escaped the cap while the
+	// controller was blind (stale-model overshoot) or the degradation
+	// ladder rode the window out.
+	for a := 0; a < n; {
+		if !stale[a] {
+			a++
+			continue
+		}
+		b := a
+		for b+1 < n && stale[b+1] {
+			b++
+		}
+		coverEnd := b + 2 // overshoot momentum lands just after recovery
+		if coverEnd > n-1 {
+			coverEnd = n - 1
+		}
+		// A deep blind-window overshoot decays over several periods once
+		// the meter returns; keep the contiguous violation tail attributed
+		// to the window rather than reporting it as a fresh anomaly.
+		for coverEnd+1 < n && (violTrue[coverEnd+1] || violMeas[coverEnd+1]) {
+			coverEnd++
+		}
+		trueViol, worstW := 0, 0.0
+		for i := a; i <= coverEnd; i++ {
+			covered[i] = true
+			if violTrue[i] {
+				trueViol++
+				if ex := recs[i].TruePowerW - recs[i].SetpointW; ex > worstW {
+					worstW = ex
+				}
+			}
+		}
+		frozen, failSafe, degradeOn := 0, 0, false
+		adaptive := false
+		for _, rec := range recs {
+			if rec.Controller != nil && rec.Controller.Adaptive {
+				adaptive = true
+				break
+			}
+		}
+		for i := a; i <= b; i++ {
+			if recs[i].Controller != nil && recs[i].Controller.AdaptFrozen {
+				frozen++
+			}
+			if recs[i].FailSafe {
+				failSafe++
+			}
+			if recs[i].Degraded || recs[i].FailSafe {
+				degradeOn = true
+			}
+		}
+		adaptDesc := "a non-adaptive model"
+		if adaptive {
+			adaptDesc = fmt.Sprintf("RLS frozen (%d periods)", frozen)
+		}
+		inc := Incident{
+			Kind:        "meter-blind",
+			StartPeriod: recs[a].Period,
+			EndPeriod:   recs[b].Period,
+			Explained:   true,
+		}
+		feed := "held last-good feedback"
+		if !degradeOn {
+			feed = "the raw faulted meter feed — graceful degradation disabled"
+		}
+		switch {
+		case trueViol > 0:
+			inc.RootCause = "stale-model-overshoot"
+			inc.Detail = fmt.Sprintf(
+				"meter blind for %d periods (k=%d..%d): controller flying on %s with %s; %d true-power violation(s), worst +%.1f W over the cap — stale-model overshoot",
+				b-a+1, recs[a].Period, recs[b].Period, feed, adaptDesc, trueViol, worstW)
+		case failSafe > 0:
+			inc.RootCause = "blind-window-failsafe"
+			inc.Detail = fmt.Sprintf(
+				"meter blind for %d periods (k=%d..%d): last-good hold then fail-safe descent (%d periods), %s; no true-power violations — blind window ridden out",
+				b-a+1, recs[a].Period, recs[b].Period, failSafe, adaptDesc)
+		default:
+			inc.RootCause = "blind-window-hold"
+			inc.Detail = fmt.Sprintf(
+				"meter blind for %d periods (k=%d..%d): last-good hold with %s; no true-power violations",
+				b-a+1, recs[a].Period, recs[b].Period, adaptDesc)
+		}
+		rep.Incidents = append(rep.Incidents, inc)
+		a = b + 1
+	}
+
+	// --- Cap-violation clusters outside blind windows.
+	for a := 0; a < n; {
+		if covered[a] || !(violMeas[a] || violTrue[a]) {
+			a++
+			continue
+		}
+		b := a
+		for b+1 < n && !covered[b+1] && (violMeas[b+1] || violTrue[b+1]) {
+			b++
+		}
+		rep.Incidents = append(rep.Incidents, diagnoseViolation(recs, violMeas, violTrue, a, b, sigmaBefore))
+		a = b + 1
+	}
+
+	// --- Actuator divergence runs.
+	for a := 0; a < n; {
+		if len(recs[a].ActuatorDiverged) == 0 {
+			a++
+			continue
+		}
+		b := a
+		for b+1 < n && len(recs[b+1].ActuatorDiverged) > 0 {
+			b++
+		}
+		knobs := map[int]bool{}
+		faulted := false
+		for i := a; i <= b; i++ {
+			for _, k := range recs[i].ActuatorDiverged {
+				knobs[k] = true
+			}
+			for _, f := range recs[i].Faults {
+				if hasPrefix(f, "actuator") {
+					faulted = true
+				}
+			}
+		}
+		var ks []int
+		for k := range knobs {
+			//lint:ignore determinism keys are sorted immediately below; output order does not depend on map order
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		inc := Incident{
+			Kind:        "actuator-divergence",
+			StartPeriod: recs[a].Period,
+			EndPeriod:   recs[b].Period,
+		}
+		if faulted {
+			inc.RootCause = "actuator-loss-fault"
+			inc.Explained = true
+			inc.Detail = fmt.Sprintf(
+				"applied frequency diverged from command on knob(s) %v for %d periods (k=%d..%d) during an active actuator-loss fault",
+				ks, b-a+1, recs[a].Period, recs[b].Period)
+		} else {
+			inc.RootCause = "unexplained-divergence"
+			inc.Detail = fmt.Sprintf(
+				"applied frequency diverged from command on knob(s) %v for %d periods (k=%d..%d) with no actuator fault active",
+				ks, b-a+1, recs[a].Period, recs[b].Period)
+		}
+		rep.Incidents = append(rep.Incidents, inc)
+		a = b + 1
+	}
+
+	// --- MPC infeasibility runs (the controller held its point).
+	for a := 0; a < n; {
+		if recs[a].Controller == nil || !recs[a].Controller.Infeasible {
+			a++
+			continue
+		}
+		b := a
+		for b+1 < n && recs[b+1].Controller != nil && recs[b+1].Controller.Infeasible {
+			b++
+		}
+		detail := recs[a].Controller.InfeasibleDetail
+		if detail == "" {
+			detail = "no solution within bounds"
+		}
+		rep.Incidents = append(rep.Incidents, Incident{
+			Kind:        "mpc-infeasible",
+			StartPeriod: recs[a].Period,
+			EndPeriod:   recs[b].Period,
+			RootCause:   "constraint-conflict",
+			Explained:   true,
+			Detail: fmt.Sprintf(
+				"MPC subproblem infeasible for %d period(s) (k=%d..%d), controller held its operating point: %s",
+				b-a+1, recs[a].Period, recs[b].Period, detail),
+		})
+		a = b + 1
+	}
+
+	// --- Per-GPU SLO pressure: the floor binding most of the run while
+	// the SLO still misses means the cap and the SLO are in conflict.
+	rep.Incidents = append(rep.Incidents, diagnoseSLOPressure(recs, in.Events)...)
+
+	sort.SliceStable(rep.Incidents, func(i, j int) bool {
+		if rep.Incidents[i].StartPeriod != rep.Incidents[j].StartPeriod {
+			return rep.Incidents[i].StartPeriod < rep.Incidents[j].StartPeriod
+		}
+		return rep.Incidents[i].Kind < rep.Incidents[j].Kind
+	})
+	for _, inc := range rep.Incidents {
+		if !inc.Explained {
+			rep.Unexplained++
+		}
+	}
+	return rep, nil
+}
+
+// diagnoseViolation attributes one violation cluster [a,b].
+func diagnoseViolation(recs []DecisionRecord, violMeas, violTrue []bool, a, b int, sigmaBefore func(int) float64) Incident {
+	worstMeasW, worstTrueW := 0.0, 0.0
+	trueAny := false
+	for i := a; i <= b; i++ {
+		if ex := recs[i].MeasuredW - recs[i].SetpointW; violMeas[i] && ex > worstMeasW {
+			worstMeasW = ex
+		}
+		if ex := recs[i].TruePowerW - recs[i].SetpointW; violTrue[i] && ex > worstTrueW {
+			worstTrueW = ex
+		}
+		trueAny = trueAny || violTrue[i]
+	}
+	inc := Incident{
+		Kind:        "cap-violation",
+		StartPeriod: recs[a].Period,
+		EndPeriod:   recs[b].Period,
+	}
+	where := fmt.Sprintf("violation at k=%d..%d (worst +%.1f W measured, +%.1f W true)",
+		recs[a].Period, recs[b].Period, worstMeasW, worstTrueW)
+	if a == b {
+		where = fmt.Sprintf("violation at k=%d (+%.1f W measured, +%.1f W true)",
+			recs[a].Period, worstMeasW, worstTrueW)
+	}
+
+	// Faults active in or just before the cluster explain it.
+	faultSet := map[string]bool{}
+	lead := a - 2
+	if lead < 0 {
+		lead = 0
+	}
+	for i := lead; i <= b; i++ {
+		for _, f := range recs[i].Faults {
+			faultSet[f] = true
+		}
+	}
+	if len(faultSet) > 0 {
+		var fs []string
+		for f := range faultSet {
+			//lint:ignore determinism keys are sorted immediately below; output order does not depend on map order
+			fs = append(fs, f)
+		}
+		sort.Strings(fs)
+		meterOnly := !trueAny
+		for _, f := range fs {
+			if !hasPrefix(f, "meter") {
+				meterOnly = false
+			}
+		}
+		if meterOnly {
+			inc.RootCause = "meter-artifact"
+			inc.Detail = fmt.Sprintf("%s: breaker-side power healthy; measured excursion during meter fault(s) %v — meter artifact, not a real violation", where, fs)
+		} else {
+			inc.RootCause = "fault-coincident"
+			inc.Detail = fmt.Sprintf("%s: coincides with active fault(s) %v", where, fs)
+		}
+		inc.Explained = true
+		return inc
+	}
+
+	// Every GPU pressed onto its SLO floor while power escaped: the cap
+	// is infeasible under the latency constraints.
+	for i := a; i <= b; i++ {
+		ct := recs[i].Controller
+		if ct == nil || len(ct.Knobs) < 2 {
+			continue
+		}
+		allFloor := true
+		for k := 1; k < len(ct.Knobs); k++ {
+			if !(ct.Knobs[k].SLOFloor && ct.Knobs[k].AtLower) {
+				allFloor = false
+				break
+			}
+		}
+		if allFloor {
+			inc.RootCause = "slo-floor-binding"
+			inc.Explained = true
+			inc.Detail = fmt.Sprintf("%s: every GPU held at its SLO-derived frequency floor — cap infeasible with this SLO", where)
+			return inc
+		}
+	}
+
+	// Controller holding through an infeasible subproblem.
+	for i := a; i <= b; i++ {
+		if ct := recs[i].Controller; ct != nil && ct.Infeasible {
+			inc.RootCause = "mpc-infeasible-hold"
+			inc.Explained = true
+			inc.Detail = fmt.Sprintf("%s: MPC subproblem infeasible, controller holding its operating point", where)
+			return inc
+		}
+	}
+
+	// Prediction error blowout against the trailing window.
+	maxErrW := 0.0
+	for i := a; i <= b; i++ {
+		if recs[i].HaveOneStepErr {
+			if e := math.Abs(recs[i].TrueOneStepErrW); e > maxErrW {
+				maxErrW = e
+			}
+		}
+	}
+	if sigma := sigmaBefore(a); sigma > 0 && maxErrW > 3*sigma {
+		inc.RootCause = "model-mismatch"
+		inc.Detail = fmt.Sprintf("%s: one-step prediction error %.1f W is %.1fσ above the trailing window — model mismatch or unmodeled disturbance", where, maxErrW, maxErrW/sigma)
+		return inc
+	}
+
+	// Measured-only excursion with no fault, no binding constraint, and
+	// ordinary prediction error, while the breaker-side power stayed
+	// inside its slack: meter noise, not a control failure.
+	if !trueAny {
+		inc.RootCause = "meter-noise"
+		inc.Explained = true
+		inc.Detail = fmt.Sprintf("%s: breaker-side power stayed within slack and prediction error is ordinary — measured-only excursion consistent with meter noise", where)
+		return inc
+	}
+
+	inc.RootCause = "unexplained"
+	inc.Detail = where + ": no active fault, binding SLO floor, infeasibility, or prediction-error anomaly found"
+	return inc
+}
+
+// diagnoseSLOPressure emits one incident per GPU whose SLO floor binds
+// most of the run while the SLO still misses.
+func diagnoseSLOPressure(recs []DecisionRecord, events []telemetry.Event) []Incident {
+	nGPU := 0
+	for _, rec := range recs {
+		if len(rec.CommandedGPUMHz) > nGPU {
+			nGPU = len(rec.CommandedGPUMHz)
+		}
+	}
+	if nGPU == 0 {
+		return nil
+	}
+	floorActive := make([]int, nGPU)
+	ctrlPeriods := make([]int, nGPU)
+	misses := make([]int, nGPU)
+	haveRecMisses := false
+	for _, rec := range recs {
+		for _, g := range rec.SLOMissGPUs {
+			if g >= 0 && g < nGPU {
+				misses[g]++
+				haveRecMisses = true
+			}
+		}
+		if ct := rec.Controller; ct != nil {
+			for g := 0; g < nGPU && 1+g < len(ct.Knobs); g++ {
+				ctrlPeriods[g]++
+				if ct.Knobs[1+g].SLOFloor && ct.Knobs[1+g].AtLower {
+					floorActive[g]++
+				}
+			}
+		}
+	}
+	// Older flight records lack slo_miss_gpus; fall back to events.
+	if !haveRecMisses {
+		for _, e := range events {
+			if e.Type == telemetry.EventSLOMiss && e.Device >= 0 && e.Device < nGPU {
+				misses[e.Device]++
+			}
+		}
+	}
+	var out []Incident
+	first, last := recs[0].Period, recs[len(recs)-1].Period
+	for g := 0; g < nGPU; g++ {
+		if ctrlPeriods[g] < 10 || misses[g] == 0 {
+			continue
+		}
+		frac := float64(floorActive[g]) / float64(ctrlPeriods[g])
+		if frac < 0.5 {
+			continue
+		}
+		out = append(out, Incident{
+			Kind:        "slo-pressure",
+			StartPeriod: first,
+			EndPeriod:   last,
+			RootCause:   "cap-infeasible-with-slo",
+			Explained:   true,
+			Detail: fmt.Sprintf("SLO misses on gpu%d (%d periods): floor constraint active %.0f%% of periods — cap infeasible with this SLO",
+				g, misses[g], frac*100),
+		})
+	}
+	return out
+}
+
+// buildHealth computes the run-level health summary.
+func buildHealth(recs []DecisionRecord, violMeas, violTrue []bool, events []telemetry.Event) HealthReport {
+	h := HealthReport{Periods: len(recs)}
+	nKnobs := 0
+	for i, rec := range recs {
+		if violMeas[i] {
+			h.MeasuredViolations++
+		}
+		if violTrue[i] {
+			h.TrueViolations++
+		}
+		h.SLOMisses += len(rec.SLOMissGPUs)
+		switch {
+		case rec.Uncontrolled:
+			h.UncontrolledPeriods++
+		case rec.FailSafe:
+			h.FailSafePeriods++
+		}
+		if rec.Degraded {
+			h.DegradedPeriods++
+		}
+		if ct := rec.Controller; ct != nil {
+			h.ControlledPeriods++
+			if ct.Infeasible {
+				h.InfeasiblePeriods++
+			}
+			if ct.DeadbandHold {
+				h.DeadbandPeriods++
+			}
+			if len(ct.Knobs) > nKnobs {
+				nKnobs = len(ct.Knobs)
+			}
+		}
+	}
+	if h.SLOMisses == 0 {
+		for _, e := range events {
+			if e.Type == telemetry.EventSLOMiss {
+				h.SLOMisses++
+			}
+		}
+	}
+
+	// One-step prediction RMSE over scored fresh-meter periods, split by
+	// record position to show trend.
+	var errs []float64
+	for _, rec := range recs {
+		if rec.HaveOneStepErr && rec.MeterStale == 0 {
+			errs = append(errs, rec.OneStepErrW)
+		}
+	}
+	h.OneStepSamples = len(errs)
+	h.OneStepRMSEW = rmse(errs)
+	if len(errs) >= 2 {
+		h.FirstHalfRMSEW = rmse(errs[:len(errs)/2])
+		h.SecondHalfRMSEW = rmse(errs[len(errs)/2:])
+	}
+
+	// Constraint-activity table and weight churn.
+	if nKnobs > 0 {
+		atLower := make([]int, nKnobs)
+		atUpper := make([]int, nKnobs)
+		sloFloor := make([]int, nKnobs)
+		pinned := make([]int, nKnobs)
+		weightSum := make([]float64, nKnobs)
+		samples := make([]int, nKnobs)
+		var churnSum float64
+		var churnN int
+		var prev []KnobConstraint
+		for _, rec := range recs {
+			ct := rec.Controller
+			if ct == nil {
+				prev = nil
+				continue
+			}
+			for k := 0; k < len(ct.Knobs) && k < nKnobs; k++ {
+				samples[k]++
+				weightSum[k] += ct.Knobs[k].WeightR
+				if ct.Knobs[k].AtLower {
+					atLower[k]++
+				}
+				if ct.Knobs[k].AtUpper {
+					atUpper[k]++
+				}
+				if ct.Knobs[k].SLOFloor {
+					sloFloor[k]++
+				}
+				if ct.Knobs[k].Pinned {
+					pinned[k]++
+				}
+			}
+			if prev != nil && len(prev) == len(ct.Knobs) {
+				for k := range ct.Knobs {
+					churnSum += math.Abs(ct.Knobs[k].WeightR - prev[k].WeightR)
+					churnN++
+				}
+			}
+			prev = ct.Knobs
+		}
+		if churnN > 0 {
+			h.WeightChurn = churnSum / float64(churnN)
+		}
+		for k := 0; k < nKnobs; k++ {
+			if samples[k] == 0 {
+				continue
+			}
+			name := "cpu"
+			if k > 0 {
+				name = fmt.Sprintf("gpu%d", k-1)
+			}
+			nf := float64(samples[k])
+			h.Knobs = append(h.Knobs, KnobActivity{
+				Knob:         name,
+				AtLowerFrac:  float64(atLower[k]) / nf,
+				AtUpperFrac:  float64(atUpper[k]) / nf,
+				SLOFloorFrac: float64(sloFloor[k]) / nf,
+				PinnedFrac:   float64(pinned[k]) / nf,
+				MeanWeightR:  weightSum[k] / nf,
+			})
+		}
+	}
+	return h
+}
+
+func rmse(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range vals {
+		ss += v * v
+	}
+	return math.Sqrt(ss / float64(len(vals)))
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// WriteText renders the report for humans, deterministically.
+func (r *Report) WriteText(w io.Writer) error {
+	p := &printer{w: w}
+	h := r.Health
+	p.f("capgpu-doctor report\n")
+	p.f("====================\n")
+	p.f("periods: %d (controlled %d, degraded %d, fail-safe %d, uncontrolled %d, infeasible %d)\n",
+		h.Periods, h.ControlledPeriods, h.DegradedPeriods, h.FailSafePeriods, h.UncontrolledPeriods, h.InfeasiblePeriods)
+	p.f("cap: %d measured violation(s), %d true violation(s); %d SLO miss(es)\n",
+		h.MeasuredViolations, h.TrueViolations, h.SLOMisses)
+	if h.OneStepSamples > 0 {
+		trend := "stable"
+		if h.SecondHalfRMSEW > 2*h.FirstHalfRMSEW && h.SecondHalfRMSEW > 5 {
+			trend = "DEGRADING"
+		} else if h.FirstHalfRMSEW > 2*h.SecondHalfRMSEW && h.FirstHalfRMSEW > 5 {
+			trend = "improving (adaptation converging)"
+		}
+		p.f("one-step prediction error: RMSE %.2f W over %d samples (first half %.2f, second half %.2f — %s)\n",
+			h.OneStepRMSEW, h.OneStepSamples, h.FirstHalfRMSEW, h.SecondHalfRMSEW, trend)
+	}
+	if h.ControlledPeriods > 0 {
+		p.f("weight churn: %.4f |ΔR|/knob/period; deadband hold %.0f%% of controlled periods\n",
+			h.WeightChurn, 100*float64(h.DeadbandPeriods)/float64(h.ControlledPeriods))
+	}
+	if len(h.Knobs) > 0 {
+		p.f("\nconstraint activity (%% of controlled periods):\n")
+		p.f("  %-6s %9s %9s %10s %7s %8s\n", "knob", "at-lower", "at-upper", "slo-floor", "pinned", "mean-R")
+		for _, k := range h.Knobs {
+			p.f("  %-6s %8.0f%% %8.0f%% %9.0f%% %6.0f%% %8.3f\n",
+				k.Knob, 100*k.AtLowerFrac, 100*k.AtUpperFrac, 100*k.SLOFloorFrac, 100*k.PinnedFrac, k.MeanWeightR)
+		}
+	}
+	if len(r.Incidents) == 0 {
+		p.f("\nincidents: none\n")
+	} else {
+		p.f("\nincidents (%d, unexplained %d):\n", len(r.Incidents), r.Unexplained)
+		for _, inc := range r.Incidents {
+			tag := "explained"
+			if !inc.Explained {
+				tag = "UNEXPLAINED"
+			}
+			p.f("  [%s] %s (%s): %s\n", tag, inc.Kind, inc.RootCause, inc.Detail)
+		}
+	}
+	if r.Unexplained > 0 {
+		p.f("\nverdict: %d UNEXPLAINED anomaly(ies) — exit 2\n", r.Unexplained)
+	} else {
+		p.f("\nverdict: clean — exit 0\n")
+	}
+	return p.err
+}
+
+// printer accumulates the first write error across Fprintf calls.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) f(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}

@@ -1,0 +1,301 @@
+package flight
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// healthyRun builds n controlled periods tracking the cap with small
+// prediction errors, as a base to graft anomalies onto.
+func healthyRun(n int) []DecisionRecord {
+	recs := make([]DecisionRecord, n)
+	for k := range recs {
+		// Deterministic ±3 W wiggle around the cap.
+		wiggle := float64(k%7 - 3)
+		recs[k] = DecisionRecord{
+			Period: k, TimeS: float64(4 * (k + 1)), SetpointW: 900,
+			MeasuredW: 900 + wiggle, TruePowerW: 899 + wiggle,
+			CommandedCPUGHz: 2.0, CommandedGPUMHz: []float64{1200, 1100, 1000},
+			Controller: &ControllerTrace{
+				PredictedNextW: 900,
+				Knobs:          make([]KnobConstraint, 4),
+			},
+		}
+		if k > 0 {
+			recs[k].HaveOneStepErr = true
+			recs[k].OneStepErrW = wiggle
+			recs[k].TrueOneStepErrW = wiggle - 1
+		}
+	}
+	return recs
+}
+
+func TestDiagnoseCleanRun(t *testing.T) {
+	rep, err := Diagnose(DoctorInput{Records: healthyRun(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Incidents) != 0 || rep.Unexplained != 0 {
+		t.Fatalf("clean run produced incidents: %+v", rep.Incidents)
+	}
+	if rep.ExitCode() != 0 {
+		t.Fatalf("exit = %d, want 0", rep.ExitCode())
+	}
+	h := rep.Health
+	if h.Periods != 50 || h.ControlledPeriods != 50 || h.MeasuredViolations != 0 {
+		t.Fatalf("health = %+v", h)
+	}
+	if h.OneStepSamples != 49 || h.OneStepRMSEW <= 0 {
+		t.Fatalf("one-step stats = %d samples RMSE %.2f, want 49 samples > 0 RMSE",
+			h.OneStepSamples, h.OneStepRMSEW)
+	}
+	var text bytes.Buffer
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "verdict: clean — exit 0") {
+		t.Fatalf("text report missing clean verdict:\n%s", text.String())
+	}
+}
+
+func TestDiagnoseStaleModelOvershoot(t *testing.T) {
+	// Strawman shape: meter goes blind at k=20 with degradation disabled;
+	// the controller flies on a bogus low reading and true power escapes.
+	recs := healthyRun(40)
+	for k := 20; k <= 26; k++ {
+		recs[k].MeterStale = k - 19
+		recs[k].MeasuredW = 0 // raw faulted feed
+		recs[k].TruePowerW = 900 + 40*float64(k-19)
+		recs[k].Faults = []string{"meter-dropout@20+7"}
+	}
+	// Overshoot decays after the meter returns.
+	recs[27].MeasuredW, recs[27].TruePowerW = 1100, 1100
+	recs[28].MeasuredW, recs[28].TruePowerW = 980, 980
+
+	rep, err := Diagnose(DoctorInput{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blind *Incident
+	for i := range rep.Incidents {
+		if rep.Incidents[i].Kind == "meter-blind" {
+			blind = &rep.Incidents[i]
+		}
+	}
+	if blind == nil {
+		t.Fatalf("no meter-blind incident in %+v", rep.Incidents)
+	}
+	if blind.RootCause != "stale-model-overshoot" || !blind.Explained {
+		t.Fatalf("blind incident = %+v, want explained stale-model-overshoot", blind)
+	}
+	if blind.StartPeriod != 20 || blind.EndPeriod != 26 {
+		t.Fatalf("blind window = k=%d..%d, want 20..26", blind.StartPeriod, blind.EndPeriod)
+	}
+	if !strings.Contains(blind.Detail, "graceful degradation disabled") {
+		t.Fatalf("detail should name the disabled degradation: %s", blind.Detail)
+	}
+	// The decaying violation tail is attributed to the window, not
+	// reported as a fresh unexplained cluster.
+	for _, inc := range rep.Incidents {
+		if inc.Kind == "cap-violation" && inc.StartPeriod >= 27 && inc.StartPeriod <= 28 {
+			t.Fatalf("recovery tail reported as a separate incident: %+v", inc)
+		}
+	}
+	if rep.ExitCode() != 0 {
+		t.Fatalf("exit = %d, want 0 (everything attributed)", rep.ExitCode())
+	}
+}
+
+func TestDiagnoseBlindWindowFailsafe(t *testing.T) {
+	// Graceful shape: hold, then fail-safe, true power never escapes.
+	recs := healthyRun(40)
+	for k := 20; k <= 27; k++ {
+		recs[k].MeterStale = k - 19
+		recs[k].Degraded = true
+		recs[k].Faults = []string{"meter-dropout@20+8"}
+		if k >= 23 {
+			recs[k].FailSafe = true
+			recs[k].Controller = nil
+			recs[k].HaveOneStepErr = false
+		}
+	}
+	rep, err := Diagnose(DoctorInput{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Incidents) != 1 {
+		t.Fatalf("incidents = %+v, want exactly the blind window", rep.Incidents)
+	}
+	inc := rep.Incidents[0]
+	if inc.RootCause != "blind-window-failsafe" || !inc.Explained {
+		t.Fatalf("incident = %+v, want explained blind-window-failsafe", inc)
+	}
+	if rep.Health.FailSafePeriods != 5 || rep.Health.DegradedPeriods != 8 {
+		t.Fatalf("health = %+v, want 5 fail-safe of 8 degraded periods", rep.Health)
+	}
+	if rep.ExitCode() != 0 {
+		t.Fatalf("exit = %d, want 0", rep.ExitCode())
+	}
+}
+
+func TestDiagnoseSLOPressure(t *testing.T) {
+	recs := healthyRun(40)
+	for k := range recs {
+		// gpu1 (knob 2) pinned to its SLO floor nearly every period, still
+		// missing its SLO most of the run.
+		recs[k].Controller.Knobs[2].SLOFloor = true
+		recs[k].Controller.Knobs[2].AtLower = true
+		if k%2 == 0 {
+			recs[k].SLOMissGPUs = []int{1}
+		}
+	}
+	rep, err := Diagnose(DoctorInput{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slo *Incident
+	for i := range rep.Incidents {
+		if rep.Incidents[i].Kind == "slo-pressure" {
+			slo = &rep.Incidents[i]
+		}
+	}
+	if slo == nil {
+		t.Fatalf("no slo-pressure incident in %+v", rep.Incidents)
+	}
+	if slo.RootCause != "cap-infeasible-with-slo" || !slo.Explained {
+		t.Fatalf("incident = %+v", slo)
+	}
+	if !strings.Contains(slo.Detail, "gpu1") {
+		t.Fatalf("detail should name gpu1: %s", slo.Detail)
+	}
+}
+
+func TestDiagnoseSLOPressureEventFallback(t *testing.T) {
+	// Records without slo_miss_gpus (older stream): misses come from the
+	// event stream, Device carrying the GPU index.
+	recs := healthyRun(40)
+	for k := range recs {
+		recs[k].Controller.Knobs[3].SLOFloor = true
+		recs[k].Controller.Knobs[3].AtLower = true
+	}
+	var events []telemetry.Event
+	for k := 0; k < 40; k += 2 {
+		events = append(events, telemetry.Event{
+			Type: telemetry.EventSLOMiss, Period: k, Device: 2,
+		})
+	}
+	rep, err := Diagnose(DoctorInput{Records: recs, Events: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, inc := range rep.Incidents {
+		if inc.Kind == "slo-pressure" && strings.Contains(inc.Detail, "gpu2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("event-fallback slo-pressure for gpu2 missing: %+v", rep.Incidents)
+	}
+}
+
+func TestDiagnoseModelMismatchUnexplained(t *testing.T) {
+	// A violation with a prediction-error blowout and no fault anywhere:
+	// must surface as an anomaly and gate CI via exit 2.
+	recs := healthyRun(40)
+	recs[30].MeasuredW, recs[30].TruePowerW = 990, 990
+	recs[30].OneStepErrW, recs[30].TrueOneStepErrW = 90, 90
+
+	rep, err := Diagnose(DoctorInput{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viol *Incident
+	for i := range rep.Incidents {
+		if rep.Incidents[i].Kind == "cap-violation" {
+			viol = &rep.Incidents[i]
+		}
+	}
+	if viol == nil {
+		t.Fatalf("no cap-violation incident in %+v", rep.Incidents)
+	}
+	if viol.RootCause != "model-mismatch" || viol.Explained {
+		t.Fatalf("incident = %+v, want unexplained model-mismatch", viol)
+	}
+	if !strings.Contains(viol.Detail, "σ") {
+		t.Fatalf("detail should quantify the sigma blowout: %s", viol.Detail)
+	}
+	if rep.Unexplained != 1 || rep.ExitCode() != 2 {
+		t.Fatalf("unexplained = %d exit = %d, want 1 / 2", rep.Unexplained, rep.ExitCode())
+	}
+	var text bytes.Buffer
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "UNEXPLAINED") {
+		t.Fatalf("text report missing UNEXPLAINED marker:\n%s", text.String())
+	}
+}
+
+func TestDiagnoseMeterNoiseExplained(t *testing.T) {
+	// Measured-only excursion, breaker healthy, ordinary prediction
+	// error: a meter-noise attribution, not an anomaly.
+	recs := healthyRun(40)
+	recs[30].MeasuredW = 912 // > 1% slack, true side stays at its base
+
+	rep, err := Diagnose(DoctorInput{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Incidents) != 1 {
+		t.Fatalf("incidents = %+v", rep.Incidents)
+	}
+	if got := rep.Incidents[0].RootCause; got != "meter-noise" || !rep.Incidents[0].Explained {
+		t.Fatalf("root cause = %s (explained %v), want explained meter-noise",
+			got, rep.Incidents[0].Explained)
+	}
+	if rep.ExitCode() != 0 {
+		t.Fatalf("exit = %d, want 0", rep.ExitCode())
+	}
+}
+
+func TestDiagnoseActuatorDivergence(t *testing.T) {
+	recs := healthyRun(40)
+	recs[15].ActuatorDiverged = []int{2}
+	recs[15].Faults = []string{"actuator-loss@15+1:gpu1*0.7"}
+	recs[33].ActuatorDiverged = []int{1}
+
+	rep, err := Diagnose(DoctorInput{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var explained, unexplained *Incident
+	for i := range rep.Incidents {
+		if rep.Incidents[i].Kind != "actuator-divergence" {
+			continue
+		}
+		if rep.Incidents[i].Explained {
+			explained = &rep.Incidents[i]
+		} else {
+			unexplained = &rep.Incidents[i]
+		}
+	}
+	if explained == nil || explained.RootCause != "actuator-loss-fault" || explained.StartPeriod != 15 {
+		t.Fatalf("fault-covered divergence = %+v", explained)
+	}
+	if unexplained == nil || unexplained.RootCause != "unexplained-divergence" || unexplained.StartPeriod != 33 {
+		t.Fatalf("bare divergence = %+v", unexplained)
+	}
+	if rep.ExitCode() != 2 {
+		t.Fatalf("exit = %d, want 2 (one unexplained divergence)", rep.ExitCode())
+	}
+}
+
+func TestDiagnoseEmptyInput(t *testing.T) {
+	if _, err := Diagnose(DoctorInput{}); err == nil {
+		t.Fatal("want an error for an empty record set")
+	}
+}

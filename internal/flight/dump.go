@@ -1,0 +1,165 @@
+package flight
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/telemetry"
+)
+
+// DumpConfig tunes the black-box trigger. The zero value uses the
+// defaults, with the violation slacks matching the telemetry hub's so
+// a dump fires exactly when the hub synthesizes the violation event.
+type DumpConfig struct {
+	// LastN is how many trailing records each dump carries (default 16).
+	LastN int
+	// CooldownPeriods suppresses further dumps for this many periods
+	// after one fires (default LastN), so a violation storm produces
+	// one contextual dump instead of one per period.
+	CooldownPeriods int
+	// MeasuredSlackFrac / TrueSlackFrac are the fractional slacks above
+	// the set point before a period triggers (defaults 0.01 and 0.02,
+	// the repo-wide violation conventions).
+	MeasuredSlackFrac float64
+	TrueSlackFrac     float64
+}
+
+// Dump is one black-box dump: the trigger and the decision context
+// (the recorder's last N records) that led into it. Serialized as one
+// JSON line per dump.
+type Dump struct {
+	Trigger string           `json:"trigger"`
+	Period  int              `json:"period"`
+	TimeS   float64          `json:"time_s"`
+	Node    string           `json:"node,omitempty"`
+	Records []DecisionRecord `json:"records"`
+}
+
+// DumpSink implements telemetry.Sink by forwarding everything to an
+// inner sink (which may be nil) and watching the stream for incident
+// signals: a cap violation (measured or breaker-side, judged from the
+// period sample by the hub's own rules), entry into fail-safe, actuator
+// divergence, or an infeasible MPC subproblem. On a trigger it writes
+// the recorder's last N records as one Dump line.
+//
+// Wire it as the harness's sink (core.Harness.SetTelemetry) with the
+// hub as inner: controller- and bank-emitted events flow through Emit,
+// and the once-per-period sample through Period. One DumpSink serves
+// one harness loop; it keeps per-run trigger state.
+type DumpSink struct {
+	inner telemetry.Sink
+	rec   *Recorder
+	w     io.Writer
+	cfg   DumpConfig
+
+	inFailSafe bool
+	lastDump   int
+	haveDump   bool
+	werr       error
+}
+
+// NewDumpSink builds the sink. rec and w are required; inner may be nil
+// (trigger-only operation, no forwarding).
+func NewDumpSink(inner telemetry.Sink, rec *Recorder, w io.Writer, cfg DumpConfig) *DumpSink {
+	if cfg.LastN <= 0 {
+		cfg.LastN = 16
+	}
+	if cfg.CooldownPeriods <= 0 {
+		cfg.CooldownPeriods = cfg.LastN
+	}
+	if cfg.MeasuredSlackFrac == 0 {
+		cfg.MeasuredSlackFrac = 0.01
+	}
+	if cfg.TrueSlackFrac == 0 {
+		cfg.TrueSlackFrac = 0.02
+	}
+	return &DumpSink{inner: inner, rec: rec, w: w, cfg: cfg}
+}
+
+// Err returns the first dump write error, if any.
+func (d *DumpSink) Err() error { return d.werr }
+
+// Emit implements telemetry.Sink: forwards, and triggers on the
+// controller/bank-emitted incident events.
+func (d *DumpSink) Emit(e telemetry.Event) {
+	if d.inner != nil {
+		d.inner.Emit(e)
+	}
+	switch e.Type {
+	case telemetry.EventMPCInfeasible, telemetry.EventActuatorDiverge:
+		d.trigger(string(e.Type), e.Period, e.TimeS, e.Node)
+	}
+}
+
+// Period implements telemetry.Sink: forwards, and judges the sample by
+// the same rules the hub uses to synthesize violation events.
+func (d *DumpSink) Period(s telemetry.PeriodSample) {
+	if d.inner != nil {
+		d.inner.Period(s)
+	}
+	switch {
+	case s.SetpointW > 0 && s.AvgPowerW > s.SetpointW*(1+d.cfg.MeasuredSlackFrac):
+		d.trigger(string(telemetry.EventCapViolation), s.Period, s.TimeS, s.Node)
+	case s.SetpointW > 0 && s.TruePowerW > s.SetpointW*(1+d.cfg.TrueSlackFrac):
+		d.trigger("true-cap-violation", s.Period, s.TimeS, s.Node)
+	case s.FailSafe && !d.inFailSafe:
+		d.trigger(string(telemetry.EventFailSafeEnter), s.Period, s.TimeS, s.Node)
+	}
+	d.inFailSafe = s.FailSafe
+}
+
+// BeginPhase implements telemetry.Sink.
+func (d *DumpSink) BeginPhase(period int, phase string) {
+	if d.inner != nil {
+		d.inner.BeginPhase(period, phase)
+	}
+}
+
+// EndPhase implements telemetry.Sink.
+func (d *DumpSink) EndPhase(period int, phase string) {
+	if d.inner != nil {
+		d.inner.EndPhase(period, phase)
+	}
+}
+
+// trigger writes one dump unless still cooling down from the last.
+func (d *DumpSink) trigger(kind string, period int, timeS float64, node string) {
+	if d.w == nil || d.rec == nil {
+		return
+	}
+	if d.haveDump && period-d.lastDump < d.cfg.CooldownPeriods {
+		return
+	}
+	d.lastDump = period
+	d.haveDump = true
+	if d.werr != nil {
+		return
+	}
+	b, err := json.Marshal(Dump{
+		Trigger: kind, Period: period, TimeS: timeS, Node: node,
+		Records: d.rec.Last(d.cfg.LastN),
+	})
+	if err == nil {
+		b = append(b, '\n')
+		_, err = d.w.Write(b)
+	}
+	if err != nil {
+		d.werr = err
+	}
+}
+
+// ReadDumps parses a black-box dump stream (one Dump JSON line each).
+func ReadDumps(rd io.Reader) ([]Dump, error) {
+	var out []Dump
+	if err := readJSONLines(rd, func(raw []byte) error {
+		var dump Dump
+		if err := json.Unmarshal(raw, &dump); err != nil {
+			return err
+		}
+		out = append(out, dump)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,281 @@
+// Package flight is the controller flight recorder: the "why" layer on
+// top of the telemetry subsystem's "what". Per control period it
+// captures a DecisionRecord — the adaptive model's parameter vector and
+// innovation, the MPC's horizon predictions and the constraints active
+// at its optimum (cap tracking vs deadband, per-device f_min/f_max,
+// SLO-derived floors including the adaptive floorBoost), the per-device
+// weight assignment with its throughput rationale, infeasibility and
+// relaxation flags, and the harness's degradation state — into a
+// bounded ring with an optional complete JSONL stream.
+//
+// A DumpSink wraps a telemetry.Sink and writes a "black-box dump" (the
+// last N records) whenever a cap-violation, fail-safe, actuator
+// divergence, or MPC infeasibility flows past it, so the decision
+// context that led into an incident survives even when nobody was
+// exporting the full stream.
+//
+// Determinism contract: the package is inside the capgpu-lint
+// determinism scope. Records carry only simulated time; JSON encoding
+// is canonical (encoding/json struct order), so a seeded replay
+// produces a byte-identical flight record — pinned by the golden test.
+// The recorder is off by default: a nil *Recorder on the harness costs
+// one nil check per period and zero allocations.
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// KnobConstraint is one knob's constraint state at the MPC optimum
+// (knob 0 is the CPU, 1.. the GPUs).
+type KnobConstraint struct {
+	// AtLower / AtUpper report whether the planned first move lands the
+	// knob on its effective lower bound or its ceiling.
+	AtLower bool `json:"at_lower,omitempty"`
+	AtUpper bool `json:"at_upper,omitempty"`
+	// SLOFloor is true when the effective lower bound is the SLO-derived
+	// frequency floor (Eq. 10b,c), not the hardware minimum.
+	SLOFloor bool `json:"slo_floor,omitempty"`
+	// Pinned marks a knob eliminated analytically: its SLO floor sat at
+	// the ceiling, leaving exactly one feasible trajectory.
+	Pinned bool `json:"pinned,omitempty"`
+	// LowerBoundNorm is the effective normalized floor in [0,1].
+	LowerBoundNorm float64 `json:"lower_norm"`
+	// FloorBoost is CapGPU's adaptive multiplicative floor correction
+	// (1 = neutral; 0 for the CPU knob, which has no SLO).
+	FloorBoost float64 `json:"floor_boost,omitempty"`
+	// WeightR is the control penalty R_n the optimizer used; the weight
+	// assignment sets R_n = R0/(ŵ+ε) from ThroughputNorm, so a busy
+	// device (ŵ→1) gets a small penalty and keeps its headroom.
+	WeightR        float64 `json:"weight_r"`
+	ThroughputNorm float64 `json:"throughput_norm"`
+}
+
+// ControllerTrace is the controller-side half of a DecisionRecord:
+// what CapGPU knew and planned when it made the period's decision.
+// It is nil on fail-safe, uncontrolled, and non-CapGPU periods.
+type ControllerTrace struct {
+	// Gains is the power model currently steering the MPC, natural
+	// units (W/GHz for the CPU, W/MHz per GPU) — the RLS estimate when
+	// adaptive, the offline identification otherwise.
+	Gains []float64 `json:"gains"`
+	// OffsetW is the model's idle-power intercept.
+	OffsetW float64 `json:"offset_w"`
+	// InnovationW is the last absorbed RLS one-step prediction error.
+	InnovationW float64 `json:"innovation_w"`
+	// RLSUpdates counts absorbed RLS updates so far.
+	RLSUpdates int `json:"rls_updates,omitempty"`
+	// Adaptive is true when an RLS estimator is attached at all;
+	// AdaptFrozen when it refused this period's sample (stale meter).
+	Adaptive    bool `json:"adaptive,omitempty"`
+	AdaptFrozen bool `json:"adapt_frozen,omitempty"`
+
+	// FilteredPowerW is the (EWMA-filtered) power fed to the MPC.
+	FilteredPowerW float64 `json:"filtered_power_w"`
+	// PredictedNextW is the model's prediction of the next period's
+	// power under the applied (move-gain-scaled) decision — the
+	// one-step prediction the recorder scores against the next sample.
+	PredictedNextW float64 `json:"predicted_next_w"`
+	// PredictedEndW is the prediction at the end of the horizon;
+	// HorizonW the per-step trajectory (1..P) under all planned moves.
+	PredictedEndW float64   `json:"predicted_end_w"`
+	HorizonW      []float64 `json:"horizon_w,omitempty"`
+
+	// BiasW is the deadband-adjusted tracking error the QP minimized;
+	// DeadbandHold is true when the raw error sat inside the deadband.
+	BiasW        float64 `json:"bias_w"`
+	DeadbandHold bool    `json:"deadband_hold,omitempty"`
+
+	// Knobs is the per-knob constraint and weight state (0 = CPU).
+	Knobs []KnobConstraint `json:"knobs,omitempty"`
+
+	// Infeasible marks a period whose MPC subproblem had no solution
+	// (the controller held its operating point); Relaxed one whose
+	// start point the solver had to repair (e.g. a freshly tightened
+	// SLO floor above the current operating point).
+	Infeasible       bool   `json:"infeasible,omitempty"`
+	InfeasibleDetail string `json:"infeasible_detail,omitempty"`
+	Relaxed          bool   `json:"relaxed,omitempty"`
+	Solver           string `json:"solver,omitempty"`
+	SolverIterations int    `json:"solver_iterations,omitempty"`
+}
+
+// DecisionRecord is one control period's complete decision context.
+type DecisionRecord struct {
+	Period int     `json:"period"`
+	TimeS  float64 `json:"time_s"`
+
+	SetpointW float64 `json:"setpoint_w"`
+	// MeasuredW is what the controller was fed — a held/guarded value
+	// on degraded periods, not a measurement. TruePowerW is the
+	// breaker-side truth.
+	MeasuredW  float64 `json:"measured_w"`
+	TruePowerW float64 `json:"true_power_w"`
+
+	// Degradation state (see core.DegradeConfig).
+	MeterStale   int      `json:"meter_stale,omitempty"`
+	Degraded     bool     `json:"degraded,omitempty"`
+	FailSafe     bool     `json:"failsafe,omitempty"`
+	Uncontrolled bool     `json:"uncontrolled,omitempty"`
+	Faults       []string `json:"faults,omitempty"`
+	// SLOMissGPUs lists the GPUs whose measured batch latency exceeded
+	// their SLO this period.
+	SLOMissGPUs []int `json:"slo_miss_gpus,omitempty"`
+
+	// The commanded decision (pre-modulation) and the actuation outcome.
+	CommandedCPUGHz  float64   `json:"commanded_cpu_ghz"`
+	CommandedGPUMHz  []float64 `json:"commanded_gpu_mhz"`
+	ActuatorRetries  int       `json:"actuator_retries,omitempty"`
+	ActuatorDiverged []int     `json:"actuator_diverged,omitempty"` // knob indices off-command after retry
+
+	// Controller carries the CapGPU decision internals; nil on
+	// fail-safe/uncontrolled periods and for controllers that do not
+	// expose a trace.
+	Controller *ControllerTrace `json:"controller,omitempty"`
+
+	// One-step prediction scoring, filled by the Recorder from the
+	// previous record's PredictedNextW: OneStepErrW scores against the
+	// meter (what the controller saw), TrueOneStepErrW against the
+	// breaker-side truth — the two diverge exactly when the meter lies.
+	// Valid only when HaveOneStepErr is set.
+	OneStepErrW     float64 `json:"one_step_err_w"`
+	TrueOneStepErrW float64 `json:"true_one_step_err_w"`
+	HaveOneStepErr  bool    `json:"have_one_step_err,omitempty"`
+}
+
+// Config tunes a Recorder. The zero value keeps the default ring with
+// no stream.
+type Config struct {
+	// Capacity bounds the in-memory ring (default 256) that black-box
+	// dumps and Records() serve from; the JSONL stream is complete
+	// regardless.
+	Capacity int
+	// JSONL, when set, receives every record as one JSON line in period
+	// order. Write errors are sticky and reported by Err.
+	JSONL io.Writer
+}
+
+// Recorder keeps the bounded DecisionRecord ring and scores one-step
+// predictions as records arrive. It is owned by a single harness loop
+// and is not safe for concurrent use (matching the harness itself).
+type Recorder struct {
+	ring  []DecisionRecord
+	head  int
+	capN  int
+	total int
+	jsonl io.Writer
+	jerr  error
+
+	prevPredW float64 // previous record's one-step prediction
+	prevOK    bool
+}
+
+// NewRecorder builds a recorder from the config.
+func NewRecorder(cfg Config) *Recorder {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Recorder{capN: capacity, jsonl: cfg.JSONL}
+}
+
+// Record appends one period's record, scoring it against the previous
+// period's one-step prediction first.
+func (r *Recorder) Record(rec DecisionRecord) {
+	if r.prevOK {
+		rec.OneStepErrW = rec.MeasuredW - r.prevPredW
+		rec.TrueOneStepErrW = rec.TruePowerW - r.prevPredW
+		rec.HaveOneStepErr = true
+	}
+	// Only a real controller prediction can be scored next period; a
+	// fail-safe, uncontrolled, or infeasible period breaks the chain.
+	if rec.Controller != nil && !rec.FailSafe && !rec.Uncontrolled && !rec.Controller.Infeasible {
+		r.prevPredW = rec.Controller.PredictedNextW
+		r.prevOK = true
+	} else {
+		r.prevOK = false
+	}
+
+	r.total++
+	if len(r.ring) >= r.capN {
+		r.ring[r.head] = rec // circular: overwrite the oldest in place
+		r.head = (r.head + 1) % len(r.ring)
+	} else {
+		r.ring = append(r.ring, rec)
+	}
+	if r.jsonl != nil && r.jerr == nil {
+		b, err := json.Marshal(rec)
+		if err == nil {
+			b = append(b, '\n')
+			_, err = r.jsonl.Write(b)
+		}
+		if err != nil {
+			r.jerr = err
+		}
+	}
+}
+
+// Total returns how many records were ever recorded (≥ len(Records())
+// once the ring wraps).
+func (r *Recorder) Total() int { return r.total }
+
+// Err returns the first JSONL write error, if any.
+func (r *Recorder) Err() error { return r.jerr }
+
+// Records returns a copy of the ring, oldest first.
+func (r *Recorder) Records() []DecisionRecord {
+	out := make([]DecisionRecord, 0, len(r.ring))
+	out = append(out, r.ring[r.head:]...)
+	return append(out, r.ring[:r.head]...)
+}
+
+// Last returns the newest min(n, len) records, oldest first — the
+// black-box dump window.
+func (r *Recorder) Last(n int) []DecisionRecord {
+	all := r.Records()
+	if n < len(all) {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// ReadRecords parses a flight-record JSONL stream (blank lines are
+// skipped), the inverse of the Recorder's stream writer.
+func ReadRecords(rd io.Reader) ([]DecisionRecord, error) {
+	var out []DecisionRecord
+	if err := readJSONLines(rd, func(raw []byte) error {
+		var rec DecisionRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return err
+		}
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// readJSONLines scans a JSONL stream line by line, skipping blanks.
+func readJSONLines(rd io.Reader, each func(raw []byte) error) error {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if err := each(raw); err != nil {
+			return fmt.Errorf("flight: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("flight: read: %w", err)
+	}
+	return nil
+}

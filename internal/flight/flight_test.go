@@ -1,0 +1,247 @@
+package flight
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// ctrlRec builds a controlled record whose one-step prediction is predW.
+func ctrlRec(period int, measured, truePower, predW float64) DecisionRecord {
+	return DecisionRecord{
+		Period: period, SetpointW: 900, MeasuredW: measured, TruePowerW: truePower,
+		Controller: &ControllerTrace{PredictedNextW: predW},
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(Config{Capacity: 4})
+	for k := 0; k < 10; k++ {
+		r.Record(DecisionRecord{Period: k})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	got := r.Records()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d records, want 4", len(got))
+	}
+	for i, rec := range got {
+		if want := 6 + i; rec.Period != want {
+			t.Fatalf("Records()[%d].Period = %d, want %d (oldest first)", i, rec.Period, want)
+		}
+	}
+	last := r.Last(2)
+	if len(last) != 2 || last[0].Period != 8 || last[1].Period != 9 {
+		t.Fatalf("Last(2) = %+v, want periods 8, 9", last)
+	}
+	if big := r.Last(99); len(big) != 4 {
+		t.Fatalf("Last(99) returned %d records, want the whole ring (4)", len(big))
+	}
+}
+
+func TestRecorderOneStepScoring(t *testing.T) {
+	r := NewRecorder(Config{})
+	r.Record(ctrlRec(0, 950, 948, 910)) // first record: nothing to score against
+	r.Record(ctrlRec(1, 915, 913, 902))
+	r.Record(ctrlRec(2, 905, 903, 900))
+
+	recs := r.Records()
+	if recs[0].HaveOneStepErr {
+		t.Fatal("first record should not be scored")
+	}
+	if !recs[1].HaveOneStepErr || recs[1].OneStepErrW != 915-910 || recs[1].TrueOneStepErrW != 913-910 {
+		t.Fatalf("record 1 scoring = %+v, want errs +5/+3 vs the 910 prediction", recs[1])
+	}
+	if !recs[2].HaveOneStepErr || recs[2].OneStepErrW != 905-902 {
+		t.Fatalf("record 2 scoring = %+v, want err +3 vs the 902 prediction", recs[2])
+	}
+}
+
+func TestRecorderScoringChainBreaks(t *testing.T) {
+	cases := []struct {
+		name     string
+		breakRec DecisionRecord
+	}{
+		{"failsafe", DecisionRecord{Period: 1, MeasuredW: 920, FailSafe: true,
+			Controller: &ControllerTrace{PredictedNextW: 890}}},
+		{"uncontrolled", DecisionRecord{Period: 1, MeasuredW: 920, Uncontrolled: true,
+			Controller: &ControllerTrace{PredictedNextW: 890}}},
+		{"infeasible", DecisionRecord{Period: 1, MeasuredW: 920,
+			Controller: &ControllerTrace{PredictedNextW: 890, Infeasible: true}}},
+		{"no-trace", DecisionRecord{Period: 1, MeasuredW: 920}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRecorder(Config{})
+			r.Record(ctrlRec(0, 950, 948, 910))
+			r.Record(tc.breakRec)
+			r.Record(ctrlRec(2, 905, 903, 900))
+			recs := r.Records()
+			// The breaking record itself is still scored against period 0's
+			// prediction (its measurement is real input to the analysis)…
+			if !recs[1].HaveOneStepErr {
+				t.Fatal("breaking record should still be scored against the prior prediction")
+			}
+			// …but its own prediction must not score period 2.
+			if recs[2].HaveOneStepErr {
+				t.Fatalf("%s period must break the one-step scoring chain", tc.name)
+			}
+		})
+	}
+}
+
+func TestRecorderJSONLRoundTripDeterministic(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		r := NewRecorder(Config{Capacity: 2, JSONL: &buf})
+		r.Record(DecisionRecord{
+			Period: 0, TimeS: 4, SetpointW: 900, MeasuredW: 950, TruePowerW: 948,
+			CommandedCPUGHz: 2.1, CommandedGPUMHz: []float64{1200, 1100},
+			Controller: &ControllerTrace{
+				Gains: []float64{60, 0.2, 0.3}, OffsetW: 300, PredictedNextW: 915,
+				Knobs: []KnobConstraint{{WeightR: 3}, {SLOFloor: true, AtLower: true, WeightR: 2, FloorBoost: 1.05}},
+			},
+		})
+		r.Record(DecisionRecord{Period: 1, TimeS: 8, SetpointW: 900, MeasuredW: 912, TruePowerW: 913,
+			MeterStale: 2, Degraded: true, Faults: []string{"meter-dropout@1+3"}})
+		r.Record(DecisionRecord{Period: 2, TimeS: 12, SetpointW: 900, MeasuredW: 905, TruePowerW: 904})
+		if err := r.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("flight JSONL differs between identical runs")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty flight JSONL")
+	}
+
+	// The stream is complete even though the ring wrapped at capacity 2.
+	recs, err := ReadRecords(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("stream has %d records, want all 3", len(recs))
+	}
+	if recs[0].Controller == nil || !recs[0].Controller.Knobs[1].SLOFloor {
+		t.Fatalf("round trip lost controller trace detail: %+v", recs[0])
+	}
+	if recs[1].MeterStale != 2 || !recs[1].Degraded || len(recs[1].Faults) != 1 {
+		t.Fatalf("round trip lost degradation state: %+v", recs[1])
+	}
+}
+
+func TestReadRecordsBadLine(t *testing.T) {
+	_, err := ReadRecords(strings.NewReader("{\"period\":0}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want a line-2 parse error", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestRecorderStickyWriteError(t *testing.T) {
+	r := NewRecorder(Config{JSONL: failWriter{}})
+	r.Record(DecisionRecord{Period: 0})
+	r.Record(DecisionRecord{Period: 1})
+	if r.Err() == nil {
+		t.Fatal("write error not reported")
+	}
+	if r.Total() != 2 {
+		t.Fatal("ring recording must survive a broken stream")
+	}
+}
+
+// recordingSink counts forwarded calls to prove DumpSink is transparent.
+type recordingSink struct {
+	emits, periods, begins, ends int
+}
+
+func (s *recordingSink) Emit(telemetry.Event)          { s.emits++ }
+func (s *recordingSink) Period(telemetry.PeriodSample) { s.periods++ }
+func (s *recordingSink) BeginPhase(int, string)        { s.begins++ }
+func (s *recordingSink) EndPhase(int, string)          { s.ends++ }
+
+func TestDumpSinkTriggersAndForwards(t *testing.T) {
+	rec := NewRecorder(Config{})
+	for k := 0; k < 8; k++ {
+		rec.Record(DecisionRecord{Period: k, SetpointW: 900, MeasuredW: 890})
+	}
+	var out bytes.Buffer
+	inner := &recordingSink{}
+	ds := NewDumpSink(inner, rec, &out, DumpConfig{LastN: 4})
+
+	// Healthy sample: no dump.
+	ds.Period(telemetry.PeriodSample{Period: 5, SetpointW: 900, AvgPowerW: 905, TruePowerW: 903})
+	// Measured violation (>1% over 900): dump fires with the last 4 records.
+	ds.Period(telemetry.PeriodSample{Period: 6, SetpointW: 900, AvgPowerW: 915, TruePowerW: 905})
+	// Still cooling down: suppressed.
+	ds.Period(telemetry.PeriodSample{Period: 7, SetpointW: 900, AvgPowerW: 920, TruePowerW: 905})
+	ds.BeginPhase(7, "decide")
+	ds.EndPhase(7, "decide")
+	ds.Emit(telemetry.Event{Type: telemetry.EventAdaptFrozen, Period: 7})
+	// Past the cooldown (4 periods): an incident event triggers again.
+	ds.Emit(telemetry.Event{Type: telemetry.EventMPCInfeasible, Period: 11})
+	if err := ds.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	dumps, err := ReadDumps(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != 2 {
+		t.Fatalf("got %d dumps, want 2 (violation + post-cooldown infeasibility)", len(dumps))
+	}
+	if dumps[0].Trigger != string(telemetry.EventCapViolation) || dumps[0].Period != 6 {
+		t.Fatalf("dump 0 = %s@%d, want cap-violation@6", dumps[0].Trigger, dumps[0].Period)
+	}
+	if len(dumps[0].Records) != 4 || dumps[0].Records[3].Period != 7 {
+		t.Fatalf("dump 0 carries %d records ending at %d, want the last 4 ending at period 7",
+			len(dumps[0].Records), dumps[0].Records[len(dumps[0].Records)-1].Period)
+	}
+	if dumps[1].Trigger != string(telemetry.EventMPCInfeasible) || dumps[1].Period != 11 {
+		t.Fatalf("dump 1 = %s@%d, want mpc-infeasible@11", dumps[1].Trigger, dumps[1].Period)
+	}
+
+	// Everything was forwarded to the inner sink regardless of triggers.
+	if inner.periods != 3 || inner.emits != 2 || inner.begins != 1 || inner.ends != 1 {
+		t.Fatalf("forwarding counts = %+v, want 3 periods, 2 emits, 1 begin, 1 end", *inner)
+	}
+}
+
+func TestDumpSinkFailSafeEdgeAndTrueViolation(t *testing.T) {
+	rec := NewRecorder(Config{})
+	rec.Record(DecisionRecord{Period: 0})
+	var out bytes.Buffer
+	ds := NewDumpSink(nil, rec, &out, DumpConfig{LastN: 2, CooldownPeriods: 1})
+
+	// True violation (>2% over 900) with the measured side in-slack.
+	ds.Period(telemetry.PeriodSample{Period: 3, SetpointW: 900, AvgPowerW: 905, TruePowerW: 930})
+	// Fail-safe entry edge triggers once; staying in fail-safe does not.
+	ds.Period(telemetry.PeriodSample{Period: 5, SetpointW: 900, AvgPowerW: 880, TruePowerW: 880, FailSafe: true})
+	ds.Period(telemetry.PeriodSample{Period: 6, SetpointW: 900, AvgPowerW: 875, TruePowerW: 875, FailSafe: true})
+
+	dumps, err := ReadDumps(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != 2 {
+		t.Fatalf("got %d dumps, want true-violation + failsafe edge", len(dumps))
+	}
+	if dumps[0].Trigger != "true-cap-violation" {
+		t.Fatalf("dump 0 trigger = %s", dumps[0].Trigger)
+	}
+	if dumps[1].Trigger != string(telemetry.EventFailSafeEnter) || dumps[1].Period != 5 {
+		t.Fatalf("dump 1 = %s@%d, want failsafe-enter@5 only", dumps[1].Trigger, dumps[1].Period)
+	}
+}

@@ -38,6 +38,7 @@ func DefaultDeterminismScope() []string {
 		"internal/mpc",
 		"internal/experiments",
 		"internal/telemetry",
+		"internal/flight",
 	}
 }
 

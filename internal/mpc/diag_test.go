@@ -1,0 +1,161 @@
+package mpc
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDetailedDiagnosticsOffByDefault pins the zero-overhead contract:
+// without SetDetailedDiagnostics the detail slices stay nil, so the
+// uninstrumented control loop pays nothing for the flight recorder.
+func TestDetailedDiagnosticsOffByDefault(t *testing.T) {
+	c := testController(t, Config{})
+	_, diag, err := c.Compute(950, 900, []float64{2.0, 1200, 1100, 1000}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.PredictedStepW != nil || diag.ActiveLower != nil || diag.ActiveUpper != nil ||
+		diag.PinnedKnobs != nil || diag.LowerBoundsNorm != nil {
+		t.Fatalf("detail fields populated with detail off: %+v", diag)
+	}
+}
+
+func TestDetailedDiagnosticsHorizonAndBounds(t *testing.T) {
+	c := testController(t, Config{})
+	c.SetDetailedDiagnostics(true)
+	f := []float64{2.0, 1200, 1100, 1000}
+	d, diag, err := c.Compute(950, 900, f, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(f)
+	if len(diag.ActiveLower) != n || len(diag.ActiveUpper) != n ||
+		len(diag.PinnedKnobs) != n || len(diag.LowerBoundsNorm) != n {
+		t.Fatalf("detail slice lengths = %d/%d/%d/%d, want %d each",
+			len(diag.ActiveLower), len(diag.ActiveUpper), len(diag.PinnedKnobs), len(diag.LowerBoundsNorm), n)
+	}
+	if len(diag.PredictedStepW) != c.Config().P {
+		t.Fatalf("horizon trajectory has %d steps, want P=%d", len(diag.PredictedStepW), c.Config().P)
+	}
+	// Step 1 of the trajectory is the model's one-step prediction under
+	// the full first move.
+	want := 950.0
+	for i, di := range d {
+		want += c.gains[i] * di
+	}
+	if math.Abs(diag.PredictedStepW[0]-want) > 1e-9 {
+		t.Fatalf("PredictedStepW[0] = %.6f, want %.6f", diag.PredictedStepW[0], want)
+	}
+	// Step 1 agrees with the one-step prediction the default diagnostics
+	// already report; the trajectory then converges onto the set point
+	// under the remaining planned moves.
+	if math.Abs(diag.PredictedStepW[0]-diag.PredictedEndPowerW) > 1e-9 {
+		t.Fatalf("PredictedStepW[0] %.3f != PredictedEndPowerW %.3f",
+			diag.PredictedStepW[0], diag.PredictedEndPowerW)
+	}
+	if end := diag.PredictedStepW[c.Config().P-1]; math.Abs(end-900) > 5 {
+		t.Fatalf("horizon end %.3f W, want near the 900 W set point", end)
+	}
+	// Interior optimum from a mild error: no box constraint active.
+	for i := 0; i < n; i++ {
+		if diag.ActiveLower[i] || diag.ActiveUpper[i] || diag.PinnedKnobs[i] {
+			t.Fatalf("knob %d flagged active/pinned on an interior optimum: %+v", i, diag)
+		}
+		if diag.LowerBoundsNorm[i] != 0 {
+			t.Fatalf("knob %d lower bound %.3f, want 0 (hardware minimum)", i, diag.LowerBoundsNorm[i])
+		}
+	}
+}
+
+func TestDetailedDiagnosticsActiveUpper(t *testing.T) {
+	c := testController(t, Config{})
+	c.SetDetailedDiagnostics(true)
+	// Far under an unreachable cap from the ceiling's doorstep: every
+	// knob slams into its upper bound.
+	f := []float64{2.35, 1340, 1340, 1340}
+	_, diag, err := c.Compute(500, 5000, f, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f {
+		if !diag.ActiveUpper[i] {
+			t.Fatalf("knob %d not at its ceiling chasing an unreachable cap: %+v", i, diag)
+		}
+		if diag.ActiveLower[i] {
+			t.Fatalf("knob %d flagged at lower while at the ceiling", i)
+		}
+	}
+}
+
+func TestDetailedDiagnosticsSLOFloorActiveLower(t *testing.T) {
+	c := testController(t, Config{})
+	c.SetDetailedDiagnostics(true)
+	// A deep over-cap error drives the GPUs down; GPU 1 carries a raised
+	// SLO floor at 1000 MHz, so it stops there with its lower bound
+	// active and the floor visible in normalized coordinates.
+	f := []float64{2.0, 1050, 1200, 1200}
+	lower := []float64{1.0, 1000, 435, 435}
+	_, diag, err := c.Compute(1400, 700, f, nil, lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.ActiveLower[1] {
+		t.Fatalf("GPU 1 should sit on its SLO floor: %+v", diag)
+	}
+	wantNorm := (1000.0 - 435.0) / (1350.0 - 435.0)
+	if math.Abs(diag.LowerBoundsNorm[1]-wantNorm) > 1e-9 {
+		t.Fatalf("GPU 1 normalized floor = %.4f, want %.4f", diag.LowerBoundsNorm[1], wantNorm)
+	}
+	if diag.LowerBoundsNorm[2] != 0 {
+		t.Fatalf("GPU 2 floor = %.4f, want the hardware minimum (0)", diag.LowerBoundsNorm[2])
+	}
+}
+
+func TestDetailedDiagnosticsPinned(t *testing.T) {
+	c := testController(t, Config{})
+	c.SetDetailedDiagnostics(true)
+	// GPU 1's SLO floor at the ceiling leaves exactly one feasible
+	// trajectory for it: analytic pinning.
+	f := []float64{2.0, 1200, 1200, 1200}
+	lower := []float64{1.0, 1350, 435, 435}
+	_, diag, err := c.Compute(1100, 900, f, nil, lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.PinnedKnobs[1] {
+		t.Fatalf("GPU 1 should be pinned with its floor at the ceiling: %+v", diag)
+	}
+	if diag.PinnedKnobs[0] || diag.PinnedKnobs[2] || diag.PinnedKnobs[3] {
+		t.Fatalf("only GPU 1 should be pinned: %+v", diag.PinnedKnobs)
+	}
+}
+
+// TestComputeNoDetailAllocsStable compares allocations with detail off
+// vs on: the delta is what the flight recorder costs, and the off path
+// must not pay it.
+func TestComputeNoDetailAllocsStable(t *testing.T) {
+	c := testController(t, Config{})
+	f := []float64{2.0, 1200, 1100, 1000}
+	compute := func() {
+		if _, _, err := c.Compute(950, 900, f, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compute() // warm the warm-start buffer
+	off := testing.AllocsPerRun(200, compute)
+	c.SetDetailedDiagnostics(true)
+	on := testing.AllocsPerRun(200, compute)
+	if off >= on {
+		return // detail costs nothing here — fine, nothing leaked either
+	}
+	if on-off < 4 {
+		t.Logf("detail adds %.0f allocs/op (off %.0f, on %.0f)", on-off, off, on)
+	}
+	// The real assertion: toggling detail back off returns to the lean
+	// path.
+	c.SetDetailedDiagnostics(false)
+	offAgain := testing.AllocsPerRun(200, compute)
+	if offAgain > off {
+		t.Fatalf("detail-off path got slower after toggling: %.0f vs %.0f allocs/op", offAgain, off)
+	}
+}

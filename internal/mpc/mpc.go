@@ -90,23 +90,59 @@ func (c *Config) defaults() Config {
 
 // Controller is the CapGPU MPC.
 type Controller struct {
-	cfg   Config
-	gains []float64 // identified plant gains, natural units (W/GHz, W/MHz)
-	fmin  []float64
-	fmax  []float64
-	scale []float64 // fmax - fmin
-	gtil  []float64 // gains in W per normalized unit
-	lastD []float64 // previous period's solution (normalized), for warm starts
+	cfg    Config
+	gains  []float64 // identified plant gains, natural units (W/GHz, W/MHz)
+	fmin   []float64
+	fmax   []float64
+	scale  []float64 // fmax - fmin
+	gtil   []float64 // gains in W per normalized unit
+	lastD  []float64 // previous period's solution (normalized), for warm starts
+	detail bool      // populate the Diagnostics detail fields (flight recorder)
 }
 
 // Diagnostics reports solver internals for one control period.
+//
+// The fields below Clamped are the flight recorder's view of the
+// optimum and are populated only when SetDetailedDiagnostics(true) has
+// been called: the default path leaves them nil so an uninstrumented
+// control loop allocates nothing extra.
 type Diagnostics struct {
 	PredictedEndPowerW float64 // model-predicted power after the horizon
 	SolverIterations   int
 	Solver             string
 	Weights            []float64 // the R_n actually used
 	Clamped            bool      // true if SLO bounds forced repair of the start point
+
+	// BiasW is the deadband-adjusted tracking error fed to the QP, after
+	// pinned-knob power effects were folded in.
+	BiasW float64
+	// DeadbandHold is true when |measured − setpoint| sat inside the
+	// deadband: no tracking correction this period, only the
+	// weight-driven reallocation term acts.
+	DeadbandHold bool
+	// PredictedStepW is the model-predicted power after each horizon
+	// step 1..P, using all M planned moves (not just the applied first
+	// one) — the full-horizon trajectory the optimizer committed to.
+	PredictedStepW []float64
+	// ActiveLower / ActiveUpper report, per knob, whether the first
+	// move lands the knob on its effective lower bound (hardware f_min
+	// or SLO floor) or its ceiling — the active box constraints at the
+	// optimum.
+	ActiveLower []bool
+	ActiveUpper []bool
+	// PinnedKnobs marks knobs eliminated analytically because their SLO
+	// floor sat at (or numerically at) the ceiling.
+	PinnedKnobs []bool
+	// LowerBoundsNorm is the effective normalized lower bound per knob
+	// (0 = hardware minimum; >0 = an SLO floor raised it).
+	LowerBoundsNorm []float64
 }
+
+// SetDetailedDiagnostics toggles the Diagnostics detail fields
+// (constraint activity, horizon trajectory). Off by default: the extra
+// slices cost allocations per period, so only the flight recorder turns
+// them on.
+func (c *Controller) SetDetailedDiagnostics(on bool) { c.detail = on }
 
 // New builds a controller from the identified gains and the per-knob
 // frequency ranges (knob 0 is the CPU). Gains must be positive: a knob
@@ -252,8 +288,10 @@ func (c *Controller) Compute(measuredW, setpointW float64, knobs, throughput, lo
 	}
 
 	bias := measuredW - setpointW
+	deadbandHold := false
 	if math.Abs(bias) <= c.cfg.DeadbandW {
 		bias = 0
+		deadbandHold = true
 	}
 	r := c.penaltyWeights(throughput)
 
@@ -266,15 +304,23 @@ func (c *Controller) Compute(measuredW, setpointW float64, knobs, throughput, lo
 	const pinTol = 1e-9
 	free := make([]int, 0, n)
 	d0full := make([]float64, n)
+	var pinned []bool
+	if c.detail {
+		pinned = make([]bool, n)
+	}
 	for i := 0; i < n; i++ {
 		if lo[i] >= 1-pinTol {
 			d0full[i] = 1 - x[i]
 			bias += c.gtil[i] * (1 - x[i])
+			if pinned != nil {
+				pinned[i] = true
+			}
 		} else {
 			free = append(free, i)
 		}
 	}
 	diag := &Diagnostics{Weights: r, Clamped: clamped}
+	var fullSol []float64 // all M move blocks over the free knobs
 
 	if len(free) > 0 {
 		nf := len(free)
@@ -295,6 +341,7 @@ func (c *Controller) Compute(measuredW, setpointW float64, knobs, throughput, lo
 				return nil, nil, err
 			}
 			d0 = sol.X[:nf]
+			fullSol = sol.X
 			diag.SolverIterations = sol.Iterations
 			diag.Solver = "slsqp"
 		} else {
@@ -304,6 +351,7 @@ func (c *Controller) Compute(measuredW, setpointW float64, knobs, throughput, lo
 			}
 			c.lastD = append(c.lastD[:0], sol.X...)
 			d0 = sol.X[:nf]
+			fullSol = sol.X
 			diag.SolverIterations = sol.Iterations
 			diag.Solver = "active-set"
 		}
@@ -321,7 +369,45 @@ func (c *Controller) Compute(measuredW, setpointW float64, knobs, throughput, lo
 		predicted += c.gtil[i] * d0full[i]
 	}
 	diag.PredictedEndPowerW = predicted
+	if c.detail {
+		diag.BiasW = bias
+		diag.DeadbandHold = deadbandHold
+		diag.PinnedKnobs = pinned
+		diag.LowerBoundsNorm = append([]float64(nil), lo...)
+		diag.ActiveLower = make([]bool, n)
+		diag.ActiveUpper = make([]bool, n)
+		const boundTol = 1e-6
+		for i := 0; i < n; i++ {
+			pos := x[i] + d0full[i]
+			diag.ActiveLower[i] = pos <= lo[i]+boundTol
+			diag.ActiveUpper[i] = pos >= 1-boundTol
+		}
+		diag.PredictedStepW = c.predictHorizon(measuredW, d0full, free, fullSol)
+	}
 	return out, diag, nil
+}
+
+// predictHorizon rolls the incremental model (Eq. 7) over the full
+// prediction horizon using all M planned moves: step j's power is
+// measured + Σ_{b < min(j,M)} Σ_p gtil_p · d_{b,p}. Pinned knobs move
+// once (their whole deficit) and then hold.
+func (c *Controller) predictHorizon(measuredW float64, d0full []float64, free []int, fullSol []float64) []float64 {
+	out := make([]float64, c.cfg.P)
+	nf := len(free)
+	pred := measuredW
+	for j := 1; j <= c.cfg.P; j++ {
+		if j == 1 {
+			for i, d := range d0full {
+				pred += c.gtil[i] * d
+			}
+		} else if j <= c.cfg.M && nf > 0 && len(fullSol) >= j*nf {
+			for k, i := range free {
+				pred += c.gtil[i] * fullSol[(j-1)*nf+k]
+			}
+		}
+		out[j-1] = pred
+	}
+	return out
 }
 
 // warmStart builds the solver's starting point: the previous period's

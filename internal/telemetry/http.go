@@ -8,10 +8,21 @@ import (
 	"strconv"
 )
 
+// EventsResponse is the /events payload. Dropped counts events evicted
+// from the bounded ring (Total − what the ring still holds): nonzero
+// means the tail is truncated history, not the full run — consumers
+// needing completeness must use the JSONL stream.
+type EventsResponse struct {
+	Total   int     `json:"total"`
+	Dropped int     `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
 // Handler serves the hub over HTTP:
 //
 //	/metrics — Prometheus text exposition of the registry
-//	/events  — JSON array tail of the event ring (?n= limits, default 256)
+//	/events  — JSON tail of the event ring (?n= limits, default 256),
+//	           wrapped in EventsResponse so ring truncation is visible
 //	/healthz — 200 "ok" (503 with the error when the JSONL stream broke)
 //
 // The cmd layer mounts this on the -metrics-addr listener; nothing in
@@ -29,14 +40,16 @@ func Handler(h *Hub) http.Handler {
 				n = v
 			}
 		}
-		events := h.Events()
+		events, total := h.EventsSnapshot()
+		resp := EventsResponse{Total: total, Dropped: total - len(events)}
 		if len(events) > n {
 			events = events[len(events)-n:]
 		}
+		resp.Events = events
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
-		_ = enc.Encode(events)
+		_ = enc.Encode(resp)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if err := h.Err(); err != nil {
@@ -53,11 +66,18 @@ func Handler(h *Hub) http.Handler {
 // returning the bound address (useful with ":0") — the server lives for
 // the life of the process, which for the cmds is the life of the run.
 func Serve(h *Hub, addr string) (string, error) {
+	return ServeHandler(Handler(h), addr)
+}
+
+// ServeHandler is Serve for an arbitrary handler — the cmd layer uses
+// it to mount extras (net/http/pprof) next to the hub endpoints without
+// pulling pprof's side-effect import into this deterministic package.
+func ServeHandler(handler http.Handler, addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(h)}
+	srv := &http.Server{Handler: handler}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	hub := New(Config{})
+	hub.Period(PeriodSample{Node: "server0", Period: 0, TimeS: 4,
+		SetpointW: 900, AvgPowerW: 895, TruePowerW: 893})
+	srv := httptest.NewServer(Handler(hub))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{"# HELP", "capgpu_measured_power_watts", `node="server0"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerEventsTailAndDropped(t *testing.T) {
+	// A tiny ring forces eviction so the dropped count is visible.
+	hub := New(Config{EventCapacity: 8})
+	for k := 0; k < 20; k++ {
+		hub.Emit(Event{Type: EventPeriodStart, Period: k, Node: "server0"})
+	}
+	srv := httptest.NewServer(Handler(hub))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/events")
+	if code != 200 {
+		t.Fatalf("/events status = %d", code)
+	}
+	var resp EventsResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("/events not valid JSON: %v\n%s", err, body)
+	}
+	if resp.Total != 20 || resp.Dropped != 12 || len(resp.Events) != 8 {
+		t.Fatalf("total/dropped/len = %d/%d/%d, want 20/12/8", resp.Total, resp.Dropped, len(resp.Events))
+	}
+	// The ring keeps the newest events, oldest first.
+	if resp.Events[0].Period != 12 || resp.Events[7].Period != 19 {
+		t.Fatalf("ring window = %d..%d, want 12..19", resp.Events[0].Period, resp.Events[7].Period)
+	}
+
+	// ?n= narrows the tail further; dropped still reports ring eviction.
+	_, body = get(t, srv, "/events?n=3")
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 3 || resp.Events[0].Period != 17 {
+		t.Fatalf("tail = %d events from %d, want 3 from 17", len(resp.Events), resp.Events[0].Period)
+	}
+	if resp.Dropped != 12 {
+		t.Fatalf("dropped = %d with ?n=, want the ring's 12", resp.Dropped)
+	}
+}
+
+type brokenWriter struct{}
+
+func (brokenWriter) Write([]byte) (int, error) { return 0, errors.New("stream torn") }
+
+func TestHandlerHealthz(t *testing.T) {
+	hub := New(Config{})
+	srv := httptest.NewServer(Handler(hub))
+	defer srv.Close()
+	if code, body := get(t, srv, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthy hub: %d %q", code, body)
+	}
+
+	sick := New(Config{JSONL: brokenWriter{}})
+	sick.Emit(Event{Type: EventPeriodStart, Period: 0})
+	srvSick := httptest.NewServer(Handler(sick))
+	defer srvSick.Close()
+	code, body := get(t, srvSick, "/healthz")
+	if code != 503 || !strings.Contains(body, "stream torn") {
+		t.Fatalf("broken stream: %d %q, want 503 naming the error", code, body)
+	}
+}
+
+// TestHandlerScrapeDuringEmission hammers every endpoint while a writer
+// goroutine emits — the -race run proves the snapshot locking.
+func TestHandlerScrapeDuringEmission(t *testing.T) {
+	hub := New(Config{EventCapacity: 64})
+	srv := httptest.NewServer(Handler(hub))
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; ; k++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			hub.Emit(Event{Type: EventPeriodStart, Period: k, Node: "server0"})
+			hub.Period(PeriodSample{Node: "server0", Period: k, SetpointW: 900,
+				AvgPowerW: 900 + float64(k%10), TruePowerW: 898})
+		}
+	}()
+	for i := 0; i < 25; i++ {
+		for _, path := range []string{"/metrics", "/events?n=16", "/healthz"} {
+			if code, _ := get(t, srv, path); code != 200 {
+				t.Errorf("%s status = %d during emission", path, code)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestServeHandlerBindsAndServes(t *testing.T) {
+	hub := New(Config{})
+	addr, err := Serve(hub, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(addr, "127.0.0.1:") || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("bound addr = %q, want a concrete 127.0.0.1 port", addr)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz over ServeHandler: %d %q", resp.StatusCode, body)
+	}
+}

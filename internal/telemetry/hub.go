@@ -145,6 +145,19 @@ func (h *Hub) EventsTotal() int {
 	return h.total
 }
 
+// EventsSnapshot returns the ring (oldest first) together with the
+// lifetime total, read atomically under one lock so a consumer can
+// compute how many events the ring has dropped without racing an
+// emission between two separate calls.
+func (h *Hub) EventsSnapshot() ([]Event, int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Event, 0, len(h.events))
+	out = append(out, h.events[h.head:]...)
+	out = append(out, h.events[:h.head]...)
+	return out, h.total
+}
+
 // NodeSink returns a view of the hub that stamps the given node name
 // onto events and samples that do not already carry one.
 func (h *Hub) NodeSink(node string) Sink {
