@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench telemetry-verify doctor-verify
+.PHONY: all build test race vet fmt lint check bench cover telemetry-verify doctor-verify
+
+# Ratcheted coverage floor for the rack coordinator: the parallel
+# stepping and its equivalence/error-path suites live there, so a drop
+# below this means proof rotted out. Raise the floor when coverage
+# rises; never lower it.
+CLUSTER_COVER_FLOOR = 92.0
 
 all: check
 
@@ -57,7 +63,17 @@ doctor-verify:
 		-events /tmp/capgpu-doctor-r1-events.jsonl > /dev/null
 	@echo "doctor-verify: ok"
 
-check: build vet fmt lint test race telemetry-verify doctor-verify
+# Coverage ratchet: internal/cluster must stay at or above the floor.
+cover:
+	@$(GO) test -coverprofile=/tmp/capgpu-cluster.cov ./internal/cluster/ | tee /tmp/capgpu-cluster-cover.txt
+	@pct="$$(grep -o 'coverage: [0-9.]*' /tmp/capgpu-cluster-cover.txt | grep -o '[0-9.]*')"; \
+	ok="$$(awk -v p="$$pct" -v f="$(CLUSTER_COVER_FLOOR)" 'BEGIN { print (p >= f) ? 1 : 0 }')"; \
+	if [ "$$ok" != "1" ]; then \
+		echo "cover: internal/cluster coverage $$pct% is below the $(CLUSTER_COVER_FLOOR)% floor"; exit 1; \
+	fi; \
+	echo "cover: internal/cluster $$pct% >= $(CLUSTER_COVER_FLOOR)% floor"
+
+check: build vet fmt lint test race cover telemetry-verify doctor-verify
 
 bench:
 	$(GO) test -bench . -benchtime 1x .

@@ -11,6 +11,15 @@
 // The rack is three servers with heavy / medium / light load (3 / 2 / 1
 // busy GPUs); policies: uniform, demand, priority.
 //
+// Fleet mode and parallel stepping:
+//
+//	-nodes N     run a synthetic fleet of N nodes (heavy/medium/light
+//	             classes round-robin) instead of the 3-server rack;
+//	             -budget defaults to 950 W per node when left unset
+//	-workers W   per-node control loops stepped by W workers
+//	             (0 = GOMAXPROCS, 1 = sequential); output is
+//	             byte-identical at every worker count
+//
 // Rack-plane faults and telemetry (see DESIGN.md):
 //
 //	-faults string           fault DSL; server-dropout targets are node
@@ -36,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/telemetry"
@@ -53,6 +63,8 @@ func main() {
 	snapshotPath := flag.String("metrics-snapshot", "", "write the final Prometheus exposition to this path")
 	hold := flag.Duration("hold", 0, "with -metrics-addr, keep serving this long after the run (0 = until SIGINT)")
 	pprofOn := flag.Bool("pprof", false, "with -metrics-addr, also serve net/http/pprof under /debug/pprof/")
+	nodes := flag.Int("nodes", 0, "fleet mode: run N synthetic nodes instead of the 3-server rack")
+	workers := flag.Int("workers", 1, "worker goroutines stepping node control loops (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *pprofOn && *metricsAddr == "" {
@@ -103,8 +115,26 @@ func main() {
 		fmt.Printf("telemetry: serving http://%s/metrics (/events, /healthz%s)\n\n", addr, extra)
 	}
 
+	if *nodes > 0 {
+		// Fleet budget: an explicit -budget wins; otherwise scale the
+		// default with the fleet (950 W per node) rather than inheriting
+		// the 3-server rack's 2850 W.
+		fleetBudget := 0.0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "budget" {
+				fleetBudget = *budget
+			}
+		})
+		if err := runFleet(*seed, *periods, *nodes, *workers, fleetBudget, *policy, sched, hub); err != nil {
+			fmt.Fprintln(os.Stderr, "capgpu-rack:", err)
+			os.Exit(1)
+		}
+		finishTelemetry(hub, eventsFile, *eventsPath, *snapshotPath, *metricsAddr, *hold)
+		return
+	}
+
 	rows, err := experiments.ExtensionClusterOpts(*seed, *periods, *budget,
-		experiments.ClusterOptions{Telemetry: hub, Faults: sched})
+		experiments.ClusterOptions{Telemetry: hub, Faults: sched, Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capgpu-rack:", err)
 		os.Exit(1)
@@ -181,6 +211,13 @@ func main() {
 		fmt.Printf("\nhighest rack throughput under this budget: %s (%.0f img/s)\n", best, bestT)
 	}
 
+	finishTelemetry(hub, eventsFile, *eventsPath, *snapshotPath, *metricsAddr, *hold)
+}
+
+// finishTelemetry flushes the event stream, writes the optional
+// Prometheus snapshot, and holds the HTTP endpoint — the common tail of
+// the classic rack and fleet modes.
+func finishTelemetry(hub *telemetry.Hub, eventsFile *os.File, eventsPath, snapshotPath, metricsAddr string, hold time.Duration) {
 	if hub != nil {
 		if err := hub.Finish(); err != nil {
 			fmt.Fprintln(os.Stderr, "capgpu-rack: event stream:", err)
@@ -191,10 +228,10 @@ func main() {
 				fmt.Fprintln(os.Stderr, "capgpu-rack:", err)
 				os.Exit(1)
 			}
-			fmt.Println("\nevents written to", *eventsPath)
+			fmt.Println("\nevents written to", eventsPath)
 		}
-		if *snapshotPath != "" {
-			f, err := os.Create(*snapshotPath)
+		if snapshotPath != "" {
+			f, err := os.Create(snapshotPath)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "capgpu-rack:", err)
 				os.Exit(1)
@@ -207,13 +244,13 @@ func main() {
 				fmt.Fprintln(os.Stderr, "capgpu-rack:", werr)
 				os.Exit(1)
 			}
-			fmt.Println("metrics snapshot written to", *snapshotPath)
+			fmt.Println("metrics snapshot written to", snapshotPath)
 		}
 	}
-	if *metricsAddr != "" {
-		if *hold > 0 {
-			fmt.Printf("telemetry: holding the endpoint for %s\n", *hold)
-			time.Sleep(*hold)
+	if metricsAddr != "" {
+		if hold > 0 {
+			fmt.Printf("telemetry: holding the endpoint for %s\n", hold)
+			time.Sleep(hold)
 			return
 		}
 		fmt.Println("telemetry: endpoint stays up — SIGINT to exit")
@@ -221,6 +258,48 @@ func main() {
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		<-ch
 	}
+}
+
+// runFleet is -nodes mode: one policy over a synthetic N-node fleet,
+// stepped by the requested worker count.
+func runFleet(seed int64, periods, nodes, workers int, budgetW float64, policy string, sched *faults.Schedule, hub *telemetry.Hub) error {
+	var pol cluster.Policy
+	switch policy {
+	case "uniform":
+		pol = cluster.Uniform{}
+	case "demand", "demand-proportional", "all":
+		// Fleet mode runs a single policy; the "all" default falls back
+		// to the paper's recommended demand-proportional allocator.
+		pol = cluster.DemandProportional{}
+	case "priority":
+		pol = cluster.Priority{}
+	default:
+		return fmt.Errorf("unknown policy %q (uniform, demand, priority)", policy)
+	}
+	row, err := experiments.RunScaleRack(seed, periods, nodes, pol,
+		budgetW, experiments.ClusterOptions{Telemetry: hub, Faults: sched, Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fleet: %d nodes (heavy/medium/light classes), budget %.0f W, %d periods, %d workers\n",
+		row.Nodes, row.BudgetW, periods, row.Workers)
+	if sched != nil {
+		fmt.Printf("fault schedule: %s\n", sched.String())
+	}
+	fmt.Println()
+	fmt.Print(trace.Table(
+		[]string{"policy", "rack W (used/budget)", "over-budget", "rack img/s", "dead", "cap-violations", "degraded", "uncontrolled"},
+		[][]string{{
+			row.Policy,
+			fmt.Sprintf("%.0f / %.0f", row.SteadyTotalW, row.BudgetW),
+			fmt.Sprintf("%d", row.OverBudgetPeriods),
+			fmt.Sprintf("%.0f", row.AggThroughput),
+			fmt.Sprintf("%d", row.DeadNodes),
+			fmt.Sprintf("%d", row.CapViolations),
+			fmt.Sprintf("%d", row.DegradedPeriods),
+			fmt.Sprintf("%d", row.Uncontrolled),
+		}}))
+	return nil
 }
 
 // withPprof mounts the hub handler at / and, when enabled, the pprof

@@ -20,6 +20,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/core"
@@ -229,6 +230,14 @@ type Coordinator struct {
 	// reallocations (default 2: the outer loop must be slower than the
 	// inner ones it commands).
 	RackPeriods int
+	// Workers bounds the goroutines used to fan per-node stepping out
+	// between the coordinator barriers (0 = GOMAXPROCS, 1 = fully
+	// sequential on the coordinator goroutine). Node loops are
+	// independent between reallocations — each harness owns its own
+	// seeded RNGs, simulator, and controller — so any worker count
+	// produces the byte-identical record stream, telemetry, and flight
+	// log; see the determinism contract in DESIGN.md.
+	Workers int
 
 	// Faults carries the rack-plane fault schedule; ServerDropout
 	// entries (target = node index) make that node miss heartbeats.
@@ -261,6 +270,10 @@ type Coordinator struct {
 	haveReport []bool
 	deadPrev   []bool  // death state at the previous roll call
 	reservedW  float64 // breaker budget held back at the last realloc
+	// buffers holds the per-node telemetry staging installed for
+	// parallel stepping (nil entries for nodes without telemetry);
+	// flushed in node-index order at the merge barrier.
+	buffers []*telemetry.Buffer
 }
 
 // NewCoordinator assembles a rack controller.
@@ -346,6 +359,12 @@ func (c *Coordinator) observe(idx []int) []Observation {
 // power is held back from the breaker budget, and the remainder is
 // redistributed among the heartbeating nodes. Hierarchical
 // coordinators drive racks through this entry point.
+//
+// The roll call, death/recovery events, and reallocation run on the
+// calling goroutine as barriers; the per-node control loops then fan
+// out across the Workers pool and their results merge back in
+// node-index order, so records, telemetry, and flight output are
+// byte-identical at every worker count.
 func (c *Coordinator) Step(k int) error {
 	if c.RackPeriods < 1 {
 		c.RackPeriods = 1
@@ -371,26 +390,87 @@ func (c *Coordinator) Step(k int) error {
 			return err
 		}
 	}
-	for i, n := range c.Nodes {
+	// Fan the independent node loops out across the worker pool, then
+	// merge in node-index order. Results are staged in pre-sized
+	// per-node slots and committed only after every node succeeds, so a
+	// mid-period failure appends no partial-period records and flushes
+	// no partial-period telemetry.
+	w := c.workers()
+	if w > 1 {
+		c.installBuffers()
+	}
+	recs := make([]core.PeriodRecord, len(c.Nodes))
+	errs := make([]error, len(c.Nodes))
+	runIndexed(w, len(c.Nodes), func(i int) {
 		if c.missed[i] > 0 {
 			// Out of contact: the node's loop is not reachable, but its
 			// hardware keeps drawing power at the last applied clocks.
-			rec, err := n.harness.StepUncontrolled(k)
-			if err != nil {
-				return fmt.Errorf("cluster: node %s: %w", n.Name, err)
+			recs[i], errs[i] = c.Nodes[i].harness.StepUncontrolled(k)
+			return
+		}
+		recs[i], errs[i] = c.Nodes[i].harness.StepPeriod(k)
+	})
+	for i, n := range c.Nodes {
+		if errs[i] != nil {
+			for _, b := range c.buffers {
+				if b != nil {
+					b.Discard()
+				}
 			}
-			n.records = append(n.records, rec)
-			continue
+			return fmt.Errorf("cluster: node %s: %w", n.Name, errs[i])
 		}
-		rec, err := n.harness.StepPeriod(k)
-		if err != nil {
-			return fmt.Errorf("cluster: node %s: %w", n.Name, err)
+	}
+	for i, n := range c.Nodes {
+		if i < len(c.buffers) && c.buffers[i] != nil {
+			c.buffers[i].Flush()
 		}
-		n.records = append(n.records, rec)
-		c.lastReport[i] = rec.AvgPowerW
-		c.haveReport[i] = true
+		n.records = append(n.records, recs[i])
+		if c.missed[i] == 0 {
+			c.lastReport[i] = recs[i].AvgPowerW
+			c.haveReport[i] = true
+		}
 	}
 	return nil
+}
+
+// workers resolves the effective fan-out width for this rack.
+func (c *Coordinator) workers() int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(c.Nodes) {
+		w = len(c.Nodes)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// installBuffers rewires each instrumented node's telemetry through an
+// ordered-replay Buffer so parallel stepping emits events and period
+// samples in node-index order at the merge barrier, byte-identical to
+// the sequential path. Phase spans pass through unbuffered (the hub
+// serializes them; the zero clock used in seeded contexts makes every
+// span 0 s, so the exposition is unchanged too). Installation is
+// one-shot and sticky: once a rack has stepped with Workers > 1, its
+// telemetry stays staged-and-flushed even if Workers later drops to 1
+// — the output bytes are the same either way.
+func (c *Coordinator) installBuffers() {
+	if c.buffers != nil {
+		return
+	}
+	c.buffers = make([]*telemetry.Buffer, len(c.Nodes))
+	for i, n := range c.Nodes {
+		h := n.harness
+		if h.Telemetry == nil {
+			continue
+		}
+		b := telemetry.NewBuffer(h.Telemetry)
+		h.SetTelemetry(b, h.TelemetryNode)
+		c.buffers[i] = b
+	}
 }
 
 // emitNodeEvent reports node i's death or recovery. The per-node sink
@@ -423,6 +503,7 @@ func (c *Coordinator) ensureState() {
 		c.lastReport = make([]float64, len(c.Nodes))
 		c.haveReport = make([]bool, len(c.Nodes))
 		c.deadPrev = make([]bool, len(c.Nodes))
+		c.buffers = nil // re-install for the new node set
 	}
 }
 

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// badPolicy returns the wrong number of caps, violating the Allocate
+// contract the coordinator checks.
+type badPolicy struct{}
+
+func (badPolicy) Name() string { return "bad" }
+func (badPolicy) Allocate(totalW float64, obs []Observation) []float64 {
+	return make([]float64, len(obs)+1)
+}
+
+// TestStepWrongCapCount: a policy violating the one-cap-per-node
+// contract fails the reallocation barrier before any node steps, so no
+// period records are appended anywhere.
+func TestStepWrongCapCount(t *testing.T) {
+	nodes := []*Node{cheapNode(t, "a", 1), cheapNode(t, "b", 2)}
+	c, err := NewCoordinator(nodes, badPolicy{}, func(int) float64 { return 1200 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Step(0)
+	if err == nil || !strings.Contains(err.Error(), "returned 3 caps for 2 nodes") {
+		t.Fatalf("want cap-count contract error, got %v", err)
+	}
+	for _, n := range nodes {
+		if len(n.Records()) != 0 {
+			t.Errorf("node %s has %d records after a failed reallocation", n.Name, len(n.Records()))
+		}
+	}
+}
+
+// TestStepNodeFailureNoPartialRecords: when one node's loop fails
+// mid-period, the staged commit must drop the whole period — no node,
+// failing or healthy, may keep a record for it — at every worker
+// count, and the failing node must be named deterministically.
+func TestStepNodeFailureNoPartialRecords(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		nodes := []*Node{cheapNode(t, "a", 1), cheapNode(t, "b", 2), cheapNode(t, "c", 3)}
+		c, err := NewCoordinator(nodes, Uniform{}, func(int) float64 { return 1800 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Workers = workers
+		if err := c.Step(0); err != nil {
+			t.Fatal(err)
+		}
+		// Break node b for the next period only.
+		nodes[1].Harness().PeriodSeconds = -1
+		err = c.Step(1)
+		if err == nil || !strings.Contains(err.Error(), "node b") {
+			t.Fatalf("workers=%d: want node b's failure, got %v", workers, err)
+		}
+		for _, n := range nodes {
+			if len(n.Records()) != 1 {
+				t.Errorf("workers=%d: node %s has %d records, want only the first period",
+					workers, n.Name, len(n.Records()))
+			}
+		}
+		// Recovery: fixing the node resumes clean stepping.
+		nodes[1].Harness().PeriodSeconds = 4
+		if err := c.Step(2); err != nil {
+			t.Fatalf("workers=%d: step after repair: %v", workers, err)
+		}
+		for _, n := range nodes {
+			if len(n.Records()) != 2 {
+				t.Errorf("workers=%d: node %s has %d records after repair, want 2",
+					workers, n.Name, len(n.Records()))
+			}
+		}
+	}
+}
+
+// TestStepFailureDiscardsStagedTelemetry: in parallel mode the failed
+// period's staged telemetry is discarded along with the records, so
+// the next successful period starts from a clean stage.
+func TestStepFailureDiscardsStagedTelemetry(t *testing.T) {
+	c, hub := parallelRack(t, 47, 4, nil)
+	if err := c.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	before := hub.EventsTotal()
+	c.Nodes[2].Harness().PeriodSeconds = -1
+	if err := c.Step(1); err == nil {
+		t.Fatal("want step failure")
+	}
+	// Only barrier-side events (reallocation, death/recovery) may have
+	// landed for the failed period; node-loop events must not.
+	for _, e := range hub.Events() {
+		if e.Period == 1 && e.Type != "reallocation" && e.Type != "node-dead" && e.Type != "node-recovered" {
+			t.Errorf("node-loop event %q leaked from the failed period", e.Type)
+		}
+	}
+	c.Nodes[2].Harness().PeriodSeconds = 4
+	if err := c.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	if hub.EventsTotal() <= before {
+		t.Error("no events recorded after the repaired period")
+	}
+}

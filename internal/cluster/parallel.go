@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runIndexed runs fn(i) for every i in [0, n), fanning the calls out
+// across at most workers goroutines. workers <= 1 degenerates to a
+// plain index-order loop on the calling goroutine, so the sequential
+// path stays exactly what it was before parallel stepping existed.
+//
+// This is the repo's one approved goroutine-launch site inside the
+// determinism lint scope (the determinism analyzer flags `go`
+// statements anywhere else): callers get parallelism only between
+// barriers, must stage any ordered output in pre-sized per-index
+// slots, and merge in index order after runIndexed returns. The
+// WaitGroup provides the happens-before edge that makes the staged
+// slots safe to read without further synchronization.
+func runIndexed(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

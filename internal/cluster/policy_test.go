@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// near compares within an absolute tolerance loose enough for the
+// policies' float arithmetic.
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDistributeSpare(t *testing.T) {
+	obs3 := []Observation{
+		{MinW: 100, MaxW: 300},
+		{MinW: 100, MaxW: 400},
+		{MinW: 100, MaxW: 500},
+	}
+	cases := []struct {
+		name  string
+		out   []float64
+		obs   []Observation
+		spare float64
+		want  []float64
+	}{
+		{"absorbed by first node's headroom", []float64{200, 200, 200}, obs3, 50, []float64{250, 200, 200}},
+		{"overflows across nodes in order", []float64{250, 350, 200}, obs3, 150, []float64{300, 400, 250}},
+		{"excess beyond all ceilings is dropped", []float64{300, 400, 450}, obs3, 500, []float64{300, 400, 500}},
+		{"zero spare is a no-op", []float64{200, 200, 200}, obs3, 0, []float64{200, 200, 200}},
+		{"negative spare is a no-op", []float64{200, 200, 200}, obs3, -10, []float64{200, 200, 200}},
+		{"empty observation set", nil, nil, 100, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := append([]float64(nil), tc.out...)
+			distributeSpare(out, tc.obs, tc.spare)
+			if len(out) != len(tc.want) {
+				t.Fatalf("len %d, want %d", len(out), len(tc.want))
+			}
+			for i := range out {
+				if !near(out[i], tc.want[i]) {
+					t.Errorf("out[%d] = %v, want %v", i, out[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// policyCase is one table entry shared across the three Allocate
+// implementations; want is keyed by policy name.
+type policyCase struct {
+	name   string
+	totalW float64
+	obs    []Observation
+	want   map[string][]float64
+}
+
+func TestPolicyAllocateTables(t *testing.T) {
+	policies := []Policy{Uniform{}, DemandProportional{}, Priority{}}
+	cases := []policyCase{
+		{
+			// All nodes dead: reallocate never calls Allocate with an
+			// empty live set, but the policies must still be total.
+			name: "all-dead empty observation set", totalW: 900,
+			obs: nil,
+			want: map[string][]float64{
+				"uniform": {}, "demand-proportional": {}, "priority": {},
+			},
+		},
+		{
+			name: "single live node clamps to its ceiling", totalW: 900,
+			obs: []Observation{{MinW: 100, MaxW: 400, Demand: 0.5, Priority: 1}},
+			want: map[string][]float64{
+				"uniform": {400}, "demand-proportional": {400}, "priority": {400},
+			},
+		},
+		{
+			name: "single live node under-budget floors", totalW: 50,
+			obs: []Observation{{MinW: 100, MaxW: 400, Demand: 1}},
+			want: map[string][]float64{
+				"uniform": {100}, "demand-proportional": {100}, "priority": {100},
+			},
+		},
+		{
+			// Zero demand everywhere: demand-proportional falls back to
+			// greedy spare distribution above the floors.
+			name: "zero demand", totalW: 600,
+			obs: []Observation{
+				{MinW: 100, MaxW: 500, Demand: 0, Priority: 0},
+				{MinW: 100, MaxW: 150, Demand: 0, Priority: 2},
+			},
+			want: map[string][]float64{
+				"uniform":             {450, 150}, // clamp spillover refills node 0
+				"demand-proportional": {500, 100},
+				"priority":            {450, 150}, // class 2 to its ceiling, rest to class 0
+			},
+		},
+		{
+			name: "demand splits the remainder", totalW: 500,
+			obs: []Observation{
+				{MinW: 100, MaxW: 500, Demand: 0.75, Priority: 0},
+				{MinW: 100, MaxW: 500, Demand: 0.25, Priority: 1},
+			},
+			want: map[string][]float64{
+				"uniform":             {250, 250},
+				"demand-proportional": {325, 175}, // floors + 300 split 3:1
+				"priority":            {100, 400}, // priority 1 takes the whole remainder
+			},
+		},
+	}
+	for _, tc := range cases {
+		for _, pol := range policies {
+			want, ok := tc.want[pol.Name()]
+			if !ok {
+				t.Fatalf("case %q missing expectation for %s", tc.name, pol.Name())
+			}
+			t.Run(tc.name+"/"+pol.Name(), func(t *testing.T) {
+				got := pol.Allocate(tc.totalW, tc.obs)
+				if len(got) != len(want) {
+					t.Fatalf("%d caps, want %d", len(got), len(want))
+				}
+				sum := 0.0
+				for i := range got {
+					if !near(got[i], want[i]) {
+						t.Errorf("cap[%d] = %v, want %v", i, got[i], want[i])
+					}
+					sum += got[i]
+				}
+				// The policy contract: caps sum to at most the budget
+				// whenever the budget covers the floors.
+				floors := 0.0
+				for _, o := range tc.obs {
+					floors += o.MinW
+				}
+				if tc.totalW >= floors && sum > tc.totalW+1e-9 {
+					t.Errorf("caps sum %v exceeds budget %v", sum, tc.totalW)
+				}
+			})
+		}
+	}
+}

@@ -570,6 +570,14 @@ type DegradeConfig struct {
 // Harness runs a PowerController against a simulated server: the §3.1
 // feedback loop (measure → decide → modulate → actuate), with the
 // fault-injection and graceful-degradation plumbing of internal/faults.
+//
+// A Harness is single-goroutine: it owns its server, meter, actuator
+// bank, and flight recorder, none of which are safe for concurrent
+// use. Rack-scale parallelism (cluster.Coordinator.Workers) steps many
+// harnesses concurrently, one goroutine per harness at a time — the
+// only shared object a harness may touch from its loop is a
+// thread-safe telemetry sink (the hub, or a cluster-installed
+// telemetry.Buffer that the coordinator flushes at its barrier).
 type Harness struct {
 	Server     *sim.Server
 	Meter      *power.Meter

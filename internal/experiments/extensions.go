@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sysid"
@@ -271,6 +272,16 @@ type ClusterOptions struct {
 	// Faults carries the rack-plane fault schedule (server-dropout
 	// entries, target = node index, drive heartbeat misses).
 	Faults *faults.Schedule
+	// Workers sets cluster.Coordinator.Workers: the fan-out width for
+	// per-node stepping (0 = GOMAXPROCS, 1 = sequential). Any value
+	// yields the byte-identical run.
+	Workers int
+	// Flight, when non-nil, is called once per node with the node's
+	// telemetry label ("<policy>/<node>") and may return a flight
+	// recorder to attach to that node's harness (nil = leave the node
+	// unrecorded). One recorder per node: recorders are single-loop
+	// objects and must not be shared across nodes.
+	Flight func(label string) *flight.Recorder
 }
 
 // clusterNode builds one managed server with the given pipeline count.
@@ -348,7 +359,15 @@ func ExtensionClusterOpts(seed int64, periods int, budgetW float64, opts Cluster
 				return nil, err
 			}
 			if opts.Telemetry != nil {
-				n.Harness().SetTelemetry(opts.Telemetry, pol.Name()+"/"+spec.name)
+				// A per-node sink (not the bare hub) so concurrent phase
+				// spans from parallel node stepping key by node.
+				label := pol.Name() + "/" + spec.name
+				n.Harness().SetTelemetry(opts.Telemetry.NodeSink(label), label)
+			}
+			if opts.Flight != nil {
+				if rec := opts.Flight(pol.Name() + "/" + spec.name); rec != nil {
+					n.Harness().SetFlight(rec)
+				}
 			}
 			nodes = append(nodes, n)
 		}
@@ -357,6 +376,7 @@ func ExtensionClusterOpts(seed int64, periods int, budgetW float64, opts Cluster
 			return nil, err
 		}
 		coord.Faults = opts.Faults
+		coord.Workers = opts.Workers
 		if opts.Telemetry != nil {
 			coord.Telemetry = opts.Telemetry.NodeSink(pol.Name())
 			sinks := make([]telemetry.Sink, len(nodes))

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/flight"
+	"repro/internal/telemetry"
+)
+
+// rackGoldenSchedule is the fault scenario the rack equivalence
+// contract is proven under: a node death crossing the heartbeat
+// threshold plus meter faults inside the surviving control loops, so
+// the StepUncontrolled path, the reallocation reserve, and the
+// degradation machinery all run.
+const rackGoldenSchedule = "server-dropout@8+10:node1;meter-dropout@5+4;meter-spike@20+4*250;actuator-loss@30+4:gpu1*0.7"
+
+// rackArtifacts runs the seeded synthetic fleet at the given worker
+// count and returns every observable output channel: per-node CSV,
+// the JSONL event stream, the per-node flight JSONL (concatenated in
+// node order), and the final Prometheus exposition.
+func rackArtifacts(t *testing.T, workers int) (csv, events, flightLog, prom []byte) {
+	t.Helper()
+	const seed, nodes, periods = 7, 6, 40
+	sched, err := faults.Parse(rackGoldenSchedule, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eventsBuf bytes.Buffer
+	hub := telemetry.New(telemetry.Config{JSONL: &eventsBuf})
+	flights := map[string]*bytes.Buffer{}
+	opts := ClusterOptions{
+		Telemetry: hub,
+		Faults:    sched,
+		Workers:   workers,
+		Flight: func(label string) *flight.Recorder {
+			buf := &bytes.Buffer{}
+			flights[label] = buf
+			return flight.NewRecorder(flight.Config{JSONL: buf})
+		},
+	}
+	coord, err := NewScaleCoordinator(seed, nodes, cluster.DemandProportional{}, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Run(periods); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if err := hub.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	var csvBuf bytes.Buffer
+	for _, n := range coord.Nodes {
+		fmt.Fprintf(&csvBuf, "# node %s\n", n.Name)
+		csvBuf.Write(replayTrace(t, n.Records()))
+	}
+	labels := make([]string, 0, len(flights))
+	for l := range flights {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var flightBuf bytes.Buffer
+	for _, l := range labels {
+		fmt.Fprintf(&flightBuf, "# %s\n", l)
+		flightBuf.Write(flights[l].Bytes())
+	}
+	var promBuf bytes.Buffer
+	if err := hub.Registry().WritePrometheus(&promBuf); err != nil {
+		t.Fatal(err)
+	}
+	return csvBuf.Bytes(), eventsBuf.Bytes(), flightBuf.Bytes(), promBuf.Bytes()
+}
+
+// TestRackParallelGoldenEquivalence extends TestSeededReplayGolden's
+// byte-identity contract from one server to the rack: with faults and
+// a node death in play, Workers=2 and Workers=8 must reproduce the
+// sequential (Workers=1) run byte-for-byte on all four channels —
+// per-node CSV, events JSONL, per-node flight JSONL, and the
+// Prometheus exposition.
+func TestRackParallelGoldenEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	refCSV, refEvents, refFlight, refProm := rackArtifacts(t, 1)
+	if len(refFlight) == 0 || len(refEvents) == 0 {
+		t.Fatal("reference run produced empty artifacts")
+	}
+	for _, workers := range []int{2, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			csv, events, flightLog, prom := rackArtifacts(t, workers)
+			if !bytes.Equal(csv, refCSV) {
+				t.Error("per-node CSV diverges from the sequential run")
+			}
+			if !bytes.Equal(events, refEvents) {
+				t.Errorf("events JSONL diverges (%d vs %d bytes)", len(events), len(refEvents))
+			}
+			if !bytes.Equal(flightLog, refFlight) {
+				t.Errorf("flight JSONL diverges (%d vs %d bytes)", len(flightLog), len(refFlight))
+			}
+			if !bytes.Equal(prom, refProm) {
+				t.Error("Prometheus exposition diverges")
+			}
+		})
+	}
+}
+
+// TestScaleFleetDeterministicConstruction: two fleets from one seed
+// are replicas (same names, classes, and power ranges), and fleet
+// construction rejects a non-positive size.
+func TestScaleFleetDeterministicConstruction(t *testing.T) {
+	a, err := NewScaleFleet(11, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewScaleFleet(11, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Priority != b[i].Priority {
+			t.Fatalf("node %d: %s/%d vs %s/%d", i, a[i].Name, a[i].Priority, b[i].Name, b[i].Priority)
+		}
+		loA, hiA := a[i].Server.PowerRange()
+		loB, hiB := b[i].Server.PowerRange()
+		if loA != loB || hiA != hiB {
+			t.Fatalf("node %d power range diverges: [%v,%v] vs [%v,%v]", i, loA, hiA, loB, hiB)
+		}
+	}
+	if _, err := NewScaleFleet(11, 0); err == nil {
+		t.Fatal("want error for empty fleet")
+	}
+}
+
+// TestRunScaleRack smoke-tests the fleet summary used by capgpu-rack
+// -nodes mode: the rack holds its default budget and reports the
+// injected node death.
+func TestRunScaleRack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sched, err := faults.Parse("server-dropout@4+40:node2", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := RunScaleRack(9, 24, 4, nil, 0, ClusterOptions{Faults: sched, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Nodes != 4 || row.Policy != "demand-proportional" {
+		t.Fatalf("unexpected row identity: %+v", row)
+	}
+	if row.BudgetW != DefaultNodeBudgetW*4 {
+		t.Fatalf("default budget = %v", row.BudgetW)
+	}
+	if row.DeadNodes != 1 {
+		t.Fatalf("dead nodes = %d, want 1", row.DeadNodes)
+	}
+	if row.Uncontrolled == 0 {
+		t.Fatal("dropout produced no open-loop periods")
+	}
+	if row.SteadyTotalW <= 0 || row.AggThroughput <= 0 {
+		t.Fatalf("degenerate aggregates: %+v", row)
+	}
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sysid"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// This file scales the E3x rack from the 3-server showcase to the
+// fleet sizes the parallel coordinator exists for (capgpu-rack
+// -nodes N -workers W, BenchmarkRackStep). Running a full system
+// identification per node would dominate fleet construction at
+// hundreds of nodes, so the fleet identifies one power model per
+// workload class (heavy / medium / light — 3 / 2 / 1 busy pipelines)
+// on a twin and shares the *identified coefficients* across that
+// class's nodes; every node still owns its private seeded server,
+// pipelines, controller, and model copy, so node loops stay fully
+// independent between reallocation barriers.
+
+// scaleClasses is the per-class workload template, cycled across the
+// fleet (node i gets class i%3).
+var scaleClasses = []struct {
+	name      string
+	pipelines int
+	priority  int
+}{
+	{"heavy", 3, 2}, {"medium", 2, 1}, {"light", 1, 0},
+}
+
+// DefaultNodeBudgetW is the per-node share used when a fleet budget is
+// not given explicitly: the 3-node rack's standard 2850 W breaker
+// divided by its 3 servers.
+const DefaultNodeBudgetW = 950
+
+// scaleServer builds one class instance of the evaluation server.
+func scaleServer(seed int64, pipelines int) (*sim.Server, error) {
+	s, err := sim.NewServer(sim.DefaultTestbed(seed))
+	if err != nil {
+		return nil, err
+	}
+	cfgs := evalPipelineConfigs(seed)
+	for i := 0; i < pipelines && i < len(cfgs); i++ {
+		p, err := workload.NewPipeline(cfgs[i])
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AttachPipeline(i, p); err != nil {
+			return nil, err
+		}
+	}
+	w, err := workload.NewCPUWorkload(workload.CPUWorkloadConfig{
+		RateAtMax: 40, FcMax: 2.4, NoiseStd: 0.02, Seed: seed + 9})
+	if err != nil {
+		return nil, err
+	}
+	s.AttachCPUWorkload(w)
+	return s, nil
+}
+
+// NewScaleFleet builds a synthetic fleet of n nodes named n000, n001, …
+// cycling through the heavy/medium/light workload classes. Each node's
+// server and pipelines are seeded from the fleet seed plus the node
+// index, so no two nodes share an RNG stream.
+func NewScaleFleet(seed int64, n int) ([]*cluster.Node, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("experiments: fleet size %d must be positive", n)
+	}
+	// One identification per class, on a twin seeded away from every
+	// fleet member.
+	models := make([]*sysid.Model, len(scaleClasses))
+	for c, cls := range scaleClasses {
+		twin, err := scaleServer(seed+5000+int64(c), cls.pipelines)
+		if err != nil {
+			return nil, err
+		}
+		m, _, err := sysid.Identify(twin, sysid.ExciteConfig{})
+		if err != nil {
+			return nil, err
+		}
+		models[c] = m
+	}
+	nodes := make([]*cluster.Node, 0, n)
+	for i := 0; i < n; i++ {
+		cls := scaleClasses[i%len(scaleClasses)]
+		s, err := scaleServer(seed+int64(i)*37, cls.pipelines)
+		if err != nil {
+			return nil, err
+		}
+		// Private model copy: controllers may adapt gains in place, and
+		// shared coefficients would couple the node loops.
+		m := *models[i%len(scaleClasses)]
+		m.Gains = append([]float64(nil), m.Gains...)
+		ctrl, err := core.NewCapGPU(&m, s, nil, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		node, err := cluster.NewNode(fmt.Sprintf("n%03d", i), s, ctrl, cls.priority)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, node)
+	}
+	return nodes, nil
+}
+
+// NewScaleCoordinator builds a ready-to-run coordinator over a
+// synthetic fleet of n nodes: policy allocation under a fixed breaker
+// budget (budgetW <= 0 defaults to DefaultNodeBudgetW per node), the
+// optional rack-plane fault schedule and telemetry hub from opts wired
+// exactly as the 3-node rack wires them (per-node "<policy>/<node>"
+// labels), and Workers set from opts.
+func NewScaleCoordinator(seed int64, n int, policy cluster.Policy, budgetW float64, opts ClusterOptions) (*cluster.Coordinator, error) {
+	if policy == nil {
+		policy = cluster.DemandProportional{}
+	}
+	if budgetW <= 0 {
+		budgetW = DefaultNodeBudgetW * float64(n)
+	}
+	nodes, err := NewScaleFleet(seed, n)
+	if err != nil {
+		return nil, err
+	}
+	for _, node := range nodes {
+		label := policy.Name() + "/" + node.Name
+		if opts.Faults != nil {
+			node.SetFaults(opts.Faults)
+		}
+		if opts.Telemetry != nil {
+			// Per-node sink, not the bare hub: phase spans from
+			// parallel node stepping must key by node.
+			node.Harness().SetTelemetry(opts.Telemetry.NodeSink(label), label)
+		}
+		if opts.Flight != nil {
+			if rec := opts.Flight(label); rec != nil {
+				node.Harness().SetFlight(rec)
+			}
+		}
+	}
+	coord, err := cluster.NewCoordinator(nodes, policy, func(int) float64 { return budgetW })
+	if err != nil {
+		return nil, err
+	}
+	coord.Faults = opts.Faults
+	coord.Workers = opts.Workers
+	if opts.Telemetry != nil {
+		coord.Telemetry = opts.Telemetry.NodeSink(policy.Name())
+		sinks := make([]telemetry.Sink, len(nodes))
+		for i, node := range nodes {
+			sinks[i] = opts.Telemetry.NodeSink(policy.Name() + "/" + node.Name)
+		}
+		coord.NodeTelemetry = sinks
+	}
+	return coord, nil
+}
+
+// ScaleRackRow condenses a fleet run for capgpu-rack's -nodes mode:
+// per-node tables stop scaling at hundreds of nodes, so the fleet
+// reports rack-level aggregates plus health counts.
+type ScaleRackRow struct {
+	Policy            string
+	Nodes             int
+	Workers           int
+	BudgetW           float64
+	SteadyTotalW      float64
+	OverBudgetPeriods int
+	AggThroughput     float64
+	DeadNodes         int // nodes dead at end of run
+	CapViolations     int // summed over nodes
+	DegradedPeriods   int // summed over nodes
+	Uncontrolled      int // open-loop node-periods
+}
+
+// RunScaleRack builds and runs a synthetic fleet for the given number
+// of periods and summarizes it.
+func RunScaleRack(seed int64, periods, n int, policy cluster.Policy, budgetW float64, opts ClusterOptions) (*ScaleRackRow, error) {
+	if periods <= 0 {
+		periods = 60
+	}
+	coord, err := NewScaleCoordinator(seed, n, policy, budgetW, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := coord.Run(periods); err != nil {
+		return nil, fmt.Errorf("experiments: scale rack %s: %w", coord.Policy.Name(), err)
+	}
+	budget := coord.BudgetW(0)
+	total := coord.TotalPowerSeries()
+	steady := total[periods/2:]
+	mean, over := 0.0, 0
+	for _, p := range steady {
+		mean += p
+		if p > budget*1.015 {
+			over++
+		}
+	}
+	row := &ScaleRackRow{
+		Policy:            coord.Policy.Name(),
+		Nodes:             n,
+		Workers:           opts.Workers,
+		BudgetW:           budget,
+		SteadyTotalW:      mean / float64(len(steady)),
+		OverBudgetPeriods: over,
+		AggThroughput:     coord.AggregateThroughput(periods / 2),
+	}
+	for i, node := range coord.Nodes {
+		if coord.NodeDead(i) {
+			row.DeadNodes++
+		}
+		s := SummarizeNode(node.Name, node.Records())
+		row.CapViolations += s.CapViolations
+		row.DegradedPeriods += s.DegradedPeriods
+		row.Uncontrolled += s.UncontrolledPeriods
+	}
+	return row, nil
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// BenchmarkRackStep measures one coordinator period over synthetic
+// fleets at several sizes and worker counts. The workers=1 row is the
+// sequential baseline; the speedup of workers=8 over it is the
+// parallel-stepping payoff and scales with available cores (a
+// single-CPU runner shows ~1×; the equivalence suite guarantees the
+// bytes are identical either way, so the speedup is free).
+func BenchmarkRackStep(b *testing.B) {
+	for _, nodes := range []int{16, 128} {
+		for _, workers := range []int{1, 2, 8} {
+			b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
+				coord, err := NewScaleCoordinator(4, nodes, cluster.DemandProportional{}, 0,
+					ClusterOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := coord.Step(i); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

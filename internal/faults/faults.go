@@ -25,6 +25,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -178,6 +179,12 @@ func parseEntry(entry string) (Fault, error) {
 		if err != nil {
 			return f, fmt.Errorf("faults: %q: bad magnitude: %w", entry, err)
 		}
+		// NaN/Inf magnitudes would poison every downstream comparison
+		// (a NaN spike delta walks into the meter stream; found by the
+		// parser fuzz target).
+		if math.IsNaN(mag) || math.IsInf(mag, 0) {
+			return f, fmt.Errorf("faults: %q: magnitude must be finite", entry)
+		}
 		f.Magnitude = mag
 		rest = rest[:i]
 	}
@@ -208,6 +215,12 @@ func parseEntry(entry string) (Fault, error) {
 	dur, err := strconv.Atoi(rest[plus+1:])
 	if err != nil || dur <= 0 {
 		return f, fmt.Errorf("faults: %q: bad duration", entry)
+	}
+	// Guard Start+Duration against int overflow: a wrapped End() would
+	// make ActiveAt silently false for the whole window (found by the
+	// parser fuzz target).
+	if start > math.MaxInt-dur {
+		return f, fmt.Errorf("faults: %q: start+duration overflows", entry)
 	}
 	f.Start, f.Duration = start, dur
 	return f, nil

@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the DSL parser with arbitrary input: it must never
+// panic, and every schedule it accepts must be well-formed — finite
+// magnitudes, non-wrapping windows, a round trip through Fault.String
+// that re-parses to the same fault, and query methods that are total
+// over a sample of periods.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"meter-dropout@20+10",
+		"meter-dropout@20+10;actuator-loss@40+6:gpu1;gpu-derate@50+20:gpu0*0.6",
+		"meter-spike@40+4*250",
+		"server-dropout@6+8:node1;server-dropout@16+1:node2",
+		"meter-stuck@25+4:all",
+		"actuator-loss@1+2:cpu*0.5",
+		"gpu-fail@3+9:gpu2",
+		"meter-spike@0+1*-250.5",
+		"  meter-dropout@0+1 ; ",
+		"",
+		";",
+		"@+",
+		"meter-dropout@-1+5",
+		"meter-dropout@5+0",
+		"meter-spike@1+1*NaN",
+		"meter-spike@1+1*+Inf",
+		"meter-dropout@9223372036854775806+5",
+		"bogus-kind@1+1",
+		"meter-dropout@1+1:node-3",
+		"actuator-loss@1+1:gpu99999999999999999999",
+		"meter-dropout@1+1:gpu*2",
+		"a@b+c:d*e",
+		strings.Repeat("meter-dropout@1+1;", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, dsl string) {
+		s, err := Parse(dsl, 7)
+		if err != nil {
+			return
+		}
+		for _, flt := range s.Faults {
+			if math.IsNaN(flt.Magnitude) || math.IsInf(flt.Magnitude, 0) {
+				t.Fatalf("accepted non-finite magnitude: %+v", flt)
+			}
+			if flt.End() < flt.Start {
+				t.Fatalf("window wraps: %+v", flt)
+			}
+			// Round trip: the canonical rendering must re-parse to the
+			// identical fault.
+			back, err := parseEntry(flt.String())
+			if err != nil {
+				t.Fatalf("%v does not re-parse: %v", flt.String(), err)
+			}
+			if back != flt {
+				t.Fatalf("round trip changed %+v into %+v", flt, back)
+			}
+		}
+		// Query methods must be total on accepted schedules.
+		for _, k := range []int{0, 1, s.Faults[0].Start, s.Faults[0].End() - 1} {
+			s.ActiveAt(k)
+			s.MeterFaultAt(k)
+			s.SpikeSample(k, 4)
+			for dev := -1; dev < 4; dev++ {
+				s.ActuatorLostAt(k, dev, 0)
+				s.GPUDerateAt(k, dev)
+				s.GPUFailedAt(k, dev)
+				s.ServerDownAt(k, dev)
+			}
+		}
+	})
+}

@@ -161,6 +161,11 @@ type Config struct {
 // Recorder keeps the bounded DecisionRecord ring and scores one-step
 // predictions as records arrive. It is owned by a single harness loop
 // and is not safe for concurrent use (matching the harness itself).
+// Under parallel rack stepping (cluster.Coordinator.Workers > 1) each
+// node therefore needs its own Recorder with its own JSONL writer;
+// per-node streams stay internally ordered and byte-identical at any
+// worker count, where a shared writer would interleave
+// nondeterministically.
 type Recorder struct {
 	ring  []DecisionRecord
 	head  int

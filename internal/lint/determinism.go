@@ -18,7 +18,12 @@ import (
 //     which draw from the shared global source instead of a seeded
 //     *rand.Rand;
 //   - appends or prints inside a `for … range someMap` body, whose
-//     order changes run to run.
+//     order changes run to run;
+//   - `go` statements anywhere but the one approved worker-pool helper
+//     (cluster.runIndexed), because ad-hoc goroutines interleave
+//     emission order and race the seeded timeline. Parallel fan-out
+//     must go through runIndexed, whose callers commit results behind
+//     a barrier in node-index order.
 type Determinism struct {
 	scope []string
 }
@@ -35,6 +40,7 @@ func DefaultDeterminismScope() []string {
 		"internal/sim",
 		"internal/faults",
 		"internal/core",
+		"internal/cluster",
 		"internal/mpc",
 		"internal/experiments",
 		"internal/telemetry",
@@ -87,8 +93,16 @@ func (d *Determinism) Analyze(p *Package) []Diagnostic {
 		})
 	}
 	for _, f := range p.Files {
+		approved := approvedGoRanges(p.Path, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.GoStmt:
+				for _, r := range approved {
+					if n.Pos() >= r[0] && n.Pos() < r[1] {
+						return true
+					}
+				}
+				diag(n.Pos(), "go statement in a seeded-replay package: goroutines interleave emission order; fan out through cluster.runIndexed and commit behind its barrier")
 			case *ast.CallExpr:
 				path, name, ok := pkgFunc(p, n)
 				if !ok {
@@ -113,6 +127,25 @@ func (d *Determinism) Analyze(p *Package) []Diagnostic {
 			}
 			return true
 		})
+	}
+	return out
+}
+
+// approvedGoRanges returns the source ranges where a `go` statement is
+// sanctioned: the body of cluster's runIndexed worker-pool helper, the
+// repo's one approved goroutine-launch site inside the determinism
+// scope. Everything else uses //lint:ignore with a stated reason.
+func approvedGoRanges(pkgPath string, f *ast.File) [][2]token.Pos {
+	if !strings.Contains(pkgPath, "internal/cluster") {
+		return nil
+	}
+	var out [][2]token.Pos
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv != nil || fd.Name.Name != "runIndexed" || fd.Body == nil {
+			continue
+		}
+		out = append(out, [2]token.Pos{fd.Body.Pos(), fd.Body.End()})
 	}
 	return out
 }

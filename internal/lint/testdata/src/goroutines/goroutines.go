@@ -1,0 +1,47 @@
+// Package gofix exercises the determinism analyzer's goroutine rule.
+// The test loads it under an import path containing "internal/cluster"
+// so both the seeded-replay scope and the runIndexed carve-out apply.
+package gofix
+
+import "sync"
+
+// Leak launches an ad-hoc goroutine: its writes interleave with the
+// seeded timeline in scheduler order, so it is flagged.
+func Leak(ch chan int) {
+	go func() { ch <- 1 }() // want determinism
+}
+
+// runIndexed mirrors cluster's approved worker-pool helper: `go` is
+// sanctioned only inside this function body.
+func runIndexed(workers, n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Fan uses the approved helper and is clean.
+func Fan(n int, fn func(int)) {
+	runIndexed(2, n, fn)
+}
+
+// Serve shows the escape hatch: a goroutine with a stated reason.
+func Serve(start func()) {
+	//lint:ignore determinism server goroutine never touches the seeded timeline
+	go start()
+}
+
+// runIndexedMethod shares the name but is a method, not the helper: a
+// method receiver means it is NOT the sanctioned free function.
+type pool struct{}
+
+func (pool) runIndexedMethod(fn func()) {
+	go fn() // want determinism
+}

@@ -1,0 +1,70 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseReadingsLenient hammers the lenient meter-file parser with
+// arbitrary bytes: it must never panic, never fail (lenient mode skips
+// garbage rather than erroring on it), and every reading it does accept
+// must carry a finite timestamp and a power value that the strict
+// parser would also have accepted on its own.
+func FuzzParseReadingsLenient(f *testing.F) {
+	seeds := []string{
+		"0.000 285000\n1.000 291500\n",
+		"# comment\n\n  2.5 300000  \n",
+		"1.0 285000\ngarbage line\n2.0 290000\n",
+		"1.0\n",
+		"1.0 2.0 3.0\n",
+		"NaN 285000\n",
+		"Inf 285000\n",
+		"1e308 285000\n",
+		"1.0 99999999999999999999\n",
+		"1.0 -285000\n",
+		"-1.5 0\n",
+		"",
+		"\n\n\n",
+		"#\n# only comments\n",
+		"0x10 285000\n",
+		"1.0 285000", // no trailing newline
+		strings.Repeat("1.0 285000\n", 100),
+		strings.Repeat("x", 200) + " 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		rs, skipped, err := ParseReadingsLenient(strings.NewReader(in))
+		if err != nil {
+			// Only the underlying reader can error; a strings.Reader
+			// fails solely on pathological line lengths (bufio limit).
+			if !strings.Contains(err.Error(), "token too long") {
+				t.Fatalf("lenient parse errored on in-memory input: %v", err)
+			}
+			return
+		}
+		if skipped < 0 {
+			t.Fatalf("negative skip count %d", skipped)
+		}
+		for i, r := range rs {
+			if math.IsNaN(r.TimeS) || math.IsInf(r.TimeS, 0) {
+				t.Fatalf("reading %d has non-finite time: %+v", i, r)
+			}
+			if math.IsNaN(r.PowerW) || math.IsInf(r.PowerW, 0) {
+				t.Fatalf("reading %d has non-finite power: %+v", i, r)
+			}
+		}
+		// Lenient and strict parses must agree whenever strict succeeds.
+		strict, serr := ParseReadings(strings.NewReader(in))
+		if serr == nil {
+			if skipped != 0 {
+				t.Fatalf("strict parse succeeded but lenient skipped %d lines", skipped)
+			}
+			if len(strict) != len(rs) {
+				t.Fatalf("strict kept %d readings, lenient %d", len(strict), len(rs))
+			}
+		}
+	})
+}

@@ -78,6 +78,7 @@ func ServeHandler(handler http.Handler, addr string) (string, error) {
 		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: handler}
+	//lint:ignore determinism the HTTP server goroutine only reads hub snapshots; it never writes to the seeded timeline
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }
