@@ -32,6 +32,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
 	measSlack := flag.Float64("slack", 0.01, "measured-violation slack fraction above the set point")
 	trueSlack := flag.Float64("true-slack", 0.02, "breaker-side violation slack fraction")
+	node := flag.String("node", "", "keep only events for this node label (plus rack-scope events) — for rack/daemon event streams covering many nodes")
 	flag.Parse()
 
 	if *flightPath == "" {
@@ -58,6 +59,19 @@ func main() {
 		if closeErr != nil {
 			fatalf("close events: %v", closeErr)
 		}
+	}
+	if *node != "" {
+		// A daemon run's event stream interleaves every member; the
+		// diagnosis of one node's flight record should only see that
+		// node's events plus the rack-scope ones (policy changes,
+		// checkpoints), matching the soak gate's slicing.
+		kept := events[:0]
+		for _, e := range events {
+			if e.Node == *node || e.Node == "rack" {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
 	}
 
 	report, err := flight.Diagnose(flight.DoctorInput{

@@ -32,6 +32,36 @@
 //	                         run instead of waiting for SIGINT
 //	-pprof                   with -metrics-addr, also serve net/http/pprof
 //	                         under /debug/pprof/
+//
+// Daemon mode (-serve) runs the long-lived control plane instead of a
+// fixed experiment: nodes join and drain at barriers, the allocation
+// policy is hot-swappable over a REST API, and versioned checkpoints
+// make the process crash-recoverable (see DESIGN.md, "Control plane &
+// daemon lifecycle"):
+//
+//	-serve                 long-running daemon; -periods 0 = run until
+//	                       SIGINT/SIGTERM (graceful: finish the period,
+//	                       flush, checkpoint, exit 0)
+//	-soak                  deterministic soak: a seeded churn/reconfig
+//	                       schedule plus diurnal/bursty load for one
+//	                       simulated day, gated by capgpu-doctor
+//	-api-addr string       control API: GET /policy (status), POST
+//	                       /policy and /membership (validated, queued,
+//	                       applied at the next reallocation barrier)
+//	-schedule string       churn DSL `kind@period[:target][*value]`:
+//	                       join, drain, kill, revive, budget, cap, slo
+//	                       (e.g. "join@40:heavy;kill@120:n000;
+//	                       budget@60*2400;cap@90:n002*700")
+//	-checkpoint string     checkpoint file (boundaries + shutdown)
+//	-checkpoint-every N    checkpoint cadence in periods
+//	-resume                restore from -checkpoint; the restored run
+//	                       re-emits byte-identical telemetry and flight
+//	                       records at any -workers count
+//	-flight-dir string     per-node flight JSONL (+ soak doctor reports)
+//	-pace duration         wall-clock pacing per period (4s = real time)
+//
+// In daemon mode crashes are injected through the schedule DSL
+// (kill@k:name), so -faults is rejected there.
 package main
 
 import (
@@ -65,11 +95,55 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "with -metrics-addr, also serve net/http/pprof under /debug/pprof/")
 	nodes := flag.Int("nodes", 0, "fleet mode: run N synthetic nodes instead of the 3-server rack")
 	workers := flag.Int("workers", 1, "worker goroutines stepping node control loops (0 = GOMAXPROCS)")
+	serve := flag.Bool("serve", false, "daemon mode: long-running control plane with membership, policy API, and checkpoints")
+	soak := flag.Bool("soak", false, "deterministic soak: seeded churn/reconfig schedule + diurnal/bursty load, gated by the doctor")
+	apiAddr := flag.String("api-addr", "", "with -serve/-soak, serve the policy/membership API on this address (e.g. :9091)")
+	schedule := flag.String("schedule", "", "with -serve, a churn/reconfig schedule in controlplane DSL (e.g. \"join@8;drain@20:n001\")")
+	checkpoint := flag.String("checkpoint", "", "with -serve/-soak, checkpoint file (written at boundaries and on shutdown)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "with -serve/-soak, checkpoint cadence in periods (0 = shutdown only; soak defaults to 500)")
+	resume := flag.Bool("resume", false, "with -serve/-soak, restore from -checkpoint instead of cold-starting")
+	flightDir := flag.String("flight-dir", "", "with -serve/-soak, write per-node flight JSONL (and soak doctor reports) here")
+	pace := flag.Duration("pace", 0, "with -serve, wall-clock delay per control period (0 = free-running; 4s = real time)")
 	flag.Parse()
 
 	if *pprofOn && *metricsAddr == "" {
 		fmt.Fprintln(os.Stderr, "capgpu-rack: -pprof requires -metrics-addr")
 		os.Exit(1)
+	}
+
+	if *serve || *soak {
+		if *faultsDSL != "" {
+			fmt.Fprintln(os.Stderr, "capgpu-rack: daemon mode injects crashes via the schedule DSL (kill@k:node), not -faults")
+			os.Exit(1)
+		}
+		// -periods keeps its classic default of 60 for batch runs; the
+		// daemon treats an unset flag as "until signal" (serve) or one
+		// simulated day (soak).
+		servePeriods := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "periods" {
+				servePeriods = *periods
+			}
+		})
+		serveBudget := 0.0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "budget" {
+				serveBudget = *budget
+			}
+		})
+		err := runServe(serveOptions{
+			seed: *seed, nodes: *nodes, budgetW: serveBudget, periods: servePeriods,
+			workers: *workers, schedule: *schedule, apiAddr: *apiAddr,
+			metricsAddr: *metricsAddr, pprofOn: *pprofOn,
+			eventsPath: *eventsPath, snapshotPath: *snapshotPath,
+			checkpointPath: *checkpoint, checkpointEvery: *checkpointEvery,
+			resume: *resume, flightDir: *flightDir, pace: *pace, soak: *soak,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capgpu-rack:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var sched *faults.Schedule

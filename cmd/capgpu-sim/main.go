@@ -179,13 +179,35 @@ func main() {
 		sink = flight.NewDumpSink(sink, recorder, f, flight.DumpConfig{})
 	}
 
+	// SIGINT/SIGTERM stop the run at the next period boundary — the
+	// in-flight period completes, every sink below still flushes, and a
+	// clean shutdown exits 0 with the periods that actually ran.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	interrupted := false
+	stop := func() bool {
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "capgpu-sim: %s — finishing the current period and flushing\n", sig)
+			interrupted = true
+			return true
+		default:
+			return false
+		}
+	}
 	res, err := experiments.RunSessionWith(*controller, *seed, *periods,
 		experiments.FixedSetpoint(*setpoint), nil, experiments.SessionOptions{
 			Faults: sched, NoDegrade: *noDegrade, Telemetry: sink, Flight: recorder,
+			Stop: stop,
 		})
+	signal.Stop(sigCh)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
 		os.Exit(1)
+	}
+	ranPeriods := len(res.Records)
+	if interrupted {
+		fmt.Printf("interrupted: ran %d of %d periods\n\n", ranPeriods, *periods)
 	}
 
 	power := res.PowerSeries()
@@ -201,7 +223,7 @@ func main() {
 	fmt.Print(trace.Chart(
 		series,
 		72, 16, *setpoint,
-		fmt.Sprintf("Server power under %s (set point %.0f W, %d periods)", res.Controller, *setpoint, *periods)))
+		fmt.Sprintf("Server power under %s (set point %.0f W, %d periods)", res.Controller, *setpoint, ranPeriods)))
 	fmt.Println()
 
 	s := res.Summary
@@ -216,7 +238,7 @@ func main() {
 			{"steady-state std", fmt.Sprintf("%.2f W", s.Std)},
 			{"RMSE vs cap", fmt.Sprintf("%.2f W", s.RMSE)},
 			{"max period power", fmt.Sprintf("%.1f W", s.MaxW)},
-			{"cap violations (>1%)", fmt.Sprintf("%d / %d periods", s.Violations, *periods)},
+			{"cap violations (>1%)", fmt.Sprintf("%d / %d periods", s.Violations, ranPeriods)},
 			{"settling time", settling},
 		}))
 
@@ -260,7 +282,7 @@ func main() {
 				{"fault schedule", sched.String()},
 				{"degraded periods (last-good fallback)", fmt.Sprintf("%d", degraded)},
 				{"fail-safe periods (descent to f_min)", fmt.Sprintf("%d", failSafe)},
-				{"true-power cap violations (>2%)", fmt.Sprintf("%d / %d periods", trueViol, *periods)},
+				{"true-power cap violations (>2%)", fmt.Sprintf("%d / %d periods", trueViol, ranPeriods)},
 				{"worst true-power excess", fmt.Sprintf("%.1f W", worst)},
 			}))
 	}

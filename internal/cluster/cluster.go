@@ -42,6 +42,10 @@ type Node struct {
 	records  []core.PeriodRecord
 	minW     float64
 	maxW     float64
+	// capCeilW is an operator-imposed ceiling on the node's share
+	// (0 = none): the control plane uses it for per-node cap policy and
+	// for stepping a draining node down before release.
+	capCeilW float64
 }
 
 // NewNode wires a server and its local controller into a managed node.
@@ -68,6 +72,32 @@ func (n *Node) Records() []core.PeriodRecord { return n.records }
 
 // Assigned returns the node's current power share.
 func (n *Node) Assigned() float64 { return n.assigned }
+
+// CapRangeW returns the node's feasible cap range as the allocator sees
+// it: the achievable floor and the ceiling after any operator clamp.
+func (n *Node) CapRangeW() (min, max float64) { return n.minW, n.effectiveMaxW() }
+
+// SetCapCeilingW imposes (or, with 0, clears) an operator ceiling on
+// the node's allocatable share. Ceilings below the node's floor clamp
+// to the floor — a node cannot be driven below its achievable minimum;
+// callers wanting less power than that must drain and release the node.
+func (n *Node) SetCapCeilingW(w float64) {
+	if w != 0 && w < n.minW {
+		w = n.minW
+	}
+	n.capCeilW = w
+}
+
+// CapCeilingW returns the operator ceiling (0 = none).
+func (n *Node) CapCeilingW() float64 { return n.capCeilW }
+
+// effectiveMaxW is the allocation ceiling after the operator clamp.
+func (n *Node) effectiveMaxW() float64 {
+	if n.capCeilW > 0 && n.capCeilW < n.maxW {
+		return n.capCeilW
+	}
+	return n.maxW
+}
 
 // SetFaults attaches a node-local fault schedule (meter, actuator and
 // GPU faults) to the node's control loop. Rack-plane server-dropout
@@ -242,10 +272,24 @@ type Coordinator struct {
 	// Faults carries the rack-plane fault schedule; ServerDropout
 	// entries (target = node index) make that node miss heartbeats.
 	Faults *faults.Schedule
+	// Silenced, when non-nil, is an additional name-keyed heartbeat
+	// override: a node for which it reports true misses period k's roll
+	// call exactly as a ServerDropout fault would. The control-plane
+	// daemon drives churn deaths through it, because names — unlike the
+	// fault DSL's node indices — stay stable as membership changes.
+	Silenced func(k int, name string) bool
 	// HeartbeatMisses is how many consecutive missed heartbeats declare
 	// a node dead and release its budget for redistribution (default 2:
 	// one miss is a transient, not a failure).
 	HeartbeatMisses int
+	// ReservationHoldPeriods bounds how long a dead node's guard-banded
+	// budget reservation is held: after this many consecutive missed
+	// heartbeats the reservation is released (with a
+	// reservation-released telemetry event) and the budget returns to
+	// the live nodes, so a permanently dead node cannot strand breaker
+	// budget forever. Default 16 periods; negative = hold forever (the
+	// pre-daemon behavior).
+	ReservationHoldPeriods int
 	// GuardBandFrac inflates a dead node's last reported power when
 	// reserving breaker budget for it (default 0.05), since a node
 	// running open-loop can drift above its last report.
@@ -265,11 +309,12 @@ type Coordinator struct {
 	// passes would collide on bare node names).
 	NodeTelemetry []telemetry.Sink
 
-	missed     []int     // consecutive missed heartbeats per node
-	lastReport []float64 // last power heard from each node
-	haveReport []bool
-	deadPrev   []bool  // death state at the previous roll call
-	reservedW  float64 // breaker budget held back at the last realloc
+	missed      []int     // consecutive missed heartbeats per node
+	lastReport  []float64 // last power heard from each node
+	haveReport  []bool
+	deadPrev    []bool  // death state at the previous roll call
+	resReleased []bool  // dead node's reservation released (hold expired)
+	reservedW   float64 // breaker budget held back at the last realloc
 	// buffers holds the per-node telemetry staging installed for
 	// parallel stepping (nil entries for nodes without telemetry);
 	// flushed in node-index order at the merge barrier.
@@ -286,12 +331,90 @@ func NewCoordinator(nodes []*Node, policy Policy, budget func(int) float64) (*Co
 	}
 	return &Coordinator{
 		Nodes: nodes, Policy: policy, BudgetW: budget, RackPeriods: 2,
-		HeartbeatMisses: 2, GuardBandFrac: 0.05,
-		missed:     make([]int, len(nodes)),
-		lastReport: make([]float64, len(nodes)),
-		haveReport: make([]bool, len(nodes)),
-		deadPrev:   make([]bool, len(nodes)),
+		HeartbeatMisses: 2, GuardBandFrac: 0.05, ReservationHoldPeriods: DefaultReservationHold,
+		missed:      make([]int, len(nodes)),
+		lastReport:  make([]float64, len(nodes)),
+		haveReport:  make([]bool, len(nodes)),
+		deadPrev:    make([]bool, len(nodes)),
+		resReleased: make([]bool, len(nodes)),
 	}, nil
+}
+
+// DefaultReservationHold is the default ReservationHoldPeriods: how many
+// consecutive missed heartbeats a dead node's budget reservation
+// survives before it is released back to the live nodes.
+const DefaultReservationHold = 16
+
+// AddNode admits a node into the rack at the next Step, splicing fresh
+// liveness bookkeeping (and, when wired, the node's telemetry sink and
+// staging buffer) alongside the existing members. The sink may be nil
+// when the rack runs uninstrumented.
+func (c *Coordinator) AddNode(n *Node, sink telemetry.Sink) error {
+	if n == nil {
+		return fmt.Errorf("cluster: AddNode: nil node")
+	}
+	for _, m := range c.Nodes {
+		if m.Name == n.Name {
+			return fmt.Errorf("cluster: AddNode: node %q already a member", n.Name)
+		}
+	}
+	c.ensureState()
+	c.Nodes = append(c.Nodes, n)
+	c.missed = append(c.missed, 0)
+	c.lastReport = append(c.lastReport, 0)
+	c.haveReport = append(c.haveReport, false)
+	c.deadPrev = append(c.deadPrev, false)
+	c.resReleased = append(c.resReleased, false)
+	if c.NodeTelemetry != nil || sink != nil {
+		for len(c.NodeTelemetry) < len(c.Nodes)-1 {
+			c.NodeTelemetry = append(c.NodeTelemetry, nil)
+		}
+		c.NodeTelemetry = append(c.NodeTelemetry, sink)
+	}
+	if c.buffers != nil {
+		var b *telemetry.Buffer
+		if h := n.harness; h.Telemetry != nil {
+			b = telemetry.NewBuffer(h.Telemetry)
+			h.SetTelemetry(b, h.TelemetryNode)
+		}
+		c.buffers = append(c.buffers, b)
+	}
+	return nil
+}
+
+// RemoveNode releases the named node from the rack, splicing its
+// bookkeeping out, and returns it (records intact) so the caller can
+// archive its history. The last member cannot be removed — a rack with
+// no nodes has nothing to coordinate.
+func (c *Coordinator) RemoveNode(name string) (*Node, error) {
+	i := -1
+	for j, n := range c.Nodes {
+		if n.Name == name {
+			i = j
+			break
+		}
+	}
+	if i < 0 {
+		return nil, fmt.Errorf("cluster: RemoveNode: no member %q", name)
+	}
+	if len(c.Nodes) == 1 {
+		return nil, fmt.Errorf("cluster: RemoveNode: %q is the last member", name)
+	}
+	c.ensureState()
+	n := c.Nodes[i]
+	c.Nodes = append(c.Nodes[:i], c.Nodes[i+1:]...)
+	c.missed = append(c.missed[:i], c.missed[i+1:]...)
+	c.lastReport = append(c.lastReport[:i], c.lastReport[i+1:]...)
+	c.haveReport = append(c.haveReport[:i], c.haveReport[i+1:]...)
+	c.deadPrev = append(c.deadPrev[:i], c.deadPrev[i+1:]...)
+	c.resReleased = append(c.resReleased[:i], c.resReleased[i+1:]...)
+	if i < len(c.NodeTelemetry) {
+		c.NodeTelemetry = append(c.NodeTelemetry[:i], c.NodeTelemetry[i+1:]...)
+	}
+	if i < len(c.buffers) {
+		c.buffers = append(c.buffers[:i], c.buffers[i+1:]...)
+	}
+	return n, nil
 }
 
 // NodeDead reports whether node i has exceeded the heartbeat-miss
@@ -328,7 +451,7 @@ func (c *Coordinator) observe(idx []int) []Observation {
 			Priority:  n.Priority,
 			AssignedW: n.assigned,
 			MinW:      n.minW,
-			MaxW:      n.maxW,
+			MaxW:      n.effectiveMaxW(),
 		}
 		if len(n.records) > 0 {
 			last := n.records[len(n.records)-1]
@@ -371,11 +494,12 @@ func (c *Coordinator) Step(k int) error {
 	}
 	c.ensureState()
 	// Heartbeat roll call for this period.
-	for i := range c.Nodes {
-		if c.Faults.ServerDownAt(k, i) {
+	for i, n := range c.Nodes {
+		if c.Faults.ServerDownAt(k, i) || (c.Silenced != nil && c.Silenced(k, n.Name)) {
 			c.missed[i]++
 		} else {
 			c.missed[i] = 0
+			c.resReleased[i] = false
 		}
 	}
 	for i, n := range c.Nodes {
@@ -495,6 +619,28 @@ func (c *Coordinator) emitNodeEvent(i int, n *Node, k int, dead bool) {
 	sink.Emit(e)
 }
 
+// emitReservationReleased reports that node i's dead-node budget
+// reservation lapsed after the hold, preferring the per-node sink so
+// the event joins that node's loop metrics.
+func (c *Coordinator) emitReservationReleased(i int, n *Node, k, hold int) {
+	sink, name := c.Telemetry, n.Name
+	if i < len(c.NodeTelemetry) && c.NodeTelemetry[i] != nil {
+		sink, name = c.NodeTelemetry[i], ""
+	}
+	if sink == nil {
+		return
+	}
+	last := n.maxW
+	if c.haveReport[i] {
+		last = c.lastReport[i]
+	}
+	sink.Emit(telemetry.Event{
+		TimeS: n.Server.Now(), Period: k, Type: telemetry.EventReservationReleased,
+		Node: name, Device: -1, Value: last * (1 + c.GuardBandFrac),
+		Detail: fmt.Sprintf("missed=%d hold=%d", c.missed[i], hold),
+	})
+}
+
 // ensureState sizes the liveness bookkeeping (for coordinators built
 // with a struct literal rather than NewCoordinator).
 func (c *Coordinator) ensureState() {
@@ -503,7 +649,11 @@ func (c *Coordinator) ensureState() {
 		c.lastReport = make([]float64, len(c.Nodes))
 		c.haveReport = make([]bool, len(c.Nodes))
 		c.deadPrev = make([]bool, len(c.Nodes))
+		c.resReleased = make([]bool, len(c.Nodes))
 		c.buffers = nil // re-install for the new node set
+	}
+	if len(c.resReleased) != len(c.Nodes) { // coordinators predating the hold
+		c.resReleased = make([]bool, len(c.Nodes))
 	}
 }
 
@@ -516,6 +666,10 @@ func (c *Coordinator) reallocate(k int) error {
 	if guard < 0 {
 		guard = 0
 	}
+	hold := c.ReservationHoldPeriods
+	if hold == 0 {
+		hold = DefaultReservationHold
+	}
 	for i, n := range c.Nodes {
 		switch {
 		case c.missed[i] == 0:
@@ -524,6 +678,17 @@ func (c *Coordinator) reallocate(k int) error {
 			// Possibly a transient: assume the node still enforces the
 			// cap it was last assigned, and hold that budget for it.
 			reserved += n.assigned
+		case hold > 0 && c.missed[i] >= hold:
+			// The hold expired: a node silent this long is not coming
+			// back on its own, and pinning its guard-banded reservation
+			// forever would strand breaker budget. Release it — once,
+			// with a telemetry event — and let the live nodes have it.
+			// (The open-loop node's residual draw is the operator's
+			// problem now: the release event is the page.)
+			if !c.resReleased[i] {
+				c.resReleased[i] = true
+				c.emitReservationReleased(i, n, k, hold)
+			}
 		default:
 			// Dead: it runs open-loop at its last reported draw; reserve
 			// that plus the guard band and redistribute the rest.

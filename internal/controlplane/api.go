@@ -1,0 +1,204 @@
+package controlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+)
+
+// NodePatch is one member's slice of a policy patch. Pointer fields
+// distinguish "leave alone" (absent) from "clear" (explicit 0).
+type NodePatch struct {
+	// CapW sets the node's cap ceiling in watts (0 clears it).
+	CapW *float64 `json:"cap_w,omitempty"`
+	// SLOLatencyS sets the node's per-GPU latency SLO in seconds
+	// (0 clears it).
+	SLOLatencyS *float64 `json:"slo_latency_s,omitempty"`
+}
+
+// PolicyPatch is the hot-reconfiguration request body: any subset of
+// the global budget and per-node caps/SLOs. The whole patch is queued
+// and applied atomically at the next reallocation barrier; infeasible
+// pieces are rejected individually with a reason.
+type PolicyPatch struct {
+	BudgetW *float64             `json:"budget_w,omitempty"`
+	Nodes   map[string]NodePatch `json:"nodes,omitempty"`
+}
+
+// ParsePatch strictly decodes a policy patch: unknown fields, trailing
+// garbage, empty patches, and non-finite or negative watt/second
+// values are all rejected before anything reaches the control loop.
+// (JSON cannot carry NaN/Inf literals, but the checks also guard the
+// programmatic path and any future decoder change.)
+func ParsePatch(b []byte) (PolicyPatch, error) {
+	var p PolicyPatch
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return PolicyPatch{}, fmt.Errorf("controlplane: policy patch: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return PolicyPatch{}, fmt.Errorf("controlplane: policy patch: trailing data after JSON object")
+	}
+	if p.BudgetW != nil {
+		if v := *p.BudgetW; math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return PolicyPatch{}, fmt.Errorf("controlplane: policy patch: budget_w %v must be positive and finite", v)
+		}
+	}
+	for name, np := range p.Nodes {
+		if name == "" {
+			return PolicyPatch{}, fmt.Errorf("controlplane: policy patch: empty node name")
+		}
+		if np.CapW != nil {
+			if v := *np.CapW; math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return PolicyPatch{}, fmt.Errorf("controlplane: policy patch: nodes[%s].cap_w %v must be non-negative and finite", name, v)
+			}
+		}
+		if np.SLOLatencyS != nil {
+			if v := *np.SLOLatencyS; math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return PolicyPatch{}, fmt.Errorf("controlplane: policy patch: nodes[%s].slo_latency_s %v must be non-negative and finite", name, v)
+			}
+		}
+		if np.CapW == nil && np.SLOLatencyS == nil {
+			return PolicyPatch{}, fmt.Errorf("controlplane: policy patch: nodes[%s] sets nothing", name)
+		}
+	}
+	if p.BudgetW == nil && len(p.Nodes) == 0 {
+		return PolicyPatch{}, fmt.Errorf("controlplane: policy patch sets nothing")
+	}
+	return p, nil
+}
+
+// Ops flattens the patch into the op sequence the barrier will
+// process: budget first (so node caps are judged against the new
+// budget), then per-node changes in name order for determinism.
+func (p PolicyPatch) Ops() []Op {
+	var ops []Op
+	if p.BudgetW != nil {
+		ops = append(ops, Op{Kind: OpBudget, Value: *p.BudgetW})
+	}
+	var names []string
+	for name := range p.Nodes {
+		//lint:ignore determinism names are sorted immediately below; op order does not depend on map order
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		np := p.Nodes[name]
+		if np.CapW != nil {
+			ops = append(ops, Op{Kind: OpCap, Node: name, Value: *np.CapW})
+		}
+		if np.SLOLatencyS != nil {
+			ops = append(ops, Op{Kind: OpSLO, Node: name, Value: *np.SLOLatencyS})
+		}
+	}
+	return ops
+}
+
+// PatchResult is the policy/membership endpoints' response body: the
+// per-op outcomes in submission order. Applied is the conjunction.
+type PatchResult struct {
+	Applied bool        `json:"applied"`
+	Results []AppliedOp `json:"results"`
+}
+
+// APIHandler serves the daemon's control API:
+//
+//	GET  /policy     — current Status snapshot
+//	POST /policy     — PolicyPatch body; queued for the next barrier;
+//	                   200 all applied, 422 any rejected (with reasons)
+//	POST /membership — single Op body, kind join or drain; same contract
+//
+// Mutations block until the control loop's next reallocation barrier
+// resolves them (bounded by the request context), so the response
+// carries the authoritative applied/rejected outcome, not a guess.
+func APIHandler(d *Daemon) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/policy", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, d.Status())
+		case http.MethodPost:
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			patch, err := ParsePatch(body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			resolve(d, w, r, patch.Ops())
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/membership", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var op Op
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&op); err != nil {
+			http.Error(w, fmt.Sprintf("membership op: %v", err), http.StatusBadRequest)
+			return
+		}
+		if op.Kind != OpJoin && op.Kind != OpDrain {
+			http.Error(w, fmt.Sprintf("membership op: kind %q not allowed (want join or drain)", op.Kind), http.StatusBadRequest)
+			return
+		}
+		if op.Kind == OpDrain && op.Node == "" {
+			http.Error(w, "membership op: drain needs a node", http.StatusBadRequest)
+			return
+		}
+		resolve(d, w, r, []Op{op})
+	})
+	return mux
+}
+
+// resolve submits ops to the control loop and waits for the next
+// barrier to judge them, translating the outcomes to HTTP.
+func resolve(d *Daemon, w http.ResponseWriter, r *http.Request, ops []Op) {
+	chans := make([]<-chan AppliedOp, len(ops))
+	for i, op := range ops {
+		chans[i] = d.Submit(op)
+	}
+	res := PatchResult{Applied: true}
+	for _, ch := range chans {
+		select {
+		case out := <-ch:
+			res.Results = append(res.Results, out)
+			if !out.Applied {
+				res.Applied = false
+			}
+		case <-r.Context().Done():
+			http.Error(w, "control loop did not reach a barrier before the request deadline", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	code := http.StatusOK
+	if !res.Applied {
+		code = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, code, res)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}

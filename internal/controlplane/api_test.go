@@ -1,0 +1,163 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParsePatch(t *testing.T) {
+	p, err := ParsePatch([]byte(`{"budget_w": 2400, "nodes": {"n001": {"cap_w": 700}, "n000": {"slo_latency_s": 0.35, "cap_w": 0}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := p.Ops()
+	want := []Op{
+		{Kind: OpBudget, Value: 2400},
+		{Kind: OpCap, Node: "n000", Value: 0},
+		{Kind: OpSLO, Node: "n000", Value: 0.35},
+		{Kind: OpCap, Node: "n001", Value: 700},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("got %d ops, want %d: %v", len(ops), len(want), ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("op %d: got %+v, want %+v (budget must come first, nodes in name order)", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestParsePatchErrors(t *testing.T) {
+	cases := []struct{ name, body, wantSub string }{
+		{"not-json", `budget=2400`, "policy patch"},
+		{"unknown-field", `{"budget_watts": 2400}`, "unknown field"},
+		{"unknown-node-field", `{"nodes": {"n000": {"watts": 5}}}`, "unknown field"},
+		{"trailing-garbage", `{"budget_w": 2400} {"budget_w": 100}`, "trailing data"},
+		{"empty-patch", `{}`, "sets nothing"},
+		{"empty-node-patch", `{"nodes": {"n000": {}}}`, "sets nothing"},
+		{"empty-node-name", `{"nodes": {"": {"cap_w": 5}}}`, "empty node name"},
+		{"zero-budget", `{"budget_w": 0}`, "positive and finite"},
+		{"negative-budget", `{"budget_w": -100}`, "positive and finite"},
+		{"negative-cap", `{"nodes": {"n000": {"cap_w": -1}}}`, "non-negative and finite"},
+		{"negative-slo", `{"nodes": {"n000": {"slo_latency_s": -0.1}}}`, "non-negative and finite"},
+		// JSON has no NaN/Inf literals; the encodings people try must
+		// die in the decoder, not reach the control loop.
+		{"nan-budget", `{"budget_w": NaN}`, "policy patch"},
+		{"inf-cap", `{"nodes": {"n000": {"cap_w": 1e999}}}`, "policy patch"},
+		{"string-budget", `{"budget_w": "2400"}`, "policy patch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePatch([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("ParsePatch(%s) accepted", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("ParsePatch(%s) error %q does not mention %q", tc.body, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestAPIHandler drives the policy API against a live daemon: the
+// control loop steps in the background while HTTP mutations queue for
+// the next barrier and block until it judges them.
+func TestAPIHandler(t *testing.T) {
+	d, err := New(Spec{Seed: 21, Nodes: 2, BudgetW: 4000, RackPeriods: 2}, testDeps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	minW, _ := d.Coordinator().Nodes[0].CapRangeW()
+	stop := make(chan struct{})
+	stepErr := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				stepErr <- nil
+				return
+			default:
+				if err := d.Step(); err != nil {
+					stepErr <- err
+					return
+				}
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		if err := <-stepErr; err != nil {
+			t.Fatal(err)
+		}
+	}()
+	srv := httptest.NewServer(APIHandler(d))
+	defer srv.Close()
+
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	// Feasible patch: applied at the next barrier, 200, epoch moves.
+	code, body := post("/policy", `{"budget_w": 3800, "nodes": {"n001": {"cap_w": 1900, "slo_latency_s": 0.5}}}`)
+	if code != http.StatusOK {
+		t.Fatalf("feasible patch: %d %s", code, body)
+	}
+	var res PatchResult
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Applied || len(res.Results) != 3 {
+		t.Fatalf("feasible patch result: %+v", res)
+	}
+
+	// Infeasible budget: rejected with a reason, 422.
+	code, body = post("/policy", fmt.Sprintf(`{"budget_w": %.0f}`, 2*minW-1))
+	if code != http.StatusUnprocessableEntity || !strings.Contains(body, "infeasible") {
+		t.Fatalf("infeasible patch: %d %s", code, body)
+	}
+
+	// Malformed: never reaches the loop, 400.
+	if code, body = post("/policy", `{"budget_watts": 1}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d %s", code, body)
+	}
+
+	// Membership: join over the API, then drain it.
+	if code, body = post("/membership", `{"kind":"join"}`); code != http.StatusOK {
+		t.Fatalf("join: %d %s", code, body)
+	}
+	if code, body = post("/membership", `{"kind":"drain","node":"n002"}`); code != http.StatusOK {
+		t.Fatalf("drain: %d %s", code, body)
+	}
+	if code, body = post("/membership", `{"kind":"kill","node":"n000"}`); code != http.StatusBadRequest {
+		t.Fatalf("kill over membership API: %d %s (crash injection is schedule-only)", code, body)
+	}
+
+	// GET /policy reflects the applied state.
+	resp, err := http.Get(srv.URL + "/policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BudgetW != 3800 || st.Epoch < 3 {
+		t.Fatalf("status after patches: %+v", st)
+	}
+}

@@ -1,0 +1,196 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The daemon checkpoints by deterministic replay: the simulation stack
+// is byte-reproducible from its seeds, so the durable state a restart
+// needs is not the (deeply nested, RNG-laden) in-memory world but the
+// *inputs* that produced it — the spec and the complete op log — plus
+// a digest of the resulting state to verify the reconstruction.
+// Restore rebuilds a fresh world from the spec, replays every period
+// up to the checkpoint with ops fed from the log, verifies the state
+// digest, and continues live; the replayed prefix re-emits the same
+// telemetry, flight, and record bytes the original run produced, so a
+// killed-and-restored daemon's artifacts are byte-identical to an
+// uninterrupted run's (pinned by the equivalence test in
+// internal/experiments).
+//
+// On disk a checkpoint is one header line
+//
+//	capgpu-checkpoint v<version> <crc32c-hex> <payload-bytes>
+//
+// followed by the JSON payload. The header is what the corruption
+// table tests attack: truncation, checksum damage, and version skew
+// all refuse to restore with a typed error so the caller can fall back
+// to a cold start instead of resuming from garbage.
+
+// Typed restore-refusal errors (errors.Is-matchable).
+var (
+	// ErrCorrupt marks a checkpoint that is truncated, checksum-damaged,
+	// or structurally invalid.
+	ErrCorrupt = errors.New("controlplane: checkpoint corrupt")
+	// ErrVersionSkew marks a checkpoint written by a different
+	// checkpoint-format version.
+	ErrVersionSkew = errors.New("controlplane: checkpoint version skew")
+	// ErrFuturePeriod marks a checkpoint claiming state from a period
+	// this run cannot have reached (internally inconsistent op log, or a
+	// period beyond the configured horizon).
+	ErrFuturePeriod = errors.New("controlplane: checkpoint from future period")
+)
+
+// CheckpointVersion is the current checkpoint-format version.
+const CheckpointVersion = 1
+
+const checkpointMagic = "capgpu-checkpoint"
+
+// MemberState is one member's summary in a checkpoint — enough for the
+// state digest and for offline inspection, not for direct restoration
+// (restore replays instead).
+type MemberState struct {
+	Name        string  `json:"name"`
+	Class       string  `json:"class"`
+	AssignedW   float64 `json:"assigned_w"`
+	CapCeilW    float64 `json:"cap_ceil_w,omitempty"`
+	SLOLatencyS float64 `json:"slo_latency_s,omitempty"`
+	Draining    bool    `json:"draining,omitempty"`
+	Silenced    bool    `json:"silenced,omitempty"`
+	Periods     int     `json:"periods"`
+}
+
+// Checkpoint is the versioned crash-recovery record.
+type Checkpoint struct {
+	Version int  `json:"version"`
+	Spec    Spec `json:"spec"`
+	// Period is the number of completed periods: the restored daemon
+	// replays periods [0, Period) and resumes live at Period.
+	Period    int           `json:"period"`
+	Epoch     int           `json:"epoch"`
+	Serial    int           `json:"serial"`
+	BudgetW   float64       `json:"budget_w"`
+	Ops       []AppliedOp   `json:"ops,omitempty"`
+	Members   []MemberState `json:"members"`
+	ReservedW float64       `json:"reserved_w"`
+	// StateDigest is an FNV-1a digest over the canonical observable
+	// state (membership, assignments, liveness, trajectory tails);
+	// restore fails if the replayed world does not reproduce it.
+	StateDigest string `json:"state_digest"`
+}
+
+// Encode renders the checkpoint in the on-disk format.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: encode checkpoint: %w", err)
+	}
+	head := fmt.Sprintf("%s v%d %08x %d\n", checkpointMagic, CheckpointVersion,
+		crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)), len(payload))
+	return append([]byte(head), payload...), nil
+}
+
+// DecodeCheckpoint parses and validates the on-disk format, refusing
+// damaged or incompatible checkpoints with a typed error.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	nl := -1
+	for i, c := range b {
+		if c == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: missing header line", ErrCorrupt)
+	}
+	fields := strings.Fields(string(b[:nl]))
+	if len(fields) != 4 || fields[0] != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	if !strings.HasPrefix(fields[1], "v") {
+		return nil, fmt.Errorf("%w: bad version field %q", ErrCorrupt, fields[1])
+	}
+	ver, err := strconv.Atoi(fields[1][1:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad version field %q", ErrCorrupt, fields[1])
+	}
+	if ver != CheckpointVersion {
+		return nil, fmt.Errorf("%w: file is v%d, this build reads v%d", ErrVersionSkew, ver, CheckpointVersion)
+	}
+	wantCRC, err := strconv.ParseUint(fields[2], 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad checksum field %q", ErrCorrupt, fields[2])
+	}
+	wantLen, err := strconv.Atoi(fields[3])
+	if err != nil || wantLen < 0 {
+		return nil, fmt.Errorf("%w: bad length field %q", ErrCorrupt, fields[3])
+	}
+	payload := b[nl+1:]
+	if len(payload) != wantLen {
+		return nil, fmt.Errorf("%w: payload is %d bytes, header says %d (truncated?)", ErrCorrupt, len(payload), wantLen)
+	}
+	if got := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)); uint32(wantCRC) != got {
+		return nil, fmt.Errorf("%w: checksum mismatch (header %08x, payload %08x)", ErrCorrupt, uint32(wantCRC), got)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("%w: payload is v%d, this build reads v%d", ErrVersionSkew, cp.Version, CheckpointVersion)
+	}
+	if cp.Period < 0 {
+		return nil, fmt.Errorf("%w: negative period %d", ErrCorrupt, cp.Period)
+	}
+	// An op processed at or after the checkpoint period cannot have
+	// happened yet: the log claims inputs from the checkpoint's future.
+	for _, op := range cp.Ops {
+		if op.Period >= cp.Period {
+			return nil, fmt.Errorf("%w: op log records %q at period %d, checkpoint is at period %d",
+				ErrFuturePeriod, op.Op.Kind, op.Period, cp.Period)
+		}
+	}
+	return &cp, nil
+}
+
+// ValidateHorizon rejects a checkpoint whose period lies beyond the
+// run's configured horizon (restoring it could never be reached by the
+// run being resumed).
+func (c *Checkpoint) ValidateHorizon(periods int) error {
+	if periods > 0 && c.Period > periods {
+		return fmt.Errorf("%w: checkpoint at period %d, run horizon is %d periods", ErrFuturePeriod, c.Period, periods)
+	}
+	return nil
+}
+
+// SaveCheckpoint writes the checkpoint atomically (temp file + rename)
+// so a crash mid-write can never leave a half-written checkpoint in
+// place of a good one.
+func SaveCheckpoint(path string, c *Checkpoint) error {
+	b, err := c.Encode()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("controlplane: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("controlplane: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: read checkpoint: %w", err)
+	}
+	return DecodeCheckpoint(b)
+}

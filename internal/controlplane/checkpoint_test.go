@@ -1,0 +1,176 @@
+package controlplane
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Version: CheckpointVersion,
+		Spec:    Spec{Seed: 11, Nodes: 3, BudgetW: 2850, Policy: "demand-proportional"},
+		Period:  40,
+		Epoch:   2,
+		Serial:  4,
+		BudgetW: 2600,
+		Ops: []AppliedOp{
+			{Period: 10, Op: Op{Kind: OpBudget, Value: 2600}, Applied: true},
+			{Period: 20, Op: Op{Kind: OpJoin, Class: "heavy"}, Applied: true},
+			{Period: 30, Op: Op{Kind: OpCap, Node: "n009", Value: 700}, Applied: false, Reason: "no member \"n009\""},
+		},
+		Members: []MemberState{
+			{Name: "n000", Class: "heavy", AssignedW: 900, Periods: 40},
+			{Name: "n001", Class: "medium", AssignedW: 850, Periods: 40},
+		},
+		ReservedW:   0,
+		StateDigest: "00decafc0ffee000",
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cp := testCheckpoint()
+	b, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Period != cp.Period || got.Epoch != cp.Epoch || got.Serial != cp.Serial ||
+		got.BudgetW != cp.BudgetW || got.StateDigest != cp.StateDigest ||
+		got.Spec != cp.Spec || len(got.Ops) != len(cp.Ops) || len(got.Members) != len(cp.Members) {
+		t.Fatalf("round trip changed the checkpoint:\n got %+v\nwant %+v", got, cp)
+	}
+	for i := range cp.Ops {
+		if got.Ops[i] != cp.Ops[i] {
+			t.Fatalf("op %d: got %+v, want %+v", i, got.Ops[i], cp.Ops[i])
+		}
+	}
+
+	// Save/Load through a file, atomically.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rack.ckpt")
+	if err := SaveCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.StateDigest != cp.StateDigest {
+		t.Fatalf("loaded digest %q, want %q", loaded.StateDigest, cp.StateDigest)
+	}
+}
+
+// TestCheckpointCorruption is the crash-recovery safety table: every
+// flavor of damage refuses to restore with the right typed error, so
+// the daemon can fall back to a cold start instead of resuming from
+// garbage.
+func TestCheckpointCorruption(t *testing.T) {
+	encode := func(mutate func(cp *Checkpoint)) []byte {
+		cp := testCheckpoint()
+		if mutate != nil {
+			mutate(cp)
+		}
+		b, err := cp.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	good := encode(nil)
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrCorrupt},
+		{"no-header-newline", []byte("capgpu-checkpoint v1 00000000 10"), ErrCorrupt},
+		{"wrong-magic", bytes.Replace(good, []byte("capgpu-checkpoint"), []byte("capgpu-snapsnot42"), 1), ErrCorrupt},
+		{"truncated-payload", good[:len(good)-7], ErrCorrupt},
+		{"flipped-payload-byte", func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)-10] ^= 0x20
+			return b
+		}(), ErrCorrupt},
+		{"bad-checksum-field", func() []byte {
+			nl := bytes.IndexByte(good, '\n')
+			fields := strings.Fields(string(good[:nl]))
+			fields[2] = "zzzzzzzz"
+			return append([]byte(strings.Join(fields, " ")+"\n"), good[nl+1:]...)
+		}(), ErrCorrupt},
+		{"header-version-skew", bytes.Replace(good, []byte(" v1 "), []byte(" v2 "), 1), ErrVersionSkew},
+		{"future-op", encode(func(cp *Checkpoint) {
+			cp.Ops[0].Period = cp.Period // op claims to postdate the checkpoint
+		}), ErrFuturePeriod},
+		{"negative-period", encode(func(cp *Checkpoint) {
+			cp.Period = -1
+			cp.Ops = nil
+		}), ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeCheckpoint(tc.data)
+			if err == nil {
+				t.Fatal("damaged checkpoint decoded successfully")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got error %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+}
+
+// Payload-level version skew has to survive a *valid* checksum: the
+// header is regenerated over the altered payload.
+func TestCheckpointPayloadVersionSkew(t *testing.T) {
+	cp := testCheckpoint()
+	b, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := bytes.IndexByte(b, '\n')
+	payload := bytes.Replace(b[nl+1:], []byte(`"version":1`), []byte(`"version":9`), 1)
+	raw := append([]byte(fmt.Sprintf("capgpu-checkpoint v1 %08x %d\n", crc32c(payload), len(payload))), payload...)
+	_, err = DecodeCheckpoint(raw)
+	if !errors.Is(err, ErrVersionSkew) {
+		t.Fatalf("got %v, want ErrVersionSkew", err)
+	}
+}
+
+func TestValidateHorizon(t *testing.T) {
+	cp := testCheckpoint()
+	if err := cp.ValidateHorizon(40); err != nil {
+		t.Fatalf("period-40 checkpoint rejected for a 40-period run: %v", err)
+	}
+	if err := cp.ValidateHorizon(0); err != nil {
+		t.Fatalf("unbounded horizon rejected: %v", err)
+	}
+	err := cp.ValidateHorizon(39)
+	if !errors.Is(err, ErrFuturePeriod) {
+		t.Fatalf("got %v, want ErrFuturePeriod", err)
+	}
+	if !strings.Contains(err.Error(), "period 40") {
+		t.Fatalf("error %q does not name the offending period", err)
+	}
+}
+
+func crc32c(b []byte) uint32 {
+	return crc32.Checksum(b, crc32.MakeTable(crc32.Castagnoli))
+}
+
+func TestLoadCheckpointMissingFile(t *testing.T) {
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

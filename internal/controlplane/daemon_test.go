@@ -1,0 +1,309 @@
+package controlplane
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sysid"
+	"repro/internal/workload"
+)
+
+// The daemon tests run a cut-down fleet — one inference pipeline per
+// node, one shared identification — so membership churn, feasibility
+// checks, and resume-by-replay are exercised without the full
+// evaluation fleet's cost (internal/experiments carries the
+// byte-equivalence and soak tests over the real fleet).
+
+var (
+	testModelOnce sync.Once
+	testModel     *sysid.Model
+	testModelErr  error
+)
+
+func testServer(seed int64) (*sim.Server, error) {
+	s, err := sim.NewServer(sim.DefaultTestbed(seed))
+	if err != nil {
+		return nil, err
+	}
+	zoo := workload.Zoo()
+	p, err := workload.NewPipeline(workload.PipelineConfig{
+		Model: zoo["resnet50"], Workers: 2, PreLatencyBase: 0.004, PreLatencyExp: 0.4,
+		ArrivalRateMax: 250, ArrivalExp: 0.5, QueueCap: 60, FcMax: 2.4, FgMax: 1350, Seed: seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.AttachPipeline(0, p); err != nil {
+		return nil, err
+	}
+	w, err := workload.NewCPUWorkload(workload.CPUWorkloadConfig{RateAtMax: 40, FcMax: 2.4, Seed: seed + 9})
+	if err != nil {
+		return nil, err
+	}
+	s.AttachCPUWorkload(w)
+	return s, nil
+}
+
+func testDeps() Deps {
+	return Deps{
+		NewNode: func(name, class string, seed int64, priority int) (*cluster.Node, error) {
+			testModelOnce.Do(func() {
+				twin, err := testServer(77000)
+				if err != nil {
+					testModelErr = err
+					return
+				}
+				testModel, _, testModelErr = sysid.Identify(twin, sysid.ExciteConfig{})
+			})
+			if testModelErr != nil {
+				return nil, testModelErr
+			}
+			s, err := testServer(seed)
+			if err != nil {
+				return nil, err
+			}
+			m := *testModel
+			m.Gains = append([]float64(nil), m.Gains...)
+			ctrl, err := core.NewCapGPU(&m, s, nil, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return cluster.NewNode(name, s, ctrl, priority)
+		},
+		Classes: []ClassSpec{{Name: "small", Priority: 0}},
+	}
+}
+
+// submit queues an op and steps the daemon across the next barrier to
+// resolve it.
+func submit(t *testing.T, d *Daemon, op Op) AppliedOp {
+	t.Helper()
+	ch := d.Submit(op)
+	for i := 0; i < d.Coordinator().RackPeriods+1; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case res := <-ch:
+			return res
+		default:
+		}
+	}
+	t.Fatalf("op %v not resolved within a barrier cycle", op)
+	return AppliedOp{}
+}
+
+func TestDaemonMembershipLifecycle(t *testing.T) {
+	spec := Spec{
+		Seed: 3, Nodes: 2, BudgetW: 4000, RackPeriods: 2,
+		ReservationHold: 4, DrainBarriers: 2,
+		Schedule: "join@2;budget@4*3800;kill@6:n000;drain@8:n001",
+	}
+	d, err := New(spec, testDeps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunTo(30); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range d.OpLog() {
+		if !op.Applied {
+			t.Fatalf("schedule op rejected: %+v", op)
+		}
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("epoch %d after one applied policy op, want 1", d.Epoch())
+	}
+	// n001 drained and released; n000 killed; n002 joined.
+	rel := d.Released()
+	if len(rel) != 1 || rel[0].Name != "n001" || len(rel[0].Records) == 0 {
+		t.Fatalf("released = %+v, want n001 with records", rel)
+	}
+	var names []string
+	for _, n := range d.Coordinator().Nodes {
+		names = append(names, n.Name)
+	}
+	if strings.Join(names, ",") != "n000,n002" {
+		t.Fatalf("members = %v, want [n000 n002]", names)
+	}
+	st := d.Status()
+	if st.Period != 30 || st.BudgetW != 3800 || st.Epoch != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if !st.Members[0].Dead {
+		t.Fatalf("n000 not marked dead in status: %+v", st.Members[0])
+	}
+	if st.Members[1].Dead {
+		t.Fatalf("joined n002 marked dead: %+v", st.Members[1])
+	}
+	// The killed node's reservation was released after the hold, so
+	// nothing is reserved any more.
+	if r := d.Coordinator().ReservedW(); r != 0 {
+		t.Fatalf("reservation %v W still held after ReservationHold elapsed", r)
+	}
+	if n, detail := d.InvariantViolations(); n != 0 {
+		t.Fatalf("%d budget-invariant violations: %s", n, detail)
+	}
+	// Records archived for everyone, live or not.
+	recs := d.MemberRecords()
+	for _, name := range []string{"n000", "n001", "n002"} {
+		if len(recs[name]) == 0 {
+			t.Fatalf("no records for %s", name)
+		}
+	}
+	if len(recs["n001"]) >= len(recs["n000"]) {
+		t.Fatalf("released n001 kept accumulating records (%d vs %d)", len(recs["n001"]), len(recs["n000"]))
+	}
+}
+
+func TestDaemonRejections(t *testing.T) {
+	// DrainBarriers is long so the drain started mid-test cannot ramp
+	// to release before the cap-on-draining case runs.
+	spec := Spec{Seed: 5, Nodes: 2, BudgetW: 4000, RackPeriods: 2, DrainBarriers: 50}
+	d, err := New(spec, testDeps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	minW, _ := d.Coordinator().Nodes[0].CapRangeW()
+	floors := 2 * minW
+
+	cases := []struct {
+		name    string
+		op      Op
+		wantSub string
+	}{
+		{"budget-below-floors", Op{Kind: OpBudget, Value: floors - 1}, "infeasible"},
+		{"budget-negative", Op{Kind: OpBudget, Value: -5}, "positive and finite"},
+		{"cap-unknown-node", Op{Kind: OpCap, Node: "n999", Value: 700}, "no member"},
+		{"slo-unknown-node", Op{Kind: OpSLO, Node: "n999", Value: 0.3}, "no member"},
+		{"drain-unknown-node", Op{Kind: OpDrain, Node: "n999"}, "no member"},
+		{"kill-unknown-node", Op{Kind: OpKill, Node: "n999"}, "no member"},
+		{"revive-alive-node", Op{Kind: OpRevive, Node: "n000"}, "not down"},
+		{"join-unknown-class", Op{Kind: OpJoin, Class: "xl"}, "unknown class"},
+	}
+	for _, tc := range cases {
+		res := submit(t, d, tc.op)
+		if res.Applied {
+			t.Fatalf("%s: op %v applied, want rejection", tc.name, tc.op)
+		}
+		if !strings.Contains(res.Reason, tc.wantSub) {
+			t.Fatalf("%s: reason %q does not mention %q", tc.name, res.Reason, tc.wantSub)
+		}
+	}
+	if d.Epoch() != 0 {
+		t.Fatalf("epoch %d moved on rejected ops", d.Epoch())
+	}
+
+	// Draining everything is refused: the last live member stays.
+	// (n000 drains from well above its floor, so the long DrainBarriers
+	// ramp keeps it a member for the rest of the test.)
+	if res := submit(t, d, Op{Kind: OpDrain, Node: "n000"}); !res.Applied {
+		t.Fatalf("first drain rejected: %+v", res)
+	}
+	if res := submit(t, d, Op{Kind: OpDrain, Node: "n001"}); res.Applied || !strings.Contains(res.Reason, "empty") {
+		t.Fatalf("draining the last member: %+v, want rejection", res)
+	}
+	// A draining node's ceiling belongs to the ramp.
+	if res := submit(t, d, Op{Kind: OpCap, Node: "n000", Value: 900}); res.Applied || !strings.Contains(res.Reason, "draining") {
+		t.Fatalf("cap on draining node: %+v, want rejection", res)
+	}
+
+	// Tighten the budget to exactly the current floors: feasible for
+	// the standing fleet, but no headroom for a third node.
+	if res := submit(t, d, Op{Kind: OpBudget, Value: floors}); !res.Applied {
+		t.Fatalf("feasible budget rejected: %+v", res)
+	}
+	if res := submit(t, d, Op{Kind: OpJoin}); res.Applied || !strings.Contains(res.Reason, "admission") {
+		t.Fatalf("join under zero headroom: %+v, want admission rejection", res)
+	}
+}
+
+func TestDaemonResumeByReplay(t *testing.T) {
+	spec := Spec{
+		Seed: 9, Nodes: 2, BudgetW: 4000, RackPeriods: 2,
+		Schedule:        "join@4;kill@10:n000;budget@14*3600;slo@16:n001*0.5",
+		Load:            LoadSpec{DiurnalAmp: 0.3, DiurnalPeriods: 40, BurstProb: 0.2, BurstAmp: 0.8},
+		CheckpointEvery: 10,
+		ReservationHold: 6,
+	}
+	d1, err := New(spec, testDeps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.RunTo(20); err != nil {
+		t.Fatal(err)
+	}
+	cp := d1.Checkpoint()
+	// The checkpoint survives its wire format.
+	b, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err = DecodeCheckpoint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill: d1 continues as the uninterrupted reference…
+	if err := d1.RunTo(40); err != nil {
+		t.Fatal(err)
+	}
+	// …and d2 restores from the checkpoint and runs to the same horizon.
+	d2, err := Resume(cp, testDeps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Period() != 20 {
+		t.Fatalf("restored daemon at period %d, want 20", d2.Period())
+	}
+	if err := d2.RunTo(40); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d2.digest(), d1.digest(); got != want {
+		t.Fatalf("post-restore trajectory diverged: digest %s, want %s", got, want)
+	}
+	log1, log2 := d1.OpLog(), d2.OpLog()
+	if len(log1) != len(log2) {
+		t.Fatalf("op logs differ in length: %d vs %d", len(log1), len(log2))
+	}
+	for i := range log1 {
+		if log1[i] != log2[i] {
+			t.Fatalf("op log %d: %+v vs %+v", i, log1[i], log2[i])
+		}
+	}
+	// Full per-period record equality for every member ever seen.
+	recs1, recs2 := d1.MemberRecords(), d2.MemberRecords()
+	if len(recs1) != len(recs2) {
+		t.Fatalf("member sets differ: %d vs %d", len(recs1), len(recs2))
+	}
+	for name, r1 := range recs1 {
+		r2 := recs2[name]
+		if len(r1) != len(r2) {
+			t.Fatalf("%s: %d records vs %d", name, len(r1), len(r2))
+		}
+		for i := range r1 {
+			if fmt.Sprintf("%+v", r1[i]) != fmt.Sprintf("%+v", r2[i]) {
+				t.Fatalf("%s record %d differs:\n%+v\n%+v", name, i, r1[i], r2[i])
+			}
+		}
+	}
+}
+
+func TestResumeRejectsDigestMismatch(t *testing.T) {
+	spec := Spec{Seed: 12, Nodes: 2, BudgetW: 4000, RackPeriods: 2}
+	d, err := New(spec, testDeps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunTo(8); err != nil {
+		t.Fatal(err)
+	}
+	cp := d.Checkpoint()
+	cp.StateDigest = "deadbeefdeadbeef"
+	if _, err := Resume(cp, testDeps()); err == nil {
+		t.Fatal("resume accepted a checkpoint whose digest the replay cannot reproduce")
+	}
+}

@@ -1,0 +1,84 @@
+package controlplane
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParsePatch hammers the policy-API patch decoder with arbitrary
+// request bodies: it must never panic, and everything it accepts must
+// be safe to hand the control loop — finite, sign-correct watt and
+// second values, budget first and nodes in name order in the flattened
+// op sequence.
+func FuzzParsePatch(f *testing.F) {
+	seeds := []string{
+		`{"budget_w": 2400}`,
+		`{"budget_w": 2400, "nodes": {"n001": {"cap_w": 700}}}`,
+		`{"nodes": {"n000": {"slo_latency_s": 0.35}, "n001": {"cap_w": 0}}}`,
+		`{}`,
+		`{"budget_w": 0}`,
+		`{"budget_w": -100}`,
+		`{"budget_w": NaN}`,
+		`{"budget_w": 1e999}`,
+		`{"budget_w": "2400"}`,
+		`{"budget_watts": 2400}`,
+		`{"nodes": {"n000": {}}}`,
+		`{"nodes": {"": {"cap_w": 5}}}`,
+		`{"nodes": {"n000": {"cap_w": -1}}}`,
+		`{"budget_w": 2400} trailing`,
+		`[1,2,3]`,
+		`null`,
+		``,
+		`{"nodes": {"n000": {"cap_w": 700, "slo_latency_s": 0.2}}}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		p, err := ParsePatch([]byte(body))
+		if err != nil {
+			return
+		}
+		if p.BudgetW == nil && len(p.Nodes) == 0 {
+			t.Fatalf("accepted a patch that sets nothing: %s", body)
+		}
+		if p.BudgetW != nil {
+			if v := *p.BudgetW; math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				t.Fatalf("accepted budget %v from %s", v, body)
+			}
+		}
+		for name, np := range p.Nodes {
+			if name == "" {
+				t.Fatalf("accepted empty node name from %s", body)
+			}
+			if np.CapW != nil {
+				if v := *np.CapW; math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("accepted cap %v from %s", v, body)
+				}
+			}
+			if np.SLOLatencyS != nil {
+				if v := *np.SLOLatencyS; math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("accepted SLO %v from %s", v, body)
+				}
+			}
+		}
+		// The flattened sequence must be deterministic: budget first,
+		// then nodes in name order.
+		ops := p.Ops()
+		if len(ops) == 0 {
+			t.Fatalf("accepted patch flattened to no ops: %s", body)
+		}
+		start := 0
+		if p.BudgetW != nil {
+			if ops[0].Kind != OpBudget {
+				t.Fatalf("budget not first: %v", ops)
+			}
+			start = 1
+		}
+		for i := start + 1; i < len(ops); i++ {
+			if ops[i].Node < ops[i-1].Node {
+				t.Fatalf("node ops out of order: %v", ops)
+			}
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package controlplane
+
+import "math"
+
+// LoadSpec is the open-loop arrival-trace generator the soak harness
+// drives pipelines with: a diurnal sinusoid shared by the whole rack
+// plus per-node bursty windows. Every factor is a pure function of
+// (seed, period, node) — stateless splitmix-style hashing, the same
+// idiom the fault injector uses — so membership churn and worker count
+// cannot perturb the trace and replay is exact.
+type LoadSpec struct {
+	// DiurnalAmp is the day-cycle amplitude in [0,1): the arrival scale
+	// swings between 1−amp (night trough) and 1+amp (midday peak).
+	// 0 disables the diurnal component.
+	DiurnalAmp float64 `json:"diurnal_amp,omitempty"`
+	// DiurnalPeriods is the length of one simulated day in control
+	// periods (default DayPeriods).
+	DiurnalPeriods int `json:"diurnal_periods,omitempty"`
+	// BurstProb is the probability that any given burst window is hot
+	// for a node (0 disables bursts).
+	BurstProb float64 `json:"burst_prob,omitempty"`
+	// BurstAmp is the extra arrival multiplier during a hot window.
+	BurstAmp float64 `json:"burst_amp,omitempty"`
+	// BurstPeriods is the burst window length in periods (default 8).
+	BurstPeriods int `json:"burst_periods,omitempty"`
+}
+
+// DayPeriods is one simulated day in control periods at the standard
+// T = 4 s period: 86400 / 4.
+const DayPeriods = 21600
+
+// Enabled reports whether the spec shapes traffic at all.
+func (l LoadSpec) Enabled() bool {
+	return l.DiurnalAmp != 0 || (l.BurstProb > 0 && l.BurstAmp != 0)
+}
+
+// Factor returns the arrival-scale multiplier for one node at period
+// k. The result is clamped to [0.05, 4] so a pathological spec cannot
+// zero out or explode the queueing model.
+func (l LoadSpec) Factor(seed int64, k int, node string) float64 {
+	f := 1.0
+	if l.DiurnalAmp != 0 {
+		day := l.DiurnalPeriods
+		if day <= 0 {
+			day = DayPeriods
+		}
+		// Trough at k=0 (midnight), peak at midday.
+		f += l.DiurnalAmp * -math.Cos(2*math.Pi*float64(k%day)/float64(day))
+	}
+	if l.BurstAt(seed, k, node) {
+		f += l.BurstAmp
+	}
+	if f < 0.05 {
+		f = 0.05
+	}
+	if f > 4 {
+		f = 4
+	}
+	return f
+}
+
+// BurstWindow returns the burst window length in periods.
+func (l LoadSpec) BurstWindow() int {
+	if l.BurstPeriods > 0 {
+		return l.BurstPeriods
+	}
+	return 8
+}
+
+// BurstAt reports whether the node's burst window containing period k
+// is hot. The daemon emits a load-burst telemetry event at each hot
+// window's first period, so the doctor can attribute the transient
+// overshoot an arrival step causes to the injected load, the same way
+// it attributes fault-coincident violations to the fault schedule.
+func (l LoadSpec) BurstAt(seed int64, k int, node string) bool {
+	if l.BurstProb <= 0 || l.BurstAmp == 0 {
+		return false
+	}
+	win := l.BurstWindow()
+	h := splitmix(uint64(seed) ^ hashString(node) ^ uint64(k/win)*0x9e3779b97f4a7c15)
+	return float64(h>>11)/(1<<53) < l.BurstProb
+}
+
+// splitmix is the splitmix64 finalizer: a stateless, high-quality
+// mixing of a 64-bit key into a 64-bit hash.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString folds a node name into a 64-bit key (FNV-1a).
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,71 @@
+package controlplane
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLoadSpecFactor(t *testing.T) {
+	zero := LoadSpec{}
+	if zero.Enabled() {
+		t.Fatal("zero spec reports enabled")
+	}
+	if f := zero.Factor(1, 100, "n000"); f != 1 {
+		t.Fatalf("zero spec factor %v, want 1", f)
+	}
+
+	l := LoadSpec{DiurnalAmp: 0.4, BurstProb: 0.1, BurstAmp: 1.5}
+	if !l.Enabled() {
+		t.Fatal("spec not enabled")
+	}
+	// Deterministic: same (seed, period, node) → same factor; the
+	// generator is stateless, so call order cannot matter.
+	for _, k := range []int{0, 7, 1234, DayPeriods / 2, DayPeriods - 1} {
+		a := l.Factor(42, k, "n003")
+		b := l.Factor(42, k, "n003")
+		if a != b {
+			t.Fatalf("factor(42, %d, n003) unstable: %v vs %v", k, a, b)
+		}
+		if a < 0.05 || a > 4 || math.IsNaN(a) {
+			t.Fatalf("factor(42, %d, n003) = %v outside [0.05, 4]", k, a)
+		}
+	}
+	// Diurnal shape: trough at midnight, peak at midday.
+	trough := LoadSpec{DiurnalAmp: 0.4}.Factor(42, 0, "n000")
+	peak := LoadSpec{DiurnalAmp: 0.4}.Factor(42, DayPeriods/2, "n000")
+	if math.Abs(trough-0.6) > 1e-9 || math.Abs(peak-1.4) > 1e-9 {
+		t.Fatalf("diurnal trough/peak = %v/%v, want 0.6/1.4", trough, peak)
+	}
+	// Bursts are per-node: across many windows, two nodes must disagree
+	// somewhere, and hot-window frequency must be near BurstProb.
+	bursty := LoadSpec{BurstProb: 0.2, BurstAmp: 1}
+	hot, differ := 0, false
+	const windows = 2000
+	for w := 0; w < windows; w++ {
+		k := w * 8
+		a := bursty.Factor(42, k, "n000")
+		if a > 1.5 {
+			hot++
+		}
+		if a != bursty.Factor(42, k, "n001") {
+			differ = true
+		}
+		// Within one window the factor is constant.
+		if a != bursty.Factor(42, k+7, "n000") {
+			t.Fatalf("burst state changed inside window at k=%d", k)
+		}
+	}
+	if !differ {
+		t.Fatal("two nodes saw identical burst schedules")
+	}
+	if frac := float64(hot) / windows; frac < 0.1 || frac > 0.3 {
+		t.Fatalf("hot-window fraction %v far from BurstProb 0.2", frac)
+	}
+	// Pathological spec clamps instead of exploding.
+	if f := (LoadSpec{DiurnalAmp: 0.9, BurstProb: 1, BurstAmp: 50}).Factor(1, DayPeriods/2, "n000"); f != 4 {
+		t.Fatalf("clamp high: %v, want 4", f)
+	}
+	if f := (LoadSpec{DiurnalAmp: 1}).Factor(1, 0, "n000"); f != 0.05 {
+		t.Fatalf("clamp low: %v, want 0.05", f)
+	}
+}

@@ -1,0 +1,186 @@
+package controlplane
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpKind names one control-plane mutation.
+type OpKind string
+
+// The op taxonomy. Membership ops (join, drain, kill, revive) change
+// who is in the rack; policy ops (budget, cap, slo) change what the
+// rack is told to do and bump the policy epoch when applied.
+const (
+	// OpJoin admits a new node (Class selects the workload class; empty
+	// cycles through the configured classes).
+	OpJoin OpKind = "join"
+	// OpDrain starts a graceful drain of Node: its cap ceiling steps
+	// down to its floor over DrainBarriers reallocations, then the node
+	// is released from the rack with its records archived.
+	OpDrain OpKind = "drain"
+	// OpKill silences Node's heartbeat permanently (a crash, in the
+	// soak harness), until a matching OpRevive.
+	OpKill OpKind = "kill"
+	// OpRevive clears an OpKill.
+	OpRevive OpKind = "revive"
+	// OpBudget sets the rack breaker budget to Value watts.
+	OpBudget OpKind = "budget"
+	// OpCap sets Node's per-node cap ceiling to Value watts (0 clears).
+	OpCap OpKind = "cap"
+	// OpSLO sets Node's per-GPU inference latency SLO to Value seconds
+	// (0 clears).
+	OpSLO OpKind = "slo"
+)
+
+// Op is one control-plane mutation request. Ops are validated and
+// applied only at reallocation barriers, never mid-cycle, so the
+// budget invariant Σ(live commanded) ≤ budget − reservations holds at
+// every period.
+type Op struct {
+	Kind  OpKind  `json:"kind"`
+	Node  string  `json:"node,omitempty"`  // drain/kill/revive/cap/slo target
+	Class string  `json:"class,omitempty"` // join: workload class
+	Value float64 `json:"value,omitempty"` // budget/cap watts; slo seconds
+}
+
+// String renders the op in schedule-DSL form.
+func (o Op) String() string {
+	s := string(o.Kind)
+	switch {
+	case o.Node != "":
+		s += ":" + o.Node
+	case o.Class != "":
+		s += ":" + o.Class
+	}
+	if o.Value != 0 {
+		s += "*" + strconv.FormatFloat(o.Value, 'g', -1, 64)
+	}
+	return s
+}
+
+// TimedOp is an op with the period it becomes due. A due op is
+// processed at the first reallocation barrier at or after Period.
+type TimedOp struct {
+	Period int `json:"period"`
+	Op     Op  `json:"op"`
+}
+
+// AppliedOp is one processed op in the daemon's op log: the op, the
+// barrier period that processed it, and the outcome. The op log is the
+// complete record of external inputs to the daemon — replaying it from
+// a checkpoint reproduces the run byte for byte.
+type AppliedOp struct {
+	Period  int    `json:"period"`
+	Op      Op     `json:"op"`
+	Applied bool   `json:"applied"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// ParseSchedule parses the churn/reconfiguration DSL, the control-plane
+// sibling of the faults DSL: entries `kind@period[:target][*value]`
+// joined by ';'. Examples:
+//
+//	join@40            admit a node (class cycles) at period 40
+//	join@40:heavy      admit a heavy-class node
+//	drain@80:n001      gracefully drain and release n001
+//	kill@120:n000      n000 stops heartbeating (crash)
+//	revive@200:n000    n000 heartbeats again
+//	budget@60*2400     set the breaker budget to 2400 W
+//	cap@90:n002*700    ceiling n002 at 700 W
+//	slo@100:n001*0.35  set n001's latency SLO to 0.35 s
+//
+// The result is ordered by period (stable for equal periods), so a
+// schedule's textual order never matters.
+func ParseSchedule(dsl string) ([]TimedOp, error) {
+	var out []TimedOp
+	for _, entry := range strings.Split(dsl, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		op, err := parseScheduleEntry(entry)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, op)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("controlplane: empty schedule %q", dsl)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Period < out[j].Period })
+	return out, nil
+}
+
+func parseScheduleEntry(entry string) (TimedOp, error) {
+	var t TimedOp
+	rest := entry
+	// Split off '*value', then ':target', then 'kind@period'.
+	if i := strings.LastIndexByte(rest, '*'); i >= 0 {
+		v, err := strconv.ParseFloat(rest[i+1:], 64)
+		if err != nil {
+			return t, fmt.Errorf("controlplane: %q: bad value: %w", entry, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return t, fmt.Errorf("controlplane: %q: value must be finite and non-negative", entry)
+		}
+		t.Op.Value = v
+		rest = rest[:i]
+	}
+	target := ""
+	if i := strings.IndexByte(rest, ':'); i >= 0 {
+		target = strings.TrimSpace(rest[i+1:])
+		rest = rest[:i]
+	}
+	at := strings.IndexByte(rest, '@')
+	if at < 0 {
+		return t, fmt.Errorf("controlplane: %q: want kind@period", entry)
+	}
+	kind := OpKind(strings.TrimSpace(rest[:at]))
+	period, err := strconv.Atoi(rest[at+1:])
+	if err != nil || period < 0 {
+		return t, fmt.Errorf("controlplane: %q: bad period", entry)
+	}
+	t.Period = period
+	t.Op.Kind = kind
+	switch kind {
+	case OpJoin:
+		t.Op.Class = target // optional; "" cycles
+	case OpDrain, OpKill, OpRevive:
+		if target == "" {
+			return t, fmt.Errorf("controlplane: %q: %s needs a node target", entry, kind)
+		}
+		t.Op.Node = target
+	case OpBudget:
+		if target != "" {
+			return t, fmt.Errorf("controlplane: %q: budget takes no target", entry)
+		}
+		if t.Op.Value <= 0 {
+			return t, fmt.Errorf("controlplane: %q: budget needs a positive *watts value", entry)
+		}
+	case OpCap, OpSLO:
+		if target == "" {
+			return t, fmt.Errorf("controlplane: %q: %s needs a node target", entry, kind)
+		}
+		t.Op.Node = target
+	default:
+		return t, fmt.Errorf("controlplane: %q: unknown kind %q (want join, drain, kill, revive, budget, cap, slo)", entry, kind)
+	}
+	return t, nil
+}
+
+// ScheduleString renders a schedule in DSL form (round-trips
+// ParseSchedule up to entry ordering).
+func ScheduleString(ops []TimedOp) string {
+	parts := make([]string, len(ops))
+	for i, t := range ops {
+		kindTarget := t.Op.String()
+		// Reinsert the period after the kind: kind@period[:target][*value].
+		kind := string(t.Op.Kind)
+		parts[i] = kind + "@" + strconv.Itoa(t.Period) + strings.TrimPrefix(kindTarget, kind)
+	}
+	return strings.Join(parts, ";")
+}

@@ -1,0 +1,105 @@
+package controlplane
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSchedule(t *testing.T) {
+	got, err := ParseSchedule("budget@60*2400; join@40:heavy ;drain@80:n001;kill@120:n000;revive@200:n000;cap@90:n002*700;slo@100:n001*0.35;join@41")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TimedOp{
+		{Period: 40, Op: Op{Kind: OpJoin, Class: "heavy"}},
+		{Period: 41, Op: Op{Kind: OpJoin}},
+		{Period: 60, Op: Op{Kind: OpBudget, Value: 2400}},
+		{Period: 80, Op: Op{Kind: OpDrain, Node: "n001"}},
+		{Period: 90, Op: Op{Kind: OpCap, Node: "n002", Value: 700}},
+		{Period: 100, Op: Op{Kind: OpSLO, Node: "n001", Value: 0.35}},
+		{Period: 120, Op: Op{Kind: OpKill, Node: "n000"}},
+		{Period: 200, Op: Op{Kind: OpRevive, Node: "n000"}},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d ops, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Round trip through the canonical rendering.
+	back, err := ParseSchedule(ScheduleString(got))
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v", err)
+	}
+	for i := range got {
+		if back[i] != got[i] {
+			t.Fatalf("round trip changed %+v into %+v", got[i], back[i])
+		}
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	cases := []struct{ name, dsl, wantSub string }{
+		{"empty", "", "empty schedule"},
+		{"only-separators", " ; ; ", "empty schedule"},
+		{"no-at", "budget*100", "want kind@period"},
+		{"bad-period", "join@x", "bad period"},
+		{"negative-period", "join@-3", "bad period"},
+		{"unknown-kind", "reboot@5:n000", "unknown kind"},
+		{"drain-no-target", "drain@5", "needs a node target"},
+		{"kill-no-target", "kill@5", "needs a node target"},
+		{"cap-no-target", "cap@5*100", "needs a node target"},
+		{"slo-no-target", "slo@5*0.2", "needs a node target"},
+		{"budget-with-target", "budget@5:n000*100", "takes no target"},
+		{"budget-no-value", "budget@5", "positive *watts"},
+		{"nan-value", "cap@5:n000*NaN", "finite"},
+		{"inf-value", "budget@5*+Inf", "finite"},
+		{"negative-value", "cap@5:n000*-10", "finite and non-negative"},
+		{"garbage-value", "cap@5:n000*watts", "bad value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSchedule(tc.dsl)
+			if err == nil {
+				t.Fatalf("ParseSchedule(%q) accepted", tc.dsl)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("ParseSchedule(%q) error %q does not mention %q", tc.dsl, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestSoakSchedule(t *testing.T) {
+	dsl, err := SoakSchedule(1000, 6, 5700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := ParseSchedule(dsl)
+	if err != nil {
+		t.Fatalf("soak schedule does not parse: %v", err)
+	}
+	counts := map[OpKind]int{}
+	for _, op := range ops {
+		counts[op.Op.Kind]++
+		if op.Period < 1 || op.Period >= 1000 {
+			t.Fatalf("op %v outside the run", op)
+		}
+	}
+	// The soak acceptance floor: ≥3 joins, ≥3 drains, ≥2 deaths, ≥5
+	// hot policy reconfigurations.
+	if counts[OpJoin] < 3 || counts[OpDrain] < 3 || counts[OpKill] < 2 {
+		t.Fatalf("churn counts too low: %v", counts)
+	}
+	if counts[OpBudget]+counts[OpCap]+counts[OpSLO] < 5 {
+		t.Fatalf("policy reconfig count too low: %v", counts)
+	}
+	if _, err := SoakSchedule(1000, 3, 5700); err == nil {
+		t.Fatal("accepted a fleet too small for the schedule's targets")
+	}
+	if _, err := SoakSchedule(10, 6, 5700); err == nil {
+		t.Fatal("accepted a run too short for distinct positions")
+	}
+}

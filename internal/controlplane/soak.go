@@ -1,0 +1,65 @@
+package controlplane
+
+import "fmt"
+
+// SoakSchedule builds the seeded churn/reconfiguration schedule the
+// soak harness runs: joins, graceful drains, crash-and-recover plus a
+// crash that stays down long enough to exercise dead-node reservation
+// release, and a spread of hot policy changes (budget dips and
+// restores, per-node caps set and cleared, SLO targets set and
+// cleared). Positions are fractions of the run so the same shape
+// scales from a short CI soak to a multi-day run. Requires at least
+// six initial nodes (targets reference n000..n005) and a budget
+// generous enough that the joins' floors stay admissible.
+func SoakSchedule(periods, nodes int, budgetW float64) (string, error) {
+	if nodes < 6 {
+		return "", fmt.Errorf("controlplane: soak schedule needs at least 6 initial nodes, got %d", nodes)
+	}
+	if periods < 50 {
+		return "", fmt.Errorf("controlplane: soak schedule needs at least 50 periods, got %d", periods)
+	}
+	at := func(pct int) int {
+		k := periods * pct / 100
+		if k < 1 {
+			k = 1
+		}
+		return k
+	}
+	share := budgetW / float64(nodes)
+	dsl := fmt.Sprintf(
+		"cap@%d:n001*%.0f;"+ // per-node ceiling
+			"budget@%d*%.0f;"+ // budget dip
+			"join@%d;"+ // admit (class cycles)
+			"kill@%d:n002;"+ // crash that stays down → reservation release
+			"join@%d;"+
+			"drain@%d:n003;"+ // graceful drain 1
+			"slo@%d:n000*0.5;"+ // SLO target on
+			"kill@%d:n004;"+ // crash…
+			"revive@%d:n004;"+ // …and recover
+			"drain@%d:n005;"+ // graceful drain 2
+			"join@%d;"+
+			"budget@%d*%.0f;"+ // budget restore
+			"cap@%d:n001*0;"+ // ceiling cleared
+			"drain@%d:n001;"+ // graceful drain 3
+			"slo@%d:n000*0", // SLO cleared
+		at(5), share,
+		at(10), 0.92*budgetW,
+		at(15),
+		at(20),
+		at(28),
+		at(35),
+		at(40),
+		at(45),
+		at(55),
+		at(58),
+		at(62),
+		at(70), budgetW,
+		at(75),
+		at(82),
+		at(90),
+	)
+	if _, err := ParseSchedule(dsl); err != nil {
+		return "", err
+	}
+	return dsl, nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/sysid"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// This file wires the control-plane daemon to the evaluation fleet:
+// the same heavy/medium/light workload classes as the scale rack, with
+// one system identification per class shared across every node the
+// daemon ever builds — including nodes joined mid-run, which must come
+// out identical whether built live or during checkpoint replay.
+
+// DaemonClasses is the class catalogue the daemon cycles joins
+// through, matching the scale fleet's heavy/medium/light template.
+func DaemonClasses() []controlplane.ClassSpec {
+	out := make([]controlplane.ClassSpec, len(scaleClasses))
+	for i, c := range scaleClasses {
+		out[i] = controlplane.ClassSpec{Name: c.name, Priority: c.priority}
+	}
+	return out
+}
+
+// NewDaemonNodeFactory returns a node factory for the daemon. Class
+// models are identified lazily — once per class, on a twin seeded from
+// the fleet seed exactly as NewScaleFleet seeds its twins — and cached
+// inside the closure, so repeated joins (and replayed joins on
+// restore) are cheap and bit-identical. Nodes get the paper's latency
+// models wired, so hot SLO reconfiguration engages the controller's
+// latency floors.
+func NewDaemonNodeFactory(fleetSeed int64) func(name, class string, seed int64, priority int) (*cluster.Node, error) {
+	models := map[string]*sysid.Model{}
+	return func(name, class string, seed int64, priority int) (*cluster.Node, error) {
+		var pipelines int
+		found := false
+		for c, cls := range scaleClasses {
+			if cls.name != class {
+				continue
+			}
+			pipelines = cls.pipelines
+			found = true
+			if models[class] == nil {
+				twin, err := scaleServer(fleetSeed+5000+int64(c), cls.pipelines)
+				if err != nil {
+					return nil, err
+				}
+				m, _, err := sysid.Identify(twin, sysid.ExciteConfig{})
+				if err != nil {
+					return nil, err
+				}
+				models[class] = m
+			}
+			break
+		}
+		if !found {
+			return nil, errUnknownClass(class)
+		}
+		s, err := scaleServer(seed, pipelines)
+		if err != nil {
+			return nil, err
+		}
+		// Private model copy: controllers may adapt gains in place.
+		m := *models[class]
+		m.Gains = append([]float64(nil), m.Gains...)
+		lms := daemonLatencyModels()
+		ctrl, err := core.NewCapGPU(&m, s, lms, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return cluster.NewNode(name, s, ctrl, priority)
+	}
+}
+
+// daemonLatencyModels builds the per-GPU latency models (Eq. 10b law
+// parameters), same as the single-server rig.
+func daemonLatencyModels() []*sysid.LatencyModel {
+	names := []string{"resnet50", "swin_t", "vgg16"}
+	zoo := workload.Zoo()
+	lms := make([]*sysid.LatencyModel, len(names))
+	for i, n := range names {
+		lms[i] = &sysid.LatencyModel{EMin: zoo[n].EMinBatch, Gamma: zoo[n].Gamma, FMax: 1350}
+	}
+	return lms
+}
+
+type errUnknownClass string
+
+func (e errUnknownClass) Error() string {
+	return "experiments: unknown daemon class " + string(e) + " (want heavy, medium, light)"
+}
+
+// NewDaemonDeps assembles the daemon dependencies over the evaluation
+// fleet. hub and flightWriter may be nil.
+func NewDaemonDeps(fleetSeed int64, hub *telemetry.Hub, flightWriter func(node string) (io.Writer, error)) controlplane.Deps {
+	return controlplane.Deps{
+		NewNode:      NewDaemonNodeFactory(fleetSeed),
+		Classes:      DaemonClasses(),
+		Hub:          hub,
+		FlightWriter: flightWriter,
+	}
+}

@@ -229,6 +229,11 @@ type SessionOptions struct {
 	// Flight, when non-nil, attaches the flight recorder (and switches a
 	// FlightAware controller into trace-building mode).
 	Flight *flight.Recorder
+	// Stop, when non-nil, is polled between periods; returning true ends
+	// the run early with the records produced so far. The in-flight
+	// period always completes, and period 0 always runs, so a stopped
+	// session still yields a well-formed (if short) record stream.
+	Stop func() bool
 }
 
 // RunSessionWith runs one controller (by name) on a fresh rig with the
@@ -256,15 +261,32 @@ func RunSessionWith(name string, seed int64, periods int, setpoint func(int) flo
 	if opts.Flight != nil {
 		h.SetFlight(opts.Flight)
 	}
-	recs, err := h.Run(periods)
+	var recs []core.PeriodRecord
+	if opts.Stop == nil {
+		recs, err = h.Run(periods)
+	} else {
+		for k := 0; k < periods; k++ {
+			if k > 0 && opts.Stop() {
+				break
+			}
+			var rec core.PeriodRecord
+			rec, err = h.StepPeriod(k)
+			if err != nil {
+				break
+			}
+			recs = append(recs, rec)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
 	res := &RunResult{Controller: ctrl.Name(), Records: recs}
 	// Fixed set-point summaries use the paper's final-80%-of-run
-	// convention (last 80 of 100 periods in §6.3).
-	sp := setpoint(periods - 1)
-	res.Summary = metrics.Summarize(res.PowerSeries(), sp, periods*8/10, 0.02*sp, 0.01*sp)
+	// convention (last 80 of 100 periods in §6.3), over the periods that
+	// actually ran when the session was stopped early.
+	n := len(recs)
+	sp := setpoint(n - 1)
+	res.Summary = metrics.Summarize(res.PowerSeries(), sp, n*8/10, 0.02*sp, 0.01*sp)
 	return res, nil
 }
 

@@ -126,6 +126,33 @@ func Diagnose(in DoctorInput) (*Report, error) {
 
 	rep := &Report{Health: buildHealth(recs, violMeas, violTrue, in.Events)}
 
+	// Injected load-burst windows, mapped onto record positions. The
+	// control-plane load generator announces each hot window at its first
+	// period with the window length in Value; the arrival step's settling
+	// transient can land a couple of periods past the window's end, so
+	// the coverage extends by a small margin.
+	burst := make([]bool, n)
+	if len(in.Events) > 0 {
+		idxByPeriod := map[int]int{}
+		for i, rec := range recs {
+			idxByPeriod[rec.Period] = i
+		}
+		for _, e := range in.Events {
+			if e.Type != telemetry.EventLoadBurst {
+				continue
+			}
+			win := int(e.Value)
+			if win <= 0 {
+				win = 1
+			}
+			for p := e.Period; p <= e.Period+win+2; p++ {
+				if i, ok := idxByPeriod[p]; ok {
+					burst[i] = true
+				}
+			}
+		}
+	}
+
 	// Scored one-step errors on fresh-meter periods, position-tagged,
 	// for the trailing-sigma model-mismatch rule.
 	type scored struct {
@@ -260,7 +287,7 @@ func Diagnose(in DoctorInput) (*Report, error) {
 		for b+1 < n && !covered[b+1] && (violMeas[b+1] || violTrue[b+1]) {
 			b++
 		}
-		rep.Incidents = append(rep.Incidents, diagnoseViolation(recs, violMeas, violTrue, a, b, sigmaBefore))
+		rep.Incidents = append(rep.Incidents, diagnoseViolation(recs, violMeas, violTrue, burst, a, b, measSlack, trueSlack, sigmaBefore))
 		a = b + 1
 	}
 
@@ -359,7 +386,7 @@ func Diagnose(in DoctorInput) (*Report, error) {
 }
 
 // diagnoseViolation attributes one violation cluster [a,b].
-func diagnoseViolation(recs []DecisionRecord, violMeas, violTrue []bool, a, b int, sigmaBefore func(int) float64) Incident {
+func diagnoseViolation(recs []DecisionRecord, violMeas, violTrue, burst []bool, a, b int, measSlack, trueSlack float64, sigmaBefore func(int) float64) Incident {
 	worstMeasW, worstTrueW := 0.0, 0.0
 	trueAny := false
 	for i := a; i <= b; i++ {
@@ -418,6 +445,139 @@ func diagnoseViolation(recs []DecisionRecord, violMeas, violTrue []bool, a, b in
 		return inc
 	}
 
+	// The cluster overlaps an announced load-burst window: the injected
+	// arrival step drives power up faster than one control period can
+	// absorb, and the controller pulls it back within the window. Same
+	// standing as fault coincidence — a known injected disturbance.
+	for i := a; i <= b; i++ {
+		if i < len(burst) && burst[i] {
+			inc.RootCause = "load-burst-transient"
+			inc.Explained = true
+			inc.Detail = fmt.Sprintf("%s: coincides with an injected load-burst window — arrival-step transient, controller recovering", where)
+			return inc
+		}
+	}
+
+	// Every period in the cluster uncontrolled: the node was declared
+	// dead (heartbeats lost) and is flying open loop at its last
+	// operating point. The rack plane holds a guard-band reservation for
+	// exactly this excursion, so it is designed behavior, not a control
+	// failure.
+	allUncontrolled := true
+	for i := a; i <= b; i++ {
+		if !recs[i].Uncontrolled {
+			allUncontrolled = false
+			break
+		}
+	}
+	if allUncontrolled {
+		inc.RootCause = "node-dead-open-loop"
+		inc.Explained = true
+		inc.Detail = fmt.Sprintf("%s: node uncontrolled for the whole cluster (declared dead, flying open loop at its last operating point) — covered by the rack guard-band reservation", where)
+		return inc
+	}
+
+	// The setpoint stepped down into the cluster (a hot budget
+	// reconfiguration or reallocation) and power never exceeded the old
+	// setpoint: the "violation" is the plant catching down to the new
+	// cap, one settling transient, not an escape.
+	if a > 0 {
+		oldSet := recs[a-1].SetpointW
+		if oldSet > recs[a].SetpointW {
+			within := true
+			for i := a; i <= b; i++ {
+				if recs[i].MeasuredW > oldSet || recs[i].TruePowerW > oldSet {
+					within = false
+					break
+				}
+			}
+			if within {
+				inc.RootCause = "setpoint-step-transient"
+				inc.Explained = true
+				inc.Detail = fmt.Sprintf("%s: setpoint stepped down %.1f W → %.1f W at k=%d and power stayed under the old cap — settling transient after a reallocation or hot reconfiguration", where, oldSet, recs[a].SetpointW, recs[a].Period)
+				return inc
+			}
+		}
+	}
+
+	// A reallocation squeezed the cap down under a plant that was
+	// legitimately tracking its previous, higher setpoint: power never
+	// escaped the envelope the recent caps allowed (trailing setpoint
+	// ceiling plus the ordinary slack), the cap moved out from under it.
+	// The duration bound keeps this honest — a controller that cannot
+	// grind the plant down to a tightened cap within a couple of barrier
+	// cycles is a real tracking failure and falls through.
+	if b-a+1 <= 8 && a > 0 {
+		lo := a - 6
+		if lo < 0 {
+			lo = 0
+		}
+		ceilW := 0.0
+		for i := lo; i < a; i++ {
+			if recs[i].SetpointW > ceilW {
+				ceilW = recs[i].SetpointW
+			}
+		}
+		if ceilW > recs[a].SetpointW {
+			within := true
+			for i := a; i <= b; i++ {
+				if recs[i].MeasuredW > ceilW*(1+measSlack) || recs[i].TruePowerW > ceilW*(1+trueSlack) {
+					within = false
+					break
+				}
+			}
+			if within {
+				inc.RootCause = "cap-squeeze-transient"
+				inc.Explained = true
+				inc.Detail = fmt.Sprintf("%s: cap reallocated down from a %.1f W trailing ceiling the plant was tracking, and power never escaped that ceiling's slack — squeeze transient, controller grinding down to the new cap", where, ceilW)
+				return inc
+			}
+		}
+	}
+
+	// A reallocation or hot reconfiguration moved the setpoint at (or one
+	// barrier before) the cluster and the controller caught the plant
+	// within a few periods: a tracking transient, not an escape. One
+	// actuation period of delay means power chases a moving setpoint from
+	// behind, so a brief excursion bounded by the step size (plus the
+	// ordinary slack) right after a step is the expected cost of
+	// rack-level reallocation under shifting load. Sustained or outsized
+	// excursions fall through to the real diagnoses below.
+	if b-a+1 <= 3 {
+		stepAt := -1
+		for i := a; i >= 1 && i >= a-2; i-- {
+			if math.Abs(recs[i].SetpointW-recs[i-1].SetpointW) > 1e-9 {
+				stepAt = i
+				break
+			}
+		}
+		if stepAt > 0 {
+			dW := math.Abs(recs[stepAt].SetpointW - recs[stepAt-1].SetpointW)
+			worst := worstMeasW
+			if worstTrueW > worst {
+				worst = worstTrueW
+			}
+			if dW > 0 && worst <= 2*dW+0.02*recs[a].SetpointW {
+				inc.RootCause = "reallocation-transient"
+				inc.Explained = true
+				inc.Detail = fmt.Sprintf("%s: setpoint moved %.1f W → %.1f W at k=%d and the excursion stayed within the step's tracking bound for ≤3 periods — reallocation tracking transient", where, recs[stepAt-1].SetpointW, recs[stepAt].SetpointW, recs[stepAt].Period)
+				return inc
+			}
+		}
+	}
+
+	// A violation in the first few records of the stream is the
+	// controller pulling the plant down from its initial operating point
+	// — cold-start settling, not an anomaly. Position in the stream, not
+	// the absolute period, is what matters: a node that joins a running
+	// rack starts cold at its join period.
+	if a < 5 {
+		inc.RootCause = "cold-start-transient"
+		inc.Explained = true
+		inc.Detail = fmt.Sprintf("%s: within the first periods of the stream, controller still pulling the plant down from its uncapped operating point — cold-start settling", where)
+		return inc
+	}
+
 	// Every GPU pressed onto its SLO floor while power escaped: the cap
 	// is infeasible under the latency constraints.
 	for i := a; i <= b; i++ {
@@ -446,6 +606,56 @@ func diagnoseViolation(recs []DecisionRecord, violMeas, violTrue []bool, a, b in
 			inc.RootCause = "mpc-infeasible-hold"
 			inc.Explained = true
 			inc.Detail = fmt.Sprintf("%s: MPC subproblem infeasible, controller holding its operating point", where)
+			return inc
+		}
+	}
+
+	// A one-or-two-period excursion whose size matches the one-step
+	// prediction error of the same periods, gone immediately after: an
+	// unpredicted arrival spike pushed the plant over the cap for one
+	// control period and the next correction rejected it. That is the
+	// noise floor of an open-loop arrival process, not a control failure.
+	// Sustained excursions or ones the model predicted (err ≪ excursion,
+	// meaning the controller commanded the violation) fall through.
+	if b-a+1 <= 2 && a >= 5 {
+		worst := worstMeasW
+		if worstTrueW > worst {
+			worst = worstTrueW
+		}
+		spikeErrW := 0.0
+		for i := a; i <= b; i++ {
+			if recs[i].HaveOneStepErr && recs[i].OneStepErrW > spikeErrW {
+				spikeErrW = recs[i].OneStepErrW
+			}
+		}
+		// The noise envelope is what this plant has demonstrated: the
+		// largest period-to-period power swing over the trailing window.
+		// A spiky arrival process earns a wider envelope than a smooth
+		// one; a fixed fraction of the setpoint is the floor.
+		envelopeW := 0.05 * recs[a].SetpointW
+		lo := a - 20
+		if lo < 0 {
+			lo = 0
+		}
+		for i := lo; i < a-1; i++ {
+			if s := math.Abs(recs[i+1].TruePowerW - recs[i].TruePowerW); 1.2*s > envelopeW {
+				envelopeW = 1.2 * s
+			}
+		}
+		// A cap that stepped down at (or just before) the spike widens the
+		// allowance by the step: the excursion then decomposes into one
+		// period of tracking lag behind the moved setpoint plus the
+		// unpredicted disturbance, each inside its own bound.
+		for i := a; i > 0 && i >= a-2; i-- {
+			if d := recs[i-1].SetpointW - recs[i].SetpointW; d > 0 {
+				envelopeW += d
+				break
+			}
+		}
+		if worst <= envelopeW && spikeErrW >= 0.5*worst {
+			inc.RootCause = "arrival-noise-transient"
+			inc.Explained = true
+			inc.Detail = fmt.Sprintf("%s: excursion matches an unpredicted +%.1f W disturbance inside the plant's %.1f W trailing noise envelope and is rejected the next period — stochastic arrival noise at the control loop's noise floor", where, spikeErrW, envelopeW)
 			return inc
 		}
 	}

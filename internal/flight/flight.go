@@ -107,6 +107,11 @@ type ControllerTrace struct {
 type DecisionRecord struct {
 	Period int     `json:"period"`
 	TimeS  float64 `json:"time_s"`
+	// PolicyEpoch is the control plane's policy version at record time
+	// (0 when no daemon is attached): every applied hot-reconfiguration
+	// bumps it, so a record is attributable to the exact policy that
+	// produced its decision.
+	PolicyEpoch int `json:"policy_epoch,omitempty"`
 
 	SetpointW float64 `json:"setpoint_w"`
 	// MeasuredW is what the controller was fed — a held/guarded value
@@ -176,7 +181,15 @@ type Recorder struct {
 
 	prevPredW float64 // previous record's one-step prediction
 	prevOK    bool
+
+	epoch int // stamped onto subsequent records (0 = no control plane)
 }
+
+// SetEpoch sets the policy epoch stamped onto subsequent records. The
+// control plane calls it at each barrier where a reconfiguration
+// applies; standalone runs never do, leaving the field at its zero
+// (omitted) value so existing goldens are unchanged.
+func (r *Recorder) SetEpoch(epoch int) { r.epoch = epoch }
 
 // NewRecorder builds a recorder from the config.
 func NewRecorder(cfg Config) *Recorder {
@@ -190,6 +203,7 @@ func NewRecorder(cfg Config) *Recorder {
 // Record appends one period's record, scoring it against the previous
 // period's one-step prediction first.
 func (r *Recorder) Record(rec DecisionRecord) {
+	rec.PolicyEpoch = r.epoch
 	if r.prevOK {
 		rec.OneStepErrW = rec.MeasuredW - r.prevPredW
 		rec.TrueOneStepErrW = rec.TruePowerW - r.prevPredW

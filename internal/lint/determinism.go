@@ -41,6 +41,7 @@ func DefaultDeterminismScope() []string {
 		"internal/faults",
 		"internal/core",
 		"internal/cluster",
+		"internal/controlplane",
 		"internal/mpc",
 		"internal/experiments",
 		"internal/telemetry",

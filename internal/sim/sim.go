@@ -506,6 +506,17 @@ func (s *Server) PowerRange() (min, max float64) {
 	return min, max
 }
 
+// SetArrivalScale sets the open-loop arrival multiplier on every
+// attached inference pipeline (1 = nominal). Load generators drive it
+// per period to impose diurnal and bursty traffic.
+func (s *Server) SetArrivalScale(f float64) {
+	for _, p := range s.pipelines {
+		if p != nil {
+			p.SetArrivalScale(f)
+		}
+	}
+}
+
 // ResetWorkloads resets attached workloads and the clock; device
 // frequencies are preserved.
 func (s *Server) ResetWorkloads() {

@@ -250,6 +250,21 @@ func (h *Hub) emitLocked(e Event) {
 		h.count("capgpu_mpc_infeasible_total", "Periods the MPC subproblem was infeasible and the controller held its point.", node)
 	case EventAdaptFrozen:
 		h.count("capgpu_adapt_frozen_periods_total", "Periods RLS adaptation was frozen on a stale meter.", node)
+	case EventNodeJoined:
+		h.count("capgpu_node_joins_total", "Nodes admitted into the rack membership.", node)
+	case EventDrainStart:
+		h.count("capgpu_node_drains_total", "Nodes that began a graceful drain.", node)
+	case EventNodeReleased:
+		h.count("capgpu_node_releases_total", "Nodes released from the rack membership after draining.", node)
+	case EventPolicyApplied:
+		h.count("capgpu_policy_changes_total", "Policy mutations applied at a period barrier.", node)
+		h.reg.gaugeSet("capgpu_policy_epoch", "Monotonic policy epoch; bumps on every applied mutation.", node, e.Value)
+	case EventPolicyRejected:
+		h.count("capgpu_policy_rejections_total", "Policy mutations rejected as invalid or infeasible.", node)
+	case EventReservationReleased:
+		h.count("capgpu_reservation_releases_total", "Dead-node budget reservations released after the hold expired.", node)
+	case EventCheckpoint:
+		h.count("capgpu_checkpoints_total", "Control-plane checkpoints written.", node)
 	}
 }
 

@@ -43,6 +43,19 @@ const (
 	EventMPCInfeasible   EventType = "mpc-infeasible"
 	EventAdaptFrozen     EventType = "adapt-frozen"
 	EventRunEnd          EventType = "run-end"
+
+	// Control-plane lifecycle events (the capgpu-rack daemon). These are
+	// point events, not enter/exit pairs: membership transitions are
+	// already visible as state (node-dead/node-recovered cover liveness),
+	// so CheckBalance imposes no pairing on them.
+	EventNodeJoined          EventType = "node-join"
+	EventDrainStart          EventType = "drain-start"
+	EventNodeReleased        EventType = "node-released"
+	EventPolicyApplied       EventType = "policy-applied"
+	EventPolicyRejected      EventType = "policy-rejected"
+	EventReservationReleased EventType = "reservation-released"
+	EventCheckpoint          EventType = "checkpoint"
+	EventLoadBurst           EventType = "load-burst"
 )
 
 // Event is one structured lifecycle record. Device is -1 when the event

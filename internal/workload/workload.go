@@ -157,6 +157,9 @@ type Pipeline struct {
 	// batch is the live batch size (defaults to the model's BatchSize;
 	// adjustable at run time by batching controllers).
 	batch int
+	// arrScale multiplies the offered arrival rate (1 = nominal). Load
+	// generators use it to impose diurnal/bursty traffic open-loop.
+	arrScale float64
 
 	last Stats
 }
@@ -194,7 +197,7 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	if cfg.ServiceBatchEff <= 0 {
 		cfg.ServiceBatchEff = float64(cfg.Model.BatchSize)
 	}
-	return &Pipeline{cfg: cfg, extLat: 1, batch: cfg.Model.BatchSize, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	return &Pipeline{cfg: cfg, extLat: 1, arrScale: 1, batch: cfg.Model.BatchSize, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
 }
 
 // Config returns the pipeline configuration.
@@ -202,6 +205,18 @@ func (p *Pipeline) Config() PipelineConfig { return p.cfg }
 
 // Last returns the stats of the most recent step.
 func (p *Pipeline) Last() Stats { return p.last }
+
+// SetArrivalScale sets the open-loop arrival multiplier (1 = nominal,
+// the constructor default). Values <= 0 are clamped to 0 (no traffic).
+func (p *Pipeline) SetArrivalScale(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	p.arrScale = f
+}
+
+// ArrivalScale returns the current open-loop arrival multiplier.
+func (p *Pipeline) ArrivalScale() float64 { return p.arrScale }
 
 // MaxThroughput returns the pipeline's best achievable throughput, used
 // to normalize per-device throughput for the weight assignment
@@ -222,7 +237,7 @@ func (p *Pipeline) Step(dt, fc, fg float64) Stats {
 	fg = math.Max(fg, 1e-6)
 
 	// Offered arrival rate from the preprocessing stage.
-	lambda := c.ArrivalRateMax * math.Pow(fc/c.FcMax, c.ArrivalExp)
+	lambda := p.arrScale * c.ArrivalRateMax * math.Pow(fc/c.FcMax, c.ArrivalExp)
 	// GPU service capability at the live batch size.
 	eTrue := c.Model.TrueBatchLatencyAt(fg, c.FgMax, p.batch)
 	if p.extLat > 1 {
