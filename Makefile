@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench cover soak telemetry-verify doctor-verify
+.PHONY: all build test race vet fmt lint check bench bench-ratchet cover soak telemetry-verify doctor-verify
 
 # Ratcheted coverage floors. internal/cluster holds the parallel
 # stepping and its equivalence/error-path suites; internal/controlplane
-# holds the daemon's membership, checkpoint, and policy-API suites. A
-# drop below a floor means proof rotted out. Raise a floor when
+# holds the daemon's membership, checkpoint, and policy-API suites;
+# internal/lint holds the contract analyzers and their fixture suites.
+# A drop below a floor means proof rotted out. Raise a floor when
 # coverage rises; never lower it.
 CLUSTER_COVER_FLOOR = 95.0
 CONTROLPLANE_COVER_FLOOR = 80.0
+LINT_COVER_FLOOR = 90.0
 
 all: check
 
@@ -32,9 +34,18 @@ fmt:
 	fi
 
 # Domain-aware static analysis (units, determinism, floatsafety,
-# errcheck); exits nonzero on any unsuppressed finding.
+# errcheck, lockorder, hotalloc, barrierconfine, stickyerr); exits
+# nonzero on any unsuppressed finding. Add -json for the CI-annotation
+# document form.
 lint:
 	$(GO) run ./cmd/capgpu-lint -dir .
+
+# Allocation ratchet: measure the hot-path micro-benchmarks and fail if
+# any allocs/op exceeds its committed ceiling in BENCH_FLOORS.json.
+# Ceilings are tightened by hand when an optimization lands; the tool
+# never rewrites the file.
+bench-ratchet:
+	$(GO) run ./cmd/capgpu-bench -ratchet BENCH_FLOORS.json
 
 # End-to-end telemetry acceptance: a short fault-injected session whose
 # degraded/fail-safe windows must produce a balanced JSONL event stream
@@ -81,6 +92,13 @@ cover:
 		echo "cover: internal/controlplane coverage $$pct% is below the $(CONTROLPLANE_COVER_FLOOR)% floor"; exit 1; \
 	fi; \
 	echo "cover: internal/controlplane $$pct% >= $(CONTROLPLANE_COVER_FLOOR)% floor"
+	@$(GO) test -coverprofile=/tmp/capgpu-lint.cov ./internal/lint/ | tee /tmp/capgpu-lint-cover.txt
+	@pct="$$(grep -o 'coverage: [0-9.]*' /tmp/capgpu-lint-cover.txt | grep -o '[0-9.]*')"; \
+	ok="$$(awk -v p="$$pct" -v f="$(LINT_COVER_FLOOR)" 'BEGIN { print (p >= f) ? 1 : 0 }')"; \
+	if [ "$$ok" != "1" ]; then \
+		echo "cover: internal/lint coverage $$pct% is below the $(LINT_COVER_FLOOR)% floor"; exit 1; \
+	fi; \
+	echo "cover: internal/lint $$pct% >= $(LINT_COVER_FLOOR)% floor"
 
 # Deterministic control-plane soak: one simulated day (21600 periods)
 # of diurnal + bursty load over a seeded churn schedule (joins, drains,
@@ -98,7 +116,7 @@ soak:
 	@tail -n 1 /tmp/capgpu-soak/soak.log
 	@echo "soak: ok (artifacts in /tmp/capgpu-soak)"
 
-check: build vet fmt lint test race cover telemetry-verify doctor-verify soak
+check: build vet fmt lint test race cover bench-ratchet telemetry-verify doctor-verify soak
 
 bench:
 	$(GO) test -bench . -benchtime 1x .

@@ -1,18 +1,28 @@
 // Command capgpu-lint runs the repo's domain-aware static-analysis
 // suite (internal/lint) over every non-test package in the module:
-// unit-suffix naming, determinism of the seeded-replay surfaces, float
-// comparison/division safety, and discarded errors.
+// unit-suffix naming (units), determinism of the seeded-replay surfaces
+// (determinism), float comparison/division safety (floatsafety),
+// discarded errors (errcheck), mutex acquisition ordering (lockorder),
+// allocation shapes on //capgpu:hotpath call trees (hotalloc), cluster
+// mutator confinement to //capgpu:barrier roots (barrierconfine), and
+// the latched-first-error contract on stream writers (stickyerr).
 //
 // Usage:
 //
-//	capgpu-lint [-dir .] [-rule units|determinism|floatsafety|errcheck]
+//	capgpu-lint [-dir .] [-rule <name>] [-json]
+//
+// -rule runs one analyzer by name (see above). -json replaces the
+// line-oriented output with a single machine-readable document —
+// findings plus per-rule counts — for CI annotation tooling.
 //
 // Exit status: 0 clean, 1 findings, 2 load/usage failure. Intentional
 // exceptions are suppressed at the use site with
-// `//lint:ignore <rule> <reason>`.
+// `//lint:ignore <rule> <reason>`; the rule name must be one of the
+// analyzers above (a typo is itself a finding).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,9 +30,28 @@ import (
 	"repro/internal/lint"
 )
 
+// jsonFinding is one diagnostic in -json output, flattened for
+// annotation tooling (file/line/column at the top level).
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the -json document: the findings, how many each rule
+// produced, and how many packages were analyzed.
+type jsonReport struct {
+	Findings []jsonFinding  `json:"findings"`
+	ByRule   map[string]int `json:"by_rule"`
+	Packages int            `json:"packages"`
+}
+
 func main() {
 	dir := flag.String("dir", ".", "module root to analyze")
 	rule := flag.String("rule", "", "run only the named analyzer (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as one JSON document instead of lines")
 	flag.Parse()
 
 	pkgs, err := lint.LoadModule(*dir)
@@ -45,11 +74,48 @@ func main() {
 		analyzers = picked
 	}
 	findings := lint.Run(pkgs, analyzers)
+	if *asJSON {
+		report := jsonReport{
+			Findings: make([]jsonFinding, 0, len(findings)),
+			ByRule:   make(map[string]int),
+			Packages: len(pkgs),
+		}
+		for _, d := range findings {
+			report.Findings = append(report.Findings, jsonFinding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Rule: d.Rule, Message: d.Message,
+			})
+			report.ByRule[d.Rule]++
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "capgpu-lint: %v\n", err)
+			os.Exit(2)
+		}
+		if len(findings) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	for _, d := range findings {
 		fmt.Println(d.String())
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "capgpu-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		counts := make(map[string]int)
+		for _, d := range findings {
+			counts[d.Rule]++
+		}
+		fmt.Fprintf(os.Stderr, "capgpu-lint: %d finding(s) in %d package(s):", len(findings), len(pkgs))
+		for _, r := range lint.AllRuleNames() {
+			if counts[r] > 0 {
+				fmt.Fprintf(os.Stderr, " %s=%d", r, counts[r])
+			}
+		}
+		if counts["lint"] > 0 {
+			fmt.Fprintf(os.Stderr, " lint=%d", counts["lint"])
+		}
+		fmt.Fprintln(os.Stderr)
 		os.Exit(1)
 	}
 	fmt.Printf("capgpu-lint: %d packages clean\n", len(pkgs))

@@ -244,6 +244,7 @@ func (b *Bank) ApplyVerified(targets []float64, apply ApplyFunc, maxRetries int)
 			b.sink.Emit(telemetry.Event{
 				TimeS: b.periodS, Period: b.period, Type: telemetry.EventActuatorDiverge,
 				Node: b.node, Device: i, Value: got - cmd,
+				//lint:ignore hotalloc formats only when a read-back diverges, a rare fault event worth the allocation
 				Detail: fmt.Sprintf("commanded %.4g applied %.4g after %d retries", cmd, got, maxRetries),
 			})
 		}

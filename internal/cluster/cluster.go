@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -319,6 +320,10 @@ type Coordinator struct {
 	// parallel stepping (nil entries for nodes without telemetry);
 	// flushed in node-index order at the merge barrier.
 	buffers []*telemetry.Buffer
+	// detailBuf is the reusable scratch for the per-realloc telemetry
+	// detail string (reallocate runs every rack period; fmt would box
+	// three operands per call).
+	detailBuf []byte
 }
 
 // NewCoordinator assembles a rack controller.
@@ -488,6 +493,8 @@ func (c *Coordinator) observe(idx []int) []Observation {
 // out across the Workers pool and their results merge back in
 // node-index order, so records, telemetry, and flight output are
 // byte-identical at every worker count.
+//
+//capgpu:hotpath
 func (c *Coordinator) Step(k int) error {
 	if c.RackPeriods < 1 {
 		c.RackPeriods = 1
@@ -525,6 +532,7 @@ func (c *Coordinator) Step(k int) error {
 	}
 	recs := make([]core.PeriodRecord, len(c.Nodes))
 	errs := make([]error, len(c.Nodes))
+	//lint:ignore hotalloc one fan-out closure per rack step hands work to the fixed pool; the per-node loop inside it is allocation-free
 	runIndexed(w, len(c.Nodes), func(i int) {
 		if c.missed[i] > 0 {
 			// Out of contact: the node's loop is not reachable, but its
@@ -637,6 +645,7 @@ func (c *Coordinator) emitReservationReleased(i int, n *Node, k, hold int) {
 	sink.Emit(telemetry.Event{
 		TimeS: n.Server.Now(), Period: k, Type: telemetry.EventReservationReleased,
 		Node: name, Device: -1, Value: last * (1 + c.GuardBandFrac),
+		//lint:ignore hotalloc fires once per dead-node hold expiry, not per period; formatting cost is acceptable for the event trail
 		Detail: fmt.Sprintf("missed=%d hold=%d", c.missed[i], hold),
 	})
 }
@@ -701,10 +710,17 @@ func (c *Coordinator) reallocate(k int) error {
 	}
 	c.reservedW = reserved
 	if c.Telemetry != nil {
+		b := append(c.detailBuf[:0], "policy="...)
+		b = append(b, c.Policy.Name()...)
+		b = append(b, " live="...)
+		b = strconv.AppendInt(b, int64(len(live)), 10)
+		b = append(b, '/')
+		b = strconv.AppendInt(b, int64(len(c.Nodes)), 10)
+		c.detailBuf = b
 		c.Telemetry.Emit(telemetry.Event{
 			TimeS: c.Nodes[0].Server.Now(), Period: k, Type: telemetry.EventReallocation,
 			Device: -1, Value: reserved,
-			Detail: fmt.Sprintf("policy=%s live=%d/%d", c.Policy.Name(), len(live), len(c.Nodes)),
+			Detail: string(b),
 		})
 	}
 	if len(live) == 0 {

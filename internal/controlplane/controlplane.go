@@ -484,6 +484,8 @@ func (d *Daemon) Step() error {
 // barrier runs the control-plane half of a reallocation barrier:
 // advance graceful drains, then process due mutations — from the op
 // log when replaying, from the schedule and the API queue when live.
+//
+//capgpu:barrier
 func (d *Daemon) barrier(k int) error {
 	if err := d.stepDrains(k); err != nil {
 		return err

@@ -150,6 +150,16 @@ type CapGPU struct {
 	node string
 
 	flightOn bool // build flight.ControllerTrace per decision
+
+	// Per-decision scratch, reused across periods so the steady-state
+	// Decide path does not re-allocate its knob vectors every call.
+	// Safe because mpc.Controller.Compute and sysid.RLS.Update copy
+	// what they keep, and lastReg is copied out of scrReg on absorb.
+	scrFreqs []float64
+	scrTP    []float64
+	scrLower []float64
+	scrReg   []float64
+	scrGains []float64
 }
 
 // TelemetryAware is implemented by controllers that emit their own
@@ -293,6 +303,8 @@ func (c *CapGPU) CurrentModel() *sysid.Model {
 }
 
 // Decide implements PowerController: one MPC step.
+//
+//capgpu:hotpath
 func (c *CapGPU) Decide(obs Observation) Decision {
 	// Online adaptation: the observation pairs the frequencies applied
 	// during the period with the period's average power — exactly the
@@ -319,7 +331,7 @@ func (c *CapGPU) Decide(obs Observation) Decision {
 		if c.excited(f) {
 			if innov, err := c.rls.Update(f, obs.AvgPowerW); err == nil {
 				c.lastInnovation = innov
-				c.lastReg = f
+				c.lastReg = append(c.lastReg[:0], f...) // copy: f is scratch
 				// Let the estimate settle before steering the MPC.
 				if c.rls.Count() > 3 {
 					_ = c.ctrl.SetGains(c.projectGains(c.denormModel().Gains))
@@ -334,18 +346,21 @@ func (c *CapGPU) Decide(obs Observation) Decision {
 		c.filt = c.alpha*obs.AvgPowerW + (1-c.alpha)*c.filt
 	}
 	ng := len(obs.GPUFreqMHz)
-	freqs := make([]float64, 1+ng)
+	c.scrFreqs = growFloats(c.scrFreqs, 1+ng)
+	freqs := c.scrFreqs
 	freqs[0] = obs.CPUFreqGHz
 	copy(freqs[1:], obs.GPUFreqMHz)
 
-	tp := make([]float64, 1+ng)
+	c.scrTP = growFloats(c.scrTP, 1+ng)
+	tp := c.scrTP
 	tp[0] = obs.CPUThroughputNorm
 	copy(tp[1:], obs.GPUThroughputNorm)
 
 	// SLO floors (Eq. 10b,c): invert each GPU's latency law with the
 	// safety margin, then apply the adaptive correction learned from
 	// measured latencies.
-	lower := make([]float64, 1+ng)
+	c.scrLower = growFloats(c.scrLower, 1+ng)
+	lower := c.scrLower
 	lower[0] = c.fminC
 	for i := 0; i < ng; i++ {
 		lower[1+i] = c.fminG[i]
@@ -485,10 +500,21 @@ func (c *CapGPU) buildTrace(obs Observation, d []float64, diag *mpc.Diagnostics,
 	return t
 }
 
+// growFloats returns buf with length n, reusing its backing array when
+// the capacity suffices (per-period scratch reuse). Contents are
+// whatever the caller last wrote; callers overwrite every element.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // normReg maps the applied frequencies into [0,1] per knob — the
 // estimator's coordinates.
 func (c *CapGPU) normReg(fc float64, fg []float64) []float64 {
-	f := make([]float64, 1+len(fg))
+	c.scrReg = growFloats(c.scrReg, 1+len(fg))
+	f := c.scrReg
 	//lint:ignore floatsafety New validates fmaxC > fminC, so the range is nonzero
 	f[0] = (fc - c.fminC) / (c.fmaxC - c.fminC)
 	for i := range fg {
@@ -532,7 +558,8 @@ func (c *CapGPU) excited(f []float64) bool {
 // model's — the gain-error region §4.4 certifies stable — so a bad
 // stretch of data can degrade, but never destabilize, the controller.
 func (c *CapGPU) projectGains(g []float64) []float64 {
-	out := make([]float64, len(g))
+	c.scrGains = growFloats(c.scrGains, len(g))
+	out := c.scrGains
 	for i := range g {
 		lo := c.initial.Gains[i] / 3
 		hi := c.initial.Gains[i] * 3
@@ -634,6 +661,21 @@ type Harness struct {
 	haveRaw      bool
 	gpuFailed    []bool
 	stashedPipes []*workload.Pipeline
+
+	// applyFn caches the actuator ApplyFunc (a method value) so the
+	// period loop does not allocate one closure per period; applyK is
+	// the period it reads the fault schedule at.
+	applyFn actuator.ApplyFunc
+	applyK  int
+
+	// Per-period scratch for StepPeriod's transients: the observation's
+	// derived vectors and the actuation target vector. Safe to reuse
+	// because Observation is only read during Controller.Decide and the
+	// bank copies targets into its own report; PeriodRecord's slices,
+	// which escape to the caller, are still freshly allocated.
+	obsTPNorm []float64
+	obsUtil   []float64
+	applyTgt  []float64
 }
 
 // PeriodRecord is the harness's log entry for one control period.
@@ -824,6 +866,8 @@ func (h *Harness) Run(periods int) ([]PeriodRecord, error) {
 // (the index drives the set-point, SLO and fault schedules).
 // Cluster-level coordinators use this to interleave many servers'
 // loops.
+//
+//capgpu:hotpath
 func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 	if h.PeriodSeconds <= 0 {
 		return PeriodRecord{}, fmt.Errorf("core: control period %d must be positive", h.PeriodSeconds)
@@ -984,7 +1028,12 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 	if failSafe {
 		dec = h.failSafeDecision(rec)
 	} else {
-		// Build the observation and let the controller decide.
+		// Build the observation and let the controller decide. Its
+		// derived vectors live in harness scratch: Observation is only
+		// read during the Decide call, so the buffers are free again by
+		// the next period.
+		h.obsTPNorm = growFloats(h.obsTPNorm, ng)
+		h.obsUtil = growFloats(h.obsUtil, ng)
 		obs := Observation{
 			Period:            k,
 			TimeS:             s.Now(),
@@ -992,8 +1041,8 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 			SetpointW:         setpoint,
 			CPUFreqGHz:        s.CPUFreq(),
 			GPUFreqMHz:        rec.GPUFreqMHz,
-			GPUThroughputNorm: make([]float64, ng),
-			GPUUtil:           make([]float64, ng),
+			GPUThroughputNorm: h.obsTPNorm,
+			GPUUtil:           h.obsUtil,
 			GPULatencyS:       rec.GPULatencyS,
 			CPUPowerW:         rec.CPUPowerW,
 			GPUPowerW:         rec.GPUPowerW,
@@ -1005,6 +1054,7 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 		obs.CPUUtil = last.CPUUtil
 		for i := 0; i < ng; i++ {
 			obs.GPUUtil[i] = last.GPUUtil[i]
+			obs.GPUThroughputNorm[i] = 0 // scratch may hold last period's value
 			if p := s.Pipeline(i); p != nil && p.MaxThroughput() > 0 {
 				obs.GPUThroughputNorm[i] = clamp01(rec.GPUThroughput[i] / p.MaxThroughput())
 			}
@@ -1022,7 +1072,8 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 
 	// Resolve fractional targets through the modulators and apply with
 	// read-back verification (faults may drop or clamp any command).
-	targets := make([]float64, 1+ng)
+	h.applyTgt = growFloats(h.applyTgt, 1+ng)
+	targets := h.applyTgt
 	targets[0] = dec.CPUFreqGHz
 	copy(targets[1:], dec.GPUFreqMHz)
 	retries := h.ActuatorRetries
@@ -1120,35 +1171,45 @@ func (h *Harness) failSafeDecision(cur PeriodRecord) Decision {
 // applier returns the ApplyFunc for period k: the write path to the
 // hardware, filtered through the fault schedule (lost commands leave
 // the old frequency in place; a derated or failed GPU clamps or
-// ignores what it is sent).
+// ignores what it is sent). The method value is built once and cached
+// on the harness (with the period stashed in applyK) so the hot loop
+// does not allocate a fresh closure every period.
 func (h *Harness) applier(k int) actuator.ApplyFunc {
-	s := h.Server
-	return func(dev, attempt int, level float64) float64 {
-		if dev > 0 {
-			g := dev - 1
-			if h.Faults.GPUFailedAt(k, g) {
-				return s.GPUFreq(g) // offline: command ignored
-			}
-			if frac, ok := h.Faults.GPUDerateAt(k, g); ok {
-				gmin, gmax := h.Bank.Mod(dev).Range()
-				dmax := math.Max(frac*gmax, gmin)
-				if level > dmax {
-					level = dmax
-				}
-			}
-		}
-		if h.Faults.ActuatorLostAt(k, dev, attempt) {
-			if dev == 0 {
-				return s.CPUFreq()
-			}
-			return s.GPUFreq(dev - 1)
-		}
-		if dev == 0 {
-			return s.SetCPUFreq(level)
-		}
-		v, _ := s.SetGPUFreq(dev-1, level)
-		return v
+	h.applyK = k
+	if h.applyFn == nil {
+		h.applyFn = h.applyAt
 	}
+	return h.applyFn
+}
+
+// applyAt is the cached ApplyFunc body; h.applyK carries the period
+// set by applier just before the bank calls it.
+func (h *Harness) applyAt(dev, attempt int, level float64) float64 {
+	k, s := h.applyK, h.Server
+	if dev > 0 {
+		g := dev - 1
+		if h.Faults.GPUFailedAt(k, g) {
+			return s.GPUFreq(g) // offline: command ignored
+		}
+		if frac, ok := h.Faults.GPUDerateAt(k, g); ok {
+			gmin, gmax := h.Bank.Mod(dev).Range()
+			dmax := math.Max(frac*gmax, gmin)
+			if level > dmax {
+				level = dmax
+			}
+		}
+	}
+	if h.Faults.ActuatorLostAt(k, dev, attempt) {
+		if dev == 0 {
+			return s.CPUFreq()
+		}
+		return s.GPUFreq(dev - 1)
+	}
+	if dev == 0 {
+		return s.SetCPUFreq(level)
+	}
+	v, _ := s.SetGPUFreq(dev-1, level)
+	return v
 }
 
 // applyGPUFailTransitions detaches a failing GPU's pipeline (and pins

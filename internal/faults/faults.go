@@ -66,10 +66,13 @@ var kindNames = map[Kind]string{
 
 // String returns the DSL name of the kind.
 func (k Kind) String() string {
-	if n, ok := kindNames[k]; ok {
-		return n
+	n, ok := kindNames[k]
+	if !ok {
+		// Only hand-built schedules with bogus kinds land here, so the
+		// format cost stays off the happy path.
+		return fmt.Sprintf("kind(%d)", int(k))
 	}
-	return fmt.Sprintf("kind(%d)", int(k))
+	return n
 }
 
 // Default magnitudes per kind (used when a DSL entry omits '*mag').
@@ -114,29 +117,40 @@ func (f Fault) magnitude() float64 {
 	return 0
 }
 
-// String renders the fault in DSL form.
+// String renders the fault in DSL form. Built with appends rather than
+// fmt because flight records stringify every active fault each period.
 func (f Fault) String() string {
-	s := fmt.Sprintf("%s@%d+%d", f.Kind, f.Start, f.Duration)
+	b := make([]byte, 0, 48)
+	b = append(b, f.Kind.String()...)
+	b = append(b, '@')
+	b = strconv.AppendInt(b, int64(f.Start), 10)
+	b = append(b, '+')
+	b = strconv.AppendInt(b, int64(f.Duration), 10)
 	if f.Target != TargetAll {
 		switch f.Kind {
 		case ActuatorLoss:
 			if f.Target == 0 {
-				s += ":cpu"
+				b = append(b, ":cpu"...)
 			} else {
-				s += fmt.Sprintf(":gpu%d", f.Target-1)
+				b = append(b, ":gpu"...)
+				b = strconv.AppendInt(b, int64(f.Target-1), 10)
 			}
 		case GPUDerate, GPUFail:
-			s += fmt.Sprintf(":gpu%d", f.Target)
+			b = append(b, ":gpu"...)
+			b = strconv.AppendInt(b, int64(f.Target), 10)
 		case ServerDropout:
-			s += fmt.Sprintf(":node%d", f.Target)
+			b = append(b, ":node"...)
+			b = strconv.AppendInt(b, int64(f.Target), 10)
 		default:
-			s += fmt.Sprintf(":%d", f.Target)
+			b = append(b, ':')
+			b = strconv.AppendInt(b, int64(f.Target), 10)
 		}
 	}
 	if f.Magnitude != 0 {
-		s += "*" + strconv.FormatFloat(f.Magnitude, 'g', -1, 64)
+		b = append(b, '*')
+		b = strconv.AppendFloat(b, f.Magnitude, 'g', -1, 64)
 	}
-	return s
+	return string(b)
 }
 
 // Schedule is a seeded set of fault windows.
@@ -283,12 +297,23 @@ func (s *Schedule) String() string {
 // Empty reports whether the schedule injects nothing.
 func (s *Schedule) Empty() bool { return s == nil || len(s.Faults) == 0 }
 
-// ActiveAt returns every fault covering period k (for record annotation).
+// ActiveAt returns every fault covering period k (for record
+// annotation). Fault-free periods — the common case — return nil
+// without allocating; active ones get an exactly-sized slice.
 func (s *Schedule) ActiveAt(k int) []Fault {
 	if s == nil {
 		return nil
 	}
-	var out []Fault
+	n := 0
+	for _, f := range s.Faults {
+		if f.ActiveAt(k) {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Fault, 0, n)
 	for _, f := range s.Faults {
 		if f.ActiveAt(k) {
 			out = append(out, f)

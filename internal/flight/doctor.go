@@ -940,7 +940,7 @@ func (r *Report) WriteText(w io.Writer) error {
 	} else {
 		p.f("\nverdict: clean — exit 0\n")
 	}
-	return p.err
+	return p.Err()
 }
 
 // printer accumulates the first write error across Fprintf calls.
@@ -955,3 +955,6 @@ func (p *printer) f(format string, args ...any) {
 	}
 	_, p.err = fmt.Fprintf(p.w, format, args...)
 }
+
+// Err surfaces the first write error (the latched-error contract).
+func (p *printer) Err() error { return p.err }

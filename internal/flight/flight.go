@@ -202,6 +202,8 @@ func NewRecorder(cfg Config) *Recorder {
 
 // Record appends one period's record, scoring it against the previous
 // period's one-step prediction first.
+//
+//capgpu:hotpath
 func (r *Recorder) Record(rec DecisionRecord) {
 	rec.PolicyEpoch = r.epoch
 	if r.prevOK {
@@ -226,6 +228,7 @@ func (r *Recorder) Record(rec DecisionRecord) {
 		r.ring = append(r.ring, rec)
 	}
 	if r.jsonl != nil && r.jerr == nil {
+		//lint:ignore hotalloc Marshal boxes one record per JSONL append; taking &rec instead would heap-escape every record and regress the alloc-free ring-only path
 		b, err := json.Marshal(rec)
 		if err == nil {
 			b = append(b, '\n')

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BarrierConfine enforces that cluster membership and cap-ceiling
+// mutations happen only where the reallocation barrier can validate
+// them. The confined mutators are Coordinator.AddNode,
+// Coordinator.RemoveNode and Node.SetCapCeilingW in any package ending
+// in internal/cluster. A call is allowed from inside that package
+// itself, or from a function reachable (via static intra-module calls)
+// from a declaration annotated //capgpu:barrier — the control plane's
+// barrier-apply entry point. Everything else is a finding: hot
+// reconfig that bypasses the barrier skips budget validation, drain
+// ramps and reservation accounting. Tests are exempt because the
+// loader only type-checks production files.
+type BarrierConfine struct{}
+
+// NewBarrierConfine returns the barrierconfine analyzer.
+func NewBarrierConfine() *BarrierConfine { return &BarrierConfine{} }
+
+// Name implements Analyzer.
+func (a *BarrierConfine) Name() string { return "barrierconfine" }
+
+// confinedMutators maps receiver type name to the method names whose
+// calls are confined.
+var confinedMutators = map[string]map[string]bool{
+	"Coordinator": {"AddNode": true, "RemoveNode": true},
+	"Node":        {"SetCapCeilingW": true},
+}
+
+// Analyze implements Analyzer for single-package runs (fixtures).
+func (a *BarrierConfine) Analyze(p *Package) []Diagnostic {
+	return a.AnalyzeModule([]*Package{p})
+}
+
+// AnalyzeModule implements ModuleAnalyzer.
+func (a *BarrierConfine) AnalyzeModule(pkgs []*Package) []Diagnostic {
+	idx := buildFuncIndex(pkgs)
+
+	// The confined mutator objects, and the packages that declare them.
+	mutators := make(map[*types.Func]string) // object -> display name
+	clusterPkgs := make(map[*types.Package]bool)
+	for fn, info := range idx {
+		if !strings.HasSuffix(info.pkg.Path, "internal/cluster") {
+			continue
+		}
+		fd := info.decl
+		if fd.Recv == nil {
+			continue
+		}
+		name := funcDisplayName(fd)
+		recv, method, ok := strings.Cut(name, ".")
+		if !ok {
+			continue
+		}
+		if confinedMutators[recv][method] {
+			mutators[fn] = name
+			clusterPkgs[info.pkg.Pkg] = true
+		}
+	}
+	if len(mutators) == 0 {
+		return nil
+	}
+
+	// Functions reachable from a //capgpu:barrier root.
+	allowed := make(map[*types.Func]bool)
+	var queue []*types.Func
+	for fn, info := range idx {
+		if hasDirective(info.decl.Doc, "capgpu:barrier") {
+			allowed[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		info := idx[fn]
+		if info.decl.Body == nil {
+			continue
+		}
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(info.pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			if _, inModule := idx[callee]; inModule && !allowed[callee] {
+				allowed[callee] = true
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	var out []Diagnostic
+	for fn, info := range idx {
+		if info.decl.Body == nil {
+			continue
+		}
+		if allowed[fn] || clusterPkgs[info.pkg.Pkg] {
+			continue
+		}
+		caller := funcDisplayName(info.decl)
+		p := info.pkg
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(p.Info, call)
+			if callee == nil {
+				return true
+			}
+			if mName, confined := mutators[callee]; confined {
+				out = append(out, Diagnostic{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: "barrierconfine",
+					Message: fmt.Sprintf(
+						"%s called from %s, which is not reachable from a //capgpu:barrier root: cluster mutations must go through the reallocation barrier",
+						mName, caller),
+				})
+			}
+			return true
+		})
+	}
+	sortDiagnostics(out)
+	return out
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// funcInfo ties one declared function or method to the package and
+// declaration that define it.
+type funcInfo struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// buildFuncIndex maps every function and method declared in the loaded
+// packages to its body. The loader shares one *types.Func object per
+// declaration across packages, so an index lookup on a call's resolved
+// object works module-wide.
+func buildFuncIndex(pkgs []*Package) map[*types.Func]funcInfo {
+	idx := make(map[*types.Func]funcInfo)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[obj] = funcInfo{pkg: p, decl: fd}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// unparen strips any number of surrounding parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// staticCallee resolves the function a call expression statically
+// invokes: a plain function, a package-qualified function, or a method
+// on a concrete receiver. Calls through function values, fields, and
+// interface methods resolve to objects with no indexed body, so
+// traversals that look the result up in a buildFuncIndex map simply
+// stop there.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcDisplayName renders a declaration as Recv.Name or Name for
+// diagnostics.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// hasDirective reports whether a declaration's doc comment carries the
+// given //capgpu:<name> marker.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == directive {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,418 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// HotAlloc flags allocation-prone constructs in hot-path functions.
+// Roots are declarations annotated //capgpu:hotpath; the rule applies
+// to each root and to every function statically reachable from one
+// through intra-module calls (interface dispatch and calls through
+// function values end the traversal, which is why the per-period entry
+// points must carry the annotation themselves). Flagged constructs:
+//
+//   - fmt.Sprintf / fmt.Errorf outside a branch that terminates in
+//     return or panic (error paths may format; the happy path may not);
+//   - append that grows a local slice declared with no capacity;
+//   - map and slice composite literals (a fresh allocation per call);
+//   - closures that capture enclosing variables (except immediately
+//     invoked ones);
+//   - interface boxing: passing a non-pointer concrete value to an
+//     interface parameter (fmt/errors calls and terminating branches
+//     excluded — error paths may box, the happy path may not).
+//
+// The pre-sizing make(T, n) idiom is deliberately not flagged: the
+// bench allocs/op ratchet owns total allocation counts; this rule owns
+// the shapes that make them unbounded.
+type HotAlloc struct{}
+
+// NewHotAlloc returns the hotalloc analyzer.
+func NewHotAlloc() *HotAlloc { return &HotAlloc{} }
+
+// Name implements Analyzer.
+func (a *HotAlloc) Name() string { return "hotalloc" }
+
+// Analyze implements Analyzer for single-package runs (fixtures).
+func (a *HotAlloc) Analyze(p *Package) []Diagnostic {
+	return a.AnalyzeModule([]*Package{p})
+}
+
+// AnalyzeModule implements ModuleAnalyzer.
+func (a *HotAlloc) AnalyzeModule(pkgs []*Package) []Diagnostic {
+	idx := buildFuncIndex(pkgs)
+
+	// Roots, sorted by name for deterministic attribution.
+	type root struct {
+		fn   *types.Func
+		name string
+	}
+	var roots []root
+	for fn, info := range idx {
+		if hasDirective(info.decl.Doc, "capgpu:hotpath") {
+			roots = append(roots, root{fn, funcDisplayName(info.decl)})
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].name < roots[j].name })
+
+	// BFS the static call graph, remembering which root reached each
+	// function first.
+	via := make(map[*types.Func]string)
+	var queue []*types.Func
+	for _, r := range roots {
+		if _, ok := via[r.fn]; !ok {
+			via[r.fn] = r.name
+			queue = append(queue, r.fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		info := idx[fn]
+		if info.decl.Body == nil {
+			continue
+		}
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(info.pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			if _, inModule := idx[callee]; inModule {
+				if _, seen := via[callee]; !seen {
+					via[callee] = via[fn]
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Diagnostic
+	for fn, rootName := range via {
+		info := idx[fn]
+		if info.decl.Body == nil {
+			continue
+		}
+		out = append(out, checkHotFunc(info.pkg, info.decl, rootName)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// parentMap records each node's parent within a function body.
+func parentMap(body *ast.BlockStmt) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// checkHotFunc runs all five allocation checks over one hot function.
+func checkHotFunc(p *Package, fd *ast.FuncDecl, rootName string) []Diagnostic {
+	parents := parentMap(fd.Body)
+	unsized := unsizedLocals(p, fd.Body)
+	self := funcDisplayName(fd)
+	ctx := fmt.Sprintf("in %s (hot path via //capgpu:hotpath root %s)", self, rootName)
+	if self == rootName {
+		ctx = fmt.Sprintf("in hot-path function %s", self)
+	}
+	var out []Diagnostic
+	flag := func(n ast.Node, msg string) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(n.Pos()),
+			Rule:    "hotalloc",
+			Message: fmt.Sprintf("%s %s", msg, ctx),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := staticCallee(p.Info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				if (fn.Name() == "Sprintf" || fn.Name() == "Errorf") && !onTerminatingBranch(n, parents) {
+					flag(n, "fmt."+fn.Name()+" on the happy path")
+				}
+				return true
+			}
+			if isGrowingAppend(p, n, unsized) {
+				flag(n, "append grows an unsized local slice")
+			}
+			if !onTerminatingBranch(n, parents) { // error/panic paths may box
+				out = append(out, boxingFindings(p, n, ctx)...)
+			}
+		case *ast.CompositeLit:
+			if isMapOrSliceLit(p, n) && !insideMapOrSliceLit(p, n, parents) {
+				flag(n, "map/slice literal allocates per call")
+			}
+		case *ast.FuncLit:
+			if capt := capturedVar(p, fd, n); capt != "" && !immediatelyInvoked(n, parents) {
+				flag(n, fmt.Sprintf("closure capturing %q allocates per call", capt))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// onTerminatingBranch reports whether a node sits inside an if body,
+// else block, or switch case whose statement list ends in return or
+// panic — the error-path carve-out for formatting.
+func onTerminatingBranch(n ast.Node, parents map[ast.Node]ast.Node) bool {
+	for cur := n; cur != nil; cur = parents[cur] {
+		var list []ast.Stmt
+		switch blk := cur.(type) {
+		case *ast.BlockStmt:
+			switch parents[blk].(type) {
+			case *ast.IfStmt:
+				list = blk.List
+			}
+		case *ast.CaseClause:
+			list = blk.Body
+		}
+		if len(list) > 0 && terminates(list[len(list)-1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether a statement ends the enclosing function's
+// normal flow: return, panic, or a branch that itself terminates.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		// if/else where both arms terminate.
+		if s.Else == nil {
+			return false
+		}
+		bodyEnds := len(s.Body.List) > 0 && terminates(s.Body.List[len(s.Body.List)-1])
+		var elseEnds bool
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseEnds = len(e.List) > 0 && terminates(e.List[len(e.List)-1])
+		case *ast.IfStmt:
+			elseEnds = terminates(e)
+		}
+		return bodyEnds && elseEnds
+	}
+	return false
+}
+
+// unsizedLocals collects the local slice variables declared with no
+// capacity: `var x []T`, `x := []T{}`, `x := make([]T, 0)`.
+func unsizedLocals(p *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	mark := func(name *ast.Ident) {
+		if obj := p.Info.Defs[name]; obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ValueSpec:
+			if len(n.Values) != 0 {
+				return true
+			}
+			if _, ok := p.Info.TypeOf(n.Type).Underlying().(*types.Slice); ok {
+				for _, name := range n.Names {
+					mark(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				name, ok := n.Lhs[i].(*ast.Ident)
+				if !ok || p.Info.Defs[name] == nil {
+					continue
+				}
+				if unsizedSliceExpr(p, rhs) {
+					mark(name)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// unsizedSliceExpr matches `[]T{}` and `make([]T, 0)` initializers.
+func unsizedSliceExpr(p *Package, e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.CompositeLit:
+		if _, ok := p.Info.TypeOf(e).Underlying().(*types.Slice); ok {
+			return len(e.Elts) == 0
+		}
+	case *ast.CallExpr:
+		id, ok := unparen(e.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" || len(e.Args) != 2 {
+			return false
+		}
+		if _, ok := p.Info.TypeOf(e).Underlying().(*types.Slice); !ok {
+			return false
+		}
+		tv := p.Info.Types[e.Args[1]]
+		return tv.Value != nil && tv.Value.String() == "0"
+	}
+	return false
+}
+
+// isGrowingAppend matches append calls whose destination is an unsized
+// local slice.
+func isGrowingAppend(p *Package, call *ast.CallExpr, unsized map[types.Object]bool) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	if obj := p.Info.Uses[id]; obj == nil || obj.Pkg() != nil {
+		return false // shadowed append, not the builtin
+	}
+	dst, ok := unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return unsized[p.Info.Uses[dst]]
+}
+
+// isMapOrSliceLit reports whether a composite literal allocates a map
+// or slice (struct and array literals are stack-friendly and exempt).
+func isMapOrSliceLit(p *Package, lit *ast.CompositeLit) bool {
+	t := p.Info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// insideMapOrSliceLit suppresses nested implicit literals so one
+// two-dimensional literal yields one finding, not one per row.
+func insideMapOrSliceLit(p *Package, lit *ast.CompositeLit, parents map[ast.Node]ast.Node) bool {
+	for cur := parents[lit]; cur != nil; cur = parents[cur] {
+		if outer, ok := cur.(*ast.CompositeLit); ok && isMapOrSliceLit(p, outer) {
+			return true
+		}
+	}
+	return false
+}
+
+// capturedVar returns the name of a variable the closure captures from
+// the enclosing function, or "" if it captures nothing.
+func capturedVar(p *Package, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	var capt string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if capt != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Pos() >= fd.Pos() && obj.Pos() < lit.Pos() {
+			capt = obj.Name()
+			return false
+		}
+		return true
+	})
+	return capt
+}
+
+// immediatelyInvoked reports whether the closure literal is the callee
+// of its parent call expression — run in place, not allocated.
+func immediatelyInvoked(lit *ast.FuncLit, parents map[ast.Node]ast.Node) bool {
+	call, ok := parents[lit].(*ast.CallExpr)
+	return ok && call.Fun == lit
+}
+
+// boxingFindings flags concrete non-pointer arguments passed to
+// interface parameters.
+func boxingFindings(p *Package, call *ast.CallExpr, ctx string) []Diagnostic {
+	if fn := staticCallee(p.Info, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "errors":
+			return nil
+		}
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []Diagnostic
+	nParams := sig.Params().Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= nParams-1:
+			if call.Ellipsis.IsValid() {
+				continue // xs... passes the slice through, no boxing
+			}
+			param = sig.Params().At(nParams - 1).Type().(*types.Slice).Elem()
+		case i < nParams:
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		atv := p.Info.Types[arg]
+		if atv.IsNil() || atv.Value != nil || atv.Type == nil {
+			continue
+		}
+		if types.IsInterface(atv.Type) || pointerShaped(atv.Type) {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:  p.Fset.Position(arg.Pos()),
+			Rule: "hotalloc",
+			Message: fmt.Sprintf("passing %s to interface parameter boxes it per call %s",
+				atv.Type.String(), ctx),
+		})
+	}
+	return out
+}
+
+// pointerShaped reports whether converting a value of type t to an
+// interface stores it without allocating.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

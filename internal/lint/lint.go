@@ -5,7 +5,7 @@
 // the moment a wall-clock read or a global RNG call slips into a seeded
 // path — so this package checks them on every build instead.
 //
-// Four analyzers run over every non-test package in the module:
+// Eight analyzers run over every non-test package in the module:
 //
 //   - units: exported numeric fields, consts and exported-function
 //     parameters that carry a physical quantity must end in one of the
@@ -20,14 +20,33 @@
 //   - floatsafety: ==/!= between non-constant float operands, and
 //     divisions by frequency/power-flavored denominators with no
 //     zero-guard in the enclosing function;
-//   - errcheck: call statements that silently discard an error result.
+//   - errcheck: call statements that silently discard an error result;
+//   - lockorder: the per-package mutex acquisition graph (including
+//     locks taken by intra-package callees while another is held) must
+//     stay acyclic and must not invert an order declared with
+//     `//lint:lockorder before:<Type.field>` on the mutex field;
+//   - hotalloc: functions annotated `//capgpu:hotpath` and everything
+//     statically reachable from them inside the module must avoid
+//     allocation-prone constructs: happy-path fmt.Sprintf/Errorf,
+//     appends that grow an unsized local slice, per-call map/slice
+//     literals, capturing closures, and interface boxing at call sites;
+//   - barrierconfine: the cluster membership/cap mutators (AddNode,
+//     RemoveNode, SetCapCeilingW) may only be called from inside
+//     internal/cluster itself or from controlplane code reachable from
+//     a `//capgpu:barrier` root, so hot reconfig cannot bypass the
+//     reallocation barrier;
+//   - stickyerr: every struct owning an io.Writer stream must latch its
+//     first write error in an error field, guard later writes on it,
+//     and surface it through an Err/Close/Flush/Finish method.
 //
 // Intentional exceptions are documented at the use site with
 //
 //	//lint:ignore <rule> <reason>
 //
 // on the finding's line or the line directly above it. The reason is
-// mandatory; a directive without one is itself a finding.
+// mandatory and the rule must be one of the analyzer names above; a
+// directive without a reason, or naming an unknown rule, is itself a
+// finding.
 package lint
 
 import (
@@ -59,10 +78,38 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Analyzer is one lint pass.
+// Analyzer is one lint pass over a single package.
 type Analyzer interface {
 	Name() string
 	Analyze(p *Package) []Diagnostic
+}
+
+// ModuleAnalyzer is a pass that needs every package at once — the
+// cross-package call-graph rules (hotalloc, barrierconfine). Run calls
+// AnalyzeModule once with the full package list instead of Analyze per
+// package.
+type ModuleAnalyzer interface {
+	Analyzer
+	AnalyzeModule(pkgs []*Package) []Diagnostic
+}
+
+// AllRuleNames is the canonical rule vocabulary: the only names a
+// //lint:ignore directive may target. It is independent of any -rule
+// filtering so a partial run never mistakes a valid directive for an
+// unknown one.
+func AllRuleNames() []string {
+	return []string{
+		"barrierconfine", "determinism", "errcheck", "floatsafety",
+		"hotalloc", "lockorder", "stickyerr", "units",
+	}
+}
+
+func knownRuleSet() map[string]bool {
+	set := make(map[string]bool, 8)
+	for _, r := range AllRuleNames() {
+		set[r] = true
+	}
+	return set
 }
 
 // ignoreKey locates one //lint:ignore directive.
@@ -73,9 +120,10 @@ type ignoreKey struct {
 }
 
 // collectIgnores scans a package's comments for //lint:ignore
-// directives. Malformed directives (missing rule or reason) are
-// returned as diagnostics in their own right.
-func collectIgnores(p *Package) (map[ignoreKey]bool, []Diagnostic) {
+// directives. Malformed directives (missing rule or reason) and
+// directives naming a rule outside AllRuleNames are returned as
+// diagnostics in their own right, and suppress nothing.
+func collectIgnores(p *Package, known map[string]bool) (map[ignoreKey]bool, []Diagnostic) {
 	ignores := make(map[ignoreKey]bool)
 	var bad []Diagnostic
 	for _, f := range p.Files {
@@ -95,6 +143,15 @@ func collectIgnores(p *Package) (map[ignoreKey]bool, []Diagnostic) {
 					})
 					continue
 				}
+				if !known[fields[0]] {
+					bad = append(bad, Diagnostic{
+						Pos:  pos,
+						Rule: "lint",
+						Message: fmt.Sprintf("//lint:ignore names unknown rule %q (known: %s)",
+							fields[0], strings.Join(AllRuleNames(), ", ")),
+					})
+					continue
+				}
 				ignores[ignoreKey{file: pos.Filename, line: pos.Line, rule: fields[0]}] = true
 			}
 		}
@@ -103,19 +160,34 @@ func collectIgnores(p *Package) (map[ignoreKey]bool, []Diagnostic) {
 }
 
 // Run executes the analyzers over the packages and returns the
-// unsuppressed findings, sorted by position.
+// unsuppressed findings, sorted by position. Directives are collected
+// module-wide first so a ModuleAnalyzer finding in one package can be
+// suppressed at its own use site like any other.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	known := knownRuleSet()
+	ignores := make(map[ignoreKey]bool)
 	var out []Diagnostic
 	for _, p := range pkgs {
-		ignores, bad := collectIgnores(p)
+		ig, bad := collectIgnores(p, known)
 		out = append(out, bad...)
-		for _, a := range analyzers {
-			for _, d := range a.Analyze(p) {
-				suppressed := ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Rule}] ||
-					ignores[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}]
-				if !suppressed {
-					out = append(out, d)
-				}
+		for k := range ig {
+			ignores[k] = true
+		}
+	}
+	for _, a := range analyzers {
+		var raw []Diagnostic
+		if ma, ok := a.(ModuleAnalyzer); ok {
+			raw = ma.AnalyzeModule(pkgs)
+		} else {
+			for _, p := range pkgs {
+				raw = append(raw, a.Analyze(p)...)
+			}
+		}
+		for _, d := range raw {
+			suppressed := ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Rule}] ||
+				ignores[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}]
+			if !suppressed {
+				out = append(out, d)
 			}
 		}
 	}
@@ -136,12 +208,16 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 }
 
 // DefaultAnalyzers returns the standard suite with the repo's
-// determinism scope.
+// determinism scope and barrier confinement contract.
 func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		NewUnits(),
 		NewDeterminism(DefaultDeterminismScope()),
 		NewFloatSafety(),
 		NewErrcheck(),
+		NewLockOrder(),
+		NewHotAlloc(),
+		NewBarrierConfine(),
+		NewStickyErr(),
 	}
 }

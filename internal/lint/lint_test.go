@@ -27,6 +27,9 @@ type wantKey struct {
 
 // expectations parses the fixture's `// want <rule> [<rule>...]`
 // comments into the exact diagnostic set the analyzers must produce.
+// A want clause may also trail another directive in the same comment
+// (`//lint:lockorder ... // want lockorder`), since one line can hold
+// only one // comment.
 func expectations(p *Package) map[wantKey]int {
 	out := make(map[wantKey]int)
 	for _, f := range p.Files {
@@ -35,7 +38,11 @@ func expectations(p *Package) map[wantKey]int {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 				rest, ok := strings.CutPrefix(text, "want ")
 				if !ok {
-					continue
+					if i := strings.LastIndex(c.Text, "// want "); i >= 0 {
+						rest = c.Text[i+len("// want "):]
+					} else {
+						continue
+					}
 				}
 				line := p.Fset.Position(c.Pos()).Line
 				for _, rule := range strings.Fields(rest) {
@@ -55,12 +62,40 @@ func expectations(p *Package) map[wantKey]int {
 func checkFixture(t *testing.T, name, importPath, rule string) {
 	t.Helper()
 	p := loadFixture(t, name, importPath)
-	want := expectations(p)
+	diffDiagnostics(t, name, rule, expectations(p), Run([]*Package{p}, DefaultAnalyzers()))
+}
+
+// checkModuleFixture is checkFixture for multi-package fixtures: a
+// testdata/src/<name> directory with its own go.mod, loaded through
+// LoadModule so the cross-package analyzers see real package
+// boundaries. Expectations are merged across all packages.
+func checkModuleFixture(t *testing.T, name, rule string) {
+	t.Helper()
+	pkgs, err := LoadModule(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture module %s: %v", name, err)
+	}
+	if len(pkgs) < 2 {
+		t.Fatalf("fixture module %s has %d packages, want >= 2 (the point is cross-package analysis)", name, len(pkgs))
+	}
+	want := make(map[wantKey]int)
+	for _, p := range pkgs {
+		for k, n := range expectations(p) {
+			want[k] += n
+		}
+	}
+	diffDiagnostics(t, name, rule, want, Run(pkgs, DefaultAnalyzers()))
+}
+
+// diffDiagnostics demands an exact match between findings and want
+// comments, and that at least one finding of the named rule survived.
+func diffDiagnostics(t *testing.T, name, rule string, want map[wantKey]int, got []Diagnostic) {
+	t.Helper()
 	if len(want) == 0 {
 		t.Fatalf("fixture %s declares no expected diagnostics", name)
 	}
 	sawRule := false
-	for _, d := range Run([]*Package{p}, DefaultAnalyzers()) {
+	for _, d := range got {
 		if d.Rule == rule {
 			sawRule = true
 		}
@@ -126,19 +161,62 @@ func TestErrcheckFixture(t *testing.T) {
 	checkFixture(t, "errcheck", "fixture/errcheck", "errcheck")
 }
 
-// TestMalformedIgnore pins down the reason-is-mandatory rule: a bare
-// `//lint:ignore errcheck` is itself reported and suppresses nothing.
+// TestMalformedIgnore pins down the directive hygiene rules: a bare
+// `//lint:ignore errcheck` (no reason) and a `//lint:ignore nosuchrule
+// ...` (unknown rule) are each reported, and neither suppresses the
+// finding beneath it.
 func TestMalformedIgnore(t *testing.T) {
 	p := loadFixture(t, "malformed", "fixture/malformed")
 	got := Run([]*Package{p}, DefaultAnalyzers())
-	if len(got) != 2 {
-		t.Fatalf("want 2 findings (malformed directive + unsuppressed errcheck), got %d: %v", len(got), got)
+	if len(got) != 4 {
+		t.Fatalf("want 4 findings (2 bad directives + 2 unsuppressed errcheck), got %d: %v", len(got), got)
 	}
 	if got[0].Rule != "lint" || !strings.Contains(got[0].Message, "malformed") {
 		t.Errorf("first finding should be the malformed directive, got %s", got[0])
 	}
 	if got[1].Rule != "errcheck" || got[1].Pos.Line != got[0].Pos.Line+1 {
 		t.Errorf("reasonless directive must not suppress the finding below it, got %s", got[1])
+	}
+	if got[2].Rule != "lint" || !strings.Contains(got[2].Message, "unknown rule \"nosuchrule\"") {
+		t.Errorf("third finding should be the unknown-rule directive, got %s", got[2])
+	}
+	if got[3].Rule != "errcheck" || got[3].Pos.Line != got[2].Pos.Line+1 {
+		t.Errorf("unknown-rule directive must not suppress the finding below it, got %s", got[3])
+	}
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "lockorder", "fixture/lockorder", "lockorder")
+}
+
+func TestStickyErrFixture(t *testing.T) {
+	checkFixture(t, "stickyerr", "fixture/stickyerr", "stickyerr")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	checkModuleFixture(t, "hotalloc", "hotalloc")
+}
+
+func TestBarrierConfineFixture(t *testing.T) {
+	checkModuleFixture(t, "barrierconfine", "barrierconfine")
+}
+
+// TestAllRuleNamesMatchAnalyzers keeps the canonical vocabulary and
+// the default suite in lockstep: a new analyzer must register its name
+// or its own suppressions would be flagged as unknown.
+func TestAllRuleNamesMatchAnalyzers(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range DefaultAnalyzers() {
+		names[a.Name()] = true
+	}
+	for _, r := range AllRuleNames() {
+		if !names[r] {
+			t.Errorf("AllRuleNames lists %q but no default analyzer has that name", r)
+		}
+		delete(names, r)
+	}
+	for n := range names {
+		t.Errorf("analyzer %q is not listed in AllRuleNames", n)
 	}
 }
 

@@ -1,0 +1,523 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the per-package mutex acquisition graph and flags
+// orderings that can deadlock. A lock's identity is Type.field for a
+// sync.Mutex/RWMutex struct field and the variable name for a
+// package-level mutex; function-local mutexes are invisible to other
+// functions and are skipped. An edge a→b is observed when b is
+// acquired (Lock or RLock) while a is held — directly, or because an
+// intra-package callee may acquire b. Declared edges come from a
+//
+//	//lint:lockorder before:<Type.field>
+//
+// directive on the mutex field; observed edges that invert a declared
+// edge, and any cycle in the combined graph, are findings.
+type LockOrder struct{}
+
+// NewLockOrder returns the lockorder analyzer.
+func NewLockOrder() *LockOrder { return &LockOrder{} }
+
+// Name implements Analyzer.
+func (a *LockOrder) Name() string { return "lockorder" }
+
+// lockEdge is one ordered pair in the acquisition graph.
+type lockEdge struct {
+	from, to string
+}
+
+// lockState is the per-package working set.
+type lockState struct {
+	pkg      *Package
+	funcs    map[*types.Func]*ast.FuncDecl
+	acquired map[*types.Func]map[string]bool // memoized transitive may-acquire
+	busy     map[*types.Func]bool
+	observed map[lockEdge]token.Pos // first observation site
+	declared map[lockEdge]token.Pos // directive site
+}
+
+// Analyze implements Analyzer.
+func (a *LockOrder) Analyze(p *Package) []Diagnostic {
+	st := &lockState{
+		pkg:      p,
+		funcs:    make(map[*types.Func]*ast.FuncDecl),
+		acquired: make(map[*types.Func]map[string]bool),
+		busy:     make(map[*types.Func]bool),
+		observed: make(map[lockEdge]token.Pos),
+		declared: make(map[lockEdge]token.Pos),
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name != nil {
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					st.funcs[obj] = fd
+				}
+			}
+		}
+	}
+	var out []Diagnostic
+	out = append(out, st.collectDeclared()...)
+	for _, fd := range st.funcs {
+		if fd.Body != nil {
+			st.walkHeld(fd.Body, nil)
+		}
+	}
+	out = append(out, st.verdicts()...)
+	sortDiagnostics(out)
+	return out
+}
+
+// collectDeclared parses //lint:lockorder directives off mutex struct
+// fields, returning diagnostics for malformed or misplaced ones.
+func (st *lockState) collectDeclared() []Diagnostic {
+	var out []Diagnostic
+	for _, f := range st.pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				structType, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range structType.Fields.List {
+					out = append(out, st.declaredFromField(ts.Name.Name, field)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// declaredFromField records declared edges from one struct field's
+// doc/comment directives.
+func (st *lockState) declaredFromField(typeName string, field *ast.Field) []Diagnostic {
+	var out []Diagnostic
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, "lint:lockorder")
+			if !ok {
+				continue
+			}
+			pos := st.pkg.Fset.Position(c.Pos())
+			if !st.isMutexField(field) {
+				out = append(out, Diagnostic{Pos: pos, Rule: "lockorder",
+					Message: "//lint:lockorder directive on a non-mutex field"})
+				continue
+			}
+			target, ok := strings.CutPrefix(strings.TrimSpace(rest), "before:")
+			if fields := strings.Fields(target); len(fields) > 0 {
+				target = fields[0] // drop any trailing comment text
+			} else {
+				target = ""
+			}
+			if !ok || target == "" {
+				out = append(out, Diagnostic{Pos: pos, Rule: "lockorder",
+					Message: "malformed directive: need `//lint:lockorder before:<Type.field>`"})
+				continue
+			}
+			for _, name := range field.Names {
+				edge := lockEdge{from: typeName + "." + name.Name, to: target}
+				if _, dup := st.declared[edge]; !dup {
+					st.declared[edge] = c.Pos()
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isMutexField reports whether a struct field has type sync.Mutex or
+// sync.RWMutex.
+func (st *lockState) isMutexField(field *ast.Field) bool {
+	tv, ok := st.pkg.Info.Types[field.Type]
+	if !ok {
+		return false
+	}
+	return isMutexType(tv.Type)
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockCall classifies a call expression as a mutex acquisition or
+// release and returns the lock's identity. acquire is true for
+// Lock/RLock, false for Unlock/RUnlock; id is "" when the call is not
+// a mutex operation or the mutex is function-local.
+func (st *lockState) lockCall(call *ast.CallExpr) (id string, acquire, isLock bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	fn, ok := st.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", false, false
+	}
+	return st.lockID(sel.X), acquire, true
+}
+
+// lockID names the mutex a receiver expression denotes: Type.field for
+// struct fields, the bare name for package-level vars, "" for locals.
+func (st *lockState) lockID(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		obj, ok := st.pkg.Info.Uses[e.Sel].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if !obj.IsField() {
+			if obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+				return obj.Name() // package-level var via pkg selector
+			}
+			return ""
+		}
+		tv, ok := st.pkg.Info.Types[e.X]
+		if !ok {
+			return ""
+		}
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + obj.Name()
+		}
+		return ""
+	case *ast.Ident:
+		obj, ok := st.pkg.Info.Uses[e].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if obj.Parent() == st.pkg.Pkg.Scope() {
+			return obj.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+// walkHeld scans a statement list in source order, tracking the held
+// set. held is the ordered list of lock ids currently held; the walk
+// mutates and returns it. Control-flow bodies are walked sequentially
+// with the same held set — a deliberate flow-insensitive
+// approximation: a lock taken in a branch is assumed held afterwards
+// until an unlock is seen.
+func (st *lockState) walkHeld(n ast.Node, held []string) []string {
+	switch n := n.(type) {
+	case nil:
+		return held
+	case *ast.BlockStmt:
+		for _, s := range n.List {
+			held = st.walkHeld(s, held)
+		}
+		return held
+	case *ast.ExprStmt:
+		return st.scanExpr(n.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held to function end, which
+		// the model already assumes; a deferred acquire or call is
+		// treated as happening here.
+		if id, acquire, isLock := st.lockCall(n.Call); isLock {
+			if acquire {
+				return st.acquire(held, id, n.Call.Pos())
+			}
+			return held
+		}
+		return st.scanExpr(n.Call, held)
+	case *ast.IfStmt:
+		held = st.walkHeld(n.Init, held)
+		held = st.scanExpr(n.Cond, held)
+		held = st.walkHeld(n.Body, held)
+		return st.walkHeld(n.Else, held)
+	case *ast.ForStmt:
+		held = st.walkHeld(n.Init, held)
+		held = st.scanExpr(n.Cond, held)
+		held = st.walkHeld(n.Body, held)
+		return st.walkHeld(n.Post, held)
+	case *ast.RangeStmt:
+		held = st.scanExpr(n.X, held)
+		return st.walkHeld(n.Body, held)
+	case *ast.SwitchStmt:
+		held = st.walkHeld(n.Init, held)
+		held = st.scanExpr(n.Tag, held)
+		return st.walkHeld(n.Body, held)
+	case *ast.TypeSwitchStmt:
+		held = st.walkHeld(n.Init, held)
+		held = st.walkHeld(n.Assign, held)
+		return st.walkHeld(n.Body, held)
+	case *ast.CaseClause:
+		for _, e := range n.List {
+			held = st.scanExpr(e, held)
+		}
+		for _, s := range n.Body {
+			held = st.walkHeld(s, held)
+		}
+		return held
+	case *ast.SelectStmt:
+		return st.walkHeld(n.Body, held)
+	case *ast.CommClause:
+		held = st.walkHeld(n.Comm, held)
+		for _, s := range n.Body {
+			held = st.walkHeld(s, held)
+		}
+		return held
+	case *ast.LabeledStmt:
+		return st.walkHeld(n.Stmt, held)
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			held = st.scanExpr(e, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			held = st.scanExpr(e, held)
+		}
+		return held
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently with nothing held from
+		// this frame; scan it with an empty held set.
+		st.scanExpr(n.Call, nil)
+		return held
+	case ast.Stmt:
+		// DeclStmt, Send, IncDec, Branch, Empty: scan any calls inside.
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				held = st.scanExpr(call, held)
+				return false
+			}
+			return true
+		})
+		return held
+	}
+	return held
+}
+
+// scanExpr handles lock operations and call expansion inside one
+// expression, in source order.
+func (st *lockState) scanExpr(e ast.Expr, held []string) []string {
+	if e == nil {
+		return held
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure's body runs at an unknown time; analyze it with
+			// an empty held set and do not leak its locks out.
+			st.walkHeld(n.Body, nil)
+			return false
+		case *ast.CallExpr:
+			if id, acquire, isLock := st.lockCall(n); isLock {
+				if id == "" {
+					return false
+				}
+				if acquire {
+					held = st.acquire(held, id, n.Pos())
+				} else {
+					held = release(held, id)
+				}
+				return false // receiver expr needs no further scanning
+			}
+			if fn := staticCallee(st.pkg.Info, n); fn != nil {
+				if _, local := st.funcs[fn]; local && len(held) > 0 {
+					for l := range st.mayAcquire(fn) {
+						for _, h := range held {
+							st.observe(h, l, n.Pos())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// acquire records edges from every held lock to id and pushes it.
+func (st *lockState) acquire(held []string, id string, pos token.Pos) []string {
+	if id == "" {
+		return held
+	}
+	for _, h := range held {
+		st.observe(h, id, pos)
+	}
+	return append(held, id)
+}
+
+// observe records the first site an ordered acquisition is seen at.
+func (st *lockState) observe(from, to string, pos token.Pos) {
+	edge := lockEdge{from: from, to: to}
+	if _, ok := st.observed[edge]; !ok {
+		st.observed[edge] = pos
+	}
+}
+
+func release(held []string, id string) []string {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == id {
+			return append(held[:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// mayAcquire returns the set of lock ids fn may take, directly or via
+// intra-package static calls, memoized with a cycle guard.
+func (st *lockState) mayAcquire(fn *types.Func) map[string]bool {
+	if s, ok := st.acquired[fn]; ok {
+		return s
+	}
+	if st.busy[fn] {
+		return nil
+	}
+	st.busy[fn] = true
+	defer delete(st.busy, fn)
+	set := make(map[string]bool)
+	fd := st.funcs[fn]
+	if fd == nil || fd.Body == nil {
+		st.acquired[fn] = set
+		return set
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, acquire, isLock := st.lockCall(call); isLock {
+			if acquire && id != "" {
+				set[id] = true
+			}
+			return false
+		}
+		if callee := staticCallee(st.pkg.Info, call); callee != nil {
+			if _, local := st.funcs[callee]; local {
+				for id := range st.mayAcquire(callee) {
+					set[id] = true
+				}
+			}
+		}
+		return true
+	})
+	st.acquired[fn] = set
+	return set
+}
+
+// verdicts turns the observed+declared graph into findings.
+func (st *lockState) verdicts() []Diagnostic {
+	var out []Diagnostic
+	adj := make(map[string][]string)
+	addAdj := func(e lockEdge) {
+		if e.from != e.to {
+			adj[e.from] = append(adj[e.from], e.to)
+		}
+	}
+	for e := range st.observed {
+		addAdj(e)
+	}
+	for e := range st.declared {
+		addAdj(e)
+	}
+	edges := make([]lockEdge, 0, len(st.observed))
+	for e := range st.observed {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		return st.observed[edges[i]] < st.observed[edges[j]]
+	})
+	for _, e := range edges {
+		pos := st.pkg.Fset.Position(st.observed[e])
+		switch {
+		case e.from == e.to:
+			out = append(out, Diagnostic{Pos: pos, Rule: "lockorder",
+				Message: fmt.Sprintf("%s acquired while already held (self-deadlock)", e.from)})
+		case st.declaredBlocks(e):
+			out = append(out, Diagnostic{Pos: pos, Rule: "lockorder",
+				Message: fmt.Sprintf("acquires %s while holding %s, inverting the declared order %s before %s",
+					e.to, e.from, e.to, e.from)})
+		case reaches(adj, e.to, e.from):
+			out = append(out, Diagnostic{Pos: pos, Rule: "lockorder",
+				Message: fmt.Sprintf("lock-order cycle: acquiring %s while holding %s closes a cycle back to %s",
+					e.to, e.from, e.from)})
+		}
+	}
+	return out
+}
+
+// declaredBlocks reports whether a declared edge (possibly through
+// other declared edges) orders e.to before e.from — making the
+// observed edge an inversion.
+func (st *lockState) declaredBlocks(e lockEdge) bool {
+	dAdj := make(map[string][]string)
+	for d := range st.declared {
+		dAdj[d.from] = append(dAdj[d.from], d.to)
+	}
+	return reaches(dAdj, e.to, e.from)
+}
+
+// reaches reports whether to is reachable from from (path length >= 1).
+func reaches(adj map[string][]string, from, to string) bool {
+	seen := make(map[string]bool)
+	var stack []string
+	stack = append(stack, adj[from]...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, adj[n]...)
+	}
+	return false
+}
+
+// sortDiagnostics orders findings by position for deterministic output.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+}

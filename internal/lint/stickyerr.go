@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// StickyErr enforces the latched-first-error pattern on stream writer
+// types. Any named struct with an io.Writer field and at least one
+// method that writes to it (a method call on the field, or the field
+// passed to another call) must:
+//
+//  1. carry an error-typed latch field;
+//  2. guard every writing method on the latch (the latch appears in an
+//     if condition before the stream is touched);
+//  3. latch failures (the method assigns the latch field);
+//  4. surface the latch through a method named Err, Close, Flush or
+//     Finish that returns error and reads the latch.
+//
+// This is the contract the flight recorder and telemetry hub already
+// follow: after the first write failure the stream goes quiet instead
+// of interleaving partial records, and the failure is visible at
+// shutdown instead of vanishing.
+type StickyErr struct{}
+
+// NewStickyErr returns the stickyerr analyzer.
+func NewStickyErr() *StickyErr { return &StickyErr{} }
+
+// Name implements Analyzer.
+func (a *StickyErr) Name() string { return "stickyerr" }
+
+// surfacingMethods are the method names accepted as the latch's exit
+// point.
+var surfacingMethods = map[string]bool{
+	"Err": true, "Close": true, "Flush": true, "Finish": true,
+}
+
+// writerType is one struct under analysis.
+type writerType struct {
+	name      string
+	spec      *ast.TypeSpec
+	writerFs  map[types.Object]bool // io.Writer fields
+	errFs     map[types.Object]bool // error fields
+	methods   []*ast.FuncDecl
+	writing   []*ast.FuncDecl
+	surfacing bool
+}
+
+// Analyze implements Analyzer.
+func (a *StickyErr) Analyze(p *Package) []Diagnostic {
+	subjects := collectWriterTypes(p)
+	var out []Diagnostic
+	for _, wt := range subjects {
+		classifyMethods(p, wt)
+		if len(wt.writing) == 0 {
+			continue
+		}
+		if len(wt.errFs) == 0 {
+			out = append(out, Diagnostic{
+				Pos:  p.Fset.Position(wt.spec.Name.Pos()),
+				Rule: "stickyerr",
+				Message: fmt.Sprintf(
+					"writer type %s streams to an io.Writer but has no error field to latch the first failure", wt.name),
+			})
+			continue
+		}
+		for _, m := range wt.writing {
+			if !referencesInIfCond(p, m, wt.errFs) {
+				out = append(out, Diagnostic{
+					Pos:  p.Fset.Position(m.Name.Pos()),
+					Rule: "stickyerr",
+					Message: fmt.Sprintf(
+						"%s.%s writes to the stream without guarding on the latched error", wt.name, m.Name.Name),
+				})
+			}
+			if !assignsField(p, m, wt.errFs) {
+				out = append(out, Diagnostic{
+					Pos:  p.Fset.Position(m.Name.Pos()),
+					Rule: "stickyerr",
+					Message: fmt.Sprintf(
+						"%s.%s writes to the stream but never latches a failure into the error field", wt.name, m.Name.Name),
+				})
+			}
+		}
+		if !wt.surfacing {
+			out = append(out, Diagnostic{
+				Pos:  p.Fset.Position(wt.spec.Name.Pos()),
+				Rule: "stickyerr",
+				Message: fmt.Sprintf(
+					"writer type %s never surfaces its latched error: add an Err/Close/Flush/Finish method returning it", wt.name),
+			})
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// collectWriterTypes finds named structs with io.Writer fields.
+func collectWriterTypes(p *Package) []*writerType {
+	var out []*writerType
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			wt := &writerType{
+				name:     ts.Name.Name,
+				spec:     ts,
+				writerFs: make(map[types.Object]bool),
+				errFs:    make(map[types.Object]bool),
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					obj := p.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if isIOWriter(obj.Type()) {
+						wt.writerFs[obj] = true
+					}
+					if isErrorType(obj.Type()) {
+						wt.errFs[obj] = true
+					}
+				}
+			}
+			if len(wt.writerFs) > 0 {
+				out = append(out, wt)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isIOWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "io" && obj.Name() == "Writer"
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// classifyMethods attaches the type's methods and finds the writing
+// and surfacing ones.
+func classifyMethods(p *Package, wt *writerType) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv, _, _ := recvTypeName(fd)
+			if recv != wt.name {
+				continue
+			}
+			wt.methods = append(wt.methods, fd)
+			if methodWrites(p, fd, wt.writerFs) {
+				wt.writing = append(wt.writing, fd)
+			}
+			if surfacingMethods[fd.Name.Name] && lastResultIsError(fd) && referencesField(p, fd.Body, wt.errFs) {
+				wt.surfacing = true
+			}
+		}
+	}
+}
+
+// recvTypeName extracts the receiver's type name.
+func recvTypeName(fd *ast.FuncDecl) (name string, ptr bool, ok bool) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "", false, false
+	}
+	t := fd.Recv.List[0].Type
+	if star, isPtr := t.(*ast.StarExpr); isPtr {
+		t = star.X
+		ptr = true
+	}
+	if id, isIdent := t.(*ast.Ident); isIdent {
+		return id.Name, ptr, true
+	}
+	return "", false, false
+}
+
+// methodWrites reports whether the method touches a writer field as a
+// stream: calls a method on it or passes it to another call.
+func methodWrites(p *Package, fd *ast.FuncDecl, writers map[types.Object]bool) bool {
+	writes := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || writes {
+			return !writes
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if inner, ok := unparen(sel.X).(*ast.SelectorExpr); ok && writers[p.Info.Uses[inner.Sel]] {
+				writes = true // h.jsonl.Write(...)
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if sel, ok := unparen(arg).(*ast.SelectorExpr); ok && writers[p.Info.Uses[sel.Sel]] {
+				writes = true // fmt.Fprintf(p.w, ...)
+				return false
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// referencesInIfCond reports whether any if condition in the method
+// reads one of the fields.
+func referencesInIfCond(p *Package, fd *ast.FuncDecl, fields map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || found {
+			return !found
+		}
+		if referencesFieldExpr(p, ifs.Cond, fields) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// assignsField reports whether the method assigns one of the fields.
+func assignsField(p *Package, fd *ast.FuncDecl, fields map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := unparen(lhs).(*ast.SelectorExpr); ok && fields[p.Info.Uses[sel.Sel]] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// referencesField reports whether the node reads one of the fields.
+func referencesField(p *Package, n ast.Node, fields map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if sel, ok := m.(*ast.SelectorExpr); ok && fields[p.Info.Uses[sel.Sel]] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// referencesFieldExpr is referencesField on an expression.
+func referencesFieldExpr(p *Package, e ast.Expr, fields map[types.Object]bool) bool {
+	return e != nil && referencesField(p, e, fields)
+}
+
+// lastResultIsError reports whether the method's last result is error.
+func lastResultIsError(fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+		return false
+	}
+	last := fd.Type.Results.List[len(fd.Type.Results.List)-1]
+	id, ok := last.Type.(*ast.Ident)
+	return ok && id.Name == "error"
+}

@@ -1,0 +1,33 @@
+// Package cluster is a miniature of the real coordinator surface: the
+// confined mutators live here, and same-package callers are exempt.
+package cluster
+
+// Node is one rack member.
+type Node struct {
+	capW float64
+}
+
+// SetCapCeilingW is a confined mutator.
+func (n *Node) SetCapCeilingW(w float64) { n.capW = w }
+
+// Coordinator owns rack membership.
+type Coordinator struct {
+	nodes []*Node
+}
+
+// AddNode is a confined mutator.
+func (c *Coordinator) AddNode(n *Node) {
+	c.nodes = append(c.nodes, n)
+}
+
+// RemoveNode is a confined mutator.
+func (c *Coordinator) RemoveNode(i int) {
+	c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
+}
+
+// Reset mutates from inside the package, which is allowed.
+func (c *Coordinator) Reset() {
+	for len(c.nodes) > 0 {
+		c.RemoveNode(0)
+	}
+}

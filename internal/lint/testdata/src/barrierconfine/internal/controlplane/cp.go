@@ -1,0 +1,36 @@
+// Package controlplane drives barrier-validated reconfiguration: only
+// functions reachable from the //capgpu:barrier root may mutate the
+// coordinator.
+package controlplane
+
+import "fixture/internal/cluster"
+
+// Daemon owns the coordinator.
+type Daemon struct {
+	coord *cluster.Coordinator
+}
+
+// barrier is the validated apply point.
+//
+//capgpu:barrier
+func (d *Daemon) barrier(n *cluster.Node) {
+	d.applyJoin(n)
+}
+
+// applyJoin is reachable from the barrier, so its mutations pass.
+func (d *Daemon) applyJoin(n *cluster.Node) {
+	d.coord.AddNode(n)
+	n.SetCapCeilingW(300)
+}
+
+// Sidestep is not reachable from the barrier and must not mutate.
+func (d *Daemon) Sidestep(n *cluster.Node) {
+	d.coord.AddNode(n) // want barrierconfine
+	//lint:ignore barrierconfine fixture proves suppression is honored
+	n.SetCapCeilingW(250)
+}
+
+// Drive keeps the barrier entry point referenced.
+func (d *Daemon) Drive(n *cluster.Node) {
+	d.barrier(n)
+}

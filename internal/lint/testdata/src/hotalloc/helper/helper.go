@@ -1,0 +1,16 @@
+// Package helper is reached from the hot root across a package
+// boundary, proving the traversal is module-wide.
+package helper
+
+// Work allocates on a path reached from the hot root.
+func Work(n int) []string {
+	labels := map[string]int{"n": n} // want hotalloc
+	_ = labels
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, "x") // pre-sized: clean
+	}
+	//lint:ignore hotalloc fixture proves suppression is honored
+	tags := []string{"a", "b"}
+	return append(tags, out...)
+}

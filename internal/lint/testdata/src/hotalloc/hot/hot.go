@@ -1,0 +1,46 @@
+// Package hot exercises the hotalloc analyzer's in-package checks and
+// its confinement: the annotated root and its callees are checked, an
+// unannotated sibling with the same constructs is not.
+package hot
+
+import (
+	"fmt"
+
+	"fixture/helper"
+)
+
+// Sink consumes boxed values.
+type Sink interface {
+	Put(v any)
+}
+
+// Hot is the annotated per-period entry point.
+//
+//capgpu:hotpath
+func Hot(s Sink, n int) string {
+	if n < 0 {
+		return fmt.Sprintf("bad n %d", n) // error path: exempt
+	}
+	name := fmt.Sprintf("n=%d", n) // want hotalloc
+	var acc []int
+	for i := 0; i < n; i++ {
+		acc = append(acc, i) // want hotalloc
+	}
+	pair := []int{n, len(acc)} // want hotalloc
+	_ = pair
+	f := func() int { return n } // want hotalloc
+	_ = f()
+	s.Put(n) // want hotalloc
+	helper.Work(n)
+	return name
+}
+
+// Cold has the same constructs with no annotation: no findings.
+func Cold(s Sink, n int) string {
+	var acc []int
+	for i := 0; i < n; i++ {
+		acc = append(acc, i)
+	}
+	s.Put(len(acc))
+	return fmt.Sprintf("n=%d", n)
+}

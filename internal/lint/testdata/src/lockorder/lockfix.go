@@ -1,0 +1,120 @@
+// Package lockfix exercises the lockorder analyzer: declared-order
+// compliance, inversion, an undeclared cycle, self-deadlock, callee
+// expansion, suppression, and malformed directives. Each scenario uses
+// its own lock types so the per-package graphs stay independent.
+package lockfix
+
+import "sync"
+
+// Outer declares it is always taken before Inner.mu.
+type Outer struct {
+	mu sync.Mutex //lint:lockorder before:Inner.mu
+}
+
+// Inner is the downstream lock.
+type Inner struct {
+	mu sync.Mutex
+}
+
+// Declared follows the declared order and is clean.
+func Declared(o *Outer, i *Inner) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i.mu.Lock()
+	i.mu.Unlock()
+}
+
+// OuterB declares order over InnerB for the inversion case.
+type OuterB struct {
+	mu sync.Mutex //lint:lockorder before:InnerB.mu
+}
+
+// InnerB is the downstream lock.
+type InnerB struct {
+	mu sync.Mutex
+}
+
+// Inverted acquires against the declared order.
+func Inverted(o *OuterB, i *InnerB) {
+	i.mu.Lock()
+	o.mu.Lock() // want lockorder
+	o.mu.Unlock()
+	i.mu.Unlock()
+}
+
+// Left and Right form an undeclared cycle across two functions.
+type Left struct{ mu sync.Mutex }
+
+// Right is the other half of the cycle.
+type Right struct{ mu sync.RWMutex }
+
+// LeftThenRight takes Left.mu then Right.mu.
+func LeftThenRight(l *Left, r *Right) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.mu.RLock() // want lockorder
+	r.mu.RUnlock()
+}
+
+// RightThenLeft closes the cycle.
+func RightThenLeft(l *Left, r *Right) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l.mu.Lock() // want lockorder
+	l.mu.Unlock()
+}
+
+// Relock re-acquires a held lock.
+type Relock struct{ mu sync.Mutex }
+
+// Twice deadlocks on its own mutex.
+func Twice(x *Relock) {
+	x.mu.Lock()
+	x.mu.Lock() // want lockorder
+	x.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// Deep and Shallow exercise intra-package callee expansion.
+type Deep struct {
+	mu sync.Mutex //lint:lockorder before:Shallow.mu
+}
+
+// Shallow is the downstream lock.
+type Shallow struct{ mu sync.Mutex }
+
+// lockDeep acquires Deep.mu on behalf of its caller.
+func lockDeep(d *Deep) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// ViaCallee holds Shallow.mu while a callee takes Deep.mu.
+func ViaCallee(d *Deep, s *Shallow) {
+	s.mu.Lock()
+	lockDeep(d) // want lockorder
+	s.mu.Unlock()
+}
+
+// OuterS and InnerS prove suppression is honored.
+type OuterS struct {
+	mu sync.Mutex //lint:lockorder before:InnerS.mu
+}
+
+// InnerS is the downstream lock.
+type InnerS struct{ mu sync.Mutex }
+
+// SuppressedInversion documents an intentional exception.
+func SuppressedInversion(o *OuterS, i *InnerS) {
+	i.mu.Lock()
+	//lint:ignore lockorder fixture proves suppression is honored
+	o.mu.Lock()
+	o.mu.Unlock()
+	i.mu.Unlock()
+}
+
+// Bad carries a malformed directive and a misplaced one.
+type Bad struct {
+	mu sync.Mutex //lint:lockorder after:Inner.mu // want lockorder
+	n  int        //lint:lockorder before:Inner.mu // want lockorder
+}

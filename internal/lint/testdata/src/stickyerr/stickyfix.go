@@ -1,0 +1,98 @@
+// Package stickyfix exercises the stickyerr analyzer: a compliant
+// writer, a writer with no latch, an unguarded write, a swallowed
+// failure, a latch that is never surfaced, and a suppressed exception.
+package stickyfix
+
+import (
+	"fmt"
+	"io"
+)
+
+// Good follows the latched-first-error contract end to end.
+type Good struct {
+	w   io.Writer
+	err error
+}
+
+// Log writes one line, guarded and latched.
+func (g *Good) Log(s string) {
+	if g.w == nil || g.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintln(g.w, s); err != nil {
+		g.err = err
+	}
+}
+
+// Err surfaces the latch.
+func (g *Good) Err() error { return g.err }
+
+// NoLatch has a writer but nowhere to keep the first failure.
+type NoLatch struct { // want stickyerr
+	w io.Writer
+}
+
+// Log writes with no latch at all.
+func (n *NoLatch) Log(s string) {
+	_, _ = fmt.Fprintln(n.w, s)
+}
+
+// Unguarded latches failures but keeps writing after the first one.
+type Unguarded struct {
+	w   io.Writer
+	err error
+}
+
+// Log never checks the latch before writing.
+func (u *Unguarded) Log(s string) { // want stickyerr
+	_, err := u.w.Write([]byte(s))
+	u.err = err
+}
+
+// Err surfaces the latch.
+func (u *Unguarded) Err() error { return u.err }
+
+// NeverLatches guards but swallows the write error.
+type NeverLatches struct {
+	w   io.Writer
+	err error
+}
+
+// Log checks the latch but forgets to set it on failure.
+func (v *NeverLatches) Log(s string) { // want stickyerr
+	if v.err != nil {
+		return
+	}
+	_, _ = v.w.Write([]byte(s))
+}
+
+// Close surfaces the latch.
+func (v *NeverLatches) Close() error { return v.err }
+
+// NoSurface guards and latches but never exposes the error.
+type NoSurface struct { // want stickyerr
+	w   io.Writer
+	err error
+}
+
+// Log is correct in isolation.
+func (n *NoSurface) Log(s string) {
+	if n.err != nil {
+		return
+	}
+	if _, err := n.w.Write([]byte(s)); err != nil {
+		n.err = err
+	}
+}
+
+// Suppressed documents an intentional exception to the contract.
+//
+//lint:ignore stickyerr fixture proves suppression is honored
+type Suppressed struct {
+	w io.Writer
+}
+
+// Log writes with no latch, intentionally.
+func (s *Suppressed) Log(t string) {
+	_, _ = fmt.Fprintln(s.w, t)
+}

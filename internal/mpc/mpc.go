@@ -506,10 +506,12 @@ func (c *Controller) constraints(x, lo []float64) (*mat.Mat, []float64) {
 // solveSLSQP runs the same condensed problem through the SQP solver.
 func (c *Controller) solveSLSQP(h *mat.Mat, g []float64, a *mat.Mat, b []float64) (*slsqp.Result, error) {
 	obj := slsqp.Objective{
+		//lint:ignore hotalloc one objective pair per QP solve, amortized over the whole SQP iteration; workspace reuse is tracked on the roadmap
 		Func: func(d []float64) float64 {
 			hd := h.MulVec(d)
 			return 0.5*mat.Dot(d, hd) + mat.Dot(g, d)
 		},
+		//lint:ignore hotalloc see Func above: per-solve, not per-iteration
 		Grad: func(d []float64) []float64 {
 			grad := h.MulVec(d)
 			mat.Axpy(1, g, grad)
@@ -521,7 +523,9 @@ func (c *Controller) solveSLSQP(h *mat.Mat, g []float64, a *mat.Mat, b []float64
 		row := a.Row(i)
 		bi := b[i]
 		cons[i] = slsqp.Constraint{
+			//lint:ignore hotalloc one closure per constraint row per solve; the rows must be captured for the solver's callback API
 			Func: func(d []float64) float64 { return mat.Dot(row, d) - bi },
+			//lint:ignore hotalloc same per-row capture as Func
 			Grad: func(d []float64) []float64 { return append([]float64(nil), row...) },
 		}
 	}

@@ -184,6 +184,7 @@ func Minimize(obj Objective, cons []Constraint, lo, hi, x0 []float64, params Par
 		}
 
 		// ℓ1 merit line search.
+		//lint:ignore hotalloc one merit closure per SQP outer iteration; mu changes each round so the capture is inherent
 		merit := func(y []float64) float64 {
 			v := obj.Func(y)
 			for _, c := range cons {

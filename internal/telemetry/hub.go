@@ -66,7 +66,7 @@ type nodeState struct {
 // the registry's own locked mutators (lock order Hub.mu → Registry.mu),
 // so a concurrent /metrics scrape never races the control loop.
 type Hub struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //lint:lockorder before:Registry.mu
 	reg   *Registry
 	clock Clock
 	jsonl io.Writer
@@ -193,6 +193,8 @@ func (n *nodeSink) EndPhase(period int, phase string) {
 
 // Emit implements Sink: the event is logged (ring + JSONL) and folded
 // into the derived counters/gauges.
+//
+//capgpu:hotpath
 func (h *Hub) Emit(e Event) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -210,6 +212,7 @@ func (h *Hub) emitLocked(e Event) {
 		h.events = append(h.events, e)
 	}
 	if h.jsonl != nil && h.jerr == nil {
+		//lint:ignore hotalloc Marshal boxes one event per JSONL append; &e would heap-escape every event and cost more than the box on the sink-less path
 		b, err := json.Marshal(e)
 		if err == nil {
 			b = append(b, '\n')
@@ -276,6 +279,8 @@ func (h *Hub) count(name, help string, labels Labels) {
 // Period implements Sink: gauges and histograms are updated from the
 // snapshot, and transition events are synthesized by diffing against
 // the node's previous sample.
+//
+//capgpu:hotpath
 func (h *Hub) Period(s PeriodSample) {
 	h.mu.Lock()
 	defer h.mu.Unlock()

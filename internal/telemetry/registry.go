@@ -43,7 +43,14 @@ func (ls Labels) signature() string {
 		return ""
 	}
 	s := append(Labels(nil), ls...)
-	sort.SliceStable(s, func(i, j int) bool { return s[i].Key < s[j].Key })
+	// Stable insertion sort on the typed slice: label sets are tiny,
+	// and this keeps sort.SliceStable's interface boxing and comparator
+	// closure out of the per-period exposition path.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Key < s[j-1].Key; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 	var b strings.Builder
 	b.WriteByte('{')
 	for i, l := range s {
