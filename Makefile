@@ -5,12 +5,15 @@ GO ?= go
 # Ratcheted coverage floors. internal/cluster holds the parallel
 # stepping and its equivalence/error-path suites; internal/controlplane
 # holds the daemon's membership, checkpoint, and policy-API suites;
-# internal/lint holds the contract analyzers and their fixture suites.
+# internal/lint holds the contract analyzers and their fixture suites;
+# internal/telemetry holds the sharded hub, time-series store, energy
+# ledger, and alert-engine suites.
 # A drop below a floor means proof rotted out. Raise a floor when
 # coverage rises; never lower it.
 CLUSTER_COVER_FLOOR = 95.0
 CONTROLPLANE_COVER_FLOOR = 80.0
 LINT_COVER_FLOOR = 90.0
+TELEMETRY_COVER_FLOOR = 90.0
 
 all: check
 
@@ -99,6 +102,13 @@ cover:
 		echo "cover: internal/lint coverage $$pct% is below the $(LINT_COVER_FLOOR)% floor"; exit 1; \
 	fi; \
 	echo "cover: internal/lint $$pct% >= $(LINT_COVER_FLOOR)% floor"
+	@$(GO) test -coverprofile=/tmp/capgpu-telemetry.cov ./internal/telemetry/ | tee /tmp/capgpu-telemetry-cover.txt
+	@pct="$$(grep -o 'coverage: [0-9.]*' /tmp/capgpu-telemetry-cover.txt | grep -o '[0-9.]*')"; \
+	ok="$$(awk -v p="$$pct" -v f="$(TELEMETRY_COVER_FLOOR)" 'BEGIN { print (p >= f) ? 1 : 0 }')"; \
+	if [ "$$ok" != "1" ]; then \
+		echo "cover: internal/telemetry coverage $$pct% is below the $(TELEMETRY_COVER_FLOOR)% floor"; exit 1; \
+	fi; \
+	echo "cover: internal/telemetry $$pct% >= $(TELEMETRY_COVER_FLOOR)% floor"
 
 # Deterministic control-plane soak: one simulated day (21600 periods)
 # of diurnal + bursty load over a seeded churn schedule (joins, drains,

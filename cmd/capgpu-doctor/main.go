@@ -9,8 +9,15 @@
 //
 //	capgpu-doctor -flight flight.jsonl [-events events.jsonl] [-csv run.csv] [-json]
 //
+// With -alerts (requires -events and -node), the online alert engine's
+// firing/resolved stream is cross-checked against the diagnosed
+// incidents: every fired per-node alert must overlap an incident of
+// the matching kind, and every sustained incident of an alertable kind
+// must have been caught online.
+//
 // Exit codes are CI-gateable: 0 = clean run or every incident
-// explained; 2 = unexplained anomalies; 1 = usage or input errors.
+// explained; 2 = unexplained anomalies or an alert/incident mismatch;
+// 1 = usage or input errors.
 package main
 
 import (
@@ -33,10 +40,18 @@ func main() {
 	measSlack := flag.Float64("slack", 0.01, "measured-violation slack fraction above the set point")
 	trueSlack := flag.Float64("true-slack", 0.02, "breaker-side violation slack fraction")
 	node := flag.String("node", "", "keep only events for this node label (plus rack-scope events) — for rack/daemon event streams covering many nodes")
+	alerts := flag.Bool("alerts", false, "cross-check online alerts in -events against diagnosed incidents (requires -events and -node)")
+	alertMargin := flag.Int("alert-margin", 0, "alert/incident overlap margin in periods (0 = default)")
+	alertMinSpan := flag.Int("alert-min-span", 0, "shortest incident span the reverse alert check requires (0 = default)")
 	flag.Parse()
 
 	if *flightPath == "" {
 		fmt.Fprintln(os.Stderr, "capgpu-doctor: -flight is required")
+		flag.Usage()
+		os.Exit(1)
+	}
+	if *alerts && (*eventsPath == "" || *node == "") {
+		fmt.Fprintln(os.Stderr, "capgpu-doctor: -alerts requires -events and -node")
 		flag.Usage()
 		os.Exit(1)
 	}
@@ -84,19 +99,46 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	var alertRes *flight.AlertCheckResult
+	if *alerts {
+		alertRes = flight.CheckAlerts(flight.AlertCheckInput{
+			Node:               *node,
+			Alerts:             flight.AlertWindows(events),
+			Incidents:          report.Incidents,
+			MarginPeriods:      *alertMargin,
+			MinIncidentPeriods: *alertMinSpan,
+		})
+	}
+
 	if *jsonOut {
+		out := struct {
+			*flight.Report
+			Alerts *flight.AlertCheckResult `json:"alerts,omitempty"`
+		}{report, alertRes}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
+		if err := enc.Encode(out); err != nil {
 			fatalf("encode report: %v", err)
 		}
 	} else {
 		if err := report.WriteText(os.Stdout); err != nil {
 			fatalf("write report: %v", err)
 		}
+		if alertRes != nil {
+			if err := alertRes.Err(); err != nil {
+				fmt.Printf("\nalert cross-check: %v\n", err)
+			} else {
+				fmt.Printf("\nalert cross-check: clean (%d alerts matched, %d incidents matched)\n",
+					alertRes.AlertsMatched, alertRes.IncidentsMatched)
+			}
+		}
 		crossCheck(records, events, *csvPath)
 	}
-	os.Exit(report.ExitCode())
+	code := report.ExitCode()
+	if alertRes != nil && !alertRes.Ok() && code == 0 {
+		code = 2
+	}
+	os.Exit(code)
 }
 
 func readFlight(path string) ([]flight.DecisionRecord, error) {

@@ -83,6 +83,13 @@ func runServe(o serveOptions) error {
 		}
 		spec.Schedule = sched
 		spec.Load = soakLoad(o.periods)
+		// Diurnal carbon/price curves over the soak day, so the energy
+		// ledger exercises weighted attribution end to end.
+		spec.Energy = controlplane.EnergySpec{
+			CarbonBase: 400, CarbonAmp: 0.3,
+			PriceBase: 0.08, PriceAmp: 0.5,
+			DiurnalPeriods: o.periods,
+		}
 		if spec.CheckpointEvery == 0 {
 			spec.CheckpointEvery = 500
 		}
@@ -94,6 +101,13 @@ func runServe(o serveOptions) error {
 	var eventsBuf bytes.Buffer
 	var eventsFile *os.File
 	cfg := telemetry.Config{Clock: func() float64 { return time.Since(start).Seconds() }}
+	if o.soak {
+		// The online alert engine runs at the same 3 % cap slack the
+		// soak gate hands the offline doctor, so cap-sustain windows and
+		// cap-violation incidents diagnose the same pathology and the
+		// alert↔doctor correspondence check is apples to apples.
+		cfg.Alerts = &telemetry.AlertConfig{CapSlackFrac: 0.03}
+	}
 	var sinks []io.Writer
 	if o.eventsPath != "" {
 		f, err := os.Create(o.eventsPath)
@@ -261,7 +275,7 @@ loop:
 	}
 
 	if o.soak && !interrupted {
-		return soakVerdict(d, &eventsBuf, flightBufs, o.flightDir)
+		return soakVerdict(d, hub, &eventsBuf, flightBufs, o.flightDir)
 	}
 	st = d.Status()
 	fmt.Printf("stopped at period %d, epoch %d, %d members\n", st.Period, st.Epoch, len(st.Members))
@@ -270,10 +284,14 @@ loop:
 
 // soakVerdict is the soak gate: the run summary, then the offline
 // doctor over every member's flight record — live or released — with
-// the node's own events plus rack-scope events as context. Any
-// unexplained incident, rejected op, or budget-invariant violation is
-// a non-zero exit.
-func soakVerdict(d *controlplane.Daemon, eventsBuf *bytes.Buffer, flightBufs map[string]*bytes.Buffer, artifactDir string) error {
+// the node's own events plus rack-scope events as context, then the
+// telemetry-v2 checks: every online alert must correspond to a doctor
+// incident (and vice versa for sustained ones), and the energy
+// ledger's per-node Wh must agree with trapezoidal integration of the
+// flight records. Any unexplained incident, alert mismatch, energy
+// disagreement, rejected op, or budget-invariant violation is a
+// non-zero exit.
+func soakVerdict(d *controlplane.Daemon, hub *telemetry.Hub, eventsBuf *bytes.Buffer, flightBufs map[string]*bytes.Buffer, artifactDir string) error {
 	applied := map[controlplane.OpKind]int{}
 	rejected := 0
 	for _, op := range d.OpLog() {
@@ -315,7 +333,9 @@ func soakVerdict(d *controlplane.Daemon, eventsBuf *bytes.Buffer, flightBufs map
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	unexplained := 0
+	alertWindows := flight.AlertWindows(events)
+	unexplained, alertMismatches, energyMismatches := 0, 0, 0
+	var trapTotalWh float64
 	fmt.Println()
 	for _, name := range names {
 		recs, err := flight.ReadRecords(bytes.NewReader(flightBufs[name].Bytes()))
@@ -360,6 +380,30 @@ func soakVerdict(d *controlplane.Daemon, eventsBuf *bytes.Buffer, flightBufs map
 			}
 		}
 		fmt.Printf("doctor %s: %s\n", name, verdict)
+
+		// Online/offline correspondence: the alert engine and the doctor
+		// looked at the same run through different instruments, so their
+		// windows must overlap (after margin widening) in both directions.
+		ac := flight.CheckAlerts(flight.AlertCheckInput{
+			Node: name, Alerts: alertWindows, Incidents: report.Incidents,
+		})
+		if err := ac.Err(); err != nil {
+			alertMismatches++
+			fmt.Printf("  %s: %v\n", name, err)
+		}
+
+		// Energy agreement: the ledger accumulated each period's EnergyJ;
+		// trapezoidal integration of the flight record's true-power series
+		// is an independent estimate that differs only by half-period edge
+		// effects, far inside the relative tolerance.
+		trapWh := trapezoidWh(recs)
+		trapTotalWh += trapWh
+		ledgerWh := hub.NodeWh(name)
+		if relDiff(ledgerWh, trapWh) > 1e-3 {
+			energyMismatches++
+			fmt.Printf("  %s: ledger %.3f Wh vs trapezoid %.3f Wh\n", name, ledgerWh, trapWh)
+		}
+
 		if artifactDir != "" {
 			b, err := json.MarshalIndent(report, "", "  ")
 			if err != nil {
@@ -370,9 +414,95 @@ func soakVerdict(d *controlplane.Daemon, eventsBuf *bytes.Buffer, flightBufs map
 			}
 		}
 	}
-	if unexplained > 0 || rejected > 0 || viol > 0 {
-		return fmt.Errorf("soak failed: %d unexplained incidents, %d rejected ops, %d invariant violations", unexplained, rejected, viol)
+
+	ledgerTotal := hub.LedgerTotalWh()
+	fmt.Printf("\nenergy: ledger %.1f Wh, trapezoid %.1f Wh, %d fired alerts across %d nodes\n",
+		ledgerTotal, trapTotalWh, len(telemetry.FiredAlerts(events)), len(names))
+	if relDiff(ledgerTotal, trapTotalWh) > 1e-3 {
+		energyMismatches++
+		fmt.Printf("TOTAL energy disagreement: ledger %.3f Wh vs trapezoid %.3f Wh\n", ledgerTotal, trapTotalWh)
 	}
-	fmt.Println("\nsoak clean: every incident explained, all ops applied, budget invariant held")
+
+	if artifactDir != "" {
+		if err := writeSoakArtifacts(hub, alertWindows, artifactDir); err != nil {
+			return err
+		}
+	}
+	if unexplained > 0 || rejected > 0 || viol > 0 || alertMismatches > 0 || energyMismatches > 0 {
+		return fmt.Errorf("soak failed: %d unexplained incidents, %d rejected ops, %d invariant violations, %d alert mismatches, %d energy mismatches",
+			unexplained, rejected, viol, alertMismatches, energyMismatches)
+	}
+	fmt.Println("\nsoak clean: every incident explained, all ops applied, budget invariant held, alerts match the doctor, ledger matches integration")
 	return nil
+}
+
+// trapezoidWh integrates a flight record's true-power series over time
+// by the trapezoid rule, in watt-hours.
+func trapezoidWh(recs []flight.DecisionRecord) float64 {
+	var joules float64
+	for i := 1; i < len(recs); i++ {
+		dt := recs[i].TimeS - recs[i-1].TimeS
+		joules += dt * (recs[i].TruePowerW + recs[i-1].TruePowerW) / 2
+	}
+	if len(recs) > 1 {
+		// The records are period means stamped at period end; the run's
+		// first and last half-periods fall outside the trapezoid span, so
+		// put them back with the edge means.
+		dt := (recs[len(recs)-1].TimeS - recs[0].TimeS) / float64(len(recs)-1)
+		joules += dt / 2 * (recs[0].TruePowerW + recs[len(recs)-1].TruePowerW)
+	} else if len(recs) == 1 {
+		joules = recs[0].TruePowerW * 4
+	}
+	return joules / 3600
+}
+
+func relDiff(a, b float64) float64 {
+	scale := max(abs(a), abs(b))
+	if scale == 0 {
+		return 0
+	}
+	return abs(a-b) / scale
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// writeSoakArtifacts exports the telemetry-v2 run products next to the
+// flight records: the 100× downsampled series (CSV, one row per
+// bucket) and the reconstructed alert windows (JSON).
+func writeSoakArtifacts(hub *telemetry.Hub, alerts []flight.AlertWindow, dir string) error {
+	f, err := os.Create(filepath.Join(dir, "series-res100.csv"))
+	if err != nil {
+		return err
+	}
+	werr := hub.WriteStoreCSV(f, 100)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	if alerts == nil {
+		alerts = []flight.AlertWindow{}
+	}
+	b, err := json.MarshalIndent(alerts, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "alerts.json"), append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	lf, err := os.Create(filepath.Join(dir, "energy-ledger.txt"))
+	if err != nil {
+		return err
+	}
+	_, werr = lf.WriteString(telemetry.FormatLedgerTable(hub.LedgerTable()))
+	if cerr := lf.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

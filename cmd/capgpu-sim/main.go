@@ -30,6 +30,15 @@
 //	                         metrics summary (exit 1 on mismatch)
 //	-hold duration           with -metrics-addr, serve for this long after
 //	                         the run instead of waiting for SIGINT
+//	-alerts                  run the online alert engine (slo-burn,
+//	                         cap-sustain, meter-stale) and print the fired
+//	                         alert windows after the run
+//	-energy                  print the energy-attribution ledger table
+//	                         (node × class × state × epoch) after the run
+//	-series-csv string       export the downsampled time-series store as
+//	                         CSV to this path (see -series-res)
+//	-series-res int          store resolution for -series-csv: 1, 10, or
+//	                         100 periods per bucket (default 10)
 //
 // Flight recorder (see DESIGN.md "Flight recorder & diagnosis"):
 //
@@ -79,6 +88,10 @@ func main() {
 	flightPath := flag.String("flight", "", "write the flight-recorder DecisionRecord JSONL to this path")
 	dumpPath := flag.String("flight-dump", "", "write incident-triggered black-box dumps (JSONL) to this path")
 	pprofOn := flag.Bool("pprof", false, "with -metrics-addr, also serve net/http/pprof under /debug/pprof/")
+	alertsOn := flag.Bool("alerts", false, "run the online alert engine and print fired alert windows after the run")
+	energyOn := flag.Bool("energy", false, "print the energy-attribution ledger table after the run")
+	seriesPath := flag.String("series-csv", "", "export the downsampled time-series store as CSV to this path")
+	seriesRes := flag.Int("series-res", 10, "store resolution for -series-csv: 1, 10, or 100 periods per bucket")
 	flag.Parse()
 
 	if *pprofOn && *metricsAddr == "" {
@@ -110,9 +123,13 @@ func main() {
 	var hub *telemetry.Hub
 	var eventsFile *os.File
 	var eventsBuf *bytes.Buffer
-	if *metricsAddr != "" || *eventsPath != "" || *snapshotPath != "" || *selfCheck {
+	if *metricsAddr != "" || *eventsPath != "" || *snapshotPath != "" || *selfCheck ||
+		*alertsOn || *energyOn || *seriesPath != "" {
 		start := time.Now()
 		cfg := telemetry.Config{Clock: func() float64 { return time.Since(start).Seconds() }}
+		if *alertsOn {
+			cfg.Alerts = &telemetry.AlertConfig{}
+		}
 		if *eventsPath != "" {
 			f, err := os.Create(*eventsPath)
 			if err != nil {
@@ -121,10 +138,11 @@ func main() {
 			}
 			eventsFile = f
 			cfg.JSONL = f
-		} else if *selfCheck {
-			// The self-check needs the complete stream; the in-memory
-			// ring is bounded and drops the oldest events on long runs,
-			// which would turn surviving exits into spurious orphans.
+		} else if *selfCheck || *alertsOn {
+			// The self-check and the alert report need the complete
+			// stream; the in-memory ring is bounded and drops the oldest
+			// events on long runs, which would turn surviving exits into
+			// spurious orphans (and lose early firings).
 			eventsBuf = &bytes.Buffer{}
 			cfg.JSONL = eventsBuf
 		}
@@ -366,6 +384,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
 			os.Exit(1)
 		}
+		if *alertsOn {
+			events, err := completeEvents(*eventsPath, eventsBuf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
+				os.Exit(1)
+			}
+			printAlertWindows(flight.AlertWindows(events))
+		}
+		if *energyOn {
+			fmt.Println()
+			fmt.Print(telemetry.FormatLedgerTable(hub.LedgerTable()))
+		}
+		if *seriesPath != "" {
+			f, err := os.Create(*seriesPath)
+			if err == nil {
+				err = hub.WriteStoreCSV(f, *seriesRes)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "capgpu-sim: series export:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("series store (res %d) written to %s\n", *seriesRes, *seriesPath)
+		}
 		if *selfCheck {
 			events, err := completeEvents(*eventsPath, eventsBuf)
 			if err == nil {
@@ -481,6 +525,20 @@ func selfCheckTelemetry(hub *telemetry.Hub, res *experiments.RunResult, events [
 	fmt.Printf("\ntelemetry self-check ok: %d events balanced, %d cap violations and %d SLO misses match the summary\n",
 		hub.EventsTotal(), gotViol, gotMiss)
 	return nil
+}
+
+// printAlertWindows renders the online alert engine's verdict: every
+// firing→resolved window the run produced, or an explicit all-clear.
+func printAlertWindows(ws []flight.AlertWindow) {
+	fmt.Println()
+	if len(ws) == 0 {
+		fmt.Println("alerts: none fired")
+		return
+	}
+	fmt.Printf("alerts: %d fired\n", len(ws))
+	for _, w := range ws {
+		fmt.Printf("  %-12s %-16s periods %d-%d\n", w.Node, w.Rule, w.Start, w.End)
+	}
 }
 
 // holdServing keeps the -metrics-addr endpoint alive after the run: for

@@ -55,6 +55,9 @@ type Spec struct {
 	Schedule string `json:"schedule,omitempty"`
 	// Load shapes open-loop arrival traffic (zero value = steady load).
 	Load LoadSpec `json:"load,omitempty"`
+	// Energy attaches diurnal carbon/price weight curves to the hub's
+	// energy ledger (zero value = unweighted accounting).
+	Energy EnergySpec `json:"energy,omitempty"`
 	// CheckpointEvery is the checkpoint cadence in periods (0 = none).
 	// Checkpoint boundaries are part of the deterministic timeline: the
 	// checkpoint telemetry event is emitted whether or not a file sink
@@ -253,6 +256,10 @@ func New(spec Spec, deps Deps) (*Daemon, error) {
 	coord.Silenced = func(_ int, name string) bool { return d.silenced[name] }
 	if deps.Hub != nil {
 		coord.Telemetry = deps.Hub.NodeSink("rack")
+		if spec.Energy.Enabled() {
+			deps.Hub.SetEnergyWeights(spec.Energy.CarbonCurve(), spec.Energy.PriceCurve())
+		}
+		deps.Hub.SetRackBudget(d.budgetW)
 		sinks := make([]telemetry.Sink, len(nodes))
 		for i, n := range nodes {
 			sinks[i] = deps.Hub.NodeSink(n.Name)
@@ -319,6 +326,8 @@ func (d *Daemon) buildNode(class string) (*cluster.Node, *member, error) {
 		return nil, nil, fmt.Errorf("controlplane: build node %s: %w", name, err)
 	}
 	m := &member{name: name, class: class}
+	node.Harness().WorkloadClass = class
+	node.Harness().PolicyEpoch = d.epoch
 	if d.deps.Hub != nil {
 		node.Harness().SetTelemetry(d.deps.Hub.NodeSink(name), name)
 	}
@@ -720,6 +729,9 @@ func (d *Daemon) tryApply(op Op, k int) (applied bool, reason string, err error)
 			return false, fmt.Sprintf("infeasible: member floors %.0f W exceed requested budget %.0f W", floors, v), nil
 		}
 		d.budgetW = v
+		if d.deps.Hub != nil {
+			d.deps.Hub.SetRackBudget(v)
+		}
 		d.bumpEpoch()
 		return true, "", nil
 
@@ -766,10 +778,12 @@ func (d *Daemon) tryApply(op Op, k int) (applied bool, reason string, err error)
 }
 
 // bumpEpoch advances the policy epoch and restamps every live flight
-// recorder, so subsequent decision records carry the new epoch.
+// recorder and harness, so subsequent decision records and period
+// samples carry the new epoch.
 func (d *Daemon) bumpEpoch() {
 	d.epoch++
 	for _, n := range d.coord.Nodes {
+		n.Harness().PolicyEpoch = d.epoch
 		if m := d.byName[n.Name]; m != nil && m.rec != nil {
 			m.rec.SetEpoch(d.epoch)
 		}

@@ -81,6 +81,62 @@ func (l LoadSpec) BurstAt(seed int64, k int, node string) bool {
 	return float64(h>>11)/(1<<53) < l.BurstProb
 }
 
+// EnergySpec derives the ledger's carbon/price weight curves from the
+// daemon schedule: pure diurnal functions of the period index, like
+// LoadSpec, so a replayed run attributes identical grams and cost.
+// Carbon intensity troughs at midday (solar-heavy grid) while price
+// peaks with midday demand — opposite phases of the same day cycle.
+type EnergySpec struct {
+	// CarbonBase is the day-average grid intensity in gCO2/kWh
+	// (0 disables carbon weighting).
+	CarbonBase float64 `json:"carbon_base,omitempty"`
+	// CarbonAmp is the fractional day-cycle swing in [0,1).
+	CarbonAmp float64 `json:"carbon_amp,omitempty"`
+	// PriceBase is the day-average energy price in cost units per kWh
+	// (0 disables price weighting).
+	PriceBase float64 `json:"price_base,omitempty"`
+	// PriceAmp is the fractional day-cycle swing in [0,1).
+	PriceAmp float64 `json:"price_amp,omitempty"`
+	// DiurnalPeriods is the day length in control periods (default
+	// DayPeriods).
+	DiurnalPeriods int `json:"diurnal_periods,omitempty"`
+}
+
+// Enabled reports whether the spec weights energy at all.
+func (e EnergySpec) Enabled() bool { return e.CarbonBase > 0 || e.PriceBase > 0 }
+
+func (e EnergySpec) day() int {
+	if e.DiurnalPeriods > 0 {
+		return e.DiurnalPeriods
+	}
+	return DayPeriods
+}
+
+// CarbonCurve returns gCO2/kWh as a function of the period (nil when
+// carbon weighting is disabled). Peak at midnight, trough at midday.
+func (e EnergySpec) CarbonCurve() func(k int) float64 {
+	if e.CarbonBase <= 0 {
+		return nil
+	}
+	day := e.day()
+	return func(k int) float64 {
+		return e.CarbonBase * (1 + e.CarbonAmp*math.Cos(2*math.Pi*float64(k%day)/float64(day)))
+	}
+}
+
+// PriceCurve returns cost units/kWh as a function of the period (nil
+// when price weighting is disabled). Trough at midnight, peak at
+// midday.
+func (e EnergySpec) PriceCurve() func(k int) float64 {
+	if e.PriceBase <= 0 {
+		return nil
+	}
+	day := e.day()
+	return func(k int) float64 {
+		return e.PriceBase * (1 - e.PriceAmp*math.Cos(2*math.Pi*float64(k%day)/float64(day)))
+	}
+}
+
 // splitmix is the splitmix64 finalizer: a stateless, high-quality
 // mixing of a 64-bit key into a 64-bit hash.
 func splitmix(x uint64) uint64 {

@@ -648,6 +648,13 @@ type Harness struct {
 	// TelemetryNode labels this harness's telemetry (the rack node name;
 	// empty for single-server runs).
 	TelemetryNode string
+	// WorkloadClass labels this harness's period samples for the energy
+	// ledger's attribution (empty ledgers under the default class).
+	WorkloadClass string
+	// PolicyEpoch stamps period samples with the policy epoch they ran
+	// under; the control-plane daemon restamps it on every applied
+	// mutation.
+	PolicyEpoch int
 	// Flight, when non-nil, receives one DecisionRecord per control
 	// period (the flight recorder). Nil (the default) disables recording
 	// at the cost of one nil check per period; use SetFlight to also
@@ -845,6 +852,8 @@ func (h *Harness) telemetrySample(rec PeriodRecord) telemetry.PeriodSample {
 		ActuatorRetries:  rec.ActuatorRetries,
 		ActuatorDiverged: rec.ActuatorDiverged,
 		Faults:           rec.Faults,
+		Class:            h.WorkloadClass,
+		Epoch:            h.PolicyEpoch,
 	}
 }
 

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/telemetry"
+)
+
+// alertArtifacts runs the rack golden scenario with the online alert
+// engine enabled (tight thresholds so the fault schedule actually
+// trips rules) and returns the events JSONL plus the energy-ledger
+// attribution table.
+func alertArtifacts(t *testing.T, workers int) (events []byte, ledger []telemetry.LedgerRow) {
+	t.Helper()
+	const seed, nodes, periods = 7, 6, 40
+	sched, err := faults.Parse(rackGoldenSchedule, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eventsBuf bytes.Buffer
+	hub := telemetry.New(telemetry.Config{
+		JSONL: &eventsBuf,
+		Alerts: &telemetry.AlertConfig{
+			SLOBurnWindow: 8, SLOBurnFire: 0.2, SLOBurnClear: 0.05,
+			CapSustain: 2, StaleDwell: 2,
+			BudgetW: DefaultNodeBudgetW * nodes, BudgetFrac: 0.5, BudgetSustain: 3,
+		},
+	})
+	coord, err := NewScaleCoordinator(seed, nodes, cluster.DemandProportional{}, 0,
+		ClusterOptions{Telemetry: hub, Faults: sched, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Run(periods); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if err := hub.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return eventsBuf.Bytes(), hub.LedgerTable()
+}
+
+// TestAlertEngineGoldenEquivalence: the alert engine's firing/resolved
+// stream is part of the byte-identity contract — Workers=8 reproduces
+// the sequential run's events JSONL (alerts interleaved) exactly, the
+// stream balances including the alert pairs, and the energy ledger
+// attributes identical Wh.
+func TestAlertEngineGoldenEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	refEvents, refLedger := alertArtifacts(t, 1)
+
+	parsed, err := telemetry.ReadEvents(bytes.NewReader(refEvents))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired := telemetry.FiredAlerts(parsed); len(fired) == 0 {
+		t.Fatal("golden scenario fired no alerts; thresholds too loose to pin anything")
+	}
+	if err := telemetry.CheckBalance(parsed); err != nil {
+		t.Fatalf("alert-bearing stream unbalanced: %v", err)
+	}
+	if len(refLedger) == 0 {
+		t.Fatal("ledger empty after an instrumented run")
+	}
+
+	events8, ledger8 := alertArtifacts(t, 8)
+	if !bytes.Equal(events8, refEvents) {
+		t.Errorf("events JSONL with alerts diverges at Workers=8 (%d vs %d bytes)", len(events8), len(refEvents))
+	}
+	if fmt.Sprintf("%+v", ledger8) != fmt.Sprintf("%+v", refLedger) {
+		t.Errorf("ledger diverges at Workers=8:\n%+v\nvs\n%+v", ledger8, refLedger)
+	}
+}

@@ -103,6 +103,7 @@ func NewScaleFleet(seed int64, n int) ([]*cluster.Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		node.Harness().WorkloadClass = cls.name
 		nodes = append(nodes, node)
 	}
 	return nodes, nil

@@ -1,0 +1,199 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// Cross-check between the hub's online alert engine and the doctor's
+// offline incident verdicts: the soak gate (and capgpu-doctor's
+// -alerts flag) require that every alert the engine fired corresponds
+// to an incident the doctor diagnosed on the same node, and that every
+// sufficiently-long incident of an alertable kind was caught online.
+// The two analyzers look at the same run through different instruments
+// — the engine sees period samples with rule thresholds, the doctor
+// replays flight records with slack and attribution logic — so the
+// correspondence is windowed, not exact: windows match if they overlap
+// after widening by a margin.
+
+// alertKindMap pairs each per-node alert rule with the doctor incident
+// kind that diagnoses the same pathology. budget-headroom is absent by
+// design: it is rack-scoped and has no per-node doctor counterpart.
+var alertKindMap = map[string]string{
+	telemetry.AlertMeterStale: "meter-blind",
+	telemetry.AlertCapSustain: "cap-violation",
+	telemetry.AlertSLOBurn:    "slo-pressure",
+}
+
+// AlertWindow is one alert's firing interval, reconstructed from the
+// event stream ([Start, End] periods; End is the resolution period or
+// the last period seen when the run ended mid-fire).
+type AlertWindow struct {
+	Node  string `json:"node"`
+	Rule  string `json:"rule"`
+	Start int    `json:"start_period"`
+	End   int    `json:"end_period"`
+}
+
+// AlertWindows folds alert-firing/alert-resolved pairs in an event
+// stream into windows, in firing order. An unresolved fire closes at
+// the firing period (Finish normally resolves everything, so this is a
+// defensive fallback for truncated streams).
+func AlertWindows(events []telemetry.Event) []AlertWindow {
+	type key struct{ node, rule string }
+	open := map[key]int{} // key → index into out
+	var out []AlertWindow
+	for _, e := range events {
+		switch e.Type {
+		case telemetry.EventAlertFiring:
+			open[key{e.Node, e.Detail}] = len(out)
+			out = append(out, AlertWindow{Node: e.Node, Rule: e.Detail, Start: e.Period, End: e.Period})
+		case telemetry.EventAlertResolved:
+			k := key{e.Node, e.Detail}
+			if idx, ok := open[k]; ok {
+				out[idx].End = e.Period
+				delete(open, k)
+			}
+		}
+	}
+	return out
+}
+
+// AlertCheckInput drives one node's correspondence check.
+type AlertCheckInput struct {
+	// Node is the per-node alert scope: only windows whose Node matches
+	// are checked (rack-scoped rules are skipped regardless).
+	Node string
+	// Alerts are the run's alert windows (from AlertWindows).
+	Alerts []AlertWindow
+	// Incidents is the node's doctor report.
+	Incidents []Incident
+	// MarginPeriods widens both sides of every window before the overlap
+	// test (default 8): the engine needs its sustain/dwell run-up to
+	// fire and resolves on the first clean period, while the doctor
+	// reports the full anomaly span.
+	MarginPeriods int
+	// MinIncidentPeriods is the shortest incident span (End−Start+1)
+	// the reverse direction requires an alert for (default 3, matching
+	// the default sustain thresholds — a one-period blip legitimately
+	// stays below the online rules).
+	MinIncidentPeriods int
+}
+
+// AlertCheckResult is the verdict: mismatches in either direction.
+type AlertCheckResult struct {
+	// AlertsMatched counts alerts with a corresponding incident.
+	AlertsMatched int `json:"alerts_matched"`
+	// IncidentsMatched counts alertable incidents with a corresponding
+	// alert.
+	IncidentsMatched int `json:"incidents_matched"`
+	// OrphanAlerts fired without any overlapping incident of the mapped
+	// kind.
+	OrphanAlerts []AlertWindow `json:"orphan_alerts,omitempty"`
+	// MissedIncidents are alertable incidents (long enough, mapped
+	// kind) no alert covered.
+	MissedIncidents []Incident `json:"missed_incidents,omitempty"`
+}
+
+// Ok reports a clean correspondence.
+func (r *AlertCheckResult) Ok() bool {
+	return len(r.OrphanAlerts) == 0 && len(r.MissedIncidents) == 0
+}
+
+// Err renders the verdict as an error (nil when clean).
+func (r *AlertCheckResult) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	return fmt.Errorf("alert/doctor mismatch: %d orphan alerts %v, %d missed incidents %v",
+		len(r.OrphanAlerts), summarizeAlerts(r.OrphanAlerts), len(r.MissedIncidents), summarizeIncidents(r.MissedIncidents))
+}
+
+func summarizeAlerts(ws []AlertWindow) []string {
+	out := make([]string, 0, len(ws))
+	for _, w := range ws {
+		out = append(out, fmt.Sprintf("%s/%s@%d-%d", w.Node, w.Rule, w.Start, w.End))
+	}
+	return out
+}
+
+func summarizeIncidents(incs []Incident) []string {
+	out := make([]string, 0, len(incs))
+	for _, inc := range incs {
+		out = append(out, fmt.Sprintf("%s@%d-%d", inc.Kind, inc.StartPeriod, inc.EndPeriod))
+	}
+	return out
+}
+
+func overlaps(aStart, aEnd, bStart, bEnd, margin int) bool {
+	return aStart-margin <= bEnd && bStart <= aEnd+margin
+}
+
+// CheckAlerts runs the two-directional correspondence for one node.
+func CheckAlerts(in AlertCheckInput) *AlertCheckResult {
+	margin := in.MarginPeriods
+	if margin <= 0 {
+		margin = 8
+	}
+	minSpan := in.MinIncidentPeriods
+	if minSpan <= 0 {
+		minSpan = 3
+	}
+	res := &AlertCheckResult{}
+
+	// Forward: every fired per-node alert must overlap an incident of
+	// the mapped kind.
+	for _, w := range in.Alerts {
+		if w.Node != in.Node {
+			continue
+		}
+		kind, mapped := alertKindMap[w.Rule]
+		if !mapped {
+			continue // rack-scoped or unmapped rule: out of doctor scope
+		}
+		found := false
+		for _, inc := range in.Incidents {
+			if inc.Kind == kind && overlaps(w.Start, w.End, inc.StartPeriod, inc.EndPeriod, margin) {
+				found = true
+				break
+			}
+		}
+		if found {
+			res.AlertsMatched++
+		} else {
+			res.OrphanAlerts = append(res.OrphanAlerts, w)
+		}
+	}
+
+	// Reverse: every long-enough incident of an alertable kind must
+	// have been caught online.
+	alertable := map[string]string{}
+	for rule, kind := range alertKindMap {
+		//lint:ignore determinism inverted map is only membership-tested; no iteration order escapes
+		alertable[kind] = rule
+	}
+	for _, inc := range in.Incidents {
+		rule, mapped := alertable[inc.Kind]
+		if !mapped || inc.EndPeriod-inc.StartPeriod+1 < minSpan {
+			continue
+		}
+		found := false
+		for _, w := range in.Alerts {
+			if w.Node == in.Node && w.Rule == rule && overlaps(w.Start, w.End, inc.StartPeriod, inc.EndPeriod, margin) {
+				found = true
+				break
+			}
+		}
+		if found {
+			res.IncidentsMatched++
+		} else {
+			res.MissedIncidents = append(res.MissedIncidents, inc)
+		}
+	}
+	sort.Slice(res.MissedIncidents, func(i, j int) bool {
+		return res.MissedIncidents[i].StartPeriod < res.MissedIncidents[j].StartPeriod
+	})
+	return res
+}

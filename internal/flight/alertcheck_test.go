@@ -1,0 +1,80 @@
+package flight
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestAlertWindows(t *testing.T) {
+	events := []telemetry.Event{
+		{Type: telemetry.EventAlertFiring, Node: "n0", Detail: telemetry.AlertMeterStale, Period: 5},
+		{Type: telemetry.EventAlertFiring, Node: "n1", Detail: telemetry.AlertCapSustain, Period: 7},
+		{Type: telemetry.EventAlertResolved, Node: "n0", Detail: telemetry.AlertMeterStale, Period: 9},
+		{Type: telemetry.EventAlertFiring, Node: "n0", Detail: telemetry.AlertMeterStale, Period: 20},
+	}
+	ws := AlertWindows(events)
+	if len(ws) != 3 {
+		t.Fatalf("windows = %+v", ws)
+	}
+	if ws[0] != (AlertWindow{Node: "n0", Rule: telemetry.AlertMeterStale, Start: 5, End: 9}) {
+		t.Errorf("resolved window = %+v", ws[0])
+	}
+	if ws[1].End != 7 {
+		t.Errorf("unresolved n1 window should close at its firing period: %+v", ws[1])
+	}
+	if ws[2].Start != 20 || ws[2].End != 20 {
+		t.Errorf("re-fire window = %+v", ws[2])
+	}
+}
+
+func TestCheckAlertsCorrespondence(t *testing.T) {
+	alerts := []AlertWindow{
+		{Node: "n0", Rule: telemetry.AlertMeterStale, Start: 12, End: 18},  // matches meter-blind 10-20
+		{Node: "n0", Rule: telemetry.AlertCapSustain, Start: 40, End: 41},  // orphan: no incident nearby
+		{Node: "n0", Rule: "budget-headroom", Start: 5, End: 9},            // unmapped: skipped
+		{Node: "other", Rule: telemetry.AlertMeterStale, Start: 0, End: 3}, // different node: skipped
+	}
+	incidents := []Incident{
+		{Kind: "meter-blind", StartPeriod: 10, EndPeriod: 20},
+		{Kind: "slo-pressure", StartPeriod: 60, EndPeriod: 70},  // long, alertable, no alert → missed
+		{Kind: "slo-pressure", StartPeriod: 80, EndPeriod: 81},  // too short for the reverse check
+		{Kind: "mpc-infeasible", StartPeriod: 5, EndPeriod: 30}, // not alertable
+	}
+	res := CheckAlerts(AlertCheckInput{Node: "n0", Alerts: alerts, Incidents: incidents})
+	if res.AlertsMatched != 1 {
+		t.Errorf("AlertsMatched = %d, want 1", res.AlertsMatched)
+	}
+	if len(res.OrphanAlerts) != 1 || res.OrphanAlerts[0].Rule != telemetry.AlertCapSustain {
+		t.Errorf("OrphanAlerts = %+v", res.OrphanAlerts)
+	}
+	if res.IncidentsMatched != 1 {
+		t.Errorf("IncidentsMatched = %d, want 1 (the meter-blind window)", res.IncidentsMatched)
+	}
+	if len(res.MissedIncidents) != 1 || res.MissedIncidents[0].Kind != "slo-pressure" {
+		t.Errorf("MissedIncidents = %+v", res.MissedIncidents)
+	}
+	if res.Ok() || res.Err() == nil {
+		t.Error("mismatched result reported clean")
+	}
+
+	clean := CheckAlerts(AlertCheckInput{
+		Node:      "n0",
+		Alerts:    []AlertWindow{{Node: "n0", Rule: telemetry.AlertMeterStale, Start: 12, End: 18}},
+		Incidents: []Incident{{Kind: "meter-blind", StartPeriod: 10, EndPeriod: 20}},
+	})
+	if !clean.Ok() || clean.Err() != nil {
+		t.Errorf("clean correspondence flagged: %v", clean.Err())
+	}
+
+	// The margin widens the overlap: an alert firing 6 periods after the
+	// incident closed still matches at the default margin 8.
+	margin := CheckAlerts(AlertCheckInput{
+		Node:      "n0",
+		Alerts:    []AlertWindow{{Node: "n0", Rule: telemetry.AlertCapSustain, Start: 26, End: 27}},
+		Incidents: []Incident{{Kind: "cap-violation", StartPeriod: 10, EndPeriod: 20}},
+	})
+	if !margin.Ok() {
+		t.Errorf("margin overlap rejected: %v", margin.Err())
+	}
+}

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// benchPeriodSample is a steady in-band sample: no transitions, so the
+// benchmark isolates the shard-lock + registry + store hot path from
+// event-stream appends.
+func benchPeriodSample(node string, period int) PeriodSample {
+	return PeriodSample{
+		Node: node, Period: period, TimeS: float64(period) * 4,
+		SetpointW: 900, AvgPowerW: 895, TruePowerW: 894,
+		EnergyJ: 3580, CPUFreqGHz: 2.2,
+	}
+}
+
+// BenchmarkHubEmitParallel pins the sharding win: the same per-node
+// period stream pushed from W goroutines, against a single-mutex hub
+// (Shards=1) and the sharded default. At workers>1 the sharded variant
+// must beat the single mutex — capgpu-bench records the same matrix in
+// BENCH_<date>.json and the allocation ratchet holds the hot path flat.
+func BenchmarkHubEmitParallel(b *testing.B) {
+	for _, shards := range []int{1, DefaultShards} {
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(b *testing.B) {
+				hub := New(Config{Shards: shards, Store: StoreConfig{RingCapacity: 256}})
+				// Warm every node's state so the timed loop never allocates
+				// nodeState, series rings, or ledger cells.
+				for w := 0; w < workers; w++ {
+					hub.Period(benchPeriodSample(fmt.Sprintf("bench%02d", w), 0))
+				}
+				per := (b.N + workers - 1) / workers
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						node := fmt.Sprintf("bench%02d", w)
+						for i := 1; i <= per; i++ {
+							hub.Period(benchPeriodSample(node, i))
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkHubEventAppend measures the globally-ordered event stream
+// alone (ring append, no JSONL sink): the serialized tail every shard
+// shares.
+func BenchmarkHubEventAppend(b *testing.B) {
+	hub := New(Config{})
+	e := Event{Type: EventPeriodStart, Node: "bench00", Period: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub.Emit(e)
+	}
+}

@@ -15,12 +15,15 @@ var pairings = map[EventType]EventType{
 	EventFailSafeEnter: EventFailSafeExit,
 	EventNodeDead:      EventNodeRecovered,
 	EventFaultActive:   EventFaultCleared,
+	EventAlertFiring:   EventAlertResolved,
 }
 
-// stateKey identifies one open state: the node plus, for faults, the
-// fault detail string (a node can hold several faults at once).
+// stateKey identifies one open state: the node plus, for faults and
+// alerts, the detail string (a node can hold several faults at once,
+// and several alert rules can fire independently).
 func stateKey(e Event) string {
-	if e.Type == EventFaultActive || e.Type == EventFaultCleared {
+	switch e.Type {
+	case EventFaultActive, EventFaultCleared, EventAlertFiring, EventAlertResolved:
 		return e.Node + "\x00" + e.Detail
 	}
 	return e.Node

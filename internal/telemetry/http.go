@@ -1,8 +1,10 @@
 package telemetry
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
@@ -21,8 +23,14 @@ type EventsResponse struct {
 // Handler serves the hub over HTTP:
 //
 //	/metrics — Prometheus text exposition of the registry
-//	/events  — JSON tail of the event ring (?n= limits, default 256),
-//	           wrapped in EventsResponse so ring truncation is visible
+//	/events  — JSON tail of the event ring (?n= limits, default 256;
+//	           ?node= and ?kind= filter by node label and event type
+//	           before the tail is taken, mirroring capgpu-doctor's
+//	           -node filtering), wrapped in EventsResponse so ring
+//	           truncation is visible
+//	/query   — one time-series window from the embedded store
+//	           (?series=...&node=...&res=1|10|100&from=...&to=...),
+//	           as a QueryResult (JSON; &format=csv for CSV rows)
 //	/healthz — 200 "ok" (503 with the error when the JSONL stream broke)
 //
 // The cmd layer mounts this on the -metrics-addr listener; nothing in
@@ -40,7 +48,22 @@ func Handler(h *Hub) http.Handler {
 				n = v
 			}
 		}
+		nodeFilter := r.URL.Query().Get("node")
+		kindFilter := r.URL.Query().Get("kind")
 		events, total := h.EventsSnapshot()
+		if nodeFilter != "" || kindFilter != "" {
+			kept := events[:0:0]
+			for _, e := range events {
+				if nodeFilter != "" && e.Node != nodeFilter {
+					continue
+				}
+				if kindFilter != "" && string(e.Type) != kindFilter {
+					continue
+				}
+				kept = append(kept, e)
+			}
+			events = kept
+		}
 		resp := EventsResponse{Total: total, Dropped: total - len(events)}
 		if len(events) > n {
 			events = events[len(events)-n:]
@@ -51,6 +74,48 @@ func Handler(h *Hub) http.Handler {
 		enc.SetIndent("", " ")
 		_ = enc.Encode(resp)
 	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		q := QueryRequest{
+			Node:   r.URL.Query().Get("node"),
+			Series: r.URL.Query().Get("series"),
+			Res:    1,
+			From:   -1,
+			To:     -1,
+		}
+		var err error
+		if raw := r.URL.Query().Get("res"); raw != "" {
+			if q.Res, err = strconv.Atoi(raw); err != nil {
+				http.Error(w, "bad res: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		if raw := r.URL.Query().Get("from"); raw != "" {
+			if q.From, err = strconv.Atoi(raw); err != nil {
+				http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		if raw := r.URL.Query().Get("to"); raw != "" {
+			if q.To, err = strconv.Atoi(raw); err != nil {
+				http.Error(w, "bad to: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		res, err := h.Query(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if r.URL.Query().Get("format") == "csv" {
+			w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+			writeQueryCSV(w, res)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(res)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if err := h.Err(); err != nil {
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -60,6 +125,22 @@ func Handler(h *Hub) http.Handler {
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	return mux
+}
+
+// writeQueryCSV renders one query result as CSV rows (the same column
+// layout WriteStoreCSV uses, restricted to the queried window).
+func writeQueryCSV(w io.Writer, res QueryResult) {
+	cw := csv.NewWriter(w)
+	_ = cw.Write([]string{"node", "series", "start_period", "count", "min", "max", "mean", "flags"})
+	for _, b := range res.Buckets {
+		_ = cw.Write([]string{
+			res.Node, res.Series,
+			strconv.Itoa(b.StartPeriod), strconv.Itoa(b.Count),
+			formatValue(b.Min), formatValue(b.Max), formatValue(b.Mean()),
+			strconv.Itoa(int(b.Flags)),
+		})
+	}
+	cw.Flush()
 }
 
 // Serve binds addr and serves Handler(h) in a background goroutine,

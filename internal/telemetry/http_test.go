@@ -83,6 +83,114 @@ func TestHandlerEventsTailAndDropped(t *testing.T) {
 	}
 }
 
+// TestHandlerEventsFilters: ?node= and ?kind= restrict the tail before
+// it is cut, and compose with ?n=.
+func TestHandlerEventsFilters(t *testing.T) {
+	hub := New(Config{})
+	for k := 0; k < 10; k++ {
+		hub.Emit(Event{Type: EventPeriodStart, Period: k, Node: "a"})
+		hub.Emit(Event{Type: EventPeriodEnd, Period: k, Node: "b"})
+	}
+	srv := httptest.NewServer(Handler(hub))
+	defer srv.Close()
+
+	var resp EventsResponse
+	_, body := get(t, srv, "/events?node=a")
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 10 {
+		t.Fatalf("?node=a returned %d events, want 10", len(resp.Events))
+	}
+	for _, e := range resp.Events {
+		if e.Node != "a" {
+			t.Fatalf("?node=a leaked %+v", e)
+		}
+	}
+	if resp.Total != 20 {
+		t.Fatalf("total = %d, want the unfiltered 20", resp.Total)
+	}
+
+	_, body = get(t, srv, "/events?kind=period-end")
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 10 || resp.Events[0].Type != EventPeriodEnd {
+		t.Fatalf("?kind=period-end returned %d events (first %+v)", len(resp.Events), resp.Events[0])
+	}
+
+	_, body = get(t, srv, "/events?node=b&kind=period-end&n=3")
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 3 || resp.Events[0].Period != 7 {
+		t.Fatalf("composed filters: %d events from %d, want 3 from 7", len(resp.Events), resp.Events[0].Period)
+	}
+
+	_, body = get(t, srv, "/events?node=ghost")
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 0 {
+		t.Fatalf("?node=ghost returned %d events", len(resp.Events))
+	}
+}
+
+// TestHandlerQuery: /query serves store windows as JSON and CSV and
+// rejects malformed requests.
+func TestHandlerQuery(t *testing.T) {
+	hub := New(Config{})
+	for k := 0; k < 25; k++ {
+		hub.Period(PeriodSample{Node: "server0", Period: k, SetpointW: 900,
+			AvgPowerW: 800 + float64(k), TruePowerW: 799})
+	}
+	srv := httptest.NewServer(Handler(hub))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/query?node=server0&series=power_w&res=10")
+	if code != 200 {
+		t.Fatalf("/query status = %d: %s", code, body)
+	}
+	var res QueryResult
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatalf("/query not valid JSON: %v\n%s", err, body)
+	}
+	if len(res.Buckets) != 3 || res.Buckets[0].Count != 10 || res.Buckets[2].Count != 5 {
+		t.Fatalf("buckets = %+v, want 10+10+5(open)", res.Buckets)
+	}
+
+	code, body = get(t, srv, "/query?node=server0&series=power_w&res=1&from=20&to=22")
+	if code != 200 {
+		t.Fatalf("windowed /query status = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Buckets) != 3 || res.Buckets[0].StartPeriod != 20 {
+		t.Fatalf("windowed buckets = %+v, want periods 20..22", res.Buckets)
+	}
+
+	code, body = get(t, srv, "/query?node=server0&series=power_w&res=10&format=csv")
+	if code != 200 || !strings.HasPrefix(body, "node,series,start_period") {
+		t.Fatalf("CSV /query: %d %q", code, body)
+	}
+	if !strings.Contains(body, "server0,power_w,0,10,") {
+		t.Fatalf("CSV missing first bucket row:\n%s", body)
+	}
+
+	for _, bad := range []string{
+		"/query?node=server0&series=power_w&res=7",
+		"/query?node=ghost&series=power_w",
+		"/query?node=server0&series=bogus",
+		"/query?node=server0&series=power_w&res=x",
+		"/query?node=server0&series=power_w&from=x",
+	} {
+		if code, _ := get(t, srv, bad); code != 400 {
+			t.Errorf("%s status = %d, want 400", bad, code)
+		}
+	}
+}
+
 type brokenWriter struct{}
 
 func (brokenWriter) Write([]byte) (int, error) { return 0, errors.New("stream torn") }
@@ -109,6 +217,10 @@ func TestHandlerHealthz(t *testing.T) {
 // goroutine emits — the -race run proves the snapshot locking.
 func TestHandlerScrapeDuringEmission(t *testing.T) {
 	hub := New(Config{EventCapacity: 64})
+	// One synchronous sample so /query has a series before the scrapes
+	// race the writer goroutine.
+	hub.Period(PeriodSample{Node: "server0", Period: 0, SetpointW: 900,
+		AvgPowerW: 900, TruePowerW: 898})
 	srv := httptest.NewServer(Handler(hub))
 	defer srv.Close()
 
@@ -129,7 +241,10 @@ func TestHandlerScrapeDuringEmission(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 25; i++ {
-		for _, path := range []string{"/metrics", "/events?n=16", "/healthz"} {
+		for _, path := range []string{
+			"/metrics", "/events?n=16", "/events?node=server0&kind=period-start",
+			"/query?node=server0&series=power_w&res=10", "/healthz",
+		} {
 			if code, _ := get(t, srv, path); code != 200 {
 				t.Errorf("%s status = %d during emission", path, code)
 			}

@@ -26,8 +26,16 @@ var (
 	}
 )
 
+// DefaultShards is the hub shard count when Config.Shards is zero: wide
+// enough that a rack's worth of concurrently-stepping nodes rarely
+// collide on one shard lock, small enough that merge-at-scrape stays
+// trivial.
+const DefaultShards = 8
+
 // Config tunes a Hub. The zero value is a fully deterministic,
-// in-memory hub: zero clock, default ring capacity, 1% violation slack.
+// in-memory hub: zero clock, default ring capacity, 1% violation slack,
+// DefaultShards node-state shards, a bounded time-series store, no
+// alerting.
 type Config struct {
 	// Clock measures phase spans. nil means the zero clock (all spans
 	// report zero duration) — the deterministic default for seeded runs.
@@ -47,33 +55,120 @@ type Config struct {
 	// TrueSlackFrac is the slack for breaker-side (true power)
 	// violations (default 0.02, matching the robustness tables).
 	TrueSlackFrac float64
+	// Shards is the number of node-hash shards the per-node state
+	// (transition diffing, phase spans, time-series rings, ledger cells,
+	// alert state) is split across. 0 means DefaultShards; 1 is the
+	// single-lock baseline the contention benchmark compares against.
+	// Sharding never changes observable bytes: the event stream keeps
+	// one globally-ordered ring/JSONL writer, and the registry merges
+	// at scrape with a global sort.
+	Shards int
+	// Store tunes the embedded multi-resolution time-series store. The
+	// zero value enables it with default capacities; set Disable to
+	// drop per-period series retention entirely.
+	Store StoreConfig
+	// Alerts, when non-nil, enables the online alerting engine with the
+	// given rule thresholds (zero fields take defaults; see
+	// DefaultAlertConfig). Nil disables alerting — no alert events are
+	// ever emitted, keeping pre-existing event streams byte-identical.
+	Alerts *AlertConfig
 }
 
 // nodeState tracks one node's last-seen flags so the Hub can synthesize
-// enter/exit transition events by diffing successive period samples.
+// enter/exit transition events by diffing successive period samples. It
+// also anchors the node's shard-local observability state: time-series
+// rings, energy-ledger cells, and alert rule state, all guarded by the
+// owning shard's lock.
 type nodeState struct {
 	degraded  bool
 	failSafe  bool
 	faults    []string // sorted active fault names
 	lastSeen  PeriodSample
 	havePrior bool
+
+	series  map[string]*seriesStore // store: field → multi-resolution rings
+	ledger  map[ledgerKey]*ledgerCell
+	alerts  *nodeAlertState
+	metrics *nodeMetrics
 }
 
-// Hub is the standard Sink: it owns the metrics registry, the event
-// ring, the optional JSONL stream, and the per-node transition state.
-// All methods lock, so the interleaved loops of a rack can share one
-// hub through per-node views (NodeSink). Registry mutations go through
-// the registry's own locked mutators (lock order Hub.mu → Registry.mu),
-// so a concurrent /metrics scrape never races the control loop.
-type Hub struct {
-	mu    sync.Mutex //lint:lockorder before:Registry.mu
-	reg   *Registry
-	clock Clock
+// nodeMetrics caches one node's registry series handles so the
+// per-period hot path is pure atomic stores/adds — no label building,
+// no signature rendering, no registry map traffic. Conditional series
+// (degraded, fail-safe, true violations, per-GPU latency) stay nil
+// until their first occurrence, preserving registered-on-first-need
+// exposition exactly. Rebuilt when the sample's controller label
+// changes (rare: a policy swap).
+type nodeMetrics struct {
+	controller string
+	base, node Labels
+
+	periods, energy, retries *series
+
+	degraded, failSafe, uncontrolled, trueViol *series // lazily fetched
+
+	setpoint, measured, truePower, meterStale, cpuFreq *series
+	gpuFreq                                            []*series
+
+	powerHist *histState
+	latHist   []*histState // lazily installed per GPU on first positive latency
+}
+
+// nodeMetricsFor returns (building or extending if needed) the node's
+// cached handles. Callers hold the shard lock, so the cache itself
+// needs no synchronization; the registry fetches inside are their own
+// critical sections.
+func (h *Hub) nodeMetricsFor(st *nodeState, s PeriodSample) *nodeMetrics {
+	m := st.metrics
+	if m == nil || m.controller != s.Controller {
+		m = &nodeMetrics{
+			controller: s.Controller,
+			base:       L("controller", s.Controller, "node", s.Node),
+			node:       L("node", s.Node),
+		}
+		m.periods = h.reg.fetch("capgpu_periods_total", "Control periods completed.", "counter", m.base)
+		m.energy = h.reg.fetch("capgpu_energy_joules_total", "Energy drawn, accumulated per period.", "counter", m.node)
+		m.retries = h.reg.fetch("capgpu_actuator_retries_total", "Frequency command re-deliveries.", "counter", m.node)
+		m.setpoint = h.reg.fetch("capgpu_setpoint_watts", "Power set point for the period.", "gauge", m.base)
+		m.measured = h.reg.fetch("capgpu_measured_power_watts", "Meter-side period-average power (what the controller saw).", "gauge", m.base)
+		m.truePower = h.reg.fetch("capgpu_true_power_watts", "Breaker-side period-average power.", "gauge", m.base)
+		m.meterStale = h.reg.fetch("capgpu_meter_stale_periods", "Consecutive blind periods, 0 when the meter is fresh.", "gauge", m.node)
+		m.cpuFreq = h.reg.fetch("capgpu_cpu_frequency_ghz", "Applied CPU frequency.", "gauge", m.node)
+		m.powerHist = h.reg.fetch("capgpu_period_power_watts", "Distribution of measured period-average power.", "histogram", m.node).
+			ensureHist(DefPowerBuckets, false)
+		st.metrics = m
+	}
+	for i := len(m.gpuFreq); i < len(s.GPUFreqMHz); i++ {
+		m.gpuFreq = append(m.gpuFreq, h.reg.fetch("capgpu_gpu_frequency_mhz", "Applied GPU core frequency.", "gauge", m.node.With("gpu", strconv.Itoa(i))))
+	}
+	for len(m.latHist) < len(s.GPULatencyS) {
+		m.latHist = append(m.latHist, nil)
+	}
+	return m
+}
+
+// hubShard owns the per-node state for the nodes that hash to it. The
+// shard lock is held for the whole of one node's Period processing, so
+// two nodes on different shards fold their samples concurrently; the
+// globally-ordered channels (event ring, JSONL) serialize only on the
+// much shorter stream lock.
+type hubShard struct {
+	mu sync.Mutex //lint:lockorder before:eventStream.mu
+	// nodes is keyed by node name; phaseStart by "node\x00phase".
+	nodes      map[string]*nodeState
+	phaseStart map[string]float64
+}
+
+// eventStream is the globally-ordered event channel: the bounded ring
+// behind /events and the complete JSONL stream. Ordering is preserved
+// across the sharded hub because deterministic contexts replay
+// emissions serially (telemetry.Buffer at the coordinator barrier);
+// live concurrent emission interleaves here exactly as it did under the
+// old hub-wide mutex.
+type eventStream struct {
+	mu    sync.Mutex
 	jsonl io.Writer
 	jerr  error
-
-	slackFrac     float64
-	trueSlackFrac float64
 
 	// events is a circular buffer once len reaches cap: head indexes the
 	// oldest entry and new events overwrite in place, so sustained
@@ -82,9 +177,43 @@ type Hub struct {
 	head   int
 	cap    int
 	total  int // events ever emitted (ring may have dropped early ones)
+}
 
-	nodes      map[string]*nodeState
-	phaseStart map[string]float64 // "node\x00phase" → clock() at begin
+// Err surfaces the latched first JSONL write error.
+func (st *eventStream) Err() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.jerr
+}
+
+// Hub is the standard Sink: it owns the metrics registry, the event
+// ring, the optional JSONL stream, and the per-node transition state,
+// time-series store, energy ledger, and alert engine. Per-node state is
+// sharded by node-name hash; the event ring and JSONL stream stay
+// globally ordered behind one short-critical-section lock; the registry
+// merges at scrape (its exposition sorts globally, so shard count never
+// changes bytes). All methods lock, so the interleaved loops of a rack
+// can share one hub through per-node views (NodeSink).
+type Hub struct {
+	reg   *Registry
+	clock Clock
+
+	slackFrac     float64
+	trueSlackFrac float64
+
+	shards []*hubShard
+	stream eventStream
+
+	store  storeSettings
+	ledger *Ledger
+	alerts *alertEngine // nil when alerting is disabled
+
+	// evCounters caches the capgpu_events_total series per event type so
+	// the per-event fast path is one map read plus one atomic add — no
+	// label building, no signature rendering, no registry lock traffic
+	// beyond a shared read lock on a tiny fixed-key map.
+	evmu       sync.RWMutex
+	evCounters map[EventType]*series
 }
 
 // New builds a Hub from the config.
@@ -105,44 +234,88 @@ func New(cfg Config) *Hub {
 	if trueSlack == 0 {
 		trueSlack = 0.02
 	}
-	return &Hub{
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = DefaultShards
+	}
+	h := &Hub{
 		reg:           NewRegistry(),
 		clock:         clock,
-		jsonl:         cfg.JSONL,
 		slackFrac:     slack,
 		trueSlackFrac: trueSlack,
-		cap:           capacity,
-		nodes:         make(map[string]*nodeState),
-		phaseStart:    make(map[string]float64),
+		shards:        make([]*hubShard, nshards),
+		store:         cfg.Store.resolve(),
+		ledger:        newLedger(),
 	}
+	h.stream.jsonl = cfg.JSONL
+	h.stream.cap = capacity
+	h.evCounters = make(map[EventType]*series)
+	for i := range h.shards {
+		h.shards[i] = &hubShard{
+			nodes:      make(map[string]*nodeState),
+			phaseStart: make(map[string]float64),
+		}
+	}
+	if cfg.Alerts != nil {
+		h.alerts = newAlertEngine(*cfg.Alerts, slack)
+	}
+	return h
+}
+
+// shardFor hashes a node name onto its shard (FNV-1a, the repo's
+// stateless-hash idiom — stable across runs and platforms).
+func (h *Hub) shardFor(node string) *hubShard {
+	if len(h.shards) == 1 {
+		return h.shards[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	hash := uint64(offset64)
+	for i := 0; i < len(node); i++ {
+		hash ^= uint64(node[i])
+		hash *= prime64
+	}
+	return h.shards[hash%uint64(len(h.shards))]
+}
+
+// state returns (creating if needed) the node's state. Callers hold the
+// shard lock.
+func (sh *hubShard) state(node string) *nodeState {
+	st, ok := sh.nodes[node]
+	if !ok {
+		st = &nodeState{}
+		sh.nodes[node] = st
+	}
+	return st
 }
 
 // Registry exposes the hub's metrics registry (for exposition and for
 // reading counters back in tests and end-of-run summaries).
 func (h *Hub) Registry() *Registry { return h.reg }
 
+// Ledger exposes the hub's energy-accounting ledger.
+func (h *Hub) Ledger() *Ledger { return h.ledger }
+
 // Err returns the first JSONL write error, if any.
-func (h *Hub) Err() error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.jerr
-}
+func (h *Hub) Err() error { return h.stream.Err() }
 
 // Events returns a copy of the in-memory event ring, oldest first.
 func (h *Hub) Events() []Event {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	out := make([]Event, 0, len(h.events))
-	out = append(out, h.events[h.head:]...)
-	return append(out, h.events[:h.head]...)
+	h.stream.mu.Lock()
+	defer h.stream.mu.Unlock()
+	out := make([]Event, 0, len(h.stream.events))
+	out = append(out, h.stream.events[h.stream.head:]...)
+	return append(out, h.stream.events[:h.stream.head]...)
 }
 
 // EventsTotal returns how many events were emitted over the hub's
 // lifetime (≥ len(Events()) once the ring wraps).
 func (h *Hub) EventsTotal() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.total
+	h.stream.mu.Lock()
+	defer h.stream.mu.Unlock()
+	return h.stream.total
 }
 
 // EventsSnapshot returns the ring (oldest first) together with the
@@ -150,12 +323,12 @@ func (h *Hub) EventsTotal() int {
 // compute how many events the ring has dropped without racing an
 // emission between two separate calls.
 func (h *Hub) EventsSnapshot() ([]Event, int) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	out := make([]Event, 0, len(h.events))
-	out = append(out, h.events[h.head:]...)
-	out = append(out, h.events[:h.head]...)
-	return out, h.total
+	h.stream.mu.Lock()
+	defer h.stream.mu.Unlock()
+	out := make([]Event, 0, len(h.stream.events))
+	out = append(out, h.stream.events[h.stream.head:]...)
+	out = append(out, h.stream.events[:h.stream.head]...)
+	return out, h.stream.total
 }
 
 // NodeSink returns a view of the hub that stamps the given node name
@@ -196,36 +369,65 @@ func (n *nodeSink) EndPhase(period int, phase string) {
 //
 //capgpu:hotpath
 func (h *Hub) Emit(e Event) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.emitLocked(e)
+	h.stream.append(e)
+	h.deriveEmit(e)
 }
 
-// emitLocked appends to the ring, streams JSONL, and updates the
-// metrics derived from event types.
-func (h *Hub) emitLocked(e Event) {
-	h.total++
-	if len(h.events) >= h.cap {
-		h.events[h.head] = e // overwrite the oldest entry in place
-		h.head = (h.head + 1) % len(h.events)
+// append pushes one event into the ring and the JSONL stream under the
+// stream lock — the only globally-serialized section of the emit path.
+func (st *eventStream) append(e Event) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.total++
+	if len(st.events) >= st.cap {
+		st.events[st.head] = e // overwrite the oldest entry in place
+		st.head = (st.head + 1) % len(st.events)
 	} else {
-		h.events = append(h.events, e)
+		st.events = append(st.events, e)
 	}
-	if h.jsonl != nil && h.jerr == nil {
+	if st.jsonl != nil && st.jerr == nil {
 		//lint:ignore hotalloc Marshal boxes one event per JSONL append; &e would heap-escape every event and cost more than the box on the sink-less path
 		b, err := json.Marshal(e)
 		if err == nil {
 			b = append(b, '\n')
-			_, err = h.jsonl.Write(b)
+			_, err = st.jsonl.Write(b)
 		}
 		if err != nil {
-			h.jerr = err
+			st.jerr = err
 		}
 	}
+}
 
+// eventTypeCounter returns the cached capgpu_events_total series for
+// one event type. The key space is the fixed event-type catalogue, so
+// the cache saturates after a handful of misses and the steady path is
+// allocation-free.
+func (h *Hub) eventTypeCounter(t EventType) *series {
+	h.evmu.RLock()
+	s := h.evCounters[t]
+	h.evmu.RUnlock()
+	if s != nil {
+		return s
+	}
+	s = h.reg.fetch("capgpu_events_total", "Telemetry events emitted, by type.",
+		"counter", L("type", string(t)))
+	h.evmu.Lock()
+	h.evCounters[t] = s
+	h.evmu.Unlock()
+	return s
+}
+
+// deriveEmit updates the metrics derived from event types. The registry
+// mutators are internally synchronized (shared read lock + atomics), so
+// no hub lock is held here. Period-start/-end events — the per-period
+// bulk of the stream — fall through the switch and touch nothing beyond
+// the cached type counter.
+func (h *Hub) deriveEmit(e Event) {
+	h.eventTypeCounter(e.Type).add(1)
+	if !eventHasDerived(e.Type) {
+		return
+	}
 	node := L("node", e.Node)
-	h.reg.counterAdd("capgpu_events_total", "Telemetry events emitted, by type.",
-		L("type", string(e.Type)), 1)
 	switch e.Type {
 	case EventCapViolation:
 		h.count("capgpu_cap_violations_total", "Periods whose measured average power exceeded the set point by more than the slack.", node)
@@ -268,34 +470,50 @@ func (h *Hub) emitLocked(e Event) {
 		h.count("capgpu_reservation_releases_total", "Dead-node budget reservations released after the hold expired.", node)
 	case EventCheckpoint:
 		h.count("capgpu_checkpoints_total", "Control-plane checkpoints written.", node)
+	case EventAlertFiring:
+		h.count("capgpu_alerts_total", "Alert firings by rule.", node.With("rule", e.Detail))
 	}
 }
 
-// count bumps a derived counter by 1 (under the registry's own lock).
+// eventHasDerived reports whether deriveEmit's switch folds this event
+// type into a derived metric — the guard that keeps label building off
+// the period-start/-end and phase-span fast paths.
+func eventHasDerived(t EventType) bool {
+	switch t {
+	case EventCapViolation, EventSLOMiss, EventDegradedEnter, EventFailSafeEnter,
+		EventFaultActive, EventActuatorDiverge, EventNodeDead, EventNodeRecovered,
+		EventReallocation, EventMPCInfeasible, EventAdaptFrozen, EventNodeJoined,
+		EventDrainStart, EventNodeReleased, EventPolicyApplied, EventPolicyRejected,
+		EventReservationReleased, EventCheckpoint, EventAlertFiring:
+		return true
+	}
+	return false
+}
+
+// count bumps a derived counter by 1.
 func (h *Hub) count(name, help string, labels Labels) {
 	h.reg.counterAdd(name, help, labels, 1)
 }
 
 // Period implements Sink: gauges and histograms are updated from the
-// snapshot, and transition events are synthesized by diffing against
-// the node's previous sample.
+// snapshot, transition events are synthesized by diffing against the
+// node's previous sample, the sample is folded into the node's
+// time-series rings and energy-ledger cells, and — when alerting is
+// enabled — the deterministic alert rules are evaluated.
 //
 //capgpu:hotpath
 func (h *Hub) Period(s PeriodSample) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	sh := h.shardFor(s.Node)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
-	st, ok := h.nodes[s.Node]
-	if !ok {
-		st = &nodeState{}
-		h.nodes[s.Node] = st
-	}
+	st := sh.state(s.Node)
 
 	// Derived lifecycle events, in a fixed order so the JSONL stream is
 	// deterministic: violations, SLO misses, fault diffs, degradation
 	// transitions, period end.
 	if s.SetpointW > 0 && s.AvgPowerW > s.SetpointW*(1+h.slackFrac) {
-		h.emitLocked(Event{TimeS: s.TimeS, Period: s.Period, Type: EventCapViolation,
+		h.Emit(Event{TimeS: s.TimeS, Period: s.Period, Type: EventCapViolation,
 			Node: s.Node, Device: -1, Value: s.AvgPowerW - s.SetpointW})
 	}
 	for i, miss := range s.SLOMiss {
@@ -304,7 +522,7 @@ func (h *Hub) Period(s PeriodSample) {
 			if i < len(s.GPULatencyS) {
 				lat = s.GPULatencyS[i]
 			}
-			h.emitLocked(Event{TimeS: s.TimeS, Period: s.Period, Type: EventSLOMiss,
+			h.Emit(Event{TimeS: s.TimeS, Period: s.Period, Type: EventSLOMiss,
 				Node: s.Node, Device: i, Value: lat})
 		}
 	}
@@ -313,46 +531,76 @@ func (h *Hub) Period(s PeriodSample) {
 	st.degraded = s.Degraded
 	h.transition(st.failSafe, s.FailSafe, EventFailSafeEnter, EventFailSafeExit, s, float64(s.MeterStale))
 	st.failSafe = s.FailSafe
-	h.emitLocked(Event{TimeS: s.TimeS, Period: s.Period, Type: EventPeriodEnd,
+	h.Emit(Event{TimeS: s.TimeS, Period: s.Period, Type: EventPeriodEnd,
 		Node: s.Node, Device: -1, Value: s.AvgPowerW})
 
 	st.lastSeen = s
 	st.havePrior = true
 
-	// Registry updates.
-	base := L("controller", s.Controller, "node", s.Node)
-	node := L("node", s.Node)
-	h.reg.counterAdd("capgpu_periods_total", "Control periods completed.", base, 1)
+	// Registry updates, all through the node's cached handles: pure
+	// atomic adds/stores (or a per-series histogram lock), so concurrent
+	// shards never serialize on label rendering or registry maps.
+	m := h.nodeMetricsFor(st, s)
+	m.periods.add(1)
 	if s.Degraded {
-		h.count("capgpu_degraded_periods_total", "Periods handled by the last-good-value meter fallback.", node)
+		if m.degraded == nil {
+			m.degraded = h.reg.fetch("capgpu_degraded_periods_total", "Periods handled by the last-good-value meter fallback.", "counter", m.node)
+		}
+		m.degraded.add(1)
 	}
 	if s.FailSafe {
-		h.count("capgpu_failsafe_periods_total", "Periods the harness overrode the controller and descended toward f_min.", node)
+		if m.failSafe == nil {
+			m.failSafe = h.reg.fetch("capgpu_failsafe_periods_total", "Periods the harness overrode the controller and descended toward f_min.", "counter", m.node)
+		}
+		m.failSafe.add(1)
 	}
 	if s.Uncontrolled {
-		h.count("capgpu_uncontrolled_periods_total", "Periods run open-loop (node out of rack contact).", node)
+		if m.uncontrolled == nil {
+			m.uncontrolled = h.reg.fetch("capgpu_uncontrolled_periods_total", "Periods run open-loop (node out of rack contact).", "counter", m.node)
+		}
+		m.uncontrolled.add(1)
 	}
 	if s.TruePowerW > s.SetpointW*(1+h.trueSlackFrac) && s.SetpointW > 0 {
-		h.count("capgpu_true_cap_violations_total", "Periods whose breaker-side true power exceeded the set point by more than the true slack.", node)
+		if m.trueViol == nil {
+			m.trueViol = h.reg.fetch("capgpu_true_cap_violations_total", "Periods whose breaker-side true power exceeded the set point by more than the true slack.", "counter", m.node)
+		}
+		m.trueViol.add(1)
 	}
-	h.reg.counterAdd("capgpu_energy_joules_total", "Energy drawn, accumulated per period.", node, s.EnergyJ)
-	h.reg.counterAdd("capgpu_actuator_retries_total", "Frequency command re-deliveries.", node, float64(s.ActuatorRetries))
+	m.energy.add(s.EnergyJ)
+	m.retries.add(float64(s.ActuatorRetries))
 
-	h.gauge("capgpu_setpoint_watts", "Power set point for the period.", base, s.SetpointW)
-	h.gauge("capgpu_measured_power_watts", "Meter-side period-average power (what the controller saw).", base, s.AvgPowerW)
-	h.gauge("capgpu_true_power_watts", "Breaker-side period-average power.", base, s.TruePowerW)
-	h.gauge("capgpu_meter_stale_periods", "Consecutive blind periods, 0 when the meter is fresh.", node, float64(s.MeterStale))
-	h.gauge("capgpu_cpu_frequency_ghz", "Applied CPU frequency.", node, s.CPUFreqGHz)
+	m.setpoint.store(s.SetpointW)
+	m.measured.store(s.AvgPowerW)
+	m.truePower.store(s.TruePowerW)
+	m.meterStale.store(float64(s.MeterStale))
+	m.cpuFreq.store(s.CPUFreqGHz)
 	for i, f := range s.GPUFreqMHz {
-		h.gauge("capgpu_gpu_frequency_mhz", "Applied GPU core frequency.", node.With("gpu", strconv.Itoa(i)), f)
+		m.gpuFreq[i].store(f)
 	}
 
-	h.histObserve("capgpu_period_power_watts", "Distribution of measured period-average power.", DefPowerBuckets, node, s.AvgPowerW)
+	m.powerHist.mu.Lock()
+	m.powerHist.observe(s.AvgPowerW)
+	m.powerHist.mu.Unlock()
 	for i, lat := range s.GPULatencyS {
 		if lat > 0 {
-			h.histObserve("capgpu_gpu_batch_latency_seconds", "Distribution of per-GPU period-average batch latency.",
-				DefLatencyBuckets, node.With("gpu", strconv.Itoa(i)), lat)
+			hs := m.latHist[i]
+			if hs == nil {
+				hs = h.reg.fetch("capgpu_gpu_batch_latency_seconds", "Distribution of per-GPU period-average batch latency.", "histogram", m.node.With("gpu", strconv.Itoa(i))).
+					ensureHist(DefLatencyBuckets, false)
+				m.latHist[i] = hs
+			}
+			hs.mu.Lock()
+			hs.observe(lat)
+			hs.mu.Unlock()
 		}
+	}
+
+	// Observability v2: bounded time-series retention, Wh attribution,
+	// and the online alert rules — all shard-local state.
+	h.store.record(st, s, h.slackFrac)
+	h.ledger.record(h, st, s)
+	if h.alerts != nil {
+		h.alerts.onPeriod(h, st, s)
 	}
 }
 
@@ -361,9 +609,9 @@ func (h *Hub) Period(s PeriodSample) {
 func (h *Hub) transition(prev, cur bool, enter, exit EventType, s PeriodSample, value float64) {
 	switch {
 	case cur && !prev:
-		h.emitLocked(Event{TimeS: s.TimeS, Period: s.Period, Type: enter, Node: s.Node, Device: -1, Value: value})
+		h.Emit(Event{TimeS: s.TimeS, Period: s.Period, Type: enter, Node: s.Node, Device: -1, Value: value})
 	case !cur && prev:
-		h.emitLocked(Event{TimeS: s.TimeS, Period: s.Period, Type: exit, Node: s.Node, Device: -1})
+		h.Emit(Event{TimeS: s.TimeS, Period: s.Period, Type: exit, Node: s.Node, Device: -1})
 	}
 }
 
@@ -375,13 +623,13 @@ func (h *Hub) diffFaults(st *nodeState, s PeriodSample) {
 	prev := st.faults
 	for _, f := range cur {
 		if !containsStr(prev, f) {
-			h.emitLocked(Event{TimeS: s.TimeS, Period: s.Period, Type: EventFaultActive,
+			h.Emit(Event{TimeS: s.TimeS, Period: s.Period, Type: EventFaultActive,
 				Node: s.Node, Device: -1, Detail: f})
 		}
 	}
 	for _, f := range prev {
 		if !containsStr(cur, f) {
-			h.emitLocked(Event{TimeS: s.TimeS, Period: s.Period, Type: EventFaultCleared,
+			h.Emit(Event{TimeS: s.TimeS, Period: s.Period, Type: EventFaultCleared,
 				Node: s.Node, Device: -1, Detail: f})
 		}
 	}
@@ -413,21 +661,23 @@ func (h *Hub) EndPhase(period int, phase string) { h.endPhase("", period, phase)
 
 func (h *Hub) beginPhase(node string, _ int, phase string) {
 	now := h.clock()
-	h.mu.Lock()
-	h.phaseStart[node+"\x00"+phase] = now
-	h.mu.Unlock()
+	sh := h.shardFor(node)
+	sh.mu.Lock()
+	sh.phaseStart[node+"\x00"+phase] = now
+	sh.mu.Unlock()
 }
 
 func (h *Hub) endPhase(node string, _ int, phase string) {
 	now := h.clock()
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	sh := h.shardFor(node)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	key := node + "\x00" + phase
-	start, ok := h.phaseStart[key]
+	start, ok := sh.phaseStart[key]
 	if !ok {
 		return // EndPhase without BeginPhase: ignore
 	}
-	delete(h.phaseStart, key)
+	delete(sh.phaseStart, key)
 	d := now - start
 	if d < 0 {
 		d = 0
@@ -436,41 +686,61 @@ func (h *Hub) endPhase(node string, _ int, phase string) {
 		DefPhaseBuckets, L("phase", phase), d)
 }
 
-// Finish closes the stream: any node still in a degraded or fail-safe
-// state (or with faults still active) gets its matching exit/cleared
-// event at its last-seen period, so enter/exit pairs balance even when
-// a run ends mid-fault; a final run-end event carries the lifetime
-// event count. Finish reports the first JSONL write error.
-func (h *Hub) Finish() error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	names := make([]string, 0, len(h.nodes))
-	for name := range h.nodes {
-		//lint:ignore determinism keys are sorted immediately below; output order does not depend on map order
-		names = append(names, name)
+// nodeNames returns every node name seen by any shard, sorted.
+func (h *Hub) nodeNames() []string {
+	var names []string
+	for _, sh := range h.shards {
+		sh.mu.Lock()
+		for name := range sh.nodes {
+			//lint:ignore determinism names are sorted by the caller; output order does not depend on map order
+			names = append(names, name)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		st := h.nodes[name]
+	return names
+}
+
+// Finish closes the stream: any node still in a degraded or fail-safe
+// state (or with faults still active) gets its matching exit/cleared
+// event at its last-seen period, any alert still firing gets its
+// resolved event, so enter/exit pairs balance even when a run ends
+// mid-fault; a final run-end event carries the lifetime event count.
+// Finish reports the first JSONL write error.
+func (h *Hub) Finish() error {
+	for _, name := range h.nodeNames() {
+		sh := h.shardFor(name)
+		sh.mu.Lock()
+		st := sh.nodes[name]
 		last := st.lastSeen
 		if st.degraded {
-			h.emitLocked(Event{TimeS: last.TimeS, Period: last.Period, Type: EventDegradedExit,
+			h.Emit(Event{TimeS: last.TimeS, Period: last.Period, Type: EventDegradedExit,
 				Node: name, Device: -1, Detail: "run-end"})
 			st.degraded = false
 		}
 		if st.failSafe {
-			h.emitLocked(Event{TimeS: last.TimeS, Period: last.Period, Type: EventFailSafeExit,
+			h.Emit(Event{TimeS: last.TimeS, Period: last.Period, Type: EventFailSafeExit,
 				Node: name, Device: -1, Detail: "run-end"})
 			st.failSafe = false
 		}
 		for _, f := range st.faults {
-			h.emitLocked(Event{TimeS: last.TimeS, Period: last.Period, Type: EventFaultCleared,
+			h.Emit(Event{TimeS: last.TimeS, Period: last.Period, Type: EventFaultCleared,
 				Node: name, Device: -1, Detail: f})
 		}
 		st.faults = nil
+		if h.alerts != nil {
+			h.alerts.finishNode(h, st, name)
+		}
+		sh.mu.Unlock()
 	}
-	h.emitLocked(Event{Type: EventRunEnd, Period: -1, Device: -1, Value: float64(h.total)})
-	return h.jerr
+	if h.alerts != nil {
+		h.alerts.finishRack(h)
+	}
+	h.stream.mu.Lock()
+	total := h.stream.total
+	h.stream.mu.Unlock()
+	h.Emit(Event{Type: EventRunEnd, Period: -1, Device: -1, Value: float64(total)})
+	return h.Err()
 }
 
 // CounterValue reads a derived counter back (0 if the series was never

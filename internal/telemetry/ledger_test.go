@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestLedgerAttribution: energy lands in the (node, class, state,
+// epoch) cell it ran under, states classify by the documented priority,
+// and the table comes out sorted with exact Wh totals.
+func TestLedgerAttribution(t *testing.T) {
+	hub := New(Config{})
+	emit := func(node, class string, epoch int, energyJ float64, degraded, failsafe, uncontrolled bool) {
+		hub.Period(PeriodSample{
+			Node: node, Controller: "capgpu", Period: 0, SetpointW: 900,
+			AvgPowerW: 800, TruePowerW: 805, EnergyJ: energyJ,
+			Class: class, Epoch: epoch,
+			Degraded: degraded, FailSafe: failsafe, Uncontrolled: uncontrolled,
+		})
+	}
+	emit("nB", "heavy", 0, 3600, false, false, false) // 1 Wh normal
+	emit("nB", "heavy", 0, 7200, false, false, false) // +2 Wh same cell
+	emit("nB", "heavy", 1, 3600, false, false, false) // 1 Wh, epoch 1
+	emit("nA", "", 0, 1800, true, false, false)       // 0.5 Wh degraded, default class
+	emit("nA", "", 0, 1800, true, true, false)        // failsafe beats degraded
+	emit("nA", "", 0, 1800, true, true, true)         // uncontrolled beats both
+
+	rows := hub.LedgerTable()
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows: %+v", len(rows), rows)
+	}
+	// Sorted by node, class, epoch, state.
+	if rows[0].Node != "nA" || rows[0].Class != DefaultWorkloadClass {
+		t.Errorf("row 0 = %+v, want nA/default first", rows[0])
+	}
+	states := map[string]bool{}
+	for _, r := range rows {
+		if r.Node == "nA" {
+			states[r.State] = true
+			if r.Wh != 0.5 {
+				t.Errorf("nA %s cell = %v Wh, want 0.5", r.State, r.Wh)
+			}
+		}
+	}
+	for _, want := range []string{EnergyStateDegraded, EnergyStateFailSafe, EnergyStateUncontrolled} {
+		if !states[want] {
+			t.Errorf("missing nA state %s in %v", want, states)
+		}
+	}
+	var nbEpoch0, nbEpoch1 float64
+	for _, r := range rows {
+		if r.Node == "nB" && r.Epoch == 0 {
+			nbEpoch0 = r.Wh
+		}
+		if r.Node == "nB" && r.Epoch == 1 {
+			nbEpoch1 = r.Wh
+		}
+	}
+	if nbEpoch0 != 3 || nbEpoch1 != 1 {
+		t.Errorf("nB epochs = %v / %v Wh, want 3 / 1", nbEpoch0, nbEpoch1)
+	}
+	if total := hub.LedgerTotalWh(); math.Abs(total-5.5) > 1e-12 {
+		t.Errorf("total = %v Wh, want 5.5", total)
+	}
+	if nb := hub.NodeWh("nB"); math.Abs(nb-4) > 1e-12 {
+		t.Errorf("nB = %v Wh, want 4", nb)
+	}
+	// The metric agrees with the cells.
+	if v := hub.CounterValue("capgpu_energy_wh_total",
+		L("node", "nB", "class", "heavy", "state", EnergyStateNormal)); math.Abs(v-4) > 1e-12 {
+		t.Errorf("capgpu_energy_wh_total{nB} = %v, want 4", v)
+	}
+	table := FormatLedgerTable(rows)
+	if !strings.Contains(table, "TOTAL") || !strings.Contains(table, "heavy") {
+		t.Errorf("table missing expected rows:\n%s", table)
+	}
+	if strings.Contains(table, "gCO2") {
+		t.Errorf("unweighted table grew carbon columns:\n%s", table)
+	}
+}
+
+// TestLedgerWeightCurves: carbon and price accrue as kWh × curve(period)
+// and surface in both the cells and the metrics.
+func TestLedgerWeightCurves(t *testing.T) {
+	hub := New(Config{})
+	hub.SetEnergyWeights(
+		func(k int) float64 { return 400 + float64(k) }, // gCO2/kWh
+		func(k int) float64 { return 0.10 },             // cost/kWh
+	)
+	// 1.8 MJ = 0.5 kWh at period 10 → 0.5 × 410 g, 0.5 × 0.10 units.
+	hub.Period(PeriodSample{
+		Node: "n0", Controller: "capgpu", Period: 10,
+		SetpointW: 900, AvgPowerW: 800, EnergyJ: 1.8e6,
+	})
+	rows := hub.LedgerTable()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if g := rows[0].CarbonG; math.Abs(g-205) > 1e-9 {
+		t.Errorf("carbon = %v g, want 205", g)
+	}
+	if u := rows[0].CostU; math.Abs(u-0.05) > 1e-12 {
+		t.Errorf("cost = %v, want 0.05", u)
+	}
+	if v := hub.CounterValue("capgpu_energy_carbon_grams_total",
+		L("node", "n0", "class", DefaultWorkloadClass, "state", EnergyStateNormal)); math.Abs(v-205) > 1e-9 {
+		t.Errorf("carbon metric = %v, want 205", v)
+	}
+	table := FormatLedgerTable(rows)
+	if !strings.Contains(table, "gCO2") || !strings.Contains(table, "cost") {
+		t.Errorf("weighted table missing weight columns:\n%s", table)
+	}
+}

@@ -3,10 +3,12 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Label is one metric dimension.
@@ -79,23 +81,57 @@ func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// series is one labeled sample stream inside a family.
+// series is one labeled sample stream inside a family. Counter and
+// gauge state lives in bits (the float64 image of the value) so the hot
+// emit path can mutate it with atomics under the registry's shared read
+// lock — the lock-free fast path the sharded hub's contention win rests
+// on. Byte-stable exposition is preserved: in deterministic contexts
+// every series is written by one ordered replay stream, so the atomic
+// adds happen in the same order a mutex would impose.
 type series struct {
 	labels Labels
-	value  float64 // counter / gauge state
+	bits   uint64 // counter / gauge state, atomic float64 bits
 
-	// histogram state (nil for counters and gauges)
-	hist *histState
+	// histogram state (nil for counters and gauges). The pointer itself
+	// is atomic — installation races with scrape reads that hold only
+	// the registry read lock — and the state it points at is guarded by
+	// its own mutex, not the registry lock, so concurrent observations
+	// of different series never serialize on one registry-wide mutex.
+	hist atomic.Pointer[histState]
+}
+
+// load reads the counter/gauge value.
+func (s *series) load() float64 {
+	return math.Float64frombits(atomic.LoadUint64(&s.bits))
+}
+
+// store replaces the gauge value.
+func (s *series) store(v float64) {
+	atomic.StoreUint64(&s.bits, math.Float64bits(v))
+}
+
+// add folds delta into the value with a CAS loop (lock-free float add).
+func (s *series) add(delta float64) {
+	for {
+		old := atomic.LoadUint64(&s.bits)
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(&s.bits, old, nv) {
+			return
+		}
+	}
 }
 
 type histState struct {
+	mu     sync.Mutex
 	bounds []float64 // ascending upper bounds (le), +Inf implicit
 	counts []uint64  // one per bound, plus [len(bounds)] for +Inf
 	sum    float64
 	count  uint64
 }
 
-// family is every series sharing one metric name.
+// family is every series sharing one metric name. name, help, and kind
+// are immutable after creation; the series map is guarded by the
+// registry lock (writes under Lock, reads under RLock).
 type family struct {
 	name, help, kind string
 	series           map[string]*series // signature → series
@@ -103,9 +139,13 @@ type family struct {
 
 // Registry holds counters, gauges, and fixed-bucket histograms, and
 // renders them in Prometheus text exposition format. All methods are
-// safe for concurrent use.
+// safe for concurrent use. The families/series maps are guarded by an
+// RWMutex so concurrent emitters share a read lock on the steady-state
+// path (every series already registered) and only first-touch
+// registration takes the write lock; sample values themselves are
+// atomics (counters, gauges) or per-series locks (histograms).
 type Registry struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	families map[string]*family
 }
 
@@ -114,9 +154,28 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
-// lookup returns (creating if needed) the series for name+labels,
-// enforcing one metric kind per name. Callers must hold r.mu.
-func (r *Registry) lookup(name, help, kind string, labels Labels) *series {
+// fetch returns the series for name+labels, creating family and series
+// on first touch, and enforcing one metric kind per name. The fast path
+// is a shared read lock; only a miss upgrades to the write lock.
+func (r *Registry) fetch(name, help, kind string, labels Labels) *series {
+	sig := labels.signature()
+	r.mu.RLock()
+	f := r.families[name]
+	var s *series
+	if f != nil {
+		if f.kind != kind {
+			r.mu.RUnlock()
+			panic(fmt.Sprintf("telemetry: metric %s registered as %s, requested as %s", name, f.kind, kind))
+		}
+		s = f.series[sig]
+	}
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	f, ok := r.families[name]
 	if !ok {
 		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
@@ -125,8 +184,7 @@ func (r *Registry) lookup(name, help, kind string, labels Labels) *series {
 	if f.kind != kind {
 		panic(fmt.Sprintf("telemetry: metric %s registered as %s, requested as %s", name, f.kind, kind))
 	}
-	sig := labels.signature()
-	s, ok := f.series[sig]
+	s, ok = f.series[sig]
 	if !ok {
 		s = &series{labels: append(Labels(nil), labels...)}
 		f.series[sig] = s
@@ -134,43 +192,67 @@ func (r *Registry) lookup(name, help, kind string, labels Labels) *series {
 	return s
 }
 
-// The Hub drives its derived metrics through the locked mutators below,
-// so every registry mutation happens under r.mu and a concurrent
-// /metrics scrape (WritePrometheus) or accessor read can never observe a
-// map or value mid-write. Lock order is always Hub.mu → Registry.mu; the
+// The Hub drives its derived metrics through the mutators below. Lock
+// order is always a hub shard lock → Registry.mu (→ histState.mu); the
 // Registry never calls back into the Hub.
 
 // counterAdd bumps a counter series, registering it on first use.
 func (r *Registry) counterAdd(name, help string, labels Labels, delta float64) {
-	r.mu.Lock()
-	r.lookup(name, help, "counter", labels).value += delta
-	r.mu.Unlock()
+	r.fetch(name, help, "counter", labels).add(delta)
 }
 
 // gaugeSet replaces a gauge series' value, registering it on first use.
 func (r *Registry) gaugeSet(name, help string, labels Labels, v float64) {
-	r.mu.Lock()
-	r.lookup(name, help, "gauge", labels).value = v
-	r.mu.Unlock()
+	r.fetch(name, help, "gauge", labels).store(v)
 }
 
 // observe records one histogram observation, registering the series on
 // first use with the given (already ascending) bucket bounds.
 func (r *Registry) observe(name, help string, buckets []float64, labels Labels, v float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := r.lookup(name, help, "histogram", labels)
-	if s.hist == nil {
-		bs := append([]float64(nil), buckets...)
-		s.hist = &histState{bounds: bs, counts: make([]uint64, len(bs)+1)}
-	}
-	s.hist.observe(v)
+	s := r.fetch(name, help, "histogram", labels)
+	st := s.ensureHist(buckets, false)
+	st.mu.Lock()
+	st.observe(v)
+	st.mu.Unlock()
 }
+
+// ensureHist installs the histogram state on first use. Creation is
+// rare (once per series) and synchronizes through the package-level
+// histInit lock so two concurrent first observations cannot both
+// install state; the fast path is one atomic load.
+func (s *series) ensureHist(buckets []float64, sortBounds bool) *histState {
+	if st := s.hist.Load(); st != nil {
+		return st
+	}
+	histInit.Lock()
+	defer histInit.Unlock()
+	if st := s.hist.Load(); st != nil {
+		return st
+	}
+	bs := append([]float64(nil), buckets...)
+	if sortBounds {
+		sort.Float64s(bs)
+		dedup := bs[:0]
+		for i, b := range bs {
+			if i == 0 || b > dedup[len(dedup)-1] {
+				dedup = append(dedup, b)
+			}
+		}
+		bs = dedup
+	}
+	st := &histState{bounds: bs, counts: make([]uint64, len(bs)+1)}
+	s.hist.Store(st)
+	return st
+}
+
+// histInit guards first-touch histogram installation across all
+// registries (a once-per-series cost, never on the steady-state path).
+var histInit sync.Mutex
 
 // counterValue reads a counter/gauge series back, 0 if never touched.
 func (r *Registry) counterValue(name string, labels Labels) float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	f, ok := r.families[name]
 	if !ok {
 		return 0
@@ -179,11 +261,10 @@ func (r *Registry) counterValue(name string, labels Labels) float64 {
 	if !ok {
 		return 0
 	}
-	return s.value
+	return s.load()
 }
 
-// observe folds one value into the bucket counts. Callers hold the
-// owning registry's mutex.
+// observe folds one value into the bucket counts. Callers hold st.mu.
 func (st *histState) observe(v float64) {
 	idx := len(st.bounds) // +Inf bucket
 	for i, b := range st.bounds {
@@ -205,9 +286,7 @@ type Counter struct {
 
 // Counter returns the named counter series, registering it on first use.
 func (r *Registry) Counter(name, help string, labels Labels) Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return Counter{r: r, s: r.lookup(name, help, "counter", labels)}
+	return Counter{r: r, s: r.fetch(name, help, "counter", labels)}
 }
 
 // Add increases the counter; negative deltas are ignored (counters are
@@ -216,20 +295,14 @@ func (c Counter) Add(delta float64) {
 	if delta < 0 {
 		return
 	}
-	c.r.mu.Lock()
-	c.s.value += delta
-	c.r.mu.Unlock()
+	c.s.add(delta)
 }
 
 // Inc adds 1.
 func (c Counter) Inc() { c.Add(1) }
 
 // Value returns the current total.
-func (c Counter) Value() float64 {
-	c.r.mu.Lock()
-	defer c.r.mu.Unlock()
-	return c.s.value
-}
+func (c Counter) Value() float64 { return c.s.load() }
 
 // Gauge is a sample stream that can go up and down.
 type Gauge struct {
@@ -239,24 +312,14 @@ type Gauge struct {
 
 // Gauge returns the named gauge series, registering it on first use.
 func (r *Registry) Gauge(name, help string, labels Labels) Gauge {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return Gauge{r: r, s: r.lookup(name, help, "gauge", labels)}
+	return Gauge{r: r, s: r.fetch(name, help, "gauge", labels)}
 }
 
 // Set replaces the gauge value.
-func (g Gauge) Set(v float64) {
-	g.r.mu.Lock()
-	g.s.value = v
-	g.r.mu.Unlock()
-}
+func (g Gauge) Set(v float64) { g.s.store(v) }
 
 // Value returns the current value.
-func (g Gauge) Value() float64 {
-	g.r.mu.Lock()
-	defer g.r.mu.Unlock()
-	return g.s.value
-}
+func (g Gauge) Value() float64 { return g.s.load() }
 
 // Histogram is a fixed-bucket cumulative histogram.
 type Histogram struct {
@@ -268,42 +331,33 @@ type Histogram struct {
 // use with the given ascending bucket upper bounds (+Inf is implicit; a
 // nil or unsorted slice is sorted and deduplicated).
 func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) Histogram {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := r.lookup(name, help, "histogram", labels)
-	if s.hist == nil {
-		bs := append([]float64(nil), buckets...)
-		sort.Float64s(bs)
-		dedup := bs[:0]
-		for i, b := range bs {
-			if i == 0 || b > dedup[len(dedup)-1] {
-				dedup = append(dedup, b)
-			}
-		}
-		s.hist = &histState{bounds: dedup, counts: make([]uint64, len(dedup)+1)}
-	}
+	s := r.fetch(name, help, "histogram", labels)
+	s.ensureHist(buckets, true)
 	return Histogram{r: r, s: s}
 }
 
 // Observe records one value.
 func (h Histogram) Observe(v float64) {
-	h.r.mu.Lock()
-	defer h.r.mu.Unlock()
-	h.s.hist.observe(v)
+	st := h.s.hist.Load()
+	st.mu.Lock()
+	st.observe(v)
+	st.mu.Unlock()
 }
 
 // Count returns the number of observations.
 func (h Histogram) Count() uint64 {
-	h.r.mu.Lock()
-	defer h.r.mu.Unlock()
-	return h.s.hist.count
+	st := h.s.hist.Load()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.count
 }
 
 // Sum returns the sum of observations.
 func (h Histogram) Sum() float64 {
-	h.r.mu.Lock()
-	defer h.r.mu.Unlock()
-	return h.s.hist.sum
+	st := h.s.hist.Load()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.sum
 }
 
 // Quantile estimates the p-th percentile (0..100) from the bucket
@@ -318,9 +372,9 @@ func (h Histogram) Quantile(p float64) (float64, error) {
 	if p < 0 || p > 100 {
 		return 0, fmt.Errorf("telemetry: quantile %g outside [0, 100]", p)
 	}
-	h.r.mu.Lock()
-	defer h.r.mu.Unlock()
-	st := h.s.hist
+	st := h.s.hist.Load()
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.count == 0 {
 		return 0, fmt.Errorf("telemetry: quantile of empty histogram")
 	}
@@ -351,8 +405,8 @@ func (h Histogram) Quantile(p float64) (float64, error) {
 // format, families sorted by name and series by label signature, so the
 // output is deterministic for a deterministic run.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
 		//lint:ignore determinism keys are sorted immediately below; output order does not depend on map order
@@ -376,7 +430,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				writeHistogram(&b, f.name, s)
 				continue
 			}
-			fmt.Fprintf(&b, "%s%s %s\n", f.name, sig, formatValue(s.value))
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, sig, formatValue(s.load()))
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -384,8 +438,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // writeHistogram renders one histogram series (_bucket/_sum/_count).
+// A histogram series registered but never observed (hist not yet
+// installed) renders nothing — a transient state a concurrent scrape
+// can catch between registration and first observation.
 func writeHistogram(b *strings.Builder, name string, s *series) {
-	st := s.hist
+	st := s.hist.Load()
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	cum := uint64(0)
 	for i, bound := range st.bounds {
 		cum += st.counts[i]

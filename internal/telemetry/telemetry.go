@@ -56,6 +56,12 @@ const (
 	EventReservationReleased EventType = "reservation-released"
 	EventCheckpoint          EventType = "checkpoint"
 	EventLoadBurst           EventType = "load-burst"
+
+	// Online alerting lifecycle (the Hub's alert engine, when enabled).
+	// Detail carries the rule name; the pair is balanced per (node, rule)
+	// and Hub.Finish resolves any alert still firing at end of run.
+	EventAlertFiring   EventType = "alert-firing"
+	EventAlertResolved EventType = "alert-resolved"
 )
 
 // Event is one structured lifecycle record. Device is -1 when the event
@@ -104,6 +110,12 @@ type PeriodSample struct {
 	ActuatorRetries  int
 	ActuatorDiverged []bool
 	Faults           []string // active injected faults, DSL form
+
+	// Attribution dimensions for the energy ledger. Class is the node's
+	// workload class ("" ledgers as "default"); Epoch is the policy epoch
+	// the period ran under (0 outside the control-plane daemon).
+	Class string
+	Epoch int
 }
 
 // Sink is the interface instrumented packages emit through. A nil Sink
