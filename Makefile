@@ -1,19 +1,21 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench bench-ratchet cover soak telemetry-verify doctor-verify
+.PHONY: all build test race vet fmt lint check bench bench-ratchet cover soak telemetry-verify doctor-verify trace-verify
 
 # Ratcheted coverage floors. internal/cluster holds the parallel
 # stepping and its equivalence/error-path suites; internal/controlplane
 # holds the daemon's membership, checkpoint, and policy-API suites;
 # internal/lint holds the contract analyzers and their fixture suites;
 # internal/telemetry holds the sharded hub, time-series store, energy
-# ledger, and alert-engine suites.
+# ledger, and alert-engine suites; internal/provenance holds the
+# causal tracer and the capgpu-trace explain/attribution engine.
 # A drop below a floor means proof rotted out. Raise a floor when
 # coverage rises; never lower it.
 CLUSTER_COVER_FLOOR = 95.0
 CONTROLPLANE_COVER_FLOOR = 80.0
 LINT_COVER_FLOOR = 90.0
 TELEMETRY_COVER_FLOOR = 90.0
+PROVENANCE_COVER_FLOOR = 80.0
 
 all: check
 
@@ -79,6 +81,21 @@ doctor-verify:
 		-events /tmp/capgpu-doctor-r1-events.jsonl > /dev/null
 	@echo "doctor-verify: ok"
 
+# End-to-end provenance acceptance: a golden daemon run with churn and
+# hot reconfigs on every op kind, traced; capgpu-trace -verify must
+# find every cap change in every flight stream attributed to a
+# cap-change span whose period, node, and parent agree with the record
+# (exit 1 on any unattributed change).
+trace-verify:
+	@rm -rf /tmp/capgpu-trace-verify && mkdir -p /tmp/capgpu-trace-verify
+	$(GO) run ./cmd/capgpu-rack -serve -nodes 6 -periods 200 -workers 4 \
+		-schedule "join@40:heavy;budget@60*4800;kill@88:n001;drain@120:n002;cap@150:n003*700;revive@160:n001" \
+		-flight-dir /tmp/capgpu-trace-verify \
+		-trace /tmp/capgpu-trace-verify/trace.jsonl > /dev/null
+	$(GO) run ./cmd/capgpu-trace -trace /tmp/capgpu-trace-verify/trace.jsonl \
+		-flight-dir /tmp/capgpu-trace-verify -verify
+	@echo "trace-verify: ok"
+
 # Coverage ratchet: each listed package must stay at or above its floor.
 cover:
 	@$(GO) test -coverprofile=/tmp/capgpu-cluster.cov ./internal/cluster/ | tee /tmp/capgpu-cluster-cover.txt
@@ -109,6 +126,13 @@ cover:
 		echo "cover: internal/telemetry coverage $$pct% is below the $(TELEMETRY_COVER_FLOOR)% floor"; exit 1; \
 	fi; \
 	echo "cover: internal/telemetry $$pct% >= $(TELEMETRY_COVER_FLOOR)% floor"
+	@$(GO) test -coverprofile=/tmp/capgpu-provenance.cov ./internal/provenance/ | tee /tmp/capgpu-provenance-cover.txt
+	@pct="$$(grep -o 'coverage: [0-9.]*' /tmp/capgpu-provenance-cover.txt | grep -o '[0-9.]*')"; \
+	ok="$$(awk -v p="$$pct" -v f="$(PROVENANCE_COVER_FLOOR)" 'BEGIN { print (p >= f) ? 1 : 0 }')"; \
+	if [ "$$ok" != "1" ]; then \
+		echo "cover: internal/provenance coverage $$pct% is below the $(PROVENANCE_COVER_FLOOR)% floor"; exit 1; \
+	fi; \
+	echo "cover: internal/provenance $$pct% >= $(PROVENANCE_COVER_FLOOR)% floor"
 
 # Deterministic control-plane soak: one simulated day (21600 periods)
 # of diurnal + bursty load over a seeded churn schedule (joins, drains,
@@ -126,7 +150,7 @@ soak:
 	@tail -n 1 /tmp/capgpu-soak/soak.log
 	@echo "soak: ok (artifacts in /tmp/capgpu-soak)"
 
-check: build vet fmt lint test race cover bench-ratchet telemetry-verify doctor-verify soak
+check: build vet fmt lint test race cover bench-ratchet telemetry-verify doctor-verify trace-verify soak
 
 bench:
 	$(GO) test -bench . -benchtime 1x .

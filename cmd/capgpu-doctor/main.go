@@ -15,6 +15,12 @@
 // the matching kind, and every sustained incident of an alertable kind
 // must have been caught online.
 //
+// With -trace trace.jsonl -explain node@period, the doctor answers the
+// provenance question instead of the anomaly one: it resolves the cap
+// the node ran under at that period and prints the causal chain behind
+// it (policy op → reallocation → cap change → settle), exactly like
+// capgpu-trace -explain.
+//
 // Exit codes are CI-gateable: 0 = clean run or every incident
 // explained; 2 = unexplained anomalies or an alert/incident mismatch;
 // 1 = usage or input errors.
@@ -27,8 +33,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/flight"
+	"repro/internal/provenance"
 	"repro/internal/telemetry"
 )
 
@@ -43,6 +52,8 @@ func main() {
 	alerts := flag.Bool("alerts", false, "cross-check online alerts in -events against diagnosed incidents (requires -events and -node)")
 	alertMargin := flag.Int("alert-margin", 0, "alert/incident overlap margin in periods (0 = default)")
 	alertMinSpan := flag.Int("alert-min-span", 0, "shortest incident span the reverse alert check requires (0 = default)")
+	tracePath := flag.String("trace", "", "decision-provenance trace JSONL (capgpu-rack -trace) for -explain")
+	explain := flag.String("explain", "", "with -trace: explain the cap behind node@period (e.g. n002@4310)")
 	flag.Parse()
 
 	if *flightPath == "" {
@@ -56,9 +67,22 @@ func main() {
 		os.Exit(1)
 	}
 
+	if (*explain == "") != (*tracePath == "") {
+		fmt.Fprintln(os.Stderr, "capgpu-doctor: -explain and -trace go together")
+		flag.Usage()
+		os.Exit(1)
+	}
+
 	records, err := readFlight(*flightPath)
 	if err != nil {
 		fatalf("read flight record: %v", err)
+	}
+
+	if *explain != "" {
+		if err := runExplain(records, *tracePath, *explain); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 	var events []telemetry.Event
 	if *eventsPath != "" {
@@ -139,6 +163,56 @@ func main() {
 		code = 2
 	}
 	os.Exit(code)
+}
+
+// runExplain resolves node@period against the flight stream and the
+// provenance trace, and prints the causal chain behind the cap the
+// node ran under at that period.
+func runExplain(records []flight.DecisionRecord, tracePath, target string) error {
+	at := strings.LastIndexByte(target, '@')
+	if at <= 0 {
+		return fmt.Errorf("bad -explain target %q: want node@period", target)
+	}
+	node := target[:at]
+	period, err := strconv.Atoi(target[at+1:])
+	if err != nil {
+		return fmt.Errorf("bad -explain target %q: %v", target, err)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	tr, err := provenance.LoadTrace(f)
+	_ = f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", tracePath, err)
+	}
+	var rec *flight.DecisionRecord
+	for i := range records {
+		if records[i].Period == period {
+			rec = &records[i]
+			break
+		}
+	}
+	if rec == nil {
+		return fmt.Errorf("flight record has no period %d", period)
+	}
+	if rec.CauseID == "" {
+		fmt.Printf("%s@%d: cap %.1f W is the initial assignment (no traced cause)\n",
+			node, period, rec.SetpointW)
+		return nil
+	}
+	chain := tr.Chain(rec.CauseID)
+	if chain == nil {
+		return fmt.Errorf("cause %s of period %d is not in the trace", rec.CauseID, period)
+	}
+	if sp := tr.Span(rec.CauseID); sp != nil && sp.Node != "" && sp.Node != node {
+		return fmt.Errorf("cause %s belongs to node %s, not %s — wrong -flight stream?", rec.CauseID, sp.Node, node)
+	}
+	fmt.Printf("%s@%d: cap %.1f W (cause %s, class %s)\n",
+		node, period, rec.SetpointW, rec.CauseID, tr.RootClass(rec.CauseID))
+	fmt.Printf("  %s\n", provenance.FormatChain(chain))
+	return nil
 }
 
 func readFlight(path string) ([]flight.DecisionRecord, error) {

@@ -58,6 +58,9 @@
 //	                       re-emits byte-identical telemetry and flight
 //	                       records at any -workers count
 //	-flight-dir string     per-node flight JSONL (+ soak doctor reports)
+//	-trace string          decision-provenance trace JSONL: one span per
+//	                       policy op, reallocation, and cap change, for
+//	                       capgpu-trace to replay into causal chains
 //	-pace duration         wall-clock pacing per period (4s = real time)
 //
 // In daemon mode crashes are injected through the schedule DSL
@@ -103,6 +106,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "with -serve/-soak, checkpoint cadence in periods (0 = shutdown only; soak defaults to 500)")
 	resume := flag.Bool("resume", false, "with -serve/-soak, restore from -checkpoint instead of cold-starting")
 	flightDir := flag.String("flight-dir", "", "with -serve/-soak, write per-node flight JSONL (and soak doctor reports) here")
+	tracePath := flag.String("trace", "", "with -serve/-soak, write the decision-provenance trace JSONL here (for capgpu-trace)")
 	pace := flag.Duration("pace", 0, "with -serve, wall-clock delay per control period (0 = free-running; 4s = real time)")
 	flag.Parse()
 
@@ -138,6 +142,7 @@ func main() {
 			eventsPath: *eventsPath, snapshotPath: *snapshotPath,
 			checkpointPath: *checkpoint, checkpointEvery: *checkpointEvery,
 			resume: *resume, flightDir: *flightDir, pace: *pace, soak: *soak,
+			tracePath: *tracePath,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "capgpu-rack:", err)

@@ -21,6 +21,8 @@ import (
 	"repro/internal/controlplane"
 	"repro/internal/experiments"
 	"repro/internal/flight"
+	"repro/internal/provenance"
+	"repro/internal/runtimeobs"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -42,6 +44,7 @@ type serveOptions struct {
 	checkpointEvery int
 	resume          bool
 	flightDir       string
+	tracePath       string
 	pace            time.Duration
 	soak            bool
 }
@@ -95,6 +98,30 @@ func runServe(o serveOptions) error {
 		}
 	}
 
+	// Provenance tracer: soak always traces (the verdict includes the
+	// zero-unattributed attribution gate, and its JSONL tees into
+	// memory); serve traces when -trace names a destination. Restore
+	// replays the op log through the same code paths, so a resumed run
+	// re-mints the byte-identical trace into these fresh sinks.
+	var traceBuf bytes.Buffer
+	var traceFile *os.File
+	var tracer *provenance.Tracer
+	if o.soak || o.tracePath != "" {
+		var tsinks []io.Writer
+		if o.soak {
+			tsinks = append(tsinks, &traceBuf)
+		}
+		if o.tracePath != "" {
+			f, err := os.Create(o.tracePath)
+			if err != nil {
+				return err
+			}
+			traceFile = f
+			tsinks = append(tsinks, f)
+		}
+		tracer = provenance.New(provenance.Config{JSONL: io.MultiWriter(tsinks...)})
+	}
+
 	// Telemetry: the JSONL stream tees into memory so the soak gate can
 	// replay it through the doctor without re-reading files.
 	start := time.Now()
@@ -107,6 +134,12 @@ func runServe(o serveOptions) error {
 		// cap-violation incidents diagnose the same pathology and the
 		// alert↔doctor correspondence check is apples to apples.
 		cfg.Alerts = &telemetry.AlertConfig{CapSlackFrac: 0.03}
+	}
+	if tracer != nil && cfg.Alerts != nil {
+		cfg.Alerts.Hook = func(e telemetry.Event) {
+			tracer.OnAlertEvent(e.Detail, e.Node, e.Period, e.Value,
+				e.Type == telemetry.EventAlertFiring)
+		}
 	}
 	var sinks []io.Writer
 	if o.eventsPath != "" {
@@ -148,6 +181,7 @@ func runServe(o serveOptions) error {
 		}
 	}
 	deps := experiments.NewDaemonDeps(o.seed, hub, flightWriter)
+	deps.Tracer = tracer
 
 	// Build fresh, or restore from the checkpoint and replay: the
 	// restored daemon re-emits the replayed prefix into the sinks above,
@@ -188,11 +222,17 @@ func runServe(o serveOptions) error {
 		fmt.Printf("policy API: http://%s/policy (POST patches, GET status), /membership\n", addr)
 	}
 	if o.metricsAddr != "" {
-		addr, err := telemetry.ServeHandler(withPprof(telemetry.Handler(hub), o.pprofOn), o.metricsAddr)
+		var ts telemetry.TraceSource
+		if tracer != nil {
+			ts = tracer
+		}
+		handler := runtimeobs.Attach(hub.Registry()).Wrap(
+			withPprof(telemetry.HandlerWithTrace(hub, ts), o.pprofOn))
+		addr, err := telemetry.ServeHandler(handler, o.metricsAddr)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("telemetry: serving http://%s/metrics (/events, /healthz)\n", addr)
+		fmt.Printf("telemetry: serving http://%s/metrics (/events, /trace, /healthz)\n", addr)
 	}
 
 	mode := "serve"
@@ -241,6 +281,21 @@ loop:
 		}
 		fmt.Println("events written to", o.eventsPath)
 	}
+	if tracer != nil {
+		last := d.Period() - 1
+		if last < 0 {
+			last = 0
+		}
+		if err := tracer.Finish(last); err != nil {
+			return fmt.Errorf("trace stream: %w", err)
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+			fmt.Println("trace written to", o.tracePath)
+		}
+	}
 	if err := d.FlightErr(); err != nil {
 		return fmt.Errorf("flight stream: %w", err)
 	}
@@ -275,7 +330,7 @@ loop:
 	}
 
 	if o.soak && !interrupted {
-		return soakVerdict(d, hub, &eventsBuf, flightBufs, o.flightDir)
+		return soakVerdict(d, hub, &eventsBuf, flightBufs, &traceBuf, o.flightDir)
 	}
 	st = d.Status()
 	fmt.Printf("stopped at period %d, epoch %d, %d members\n", st.Period, st.Epoch, len(st.Members))
@@ -289,9 +344,9 @@ loop:
 // incident (and vice versa for sustained ones), and the energy
 // ledger's per-node Wh must agree with trapezoidal integration of the
 // flight records. Any unexplained incident, alert mismatch, energy
-// disagreement, rejected op, or budget-invariant violation is a
-// non-zero exit.
-func soakVerdict(d *controlplane.Daemon, hub *telemetry.Hub, eventsBuf *bytes.Buffer, flightBufs map[string]*bytes.Buffer, artifactDir string) error {
+// disagreement, rejected op, budget-invariant violation, or
+// unattributed cap change is a non-zero exit.
+func soakVerdict(d *controlplane.Daemon, hub *telemetry.Hub, eventsBuf *bytes.Buffer, flightBufs map[string]*bytes.Buffer, traceBuf *bytes.Buffer, artifactDir string) error {
 	applied := map[controlplane.OpKind]int{}
 	rejected := 0
 	for _, op := range d.OpLog() {
@@ -336,6 +391,7 @@ func soakVerdict(d *controlplane.Daemon, hub *telemetry.Hub, eventsBuf *bytes.Bu
 	alertWindows := flight.AlertWindows(events)
 	unexplained, alertMismatches, energyMismatches := 0, 0, 0
 	var trapTotalWh float64
+	flightRecs := map[string][]flight.DecisionRecord{}
 	fmt.Println()
 	for _, name := range names {
 		recs, err := flight.ReadRecords(bytes.NewReader(flightBufs[name].Bytes()))
@@ -345,6 +401,7 @@ func soakVerdict(d *controlplane.Daemon, hub *telemetry.Hub, eventsBuf *bytes.Bu
 		if len(recs) == 0 {
 			continue
 		}
+		flightRecs[name] = recs
 		var nodeEvents []telemetry.Event
 		for _, ev := range events {
 			if ev.Node == name || ev.Node == "rack" {
@@ -423,16 +480,41 @@ func soakVerdict(d *controlplane.Daemon, hub *telemetry.Hub, eventsBuf *bytes.Bu
 		fmt.Printf("TOTAL energy disagreement: ledger %.3f Wh vs trapezoid %.3f Wh\n", ledgerTotal, trapTotalWh)
 	}
 
+	// Provenance gate: replay the trace stream against the flight
+	// records — every cap change ≥ ε must point at a cap-change span
+	// whose period, node, and parent all agree with the record.
+	unattributed := 0
+	ptr, err := provenance.LoadTrace(bytes.NewReader(traceBuf.Bytes()))
+	if err != nil {
+		return fmt.Errorf("trace replay: %w", err)
+	}
+	for _, name := range names {
+		for _, p := range ptr.VerifyAttribution(name, flightRecs[name], provenance.DefaultEpsilonW) {
+			unattributed++
+			fmt.Println("UNATTRIBUTED:", p)
+		}
+	}
+	attrib := ptr.Attribution(flightRecs, 4)
+	attribTable := provenance.FormatAttribution(attrib)
+	fmt.Printf("\nprovenance: %d spans, %d unattributed cap change(s)\n%s",
+		len(ptr.Spans), unattributed, attribTable)
+
 	if artifactDir != "" {
 		if err := writeSoakArtifacts(hub, alertWindows, artifactDir); err != nil {
 			return err
 		}
+		if err := os.WriteFile(filepath.Join(artifactDir, "trace.jsonl"), traceBuf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(artifactDir, "attribution-table.txt"), []byte(attribTable), 0o644); err != nil {
+			return err
+		}
 	}
-	if unexplained > 0 || rejected > 0 || viol > 0 || alertMismatches > 0 || energyMismatches > 0 {
-		return fmt.Errorf("soak failed: %d unexplained incidents, %d rejected ops, %d invariant violations, %d alert mismatches, %d energy mismatches",
-			unexplained, rejected, viol, alertMismatches, energyMismatches)
+	if unexplained > 0 || rejected > 0 || viol > 0 || alertMismatches > 0 || energyMismatches > 0 || unattributed > 0 {
+		return fmt.Errorf("soak failed: %d unexplained incidents, %d rejected ops, %d invariant violations, %d alert mismatches, %d energy mismatches, %d unattributed cap changes",
+			unexplained, rejected, viol, alertMismatches, energyMismatches, unattributed)
 	}
-	fmt.Println("\nsoak clean: every incident explained, all ops applied, budget invariant held, alerts match the doctor, ledger matches integration")
+	fmt.Println("\nsoak clean: every incident explained, all ops applied, budget invariant held, alerts match the doctor, ledger matches integration, every cap change attributed")
 	return nil
 }
 

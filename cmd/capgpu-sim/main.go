@@ -67,6 +67,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/flight"
+	"repro/internal/runtimeobs"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -149,7 +150,8 @@ func main() {
 		hub = telemetry.New(cfg)
 	}
 	if *metricsAddr != "" {
-		addr, err := telemetry.ServeHandler(withPprof(telemetry.Handler(hub), *pprofOn), *metricsAddr)
+		handler := runtimeobs.Attach(hub.Registry()).Wrap(withPprof(telemetry.Handler(hub), *pprofOn))
+		addr, err := telemetry.ServeHandler(handler, *metricsAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "capgpu-sim:", err)
 			os.Exit(1)

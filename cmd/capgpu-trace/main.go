@@ -1,0 +1,219 @@
+// capgpu-trace is the decision-provenance explain engine: it replays a
+// trace JSONL stream (capgpu-rack -trace) together with the per-node
+// flight records (-flight-dir) into human-readable causal chains and
+// an end-of-run attribution table — which root cause (policy op,
+// heartbeat loss, drain ramp, periodic reallocation) each cap change,
+// node-period, and watt-hour traces back to.
+//
+//	capgpu-trace -trace trace.jsonl -flight-dir dir
+//	    print the attribution table (periods/energy per root cause)
+//	-explain node@period
+//	    print the causal chain behind that node's cap at that period,
+//	    e.g. "budget@4310 [budget*5600] → reallocation r17@4310 →
+//	    node n002 cap 310→268 W → settled in 3 periods"
+//	-verify
+//	    check every cap change in every flight stream is attributed to
+//	    a cap-change span (exit 1 on any unattributed change)
+//	-json
+//	    machine-readable output (attribution rows or explain chain)
+//
+// Exit codes: 0 clean, 1 verification failed, 2 usage or I/O error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/flight"
+	"repro/internal/provenance"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace JSONL stream (required)")
+	flightDir := flag.String("flight-dir", "", "directory of per-node <node>.flight.jsonl streams")
+	explain := flag.String("explain", "", "explain one cap: node@period (e.g. n002@4310)")
+	verify := flag.Bool("verify", false, "verify every cap change is attributed; exit 1 otherwise")
+	jsonOut := flag.Bool("json", false, "machine-readable output")
+	periodS := flag.Float64("period-seconds", 4, "control period length for energy integration")
+	epsilon := flag.Float64("epsilon", provenance.DefaultEpsilonW, "smallest |Δcap| (W) that counts as a change")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "capgpu-trace: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := provenance.LoadTrace(f)
+	_ = f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	flights, err := loadFlights(*flightDir)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *explain != "":
+		if err := runExplain(tr, flights, *explain, *jsonOut); err != nil {
+			fatal(err)
+		}
+	case *verify:
+		if !runVerify(tr, flights, *epsilon) {
+			os.Exit(1)
+		}
+	default:
+		runTable(tr, flights, *periodS, *jsonOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "capgpu-trace: %v\n", err)
+	os.Exit(2)
+}
+
+// loadFlights reads every <node>.flight.jsonl under dir ("" = none).
+func loadFlights(dir string) (map[string][]flight.DecisionRecord, error) {
+	out := map[string][]flight.DecisionRecord{}
+	if dir == "" {
+		return out, nil
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.flight.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	for _, path := range matches {
+		node := strings.TrimSuffix(filepath.Base(path), ".flight.jsonl")
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := flight.ReadRecords(f)
+		_ = f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out[node] = recs
+	}
+	return out, nil
+}
+
+// runExplain resolves node@period to its flight record and prints the
+// causal chain behind the cap it ran under.
+func runExplain(tr *provenance.Trace, flights map[string][]flight.DecisionRecord, target string, jsonOut bool) error {
+	node, period, err := parseTarget(target)
+	if err != nil {
+		return err
+	}
+	recs, ok := flights[node]
+	if !ok {
+		return fmt.Errorf("no flight stream for node %q (need -flight-dir)", node)
+	}
+	var rec *flight.DecisionRecord
+	for i := range recs {
+		if recs[i].Period == period {
+			rec = &recs[i]
+			break
+		}
+	}
+	if rec == nil {
+		return fmt.Errorf("node %s has no flight record for period %d", node, period)
+	}
+	if rec.CauseID == "" {
+		if jsonOut {
+			return json.NewEncoder(os.Stdout).Encode(map[string]any{
+				"node": node, "period": period, "setpoint_w": rec.SetpointW, "cause": nil,
+			})
+		}
+		fmt.Printf("%s@%d: cap %.1f W is the initial assignment (no traced cause)\n",
+			node, period, rec.SetpointW)
+		return nil
+	}
+	chain := tr.Chain(rec.CauseID)
+	if chain == nil {
+		return fmt.Errorf("cause %s of %s@%d is not in the trace", rec.CauseID, node, period)
+	}
+	if jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(map[string]any{
+			"node": node, "period": period, "setpoint_w": rec.SetpointW,
+			"cause": rec.CauseID, "class": tr.RootClass(rec.CauseID), "chain": chain,
+		})
+	}
+	fmt.Printf("%s@%d: cap %.1f W (cause %s, class %s)\n",
+		node, period, rec.SetpointW, rec.CauseID, tr.RootClass(rec.CauseID))
+	fmt.Printf("  %s\n", provenance.FormatChain(chain))
+	return nil
+}
+
+// parseTarget splits "node@period".
+func parseTarget(s string) (node string, period int, err error) {
+	at := strings.LastIndexByte(s, '@')
+	if at <= 0 {
+		return "", 0, fmt.Errorf("bad -explain target %q: want node@period", s)
+	}
+	period, err = strconv.Atoi(s[at+1:])
+	if err != nil {
+		return "", 0, fmt.Errorf("bad -explain target %q: %v", s, err)
+	}
+	return s[:at], period, nil
+}
+
+// runVerify checks every node's flight stream; true = fully attributed.
+func runVerify(tr *provenance.Trace, flights map[string][]flight.DecisionRecord, epsilon float64) bool {
+	if len(flights) == 0 {
+		fmt.Fprintln(os.Stderr, "capgpu-trace: -verify needs -flight-dir")
+		os.Exit(2)
+	}
+	names := make([]string, 0, len(flights))
+	for n := range flights {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	total, changes := 0, 0
+	for _, n := range names {
+		problems := tr.VerifyAttribution(n, flights[n], epsilon)
+		for _, p := range problems {
+			fmt.Println("UNATTRIBUTED:", p)
+		}
+		total += len(problems)
+		for i := 1; i < len(flights[n]); i++ {
+			d := flights[n][i].SetpointW - flights[n][i-1].SetpointW
+			if d >= epsilon || -d >= epsilon {
+				changes++
+			}
+		}
+	}
+	if total > 0 {
+		fmt.Printf("FAIL: %d attribution problem(s) across %d cap change(s)\n", total, changes)
+		return false
+	}
+	fmt.Printf("OK: %d cap change(s) across %d node(s), all attributed\n", changes, len(names))
+	return true
+}
+
+// runTable prints the end-of-run attribution table.
+func runTable(tr *provenance.Trace, flights map[string][]flight.DecisionRecord, periodS float64, jsonOut bool) {
+	rows := tr.Attribution(flights, periodS)
+	if jsonOut {
+		_ = json.NewEncoder(os.Stdout).Encode(rows)
+		return
+	}
+	fmt.Printf("%d spans", len(tr.Spans))
+	if len(flights) > 0 {
+		fmt.Printf(", %d flight stream(s)", len(flights))
+	}
+	fmt.Println()
+	fmt.Print(provenance.FormatAttribution(rows))
+}

@@ -309,6 +309,16 @@ type Coordinator struct {
 	// (without it, racks that run one hub across several coordinator
 	// passes would collide on bare node names).
 	NodeTelemetry []telemetry.Sink
+	// Tracer, when non-nil, receives the causal-provenance callbacks:
+	// death/recovery spans at the roll call, reservation releases, one
+	// reallocation span per barrier (consuming whatever causes the
+	// control plane staged), a cap-change span per node whose cap
+	// moved, and the per-period observation that settles open cap
+	// spans. Nil (the default) costs one nil check per site; the
+	// interface is defined here (implemented by *provenance.Tracer) so
+	// this package stays free of the provenance import and the hot-path
+	// analyzer's walk ends at the dispatch.
+	Tracer Tracer
 
 	missed      []int     // consecutive missed heartbeats per node
 	lastReport  []float64 // last power heard from each node
@@ -324,6 +334,28 @@ type Coordinator struct {
 	// detail string (reallocate runs every rack period; fmt would box
 	// three operands per call).
 	detailBuf []byte
+}
+
+// Tracer is the coordinator's view of the provenance layer (see
+// internal/provenance, whose *Tracer implements it). String results
+// are span IDs; empty means "no span minted" (e.g. a cap move below
+// the tracer's epsilon).
+type Tracer interface {
+	// NodeDead / NodeRecovered open and close a heartbeat-loss window.
+	NodeDead(node string, k, missed int) string
+	NodeRecovered(node string, k int) string
+	// ReservationReleased marks a dead node's budget reservation lapsing.
+	ReservationReleased(node string, k int) string
+	// BeginRealloc mints the barrier's reallocation span, consuming the
+	// staged causes.
+	BeginRealloc(k int) string
+	// CapChange mints a cap-change span under the current reallocation
+	// and returns (span, parent) for the flight-record stamp.
+	CapChange(node string, k int, fromW, toW float64) (id, parent string)
+	// ObserveNode folds one realized period into the open windows.
+	ObserveNode(node string, k int, trueW float64, failSafe, degraded bool, faults []string)
+	// EndStep flushes the period's trace lines at the merge barrier.
+	EndStep(k int)
 }
 
 // NewCoordinator assembles a rack controller.
@@ -512,7 +544,15 @@ func (c *Coordinator) Step(k int) error {
 	for i, n := range c.Nodes {
 		dead := c.missed[i] >= c.heartbeatMisses()
 		if dead != c.deadPrev[i] {
-			c.emitNodeEvent(i, n, k, dead)
+			cause := ""
+			if c.Tracer != nil {
+				if dead {
+					cause = c.Tracer.NodeDead(n.Name, k, c.missed[i])
+				} else {
+					cause = c.Tracer.NodeRecovered(n.Name, k)
+				}
+			}
+			c.emitNodeEvent(i, n, k, dead, cause)
 		}
 		c.deadPrev[i] = dead
 	}
@@ -561,6 +601,13 @@ func (c *Coordinator) Step(k int) error {
 			c.lastReport[i] = recs[i].AvgPowerW
 			c.haveReport[i] = true
 		}
+		if c.Tracer != nil {
+			c.Tracer.ObserveNode(n.Name, k, recs[i].TrueAvgPowerW,
+				recs[i].FailSafe, recs[i].Degraded, recs[i].Faults)
+		}
+	}
+	if c.Tracer != nil {
+		c.Tracer.EndStep(k)
 	}
 	return nil
 }
@@ -609,7 +656,7 @@ func (c *Coordinator) installBuffers() {
 // is preferred when wired: the event leaves Node empty so the sink
 // stamps its own label, matching the node's harness telemetry; without
 // one, the rack sink gets the event with the bare node name.
-func (c *Coordinator) emitNodeEvent(i int, n *Node, k int, dead bool) {
+func (c *Coordinator) emitNodeEvent(i int, n *Node, k int, dead bool, cause string) {
 	sink, name := c.Telemetry, n.Name
 	if i < len(c.NodeTelemetry) && c.NodeTelemetry[i] != nil {
 		sink, name = c.NodeTelemetry[i], ""
@@ -617,7 +664,7 @@ func (c *Coordinator) emitNodeEvent(i int, n *Node, k int, dead bool) {
 	if sink == nil {
 		return
 	}
-	e := telemetry.Event{TimeS: n.Server.Now(), Period: k, Node: name, Device: -1}
+	e := telemetry.Event{TimeS: n.Server.Now(), Period: k, Node: name, Device: -1, Cause: cause}
 	if dead {
 		e.Type = telemetry.EventNodeDead
 		e.Value = float64(c.missed[i])
@@ -630,7 +677,7 @@ func (c *Coordinator) emitNodeEvent(i int, n *Node, k int, dead bool) {
 // emitReservationReleased reports that node i's dead-node budget
 // reservation lapsed after the hold, preferring the per-node sink so
 // the event joins that node's loop metrics.
-func (c *Coordinator) emitReservationReleased(i int, n *Node, k, hold int) {
+func (c *Coordinator) emitReservationReleased(i int, n *Node, k, hold int, cause string) {
 	sink, name := c.Telemetry, n.Name
 	if i < len(c.NodeTelemetry) && c.NodeTelemetry[i] != nil {
 		sink, name = c.NodeTelemetry[i], ""
@@ -644,7 +691,7 @@ func (c *Coordinator) emitReservationReleased(i int, n *Node, k, hold int) {
 	}
 	sink.Emit(telemetry.Event{
 		TimeS: n.Server.Now(), Period: k, Type: telemetry.EventReservationReleased,
-		Node: name, Device: -1, Value: last * (1 + c.GuardBandFrac),
+		Node: name, Device: -1, Value: last * (1 + c.GuardBandFrac), Cause: cause,
 		//lint:ignore hotalloc fires once per dead-node hold expiry, not per period; formatting cost is acceptable for the event trail
 		Detail: fmt.Sprintf("missed=%d hold=%d", c.missed[i], hold),
 	})
@@ -696,7 +743,11 @@ func (c *Coordinator) reallocate(k int) error {
 			// problem now: the release event is the page.)
 			if !c.resReleased[i] {
 				c.resReleased[i] = true
-				c.emitReservationReleased(i, n, k, hold)
+				cause := ""
+				if c.Tracer != nil {
+					cause = c.Tracer.ReservationReleased(n.Name, k)
+				}
+				c.emitReservationReleased(i, n, k, hold, cause)
 			}
 		default:
 			// Dead: it runs open-loop at its last reported draw; reserve
@@ -709,6 +760,13 @@ func (c *Coordinator) reallocate(k int) error {
 		}
 	}
 	c.reservedW = reserved
+	// The reallocation span consumes every cause staged so far this
+	// barrier — policy ops from the control plane, deaths/recoveries
+	// from the roll call, the reservation releases just above.
+	reallocID := ""
+	if c.Tracer != nil {
+		reallocID = c.Tracer.BeginRealloc(k)
+	}
 	if c.Telemetry != nil {
 		b := append(c.detailBuf[:0], "policy="...)
 		b = append(b, c.Policy.Name()...)
@@ -720,7 +778,7 @@ func (c *Coordinator) reallocate(k int) error {
 		c.Telemetry.Emit(telemetry.Event{
 			TimeS: c.Nodes[0].Server.Now(), Period: k, Type: telemetry.EventReallocation,
 			Device: -1, Value: reserved,
-			Detail: string(b),
+			Detail: string(b), Cause: reallocID,
 		})
 	}
 	if len(live) == 0 {
@@ -748,6 +806,12 @@ func (c *Coordinator) reallocate(k int) error {
 		}
 	}
 	for j, i := range live {
+		if c.Tracer != nil {
+			if id, parent := c.Tracer.CapChange(c.Nodes[i].Name, k, c.Nodes[i].assigned, caps[j]); id != "" {
+				c.Nodes[i].harness.CauseID = id
+				c.Nodes[i].harness.CauseParent = parent
+			}
+		}
 		c.Nodes[i].assigned = caps[j]
 	}
 	return nil

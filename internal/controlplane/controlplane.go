@@ -31,6 +31,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/flight"
+	"repro/internal/provenance"
 	"repro/internal/telemetry"
 )
 
@@ -99,6 +100,13 @@ type Deps struct {
 	// including replayed joins, so restore naturally recreates (and
 	// thereby truncates) the streams it re-emits.
 	FlightWriter func(node string) (io.Writer, error)
+	// Tracer, when non-nil, receives the causal-provenance stream: one
+	// span per policy op (staged as a cause for the barrier's
+	// reallocation), plus the coordinator-side spans (the daemon
+	// installs the tracer on its coordinator). Checkpoint restore
+	// replays the op log through the same code paths, so a restored
+	// daemon re-mints the byte-identical trace into fresh sinks.
+	Tracer *provenance.Tracer
 }
 
 // ReleasedNode archives a drained-and-released member's history.
@@ -141,6 +149,7 @@ type member struct {
 	slos       []float64 // handed to the harness SLOs closure
 	draining   bool
 	drainStepW float64
+	causeID    string // drain op span driving the ramp (tracing only)
 	rec        *flight.Recorder
 }
 
@@ -175,6 +184,10 @@ type Daemon struct {
 
 	oplog    []AppliedOp
 	released []*ReleasedNode
+	// curOpID is the provenance span of the op currently inside
+	// applyOp, so tryApply's own telemetry (node-join, drain-start)
+	// carries the cause; "" outside applyOp or without a tracer.
+	curOpID string
 
 	// Allocation snapshot from the last barrier, for the budget
 	// invariant Σ(live commanded) ≤ budget − reservations: "live" and
@@ -265,6 +278,12 @@ func New(spec Spec, deps Deps) (*Daemon, error) {
 			sinks[i] = deps.Hub.NodeSink(n.Name)
 		}
 		coord.NodeTelemetry = sinks
+	}
+	if deps.Tracer != nil {
+		// Guarded assignment: a nil *provenance.Tracer stored into the
+		// interface field would be a non-nil interface and defeat the
+		// coordinator's nil checks.
+		coord.Tracer = deps.Tracer
 	}
 	d.coord = coord
 	d.publishStatus()
@@ -547,6 +566,12 @@ func (d *Daemon) stepDrains(k int) error {
 		if m == nil || !m.draining {
 			continue
 		}
+		if tr := d.deps.Tracer; tr != nil {
+			// Each barrier of the ramp is a fresh effect of the drain op:
+			// re-stage it so the reallocation that sees the lowered
+			// ceiling lists the drain among its causes.
+			tr.Stage(m.causeID)
+		}
 		minW, _ := n.CapRangeW()
 		next := n.CapCeilingW() - m.drainStepW
 		if next > minW*1.0001 {
@@ -570,11 +595,17 @@ func (d *Daemon) stepDrains(k int) error {
 		delete(d.byName, n.Name)
 		delete(d.silenced, n.Name)
 		delete(d.allocLive, n.Name)
+		releaseCause := ""
+		if tr := d.deps.Tracer; tr != nil {
+			releaseCause = tr.NodeReleased(n.Name, k, m.causeID)
+			tr.Stage(releaseCause)
+		}
 		if d.deps.Hub != nil {
 			d.deps.Hub.NodeSink(n.Name).Emit(telemetry.Event{
 				TimeS: n.Server.Now(), Period: k, Type: telemetry.EventNodeReleased,
 				Device: -1, Value: n.Assigned(),
 				Detail: fmt.Sprintf("class=%s periods=%d", m.class, len(removed.Records())),
+				Cause:  releaseCause,
 			})
 		}
 	}
@@ -585,6 +616,9 @@ func (d *Daemon) stepDrains(k int) error {
 // emitting the matching telemetry and returning the op-log entry.
 func (d *Daemon) applyOp(op Op, k int) AppliedOp {
 	res := AppliedOp{Period: k, Op: op}
+	if tr := d.deps.Tracer; tr != nil {
+		d.curOpID = tr.BeginPolicyOp(string(op.Kind), k, op.Node, op.String())
+	}
 	applied, reason, err := d.tryApply(op, k)
 	if err != nil {
 		// Environment failure (factory, flight sink): surface as a
@@ -593,6 +627,30 @@ func (d *Daemon) applyOp(op Op, k int) AppliedOp {
 	}
 	res.Applied = applied
 	res.Reason = reason
+	if tr := d.deps.Tracer; tr != nil {
+		tr.EndPolicyOp(d.curOpID, k, applied)
+		if applied {
+			// Stage the op as a cause for this barrier's reallocation —
+			// except kill/revive, whose effect reaches the allocator only
+			// through the death/recovery the roll call will observe; they
+			// parent those spans instead.
+			switch op.Kind {
+			case OpKill:
+				tr.RegisterKill(op.Node, d.curOpID)
+			case OpRevive:
+				tr.RegisterRevive(op.Node, d.curOpID)
+			default:
+				tr.Stage(d.curOpID)
+			}
+			if op.Kind == OpDrain {
+				if m := d.byName[op.Node]; m != nil {
+					m.causeID = d.curOpID // the ramp re-stages it each barrier
+				}
+			}
+		}
+	}
+	cause := d.curOpID
+	d.curOpID = ""
 	if d.deps.Hub == nil {
 		return res
 	}
@@ -601,12 +659,12 @@ func (d *Daemon) applyOp(op Op, k int) AppliedOp {
 	case !applied:
 		sink.Emit(telemetry.Event{
 			TimeS: d.nowS(), Period: k, Type: telemetry.EventPolicyRejected,
-			Device: -1, Detail: op.String() + ": " + reason,
+			Device: -1, Detail: op.String() + ": " + reason, Cause: cause,
 		})
 	case op.Kind == OpBudget || op.Kind == OpCap || op.Kind == OpSLO:
 		sink.Emit(telemetry.Event{
 			TimeS: d.nowS(), Period: k, Type: telemetry.EventPolicyApplied,
-			Device: -1, Value: float64(d.epoch), Detail: op.String(),
+			Device: -1, Value: float64(d.epoch), Detail: op.String(), Cause: cause,
 		})
 	}
 	return res
@@ -655,7 +713,7 @@ func (d *Daemon) tryApply(op Op, k int) (applied bool, reason string, err error)
 		if sink != nil {
 			sink.Emit(telemetry.Event{
 				TimeS: node.Server.Now(), Period: k, Type: telemetry.EventNodeJoined,
-				Device: -1, Value: newMin, Detail: "class=" + m.class,
+				Device: -1, Value: newMin, Detail: "class=" + m.class, Cause: d.curOpID,
 			})
 		}
 		return true, "", nil
@@ -694,6 +752,7 @@ func (d *Daemon) tryApply(op Op, k int) (applied bool, reason string, err error)
 				TimeS: node.Server.Now(), Period: k, Type: telemetry.EventDrainStart,
 				Device: -1, Value: start,
 				Detail: fmt.Sprintf("floor=%.0fW barriers=%d", minW, d.spec.DrainBarriers),
+				Cause:  d.curOpID,
 			})
 		}
 		return true, "", nil

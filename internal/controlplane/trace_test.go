@@ -1,0 +1,155 @@
+package controlplane
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/provenance"
+)
+
+// TestDaemonTracerWiring drives every op kind through a traced daemon
+// and checks the provenance spans the control plane is responsible
+// for: staged policy ops parenting reallocations, kill/revive
+// registration reaching the death/recovery spans, the drain ramp
+// re-staging its op each barrier, and the node-release span closing
+// the chain.
+func TestDaemonTracerWiring(t *testing.T) {
+	var buf bytes.Buffer
+	tracer := provenance.New(provenance.Config{JSONL: &buf})
+	deps := testDeps()
+	deps.Tracer = tracer
+	spec := Spec{
+		Seed: 5, Nodes: 2, BudgetW: 4000, RackPeriods: 2,
+		Schedule: "budget@2*3800;join@4:small;kill@6:n001;drain@8:n000;revive@12:n001",
+	}
+	d, err := New(spec, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunTo(10); err != nil {
+		t.Fatal(err)
+	}
+	// A join that cannot fit is rejected: its span closes rejected and
+	// stages nothing.
+	res := submit(t, d, Op{Kind: OpBudget, Value: 1})
+	if res.Applied {
+		t.Fatal("1 W budget accepted")
+	}
+	if err := d.RunTo(24); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Finish(d.Period() - 1); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := provenance.LoadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	var rejected, drainStaged int
+	for _, sp := range tr.Spans {
+		kinds[sp.Kind]++
+		if sp.Outcome == provenance.OutcomeRejected {
+			rejected++
+		}
+		if sp.Kind == provenance.KindRealloc {
+			for _, c := range sp.Causes {
+				if strings.HasPrefix(c, "op:drain@") {
+					drainStaged++
+				}
+			}
+		}
+	}
+	for _, want := range []string{
+		provenance.KindPolicyOp, provenance.KindRealloc, provenance.KindCapChange,
+		provenance.KindNodeDead, provenance.KindNodeRecovered, provenance.KindNodeReleased,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("no %s span minted (kinds %v)", want, kinds)
+		}
+	}
+	if rejected == 0 {
+		t.Error("rejected op minted no rejected span")
+	}
+	// The drain ramp spans multiple barriers; each must re-stage the op.
+	if drainStaged < 2 {
+		t.Errorf("drain op staged into %d reallocations, want ≥2 (one per ramp barrier)", drainStaged)
+	}
+	// The death span is parented to the kill op, the release to the
+	// drain op — the chain the explain engine walks.
+	for _, sp := range tr.Spans {
+		switch sp.Kind {
+		case provenance.KindNodeDead:
+			if p := tr.Span(sp.Parent); p == nil || p.Kind != provenance.KindPolicyOp || !strings.HasPrefix(p.ID, "op:kill@") {
+				t.Errorf("death span parent %q is not the kill op", sp.Parent)
+			}
+		case provenance.KindNodeRecovered:
+			if p := tr.Span(sp.Parent); p == nil || !strings.HasPrefix(p.ID, "op:revive@") {
+				t.Errorf("recovery span parent %q is not the revive op", sp.Parent)
+			}
+		case provenance.KindNodeReleased:
+			if p := tr.Span(sp.Parent); p == nil || !strings.HasPrefix(p.ID, "op:drain@") {
+				t.Errorf("release span parent %q is not the drain op", sp.Parent)
+			}
+		}
+	}
+}
+
+// TestDaemonTracerResumeReplay: restoring from a checkpoint re-mints
+// the full trace into fresh sinks — no trace state rides in the
+// checkpoint itself.
+func TestDaemonTracerResumeReplay(t *testing.T) {
+	run := func(restart bool) []byte {
+		var buf bytes.Buffer
+		tracer := provenance.New(provenance.Config{JSONL: &buf})
+		deps := testDeps()
+		deps.Tracer = tracer
+		spec := Spec{
+			Seed: 5, Nodes: 2, BudgetW: 4000, RackPeriods: 2,
+			Schedule:        "budget@2*3800;kill@6:n001;revive@12:n001",
+			CheckpointEvery: 4,
+		}
+		d, err := New(spec, deps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restart {
+			if err := d.RunTo(8); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := d.Checkpoint().Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, err := DecodeCheckpoint(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Reset()
+			tracer = provenance.New(provenance.Config{JSONL: &buf})
+			deps2 := testDeps()
+			deps2.Tracer = tracer
+			d, err = Resume(cp, deps2)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.RunTo(16); err != nil {
+			t.Fatal(err)
+		}
+		if err := tracer.Finish(d.Period() - 1); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := run(false)
+	got := run(true)
+	if len(ref) == 0 {
+		t.Fatal("reference run produced no trace")
+	}
+	if !bytes.Equal(ref, got) {
+		t.Fatalf("trace diverges across kill/restore (%d vs %d bytes)", len(ref), len(got))
+	}
+}

@@ -655,6 +655,13 @@ type Harness struct {
 	// under; the control-plane daemon restamps it on every applied
 	// mutation.
 	PolicyEpoch int
+	// CauseID / CauseParent stamp flight records with the provenance
+	// span that set the current cap (and that span's parent — the
+	// reallocation). The cluster coordinator rewrites them whenever a
+	// traced reallocation moves this node's cap; empty (omitted from
+	// JSON) when no tracer is attached.
+	CauseID     string
+	CauseParent string
 	// Flight, when non-nil, receives one DecisionRecord per control
 	// period (the flight recorder). Nil (the default) disables recording
 	// at the cost of one nil check per period; use SetFlight to also
@@ -799,6 +806,8 @@ func (h *Harness) flightRecord(rec PeriodRecord, dec Decision) flight.DecisionRe
 	fr := flight.DecisionRecord{
 		Period:          rec.Period,
 		TimeS:           h.Server.Now(),
+		CauseID:         h.CauseID,
+		ParentID:        h.CauseParent,
 		SetpointW:       rec.SetpointW,
 		MeasuredW:       rec.AvgPowerW,
 		TruePowerW:      rec.TrueAvgPowerW,

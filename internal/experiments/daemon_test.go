@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/controlplane"
 	"repro/internal/flight"
+	"repro/internal/provenance"
 	"repro/internal/telemetry"
 )
 
@@ -34,17 +35,21 @@ type daemonWorld struct {
 	hub     *telemetry.Hub
 	events  *bytes.Buffer
 	flights map[string]*bytes.Buffer
+	traceB  *bytes.Buffer
+	tracer  *provenance.Tracer
 	deps    controlplane.Deps
 }
 
 func newDaemonWorld(seed int64) *daemonWorld {
-	w := &daemonWorld{events: &bytes.Buffer{}, flights: map[string]*bytes.Buffer{}}
+	w := &daemonWorld{events: &bytes.Buffer{}, flights: map[string]*bytes.Buffer{}, traceB: &bytes.Buffer{}}
 	w.hub = telemetry.New(telemetry.Config{JSONL: w.events})
+	w.tracer = provenance.New(provenance.Config{JSONL: w.traceB})
 	w.deps = NewDaemonDeps(seed, w.hub, func(node string) (io.Writer, error) {
 		buf := &bytes.Buffer{}
 		w.flights[node] = buf
 		return buf, nil
 	})
+	w.deps.Tracer = w.tracer
 	return w
 }
 
@@ -87,7 +92,7 @@ func (w *daemonWorld) artifacts(t *testing.T, d *controlplane.Daemon) (csv, flig
 // through the wire format, the daemon and all its sinks are discarded,
 // and a fresh daemon resumes into fresh sinks — whose artifacts must
 // match an uninterrupted run byte for byte.
-func daemonArtifacts(t *testing.T, workers int, restart bool) (csv, events, flightLog, prom []byte) {
+func daemonArtifacts(t *testing.T, workers int, restart bool) (csv, events, flightLog, prom, traceLog []byte) {
 	t.Helper()
 	const periods = 40
 	spec := daemonGoldenSpec(workers)
@@ -136,8 +141,11 @@ func daemonArtifacts(t *testing.T, workers int, restart bool) (csv, events, flig
 	if n, detail := d.InvariantViolations(); n != 0 {
 		t.Fatalf("%d budget-invariant violations: %s", n, detail)
 	}
+	if err := w.tracer.Finish(periods - 1); err != nil {
+		t.Fatal(err)
+	}
 	csv, flightLog, prom = w.artifacts(t, d)
-	return csv, w.events.Bytes(), flightLog, prom
+	return csv, w.events.Bytes(), flightLog, prom, w.traceB.Bytes()
 }
 
 // TestDaemonKillRestoreEquivalence is the crash-recovery contract: a
@@ -152,11 +160,11 @@ func TestDaemonKillRestoreEquivalence(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		workers := workers
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			refCSV, refEvents, refFlight, refProm := daemonArtifacts(t, workers, false)
-			if len(refCSV) == 0 || len(refEvents) == 0 || len(refFlight) == 0 {
+			refCSV, refEvents, refFlight, refProm, refTrace := daemonArtifacts(t, workers, false)
+			if len(refCSV) == 0 || len(refEvents) == 0 || len(refFlight) == 0 || len(refTrace) == 0 {
 				t.Fatal("reference run produced empty artifacts")
 			}
-			csv, events, flightLog, prom := daemonArtifacts(t, workers, true)
+			csv, events, flightLog, prom, traceLog := daemonArtifacts(t, workers, true)
 			if !bytes.Equal(csv, refCSV) {
 				t.Error("per-node CSV diverges from the uninterrupted run")
 			}
@@ -168,6 +176,9 @@ func TestDaemonKillRestoreEquivalence(t *testing.T) {
 			}
 			if !bytes.Equal(prom, refProm) {
 				t.Error("Prometheus exposition diverges")
+			}
+			if !bytes.Equal(traceLog, refTrace) {
+				t.Errorf("provenance trace JSONL diverges across kill/restore (%d vs %d bytes)", len(traceLog), len(refTrace))
 			}
 			// The control-plane lifecycle actually ran: churn events and
 			// the policy epoch are visible in telemetry.
@@ -183,11 +194,15 @@ func TestDaemonKillRestoreEquivalence(t *testing.T) {
 			if !bytes.Contains(prom, []byte("capgpu_policy_epoch")) {
 				t.Error("Prometheus exposition missing capgpu_policy_epoch")
 			}
-			// Workers=1 and Workers=8 share one timeline too.
+			// Workers=1 and Workers=8 share one timeline too — the
+			// provenance trace included.
 			if workers == 8 {
-				w1CSV, w1Events, _, _ := daemonArtifacts(t, 1, false)
+				w1CSV, w1Events, _, _, w1Trace := daemonArtifacts(t, 1, false)
 				if !bytes.Equal(w1CSV, refCSV) || !bytes.Equal(w1Events, refEvents) {
 					t.Error("worker counts disagree on the daemon timeline")
+				}
+				if !bytes.Equal(w1Trace, refTrace) {
+					t.Error("worker counts disagree on the provenance trace")
 				}
 			}
 		})
@@ -231,6 +246,9 @@ func TestDaemonSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := w.hub.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.tracer.Finish(periods - 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.FlightErr(); err != nil {
@@ -280,6 +298,7 @@ func TestDaemonSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 	checked := 0
+	flightRecs := map[string][]flight.DecisionRecord{}
 	for name, buf := range w.flights {
 		recs, err := flight.ReadRecords(bytes.NewReader(buf.Bytes()))
 		if err != nil {
@@ -288,6 +307,7 @@ func TestDaemonSoak(t *testing.T) {
 		if len(recs) == 0 {
 			continue
 		}
+		flightRecs[name] = recs
 		var nodeEvents []telemetry.Event
 		for _, ev := range events {
 			if ev.Node == name || ev.Node == "rack" {
@@ -315,5 +335,31 @@ func TestDaemonSoak(t *testing.T) {
 	}
 	if checked < nodes {
 		t.Fatalf("doctor checked only %d members", checked)
+	}
+
+	// Provenance gate: every cap change on every member traces back to
+	// a cap-change span whose period, node, and parent agree with the
+	// flight record — zero unattributed changes across the whole soak.
+	ptr, err := provenance.LoadTrace(bytes.NewReader(w.traceB.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capChanges := 0
+	for name, recs := range flightRecs {
+		for _, p := range ptr.VerifyAttribution(name, recs, provenance.DefaultEpsilonW) {
+			t.Errorf("unattributed: %s", p)
+		}
+		for i := 1; i < len(recs); i++ {
+			if d := recs[i].SetpointW - recs[i-1].SetpointW; d >= provenance.DefaultEpsilonW || -d >= provenance.DefaultEpsilonW {
+				capChanges++
+			}
+		}
+	}
+	if capChanges == 0 {
+		t.Fatal("soak produced no cap changes to attribute")
+	}
+	rows := ptr.Attribution(flightRecs, 4)
+	if len(rows) < 3 {
+		t.Fatalf("attribution table has only %d root-cause classes: %+v", len(rows), rows)
 	}
 }

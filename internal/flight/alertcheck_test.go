@@ -78,3 +78,83 @@ func TestCheckAlertsCorrespondence(t *testing.T) {
 		t.Errorf("margin overlap rejected: %v", margin.Err())
 	}
 }
+
+// TestCheckAlertsMarginBoundary pins the widened-overlap fencepost:
+// a gap of exactly MarginPeriods between alert and incident still
+// matches, one period more does not — in both directions.
+func TestCheckAlertsMarginBoundary(t *testing.T) {
+	const margin = 8
+	inc := Incident{Kind: "cap-violation", StartPeriod: 10, EndPeriod: 20}
+
+	at := CheckAlerts(AlertCheckInput{
+		Node:          "n0",
+		Alerts:        []AlertWindow{{Node: "n0", Rule: telemetry.AlertCapSustain, Start: inc.EndPeriod + margin, End: inc.EndPeriod + margin + 2}},
+		Incidents:     []Incident{inc},
+		MarginPeriods: margin,
+	})
+	if !at.Ok() || at.AlertsMatched != 1 || at.IncidentsMatched != 1 {
+		t.Errorf("gap == margin rejected: %v", at.Err())
+	}
+
+	past := CheckAlerts(AlertCheckInput{
+		Node:          "n0",
+		Alerts:        []AlertWindow{{Node: "n0", Rule: telemetry.AlertCapSustain, Start: inc.EndPeriod + margin + 1, End: inc.EndPeriod + margin + 3}},
+		Incidents:     []Incident{inc},
+		MarginPeriods: margin,
+	})
+	if past.Ok() {
+		t.Error("gap == margin+1 matched in both directions")
+	}
+	if len(past.OrphanAlerts) != 1 || len(past.MissedIncidents) != 1 {
+		t.Errorf("gap == margin+1: orphans %+v, missed %+v", past.OrphanAlerts, past.MissedIncidents)
+	}
+
+	// The other side of the incident: an alert resolving exactly margin
+	// periods before the incident starts still matches.
+	before := CheckAlerts(AlertCheckInput{
+		Node:          "n0",
+		Alerts:        []AlertWindow{{Node: "n0", Rule: telemetry.AlertCapSustain, Start: 0, End: inc.StartPeriod - margin}},
+		Incidents:     []Incident{inc},
+		MarginPeriods: margin,
+	})
+	if !before.Ok() {
+		t.Errorf("leading gap == margin rejected: %v", before.Err())
+	}
+}
+
+// TestCheckAlertsZeroLengthRun: a run with no alerts and no incidents
+// is vacuously clean, not a mismatch.
+func TestCheckAlertsZeroLengthRun(t *testing.T) {
+	res := CheckAlerts(AlertCheckInput{Node: "n0"})
+	if !res.Ok() || res.Err() != nil {
+		t.Fatalf("empty run flagged: %v", res.Err())
+	}
+	if res.AlertsMatched != 0 || res.IncidentsMatched != 0 {
+		t.Fatalf("empty run matched something: %+v", res)
+	}
+	if ws := AlertWindows(nil); len(ws) != 0 {
+		t.Fatalf("AlertWindows(nil) = %+v", ws)
+	}
+}
+
+// TestCheckAlertsFinalPeriodFiring: an alert that fires in the run's
+// last period never sees a resolved event; its window collapses to the
+// firing period and must still match an incident that runs to the end.
+func TestCheckAlertsFinalPeriodFiring(t *testing.T) {
+	const last = 99
+	events := []telemetry.Event{
+		{Type: telemetry.EventAlertFiring, Node: "n0", Detail: telemetry.AlertSLOBurn, Period: last},
+	}
+	ws := AlertWindows(events)
+	if len(ws) != 1 || ws[0].Start != last || ws[0].End != last {
+		t.Fatalf("final-period window = %+v", ws)
+	}
+	res := CheckAlerts(AlertCheckInput{
+		Node:      "n0",
+		Alerts:    ws,
+		Incidents: []Incident{{Kind: "slo-pressure", StartPeriod: 92, EndPeriod: last}},
+	})
+	if !res.Ok() || res.AlertsMatched != 1 {
+		t.Fatalf("final-period firing not matched: %v", res.Err())
+	}
+}

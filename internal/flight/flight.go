@@ -112,6 +112,12 @@ type DecisionRecord struct {
 	// bumps it, so a record is attributable to the exact policy that
 	// produced its decision.
 	PolicyEpoch int `json:"policy_epoch,omitempty"`
+	// CauseID / ParentID tie the record into the provenance span tree:
+	// CauseID is the cap-change span that set the period's setpoint,
+	// ParentID that span's parent (the reallocation). Empty when no
+	// tracer is attached or while the node still runs its initial cap.
+	CauseID  string `json:"cause_id,omitempty"`
+	ParentID string `json:"parent_id,omitempty"`
 
 	SetpointW float64 `json:"setpoint_w"`
 	// MeasuredW is what the controller was fed — a held/guarded value

@@ -46,6 +46,7 @@ func DefaultDeterminismScope() []string {
 		"internal/experiments",
 		"internal/telemetry",
 		"internal/flight",
+		"internal/provenance",
 	}
 }
 

@@ -1,0 +1,57 @@
+// Package runtimeobs samples the Go runtime's self-observability
+// gauges — live goroutines, heap bytes in use, cumulative GC pause,
+// process uptime — into a telemetry registry as capgpu_runtime_*
+// series. It is wired at the cmd layer only: runtime state is
+// inherently nondeterministic, so nothing inside the seeded-replay
+// packages (which the determinism analyzer scopes by import path) may
+// touch it. Sampling happens at scrape time via Wrap, so an idle
+// process costs nothing between scrapes.
+package runtimeobs
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Sampler refreshes the capgpu_runtime_* gauges on demand.
+type Sampler struct {
+	goroutines telemetry.Gauge
+	heapBytes  telemetry.Gauge
+	gcPauseS   telemetry.Gauge
+	uptimeS    telemetry.Gauge
+	start      time.Time
+}
+
+// Attach registers the runtime gauges on the registry and returns the
+// sampler that refreshes them.
+func Attach(reg *telemetry.Registry) *Sampler {
+	return &Sampler{
+		goroutines: reg.Gauge("capgpu_runtime_goroutines", "Goroutines currently live.", nil),
+		heapBytes:  reg.Gauge("capgpu_runtime_heap_bytes", "Heap bytes in use (runtime.MemStats.HeapAlloc).", nil),
+		gcPauseS:   reg.Gauge("capgpu_runtime_gc_pause_seconds_total", "Cumulative GC stop-the-world pause seconds.", nil),
+		uptimeS:    reg.Gauge("capgpu_runtime_uptime_seconds", "Process uptime in seconds.", nil),
+		start:      time.Now(),
+	}
+}
+
+// Sample reads the runtime and updates the gauges.
+func (s *Sampler) Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.goroutines.Set(float64(runtime.NumGoroutine()))
+	s.heapBytes.Set(float64(ms.HeapAlloc))
+	s.gcPauseS.Set(float64(ms.PauseTotalNs) / 1e9)
+	s.uptimeS.Set(time.Since(s.start).Seconds())
+}
+
+// Wrap refreshes the gauges before every request to next, so a
+// /metrics scrape always exports current runtime state.
+func (s *Sampler) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.Sample()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -65,6 +65,12 @@ type AlertConfig struct {
 	// BudgetSustain is the consecutive exhausted periods before
 	// budget-headroom fires (default 5).
 	BudgetSustain int
+	// Hook, when set, observes every alert lifecycle event the engine
+	// emits, right after the event enters the hub — the provenance
+	// tracer's attachment point. It runs under the emitting shard's
+	// lock (or the rack accumulator's), so it must be fast and must not
+	// call back into the hub.
+	Hook func(e Event)
 }
 
 // DefaultAlertConfig returns the documented defaults.
@@ -149,6 +155,17 @@ func newAlertEngine(cfg AlertConfig, hubSlack float64) *alertEngine {
 	return e
 }
 
+// emit forwards one alert lifecycle event to the hub and then to the
+// configured hook. The hook is a function value, so the hot-path
+// analyzer's reachability walk stops here; Event is a concrete struct
+// and the call boxes nothing.
+func (e *alertEngine) emit(h *Hub, ev Event) {
+	h.Emit(ev)
+	if e.cfg.Hook != nil {
+		e.cfg.Hook(ev)
+	}
+}
+
 // SetRackBudget installs (or updates) the breaker budget the
 // budget-headroom rule divides against. A no-op when alerting is
 // disabled.
@@ -202,11 +219,11 @@ func (e *alertEngine) onPeriod(h *Hub, st *nodeState, s PeriodSample) {
 	switch {
 	case !a.sloFiring && warm && burn >= e.cfg.SLOBurnFire:
 		a.sloFiring = true
-		h.Emit(Event{TimeS: s.TimeS, Period: s.Period, Type: EventAlertFiring,
+		e.emit(h, Event{TimeS: s.TimeS, Period: s.Period, Type: EventAlertFiring,
 			Node: s.Node, Device: -1, Detail: AlertSLOBurn, Value: burn})
 	case a.sloFiring && burn <= e.cfg.SLOBurnClear:
 		a.sloFiring = false
-		h.Emit(Event{TimeS: s.TimeS, Period: s.Period, Type: EventAlertResolved,
+		e.emit(h, Event{TimeS: s.TimeS, Period: s.Period, Type: EventAlertResolved,
 			Node: s.Node, Device: -1, Detail: AlertSLOBurn, Value: burn})
 	}
 
@@ -220,11 +237,11 @@ func (e *alertEngine) onPeriod(h *Hub, st *nodeState, s PeriodSample) {
 	switch {
 	case !a.capFiring && a.capRun >= e.cfg.CapSustain:
 		a.capFiring = true
-		h.Emit(Event{TimeS: s.TimeS, Period: s.Period, Type: EventAlertFiring,
+		e.emit(h, Event{TimeS: s.TimeS, Period: s.Period, Type: EventAlertFiring,
 			Node: s.Node, Device: -1, Detail: AlertCapSustain, Value: float64(a.capRun)})
 	case a.capFiring && !violating:
 		a.capFiring = false
-		h.Emit(Event{TimeS: s.TimeS, Period: s.Period, Type: EventAlertResolved,
+		e.emit(h, Event{TimeS: s.TimeS, Period: s.Period, Type: EventAlertResolved,
 			Node: s.Node, Device: -1, Detail: AlertCapSustain})
 	}
 
@@ -232,11 +249,11 @@ func (e *alertEngine) onPeriod(h *Hub, st *nodeState, s PeriodSample) {
 	switch {
 	case !a.staleFiring && s.MeterStale >= e.cfg.StaleDwell:
 		a.staleFiring = true
-		h.Emit(Event{TimeS: s.TimeS, Period: s.Period, Type: EventAlertFiring,
+		e.emit(h, Event{TimeS: s.TimeS, Period: s.Period, Type: EventAlertFiring,
 			Node: s.Node, Device: -1, Detail: AlertMeterStale, Value: float64(s.MeterStale)})
 	case a.staleFiring && s.MeterStale == 0:
 		a.staleFiring = false
-		h.Emit(Event{TimeS: s.TimeS, Period: s.Period, Type: EventAlertResolved,
+		e.emit(h, Event{TimeS: s.TimeS, Period: s.Period, Type: EventAlertResolved,
 			Node: s.Node, Device: -1, Detail: AlertMeterStale})
 	}
 
@@ -269,11 +286,11 @@ func (e *alertEngine) finalizeRackLocked(h *Hub) {
 	switch {
 	case !r.firing && r.sustain >= e.cfg.BudgetSustain:
 		r.firing = true
-		h.Emit(Event{TimeS: r.curTime, Period: r.curPeriod, Type: EventAlertFiring,
+		e.emit(h, Event{TimeS: r.curTime, Period: r.curPeriod, Type: EventAlertFiring,
 			Node: AlertRackNode, Device: -1, Detail: AlertBudgetHeadroom, Value: r.curSumW})
 	case r.firing && !exhausted:
 		r.firing = false
-		h.Emit(Event{TimeS: r.curTime, Period: r.curPeriod, Type: EventAlertResolved,
+		e.emit(h, Event{TimeS: r.curTime, Period: r.curPeriod, Type: EventAlertResolved,
 			Node: AlertRackNode, Device: -1, Detail: AlertBudgetHeadroom, Value: r.curSumW})
 	}
 }
@@ -288,17 +305,17 @@ func (e *alertEngine) finishNode(h *Hub, st *nodeState, node string) {
 	last := st.lastSeen
 	if a.sloFiring {
 		a.sloFiring = false
-		h.Emit(Event{TimeS: last.TimeS, Period: last.Period, Type: EventAlertResolved,
+		e.emit(h, Event{TimeS: last.TimeS, Period: last.Period, Type: EventAlertResolved,
 			Node: node, Device: -1, Detail: AlertSLOBurn})
 	}
 	if a.capFiring {
 		a.capFiring = false
-		h.Emit(Event{TimeS: last.TimeS, Period: last.Period, Type: EventAlertResolved,
+		e.emit(h, Event{TimeS: last.TimeS, Period: last.Period, Type: EventAlertResolved,
 			Node: node, Device: -1, Detail: AlertCapSustain})
 	}
 	if a.staleFiring {
 		a.staleFiring = false
-		h.Emit(Event{TimeS: last.TimeS, Period: last.Period, Type: EventAlertResolved,
+		e.emit(h, Event{TimeS: last.TimeS, Period: last.Period, Type: EventAlertResolved,
 			Node: node, Device: -1, Detail: AlertMeterStale})
 	}
 }
@@ -313,7 +330,7 @@ func (e *alertEngine) finishRack(h *Hub) {
 	}
 	if e.rack.firing {
 		e.rack.firing = false
-		h.Emit(Event{TimeS: e.rack.curTime, Period: e.rack.curPeriod, Type: EventAlertResolved,
+		e.emit(h, Event{TimeS: e.rack.curTime, Period: e.rack.curPeriod, Type: EventAlertResolved,
 			Node: AlertRackNode, Device: -1, Detail: AlertBudgetHeadroom})
 	}
 }

@@ -20,14 +20,23 @@ type EventsResponse struct {
 	Events  []Event `json:"events"`
 }
 
+// TraceSource serves provenance span trees for the /trace endpoint.
+// The provenance tracer implements it; the interface lives here so the
+// telemetry package does not import provenance.
+type TraceSource interface {
+	// SpanTreesJSON renders the span forest whose periods overlap
+	// [from, to] (to < 0 = no upper bound) as JSON.
+	SpanTreesJSON(from, to int) ([]byte, error)
+}
+
 // Handler serves the hub over HTTP:
 //
 //	/metrics — Prometheus text exposition of the registry
 //	/events  — JSON tail of the event ring (?n= limits, default 256;
-//	           ?node= and ?kind= filter by node label and event type
-//	           before the tail is taken, mirroring capgpu-doctor's
-//	           -node filtering), wrapped in EventsResponse so ring
-//	           truncation is visible
+//	           ?node= and ?kind= filter by node label and event type,
+//	           ?from= and ?to= by period range, before the tail is
+//	           taken, mirroring capgpu-doctor's -node filtering),
+//	           wrapped in EventsResponse so ring truncation is visible
 //	/query   — one time-series window from the embedded store
 //	           (?series=...&node=...&res=1|10|100&from=...&to=...),
 //	           as a QueryResult (JSON; &format=csv for CSV rows)
@@ -36,7 +45,33 @@ type EventsResponse struct {
 // The cmd layer mounts this on the -metrics-addr listener; nothing in
 // the seeded packages touches it.
 func Handler(h *Hub) http.Handler {
+	return HandlerWithTrace(h, nil)
+}
+
+// HandlerWithTrace is Handler plus a /trace endpoint serving span
+// trees from ts (?from=/?to= bound the period range). With ts nil the
+// endpoint answers 404, matching a run without a tracer.
+func HandlerWithTrace(h *Hub, ts TraceSource) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if ts == nil {
+			http.Error(w, "no tracer attached", http.StatusNotFound)
+			return
+		}
+		from, to, err := periodRange(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		b, err := ts.SpanTreesJSON(from, to)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = w.Write(b)
+		_, _ = w.Write([]byte("\n"))
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = h.Registry().WritePrometheus(w)
@@ -50,14 +85,22 @@ func Handler(h *Hub) http.Handler {
 		}
 		nodeFilter := r.URL.Query().Get("node")
 		kindFilter := r.URL.Query().Get("kind")
+		from, to, err := periodRange(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 		events, total := h.EventsSnapshot()
-		if nodeFilter != "" || kindFilter != "" {
+		if nodeFilter != "" || kindFilter != "" || from > 0 || to >= 0 {
 			kept := events[:0:0]
 			for _, e := range events {
 				if nodeFilter != "" && e.Node != nodeFilter {
 					continue
 				}
 				if kindFilter != "" && string(e.Type) != kindFilter {
+					continue
+				}
+				if e.Period < from || (to >= 0 && e.Period > to) {
 					continue
 				}
 				kept = append(kept, e)
@@ -125,6 +168,23 @@ func Handler(h *Hub) http.Handler {
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	return mux
+}
+
+// periodRange parses the optional ?from= / ?to= period bounds shared
+// by /events and /trace: from defaults to 0, to to -1 (unbounded).
+func periodRange(r *http.Request) (from, to int, err error) {
+	from, to = 0, -1
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		if from, err = strconv.Atoi(raw); err != nil {
+			return 0, 0, fmt.Errorf("bad from: %w", err)
+		}
+	}
+	if raw := r.URL.Query().Get("to"); raw != "" {
+		if to, err = strconv.Atoi(raw); err != nil {
+			return 0, 0, fmt.Errorf("bad to: %w", err)
+		}
+	}
+	return from, to, nil
 }
 
 // writeQueryCSV renders one query result as CSV rows (the same column

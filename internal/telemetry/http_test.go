@@ -278,3 +278,113 @@ func TestServeHandlerBindsAndServes(t *testing.T) {
 		t.Fatalf("healthz over ServeHandler: %d %q", resp.StatusCode, body)
 	}
 }
+
+func TestHandlerEventsPeriodRange(t *testing.T) {
+	hub := New(Config{})
+	for k := 0; k < 10; k++ {
+		hub.Emit(Event{Type: EventPeriodStart, Period: k, Node: "a"})
+	}
+	srv := httptest.NewServer(Handler(hub))
+	defer srv.Close()
+
+	var resp EventsResponse
+	_, body := get(t, srv, "/events?from=3&to=5")
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 3 || resp.Events[0].Period != 3 || resp.Events[2].Period != 5 {
+		t.Fatalf("?from=3&to=5 returned %d events (first %+v)", len(resp.Events), resp.Events[0])
+	}
+
+	// Half-open ends: from alone and to alone.
+	_, body = get(t, srv, "/events?from=8")
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 2 {
+		t.Fatalf("?from=8 returned %d events, want 2", len(resp.Events))
+	}
+	_, body = get(t, srv, "/events?to=1")
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 2 {
+		t.Fatalf("?to=1 returned %d events, want 2", len(resp.Events))
+	}
+
+	// Range composes with the node filter.
+	hub.Emit(Event{Type: EventPeriodStart, Period: 4, Node: "b"})
+	_, body = get(t, srv, "/events?node=b&from=0&to=9")
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 1 || resp.Events[0].Node != "b" {
+		t.Fatalf("?node=b&from=0&to=9: %+v", resp.Events)
+	}
+
+	if code, _ := get(t, srv, "/events?from=x"); code != http.StatusBadRequest {
+		t.Fatalf("?from=x status = %d, want 400", code)
+	}
+	if code, _ := get(t, srv, "/events?to=x"); code != http.StatusBadRequest {
+		t.Fatalf("?to=x status = %d, want 400", code)
+	}
+}
+
+// fakeTraceSource serves canned span trees and records the range the
+// handler parsed out of the query string.
+type fakeTraceSource struct {
+	from, to int
+	err      error
+}
+
+func (f *fakeTraceSource) SpanTreesJSON(from, to int) ([]byte, error) {
+	f.from, f.to = from, to
+	if f.err != nil {
+		return nil, f.err
+	}
+	return []byte(`[{"id":"r1","kind":"reallocation"}]`), nil
+}
+
+func TestHandlerTrace(t *testing.T) {
+	hub := New(Config{})
+
+	// Without a tracer the endpoint 404s rather than serving nothing.
+	srv := httptest.NewServer(HandlerWithTrace(hub, nil))
+	code, _ := get(t, srv, "/trace")
+	srv.Close()
+	if code != http.StatusNotFound {
+		t.Fatalf("/trace without tracer = %d, want 404", code)
+	}
+
+	ts := &fakeTraceSource{}
+	srv = httptest.NewServer(HandlerWithTrace(hub, ts))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/trace?from=3&to=9")
+	if code != 200 {
+		t.Fatalf("/trace status = %d", code)
+	}
+	if ts.from != 3 || ts.to != 9 {
+		t.Fatalf("range passed as [%d,%d], want [3,9]", ts.from, ts.to)
+	}
+	var trees []map[string]any
+	if err := json.Unmarshal([]byte(body), &trees); err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 1 || trees[0]["id"] != "r1" {
+		t.Fatalf("/trace body %q", body)
+	}
+
+	// Defaults: whole run.
+	if _, _ = get(t, srv, "/trace"); ts.from != 0 || ts.to != -1 {
+		t.Fatalf("default range [%d,%d], want [0,-1]", ts.from, ts.to)
+	}
+
+	if code, _ := get(t, srv, "/trace?from=x"); code != http.StatusBadRequest {
+		t.Fatalf("/trace?from=x status = %d, want 400", code)
+	}
+	ts.err = errors.New("render broke")
+	if code, _ := get(t, srv, "/trace"); code != http.StatusInternalServerError {
+		t.Fatalf("/trace render error status = %d, want 500", code)
+	}
+}

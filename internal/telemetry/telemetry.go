@@ -78,6 +78,11 @@ type Event struct {
 	Device int       `json:"device"`
 	Value  float64   `json:"value,omitempty"`
 	Detail string    `json:"detail,omitempty"`
+	// Cause is the provenance span ID behind the event (the policy-op
+	// span for policy-applied, the reallocation span for reallocation,
+	// the death span for node-dead, …). Empty when no tracer is
+	// attached, so untraced streams are byte-identical to before.
+	Cause string `json:"cause,omitempty"`
 }
 
 // PeriodSample is the once-per-control-period snapshot an instrumented
