@@ -8,7 +8,9 @@ GO ?= go
 # internal/lint holds the contract analyzers and their fixture suites;
 # internal/telemetry holds the sharded hub, time-series store, energy
 # ledger, and alert-engine suites; internal/provenance holds the
-# causal tracer and the capgpu-trace explain/attribution engine.
+# causal tracer and the capgpu-trace explain/attribution engine;
+# internal/workload holds the CNN pipelines and the LLM serving family
+# (continuous batching, phase power law, spec parser + fuzz corpus).
 # A drop below a floor means proof rotted out. Raise a floor when
 # coverage rises; never lower it.
 CLUSTER_COVER_FLOOR = 95.0
@@ -16,6 +18,7 @@ CONTROLPLANE_COVER_FLOOR = 80.0
 LINT_COVER_FLOOR = 90.0
 TELEMETRY_COVER_FLOOR = 90.0
 PROVENANCE_COVER_FLOOR = 80.0
+WORKLOAD_COVER_FLOOR = 85.0
 
 all: check
 
@@ -133,6 +136,13 @@ cover:
 		echo "cover: internal/provenance coverage $$pct% is below the $(PROVENANCE_COVER_FLOOR)% floor"; exit 1; \
 	fi; \
 	echo "cover: internal/provenance $$pct% >= $(PROVENANCE_COVER_FLOOR)% floor"
+	@$(GO) test -coverprofile=/tmp/capgpu-workload.cov ./internal/workload/ | tee /tmp/capgpu-workload-cover.txt
+	@pct="$$(grep -o 'coverage: [0-9.]*' /tmp/capgpu-workload-cover.txt | grep -o '[0-9.]*')"; \
+	ok="$$(awk -v p="$$pct" -v f="$(WORKLOAD_COVER_FLOOR)" 'BEGIN { print (p >= f) ? 1 : 0 }')"; \
+	if [ "$$ok" != "1" ]; then \
+		echo "cover: internal/workload coverage $$pct% is below the $(WORKLOAD_COVER_FLOOR)% floor"; exit 1; \
+	fi; \
+	echo "cover: internal/workload $$pct% >= $(WORKLOAD_COVER_FLOOR)% floor"
 
 # Deterministic control-plane soak: one simulated day (21600 periods)
 # of diurnal + bursty load over a seeded churn schedule (joins, drains,

@@ -108,6 +108,7 @@ func main() {
 	flightDir := flag.String("flight-dir", "", "with -serve/-soak, write per-node flight JSONL (and soak doctor reports) here")
 	tracePath := flag.String("trace", "", "with -serve/-soak, write the decision-provenance trace JSONL here (for capgpu-trace)")
 	pace := flag.Duration("pace", 0, "with -serve, wall-clock delay per control period (0 = free-running; 4s = real time)")
+	workloadKind := flag.String("workload", "", "with -nodes, fleet workload family: cnn (default) or llm (continuous-batching LLM serving)")
 	flag.Parse()
 
 	if *pprofOn && *metricsAddr == "" {
@@ -204,7 +205,7 @@ func main() {
 				fleetBudget = *budget
 			}
 		})
-		if err := runFleet(*seed, *periods, *nodes, *workers, fleetBudget, *policy, sched, hub); err != nil {
+		if err := runFleet(*seed, *periods, *nodes, *workers, fleetBudget, *policy, *workloadKind, sched, hub); err != nil {
 			fmt.Fprintln(os.Stderr, "capgpu-rack:", err)
 			os.Exit(1)
 		}
@@ -341,7 +342,7 @@ func finishTelemetry(hub *telemetry.Hub, eventsFile *os.File, eventsPath, snapsh
 
 // runFleet is -nodes mode: one policy over a synthetic N-node fleet,
 // stepped by the requested worker count.
-func runFleet(seed int64, periods, nodes, workers int, budgetW float64, policy string, sched *faults.Schedule, hub *telemetry.Hub) error {
+func runFleet(seed int64, periods, nodes, workers int, budgetW float64, policy, workloadKind string, sched *faults.Schedule, hub *telemetry.Hub) error {
 	var pol cluster.Policy
 	switch policy {
 	case "uniform":
@@ -356,7 +357,7 @@ func runFleet(seed int64, periods, nodes, workers int, budgetW float64, policy s
 		return fmt.Errorf("unknown policy %q (uniform, demand, priority)", policy)
 	}
 	row, err := experiments.RunScaleRack(seed, periods, nodes, pol,
-		budgetW, experiments.ClusterOptions{Telemetry: hub, Faults: sched, Workers: workers})
+		budgetW, experiments.ClusterOptions{Telemetry: hub, Faults: sched, Workers: workers, Workload: workloadKind})
 	if err != nil {
 		return err
 	}

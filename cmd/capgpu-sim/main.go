@@ -93,6 +93,8 @@ func main() {
 	energyOn := flag.Bool("energy", false, "print the energy-attribution ledger table after the run")
 	seriesPath := flag.String("series-csv", "", "export the downsampled time-series store as CSV to this path")
 	seriesRes := flag.Int("series-res", 10, "store resolution for -series-csv: 1, 10, or 100 periods per bucket")
+	workloadKind := flag.String("workload", "", "workload family: cnn (default, the §6.1 rig) or llm (continuous-batching LLM serving with the R2 prefill/decode regime switch)")
+	llmSpec := flag.String("llm-spec", "", "with -workload llm, serving-mix DSL \"model@rate:prompt+output[*experts];...\" (empty = "+experiments.DefaultLLMSpecDSL+")")
 	flag.Parse()
 
 	if *pprofOn && *metricsAddr == "" {
@@ -218,7 +220,7 @@ func main() {
 	res, err := experiments.RunSessionWith(*controller, *seed, *periods,
 		experiments.FixedSetpoint(*setpoint), nil, experiments.SessionOptions{
 			Faults: sched, NoDegrade: *noDegrade, Telemetry: sink, Flight: recorder,
-			Stop: stop,
+			Stop: stop, Workload: *workloadKind, LLMSpec: *llmSpec,
 		})
 	signal.Stop(sigCh)
 	if err != nil {

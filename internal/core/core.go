@@ -43,6 +43,11 @@ type Observation struct {
 	CPUUtil           float64
 	GPUUtil           []float64
 
+	// GPUPhasePrefill is the period-average prefill share of busy GPU
+	// time per GPU (LLM workloads only; nil for CNN runs). Phase-aware
+	// controllers blend their power-law exponent from it.
+	GPUPhasePrefill []float64
+
 	// DevicePowerW carries per-device readings (RAPL/NVML style) for
 	// controllers that split the budget, like the CPU+GPU baseline.
 	CPUPowerW float64
@@ -118,6 +123,36 @@ type Options struct {
 	// Forgetting is the RLS forgetting factor when Adaptive is set
 	// (default 0.98).
 	Forgetting float64
+	// PhaseAware enables LLM phase-aware capping: the MPC's GPU gains
+	// are rescheduled every period from the observed prefill/decode
+	// phase mix (decode barely responds to clocks, so its effective
+	// gain is tiny), and a prefill-regime headroom guard pulls GPU
+	// commands back toward the SLO floors whenever the prefill-regime
+	// power model predicts the commanded point would violate the cap if
+	// a prefill burst arrived. Without phase observations (CNN runs)
+	// the controller is byte-identical to the phase-blind one.
+	PhaseAware bool
+	// PhaseLaw overrides the phase power-law exponents used when
+	// PhaseAware is set; nil uses DefaultPhaseLaw().
+	PhaseLaw *PhasePowerLaw
+}
+
+// PhasePowerLaw captures how dynamic GPU power scales with core clock
+// per serving phase: P_dyn ~ (f/f_max)^alpha with alpha near-linear for
+// compute-bound prefill and near-zero for memory-bound decode. IdentExp
+// is the exponent regime the offline identification sweep effectively
+// averaged over; the gain scheduler rescales the identified GPU gains
+// by alpha(mix)/IdentExp.
+type PhasePowerLaw struct {
+	PrefillExp float64
+	DecodeExp  float64
+	IdentExp   float64
+}
+
+// DefaultPhaseLaw returns exponents matching the workload.LLMZoo
+// profiles, with the identification regime centered between phases.
+func DefaultPhaseLaw() PhasePowerLaw {
+	return PhasePowerLaw{PrefillExp: 1.15, DecodeExp: 0.10, IdentExp: 0.625}
 }
 
 // CapGPU is the paper's controller: MIMO MPC over [CPU, GPU...] with
@@ -145,6 +180,15 @@ type CapGPU struct {
 	fmaxC   float64
 	fminG   []float64
 	fmaxG   []float64
+
+	// Phase-aware capping state (nil/empty unless Options.PhaseAware):
+	// guardGains/guardOffset form the prefill-regime absolute power
+	// model anchored to agree with the identified model at each GPU
+	// range's midpoint.
+	phase       *PhasePowerLaw
+	guardGains  []float64
+	guardOffset float64
+	scrSched    []float64 // scratch for the scheduled gain vector
 
 	sink telemetry.Sink // nil = telemetry disabled
 	node string
@@ -276,6 +320,30 @@ func NewCapGPU(model *sysid.Model, server *sim.Server, latencyModels []*sysid.La
 		fminG:      fmin[1:],
 		fmaxG:      fmax[1:],
 	}
+	if opts.PhaseAware {
+		law := DefaultPhaseLaw()
+		if opts.PhaseLaw != nil {
+			law = *opts.PhaseLaw
+		}
+		if law.PrefillExp <= 0 || law.DecodeExp <= 0 || law.IdentExp <= 0 {
+			return nil, fmt.Errorf("core: phase power-law exponents must be positive, got %+v", law)
+		}
+		// Prefill-regime model: steeper GPU gains, offset re-anchored so
+		// the two models agree at each GPU range's midpoint (where the
+		// identification sweep concentrated its excitation).
+		guard := make([]float64, 1+ng)
+		copy(guard, model.Gains)
+		off := model.Offset
+		for i := 0; i < ng; i++ {
+			gi := model.Gains[1+i] * law.PrefillExp / law.IdentExp
+			mid := 0.5 * (fmin[1+i] + fmax[1+i])
+			off += (model.Gains[1+i] - gi) * mid
+			guard[1+i] = gi
+		}
+		c.phase = &law
+		c.guardGains = guard
+		c.guardOffset = off
+	}
 	return c, nil
 }
 
@@ -401,6 +469,33 @@ func (c *CapGPU) Decide(obs Observation) Decision {
 		}
 	}
 
+	// Phase-aware gain scheduling: blend each GPU's effective power
+	// exponent from its observed prefill share and rescale the current
+	// model's GPU gains by alpha(mix)/IdentExp. A decode-heavy GPU gets
+	// a near-zero gain — the MPC stops chasing power with a knob the
+	// plant no longer answers to — while a prefill-heavy GPU recovers
+	// the full identified response. The schedule is deterministic
+	// physics, not an estimate, so it bypasses the RLS trust region and
+	// uses its own wider clamp against degenerate gains.
+	phaseMix := -1.0
+	if c.phase != nil && len(obs.GPUPhasePrefill) == ng {
+		base := c.CurrentModel()
+		c.scrSched = growFloats(c.scrSched, 1+ng)
+		sched := c.scrSched
+		copy(sched, base.Gains[:1+ng])
+		acc := 0.0
+		for i := 0; i < ng; i++ {
+			mix := clamp01(obs.GPUPhasePrefill[i])
+			acc += mix
+			exp := mix*c.phase.PrefillExp + (1-mix)*c.phase.DecodeExp
+			g := base.Gains[1+i] * exp / c.phase.IdentExp
+			lo, hi := base.Gains[1+i]/8, base.Gains[1+i]*8
+			sched[1+i] = math.Min(math.Max(g, lo), hi)
+		}
+		phaseMix = acc / float64(ng)
+		_ = c.ctrl.SetGains(sched)
+	}
+
 	d, diag, err := c.ctrl.Compute(c.filt, obs.SetpointW, freqs, tp, lower)
 	if err != nil {
 		// Constraint conflicts (e.g. every GPU pinned by SLO floors with
@@ -424,8 +519,64 @@ func (c *CapGPU) Decide(obs Observation) Decision {
 	for i := 0; i < ng; i++ {
 		out.GPUFreqMHz[i] = freqs[1+i] + c.beta*d[1+i]
 	}
+
+	// Prefill-headroom guard: during decode, measured power barely
+	// answers the GPU clocks, so integral feedback walks them toward
+	// f_max at no visible power cost — and the next prefill burst then
+	// fires at full clocks, straight through the cap. The guard
+	// evaluates the commanded point under the prefill-regime absolute
+	// model and, when it would exceed the set point, contracts every
+	// GPU command proportionally toward its (SLO-respecting) lower
+	// bound until the prefill prediction fits. Decode throughput is
+	// nearly clock-flat, so the contraction costs almost no latency.
+	phaseGuarded := false
+	if c.guardGains != nil && phaseMix >= 0 {
+		// The absolute model was fit on the identification sweep, which
+		// runs sub-saturated; a real prefill burst saturates the pipeline
+		// and lands above the model's prediction at the same clocks. The
+		// guard therefore targets the set point minus a headroom margin
+		// that covers the model's saturation bias.
+		const guardMarginFrac = 0.08
+		target := (1 - guardMarginFrac) * obs.SetpointW
+		pred := c.guardOffset + c.guardGains[0]*out.CPUFreqGHz
+		floorPred := pred
+		for i := 0; i < ng; i++ {
+			pred += c.guardGains[1+i] * out.GPUFreqMHz[i]
+			floorPred += c.guardGains[1+i] * lower[1+i]
+		}
+		if pred > target && pred-floorPred > 1e-9 {
+			frac := (pred - target) / (pred - floorPred)
+			if frac > 1 {
+				frac = 1
+			}
+			// The guard is a readiness constraint for the *next* prefill
+			// burst, not a second tracking loop: once the plant is already
+			// prefill-heavy, measured power answers the knobs and the MPC
+			// feedback owns the set point, so applying the absolute-model
+			// contraction on top would double-regulate and bias the plant
+			// below the cap. Engage it fully while decode-heavy and ramp
+			// it out as the observed prefill share crosses into a
+			// prefill-heavy regime.
+			const mixLo, mixHi = 0.35, 0.65
+			switch {
+			case phaseMix >= mixHi:
+				frac = 0
+			case phaseMix > mixLo:
+				frac *= (mixHi - phaseMix) / (mixHi - mixLo)
+			}
+			for i := 0; i < ng; i++ {
+				out.GPUFreqMHz[i] -= frac * (out.GPUFreqMHz[i] - lower[1+i])
+			}
+			phaseGuarded = true
+		}
+	}
+
 	if c.flightOn {
 		out.Flight = c.buildTrace(obs, d, diag, tp, lower)
+		if phaseMix >= 0 {
+			out.Flight.PhaseMix = phaseMix
+			out.Flight.PhaseGuarded = phaseGuarded
+		}
 	}
 	return out
 }
@@ -674,7 +825,7 @@ type Harness struct {
 	lastRawW     float64 // last recorded meter value (stuck detection)
 	haveRaw      bool
 	gpuFailed    []bool
-	stashedPipes []*workload.Pipeline
+	stashedPipes []workload.GPUWorkload
 
 	// applyFn caches the actuator ApplyFunc (a method value) so the
 	// period loop does not allocate one closure per period; applyK is
@@ -701,11 +852,18 @@ type PeriodRecord struct {
 	CPUFreqGHz float64
 	GPUFreqMHz []float64
 
-	GPUThroughput  []float64 // img/s, period average
-	GPULatencyS    []float64 // s/batch, period average
+	GPUThroughput  []float64 // img/s (CNN) or tokens/s (LLM), period average
+	GPULatencyS    []float64 // s/batch (CNN) or s/output-token (LLM), period average
 	GPUQueueDelayS []float64 // s/img, period average
 	CPUThroughput  float64   // subsets/s
 	CPULatencyS    float64   // s/subset
+
+	// GPUPhasePrefill and GPUQueueDepth are the period-average prefill
+	// share and admission-queue depth per GPU. Allocated only when an
+	// LLM workload is attached (nil for CNN runs, keeping those
+	// artifacts byte-identical).
+	GPUPhasePrefill []float64
+	GPUQueueDepth   []float64
 
 	CPUPowerW float64
 	GPUPowerW []float64
@@ -820,6 +978,8 @@ func (h *Harness) flightRecord(rec PeriodRecord, dec Decision) flight.DecisionRe
 		CommandedGPUMHz: append([]float64(nil), dec.GPUFreqMHz...),
 		ActuatorRetries: rec.ActuatorRetries,
 		Controller:      dec.Flight,
+		PhasePrefill:    rec.GPUPhasePrefill,
+		QueueDepth:      rec.GPUQueueDepth,
 	}
 	for i, miss := range rec.SLOMiss {
 		if miss {
@@ -853,6 +1013,8 @@ func (h *Harness) telemetrySample(rec PeriodRecord) telemetry.PeriodSample {
 		CPUFreqGHz:       rec.CPUFreqGHz,
 		GPUFreqMHz:       rec.GPUFreqMHz,
 		GPULatencyS:      rec.GPULatencyS,
+		GPUPhasePrefill:  rec.GPUPhasePrefill,
+		GPUQueueDepth:    rec.GPUQueueDepth,
 		SLOMiss:          rec.SLOMiss,
 		MeterStale:       rec.MeterStale,
 		Degraded:         rec.Degraded,
@@ -968,6 +1130,16 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 			rec.GPULatencyS[i] += smp.GPUStats[i].GPUBatchLatencyS
 			rec.GPUQueueDelayS[i] += smp.GPUStats[i].QueueDelayS
 			rec.GPUPowerW[i] += smp.GPUPowerW[i]
+			if smp.GPUStats[i].LLM {
+				// Lazily allocated so CNN runs (and their goldens) see
+				// nil slices and zero extra work.
+				if rec.GPUPhasePrefill == nil {
+					rec.GPUPhasePrefill = make([]float64, ng)
+					rec.GPUQueueDepth = make([]float64, ng)
+				}
+				rec.GPUPhasePrefill[i] += smp.GPUStats[i].PrefillShare
+				rec.GPUQueueDepth[i] += smp.GPUStats[i].QueueDepth
+			}
 		}
 		cpuTP += smp.CPUStats.Throughput
 		cpuLat += smp.CPUStats.LatencyS
@@ -979,6 +1151,10 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 		rec.GPULatencyS[i] *= inv
 		rec.GPUQueueDelayS[i] *= inv
 		rec.GPUPowerW[i] *= inv
+		if rec.GPUPhasePrefill != nil {
+			rec.GPUPhasePrefill[i] *= inv
+			rec.GPUQueueDepth[i] *= inv
+		}
 		if len(slos) == ng && slos[i] > 0 && rec.GPULatencyS[i] > slos[i] {
 			rec.SLOMiss[i] = true
 		}
@@ -1062,6 +1238,7 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 			GPUThroughputNorm: h.obsTPNorm,
 			GPUUtil:           h.obsUtil,
 			GPULatencyS:       rec.GPULatencyS,
+			GPUPhasePrefill:   rec.GPUPhasePrefill,
 			CPUPowerW:         rec.CPUPowerW,
 			GPUPowerW:         rec.GPUPowerW,
 			SLOs:              slos,
@@ -1073,8 +1250,8 @@ func (h *Harness) StepPeriod(k int) (PeriodRecord, error) {
 		for i := 0; i < ng; i++ {
 			obs.GPUUtil[i] = last.GPUUtil[i]
 			obs.GPUThroughputNorm[i] = 0 // scratch may hold last period's value
-			if p := s.Pipeline(i); p != nil && p.MaxThroughput() > 0 {
-				obs.GPUThroughputNorm[i] = clamp01(rec.GPUThroughput[i] / p.MaxThroughput())
+			if w := s.Workload(i); w != nil && w.MaxThroughput() > 0 {
+				obs.GPUThroughputNorm[i] = clamp01(rec.GPUThroughput[i] / w.MaxThroughput())
 			}
 		}
 		if w := s.CPUWorkload(); w != nil && w.MaxThroughput() > 0 {
@@ -1240,19 +1417,19 @@ func (h *Harness) applyGPUFailTransitions(k int) {
 	ng := s.NumGPUs()
 	if h.gpuFailed == nil {
 		h.gpuFailed = make([]bool, ng)
-		h.stashedPipes = make([]*workload.Pipeline, ng)
+		h.stashedPipes = make([]workload.GPUWorkload, ng)
 	}
 	for i := 0; i < ng; i++ {
 		failed := h.Faults.GPUFailedAt(k, i)
 		switch {
 		case failed && !h.gpuFailed[i]:
-			h.stashedPipes[i] = s.Pipeline(i)
-			_ = s.AttachPipeline(i, nil)
+			h.stashedPipes[i] = s.Workload(i)
+			_ = s.AttachWorkload(i, nil)
 			gmin, _ := h.Bank.Mod(1 + i).Range()
 			_, _ = s.SetGPUFreq(i, gmin)
 			h.gpuFailed[i] = true
 		case !failed && h.gpuFailed[i]:
-			_ = s.AttachPipeline(i, h.stashedPipes[i])
+			_ = s.AttachWorkload(i, h.stashedPipes[i])
 			h.stashedPipes[i] = nil
 			h.gpuFailed[i] = false
 		}
@@ -1299,6 +1476,14 @@ func (h *Harness) StepUncontrolled(k int) (PeriodRecord, error) {
 			rec.GPULatencyS[i] += smp.GPUStats[i].GPUBatchLatencyS
 			rec.GPUQueueDelayS[i] += smp.GPUStats[i].QueueDelayS
 			rec.GPUPowerW[i] += smp.GPUPowerW[i]
+			if smp.GPUStats[i].LLM {
+				if rec.GPUPhasePrefill == nil {
+					rec.GPUPhasePrefill = make([]float64, ng)
+					rec.GPUQueueDepth = make([]float64, ng)
+				}
+				rec.GPUPhasePrefill[i] += smp.GPUStats[i].PrefillShare
+				rec.GPUQueueDepth[i] += smp.GPUStats[i].QueueDepth
+			}
 		}
 		cpuTP += smp.CPUStats.Throughput
 		cpuLat += smp.CPUStats.LatencyS
@@ -1310,6 +1495,10 @@ func (h *Harness) StepUncontrolled(k int) (PeriodRecord, error) {
 		rec.GPULatencyS[i] *= inv
 		rec.GPUQueueDelayS[i] *= inv
 		rec.GPUPowerW[i] *= inv
+		if rec.GPUPhasePrefill != nil {
+			rec.GPUPhasePrefill[i] *= inv
+			rec.GPUQueueDepth[i] *= inv
+		}
 	}
 	rec.CPUThroughput = cpuTP * inv
 	rec.CPULatencyS = cpuLat * inv

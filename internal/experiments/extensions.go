@@ -276,6 +276,12 @@ type ClusterOptions struct {
 	// per-node stepping (0 = GOMAXPROCS, 1 = sequential). Any value
 	// yields the byte-identical run.
 	Workers int
+	// Workload selects the fleet workload family for the scale rack:
+	// "" or "cnn" builds the CNN pipelines, "llm" the continuous-
+	// batching LLM serving pipelines (heavy/medium/light = 3/2/1 busy
+	// GPUs either way). Only NewScaleCoordinator consumes this; the
+	// 3-server showcase rack is CNN-only.
+	Workload string
 	// Flight, when non-nil, is called once per node with the node's
 	// telemetry label ("<policy>/<node>") and may return a flight
 	// recorder to attach to that node's harness (nil = leave the node

@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/sysid"
+	"repro/internal/workload"
+)
+
+// This file hosts the LLM serving rig and the R2 regime-switch
+// experiment. The serving family (internal/workload.LLMPipeline) makes
+// power depend on the prefill/decode phase mix: decode barely answers
+// the core clock, prefill answers nearly linearly. R2 drives a cyclic
+// prefill↔decode regime switch and compares phase-blind capping
+// (which rides the clocks up during decode, then eats the next prefill
+// burst at full clocks) against the phase-aware controller (gain
+// scheduling + prefill-headroom guard).
+
+// DefaultLLMSpecDSL is the standard three-GPU serving mix: a dense 7B
+// (decode-leaning), a MoE (PALS power variance), and a dense 70B.
+const DefaultLLMSpecDSL = "llama7b@6:512+160;mixtral@2.2:640+192;llama70b@1:448+224"
+
+// llmConfigsFor builds one pipeline config per GPU from parsed specs.
+func llmConfigsFor(specs []workload.LLMSpec, seed int64) ([]workload.LLMConfig, error) {
+	zoo := workload.LLMZoo()
+	cfgs := make([]workload.LLMConfig, len(specs))
+	for i, spec := range specs {
+		prof, ok := zoo[spec.Model]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown llm model %q", spec.Model)
+		}
+		if spec.Experts > 0 {
+			prof.Experts = spec.Experts
+			if prof.MoEPowerStd == 0 {
+				prof.MoEPowerStd = 0.06
+			}
+		}
+		cfgs[i] = workload.LLMConfig{
+			Profile: prof,
+			Spec:    spec,
+			FgMax:   1350,
+			Seed:    seed + int64(i) + 1,
+		}
+	}
+	return cfgs, nil
+}
+
+// attachLLMWorkloads wires serving pipelines (one per GPU, cycling the
+// spec list if it is shorter) plus the host CPU workload onto a server.
+func attachLLMWorkloads(s *sim.Server, seed int64, specs []workload.LLMSpec) error {
+	cfgs, err := llmConfigsFor(specs, seed)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < s.NumGPUs(); i++ {
+		cfg := cfgs[i%len(cfgs)]
+		cfg.Seed = seed + int64(i) + 1
+		p, err := workload.NewLLMPipeline(cfg)
+		if err != nil {
+			return err
+		}
+		if err := s.AttachWorkload(i, p); err != nil {
+			return err
+		}
+	}
+	w, err := workload.NewCPUWorkload(workload.CPUWorkloadConfig{
+		RateAtMax: 40, RateExp: 1, FcMax: 2.4, NoiseStd: 0.02, Seed: seed + 4})
+	if err != nil {
+		return err
+	}
+	s.AttachCPUWorkload(w)
+	return nil
+}
+
+// llmPhaseLaw derives the controller-side phase power law for a spec
+// mix: the per-phase exponents are the profile averages, and IdentExp
+// is the effective exponent of the sub-saturated identification sweep
+// (see llmIdentEffExp) — dividing by it is what lets the gain schedule
+// recover the saturated prefill-window slope the sweep undersold.
+func llmPhaseLaw(cfgs []workload.LLMConfig) *core.PhasePowerLaw {
+	var pre, dec float64
+	for _, cfg := range cfgs {
+		pre += cfg.Profile.AlphaPrefill
+		dec += cfg.Profile.AlphaDecode
+	}
+	n := float64(len(cfgs))
+	return &core.PhasePowerLaw{
+		PrefillExp: pre / n,
+		DecodeExp:  dec / n,
+		IdentExp:   llmIdentEffExp,
+	}
+}
+
+// NewLLMRig builds the LLM-serving evaluation testbed on the standard
+// Xeon + 3×V100 server: parse the spec DSL (empty = DefaultLLMSpecDSL),
+// identify the power model on a twin running the same serving mix, and
+// fit per-GPU TPOT latency models (decode-phase law: tiny gamma, so SLO
+// frequency floors stay out of the controller's way — decode latency is
+// not clock-limited, queue starvation is what the SLO actually bites
+// on). Rig.PhaseLaw carries the derived phase power law for the
+// phase-aware controller.
+func NewLLMRig(seed int64, specDSL string) (*Rig, error) {
+	if specDSL == "" {
+		specDSL = DefaultLLMSpecDSL
+	}
+	specs, err := workload.ParseLLMSpecs(specDSL)
+	if err != nil {
+		return nil, err
+	}
+
+	twin, err := sim.NewServer(sim.DefaultTestbed(seed + 100))
+	if err != nil {
+		return nil, err
+	}
+	if err := attachLLMWorkloads(twin, seed+100, specs); err != nil {
+		return nil, err
+	}
+	// Identify in the prefill-heavy regime: at mixed nominal load the
+	// utilization adaptation (u ∝ f^-γ) nearly cancels the decode-blended
+	// power slope and the regression can even turn negative; the
+	// prefill-heavy operating point has an unambiguous positive slope.
+	// llmPhaseLaw's IdentExp records this regime so the phase-aware
+	// controller can re-scale the gains to other phase mixes.
+	for i := 0; i < twin.NumGPUs(); i++ {
+		if lp, ok := twin.Workload(i).(*workload.LLMPipeline); ok {
+			lp.SetOutputScale(llmPrefillOutScale)
+			lp.SetArrivalScale(llmIdentArrScale)
+		}
+	}
+	model, _, err := sysid.Identify(twin, sysid.ExciteConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: llm identification: %w", err)
+	}
+
+	s, err := sim.NewServer(sim.DefaultTestbed(seed))
+	if err != nil {
+		return nil, err
+	}
+	if err := attachLLMWorkloads(s, seed, specs); err != nil {
+		return nil, err
+	}
+
+	cfgs, err := llmConfigsFor(specs, seed)
+	if err != nil {
+		return nil, err
+	}
+	ng := s.NumGPUs()
+	lms := make([]*sysid.LatencyModel, ng)
+	names := make([]string, ng)
+	for i := 0; i < ng; i++ {
+		cfg := cfgs[i%len(cfgs)]
+		names[i] = cfg.Spec.Model
+		lms[i] = &sysid.LatencyModel{
+			// Reference TPOT at a healthy 8-sequence batch and f_max.
+			EMin:  8 / cfg.Profile.DecodeTokPerS,
+			Gamma: cfg.Profile.GammaDecode,
+			FMax:  1350,
+		}
+	}
+	return &Rig{Server: s, Model: model, LatencyModels: lms, ModelNames: names, PhaseLaw: llmPhaseLaw(cfgs)}, nil
+}
+
+// LLM regime schedule: a short prefill-heavy burst window at the top of
+// every cycle (chatty traffic: many prompts, short answers), then a
+// long decode-heavy tail (few prompts, long generations). Every cycle
+// boundary is a regime switch the controller must survive.
+const (
+	llmCycleLen   = 24
+	llmPrefillLen = 8
+
+	// Regime load levers. The prefill window is chatty traffic (many
+	// prompts, short answers) sized to be feasible at mid clocks but to
+	// saturate — and starve decode — when clocks are slammed toward the
+	// floor. The decode window is generation-heavy traffic whose power
+	// barely answers the clocks, with arrivals frequent enough that
+	// Poisson clumping does not dominate the period-average power.
+	llmPrefillOutScale = 0.25
+	llmPrefillArrScale = 3.0
+	llmDecodeOutScale  = 0.9
+	llmDecodeArrScale  = 0.85
+
+	// Identification runs in the prefill-shaped regime (so the power
+	// slope is unambiguously positive) but at partial load — the sweep
+	// sees a milder version of the burst the controller must later
+	// survive. At partial load the batcher absorbs part of every clock
+	// change (utilization adapts as u ∝ f^-γ), so the identified gains
+	// underestimate the slope of a saturated prefill window; that
+	// calibration gap is exactly what phase-blind capping inherits.
+	llmIdentArrScale = 1.3
+
+	// Effective power-law exponent of the sub-saturated identification
+	// sweep, i.e. the exponent the identified gains actually correspond
+	// to once utilization adaptation has discounted the raw phase blend.
+	// The phase-aware gain schedule divides by this, so at a saturated
+	// prefill window's mix it recovers the true (steeper) slope that the
+	// sweep undersold. Calibrated for the default rig.
+	llmIdentEffExp = 0.45
+)
+
+// LLMRegimeOnPeriod is the OnPeriodStart hook driving the cyclic
+// regime switch on every LLM pipeline of the server.
+func LLMRegimeOnPeriod(k int, s *sim.Server) {
+	prefill := k%llmCycleLen < llmPrefillLen
+	for i := 0; i < s.NumGPUs(); i++ {
+		lp, ok := s.Workload(i).(*workload.LLMPipeline)
+		if !ok {
+			continue
+		}
+		if prefill {
+			lp.SetOutputScale(llmPrefillOutScale)
+			lp.SetArrivalScale(llmPrefillArrScale)
+		} else {
+			lp.SetOutputScale(llmDecodeOutScale)
+			lp.SetArrivalScale(llmDecodeArrScale)
+		}
+	}
+}
+
+// llmTPOTSLOs maps model name to the R2 per-GPU TPOT SLO in seconds,
+// sized ≈2× the healthy prefill-window tail so a well-clocked pipeline
+// holds it and a starved one (clocks slammed into prefill saturation)
+// blows through it. The MoE entry is looser: expert-imbalance jitter
+// gives mixtral a heavy TPOT tail even at full clocks.
+var llmTPOTSLOs = map[string]float64{
+	"llama7b":  0.06,
+	"mixtral":  0.10,
+	"llama70b": 0.06,
+}
+
+// llmPhaseSLOs returns the per-GPU TPOT SLOs for a rig's model mix,
+// falling back to 20× the latency model's reference TPOT for models
+// without a calibrated entry.
+func llmPhaseSLOs(names []string, lms []*sysid.LatencyModel) []float64 {
+	slos := make([]float64, len(lms))
+	for i, lm := range lms {
+		if s, ok := llmTPOTSLOs[names[i]]; ok {
+			slos[i] = s
+		} else {
+			slos[i] = 20 * lm.EMin
+		}
+	}
+	return slos
+}
+
+// LLMPhaseRow is one controller configuration's R2 summary.
+type LLMPhaseRow struct {
+	Config        string
+	CapViolations int     // periods with true power above cap by >2%
+	WorstExcessW  float64 // worst true period-average excess over the cap
+	SLOMissRate   float64 // fraction of (period, GPU) TPOT SLO misses
+	SteadyRMSE    float64 // tracking RMSE over prefill windows after warmup
+	MeanTokPerS   float64 // aggregate token throughput (run mean)
+}
+
+// LLMPhaseResult is the R2 experiment outcome.
+type LLMPhaseResult struct {
+	SetpointW  float64
+	Periods    int
+	CycleLen   int
+	PrefillLen int
+	SLOs       []float64
+	Rows       []LLMPhaseRow
+}
+
+// ExtensionLLMPhase is the R2 robustness experiment: phase-aware vs
+// phase-blind capping under the cyclic prefill↔decode regime switch.
+// Every configuration runs on a fresh rig from the same seed, so all
+// see identical arrival, noise, and drift streams.
+func ExtensionLLMPhase(seed int64, periods int) (*LLMPhaseResult, error) {
+	if periods <= 0 {
+		periods = 96
+	}
+	const cap = 900.0
+	configs := []struct {
+		label string
+		opts  core.Options
+	}{
+		{"CapGPU phase-blind", core.Options{}},
+		{"CapGPU phase-blind adaptive (RLS)", core.Options{Adaptive: true}},
+		{"CapGPU phase-aware", core.Options{PhaseAware: true}},
+	}
+	res := &LLMPhaseResult{SetpointW: cap, Periods: periods, CycleLen: llmCycleLen, PrefillLen: llmPrefillLen}
+	for _, cfg := range configs {
+		rig, err := NewLLMRig(seed, "")
+		if err != nil {
+			return nil, err
+		}
+		opts := cfg.opts
+		if opts.PhaseAware {
+			opts.PhaseLaw = rig.PhaseLaw
+		}
+		ctrl, err := core.NewCapGPU(rig.Model, rig.Server, rig.LatencyModels, opts)
+		if err != nil {
+			return nil, err
+		}
+		slos := llmPhaseSLOs(rig.ModelNames, rig.LatencyModels)
+		if res.SLOs == nil {
+			res.SLOs = slos
+		}
+		h, err := core.NewHarness(rig.Server, ctrl, FixedSetpoint(cap))
+		if err != nil {
+			return nil, err
+		}
+		h.SLOs = func(int) []float64 { return slos }
+		h.OnPeriodStart = LLMRegimeOnPeriod
+		recs, err := h.Run(periods)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, summarizeLLMPhase(cfg.label, cap, recs))
+	}
+	return res, nil
+}
+
+// summarizeLLMPhase condenses one run into an R2 row.
+func summarizeLLMPhase(label string, cap float64, recs []core.PeriodRecord) LLMPhaseRow {
+	row := LLMPhaseRow{Config: label}
+	var trueW, prefillW []float64
+	misses, total := 0, 0
+	var tok float64
+	for k, rec := range recs {
+		for _, tp := range rec.GPUThroughput {
+			tok += tp
+		}
+		// The first cycle is the cold-start transient (every controller
+		// starts at the frequency floor and eats the same saturated first
+		// prefill window); violations and SLO misses are judged from the
+		// second cycle on, where the regimes differ by policy, not by
+		// initial conditions.
+		if k < llmCycleLen {
+			continue
+		}
+		trueW = append(trueW, rec.TrueAvgPowerW)
+		if excess := rec.TrueAvgPowerW - cap; excess > row.WorstExcessW {
+			row.WorstExcessW = excess
+		}
+		// Tracking quality is judged where tracking is feasible: the
+		// prefill windows (decode power is clock-flat and can sit below
+		// the cap no matter what the controller does).
+		if k%llmCycleLen < llmPrefillLen {
+			prefillW = append(prefillW, rec.TrueAvgPowerW)
+		}
+		for _, m := range rec.SLOMiss {
+			total++
+			if m {
+				misses++
+			}
+		}
+	}
+	row.CapViolations = metrics.Violations(trueW, cap, 0.02*cap)
+	if total > 0 {
+		row.SLOMissRate = float64(misses) / float64(total)
+	}
+	if len(prefillW) > 0 {
+		row.SteadyRMSE = metrics.RMSE(prefillW, cap)
+	}
+	if len(recs) > 0 {
+		row.MeanTokPerS = tok / float64(len(recs))
+	}
+	if math.IsNaN(row.SteadyRMSE) {
+		row.SteadyRMSE = 0
+	}
+	return row
+}

@@ -31,6 +31,9 @@ type Rig struct {
 	Model         *sysid.Model
 	LatencyModels []*sysid.LatencyModel
 	ModelNames    []string // per-GPU workload names (t1..t3)
+	// PhaseLaw is the phase-dependent power law derived for LLM rigs
+	// (nil on CNN rigs); the capgpu-phase controller consumes it.
+	PhaseLaw *core.PhasePowerLaw
 }
 
 // evalPipelineConfigs returns the §6.1 workload assignment: t1 ResNet50
@@ -118,7 +121,7 @@ func ControllerNames() []string {
 	return []string{
 		"cpu-only", "gpu-only", "cpu+gpu-50", "cpu+gpu-60",
 		"fixed-step-1", "fixed-step-5", "safe-fixed-step-1", "safe-fixed-step-3", "safe-fixed-step-5",
-		"capgpu", "capgpu-slsqp", "capgpu-uniform",
+		"capgpu", "capgpu-slsqp", "capgpu-uniform", "capgpu-phase",
 	}
 }
 
@@ -172,6 +175,12 @@ func BuildController(name string, rig *Rig) (core.PowerController, error) {
 		return core.NewCapGPU(rig.Model, rig.Server, rig.LatencyModels, core.Options{MPC: mpc.Config{UseSLSQP: true}})
 	case "capgpu-uniform":
 		return core.NewCapGPU(rig.Model, rig.Server, rig.LatencyModels, core.Options{MPC: mpc.Config{UniformWeights: true}})
+	case "capgpu-phase":
+		// Phase-aware capping: gain scheduling on the observed prefill
+		// mix plus the prefill-headroom guard. On a CNN rig (no phase
+		// observations, nil PhaseLaw → default law) it decides exactly
+		// like plain capgpu.
+		return core.NewCapGPU(rig.Model, rig.Server, rig.LatencyModels, core.Options{PhaseAware: true, PhaseLaw: rig.PhaseLaw})
 	default:
 		return nil, fmt.Errorf("experiments: unknown controller %q (want one of %v)", name, ControllerNames())
 	}
@@ -234,13 +243,30 @@ type SessionOptions struct {
 	// period always completes, and period 0 always runs, so a stopped
 	// session still yields a well-formed (if short) record stream.
 	Stop func() bool
+	// Workload selects the workload family: "" or "cnn" runs the §6.1
+	// CNN rig, "llm" the LLM serving rig (with the cyclic regime
+	// switch attached via OnPeriodStart).
+	Workload string
+	// LLMSpec is the serving-mix DSL for Workload "llm"
+	// ("model@rate:prompt+output[*experts];..."); empty uses
+	// DefaultLLMSpecDSL.
+	LLMSpec string
 }
 
 // RunSessionWith runs one controller (by name) on a fresh rig with the
 // given optional attachments. The zero options value is byte-identical
 // to RunSession.
 func RunSessionWith(name string, seed int64, periods int, setpoint func(int) float64, slos func(int) []float64, opts SessionOptions) (*RunResult, error) {
-	rig, err := NewEvaluationRig(seed)
+	var rig *Rig
+	var err error
+	switch opts.Workload {
+	case "", "cnn":
+		rig, err = NewEvaluationRig(seed)
+	case "llm":
+		rig, err = NewLLMRig(seed, opts.LLMSpec)
+	default:
+		return nil, fmt.Errorf("experiments: unknown workload family %q (want cnn or llm)", opts.Workload)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -253,6 +279,9 @@ func RunSessionWith(name string, seed int64, periods int, setpoint func(int) flo
 		return nil, err
 	}
 	h.SLOs = slos
+	if opts.Workload == "llm" {
+		h.OnPeriodStart = LLMRegimeOnPeriod
+	}
 	h.Faults = opts.Faults
 	h.Degrade.Disable = opts.NoDegrade
 	if opts.Telemetry != nil {

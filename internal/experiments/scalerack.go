@@ -62,11 +62,66 @@ func scaleServer(seed int64, pipelines int) (*sim.Server, error) {
 	return s, nil
 }
 
-// NewScaleFleet builds a synthetic fleet of n nodes named n000, n001, …
-// cycling through the heavy/medium/light workload classes. Each node's
-// server and pipelines are seeded from the fleet seed plus the node
-// index, so no two nodes share an RNG stream.
+// scaleLLMServer builds one class instance of the LLM serving server:
+// the first `pipelines` GPUs run the default serving mix (cycled), the
+// rest idle — the same heavy/medium/light shape as the CNN fleet.
+func scaleLLMServer(seed int64, pipelines int) (*sim.Server, error) {
+	s, err := sim.NewServer(sim.DefaultTestbed(seed))
+	if err != nil {
+		return nil, err
+	}
+	specs, err := workload.ParseLLMSpecs(DefaultLLMSpecDSL)
+	if err != nil {
+		return nil, err
+	}
+	cfgs, err := llmConfigsFor(specs, seed)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < pipelines && i < s.NumGPUs(); i++ {
+		cfg := cfgs[i%len(cfgs)]
+		cfg.Seed = seed + int64(i) + 1
+		p, err := workload.NewLLMPipeline(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AttachWorkload(i, p); err != nil {
+			return nil, err
+		}
+	}
+	w, err := workload.NewCPUWorkload(workload.CPUWorkloadConfig{
+		RateAtMax: 40, FcMax: 2.4, NoiseStd: 0.02, Seed: seed + 9})
+	if err != nil {
+		return nil, err
+	}
+	s.AttachCPUWorkload(w)
+	return s, nil
+}
+
+// scaleClassServer dispatches on the fleet workload family.
+func scaleClassServer(kind string, seed int64, pipelines int) (*sim.Server, error) {
+	switch kind {
+	case "", "cnn":
+		return scaleServer(seed, pipelines)
+	case "llm":
+		return scaleLLMServer(seed, pipelines)
+	default:
+		return nil, fmt.Errorf("experiments: unknown fleet workload family %q (want cnn or llm)", kind)
+	}
+}
+
+// NewScaleFleet builds a synthetic CNN fleet of n nodes named n000,
+// n001, … cycling through the heavy/medium/light workload classes.
 func NewScaleFleet(seed int64, n int) ([]*cluster.Node, error) {
+	return NewScaleFleetWorkload(seed, n, "")
+}
+
+// NewScaleFleetWorkload is NewScaleFleet with a workload family:
+// "" or "cnn" for the CNN pipelines, "llm" for the continuous-batching
+// LLM serving pipelines. Each node's server and pipelines are seeded
+// from the fleet seed plus the node index, so no two nodes share an
+// RNG stream.
+func NewScaleFleetWorkload(seed int64, n int, kind string) ([]*cluster.Node, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("experiments: fleet size %d must be positive", n)
 	}
@@ -74,9 +129,20 @@ func NewScaleFleet(seed int64, n int) ([]*cluster.Node, error) {
 	// fleet member.
 	models := make([]*sysid.Model, len(scaleClasses))
 	for c, cls := range scaleClasses {
-		twin, err := scaleServer(seed+5000+int64(c), cls.pipelines)
+		twin, err := scaleClassServer(kind, seed+5000+int64(c), cls.pipelines)
 		if err != nil {
 			return nil, err
+		}
+		if kind == "llm" {
+			// Identify in the prefill-shaped partial-load regime, exactly
+			// as NewLLMRig does: at mixed nominal load the utilization
+			// adaptation can cancel (or invert) the power-frequency slope.
+			for i := 0; i < twin.NumGPUs(); i++ {
+				if lp, ok := twin.Workload(i).(*workload.LLMPipeline); ok {
+					lp.SetOutputScale(llmPrefillOutScale)
+					lp.SetArrivalScale(llmIdentArrScale)
+				}
+			}
 		}
 		m, _, err := sysid.Identify(twin, sysid.ExciteConfig{})
 		if err != nil {
@@ -87,7 +153,7 @@ func NewScaleFleet(seed int64, n int) ([]*cluster.Node, error) {
 	nodes := make([]*cluster.Node, 0, n)
 	for i := 0; i < n; i++ {
 		cls := scaleClasses[i%len(scaleClasses)]
-		s, err := scaleServer(seed+int64(i)*37, cls.pipelines)
+		s, err := scaleClassServer(kind, seed+int64(i)*37, cls.pipelines)
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +188,7 @@ func NewScaleCoordinator(seed int64, n int, policy cluster.Policy, budgetW float
 	if budgetW <= 0 {
 		budgetW = DefaultNodeBudgetW * float64(n)
 	}
-	nodes, err := NewScaleFleet(seed, n)
+	nodes, err := NewScaleFleetWorkload(seed, n, opts.Workload)
 	if err != nil {
 		return nil, err
 	}

@@ -101,6 +101,13 @@ type ControllerTrace struct {
 	Relaxed          bool   `json:"relaxed,omitempty"`
 	Solver           string `json:"solver,omitempty"`
 	SolverIterations int    `json:"solver_iterations,omitempty"`
+
+	// Phase-aware capping (LLM workloads): PhaseMix is the fleet-mean
+	// prefill share the controller blended its gains from; PhaseGuarded
+	// marks a period whose GPU commands the prefill-headroom guard
+	// pulled back toward the SLO floors.
+	PhaseMix     float64 `json:"phase_mix,omitempty"`
+	PhaseGuarded bool    `json:"phase_guarded,omitempty"`
 }
 
 // DecisionRecord is one control period's complete decision context.
@@ -135,6 +142,12 @@ type DecisionRecord struct {
 	// SLOMissGPUs lists the GPUs whose measured batch latency exceeded
 	// their SLO this period.
 	SLOMissGPUs []int `json:"slo_miss_gpus,omitempty"`
+
+	// PhasePrefill / QueueDepth are the period-average prefill share
+	// and admission-queue depth per GPU; nil (omitted) for CNN runs, so
+	// pre-LLM flight artifacts stay byte-identical.
+	PhasePrefill []float64 `json:"phase_prefill,omitempty"`
+	QueueDepth   []float64 `json:"queue_depth,omitempty"`
 
 	// The commanded decision (pre-modulation) and the actuation outcome.
 	CommandedCPUGHz  float64   `json:"commanded_cpu_ghz"`

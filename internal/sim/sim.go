@@ -204,8 +204,8 @@ type Server struct {
 	fgs  []float64 // applied GPU frequencies (MHz)
 	memT []bool    // per-GPU memory-throttle state
 
-	pipelines []*workload.Pipeline // indexed by GPU; nil if none
-	cpuWork   *workload.CPUWorkload
+	works   []workload.GPUWorkload // indexed by GPU; nil if none
+	cpuWork *workload.CPUWorkload
 
 	now    float64 // simulated seconds
 	drift  float64 // AR(1) thermal drift state (Watts)
@@ -260,12 +260,12 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("sim: drift rho %g outside [0, 1)", cfg.DriftRho)
 	}
 	s := &Server{
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		fc:        cfg.CPU.FreqMinGHz,
-		fgs:       make([]float64, len(cfg.GPUs)),
-		memT:      make([]bool, len(cfg.GPUs)),
-		pipelines: make([]*workload.Pipeline, len(cfg.GPUs)),
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		fc:    cfg.CPU.FreqMinGHz,
+		fgs:   make([]float64, len(cfg.GPUs)),
+		memT:  make([]bool, len(cfg.GPUs)),
+		works: make([]workload.GPUWorkload, len(cfg.GPUs)),
 	}
 	for i := range s.fgs {
 		s.fgs[i] = cfg.GPUs[i].FreqMinMHz
@@ -279,21 +279,43 @@ func (s *Server) Config() Config { return s.cfg }
 // NumGPUs returns the GPU count.
 func (s *Server) NumGPUs() int { return len(s.cfg.GPUs) }
 
-// AttachPipeline binds an inference pipeline to GPU i.
+// AttachPipeline binds a CNN inference pipeline to GPU i. A nil
+// pipeline detaches the slot (stored as a true nil interface so the
+// tick loop's nil check keeps working).
 func (s *Server) AttachPipeline(i int, p *workload.Pipeline) error {
-	if i < 0 || i >= len(s.pipelines) {
-		return fmt.Errorf("sim: GPU index %d out of range %d", i, len(s.pipelines))
+	if p == nil {
+		return s.AttachWorkload(i, nil)
 	}
-	s.pipelines[i] = p
+	return s.AttachWorkload(i, p)
+}
+
+// AttachWorkload binds any GPU workload (CNN pipeline or LLM serving
+// pipeline) to GPU i; nil detaches.
+func (s *Server) AttachWorkload(i int, w workload.GPUWorkload) error {
+	if i < 0 || i >= len(s.works) {
+		return fmt.Errorf("sim: GPU index %d out of range %d", i, len(s.works))
+	}
+	s.works[i] = w
 	return nil
 }
 
-// Pipeline returns the pipeline attached to GPU i (nil if none).
+// Pipeline returns the CNN pipeline attached to GPU i (nil if the slot
+// is empty or holds a non-CNN workload).
 func (s *Server) Pipeline(i int) *workload.Pipeline {
-	if i < 0 || i >= len(s.pipelines) {
+	if i < 0 || i >= len(s.works) {
 		return nil
 	}
-	return s.pipelines[i]
+	p, _ := s.works[i].(*workload.Pipeline)
+	return p
+}
+
+// Workload returns whatever workload is attached to GPU i (nil if
+// none).
+func (s *Server) Workload(i int) workload.GPUWorkload {
+	if i < 0 || i >= len(s.works) {
+		return nil
+	}
+	return s.works[i]
 }
 
 // AttachCPUWorkload binds the host-CPU batch workload.
@@ -390,7 +412,7 @@ func (s *Server) Tick(dt float64) Sample {
 	if s.cfg.SplitCPUDomains {
 		fcFeeder = s.cfg.CPU.FreqMaxGHz
 	}
-	for i, p := range s.pipelines {
+	for i, p := range s.works {
 		if p == nil {
 			gpuUtil[i] = 0.05 // housekeeping
 			continue
@@ -437,8 +459,20 @@ func (s *Server) Tick(dt float64) Sample {
 	gpuP := make([]float64, n)
 	total := cpuP + s.cfg.OtherW
 	for i, g := range s.cfg.GPUs {
-		gpuP[i] = devicePower(s.fgs[i], g.FreqMaxMHz, gpuUtil[i],
+		feff := s.fgs[i]
+		if st := gpuStats[i]; st.LLM && st.FreqPowerExp > 0 && g.FreqMaxMHz > 0 {
+			// Phase-dependent power law: bend the clock through the
+			// phase-blended exponent before the linear device law, so a
+			// decode-heavy step barely responds to a frequency cap while
+			// a prefill-heavy step responds nearly linearly.
+			feff = g.FreqMaxMHz * math.Pow(s.fgs[i]/g.FreqMaxMHz, st.FreqPowerExp)
+		}
+		gpuP[i] = devicePower(feff, g.FreqMaxMHz, gpuUtil[i],
 			g.IdleW, g.DynWPerMHz, g.UtilFloor, g.NonLinW)
+		if st := gpuStats[i]; st.LLM && st.MoEPowerFactor > 0 {
+			// Expert-activation variance scales only the dynamic slice.
+			gpuP[i] = g.IdleW + (gpuP[i]-g.IdleW)*st.MoEPowerFactor
+		}
 		if s.memT[i] {
 			// Memory-clock drop saves a mostly-constant slice, slightly
 			// larger when the memory system is busy.
@@ -510,7 +544,7 @@ func (s *Server) PowerRange() (min, max float64) {
 // attached inference pipeline (1 = nominal). Load generators drive it
 // per period to impose diurnal and bursty traffic.
 func (s *Server) SetArrivalScale(f float64) {
-	for _, p := range s.pipelines {
+	for _, p := range s.works {
 		if p != nil {
 			p.SetArrivalScale(f)
 		}
@@ -520,7 +554,7 @@ func (s *Server) SetArrivalScale(f float64) {
 // ResetWorkloads resets attached workloads and the clock; device
 // frequencies are preserved.
 func (s *Server) ResetWorkloads() {
-	for _, p := range s.pipelines {
+	for _, p := range s.works {
 		if p != nil {
 			p.Reset()
 		}

@@ -112,6 +112,12 @@ type nodeMetrics struct {
 
 	powerHist *histState
 	latHist   []*histState // lazily installed per GPU on first positive latency
+
+	// phaseMix / queueDepth are lazily registered per GPU the first
+	// time a sample carries LLM phase data, so CNN-only runs never grow
+	// these series and their expositions stay byte-identical.
+	phaseMix   []*series
+	queueDepth []*series
 }
 
 // nodeMetricsFor returns (building or extending if needed) the node's
@@ -576,6 +582,21 @@ func (h *Hub) Period(s PeriodSample) {
 	m.cpuFreq.store(s.CPUFreqGHz)
 	for i, f := range s.GPUFreqMHz {
 		m.gpuFreq[i].store(f)
+	}
+
+	for i, mix := range s.GPUPhasePrefill {
+		for len(m.phaseMix) <= i {
+			j := len(m.phaseMix)
+			m.phaseMix = append(m.phaseMix, h.reg.fetch("capgpu_phase_prefill_ratio", "Period-average prefill share of busy GPU time (LLM serving).", "gauge", m.node.With("gpu", strconv.Itoa(j))))
+		}
+		m.phaseMix[i].store(mix)
+	}
+	for i, depth := range s.GPUQueueDepth {
+		for len(m.queueDepth) <= i {
+			j := len(m.queueDepth)
+			m.queueDepth = append(m.queueDepth, h.reg.fetch("capgpu_queue_depth_requests", "Period-average admission-queue depth (LLM serving).", "gauge", m.node.With("gpu", strconv.Itoa(j))))
+		}
+		m.queueDepth[i].store(depth)
 	}
 
 	m.powerHist.mu.Lock()

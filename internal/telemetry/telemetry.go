@@ -107,6 +107,13 @@ type PeriodSample struct {
 	GPULatencyS []float64
 	SLOMiss     []bool
 
+	// GPUPhasePrefill / GPUQueueDepth are the period-average prefill
+	// share and admission-queue depth per GPU for LLM workloads; nil on
+	// CNN runs, in which case the hub never registers their series (so
+	// pre-LLM Prometheus goldens stay byte-identical).
+	GPUPhasePrefill []float64
+	GPUQueueDepth   []float64
+
 	MeterStale   int
 	Degraded     bool
 	FailSafe     bool

@@ -1,0 +1,652 @@
+// LLM serving workload family: a token-level continuous-batching queue
+// in which prefill and decode phases coexist inside one batch, with a
+// phase-dependent power law. Prefill is compute-bound and strongly
+// frequency-responsive; decode is memory-bandwidth-bound and barely
+// responds to core-clock caps ("The Illusion of Power Capping in LLM
+// Decode"). Mixture-of-experts profiles add seeded expert-activation
+// power variance (PALS). The pipeline reports the phase mix and the
+// blended power-vs-frequency exponent through Stats so the simulator
+// can bend its device power law per step, which is exactly the
+// regime-switching that stresses the controller's RLS/MPC loop.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// GPUWorkload is the surface the simulator needs from anything attached
+// to a GPU slot: the CNN Pipeline and the LLMPipeline both implement
+// it. A nil slot means the GPU idles.
+type GPUWorkload interface {
+	// Step advances the workload by dt seconds at CPU frequency fc
+	// (GHz) and GPU frequency fg (MHz) and reports the step's stats.
+	Step(dt, fc, fg float64) Stats
+	// Last returns the stats of the most recent step.
+	Last() Stats
+	// Reset restores the initial seeded state (bit-identical replay).
+	Reset()
+	// MaxThroughput is the best-case sustained throughput used for
+	// normalization (images/s for CNNs, tokens/s for LLMs).
+	MaxThroughput() float64
+	// SetArrivalScale scales the offered load (1 = nominal).
+	SetArrivalScale(scale float64)
+	// ArrivalScale reports the current load scale.
+	ArrivalScale() float64
+	// SetExternalLatencyFactor imposes a slowdown factor >= 1 (the
+	// simulator's memory-throttle penalty).
+	SetExternalLatencyFactor(f float64)
+}
+
+// Interface conformance for both families.
+var (
+	_ GPUWorkload = (*Pipeline)(nil)
+	_ GPUWorkload = (*LLMPipeline)(nil)
+)
+
+// LLMProfile describes one language model's serving behavior on a GPU
+// class. Token rates are referenced to the GPU's maximum core clock;
+// the Gamma exponents describe how throughput scales with frequency
+// per phase and the Alpha exponents describe how *power* scales with
+// frequency per phase (prefill near-linear, decode nearly flat).
+type LLMProfile struct {
+	Name string
+	// PrefillTokPerS is the aggregate prompt-processing rate at f_max
+	// (compute-bound, batches well).
+	PrefillTokPerS float64
+	// DecodeTokPerS is the aggregate decode rate at f_max across the
+	// whole running batch (memory-bound).
+	DecodeTokPerS float64
+	// GammaPrefill/GammaDecode: throughput ~ (f/f_max)^gamma per phase.
+	GammaPrefill float64
+	GammaDecode  float64
+	// AlphaPrefill/AlphaDecode: dynamic power ~ (f/f_max)^alpha per
+	// phase. Decode's small alpha is the Illusion paper's flat cap
+	// response.
+	AlphaPrefill float64
+	AlphaDecode  float64
+	// Experts > 0 marks a mixture-of-experts model; MoEPowerStd is the
+	// std of the seeded multiplicative power variance from uneven
+	// expert activation (PALS).
+	Experts     int
+	MoEPowerStd float64
+	// NoiseStd is the multiplicative observation noise on the reported
+	// time-per-output-token.
+	NoiseStd float64
+}
+
+// llmZooNames lists the profiles in LLMZoo in a fixed order (kept as a
+// slice so error messages and docs never iterate the map).
+var llmZooNames = []string{"llama7b", "llama70b", "mixtral"}
+
+// LLMZoo returns the LLM profiles used across the experiments, scaled
+// to a V100-class device at 1350 MHz. Prefill exponents sit near the
+// CNN law (compute-bound); decode exponents are an order of magnitude
+// smaller (memory-bound).
+func LLMZoo() map[string]LLMProfile {
+	return map[string]LLMProfile{
+		"llama7b":  {Name: "llama7b", PrefillTokPerS: 24000, DecodeTokPerS: 2600, GammaPrefill: 0.92, GammaDecode: 0.14, AlphaPrefill: 1.12, AlphaDecode: 0.12, NoiseStd: 0.02},
+		"llama70b": {Name: "llama70b", PrefillTokPerS: 5200, DecodeTokPerS: 640, GammaPrefill: 0.95, GammaDecode: 0.10, AlphaPrefill: 1.20, AlphaDecode: 0.08, NoiseStd: 0.02},
+		"mixtral":  {Name: "mixtral", PrefillTokPerS: 11000, DecodeTokPerS: 1500, GammaPrefill: 0.93, GammaDecode: 0.12, AlphaPrefill: 1.15, AlphaDecode: 0.10, Experts: 8, MoEPowerStd: 0.06, NoiseStd: 0.02},
+	}
+}
+
+// LLMSpec is the parsed form of one workload-spec entry in the DSL
+//
+//	model@rate:prompt+output[*experts]
+//
+// e.g. "llama7b@3.5:512+128" — 3.5 requests/s with ~512-token prompts
+// and ~128-token outputs — or "mixtral@2:640+192*8" to pin the expert
+// count. Entries for multiple GPUs join with ';'.
+type LLMSpec struct {
+	Model        string
+	RateReqPerS  float64
+	PromptTokens int
+	OutputTokens int
+	Experts      int // 0 = the profile's default
+}
+
+// String renders the spec back into the DSL; ParseLLMSpec round-trips
+// it.
+func (s LLMSpec) String() string {
+	out := s.Model + "@" + strconv.FormatFloat(s.RateReqPerS, 'g', -1, 64) +
+		":" + strconv.Itoa(s.PromptTokens) + "+" + strconv.Itoa(s.OutputTokens)
+	if s.Experts > 0 {
+		out += "*" + strconv.Itoa(s.Experts)
+	}
+	return out
+}
+
+// Token-count and rate bounds accepted by the spec parser. The caps
+// reject overflowed or absurd values before they reach float math.
+const (
+	maxSpecTokens  = 1 << 20 // 1Mi tokens per prompt/output
+	maxSpecRate    = 1e6     // requests/s
+	maxSpecExperts = 4096
+)
+
+// ParseLLMSpec parses one DSL entry. It rejects unknown models,
+// non-finite or non-positive rates, and token counts that are
+// non-integer, non-positive, or overflow the accepted range.
+func ParseLLMSpec(in string) (LLMSpec, error) {
+	var spec LLMSpec
+	s := strings.TrimSpace(in)
+	if s == "" {
+		return spec, fmt.Errorf("workload: empty llm spec")
+	}
+	model, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return spec, fmt.Errorf("workload: llm spec %q: missing '@rate'", in)
+	}
+	model = strings.TrimSpace(model)
+	if _, known := LLMZoo()[model]; !known {
+		return spec, fmt.Errorf("workload: llm spec %q: unknown model %q (have %s)", in, model, strings.Join(llmZooNames, ", "))
+	}
+	rateStr, tok, ok := strings.Cut(rest, ":")
+	if !ok {
+		return spec, fmt.Errorf("workload: llm spec %q: missing ':prompt+output'", in)
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+	if err != nil {
+		return spec, fmt.Errorf("workload: llm spec %q: bad rate %q: %v", in, rateStr, err)
+	}
+	if math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return spec, fmt.Errorf("workload: llm spec %q: rate must be finite", in)
+	}
+	if rate <= 0 || rate > maxSpecRate {
+		return spec, fmt.Errorf("workload: llm spec %q: rate %g out of range (0, %g]", in, rate, float64(maxSpecRate))
+	}
+	if strings.Contains(tok, "*") {
+		var expStr string
+		tok, expStr, _ = strings.Cut(tok, "*")
+		experts, err := strconv.Atoi(strings.TrimSpace(expStr))
+		if err != nil {
+			return spec, fmt.Errorf("workload: llm spec %q: bad expert count %q", in, expStr)
+		}
+		if experts <= 0 || experts > maxSpecExperts {
+			return spec, fmt.Errorf("workload: llm spec %q: expert count %d out of range [1, %d]", in, experts, maxSpecExperts)
+		}
+		spec.Experts = experts
+	}
+	promptStr, outStr, ok := strings.Cut(tok, "+")
+	if !ok {
+		return spec, fmt.Errorf("workload: llm spec %q: token counts must be 'prompt+output'", in)
+	}
+	prompt, err := parseTokenCount(promptStr)
+	if err != nil {
+		return spec, fmt.Errorf("workload: llm spec %q: prompt tokens: %v", in, err)
+	}
+	output, err := parseTokenCount(outStr)
+	if err != nil {
+		return spec, fmt.Errorf("workload: llm spec %q: output tokens: %v", in, err)
+	}
+	spec.Model = model
+	spec.RateReqPerS = rate
+	spec.PromptTokens = prompt
+	spec.OutputTokens = output
+	return spec, nil
+}
+
+// parseTokenCount parses a strictly positive integer token count,
+// rejecting floats, NaN/Inf spellings, negatives, and overflow.
+func parseTokenCount(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("bad count %q (integer required)", s)
+	}
+	if n <= 0 || n > maxSpecTokens {
+		return 0, fmt.Errorf("count %d out of range [1, %d]", n, maxSpecTokens)
+	}
+	return n, nil
+}
+
+// ParseLLMSpecs parses a ';'-joined list of spec entries (one per GPU).
+func ParseLLMSpecs(in string) ([]LLMSpec, error) {
+	parts := strings.Split(in, ";")
+	specs := make([]LLMSpec, 0, len(parts))
+	for _, p := range parts {
+		if strings.TrimSpace(p) == "" {
+			continue
+		}
+		spec, err := ParseLLMSpec(p)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("workload: llm spec list %q is empty", in)
+	}
+	return specs, nil
+}
+
+// LLMConfig configures one GPU's serving pipeline.
+type LLMConfig struct {
+	Profile LLMProfile
+	Spec    LLMSpec
+	// MaxBatch is the continuous-batching concurrency limit (running
+	// sequences). Defaults to 32.
+	MaxBatch int
+	// QueueCap bounds the admission queue in requests; arrivals beyond
+	// it are shed. Defaults to 96.
+	QueueCap int
+	// TokenJitter is the ± uniform fractional jitter applied to each
+	// request's prompt/output draw. Defaults to 0.25; negative = none.
+	TokenJitter float64
+	// FgMax is the reference maximum GPU core clock (MHz).
+	FgMax float64
+	Seed  int64
+}
+
+// llmSeq is one request's remaining token work.
+type llmSeq struct {
+	prefill float64 // prompt tokens left to prefill
+	decode  float64 // output tokens left to generate
+}
+
+// LLMPipeline is the discrete-time state of one continuous-batching
+// serving pipeline. Requests arrive by a seeded Poisson process, wait
+// in a bounded admission queue, then join the running batch where
+// chunked prefill and batched decode share each step's GPU time.
+// Conservation invariant, pinned by tests: offered = admitted + shed
+// and admitted = completed + in-flight.
+type LLMPipeline struct {
+	cfg LLMConfig
+	rng *rand.Rand
+
+	arrScale float64
+	outScale float64 // regime lever: scales output-token draws
+	extLat   float64
+
+	// Seeded unit-rate arrival clock: unitNext advances by Exp(1)
+	// draws, unitClock by rate·dt, so arrival-rate changes mid-run stay
+	// deterministic.
+	unitClock float64
+	unitNext  float64
+
+	pending  []llmSeq // admission queue; head compacted lazily
+	pendHead int
+	running  []llmSeq
+
+	offered   int64
+	admitted  int64
+	completed int64
+	shed      int64
+
+	last Stats
+}
+
+// NewLLMPipeline validates the config and returns a pipeline.
+func NewLLMPipeline(cfg LLMConfig) (*LLMPipeline, error) {
+	p := cfg.Profile
+	if p.PrefillTokPerS <= 0 || p.DecodeTokPerS <= 0 {
+		return nil, fmt.Errorf("workload: llm profile %q: token rates must be positive", p.Name)
+	}
+	if p.GammaPrefill <= 0 || p.GammaDecode <= 0 || p.AlphaPrefill <= 0 || p.AlphaDecode <= 0 {
+		return nil, fmt.Errorf("workload: llm profile %q: phase exponents must be positive", p.Name)
+	}
+	if cfg.Spec.PromptTokens <= 0 || cfg.Spec.OutputTokens <= 0 {
+		return nil, fmt.Errorf("workload: llm spec: token counts must be positive")
+	}
+	if cfg.Spec.RateReqPerS < 0 || math.IsNaN(cfg.Spec.RateReqPerS) || math.IsInf(cfg.Spec.RateReqPerS, 0) {
+		return nil, fmt.Errorf("workload: llm spec: arrival rate must be finite and non-negative")
+	}
+	if cfg.FgMax <= 0 {
+		return nil, fmt.Errorf("workload: llm config: FgMax must be positive")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 96
+	}
+	if cfg.TokenJitter == 0 {
+		cfg.TokenJitter = 0.25
+	}
+	if cfg.TokenJitter < 0 {
+		cfg.TokenJitter = 0
+	}
+	if cfg.TokenJitter > 0.9 {
+		cfg.TokenJitter = 0.9
+	}
+	lp := &LLMPipeline{cfg: cfg, arrScale: 1, outScale: 1, extLat: 1}
+	lp.reseed()
+	return lp, nil
+}
+
+// reseed restores the seeded arrival state shared by New and Reset.
+func (p *LLMPipeline) reseed() {
+	p.rng = rand.New(rand.NewSource(p.cfg.Seed))
+	p.unitClock = 0
+	p.unitNext = p.rng.ExpFloat64()
+}
+
+// Config returns the validated configuration.
+func (p *LLMPipeline) Config() LLMConfig { return p.cfg }
+
+// Last implements GPUWorkload.
+func (p *LLMPipeline) Last() Stats { return p.last }
+
+// SetArrivalScale implements GPUWorkload (clamped at 0).
+func (p *LLMPipeline) SetArrivalScale(scale float64) {
+	p.arrScale = math.Max(0, scale)
+}
+
+// ArrivalScale implements GPUWorkload.
+func (p *LLMPipeline) ArrivalScale() float64 { return p.arrScale }
+
+// SetOutputScale scales every subsequent request's output-token draw
+// (clamped at 0). Regime schedules drive it: small values make the
+// workload prefill-heavy, large values decode-heavy.
+func (p *LLMPipeline) SetOutputScale(scale float64) {
+	p.outScale = math.Max(0, scale)
+}
+
+// OutputScale reports the current output-token scale.
+func (p *LLMPipeline) OutputScale() float64 { return p.outScale }
+
+// SetExternalLatencyFactor implements GPUWorkload: a slowdown >= 1
+// divides both phase token rates (memory throttling hurts decode too).
+func (p *LLMPipeline) SetExternalLatencyFactor(f float64) {
+	p.extLat = math.Max(1, f)
+}
+
+// Counters reports the conservation ledger: requests offered by the
+// arrival process, admitted into the system, completed, and shed at the
+// full queue. offered == admitted+shed and admitted == completed+
+// InFlight() always hold.
+func (p *LLMPipeline) Counters() (offered, admitted, completed, shed int64) {
+	return p.offered, p.admitted, p.completed, p.shed
+}
+
+// InFlight reports requests inside the system: pending admission plus
+// running.
+func (p *LLMPipeline) InFlight() int {
+	return len(p.pending) - p.pendHead + len(p.running)
+}
+
+// QueueDepth reports requests pending admission.
+func (p *LLMPipeline) QueueDepth() int { return len(p.pending) - p.pendHead }
+
+// MaxThroughput implements GPUWorkload: the token throughput at f_max
+// for the spec's prompt/output mix (the harmonic blend of the two
+// phase rates).
+func (p *LLMPipeline) MaxThroughput() float64 {
+	prompt := float64(p.cfg.Spec.PromptTokens)
+	output := float64(p.cfg.Spec.OutputTokens)
+	per := prompt/p.cfg.Profile.PrefillTokPerS + output/p.cfg.Profile.DecodeTokPerS
+	if per <= 0 {
+		return 0
+	}
+	return (prompt + output) / per
+}
+
+// Inject enqueues one request with explicit token counts, bypassing
+// the arrival process (subject to the same queue cap and shedding).
+// It reports whether the request was admitted. Tests and load replay
+// use it.
+func (p *LLMPipeline) Inject(promptTokens, outputTokens int) (bool, error) {
+	if promptTokens <= 0 || outputTokens <= 0 || promptTokens > maxSpecTokens || outputTokens > maxSpecTokens {
+		return false, fmt.Errorf("workload: inject: token counts out of range [1, %d]", maxSpecTokens)
+	}
+	return p.accept(llmSeq{prefill: float64(promptTokens), decode: float64(outputTokens)}), nil
+}
+
+// accept offers one request to the admission queue, shedding at cap.
+func (p *LLMPipeline) accept(s llmSeq) bool {
+	p.offered++
+	if p.QueueDepth()+len(p.running) >= p.cfg.QueueCap {
+		p.shed++
+		return false
+	}
+	if p.pendHead > 64 && p.pendHead*2 >= len(p.pending) {
+		n := copy(p.pending, p.pending[p.pendHead:])
+		p.pending = p.pending[:n]
+		p.pendHead = 0
+	}
+	p.pending = append(p.pending, s)
+	p.admitted++
+	return true
+}
+
+// spawn draws one arrival's token counts from the seeded stream.
+func (p *LLMPipeline) spawn() {
+	j := p.cfg.TokenJitter
+	prompt := float64(p.cfg.Spec.PromptTokens) * (1 + j*(2*p.rng.Float64()-1))
+	output := float64(p.cfg.Spec.OutputTokens) * p.outScale * (1 + j*(2*p.rng.Float64()-1))
+	p.accept(llmSeq{
+		prefill: math.Max(1, math.Round(prompt)),
+		decode:  math.Max(1, math.Round(output)),
+	})
+}
+
+// Reset implements GPUWorkload: bit-identical replay from the seed.
+func (p *LLMPipeline) Reset() {
+	p.reseed()
+	p.pending = p.pending[:0]
+	p.pendHead = 0
+	p.running = p.running[:0]
+	p.offered, p.admitted, p.completed, p.shed = 0, 0, 0, 0
+	p.last = Stats{}
+}
+
+// Step implements GPUWorkload: advance dt seconds at GPU frequency fg
+// (MHz). The CPU frequency shapes only the light tokenizer/feeder load
+// reported through CPUUtil. Within the step, admission, chunked
+// prefill, and batched decode share the GPU time budget in continuous-
+// batching fashion: prefill chunks preempt decode iterations, so a
+// prefill burst starves decode and inflates the observed time per
+// output token, exactly as in real chunked-prefill servers.
+func (p *LLMPipeline) Step(dt, fc, fg float64) Stats {
+	if dt <= 0 {
+		return p.last
+	}
+	_ = fc
+
+	// Arrivals over [t, t+dt) from the unit-rate exponential clock.
+	rate := p.cfg.Spec.RateReqPerS * p.arrScale
+	if rate > 0 {
+		p.unitClock += rate * dt
+		for p.unitNext <= p.unitClock {
+			p.spawn()
+			p.unitNext += p.rng.ExpFloat64()
+		}
+	}
+
+	// Phase token rates at this clock. FgMax is validated positive; the
+	// guard keeps the ratio sane if a caller hands a zero frequency.
+	fgMax := p.cfg.FgMax
+	if fgMax <= 0 {
+		fgMax = 1
+	}
+	fr := fg / fgMax
+	if fr < 0.05 {
+		fr = 0.05
+	}
+	if fr > 1.5 {
+		fr = 1.5
+	}
+	pRate := p.cfg.Profile.PrefillTokPerS * math.Pow(fr, p.cfg.Profile.GammaPrefill) / p.extLat
+	dRate := p.cfg.Profile.DecodeTokPerS * math.Pow(fr, p.cfg.Profile.GammaDecode) / p.extLat
+
+	const eps = 1e-9
+	budget := dt
+	var tP, tD, pTok, dTok float64
+	activePeak := 0
+	for budget > eps {
+		progress := false
+		// Admit while batch slots are free.
+		for len(p.running) < p.cfg.MaxBatch && p.QueueDepth() > 0 {
+			p.running = append(p.running, p.pending[p.pendHead])
+			p.pendHead++
+			progress = true
+		}
+		if p.pendHead == len(p.pending) {
+			p.pending = p.pending[:0]
+			p.pendHead = 0
+		}
+		// Chunked prefill: drain remaining prompt tokens FIFO, capped
+		// by the time budget.
+		grant := budget * pRate
+		var consumed float64
+		for i := range p.running {
+			if grant <= eps {
+				break
+			}
+			take := math.Min(p.running[i].prefill, grant)
+			if take > 0 {
+				p.running[i].prefill -= take
+				grant -= take
+				consumed += take
+			}
+		}
+		if consumed > 0 {
+			use := consumed / pRate
+			tP += use
+			pTok += consumed
+			budget -= use
+			progress = true
+		}
+		// Batched decode: every prefilled sequence generates in fair
+		// shares of the aggregate decode rate; one redistribution pass
+		// hands short sequences' leftovers to long ones.
+		if budget > eps {
+			active := 0
+			for i := range p.running {
+				if p.running[i].prefill <= eps && p.running[i].decode > 0 {
+					active++
+				}
+			}
+			if active > activePeak {
+				activePeak = active
+			}
+			if active > 0 {
+				avail := budget * dRate
+				share := avail / float64(active)
+				var done float64
+				for i := range p.running {
+					if p.running[i].prefill > eps || p.running[i].decode <= 0 {
+						continue
+					}
+					take := math.Min(p.running[i].decode, share)
+					p.running[i].decode -= take
+					done += take
+				}
+				if left := avail - done; left > eps {
+					for i := range p.running {
+						if left <= eps {
+							break
+						}
+						if p.running[i].prefill > eps || p.running[i].decode <= 0 {
+							continue
+						}
+						take := math.Min(p.running[i].decode, left)
+						p.running[i].decode -= take
+						left -= take
+						done += take
+					}
+				}
+				if done > 0 {
+					use := done / dRate
+					tD += use
+					dTok += done
+					budget -= use
+					progress = true
+				}
+			}
+		}
+		// Retire finished sequences, freeing batch slots.
+		kept := p.running[:0]
+		for _, s := range p.running {
+			if s.prefill <= eps && s.decode <= eps {
+				p.completed++
+				continue
+			}
+			kept = append(kept, s)
+		}
+		p.running = kept
+		if !progress {
+			break
+		}
+	}
+
+	// Seeded draws happen every step in a fixed order so the stream
+	// stays aligned regardless of what the scheduler did.
+	moe := 1.0
+	if p.cfg.Profile.Experts > 0 {
+		draw := 1 + p.cfg.Profile.MoEPowerStd*p.rng.NormFloat64()
+		moe = math.Min(1.25, math.Max(0.75, draw))
+	}
+	noise := 1 + p.cfg.Profile.NoiseStd*p.rng.NormFloat64()
+	if noise < 0.5 {
+		noise = 0.5
+	}
+
+	busy := tP + tD
+	util := busy / dt
+	if util > 1 {
+		util = 1
+	}
+	mix := 0.0
+	if busy > 0 {
+		mix = tP / busy
+	}
+	// Phase-blended power exponent; an idle step falls back to the
+	// classic linear law (no inference running, no phase to blend).
+	exp := 1.0
+	if busy > eps {
+		exp = mix*p.cfg.Profile.AlphaPrefill + (1-mix)*p.cfg.Profile.AlphaDecode
+	} else {
+		moe = 1
+	}
+
+	// Observed time per output token: batch share over the decode rate,
+	// inflated when prefill starves decode of step time (capped 20x).
+	var tpot float64
+	switch {
+	case dTok > 0:
+		starve := dt / math.Max(tD, 0.05*dt)
+		tpot = float64(max(activePeak, 1)) / dRate * starve
+	case p.decodeWaiting() > 0:
+		tpot = float64(p.decodeWaiting()) / dRate * 20
+	default:
+		tpot = 1 / dRate
+	}
+
+	depth := float64(p.QueueDepth())
+	prompt := float64(p.cfg.Spec.PromptTokens)
+	output := float64(p.cfg.Spec.OutputTokens)
+	perReq := prompt/pRate + output/dRate
+	st := Stats{
+		Throughput:       (pTok + dTok) / dt,
+		GPUBatchLatencyS: tpot * noise,
+		QueueDelayS:      depth * prompt / pRate,
+		GPUUtil:          util,
+		CPUUtil:          math.Min(1, 0.08+0.3*util),
+		QueueLen:         depth,
+		ArrivalRate:      rate * (prompt + output*p.outScale),
+		ServiceRate:      (prompt + output) / perReq,
+		LLM:              true,
+		PrefillShare:     mix,
+		QueueDepth:       depth,
+		FreqPowerExp:     exp,
+		MoEPowerFactor:   moe,
+	}
+	p.last = st
+	return st
+}
+
+// decodeWaiting counts running sequences with decode work left (used
+// for the starved-TPOT fallback when a step produced no tokens).
+func (p *LLMPipeline) decodeWaiting() int {
+	n := 0
+	for i := range p.running {
+		if p.running[i].decode > 0 {
+			n++
+		}
+	}
+	return n
+}

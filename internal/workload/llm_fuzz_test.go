@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseLLMSpec hammers the serving-mix DSL parser with arbitrary
+// input: it must never panic, and every spec it accepts must be
+// well-formed — a known model, finite in-range rate, token counts and
+// expert counts inside their caps, a round trip through LLMSpec.String
+// that re-parses to the same spec, and a config that NewLLMPipeline
+// accepts (an accepted spec must always be runnable).
+func FuzzParseLLMSpec(f *testing.F) {
+	seeds := []string{
+		"llama7b@6:512+160",
+		"mixtral@2.2:640+192*8",
+		"llama70b@1:448+224",
+		"llama70b@0.25:2048+1",
+		" llama7b@6:512+160 ",
+		"",
+		"@:+",
+		"llama7b",
+		"llama7b@6",
+		"llama7b@6:512",
+		"llama7b@6:512+",
+		"bogus@6:512+160",
+		"llama7b@NaN:512+160",
+		"llama7b@+Inf:512+160",
+		"llama7b@-1:512+160",
+		"llama7b@1e309:512+160",
+		"llama7b@6:0+160",
+		"llama7b@6:512+0",
+		"llama7b@6:-512+160",
+		"llama7b@6:1048577+160",
+		"llama7b@6:512+9223372036854775808",
+		"llama7b@6:512+160*0",
+		"llama7b@6:512+160*4097",
+		"llama7b@6:512+160*NaN",
+		"llama7b@6:512+160*8*8",
+		"a@b:c+d*e",
+		strings.Repeat("llama7b@1:1+1;", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseLLMSpec(in)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(spec.RateReqPerS) || math.IsInf(spec.RateReqPerS, 0) || spec.RateReqPerS <= 0 || spec.RateReqPerS > maxSpecRate {
+			t.Fatalf("accepted out-of-range rate: %+v", spec)
+		}
+		for _, n := range []int{spec.PromptTokens, spec.OutputTokens} {
+			if n <= 0 || n > maxSpecTokens {
+				t.Fatalf("accepted out-of-range token count: %+v", spec)
+			}
+		}
+		if spec.Experts < 0 || spec.Experts > maxSpecExperts {
+			t.Fatalf("accepted out-of-range expert count: %+v", spec)
+		}
+		prof, ok := LLMZoo()[spec.Model]
+		if !ok {
+			t.Fatalf("accepted unknown model: %+v", spec)
+		}
+		// Round trip: the canonical rendering must re-parse identically.
+		back, err := ParseLLMSpec(spec.String())
+		if err != nil {
+			t.Fatalf("%q does not re-parse: %v", spec.String(), err)
+		}
+		if back != spec {
+			t.Fatalf("round trip changed %+v into %+v", spec, back)
+		}
+		// Every accepted spec must build a runnable pipeline.
+		if spec.Experts > 0 {
+			prof.Experts = spec.Experts
+			if prof.MoEPowerStd == 0 {
+				prof.MoEPowerStd = 0.06
+			}
+		}
+		p, err := NewLLMPipeline(LLMConfig{Profile: prof, Spec: spec, FgMax: 1350, Seed: 1})
+		if err != nil {
+			t.Fatalf("accepted spec %+v does not build: %v", spec, err)
+		}
+		st := p.Step(4, 2.4, 900)
+		if math.IsNaN(st.GPUUtil) || math.IsNaN(st.FreqPowerExp) || math.IsNaN(st.Throughput) {
+			t.Fatalf("first step produced NaN stats for %+v: %+v", spec, st)
+		}
+	})
+}

@@ -1,0 +1,433 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// llmPipeline builds a standard serving pipeline for tests: the given
+// model at the given request rate, seeded.
+func llmPipeline(t testing.TB, model string, rate float64, prompt, output int, seed int64) *LLMPipeline {
+	t.Helper()
+	p, err := NewLLMPipeline(LLMConfig{
+		Profile: LLMZoo()[model],
+		Spec:    LLMSpec{Model: model, RateReqPerS: rate, PromptTokens: prompt, OutputTokens: output},
+		FgMax:   1350,
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// settle steps the pipeline to a phase steady state and returns the
+// mean stats over the last third of the window.
+func settle(p *LLMPipeline, periods int, fg float64) (meanExp, meanMix, meanUtil float64) {
+	n := 0
+	for i := 0; i < periods; i++ {
+		st := p.Step(4, 2.4, fg)
+		if i >= periods*2/3 {
+			meanExp += st.FreqPowerExp
+			meanMix += st.PrefillShare
+			meanUtil += st.GPUUtil
+			n++
+		}
+	}
+	return meanExp / float64(n), meanMix / float64(n), meanUtil / float64(n)
+}
+
+// --- Spec parser ---
+
+func TestParseLLMSpecRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"llama7b@6:512+160",
+		"mixtral@2.2:640+192*8",
+		"llama70b@0.5:448+224",
+	} {
+		spec, err := ParseLLMSpec(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		back, err := ParseLLMSpec(spec.String())
+		if err != nil {
+			t.Fatalf("%q does not re-parse: %v", spec.String(), err)
+		}
+		if back != spec {
+			t.Fatalf("round trip changed %+v into %+v", spec, back)
+		}
+	}
+}
+
+func TestParseLLMSpecRejects(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"llama7b",
+		"llama7b@6",
+		"llama7b@6:512",
+		"unknownmodel@6:512+160",
+		"llama7b@NaN:512+160",
+		"llama7b@+Inf:512+160",
+		"llama7b@-3:512+160",
+		"llama7b@0:512+160",
+		"llama7b@1e300:512+160",
+		"llama7b@6:0+160",
+		"llama7b@6:-5+160",
+		"llama7b@6:512+0",
+		"llama7b@6:9999999999+160",
+		"llama7b@6:512+160*0",
+		"llama7b@6:512+160*-2",
+		"llama7b@6:512+160*99999",
+		"llama7b@6:512+160*NaN",
+	} {
+		if _, err := ParseLLMSpec(in); err == nil {
+			t.Errorf("ParseLLMSpec(%q) accepted", in)
+		}
+	}
+	// Blank entries are tolerated (trailing ';'), an all-blank list is not.
+	if _, err := ParseLLMSpecs("llama7b@6:512+160;;"); err != nil {
+		t.Errorf("trailing empty entry rejected: %v", err)
+	}
+	if _, err := ParseLLMSpecs(";"); err == nil {
+		t.Error("all-empty list accepted")
+	}
+}
+
+func TestParseLLMSpecsList(t *testing.T) {
+	specs, err := ParseLLMSpecs(" llama7b@6:512+160 ; mixtral@2.2:640+192*8 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Model != "llama7b" || specs[1].Experts != 8 {
+		t.Fatalf("got %+v", specs)
+	}
+}
+
+// --- Phase-dependent power law (the R2 tentpole property) ---
+
+// TestLLMPhasePowerLawQuick pins the phase-dependent power law over
+// random clocks and seeds: the blended frequency-power exponent must
+// stay inside [AlphaDecode, AlphaPrefill], a decode-heavy steady state
+// must sit near the flat decode exponent (bounded power response to a
+// cap step), and a prefill burst must sit near the steep prefill
+// exponent (strong response).
+func TestLLMPhasePowerLawQuick(t *testing.T) {
+	prof := LLMZoo()["llama7b"]
+	f := func(seed int64, frRaw float64) bool {
+		fg := 435 + math.Mod(math.Abs(frRaw), 1)*(1350-435)
+
+		// Decode-heavy: short prompts, long generations, modest rate.
+		dec := llmPipeline(t, "llama7b", 2, 64, 512, seed%1000+1)
+		expD, mixD, _ := settle(dec, 30, fg)
+		if expD < prof.AlphaDecode-1e-9 || expD > prof.AlphaPrefill+1e-9 {
+			t.Logf("decode exponent %g outside [%g, %g]", expD, prof.AlphaDecode, prof.AlphaPrefill)
+			return false
+		}
+		if mixD > 0.35 || expD > 0.45 {
+			t.Logf("decode-heavy run not decode-dominated: mix=%g exp=%g", mixD, expD)
+			return false
+		}
+
+		// Prefill-heavy: long prompts, near-zero generations, high rate.
+		pre := llmPipeline(t, "llama7b", 8, 2048, 1, seed%1000+1)
+		expP, mixP, _ := settle(pre, 30, fg)
+		if mixP < 0.9 || expP < 0.9*prof.AlphaPrefill {
+			t.Logf("prefill-heavy run not prefill-dominated: mix=%g exp=%g", mixP, expP)
+			return false
+		}
+		return expP > expD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLLMPowerExponentMonotoneInMix: for one profile, the blended
+// exponent observed across runs is monotone in the observed prefill
+// share — more prefill, steeper power-frequency response.
+func TestLLMPowerExponentMonotoneInMix(t *testing.T) {
+	type pt struct{ mix, exp float64 }
+	var pts []pt
+	for _, output := range []int{1, 32, 96, 256, 512, 1024} {
+		p := llmPipeline(t, "llama7b", 3, 512, output, 7)
+		exp, mix, _ := settle(p, 30, 1350)
+		pts = append(pts, pt{mix, exp})
+	}
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1], pts[i]
+		if (a.mix-b.mix)*(a.exp-b.exp) < 0 {
+			t.Fatalf("exponent not monotone in prefill share: %+v then %+v", a, b)
+		}
+	}
+	if pts[0].mix <= pts[len(pts)-1].mix {
+		t.Fatalf("output-length sweep did not sweep the phase mix: %+v", pts)
+	}
+}
+
+// TestLLMDecodePowerResponseBounded quantifies the two regimes through
+// the effective-clock bend the simulator applies (feff/fmax =
+// (f/fmax)^exp): halving the clock in a decode-heavy steady state must
+// move the effective clock by only a few percent, while the same cap
+// step in a prefill burst must move it nearly proportionally.
+func TestLLMDecodePowerResponseBounded(t *testing.T) {
+	bend := func(exp float64) float64 { return math.Pow(0.5, exp) }
+
+	dec := llmPipeline(t, "llama7b", 2, 64, 512, 3)
+	expD, _, _ := settle(dec, 30, 675)
+	if r := bend(expD); r < 0.85 {
+		t.Fatalf("decode-heavy effective clock fell to %.3f of max on a half-clock step (exp %.3f); want bounded response > 0.85", r, expD)
+	}
+
+	pre := llmPipeline(t, "llama7b", 8, 2048, 1, 3)
+	expP, _, _ := settle(pre, 30, 675)
+	if r := bend(expP); r > 0.6 {
+		t.Fatalf("prefill-heavy effective clock only fell to %.3f of max (exp %.3f); want strong response < 0.6", r, expP)
+	}
+}
+
+// --- Queue conservation (continuous batching) ---
+
+// TestLLMQueueConservationQuick drives random arrival schedules and
+// clock trajectories and checks the token-queue ledger every step:
+// offered = admitted + shed, admitted = completed + in-flight, and the
+// pending queue never exceeds its cap.
+func TestLLMQueueConservationQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		models := []string{"llama7b", "mixtral", "llama70b"}
+		p := llmPipeline(t, models[rng.Intn(len(models))],
+			0.5+6*rng.Float64(), 64+rng.Intn(1024), 1+rng.Intn(512), seed)
+		for i := 0; i < 200; i++ {
+			if rng.Intn(17) == 0 {
+				p.SetArrivalScale(4 * rng.Float64())
+			}
+			if rng.Intn(23) == 0 {
+				p.SetOutputScale(0.05 + rng.Float64())
+			}
+			fg := 435 + rng.Float64()*(1350-435)
+			p.Step(0.5+4*rng.Float64(), 2.4, fg)
+
+			offered, admitted, completed, shed := p.Counters()
+			if offered != admitted+shed {
+				t.Logf("step %d: offered %d != admitted %d + shed %d", i, offered, admitted, shed)
+				return false
+			}
+			if admitted != completed+int64(p.InFlight()) {
+				t.Logf("step %d: admitted %d != completed %d + in-flight %d", i, admitted, completed, p.InFlight())
+				return false
+			}
+			if d := p.QueueDepth(); d < 0 || d > p.Config().QueueCap {
+				t.Logf("step %d: queue depth %d outside [0, %d]", i, d, p.Config().QueueCap)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Queue edge cases ---
+
+func TestLLMEmptyQueueIdles(t *testing.T) {
+	p := llmPipeline(t, "llama7b", 5, 512, 160, 1)
+	p.SetArrivalScale(0)
+	st := p.Step(4, 2.4, 1350)
+	if st.GPUUtil != 0 || st.Throughput != 0 || st.PrefillShare != 0 {
+		t.Fatalf("idle pipeline reported work: %+v", st)
+	}
+	// An idle step has no phase to blend: the exponent falls back to
+	// the classic linear law and MoE variance is pinned to dense.
+	if st.FreqPowerExp != 1 || st.MoEPowerFactor != 1 {
+		t.Fatalf("idle step law: exp=%g moe=%g, want 1/1", st.FreqPowerExp, st.MoEPowerFactor)
+	}
+}
+
+func TestLLMSingleGiantPrompt(t *testing.T) {
+	p := llmPipeline(t, "llama70b", 1, 512, 64, 1)
+	p.SetArrivalScale(0)
+	ok, err := p.Inject(maxSpecTokens, 1)
+	if err != nil || !ok {
+		t.Fatalf("inject giant prompt: ok=%v err=%v", ok, err)
+	}
+	st := p.Step(4, 2.4, 1350)
+	if st.PrefillShare != 1 || st.GPUUtil != 1 {
+		t.Fatalf("giant prompt did not saturate prefill: mix=%g util=%g", st.PrefillShare, st.GPUUtil)
+	}
+	// Keep stepping: the sequence must eventually retire and the ledger
+	// must close.
+	for i := 0; i < 10000 && p.InFlight() > 0; i++ {
+		p.Step(4, 2.4, 1350)
+	}
+	offered, admitted, completed, shed := p.Counters()
+	if p.InFlight() != 0 || offered != 1 || admitted != 1 || completed != 1 || shed != 0 {
+		t.Fatalf("giant prompt never drained: in-flight %d, counters %d/%d/%d/%d",
+			p.InFlight(), offered, admitted, completed, shed)
+	}
+
+	if _, err := p.Inject(0, 1); err == nil {
+		t.Fatal("Inject(0, 1) accepted")
+	}
+	if _, err := p.Inject(1, maxSpecTokens+1); err == nil {
+		t.Fatal("Inject over token cap accepted")
+	}
+}
+
+func TestLLMBurstPastCapacitySheds(t *testing.T) {
+	p := llmPipeline(t, "llama7b", 5, 512, 160, 1)
+	p.SetArrivalScale(0)
+	// Admission capacity counts pending plus running; nothing has run,
+	// so the whole cap is queue.
+	capTotal := p.Config().QueueCap
+	accepted := 0
+	for i := 0; i < capTotal+50; i++ {
+		ok, err := p.Inject(512, 160)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			accepted++
+		}
+	}
+	offered, admitted, _, shed := p.Counters()
+	if shed != 50 || admitted != int64(capTotal) || accepted != capTotal {
+		t.Fatalf("burst ledger: offered %d admitted %d shed %d accepted %d (capacity %d)",
+			offered, admitted, shed, accepted, capTotal)
+	}
+	if d := p.QueueDepth(); d != p.Config().QueueCap {
+		t.Fatalf("queue depth %d, want full cap %d", d, p.Config().QueueCap)
+	}
+}
+
+func TestLLMDrainToEmpty(t *testing.T) {
+	// Saturate at a low clock so a backlog builds before the drain.
+	p := llmPipeline(t, "mixtral", 8, 640, 192, 9)
+	for i := 0; i < 40; i++ {
+		p.Step(4, 2.4, 500)
+	}
+	if p.InFlight() == 0 {
+		t.Fatal("warmup left no work in flight")
+	}
+	p.SetArrivalScale(0)
+	drained := false
+	for i := 0; i < 2000; i++ {
+		st := p.Step(4, 2.4, 1350)
+		if p.InFlight() == 0 && p.QueueDepth() == 0 {
+			if st.QueueDepth != 0 {
+				t.Fatalf("stats queue depth %g after drain", st.QueueDepth)
+			}
+			drained = true
+			break
+		}
+	}
+	if !drained {
+		t.Fatal("pipeline never drained after arrivals stopped")
+	}
+	offered, admitted, completed, shed := p.Counters()
+	if admitted != completed || offered != admitted+shed {
+		t.Fatalf("drained ledger does not close: %d/%d/%d/%d", offered, admitted, completed, shed)
+	}
+}
+
+func TestLLMZeroLengthStep(t *testing.T) {
+	p := llmPipeline(t, "llama7b", 5, 512, 160, 1)
+	st1 := p.Step(4, 2.4, 1000)
+	st2 := p.Step(0, 2.4, 500)
+	if st1 != st2 {
+		t.Fatalf("zero-dt step changed stats: %+v vs %+v", st1, st2)
+	}
+	if st3 := p.Step(-1, 2.4, 500); st3 != st1 {
+		t.Fatalf("negative-dt step changed stats: %+v", st3)
+	}
+}
+
+func TestLLMResetReproducible(t *testing.T) {
+	run := func(p *LLMPipeline) []Stats {
+		out := make([]Stats, 60)
+		for i := range out {
+			fg := 435 + 915*math.Abs(math.Sin(float64(i)/5))
+			out[i] = p.Step(4, 2.4, fg)
+		}
+		return out
+	}
+	p := llmPipeline(t, "mixtral", 3, 640, 192, 42)
+	a := run(p)
+	p.Reset()
+	b := run(p)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d diverged after Reset: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLLMConfigValidation(t *testing.T) {
+	base := LLMConfig{
+		Profile: LLMZoo()["llama7b"],
+		Spec:    LLMSpec{Model: "llama7b", RateReqPerS: 5, PromptTokens: 512, OutputTokens: 160},
+		FgMax:   1350,
+	}
+	if _, err := NewLLMPipeline(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := base
+	bad.FgMax = 0
+	if _, err := NewLLMPipeline(bad); err == nil {
+		t.Error("FgMax 0 accepted")
+	}
+	bad = base
+	bad.Spec.RateReqPerS = math.NaN()
+	if _, err := NewLLMPipeline(bad); err == nil {
+		t.Error("NaN rate accepted")
+	}
+	bad = base
+	bad.Profile.PrefillTokPerS = 0
+	if _, err := NewLLMPipeline(bad); err == nil {
+		t.Error("zero prefill rate accepted")
+	}
+}
+
+func TestLLMZooWellFormed(t *testing.T) {
+	zoo := LLMZoo()
+	if len(zoo) < 3 {
+		t.Fatalf("zoo has %d profiles", len(zoo))
+	}
+	for name, prof := range zoo {
+		if !strings.EqualFold(prof.Name, name) {
+			t.Errorf("%s: profile name %q", name, prof.Name)
+		}
+		if prof.AlphaPrefill <= prof.AlphaDecode {
+			t.Errorf("%s: prefill exponent %g not above decode %g — the phase law would not separate regimes",
+				name, prof.AlphaPrefill, prof.AlphaDecode)
+		}
+		if prof.PrefillTokPerS <= prof.DecodeTokPerS {
+			t.Errorf("%s: prefill rate %g not above decode rate %g", name, prof.PrefillTokPerS, prof.DecodeTokPerS)
+		}
+		if prof.Experts > 0 && prof.MoEPowerStd <= 0 {
+			t.Errorf("%s: MoE profile without power variance", name)
+		}
+	}
+}
+
+// --- Benchmarks (ratcheted in BENCH_FLOORS.json as llm-step / llm-queue) ---
+
+func BenchmarkLLMStep(b *testing.B) {
+	p := llmPipeline(b, "llama7b", 6, 512, 160, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Step(4, 2.4, 900)
+	}
+}
+
+func BenchmarkLLMQueueOps(b *testing.B) {
+	p := llmPipeline(b, "llama7b", 0.001, 64, 8, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Inject(64, 8)
+		p.Step(4, 2.4, 1350)
+	}
+}

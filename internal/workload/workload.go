@@ -175,6 +175,14 @@ type Stats struct {
 	QueueLen         float64 // images in queue at end of step
 	ArrivalRate      float64 // images/second offered by preprocessing
 	ServiceRate      float64 // images/second the GPU could complete
+
+	// LLM-family extensions; all zero for CNN pipelines, so legacy
+	// consumers (and the seeded-replay goldens) are untouched.
+	LLM            bool    // true when emitted by an LLMPipeline
+	PrefillShare   float64 // fraction of busy GPU time spent prefilling, 0..1
+	QueueDepth     float64 // requests pending admission at end of step
+	FreqPowerExp   float64 // phase-blended power-vs-frequency exponent
+	MoEPowerFactor float64 // seeded expert-activation power multiplier (1 = dense)
 }
 
 // NewPipeline validates the config and returns a pipeline.
